@@ -1,0 +1,190 @@
+// Benchmarks regenerating the paper's tables and figures (one bench per
+// artifact) plus micro-benchmarks of the compiler phases. The table/figure
+// benches use a reduced corpus so `go test -bench=.` completes in minutes;
+// cmd/experiments runs the full-size versions.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/experiments"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+)
+
+func benchSuite() *experiments.Suite {
+	return experiments.New(pipeline.Options{LoopsPerBenchmark: 6})
+}
+
+// BenchmarkTable1ISA regenerates Table 1 (static ISA table).
+func BenchmarkTable1ISA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2Classification regenerates Table 2: the execution-time
+// split among resource-/recurrence-constrained loops per benchmark.
+func BenchmarkTable2Classification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		rows, err := s.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 10 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkFig6Heterogeneous regenerates Figure 6: per-benchmark ED² of
+// the heterogeneous approach vs the optimum homogeneous, 1 and 2 buses.
+func BenchmarkFig6Heterogeneous(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		f, err := s.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f.Series[0].Mean >= 1 {
+			b.Fatalf("heterogeneity did not win: mean %f", f.Series[0].Mean)
+		}
+	}
+}
+
+// BenchmarkFig7FrequencyCount regenerates Figure 7: ED² sensitivity to the
+// number of supported frequencies.
+func BenchmarkFig7FrequencyCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if _, err := s.Figure7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8EnergySplit regenerates Figure 8: ED² sensitivity to the
+// ICN/cache energy fractions.
+func BenchmarkFig8EnergySplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if _, err := s.Figure8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Leakage regenerates Figure 9: ED² sensitivity to the
+// leakage fractions.
+func BenchmarkFig9Leakage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if _, err := s.Figure9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPartitioner compares ED²-aware vs balance-only
+// partitioning (the design choice of Section 4.1.2).
+func BenchmarkAblationPartitioner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		if _, err := s.Ablation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- phases
+
+// BenchmarkRecMII measures the recurrence-MII analysis.
+func BenchmarkRecMII(b *testing.B) {
+	g := ddg.FIRFilter("fir", 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.RecMII() < 0 {
+			b.Fatal("bad recMII")
+		}
+	}
+}
+
+// BenchmarkPartition measures one multilevel partitioning run.
+func BenchmarkPartition(b *testing.B) {
+	cfg := HeterogeneousMachine(1, 900, 1350, 1)
+	g := ddg.FIRFilter("fir", 12)
+	pairs, err := machine.SelectPairs(cfg.Arch, cfg.Clock, 8100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cost := partition.DefaultCost(4)
+	cost.DeltaCluster = []float64{1, 0.6, 0.6, 0.6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.Partition(g, cfg.Arch, cfg.Clock, pairs, cost,
+			partition.Options{EnergyAware: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleLoop measures the full Figure 5 scheduling flow for one
+// loop on a heterogeneous machine.
+func BenchmarkScheduleLoop(b *testing.B) {
+	cfg := HeterogeneousMachine(1, 900, 1350, 1)
+	g := ddg.Livermore("lv")
+	cost := partition.DefaultCost(4)
+	cost.DeltaCluster = []float64{1, 0.6, 0.6, 0.6}
+	cost.Iterations = 100
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ScheduleLoop(g, cfg, cost, core.Options{
+			Partition: partition.Options{EnergyAware: true},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulate measures schedule validation + MCD simulation.
+func BenchmarkSimulate(b *testing.B) {
+	cfg := HeterogeneousMachine(1, 900, 1350, 1)
+	s, err := Schedule(ddg.FIRFilter("fir", 8), cfg, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(s, 100, sim.DefaultGenPeriod); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCorpusGeneration measures synthetic benchmark generation.
+func BenchmarkCorpusGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := loopgen.Generate("sixtrack", 24); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReferenceRun measures one benchmark's reference profiling pass.
+func BenchmarkReferenceRun(b *testing.B) {
+	opts := pipeline.Options{LoopsPerBenchmark: 8, EnergyAware: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.BuildReference("lucas", opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

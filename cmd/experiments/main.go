@@ -1,0 +1,88 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and prints them as text tables:
+//
+//	experiments                    # everything, default corpus size
+//	experiments -loops 60          # bigger corpus
+//	experiments -only fig6,table2  # a subset
+//
+// Artifacts: table1, table2, fig6, fig7, fig8, fig9, ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	loops := flag.Int("loops", 40, "loops per benchmark in the synthetic corpus")
+	only := flag.String("only", "", "comma-separated subset: table1,table2,fig6,fig7,fig8,fig9,numfast,ablation")
+	par := flag.Int("par", 0, "worker parallelism (0 = NumCPU)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	enabled := func(k string) bool { return len(want) == 0 || want[k] }
+
+	suite := experiments.New(pipeline.Options{
+		LoopsPerBenchmark: *loops,
+		Parallelism:       *par,
+	})
+	start := time.Now()
+
+	if enabled("table1") {
+		fmt.Println(experiments.Table1String())
+	}
+	if enabled("table2") {
+		rows, err := suite.Table2()
+		exitOn(err)
+		fmt.Println(experiments.FormatTable2(rows))
+	}
+	if enabled("fig6") {
+		f, err := suite.Figure6()
+		exitOn(err)
+		fmt.Println(f.String())
+	}
+	if enabled("fig7") {
+		rows, err := suite.Figure7()
+		exitOn(err)
+		fmt.Println(experiments.FormatFig7(rows))
+	}
+	if enabled("fig8") {
+		rows, err := suite.Figure8()
+		exitOn(err)
+		fmt.Println(experiments.FormatFig8(rows))
+	}
+	if enabled("fig9") {
+		rows, err := suite.Figure9()
+		exitOn(err)
+		fmt.Println(experiments.FormatFig9(rows))
+	}
+	if enabled("numfast") {
+		rows, err := suite.NumFastStudy()
+		exitOn(err)
+		fmt.Println(experiments.FormatNumFast(rows))
+	}
+	if enabled("ablation") {
+		rows, err := suite.Ablation()
+		exitOn(err)
+		fmt.Println(experiments.FormatAblation(rows))
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,72 @@
+// Command hetvliw runs the end-to-end pipeline for one benchmark and
+// reports the selected configurations and the measured ED² outcome:
+//
+//	hetvliw -bench sixtrack
+//	hetvliw -bench facerec -buses 2 -loops 60
+//	hetvliw -bench swim -freqs 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/loopgen"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	bench := flag.String("bench", "sixtrack", "benchmark name (or 'all')")
+	buses := flag.Int("buses", 1, "register buses (1 or 2)")
+	loops := flag.Int("loops", 40, "loops per benchmark")
+	freqs := flag.Int("freqs", 0, "supported frequencies per domain (0 = any)")
+	flag.Parse()
+
+	opts := pipeline.Options{
+		Buses:             *buses,
+		LoopsPerBenchmark: *loops,
+		FreqCount:         *freqs,
+		EnergyAware:       true,
+	}
+	names := []string{*bench}
+	if *bench == "all" {
+		names = loopgen.Names()
+	}
+	var refs []*pipeline.Reference
+	for _, name := range names {
+		ref, err := pipeline.BuildReference(name, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hetvliw:", err)
+			os.Exit(1)
+		}
+		refs = append(refs, ref)
+	}
+	sr, err := pipeline.EvaluateSuite(refs, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetvliw:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("optimum homogeneous baseline: %v per cycle\n\n", sr.HomPeriod)
+	for _, r := range sr.Benchmarks {
+		fmt.Printf("%s:\n", r.Name)
+		fmt.Printf("  loop classes (table 2):    res %.1f%% / mid %.1f%% / rec %.1f%%\n",
+			r.Table2[0]*100, r.Table2[1]*100, r.Table2[2]*100)
+		fmt.Printf("  reference (1GHz/1V):       D=%.4g s  E=%.4g  ED2=%.4g\n",
+			r.Reference.Seconds, r.Reference.Energy, r.Reference.ED2)
+		fmt.Printf("  optimum homogeneous:       D=%.4g s  E=%.4g  ED2=%.4g (τ=%v)\n",
+			r.HomOpt.Seconds, r.HomOpt.Energy, r.HomOpt.ED2, r.HomOpt.FastPeriod)
+		fmt.Printf("  heterogeneous (selected):  D=%.4g s  E=%.4g  ED2=%.4g (fast=%v slow=%v)\n",
+			r.Het.Seconds, r.Het.Energy, r.Het.ED2, r.Het.FastPeriod, r.Het.SlowPeriod)
+		fmt.Printf("  model estimate for het:    D=%.4g s  E=%.4g  ED2=%.4g\n",
+			r.HetEstimate.Seconds, r.HetEstimate.Energy, r.HetEstimate.ED2)
+		fmt.Printf("  ED2 ratio (het/hom-opt):   %.3f  (benefit %.1f%%)\n",
+			r.ED2Ratio, (1-r.ED2Ratio)*100)
+		if r.SyncIncreases > 0 {
+			fmt.Printf("  synchronization IT growths: %d\n", r.SyncIncreases)
+		}
+		fmt.Println()
+	}
+	if len(sr.Benchmarks) > 1 {
+		fmt.Printf("mean ED2 ratio: %.3f\n", sr.Mean)
+	}
+}

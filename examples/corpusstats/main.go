@@ -1,0 +1,70 @@
+// Corpus statistics: verifies that the synthetic SPECfp2000-like corpus
+// reproduces the paper's Table 2 — the per-benchmark split of execution
+// time among resource-constrained, borderline, and recurrence-constrained
+// loops — and summarizes the recurrence structure that drives the
+// heterogeneous benefits (few-op vs many-op critical recurrences).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/loopgen"
+)
+
+// paperTable2 is Table 2 of the paper, for comparison.
+var paperTable2 = map[string][3]float64{
+	"wupwise":  {0.1404, 0.6876, 0.1720},
+	"swim":     {1.0000, 0.0000, 0.0000},
+	"mgrid":    {0.9554, 0.0000, 0.0446},
+	"applu":    {0.3194, 0.0617, 0.6189},
+	"galgel":   {0.3327, 0.0918, 0.5755},
+	"facerec":  {0.1659, 0.0000, 0.8341},
+	"lucas":    {0.3213, 0.0002, 0.6785},
+	"fma3d":    {0.1522, 0.0296, 0.8182},
+	"sixtrack": {0.0008, 0.0000, 0.9992},
+	"apsi":     {0.1550, 0.0337, 0.8113},
+}
+
+func main() {
+	fmt.Printf("%-10s %28s %28s %10s\n", "benchmark",
+		"generated res/mid/rec (%)", "paper res/mid/rec (%)", "crit ops")
+	for _, name := range repro.BenchmarkNames() {
+		b, err := repro.GenerateBenchmark(name, 40)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var shares [3]float64
+		total := 0.0
+		critOps, critLoops := 0, 0
+		for _, l := range b.Loops {
+			recMII, resMII := loopgen.MIIOf(l.Graph)
+			m := recMII
+			if resMII > m {
+				m = resMII
+			}
+			tw := float64(m) * float64(l.Iterations) * l.Weight
+			shares[l.Class] += tw
+			total += tw
+			if l.Class == loopgen.RecurrenceBound {
+				if recs := l.Graph.Recurrences(); len(recs) > 0 {
+					critOps += len(recs[0].Ops)
+					critLoops++
+				}
+			}
+		}
+		avgCrit := 0.0
+		if critLoops > 0 {
+			avgCrit = float64(critOps) / float64(critLoops)
+		}
+		p := paperTable2[name]
+		fmt.Printf("%-10s %8.1f /%5.1f /%5.1f %14.1f /%5.1f /%5.1f %9.1f\n",
+			name,
+			shares[0]/total*100, shares[1]/total*100, shares[2]/total*100,
+			p[0]*100, p[1]*100, p[2]*100, avgCrit)
+	}
+	fmt.Println("\n'crit ops' = average size of the most critical recurrence in")
+	fmt.Println("recurrence-bound loops: small for sixtrack/facerec/lucas (large")
+	fmt.Println("energy savings possible), large for fma3d/apsi (speedup only).")
+}

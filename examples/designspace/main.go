@@ -1,0 +1,73 @@
+// Design-space exploration for one program: reproduces the Section 3
+// selection flow for a single benchmark and prints the estimated ED² of
+// every (fast factor, slow ratio) candidate — the table the selection
+// algorithm internally minimizes over — followed by the chosen
+// configuration and its per-domain voltages.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/confsel"
+	"repro/internal/machine"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+)
+
+func main() {
+	const benchmark = "facerec"
+	opts := pipeline.Options{Buses: 1, LoopsPerBenchmark: 24, EnergyAware: true}
+	ref, err := pipeline.BuildReference(benchmark, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arch := ref.Arch
+	cal, err := power.Calibrate(arch, ref.Profile.RefCounts, power.DefaultFractions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := power.DefaultAlphaModel()
+	space := confsel.DefaultSpace()
+
+	hom, err := confsel.OptimumHomogeneous(arch, ref.Profile, cal, model, space)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: optimum homogeneous τ=%v V=%.3f → estimated ED2 %.4g\n\n",
+		benchmark, hom.FastPeriod, hom.Clock.Vdd[0], hom.Estimate.ED2)
+
+	fmt.Printf("estimated ED2 (normalized to hom-opt) per candidate:\n")
+	fmt.Printf("%8s", "fast\\sr")
+	for _, sr := range space.SlowRatios {
+		fmt.Printf("%8.2f", sr)
+	}
+	fmt.Println()
+	for _, ff := range space.FastFactors {
+		fmt.Printf("%8.2f", ff)
+		for _, sr := range space.SlowRatios {
+			sub := space
+			sub.FastFactors = []float64{ff}
+			sub.SlowRatios = []float64{sr}
+			sel, err := confsel.SelectHeterogeneous(arch, ref.Profile, cal, model, sub)
+			if err != nil {
+				fmt.Printf("%8s", "-")
+				continue
+			}
+			fmt.Printf("%8.3f", sel.Estimate.ED2/hom.Estimate.ED2)
+		}
+		fmt.Println()
+	}
+
+	best, err := confsel.SelectHeterogeneous(arch, ref.Profile, cal, model, space)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nselected: fast=%v slow=%v (estimated ratio %.3f)\n",
+		best.FastPeriod, best.SlowPeriod, best.Estimate.ED2/hom.Estimate.ED2)
+	for d := 0; d < arch.NumDomains(); d++ {
+		fmt.Printf("  %-6s period ≥ %v  Vdd=%.3f  δ=%.3f σ=%.3f\n",
+			arch.DomainName(machine.DomainID(d)), best.Clock.MinPeriod[d],
+			best.Clock.Vdd[d], best.Scales.Delta[d], best.Scales.Sigma[d])
+	}
+}

@@ -1,0 +1,182 @@
+// Package repro is a Go reproduction of "Heterogeneous Clustered VLIW
+// Microarchitectures" (Aletà, Codina, González, Kaeli — CGO 2007): a
+// statically scheduled clustered VLIW processor whose clusters,
+// inter-cluster network and cache run in independent clock/voltage
+// domains, together with the compiler stack that exploits it — compile-
+// time energy/performance models for selecting per-component frequencies
+// and voltages, and a graph-partitioning-based modulo scheduler that
+// places performance-critical recurrences in fast clusters and everything
+// else in slow, low-power clusters to minimize the energy-delay² product.
+//
+// This root package is the library facade. The building blocks live in
+// internal packages:
+//
+//	isa, machine, clock   — ISA, clustered machine, multi-clock domains
+//	ddg, mii              — dependence graphs, recMII, MIT analysis
+//	partition, pseudo     — multilevel ED²-aware graph partitioning
+//	modsched, core        — heterogeneous modulo scheduling (Figure 5 flow)
+//	sim                   — schedule validation + MCD execution/accounting
+//	power, confsel        — α-power energy model, configuration selection
+//	loopgen, pipeline     — SPECfp2000-like corpus, end-to-end evaluation
+//	experiments           — Table 2 and Figures 6–9 harnesses
+//
+// Quick start:
+//
+//	g := repro.NewGraph("dot") // build a loop DDG
+//	x := g.AddOp(repro.Load, "x")
+//	acc := g.AddOp(repro.FPAdd, "acc")
+//	g.AddDep(x, acc, 0)
+//	g.AddDep(acc, acc, 1) // loop-carried accumulation
+//
+//	cfg := repro.HeterogeneousMachine(1, 900, 1350, 1)
+//	sched, err := repro.Schedule(g, cfg, 100)
+//	res, err := repro.Simulate(sched, 100)
+package repro
+
+import (
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/emit"
+	"repro/internal/isa"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+	"repro/internal/partition"
+	"repro/internal/pipeline"
+	"repro/internal/regalloc"
+	"repro/internal/sim"
+)
+
+// Re-exported core types.
+type (
+	// Graph is a loop-body data dependence graph.
+	Graph = ddg.Graph
+	// Edge is a dependence with latency and iteration distance.
+	Edge = ddg.Edge
+	// Class is an operation class (latency/energy/resource per Table 1).
+	Class = isa.Class
+	// MachineConfig couples the clustered structure with its clocking.
+	MachineConfig = machine.Config
+	// KernelSchedule is a modulo schedule with per-domain IIs.
+	KernelSchedule = modsched.Schedule
+	// SimResult is a simulated execution (time + energy event counts).
+	SimResult = sim.Result
+	// Benchmark is a generated loop corpus.
+	Benchmark = loopgen.Benchmark
+	// PipelineOptions configures the end-to-end evaluation.
+	PipelineOptions = pipeline.Options
+	// BenchmarkResult is a per-benchmark evaluation outcome.
+	BenchmarkResult = pipeline.BenchmarkResult
+	// Picos is a duration in integer picoseconds.
+	Picos = clock.Picos
+	// RegisterAssignment maps kernel values to physical registers.
+	RegisterAssignment = regalloc.Assignment
+)
+
+// Operation classes (Table 1 of the paper).
+const (
+	IntAdd   = isa.IntALU
+	IntMul   = isa.IntMul
+	IntDiv   = isa.IntDiv
+	FPAdd    = isa.FPALU
+	FPMul    = isa.FPMul
+	FPDiv    = isa.FPDiv
+	Load     = isa.Load
+	Store    = isa.Store
+	BrTarget = isa.BranchTarget
+	BrCond   = isa.BranchCond
+	BrCtrl   = isa.BranchCtrl
+)
+
+// NewGraph returns an empty loop DDG.
+func NewGraph(name string) *Graph { return ddg.New(name) }
+
+// ReferenceMachine returns the paper's reference homogeneous machine:
+// four identical clusters (1 INT FU, 1 FP FU, 1 memory port, 16 registers)
+// at 1 GHz and 1 V, with the given number of 1-cycle register buses.
+func ReferenceMachine(buses int) *MachineConfig {
+	return machine.ReferenceConfig(buses)
+}
+
+// HeterogeneousMachine returns a 4-cluster machine with numFast clusters
+// at fastPs picoseconds cycle time, the rest at slowPs, and the bus/cache
+// domains tracking the fast clusters (the paper's Section 5 setup).
+func HeterogeneousMachine(buses int, fastPs, slowPs int64, numFast int) *MachineConfig {
+	arch := machine.Reference4Cluster(buses)
+	clk := machine.NewClocking(arch, clock.Picos(slowPs), machine.ReferenceVdd)
+	for c := 0; c < numFast && c < arch.NumClusters(); c++ {
+		clk.MinPeriod[c] = clock.Picos(fastPs)
+	}
+	clk.MinPeriod[arch.ICN()] = clock.Picos(fastPs)
+	clk.MinPeriod[arch.Cache()] = clock.Picos(fastPs)
+	return &machine.Config{Arch: arch, Clock: clk}
+}
+
+// Schedule modulo-schedules the loop on the configuration using the
+// Figure 5 flow (MIT → (frequency, II) pairs → partition → schedule,
+// growing the IT on failure). iterations is the loop's expected trip
+// count, used by the ED²-aware partitioning objective.
+func Schedule(g *Graph, cfg *MachineConfig, iterations int64) (*KernelSchedule, error) {
+	cost := partition.DefaultCost(cfg.Arch.NumClusters())
+	cost.Iterations = float64(iterations)
+	// Price slow clusters below fast ones so the partitioner prefers
+	// them for non-critical work even without a full calibration.
+	fastest := cfg.Clock.MinPeriod[cfg.Clock.FastestCluster(cfg.Arch)]
+	for c := 0; c < cfg.Arch.NumClusters(); c++ {
+		r := float64(fastest) / float64(cfg.Clock.MinPeriod[c])
+		cost.DeltaCluster[c] = r * r
+	}
+	res, err := core.ScheduleLoop(g, cfg, cost, core.Options{
+		Partition: partition.Options{EnergyAware: true},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Schedule, nil
+}
+
+// Simulate validates the schedule and executes n iterations on the
+// multi-clock-domain machine model, returning execution time and the
+// energy-model event counts.
+func Simulate(s *KernelSchedule, n int64) (*SimResult, error) {
+	return sim.Run(s, n, sim.DefaultGenPeriod)
+}
+
+// FormatSchedule renders a kernel schedule for humans.
+func FormatSchedule(s *KernelSchedule) string { return s.Format() }
+
+// AllocateRegisters assigns physical (rotating-file style) registers to
+// the kernel's values and verifies the assignment.
+func AllocateRegisters(s *KernelSchedule) (*RegisterAssignment, error) {
+	return regalloc.Allocate(s)
+}
+
+// EmitAssembly lowers a scheduled, register-allocated kernel to the
+// distributed per-cluster code layout of the paper's Figure 1(b).
+func EmitAssembly(s *KernelSchedule, a *RegisterAssignment) (string, error) {
+	p, err := emit.Lower(s, a)
+	if err != nil {
+		return "", err
+	}
+	return p.DistributedLayout(), nil
+}
+
+// Unroll replicates the loop body, rewiring loop-carried dependences —
+// the paper's mitigation for synchronization-forced IT increases.
+func Unroll(g *Graph, factor int) (*Graph, error) { return ddg.Unroll(g, factor) }
+
+// BenchmarkNames lists the SPECfp2000-like corpus benchmarks.
+func BenchmarkNames() []string { return loopgen.Names() }
+
+// GenerateBenchmark builds the named benchmark's synthetic loop corpus.
+func GenerateBenchmark(name string, loops int) (Benchmark, error) {
+	return loopgen.Generate(name, loops)
+}
+
+// RunBenchmark runs the paper's full per-benchmark evaluation: reference
+// homogeneous profiling, calibration, configuration selection,
+// heterogeneous scheduling and ED² comparison.
+func RunBenchmark(name string, opts PipelineOptions) (*BenchmarkResult, error) {
+	return pipeline.RunBenchmark(name, opts)
+}

@@ -1,0 +1,113 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildAccumLoop() *Graph {
+	g := NewGraph("acc")
+	addr := g.AddOp(IntAdd, "addr++")
+	g.AddDep(addr, addr, 1)
+	ld := g.AddOp(Load, "ld")
+	g.AddDep(addr, ld, 0)
+	acc := g.AddOp(FPAdd, "acc+")
+	g.AddDep(ld, acc, 0)
+	g.AddDep(acc, acc, 1)
+	st := g.AddOp(Store, "st")
+	g.AddDep(acc, st, 0)
+	return g
+}
+
+func TestFacadeScheduleSimulate(t *testing.T) {
+	g := buildAccumLoop()
+	cfg := HeterogeneousMachine(1, 900, 1350, 1)
+	s, err := Schedule(g, cfg, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The FP accumulation (recMII 3) cannot live in a slow cluster at the
+	// minimum IT (2700 ps → slow II 2 < 3): it must be in cluster 0
+	// whenever the schedule closed at MIT.
+	if s.IT == 2700 && s.Assign[2] != 0 {
+		t.Errorf("critical accumulation in cluster %d at MIT", s.Assign[2])
+	}
+	out := FormatSchedule(s)
+	if !strings.Contains(out, "cluster C1") || !strings.Contains(out, "acc+") {
+		t.Errorf("schedule listing broken:\n%s", out)
+	}
+	res, err := Simulate(s, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Texec <= 0 || res.Counts.MemAccesses != 200 {
+		t.Errorf("simulation: Texec=%v mem=%g", res.Texec, res.Counts.MemAccesses)
+	}
+}
+
+func TestFacadeRegistersAndAssembly(t *testing.T) {
+	g := buildAccumLoop()
+	cfg := HeterogeneousMachine(1, 900, 1350, 1)
+	s, err := Schedule(g, cfg, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs, err := AllocateRegisters(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm, err := EmitAssembly(s, regs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{".cluster C1", "fp.alu", "load"} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("assembly missing %q:\n%s", want, asm)
+		}
+	}
+}
+
+func TestFacadeUnroll(t *testing.T) {
+	g := buildAccumLoop()
+	u, err := Unroll(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumOps() != 2*g.NumOps() {
+		t.Error("unroll factor not applied")
+	}
+}
+
+func TestFacadeCorpus(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) != 10 {
+		t.Fatalf("want 10 benchmarks, got %d", len(names))
+	}
+	b, err := GenerateBenchmark("swim", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Loops) == 0 {
+		t.Fatal("no loops generated")
+	}
+}
+
+func TestFacadePipeline(t *testing.T) {
+	r, err := RunBenchmark("sixtrack", PipelineOptions{LoopsPerBenchmark: 6, EnergyAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ED2Ratio <= 0 || r.ED2Ratio > 1.2 {
+		t.Errorf("implausible ED2 ratio %.3f", r.ED2Ratio)
+	}
+}
+
+func TestFacadeReferenceMachine(t *testing.T) {
+	cfg := ReferenceMachine(2)
+	if cfg.Arch.Buses != 2 || cfg.Arch.NumClusters() != 4 {
+		t.Error("reference machine misconfigured")
+	}
+	if !cfg.Clock.IsHomogeneous(cfg.Arch) {
+		t.Error("reference machine must be homogeneous")
+	}
+}

@@ -1,0 +1,300 @@
+// Package clock models the multi-clock-domain (MCD) timing fabric of the
+// heterogeneous clustered VLIW microarchitecture (Section 2.1 of the paper).
+//
+// Every clock domain (each cluster, the inter-cluster network, the cache)
+// has a maximum frequency determined by its supply voltage. For a modulo
+// scheduled loop with initiation time IT, a domain X does not run at its
+// maximum frequency: it is assigned an integer initiation interval
+// II_X = floor(IT * fmax_X) and its clock is fine-tuned down to
+// f_X = II_X / IT so that exactly II_X of its cycles fit in one IT
+// (Section 4). When the hardware supports only a discrete set of
+// frequencies, IT must additionally be an exact multiple of a supported
+// period of every domain; if no such pairing exists the IT is increased —
+// the paper calls this "increasing the IT due to synchronization problems".
+//
+// All times are integer picoseconds, so the arithmetic is exact.
+package clock
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Picos is a duration or clock period in integer picoseconds.
+type Picos int64
+
+// PS constructs a Picos value from an integer picosecond count.
+func PS(v int64) Picos { return Picos(v) }
+
+// Nanos returns the duration in (floating point) nanoseconds.
+func (p Picos) Nanos() float64 { return float64(p) / 1000.0 }
+
+// Seconds returns the duration in seconds.
+func (p Picos) Seconds() float64 { return float64(p) * 1e-12 }
+
+// GHz returns the frequency, in GHz, of a clock with period p.
+func (p Picos) GHz() float64 {
+	if p <= 0 {
+		return 0
+	}
+	return 1000.0 / float64(p)
+}
+
+// String formats the duration in nanoseconds.
+func (p Picos) String() string { return fmt.Sprintf("%.3fns", p.Nanos()) }
+
+// FreqSet is the set of clock periods a domain's clock generator can
+// produce. A nil/empty FreqSet means the generator is unconstrained
+// ("any frequency", the paper's reference assumption); otherwise only the
+// listed periods are available (Figure 7 sensitivity study).
+type FreqSet struct {
+	// periods, ascending, in picoseconds. Empty means unconstrained.
+	periods []Picos
+}
+
+// AnyFrequency is the unconstrained frequency set.
+var AnyFrequency = &FreqSet{}
+
+// NewFreqSet builds a frequency set from the given periods (deduplicated,
+// sorted ascending). Periods must be positive.
+func NewFreqSet(periods ...Picos) (*FreqSet, error) {
+	seen := make(map[Picos]bool, len(periods))
+	out := make([]Picos, 0, len(periods))
+	for _, p := range periods {
+		if p <= 0 {
+			return nil, fmt.Errorf("clock: invalid period %d ps", int64(p))
+		}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return &FreqSet{periods: out}, nil
+}
+
+// GeneratedSet models the divider/multiplier clock-generation network of
+// Figure 2: starting from a generator clock of period gen, it produces n
+// periods evenly spread over [lo, hi], each snapped to an integer multiple
+// of gen. This mirrors the paper's hardware, which derives a limited number
+// of frequencies from a general clock signal.
+func GeneratedSet(gen, lo, hi Picos, n int) (*FreqSet, error) {
+	if gen <= 0 || lo <= 0 || hi < lo || n < 1 {
+		return nil, fmt.Errorf("clock: invalid generated set (gen=%v lo=%v hi=%v n=%d)", gen, lo, hi, n)
+	}
+	periods := make([]Picos, 0, n)
+	if n == 1 {
+		periods = append(periods, snap(lo, gen))
+	} else {
+		for i := 0; i < n; i++ {
+			p := lo + Picos(int64(i)*int64(hi-lo)/int64(n-1))
+			periods = append(periods, snap(p, gen))
+		}
+	}
+	return NewFreqSet(periods...)
+}
+
+func snap(p, gen Picos) Picos {
+	k := (int64(p) + int64(gen)/2) / int64(gen)
+	if k < 1 {
+		k = 1
+	}
+	return Picos(k * int64(gen))
+}
+
+// DefaultGenGranularity is the granularity of the divider-generated clock
+// network: every supported period is a multiple of this generator step,
+// which is what lets different domains find a common initiation time (the
+// paper: "we only support frequencies that allow for synchronization").
+const DefaultGenGranularity = Picos(25)
+
+// LadderSet builds a domain's supported-frequency ladder: n periods
+// starting at the domain's minimum period (snapped up to the generator
+// granularity) and spanning `span` (fractional, e.g. 0.6 = up to 1.6× the
+// period), each a multiple of the granularity. The first rung sits as
+// close as possible to the design frequency, so a small n costs only a
+// slight frequency reduction plus occasional synchronization IT growth.
+func LadderSet(minPeriod Picos, span float64, n int, gran Picos) (*FreqSet, error) {
+	if minPeriod <= 0 || n < 1 || gran <= 0 || span <= 0 {
+		return nil, fmt.Errorf("clock: invalid ladder (min=%v span=%g n=%d gran=%v)", minPeriod, span, n, gran)
+	}
+	snapUp := func(p Picos) Picos {
+		k := (int64(p) + int64(gran) - 1) / int64(gran)
+		return Picos(k * int64(gran))
+	}
+	rungs := make([]Picos, 0, n)
+	for j := 0; j < n; j++ {
+		p := float64(minPeriod) * (1 + span*float64(j)/float64(n))
+		rungs = append(rungs, snapUp(Picos(int64(p))))
+	}
+	return NewFreqSet(rungs...)
+}
+
+// Unconstrained reports whether the set allows any frequency.
+func (s *FreqSet) Unconstrained() bool { return s == nil || len(s.periods) == 0 }
+
+// Periods returns the supported periods (ascending). Nil if unconstrained.
+func (s *FreqSet) Periods() []Picos {
+	if s.Unconstrained() {
+		return nil
+	}
+	out := make([]Picos, len(s.periods))
+	copy(out, s.periods)
+	return out
+}
+
+// Len returns the number of supported periods (0 = unconstrained).
+func (s *FreqSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.periods)
+}
+
+// Pair is a (frequency, II) assignment for one clock domain: during the
+// loop the domain completes II cycles in every IT, i.e. it runs with an
+// effective period of IT/II (≥ the domain's minimum period MinPeriod).
+type Pair struct {
+	// II is the domain's initiation interval in its own cycles. II ≥ 1
+	// for domains that execute work; a domain with no work may have II=0
+	// only if nothing is scheduled on it.
+	II int
+	// Period is the supported generator period used, or 0 when the
+	// frequency is unconstrained (effective period is exactly IT/II).
+	Period Picos
+}
+
+// EffectivePeriodNanos returns the domain's effective cycle time in ns for
+// the given IT.
+func (p Pair) EffectivePeriodNanos(it Picos) float64 {
+	if p.II <= 0 {
+		return 0
+	}
+	return it.Nanos() / float64(p.II)
+}
+
+// SelectPair chooses the (frequency, II) pair for a domain with minimum
+// period minPeriod (i.e. maximum frequency 1/minPeriod) at initiation time
+// it, under frequency set fs.
+//
+// Unconstrained: II = floor(it/minPeriod); ok if II ≥ 1.
+// Constrained: the best supported period τ ∈ fs with τ ≥ minPeriod that
+// divides it exactly; II = it/τ maximal (smallest such τ). Returns ok=false
+// when no supported period both respects the voltage limit and divides it —
+// the caller must then increase the IT (synchronization problem).
+func SelectPair(it, minPeriod Picos, fs *FreqSet) (Pair, bool) {
+	if it <= 0 || minPeriod <= 0 {
+		return Pair{}, false
+	}
+	if fs.Unconstrained() {
+		ii := int(int64(it) / int64(minPeriod))
+		if ii < 1 {
+			return Pair{}, false
+		}
+		return Pair{II: ii}, true
+	}
+	for _, tau := range fs.periods { // ascending: first hit maximizes II
+		if tau < minPeriod {
+			continue
+		}
+		if int64(it)%int64(tau) == 0 {
+			return Pair{II: int(int64(it) / int64(tau)), Period: tau}, true
+		}
+	}
+	return Pair{}, false
+}
+
+// NextFeasibleIT returns the smallest IT ≥ minIT for which every domain i
+// admits a (frequency, II) pair: SelectPair(IT, minPeriods[i], sets[i]) ok.
+// maxIT bounds the search. Returns ok=false if none exists within bounds.
+//
+// With unconstrained sets the answer is minIT rounded up so that the
+// fastest domain fits at least one cycle. With constrained sets this
+// searches the merged multiples of the supported periods, reproducing the
+// paper's IT increases due to synchronization.
+func NextFeasibleIT(minIT, maxIT Picos, minPeriods []Picos, sets []*FreqSet) (Picos, bool) {
+	if len(minPeriods) == 0 || len(minPeriods) != len(sets) {
+		return 0, false
+	}
+	allUnconstrained := true
+	for _, s := range sets {
+		if !s.Unconstrained() {
+			allUnconstrained = false
+			break
+		}
+	}
+	if allUnconstrained {
+		it := minIT
+		for _, mp := range minPeriods {
+			if mp > it { // fastest domain must fit ≥ 1 cycle
+				it = mp
+			}
+		}
+		if it > maxIT {
+			return 0, false
+		}
+		return it, true
+	}
+	// Candidate ITs are multiples of supported periods of the most
+	// constrained domain; intersect with feasibility of all others.
+	// Pick the domain with the fewest candidate multiples to enumerate.
+	best := -1
+	for i, s := range sets {
+		if s.Unconstrained() {
+			continue
+		}
+		if best == -1 || len(s.periods) < len(sets[best].periods) {
+			best = i
+		}
+	}
+	cands := candidateITs(minIT, maxIT, minPeriods[best], sets[best])
+	for _, it := range cands {
+		ok := true
+		for i := range sets {
+			if _, o := SelectPair(it, minPeriods[i], sets[i]); !o {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return it, true
+		}
+	}
+	return 0, false
+}
+
+// candidateITs enumerates, ascending and deduplicated, all IT ∈ [minIT,
+// maxIT] that are an exact multiple of some supported period ≥ minPeriod.
+func candidateITs(minIT, maxIT, minPeriod Picos, fs *FreqSet) []Picos {
+	var out []Picos
+	for _, tau := range fs.periods {
+		if tau < minPeriod {
+			continue
+		}
+		k := (int64(minIT) + int64(tau) - 1) / int64(tau)
+		if k < 1 {
+			k = 1
+		}
+		for it := Picos(k * int64(tau)); it <= maxIT; it += tau {
+			out = append(out, it)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// dedupe
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// StartupSync models the enable-signal synchronization protocol of
+// Figure 2: before a loop starts, all domain clocks are gated, the
+// enable_all signal is raised on a general clock edge, the synchronized
+// signal needs one general-clock cycle to stabilize, and individual
+// enables are raised one cycle later. The loop therefore pays two general
+// clock cycles of startup latency.
+func StartupSync(genPeriod Picos) Picos { return 2 * genPeriod }

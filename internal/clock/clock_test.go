@@ -1,0 +1,210 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPicosConversions(t *testing.T) {
+	p := PS(1000)
+	if p.Nanos() != 1.0 {
+		t.Errorf("1000ps = %g ns, want 1", p.Nanos())
+	}
+	if p.GHz() != 1.0 {
+		t.Errorf("1000ps = %g GHz, want 1", p.GHz())
+	}
+	if p.Seconds() != 1e-9 {
+		t.Errorf("1000ps = %g s, want 1e-9", p.Seconds())
+	}
+	if PS(0).GHz() != 0 {
+		t.Error("zero period should report zero frequency")
+	}
+	if PS(1500).String() != "1.500ns" {
+		t.Errorf("String = %q", PS(1500).String())
+	}
+}
+
+// TestSelectPairUnconstrained checks the paper's II_X = floor(IT·fmax_X)
+// rule, including the Figure 3 example: IT = 3ns, clusters at 1ns and
+// 1.5ns → II of 3 and 2.
+func TestSelectPairUnconstrained(t *testing.T) {
+	p, ok := SelectPair(PS(3000), PS(1000), AnyFrequency)
+	if !ok || p.II != 3 {
+		t.Fatalf("C1: got (%+v,%v), want II=3", p, ok)
+	}
+	p, ok = SelectPair(PS(3000), PS(1500), AnyFrequency)
+	if !ok || p.II != 2 {
+		t.Fatalf("C2: got (%+v,%v), want II=2", p, ok)
+	}
+	// Figure 4: IT=3.33ns on 1ns/1.67ns clusters → II 3 and 1 by the
+	// floor rule (3330/1670 = 1.99…, frequency tuned down).
+	p, _ = SelectPair(PS(3330), PS(1000), AnyFrequency)
+	if p.II != 3 {
+		t.Errorf("fig4 C1 II = %d, want 3", p.II)
+	}
+	// IT smaller than the period: no whole cycle fits.
+	if _, ok := SelectPair(PS(500), PS(1000), AnyFrequency); ok {
+		t.Error("IT < period must be infeasible")
+	}
+	if _, ok := SelectPair(PS(0), PS(1000), AnyFrequency); ok {
+		t.Error("IT = 0 must be infeasible")
+	}
+}
+
+func TestSelectPairConstrained(t *testing.T) {
+	fs, err := NewFreqSet(PS(1000), PS(1250), PS(1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IT=3000 divisible by 1000 and 1500 but not 1250. minPeriod 1000
+	// should pick 1000 (max frequency).
+	p, ok := SelectPair(PS(3000), PS(1000), fs)
+	if !ok || p.Period != PS(1000) || p.II != 3 {
+		t.Fatalf("got %+v ok=%v, want period 1000, II 3", p, ok)
+	}
+	// With minPeriod 1200, τ=1000 is too fast for the voltage: pick 1500.
+	p, ok = SelectPair(PS(3000), PS(1200), fs)
+	if !ok || p.Period != PS(1500) || p.II != 2 {
+		t.Fatalf("got %+v ok=%v, want period 1500, II 2", p, ok)
+	}
+	// IT=3100 is divisible by no supported period: synchronization problem.
+	if _, ok := SelectPair(PS(3100), PS(1000), fs); ok {
+		t.Error("expected sync failure for IT=3100")
+	}
+}
+
+func TestNewFreqSetValidation(t *testing.T) {
+	if _, err := NewFreqSet(PS(0)); err == nil {
+		t.Error("zero period must be rejected")
+	}
+	fs, err := NewFreqSet(PS(1500), PS(1000), PS(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fs.Periods()
+	if len(got) != 2 || got[0] != PS(1000) || got[1] != PS(1500) {
+		t.Errorf("Periods = %v, want sorted dedup [1000 1500]", got)
+	}
+	if fs.Len() != 2 {
+		t.Errorf("Len = %d", fs.Len())
+	}
+	if AnyFrequency.Periods() != nil {
+		t.Error("unconstrained set should have nil periods")
+	}
+}
+
+func TestGeneratedSet(t *testing.T) {
+	fs, err := GeneratedSet(PS(50), PS(900), PS(1650), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := fs.Periods()
+	if len(ps) != 16 {
+		t.Fatalf("want 16 periods, got %d (%v)", len(ps), ps)
+	}
+	for _, p := range ps {
+		if int64(p)%50 != 0 {
+			t.Errorf("period %v is not a multiple of the generator period", p)
+		}
+		if p < PS(900) || p > PS(1650) {
+			t.Errorf("period %v out of range", p)
+		}
+	}
+	if _, err := GeneratedSet(PS(0), PS(900), PS(1650), 4); err == nil {
+		t.Error("invalid generator period must be rejected")
+	}
+	one, err := GeneratedSet(PS(100), PS(900), PS(1650), 1)
+	if err != nil || one.Len() != 1 {
+		t.Errorf("n=1 set: %v, err %v", one.Periods(), err)
+	}
+}
+
+func TestNextFeasibleITUnconstrained(t *testing.T) {
+	mp := []Picos{PS(1000), PS(1330), PS(1000), PS(1000)}
+	sets := []*FreqSet{nil, nil, nil, nil}
+	it, ok := NextFeasibleIT(PS(4000), PS(100000), mp, sets)
+	if !ok || it != PS(4000) {
+		t.Fatalf("got %v ok=%v, want 4000", it, ok)
+	}
+	// minIT below the fastest period snaps up to it.
+	it, ok = NextFeasibleIT(PS(500), PS(100000), mp, sets)
+	if !ok || it != PS(1330) {
+		t.Fatalf("got %v ok=%v, want 1330 (slowest domain needs one cycle)", it, ok)
+	}
+}
+
+func TestNextFeasibleITConstrained(t *testing.T) {
+	fs1, _ := NewFreqSet(PS(1000), PS(1500))
+	fs2, _ := NewFreqSet(PS(1250))
+	mp := []Picos{PS(1000), PS(1250)}
+	// IT must be a multiple of 1250 and of 1000 or 1500:
+	// multiples of 1250: 5000 is also 5×1000 → first feasible ≥ 4100 is 5000.
+	it, ok := NextFeasibleIT(PS(4100), PS(1000000), mp, []*FreqSet{fs1, fs2})
+	if !ok || it != PS(5000) {
+		t.Fatalf("got %v ok=%v, want 5000", it, ok)
+	}
+	// Infeasible within bounds.
+	if _, ok := NextFeasibleIT(PS(4100), PS(4500), mp, []*FreqSet{fs1, fs2}); ok {
+		t.Error("expected infeasible within tight bound")
+	}
+	// Mismatched input lengths.
+	if _, ok := NextFeasibleIT(PS(1), PS(10), mp, []*FreqSet{fs1}); ok {
+		t.Error("mismatched lengths must fail")
+	}
+}
+
+// TestNextFeasibleITMinimal property: the returned IT is feasible for all
+// domains and no smaller candidate ≥ minIT is feasible.
+func TestNextFeasibleITMinimal(t *testing.T) {
+	fs, _ := NewFreqSet(PS(900), PS(1200), PS(1350))
+	mp := []Picos{PS(900), PS(1100)}
+	sets := []*FreqSet{fs, fs}
+	f := func(raw uint16) bool {
+		minIT := Picos(int64(raw)%20000 + 1)
+		it, ok := NextFeasibleIT(minIT, PS(200000), mp, sets)
+		if !ok {
+			return false
+		}
+		if it < minIT {
+			return false
+		}
+		for i := range mp {
+			if _, o := SelectPair(it, mp[i], sets[i]); !o {
+				return false
+			}
+		}
+		// exhaustively check minimality on the 1ps grid
+		for cand := minIT; cand < it; cand++ {
+			good := true
+			for i := range mp {
+				if _, o := SelectPair(cand, mp[i], sets[i]); !o {
+					good = false
+					break
+				}
+			}
+			if good {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEffectivePeriodNanos(t *testing.T) {
+	p := Pair{II: 3}
+	if got := p.EffectivePeriodNanos(PS(3330)); got < 1.109 || got > 1.111 {
+		t.Errorf("effective period = %g, want ≈1.11", got)
+	}
+	if (Pair{}).EffectivePeriodNanos(PS(1000)) != 0 {
+		t.Error("II=0 should report 0 period")
+	}
+}
+
+func TestStartupSync(t *testing.T) {
+	if got := StartupSync(PS(100)); got != PS(200) {
+		t.Errorf("startup sync = %v, want 2 general cycles (200ps)", got)
+	}
+}

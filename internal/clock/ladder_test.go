@@ -1,0 +1,39 @@
+package clock
+
+import "testing"
+
+func TestLadderSet(t *testing.T) {
+	fs, err := LadderSet(PS(900), 0.6, 8, DefaultGenGranularity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := fs.Periods()
+	if len(ps) == 0 || len(ps) > 8 {
+		t.Fatalf("ladder has %d rungs", len(ps))
+	}
+	if ps[0] != PS(900) {
+		t.Errorf("first rung %v, want the design period 900ps", ps[0])
+	}
+	for _, p := range ps {
+		if int64(p)%int64(DefaultGenGranularity) != 0 {
+			t.Errorf("rung %v not a generator multiple", p)
+		}
+		if p < PS(900) {
+			t.Errorf("rung %v below the minimum period", p)
+		}
+	}
+	// Non-multiple design period snaps up.
+	fs2, err := LadderSet(PS(1197), 0.6, 4, DefaultGenGranularity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs2.Periods()[0] != PS(1200) {
+		t.Errorf("1197ps should snap to 1200ps, got %v", fs2.Periods()[0])
+	}
+	if _, err := LadderSet(PS(0), 0.6, 4, PS(25)); err == nil {
+		t.Error("invalid ladder parameters must fail")
+	}
+	if _, err := LadderSet(PS(900), 0, 4, PS(25)); err == nil {
+		t.Error("zero span must fail")
+	}
+}

@@ -1,0 +1,478 @@
+// Package confsel implements Section 3 of the paper: choosing the
+// frequencies and supply voltages of every component of the heterogeneous
+// microarchitecture at compile time, from profile data gathered on a
+// reference homogeneous run.
+//
+// Two selections are provided:
+//
+//   - OptimumHomogeneous sweeps a single chip-wide frequency/voltage and
+//     returns the homogeneous configuration minimizing estimated ED² —
+//     the paper's baseline (Section 5.1). Homogeneous schedules are
+//     invariant under frequency scaling (same cycles, scaled time), so
+//     this estimate is exact given the reference profile.
+//
+//   - SelectHeterogeneous explores the design space (number of fast
+//     clusters fixed at one in the paper; fast cycle-time factors; slow/
+//     fast ratios; per-component supply voltages) and picks the
+//     configuration minimizing estimated ED², using the Section 3.2
+//     execution-time model (per-loop IT bounds from recurrences, resource
+//     slots, bus slots, lifetime slots; it_length scaled by the mean
+//     cluster cycle time) and the Section 3.1 energy model.
+package confsel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/clock"
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mii"
+	"repro/internal/power"
+)
+
+// LoopProfile is the per-loop profile data gathered on the reference
+// homogeneous machine (Section 3: "we will first simulate program
+// execution in a reference homogeneous microarchitecture").
+type LoopProfile struct {
+	// Graph is the loop body (the estimator recomputes capacity bounds
+	// for candidate heterogeneous configurations from it).
+	Graph *ddg.Graph
+	// RecMII is the recurrence bound in cycles.
+	RecMII int
+	// InsUnits is the Table 1-weighted instruction energy per iteration.
+	InsUnits float64
+	// MemOps is the number of cache accesses per iteration.
+	MemOps int
+	// CommsHom is the bus communications per iteration in the reference
+	// schedule.
+	CommsHom int
+	// LifetimeCycles is the sum of value lifetimes per iteration in the
+	// reference schedule.
+	LifetimeCycles int
+	// IIHom and ItLenHomCycles are the reference kernel length and
+	// iteration length, in reference cycles. MIIHom is the reference
+	// machine's lower bound; IIHom/MIIHom measures how much slack the
+	// scheduler needed beyond the bound (register pressure, bus
+	// conflicts), which the estimator carries over to heterogeneous
+	// candidates.
+	IIHom, ItLenHomCycles, MIIHom int
+	// Iterations is the loop's average trip count; Weight its invocation
+	// weight.
+	Iterations int64
+	Weight     float64
+	// Recs summarizes the loop's recurrences, most critical first: the
+	// selection model places instructions of recurrences that slow
+	// clusters cannot host into the fast clusters and everything else
+	// into the slow ones, mirroring the scheduler's placement policy.
+	Recs []RecSummary
+}
+
+// RecSummary is one recurrence of a loop as the selection model sees it.
+type RecSummary struct {
+	// RecMII is the recurrence's minimum II in cycles.
+	RecMII int
+	// Ops is the number of operations in the recurrence.
+	Ops int
+	// Units is the Table 1-weighted energy of those operations.
+	Units float64
+}
+
+// Profile aggregates a benchmark's reference run.
+type Profile struct {
+	Name  string
+	Loops []LoopProfile
+	// RefCounts are the weighted event counts of the reference run
+	// (used for calibration and for scaling homogeneous estimates).
+	RefCounts power.RunCounts
+}
+
+// Space is the explored design space (Section 5 defaults).
+type Space struct {
+	// FastFactors scale the reference cycle time for the fast cluster.
+	FastFactors []float64
+	// SlowRatios scale the fast cycle time for the slow clusters.
+	SlowRatios []float64
+	// NumFast is the number of performance-oriented clusters.
+	NumFast int
+	// Voltage ranges per component kind and the sweep step.
+	ClusterVdd, ICNVdd, CacheVdd [2]float64
+	VddStep                      float64
+	// HomFactors scale the reference cycle time for the homogeneous
+	// baseline sweep.
+	HomFactors []float64
+}
+
+// DefaultSpace returns the paper's design space: fast cycle times
+// {0.9, 0.95, 1, 1.05, 1.1}× reference, slow/fast ratios
+// {1, 1.25, 1.33, 1.5}, one fast cluster, cluster voltages 0.7–1.2 V,
+// ICN 0.8–1.1 V, cache 1.0–1.4 V.
+func DefaultSpace() Space {
+	homs := []float64{}
+	for f := 0.80; f <= 1.50001; f += 0.05 {
+		homs = append(homs, f)
+	}
+	return Space{
+		FastFactors: []float64{0.90, 0.95, 1.00, 1.05, 1.10},
+		SlowRatios:  []float64{1.00, 1.25, 1.33, 1.50},
+		NumFast:     1,
+		ClusterVdd:  [2]float64{0.70, 1.20},
+		ICNVdd:      [2]float64{0.80, 1.10},
+		CacheVdd:    [2]float64{1.00, 1.40},
+		VddStep:     0.025,
+		HomFactors:  homs,
+	}
+}
+
+// Estimate is a model-predicted configuration outcome.
+type Estimate struct {
+	// Seconds is the estimated execution time D.
+	Seconds float64
+	// Energy is the estimated energy E.
+	Energy float64
+	// ED2 = E·D².
+	ED2 float64
+}
+
+// BuildHetClocking constructs the clock assignment of a heterogeneous
+// candidate: numFast clusters at fastPeriod, the rest at slowPeriod, the
+// ICN and the cache at the fast period (Section 5: cache and bus
+// frequencies track the fastest cluster). Voltages are left at the
+// reference value; callers optimize them with OptimizeVoltages.
+func BuildHetClocking(arch *machine.Arch, fastPeriod, slowPeriod clock.Picos, numFast int) *machine.Clocking {
+	clk := machine.NewClocking(arch, slowPeriod, machine.ReferenceVdd)
+	for c := 0; c < numFast && c < arch.NumClusters(); c++ {
+		clk.MinPeriod[c] = fastPeriod
+	}
+	clk.MinPeriod[arch.ICN()] = fastPeriod
+	clk.MinPeriod[arch.Cache()] = fastPeriod
+	return clk
+}
+
+// estimateD implements the Section 3.2 execution-time model for one
+// configuration: per loop, the smallest IT that satisfies the MIT of the
+// heterogeneous design, offers enough bus slots for the homogeneous
+// schedule's communications and enough register slots for its lifetimes;
+// it_length is the homogeneous iteration length scaled by the mean cluster
+// cycle time.
+func estimateD(arch *machine.Arch, clk *machine.Clocking, prof *Profile) (float64, error) {
+	meanTau := clk.MeanClusterPeriodNanos(arch) * 1000 // ps
+	total := 0.0
+	for i := range prof.Loops {
+		lp := &prof.Loops[i]
+		plain, err := mii.Compute(lp.Graph, arch, clk, nil)
+		if err != nil {
+			return 0, err
+		}
+		demand, err := mii.Compute(lp.Graph, arch, clk, &mii.Demand{
+			Comms:          lp.CommsHom,
+			LifetimeCycles: lp.LifetimeCycles,
+			LifetimePeriod: clock.Picos(int64(meanTau)),
+		})
+		if err != nil {
+			return 0, err
+		}
+		// Scheduler-slack correction: the reference run needed
+		// IIHom/MIIHom of its lower bound; assume the same relative slack
+		// on the candidate's plain MIT (the demand bounds already absorb
+		// the lifetime/communication part of that slack, so take the
+		// max rather than compounding). For a uniform-frequency candidate
+		// this makes the estimate exact, since schedules are frequency
+		// invariant.
+		itEst := float64(plain.MIT)
+		if lp.MIIHom > 0 && lp.IIHom > lp.MIIHom {
+			itEst *= float64(lp.IIHom) / float64(lp.MIIHom)
+		}
+		if d := float64(demand.MIT); d > itEst {
+			itEst = d
+		}
+		itLen := float64(lp.ItLenHomCycles) * meanTau // ps
+		t := itEst*float64(lp.Iterations-1) + itLen
+		total += t * 1e-12 * lp.Weight
+	}
+	return total, nil
+}
+
+// loopShares estimates the probability p_Ci that an instruction of this
+// loop executes in cluster i (Section 3.1.3), mirroring the scheduler's
+// policy: operations of recurrences that the slow clusters cannot host at
+// this IT go to the fast clusters; the remaining operations go to the
+// slow, low-power clusters up to their slot capacity (spill returns to the
+// fast clusters); within a group, distribution is II proportional.
+func loopShares(arch *machine.Arch, clk *machine.Clocking, lp *LoopProfile, it clock.Picos) []float64 {
+	nc := arch.NumClusters()
+	ii := make([]float64, nc)
+	fastest := clk.MinPeriod[clk.FastestCluster(arch)]
+	sumAll, sumFast, sumSlow := 0.0, 0.0, 0.0
+	minSlowII := math.Inf(1)
+	for c := 0; c < nc; c++ {
+		ii[c] = float64(int64(it) / int64(clk.MinPeriod[c]))
+		sumAll += ii[c]
+		if clk.MinPeriod[c] == fastest {
+			sumFast += ii[c]
+		} else {
+			sumSlow += ii[c]
+			if ii[c] < minSlowII {
+				minSlowII = ii[c]
+			}
+		}
+	}
+	shares := make([]float64, nc)
+	if sumAll == 0 {
+		for c := range shares {
+			shares[c] = 1.0 / float64(nc)
+		}
+		return shares
+	}
+	if sumSlow == 0 {
+		// Uniform configuration: II proportional across all clusters.
+		for c := 0; c < nc; c++ {
+			shares[c] = ii[c] / sumAll
+		}
+		return shares
+	}
+	// Units pinned to fast clusters: recurrences too long for slow IIs.
+	critUnits, critOps := 0.0, 0
+	for _, r := range lp.Recs {
+		if float64(r.RecMII) > minSlowII {
+			critUnits += r.Units
+			critOps += r.Ops
+		}
+	}
+	total := lp.InsUnits
+	if critUnits > total {
+		critUnits = total
+	}
+	// Slot capacity of the slow clusters bounds how much of the remaining
+	// work they can absorb.
+	uses := lp.Graph.CountByResource()
+	slowCapOps := 0
+	totalOps := lp.Graph.NumOps()
+	for r := range uses {
+		if uses[r] == 0 || isa.Resource(r) == isa.ResBus {
+			continue
+		}
+		cap := 0
+		for c := 0; c < nc; c++ {
+			if clk.MinPeriod[c] != fastest {
+				cap += int(ii[c]) * arch.Clusters[c].FUCount(isa.Resource(r))
+			}
+		}
+		if uses[r] < cap {
+			cap = uses[r]
+		}
+		slowCapOps += cap
+	}
+	nonCritOps := totalOps - critOps
+	nonCritUnits := total - critUnits
+	slowUnits := nonCritUnits
+	if nonCritOps > 0 && slowCapOps < nonCritOps {
+		slowUnits = nonCritUnits * float64(slowCapOps) / float64(nonCritOps)
+	}
+	fastUnits := total - slowUnits
+	for c := 0; c < nc; c++ {
+		if clk.MinPeriod[c] == fastest {
+			shares[c] = fastUnits / total * ii[c] / sumFast
+		} else {
+			shares[c] = slowUnits / total * ii[c] / sumSlow
+		}
+	}
+	return shares
+}
+
+// domainLoads aggregates the dynamic energy units assigned to each domain
+// under the recurrence-aware instruction distribution, for voltage
+// optimization: loads[c] for clusters (instruction units), the ICN's
+// communication count and the cache's access count are returned
+// separately.
+func domainLoads(arch *machine.Arch, clk *machine.Clocking, prof *Profile) (clusterUnits []float64, comms, mems float64, err error) {
+	clusterUnits = make([]float64, arch.NumClusters())
+	for i := range prof.Loops {
+		lp := &prof.Loops[i]
+		res, cerr := mii.Compute(lp.Graph, arch, clk, nil)
+		if cerr != nil {
+			return nil, 0, 0, cerr
+		}
+		shares := loopShares(arch, clk, lp, res.MIT)
+		w := lp.Weight * float64(lp.Iterations)
+		for c := range shares {
+			clusterUnits[c] += lp.InsUnits * shares[c] * w
+		}
+		comms += float64(lp.CommsHom) * w
+		mems += float64(lp.MemOps) * w
+	}
+	return clusterUnits, comms, mems, nil
+}
+
+// OptimizeVoltages picks, independently per domain (the energy is
+// separable once frequencies fix D), the supply voltage in the legal range
+// minimizing that domain's estimated energy dyn·δ(V) + stat·σ(V, Vth(f,V)).
+// It mutates clk.Vdd and returns the resulting per-domain scale factors.
+func OptimizeVoltages(arch *machine.Arch, clk *machine.Clocking, model *power.AlphaModel,
+	cal *power.Calibration, space Space, clusterDyn []float64, commDyn, memDyn, dSeconds float64) (*power.DomainScale, error) {
+
+	ds := &power.DomainScale{
+		Delta: make([]float64, arch.NumDomains()),
+		Sigma: make([]float64, arch.NumDomains()),
+	}
+	pick := func(d machine.DomainID, dyn, statRate float64, lo, hi float64) error {
+		bestV, bestE := 0.0, math.Inf(1)
+		var bestDelta, bestSigma float64
+		for v := lo; v <= hi+1e-9; v += space.VddStep {
+			vth, err := model.VthForPeriod(clk.MinPeriod[d], v)
+			if err != nil {
+				continue // frequency unreachable at this voltage
+			}
+			delta := model.Delta(v)
+			sigma := model.Sigma(v, vth)
+			e := dyn*delta + statRate*dSeconds*sigma
+			if e < bestE {
+				bestV, bestE = v, e
+				bestDelta, bestSigma = delta, sigma
+			}
+		}
+		if math.IsInf(bestE, 1) {
+			return fmt.Errorf("confsel: domain %s cannot reach %v within [%g, %g] V",
+				arch.DomainName(d), clk.MinPeriod[d], lo, hi)
+		}
+		clk.Vdd[d] = bestV
+		ds.Delta[d] = bestDelta
+		ds.Sigma[d] = bestSigma
+		return nil
+	}
+	for c := 0; c < arch.NumClusters(); c++ {
+		if err := pick(machine.DomainID(c), clusterDyn[c]*cal.EIns, cal.StatCluster,
+			space.ClusterVdd[0], space.ClusterVdd[1]); err != nil {
+			return nil, err
+		}
+	}
+	if err := pick(arch.ICN(), commDyn*cal.EComm, cal.StatICN,
+		space.ICNVdd[0], space.ICNVdd[1]); err != nil {
+		return nil, err
+	}
+	if err := pick(arch.Cache(), memDyn*cal.EAccess, cal.StatCache,
+		space.CacheVdd[0], space.CacheVdd[1]); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// estimateE prices the configuration with the Section 3.1.3 equation.
+func estimateE(arch *machine.Arch, cal *power.Calibration, ds *power.DomainScale,
+	clusterUnits []float64, comms, mems, dSeconds float64) float64 {
+	run := power.RunCounts{
+		InsUnits:    clusterUnits,
+		Comms:       comms,
+		MemAccesses: mems,
+		Seconds:     dSeconds,
+	}
+	return cal.Energy(arch, run, ds)
+}
+
+// Selection is a chosen configuration with its model estimates.
+type Selection struct {
+	Clock    *machine.Clocking
+	Scales   *power.DomainScale
+	Estimate Estimate
+	// FastPeriod/SlowPeriod document the chosen design point (equal for
+	// homogeneous selections).
+	FastPeriod, SlowPeriod clock.Picos
+}
+
+// SelectHeterogeneous explores the design space and returns the candidate
+// minimizing estimated ED².
+func SelectHeterogeneous(arch *machine.Arch, prof *Profile, cal *power.Calibration,
+	model *power.AlphaModel, space Space) (*Selection, error) {
+	var best *Selection
+	for _, ff := range space.FastFactors {
+		fast := clock.Picos(math.Round(ff * float64(machine.ReferencePeriod)))
+		for _, sr := range space.SlowRatios {
+			slow := clock.Picos(math.Round(float64(fast) * sr))
+			clk := BuildHetClocking(arch, fast, slow, space.NumFast)
+			d, err := estimateD(arch, clk, prof)
+			if err != nil {
+				continue // infeasible candidate (e.g. resource starvation)
+			}
+			clusterUnits, comms, mems, err := domainLoads(arch, clk, prof)
+			if err != nil {
+				continue
+			}
+			ds, err := OptimizeVoltages(arch, clk, model, cal, space, clusterUnits, comms, mems, d)
+			if err != nil {
+				continue
+			}
+			e := estimateE(arch, cal, ds, clusterUnits, comms, mems, d)
+			ed2 := power.ED2(e, d)
+			if best == nil || ed2 < best.Estimate.ED2 {
+				best = &Selection{
+					Clock:      clk,
+					Scales:     ds,
+					Estimate:   Estimate{Seconds: d, Energy: e, ED2: ed2},
+					FastPeriod: fast,
+					SlowPeriod: slow,
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("confsel: no feasible heterogeneous configuration for %s", prof.Name)
+	}
+	return best, nil
+}
+
+// OptimumHomogeneous sweeps a single chip-wide frequency AND a single
+// chip-wide supply voltage — the paper's homogeneous design, "where the
+// whole processor is working at the same frequency and voltage" — and
+// returns the configuration minimizing ED². Homogeneous schedules are
+// frequency invariant, so D scales exactly with the cycle time and the
+// reference per-cluster instruction counts apply.
+func OptimumHomogeneous(arch *machine.Arch, prof *Profile, cal *power.Calibration,
+	model *power.AlphaModel, space Space) (*Selection, error) {
+
+	// Reference cycle totals: D(τ) = refSeconds · τ/τ0.
+	refSeconds := prof.RefCounts.Seconds
+	var best *Selection
+	for _, hf := range space.HomFactors {
+		tau := clock.Picos(math.Round(hf * float64(machine.ReferencePeriod)))
+		d := refSeconds * float64(tau) / float64(machine.ReferencePeriod)
+		clusterUnits := append([]float64(nil), prof.RefCounts.InsUnits...)
+		for v := space.ClusterVdd[0]; v <= space.ClusterVdd[1]+1e-9; v += space.VddStep {
+			vth, err := model.VthForPeriod(tau, v)
+			if err != nil {
+				continue // frequency unreachable at this chip voltage
+			}
+			delta := model.Delta(v)
+			sigma := model.Sigma(v, vth)
+			clk := machine.NewClocking(arch, tau, v)
+			ds := &power.DomainScale{
+				Delta: make([]float64, arch.NumDomains()),
+				Sigma: make([]float64, arch.NumDomains()),
+			}
+			for dd := 0; dd < arch.NumDomains(); dd++ {
+				ds.Delta[dd] = delta
+				ds.Sigma[dd] = sigma
+			}
+			e := estimateE(arch, cal, ds, clusterUnits, prof.RefCounts.Comms, prof.RefCounts.MemAccesses, d)
+			ed2 := power.ED2(e, d)
+			if best == nil || ed2 < best.Estimate.ED2 {
+				best = &Selection{
+					Clock:      clk,
+					Scales:     ds,
+					Estimate:   Estimate{Seconds: d, Energy: e, ED2: ed2},
+					FastPeriod: tau,
+					SlowPeriod: tau,
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("confsel: no feasible homogeneous configuration for %s", prof.Name)
+	}
+	return best, nil
+}
+
+// ProfileFromLoops assembles a Profile; helper for tests and the pipeline.
+func ProfileFromLoops(name string, loops []LoopProfile, ref power.RunCounts) *Profile {
+	return &Profile{Name: name, Loops: loops, RefCounts: ref}
+}

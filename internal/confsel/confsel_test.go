@@ -1,0 +1,229 @@
+package confsel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/power"
+)
+
+// testProfile builds a small synthetic profile: one recurrence-bound loop
+// (few ops in the circuit) and one resource-bound loop.
+func testProfile(arch *machine.Arch) *Profile {
+	rec := ddg.New("rec")
+	a := rec.AddOp(isa.FPMul, "")
+	b := rec.AddOp(isa.FPALU, "")
+	rec.AddDep(a, b, 0)
+	rec.AddDep(b, a, 1) // recMII 9
+	for i := 0; i < 8; i++ {
+		rec.AddOp(isa.FPALU, "")
+	}
+
+	res := ddg.New("res")
+	for i := 0; i < 12; i++ {
+		res.AddOp(isa.Load, "")
+	}
+
+	loops := []LoopProfile{
+		{
+			Graph: rec, RecMII: 9, InsUnits: rec.DynamicEnergyUnits(),
+			MemOps: 0, CommsHom: 2, LifetimeCycles: 40,
+			IIHom: 9, MIIHom: 9, ItLenHomCycles: 20,
+			Iterations: 100, Weight: 1,
+			Recs: []RecSummary{{RecMII: 9, Ops: 2, Units: 2.7}},
+		},
+		{
+			Graph: res, RecMII: 0, InsUnits: res.DynamicEnergyUnits(),
+			MemOps: 12, CommsHom: 2, LifetimeCycles: 30,
+			IIHom: 3, MIIHom: 3, ItLenHomCycles: 6,
+			Iterations: 100, Weight: 1,
+		},
+	}
+	ref := power.RunCounts{
+		InsUnits:    []float64{600, 550, 520, 500},
+		Comms:       600,
+		MemAccesses: 1200,
+		Seconds:     (9*100 + 3*100) * 1000 * 1e-12, // rough
+	}
+	return ProfileFromLoops("test", loops, ref)
+}
+
+func calFor(t *testing.T, arch *machine.Arch, prof *Profile) *power.Calibration {
+	t.Helper()
+	cal, err := power.Calibrate(arch, prof.RefCounts, power.DefaultFractions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cal
+}
+
+func TestBuildHetClocking(t *testing.T) {
+	arch := machine.Reference4Cluster(1)
+	clk := BuildHetClocking(arch, clock.PS(900), clock.PS(1350), 1)
+	if clk.MinPeriod[0] != clock.PS(900) {
+		t.Error("fast cluster period wrong")
+	}
+	for c := 1; c < 4; c++ {
+		if clk.MinPeriod[c] != clock.PS(1350) {
+			t.Error("slow cluster period wrong")
+		}
+	}
+	if clk.MinPeriod[arch.ICN()] != clock.PS(900) || clk.MinPeriod[arch.Cache()] != clock.PS(900) {
+		t.Error("ICN/cache must track the fastest cluster")
+	}
+}
+
+func TestOptimumHomogeneousBeatsReference(t *testing.T) {
+	arch := machine.Reference4Cluster(1)
+	prof := testProfile(arch)
+	cal := calFor(t, arch, prof)
+	model := power.DefaultAlphaModel()
+	sel, err := OptimumHomogeneous(arch, prof, cal, model, DefaultSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.FastPeriod != sel.SlowPeriod {
+		t.Error("homogeneous selection must be uniform")
+	}
+	// The reference design (1 GHz, 1 V) is in the swept space, so the
+	// optimum is at least as good.
+	refD := prof.RefCounts.Seconds
+	unit := &power.DomainScale{
+		Delta: []float64{1, 1, 1, 1, 1, 1},
+		Sigma: []float64{1, 1, 1, 1, 1, 1},
+	}
+	refCounts := prof.RefCounts
+	refE := cal.Energy(arch, refCounts, unit)
+	if sel.Estimate.ED2 > power.ED2(refE, refD)*1.0001 {
+		t.Errorf("optimum homogeneous ED2 %.4g worse than reference %.4g",
+			sel.Estimate.ED2, power.ED2(refE, refD))
+	}
+	// Chip-wide single voltage: all cluster domains share Vdd.
+	for d := 1; d < arch.NumClusters(); d++ {
+		if sel.Clock.Vdd[d] != sel.Clock.Vdd[0] {
+			t.Error("homogeneous design must use one voltage")
+		}
+	}
+}
+
+func TestSelectHeterogeneousPrefersFastRecurrences(t *testing.T) {
+	arch := machine.Reference4Cluster(1)
+	prof := testProfile(arch)
+	cal := calFor(t, arch, prof)
+	model := power.DefaultAlphaModel()
+	sel, err := SelectHeterogeneous(arch, prof, cal, model, DefaultSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Estimate.ED2 <= 0 || sel.Estimate.Seconds <= 0 || sel.Estimate.Energy <= 0 {
+		t.Errorf("estimate not positive: %+v", sel.Estimate)
+	}
+	if sel.FastPeriod > sel.SlowPeriod {
+		// slow ratio ≥ 1 always
+		t.Errorf("fast period %v slower than slow %v", sel.FastPeriod, sel.SlowPeriod)
+	}
+	// Voltages must respect the per-component legal ranges.
+	sp := DefaultSpace()
+	for c := 0; c < arch.NumClusters(); c++ {
+		if v := sel.Clock.Vdd[c]; v < sp.ClusterVdd[0]-1e-9 || v > sp.ClusterVdd[1]+1e-9 {
+			t.Errorf("cluster %d Vdd %g out of range", c, v)
+		}
+	}
+	if v := sel.Clock.Vdd[arch.ICN()]; v < sp.ICNVdd[0]-1e-9 || v > sp.ICNVdd[1]+1e-9 {
+		t.Errorf("ICN Vdd %g out of range", v)
+	}
+	if v := sel.Clock.Vdd[arch.Cache()]; v < sp.CacheVdd[0]-1e-9 || v > sp.CacheVdd[1]+1e-9 {
+		t.Errorf("cache Vdd %g out of range", v)
+	}
+}
+
+func TestLoopSharesRecurrenceAware(t *testing.T) {
+	arch := machine.Reference4Cluster(1)
+	clk := BuildHetClocking(arch, clock.PS(1000), clock.PS(1500), 1)
+	prof := testProfile(arch)
+	// Loop 0: recMII 9 recurrence; slow clusters have II = floor(IT/1500).
+	// At IT = 9000: slow II = 6 < 9 → the recurrence units must be in the
+	// fast cluster's share.
+	shares := loopShares(arch, clk, &prof.Loops[0], clock.PS(9000))
+	if len(shares) != 4 {
+		t.Fatal("share arity")
+	}
+	sum := 0.0
+	for _, s := range shares {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("shares sum to %g", sum)
+	}
+	// Fast share must at least cover the critical units fraction but stay
+	// well below the II-proportional 1/(1+3·(2/3)) = 0.33 when the
+	// critical recurrence is small.
+	critFrac := 2.7 / prof.Loops[0].InsUnits
+	if shares[0] < critFrac-1e-9 {
+		t.Errorf("fast share %.3f below critical fraction %.3f", shares[0], critFrac)
+	}
+	if shares[0] > 0.5 {
+		t.Errorf("fast share %.3f too large for a few-op recurrence", shares[0])
+	}
+	// Uniform config: II proportional.
+	uni := machine.NewClocking(arch, clock.PS(1000), 1.0)
+	shares = loopShares(arch, uni, &prof.Loops[0], clock.PS(9000))
+	for c := 0; c < 4; c++ {
+		if math.Abs(shares[c]-0.25) > 1e-9 {
+			t.Errorf("uniform share[%d] = %g, want 0.25", c, shares[c])
+		}
+	}
+}
+
+func TestEstimateDUniformIsExact(t *testing.T) {
+	// For a uniform candidate at the reference frequency, the estimator
+	// must reproduce the reference time exactly (schedule invariance +
+	// slack anchoring).
+	arch := machine.Reference4Cluster(1)
+	prof := testProfile(arch)
+	clk := machine.NewClocking(arch, machine.ReferencePeriod, 1.0)
+	d, err := estimateD(arch, clk, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-computed: loop0 IT = 9000ps × 99 + 20000ps; loop1 IT = 3000ps
+	// × 99 + 6000ps (weights 1).
+	want := (9000.0*99+20000.0)*1e-12 + (3000.0*99+6000.0)*1e-12
+	if math.Abs(d-want)/want > 1e-9 {
+		t.Errorf("estimateD = %.6g, want %.6g", d, want)
+	}
+}
+
+func TestOptimizeVoltagesRanges(t *testing.T) {
+	arch := machine.Reference4Cluster(1)
+	prof := testProfile(arch)
+	cal := calFor(t, arch, prof)
+	model := power.DefaultAlphaModel()
+	space := DefaultSpace()
+	clk := BuildHetClocking(arch, clock.PS(1000), clock.PS(1500), 1)
+	ds, err := OptimizeVoltages(arch, clk, model, cal, space,
+		[]float64{100, 400, 400, 400}, 50, 200, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow clusters (lower frequency) must end at δ no higher than the
+	// fast cluster's.
+	if ds.Delta[1] > ds.Delta[0] {
+		t.Errorf("slow δ %.3f exceeds fast δ %.3f", ds.Delta[1], ds.Delta[0])
+	}
+	for d := 0; d < arch.NumDomains(); d++ {
+		if ds.Delta[d] <= 0 || ds.Sigma[d] <= 0 {
+			t.Errorf("domain %d has non-positive scale factors", d)
+		}
+	}
+	// Infeasible frequency: cluster needing 2 GHz in [0.7, 1.2] V.
+	clk2 := BuildHetClocking(arch, clock.PS(500), clock.PS(1500), 1)
+	if _, err := OptimizeVoltages(arch, clk2, model, cal, space,
+		[]float64{100, 400, 400, 400}, 50, 200, 1e-4); err == nil {
+		t.Error("2 GHz cluster should be unreachable")
+	}
+}

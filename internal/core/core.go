@@ -1,0 +1,124 @@
+// Package core implements the paper's primary contribution end to end:
+// modulo scheduling a loop for a heterogeneous clustered VLIW machine
+// following the Figure 5 flow:
+//
+//	compute MIT → IT := MIT → repeat {
+//	    select per-domain (frequency, II) pairs   (sync problems grow IT)
+//	    partition the DDG                          (graph partitioning)
+//	    schedule                                   (iterative modulo sched)
+//	} until success, growing IT after each failure.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/mii"
+	"repro/internal/modsched"
+	"repro/internal/partition"
+)
+
+// Options tunes one scheduling run.
+type Options struct {
+	// Partition and Sched pass through to the respective phases.
+	Partition partition.Options
+	Sched     modsched.Options
+	// MaxAttempts bounds IT increases (default 48).
+	MaxAttempts int
+	// MaxIT bounds the initiation time (default 32× MIT plus slack).
+	MaxIT clock.Picos
+}
+
+func (o Options) withDefaults(mit clock.Picos) Options {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 48
+	}
+	if o.MaxIT <= 0 {
+		o.MaxIT = mit*32 + clock.Picos(200_000)
+	}
+	return o
+}
+
+// Result is a successful scheduling outcome.
+type Result struct {
+	Schedule *modsched.Schedule
+	// MIT is the minimum-initiation-time analysis of the loop.
+	MIT mii.Result
+	// Attempts is how many ITs were tried (1 = scheduled at the first).
+	Attempts int
+	// SyncIncreases counts IT growth forced by frequency-set
+	// synchronization (as opposed to partition/schedule failures).
+	SyncIncreases int
+}
+
+// ScheduleLoop schedules graph g on configuration cfg with the given
+// partition cost model. cost.Iterations should hold the loop's expected
+// trip count; cost.DeltaCluster drives the energy-aware placement.
+func ScheduleLoop(g *ddg.Graph, cfg *machine.Config, cost partition.CostParams, opts Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	arch, clk := cfg.Arch, cfg.Clock
+	mitRes, err := mii.Compute(g, arch, clk, nil)
+	if err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(mitRes.MIT)
+
+	res := &Result{MIT: mitRes}
+	it, ok := clock.NextFeasibleIT(mitRes.MIT, opts.MaxIT, clk.MinPeriod, clk.FreqSet)
+	if !ok {
+		return nil, fmt.Errorf("core: no synchronizable IT ≥ MIT %v for %q", mitRes.MIT, g.Name())
+	}
+	if it > mitRes.MIT {
+		res.SyncIncreases++
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < opts.MaxAttempts; attempt++ {
+		res.Attempts = attempt + 1
+		pairs, err := machine.SelectPairs(arch, clk, it)
+		if err != nil {
+			lastErr = err
+		} else {
+			assign, perr := partition.Partition(g, arch, clk, pairs, cost, opts.Partition)
+			if perr == nil {
+				sched, serr := modsched.Run(modsched.Input{
+					Graph:  g,
+					Arch:   arch,
+					Pairs:  pairs,
+					Assign: assign,
+					Opts:   opts.Sched,
+				})
+				if serr == nil {
+					res.Schedule = sched
+					return res, nil
+				}
+				lastErr = serr
+			} else {
+				lastErr = perr
+			}
+		}
+		// Grow the IT: to the next point where some domain gains a cycle,
+		// then to the next synchronizable point.
+		next := it + 1
+		if err == nil {
+			next = pairs.NextIT(clk)
+		}
+		nit, ok := clock.NextFeasibleIT(next, opts.MaxIT, clk.MinPeriod, clk.FreqSet)
+		if !ok {
+			break
+		}
+		if nit > next {
+			res.SyncIncreases++
+		}
+		it = nit
+	}
+	return nil, fmt.Errorf("core: %q unschedulable within %d attempts (last: %v)",
+		g.Name(), opts.MaxAttempts, lastErr)
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/partition"
+)
+
+func hetConfig(buses int) *machine.Config {
+	arch := machine.Reference4Cluster(buses)
+	clk := machine.NewClocking(arch, clock.PS(1350), 1.0)
+	clk.MinPeriod[0] = clock.PS(900)
+	clk.MinPeriod[arch.ICN()] = clock.PS(900)
+	clk.MinPeriod[arch.Cache()] = clock.PS(900)
+	return &machine.Config{Arch: arch, Clock: clk}
+}
+
+func hetCost() partition.CostParams {
+	c := partition.DefaultCost(4)
+	c.DeltaCluster = []float64{1.0, 0.6, 0.6, 0.6}
+	return c
+}
+
+func TestScheduleLoopHomogeneous(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	g := ddg.FIRFilter("fir8", 8)
+	res, err := ScheduleLoop(g, cfg, partition.DefaultCost(4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Schedule
+	if s.IT < res.MIT.MIT {
+		t.Errorf("scheduled IT %v below MIT %v", s.IT, res.MIT.MIT)
+	}
+	// The FIR has 9 memory ops on 4 ports: MII ≥ 3; expect a tight or
+	// near-tight II on the homogeneous machine.
+	if s.IT > res.MIT.MIT*3 {
+		t.Errorf("IT %v very loose vs MIT %v", s.IT, res.MIT.MIT)
+	}
+	if s.II[0] != int(int64(s.IT)/1000) {
+		t.Errorf("homogeneous II = %d at IT %v", s.II[0], s.IT)
+	}
+}
+
+func TestScheduleLoopHeterogeneous(t *testing.T) {
+	cfg := hetConfig(1)
+	g := ddg.Livermore("lv")
+	res, err := ScheduleLoop(g, cfg, hetCost(), Options{
+		Partition: partition.Options{EnergyAware: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Schedule
+	// recMII = 3 on the FP accumulation; recMIT = 3×900 = 2700 ps.
+	if res.MIT.RecMII != 3 {
+		t.Errorf("recMII = %d, want 3", res.MIT.RecMII)
+	}
+	if s.IT < res.MIT.MIT {
+		t.Error("IT below MIT")
+	}
+	// IIs differ between fast and slow clusters whenever IT is not a
+	// common multiple — sanity: fast cluster II ≥ slow cluster II.
+	if s.II[0] < s.II[1] {
+		t.Errorf("fast cluster II %d < slow cluster II %d", s.II[0], s.II[1])
+	}
+}
+
+// TestCriticalRecurrenceInFastCluster is the paper's central scheduling
+// claim: the long recurrence lands in the fast cluster while independent
+// work can live in the slow ones.
+func TestCriticalRecurrenceInFastCluster(t *testing.T) {
+	cfg := hetConfig(1)
+	g := ddg.New("mix")
+	// Critical recurrence: 4 chained int adds, distance 1 → recMII 4.
+	var rec []int
+	for i := 0; i < 4; i++ {
+		rec = append(rec, g.AddOp(isa.IntALU, ""))
+		if i > 0 {
+			g.AddDep(rec[i-1], rec[i], 0)
+		}
+	}
+	g.AddDep(rec[3], rec[0], 1)
+	// Independent FP work.
+	for i := 0; i < 4; i++ {
+		g.AddOp(isa.FPALU, "")
+	}
+	res, err := ScheduleLoop(g, cfg, hetCost(), Options{
+		Partition: partition.Options{EnergyAware: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Schedule
+	// At MIT = 3600 ps, slow clusters have II=2 < recMII 4: the recurrence
+	// must be in the fast cluster (unless IT grew enough to fit it in a
+	// slow one, which the energy model may legitimately prefer — accept
+	// either but require the recurrence unsplit and feasible).
+	recCluster := s.Assign[rec[0]]
+	for _, op := range rec {
+		if s.Assign[op] != recCluster {
+			t.Errorf("critical recurrence split across clusters %v",
+				[]int{s.Assign[rec[0]], s.Assign[op]})
+		}
+	}
+	if s.IT == res.MIT.MIT && recCluster != 0 {
+		t.Errorf("at MIT the recurrence can only fit the fast cluster, got %d", recCluster)
+	}
+}
+
+func TestScheduleLoopErrors(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	bad := ddg.New("bad")
+	a := bad.AddOp(isa.IntALU, "")
+	b := bad.AddOp(isa.IntALU, "")
+	bad.AddDep(a, b, 0)
+	bad.AddDep(b, a, 0) // zero-distance cycle
+	if _, err := ScheduleLoop(bad, cfg, partition.DefaultCost(4), Options{}); err == nil {
+		t.Error("invalid graph must fail")
+	}
+	// FP work on a machine with no FP units anywhere.
+	intOnly := &machine.Arch{
+		Clusters:        []machine.ClusterSpec{{IntFUs: 1, MemPorts: 1, Regs: 16}},
+		Buses:           1,
+		BusLatency:      1,
+		SyncQueueCycles: 1,
+	}
+	cfgInt := &machine.Config{Arch: intOnly, Clock: machine.NewClocking(intOnly, clock.PS(1000), 1.0)}
+	if _, err := ScheduleLoop(ddg.Chain("f", isa.FPALU, 2), cfgInt,
+		partition.DefaultCost(1), Options{}); err == nil {
+		t.Error("FP on FP-less machine must fail")
+	}
+}
+
+// TestConstrainedFrequenciesSyncIncreases: with a sparse frequency set the
+// driver must still schedule, recording synchronization IT increases when
+// the MIT is not a multiple of any supported period.
+func TestConstrainedFrequenciesSyncIncreases(t *testing.T) {
+	arch := machine.Reference4Cluster(1)
+	clk := machine.NewClocking(arch, clock.PS(1000), 1.0)
+	fs, err := clock.NewFreqSet(clock.PS(1000), clock.PS(1300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < arch.NumDomains(); d++ {
+		clk.FreqSet[d] = fs
+	}
+	cfg := &machine.Config{Arch: arch, Clock: clk}
+	g := ddg.Livermore("lv") // recMII 3 → MIT 3000, divisible by 1000
+	res, err := ScheduleLoop(g, cfg, partition.DefaultCost(4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(res.Schedule.IT)%1000 != 0 && int64(res.Schedule.IT)%1300 != 0 {
+		t.Errorf("IT %v is not synchronizable with the supported periods", res.Schedule.IT)
+	}
+}
+
+// TestEndToEndFuzz: random loops must schedule end-to-end on heterogeneous
+// machines, and the result must respect MIT and partition feasibility.
+func TestEndToEndFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	classes := []isa.Class{isa.IntALU, isa.IntMul, isa.FPALU, isa.FPMul, isa.Load, isa.Store}
+	fails := 0
+	for trial := 0; trial < 60; trial++ {
+		n := 6 + rng.Intn(14)
+		g := ddg.New("f")
+		for i := 0; i < n; i++ {
+			g.AddOp(classes[rng.Intn(len(classes))], "")
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.2 {
+					g.AddDep(i, j, 0)
+				}
+			}
+		}
+		if rng.Float64() < 0.6 {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a < b {
+				g.AddDep(b, a, 1)
+			}
+		}
+		cfg := hetConfig(1 + rng.Intn(2))
+		res, err := ScheduleLoop(g, cfg, hetCost(), Options{
+			Partition: partition.Options{EnergyAware: rng.Intn(2) == 0},
+		})
+		if err != nil {
+			fails++
+			continue
+		}
+		if res.Schedule.IT < res.MIT.MIT {
+			t.Fatalf("trial %d: IT %v < MIT %v", trial, res.Schedule.IT, res.MIT.MIT)
+		}
+	}
+	if fails > 3 {
+		t.Errorf("%d/60 random loops failed to schedule", fails)
+	}
+}

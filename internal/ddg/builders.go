@@ -1,0 +1,125 @@
+package ddg
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Chain builds a linear dependence chain of n ops of the given class —
+// the simplest recurrence-free loop body.
+func Chain(name string, class isa.Class, n int) *Graph {
+	g := New(name)
+	prev := -1
+	for i := 0; i < n; i++ {
+		id := g.AddOp(class, fmt.Sprintf("%s%d", class, i))
+		if prev >= 0 {
+			g.AddDep(prev, id, 0)
+		}
+		prev = id
+	}
+	return g
+}
+
+// Recurrence builds a single-circuit recurrence of n ops of the given
+// class with loop-carried distance dist, plus extra independent ops of
+// class filler hanging off the recurrence. Its recMII is
+// ceil(n*latency/dist).
+func Recurrence(name string, class isa.Class, n, dist int, filler isa.Class, nFiller int) *Graph {
+	g := New(name)
+	ids := make([]int, n)
+	for i := 0; i < n; i++ {
+		ids[i] = g.AddOp(class, fmt.Sprintf("rec%d", i))
+		if i > 0 {
+			g.AddDep(ids[i-1], ids[i], 0)
+		}
+	}
+	g.AddDep(ids[n-1], ids[0], dist)
+	for i := 0; i < nFiller; i++ {
+		f := g.AddOp(filler, fmt.Sprintf("fill%d", i))
+		g.AddDep(ids[0], f, 0)
+	}
+	return g
+}
+
+// FIRFilter builds the DDG of a k-tap FIR filter inner loop:
+//
+//	for i { acc = 0; for t in 0..k { acc += x[i+t]*c[t] }; y[i] = acc }
+//
+// modeled software-pipelined over i with the accumulation chain expressed
+// as a sum tree: k loads of x, k coefficient loads folded to registers,
+// k FP multiplies and a balanced FP add tree, one store, plus the address
+// update forming a 1-op integer recurrence.
+func FIRFilter(name string, taps int) *Graph {
+	g := New(name)
+	addr := g.AddOp(isa.IntALU, "addr+")
+	g.AddDep(addr, addr, 1) // address induction recurrence
+	var prods []int
+	for t := 0; t < taps; t++ {
+		ld := g.AddOp(isa.Load, fmt.Sprintf("ld.x%d", t))
+		g.AddDep(addr, ld, 0)
+		mul := g.AddOp(isa.FPMul, fmt.Sprintf("mul%d", t))
+		g.AddDep(ld, mul, 0)
+		prods = append(prods, mul)
+	}
+	// Balanced reduction tree of FP adds.
+	for len(prods) > 1 {
+		var next []int
+		for i := 0; i+1 < len(prods); i += 2 {
+			add := g.AddOp(isa.FPALU, "add")
+			g.AddDep(prods[i], add, 0)
+			g.AddDep(prods[i+1], add, 0)
+			next = append(next, add)
+		}
+		if len(prods)%2 == 1 {
+			next = append(next, prods[len(prods)-1])
+		}
+		prods = next
+	}
+	st := g.AddOp(isa.Store, "st.y")
+	g.AddDep(prods[0], st, 0)
+	g.AddDep(addr, st, 0)
+	return g
+}
+
+// Livermore builds a recurrence-dominated kernel in the style of a
+// first-order linear recurrence (Livermore loop 11, partial sums):
+//
+//	x[i] = x[i-1] + y[i]*z[i]
+//
+// The FP add depends on its own previous-iteration result, so
+// recMII = FP-add latency regardless of resources.
+func Livermore(name string) *Graph {
+	g := New(name)
+	addr := g.AddOp(isa.IntALU, "addr+")
+	g.AddDep(addr, addr, 1)
+	ldy := g.AddOp(isa.Load, "ld.y")
+	ldz := g.AddOp(isa.Load, "ld.z")
+	g.AddDep(addr, ldy, 0)
+	g.AddDep(addr, ldz, 0)
+	mul := g.AddOp(isa.FPMul, "mul")
+	g.AddDep(ldy, mul, 0)
+	g.AddDep(ldz, mul, 0)
+	acc := g.AddOp(isa.FPALU, "acc+")
+	g.AddDep(mul, acc, 0)
+	g.AddDep(acc, acc, 1) // loop-carried accumulation
+	st := g.AddOp(isa.Store, "st.x")
+	g.AddDep(acc, st, 0)
+	return g
+}
+
+// WithBranch appends an unbundled branch (HPL-PD style: target computation,
+// condition evaluation, control transfer) to the graph, dependent on the
+// given condition-producing op (or independent if cond < 0). Returns the
+// control-transfer op id.
+func WithBranch(g *Graph, cond int) int {
+	bt := g.AddOp(isa.BranchTarget, "btgt")
+	bc := g.AddOp(isa.BranchCond, "bcond")
+	if cond >= 0 {
+		g.AddDep(cond, bc, 0)
+	}
+	ct := g.AddOp(isa.BranchCtrl, "bctrl")
+	g.AddEdge(Edge{From: bt, To: ct, Latency: g.Op(bt).Latency(), Dist: 0})
+	g.AddEdge(Edge{From: bc, To: ct, Latency: g.Op(bc).Latency(), Dist: 0})
+	return ct
+}

@@ -1,0 +1,383 @@
+package ddg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestChainBasics(t *testing.T) {
+	g := Chain("c", isa.IntALU, 5)
+	if g.NumOps() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("chain: %d ops %d edges", g.NumOps(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.RecMII() != 0 {
+		t.Errorf("chain has no recurrence, recMII = %d", g.RecMII())
+	}
+	counts := g.CountByResource()
+	if counts[isa.ResIntFU] != 5 {
+		t.Errorf("int FU uses = %d", counts[isa.ResIntFU])
+	}
+	if g.CountMemoryOps() != 0 {
+		t.Error("chain has no memory ops")
+	}
+	if g.Name() != "c" {
+		t.Error("name lost")
+	}
+}
+
+// TestFigure4RecMII reproduces the paper's Figure 4: a 3-op recurrence
+// {A,B,C} of 1-cycle ops with a loop-carried distance of 1 has
+// recMII = 3 cycles; recMIT on a machine whose fastest cluster runs at
+// 1ns is 3ns (checked in package mii).
+func TestFigure4RecMII(t *testing.T) {
+	g := New("fig4")
+	a := g.AddOp(isa.IntALU, "A")
+	b := g.AddOp(isa.IntALU, "B")
+	c := g.AddOp(isa.IntALU, "C")
+	d := g.AddOp(isa.IntALU, "D")
+	e := g.AddOp(isa.IntALU, "E")
+	g.AddDep(a, b, 0)
+	g.AddDep(b, c, 0)
+	g.AddDep(c, a, 1) // recurrence {A,B,C}
+	g.AddDep(a, d, 0)
+	g.AddDep(d, e, 0)
+	if got := g.RecMII(); got != 3 {
+		t.Errorf("recMII = %d, want 3", got)
+	}
+	recs := g.Recurrences()
+	if len(recs) != 1 {
+		t.Fatalf("want 1 recurrence, got %d", len(recs))
+	}
+	if recs[0].RecMII != 3 || len(recs[0].Ops) != 3 {
+		t.Errorf("recurrence = %+v", recs[0])
+	}
+}
+
+func TestRecMIIMultiCircuit(t *testing.T) {
+	// Two recurrences: 2 FP adds (lat 3) dist 1 → ceil(6/1)=6;
+	// 4 int adds dist 2 → ceil(4/2)=2. recMII = 6.
+	g := New("multi")
+	f1 := g.AddOp(isa.FPALU, "")
+	f2 := g.AddOp(isa.FPALU, "")
+	g.AddDep(f1, f2, 0)
+	g.AddDep(f2, f1, 1)
+	var is []int
+	for i := 0; i < 4; i++ {
+		is = append(is, g.AddOp(isa.IntALU, ""))
+		if i > 0 {
+			g.AddDep(is[i-1], is[i], 0)
+		}
+	}
+	g.AddDep(is[3], is[0], 2)
+	if got := g.RecMII(); got != 6 {
+		t.Errorf("recMII = %d, want 6", got)
+	}
+	recs := g.Recurrences()
+	if len(recs) != 2 {
+		t.Fatalf("want 2 recurrences, got %d", len(recs))
+	}
+	if recs[0].RecMII != 6 || recs[1].RecMII != 2 {
+		t.Errorf("recurrences not ordered by criticality: %+v", recs)
+	}
+}
+
+func TestRecMIISelfLoop(t *testing.T) {
+	// FP accumulation x += ... with dist 1: recMII = FP add latency (3).
+	g := Livermore("lv")
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.RecMII(); got != 3 {
+		t.Errorf("recMII = %d, want 3 (FP add self-recurrence)", got)
+	}
+	// The 1-cycle address recurrence is a separate, less critical SCC.
+	recs := g.Recurrences()
+	if len(recs) != 2 {
+		t.Fatalf("want 2 recurrences, got %d", len(recs))
+	}
+}
+
+func TestRecMIIDistanceTwo(t *testing.T) {
+	// Recurrence of total latency 6 with distance 2: recMII = 3.
+	g := New("d2")
+	a := g.AddOp(isa.FPALU, "")
+	b := g.AddOp(isa.FPALU, "")
+	g.AddDep(a, b, 0)
+	g.AddDep(b, a, 2)
+	if got := g.RecMII(); got != 3 {
+		t.Errorf("recMII = %d, want ceil(6/2)=3", got)
+	}
+}
+
+func TestValidateRejectsZeroDistCycle(t *testing.T) {
+	g := New("bad")
+	a := g.AddOp(isa.IntALU, "")
+	b := g.AddOp(isa.IntALU, "")
+	g.AddDep(a, b, 0)
+	g.AddDep(b, a, 0)
+	if err := g.Validate(); err == nil {
+		t.Error("zero-distance cycle must be rejected")
+	}
+}
+
+func TestValidateRejectsBadEdges(t *testing.T) {
+	g := New("bad2")
+	a := g.AddOp(isa.IntALU, "")
+	g.AddEdge(Edge{From: a, To: a, Latency: 1, Dist: -1})
+	if g.Validate() == nil {
+		t.Error("negative distance must be rejected")
+	}
+	g2 := New("bad3")
+	x := g2.AddOp(isa.IntALU, "")
+	g2.AddEdge(Edge{From: x, To: x, Latency: -1, Dist: 1})
+	if g2.Validate() == nil {
+		t.Error("negative latency must be rejected")
+	}
+}
+
+func TestResMII(t *testing.T) {
+	// FIR with 8 taps: 8 loads + 1 store = 9 mem ops; on 4 mem ports
+	// resMII from memory = ceil(9/4) = 3.
+	g := FIRFilter("fir8", 8)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fu := func(r int) int { return 4 }
+	got := g.ResMII(fu)
+	counts := g.CountByResource()
+	want := 0
+	for r, uses := range counts {
+		if uses == 0 {
+			continue
+		}
+		_ = r
+		if v := (uses + 3) / 4; v > want {
+			want = v
+		}
+	}
+	if got != want {
+		t.Errorf("resMII = %d, want %d", got, want)
+	}
+	if g.ResMII(func(r int) int { return 0 }) != -1 {
+		t.Error("used resource with no units must be unschedulable")
+	}
+	empty := New("empty")
+	if empty.ResMII(fu) != 1 {
+		t.Error("resMII is at least 1")
+	}
+}
+
+func TestDepthsAndCriticalPath(t *testing.T) {
+	g := Chain("c", isa.FPALU, 3) // latencies 3,3,3
+	depth, height, ok := g.Depths(1)
+	if !ok {
+		t.Fatal("chain must have valid depths at any II")
+	}
+	if depth[0] != 0 || depth[1] != 3 || depth[2] != 6 {
+		t.Errorf("depth = %v", depth)
+	}
+	if height[0] != 6 || height[1] != 3 || height[2] != 0 {
+		t.Errorf("height = %v", height)
+	}
+	cp, ok := g.CriticalPath(1)
+	if !ok || cp != 9 {
+		t.Errorf("critical path = %d ok=%v, want 9", cp, ok)
+	}
+	// Below recMII, depths do not exist.
+	r := Recurrence("r", isa.FPALU, 2, 1, isa.IntALU, 0) // recMII 6
+	if _, _, ok := r.Depths(5); ok {
+		t.Error("II below recMII must fail")
+	}
+	if _, ok := r.CriticalPath(5); ok {
+		t.Error("critical path below recMII must fail")
+	}
+	if cp, ok := r.CriticalPath(6); !ok || cp < 6 {
+		t.Errorf("critical path at recMII = %d ok=%v", cp, ok)
+	}
+}
+
+func TestRecurrenceBuilder(t *testing.T) {
+	g := Recurrence("r", isa.FPALU, 3, 2, isa.IntALU, 4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumOps() != 7 {
+		t.Errorf("ops = %d, want 7", g.NumOps())
+	}
+	// 3 FP adds of latency 3, distance 2 → recMII = ceil(9/2) = 5.
+	if got := g.RecMII(); got != 5 {
+		t.Errorf("recMII = %d, want 5", got)
+	}
+}
+
+func TestWithBranch(t *testing.T) {
+	g := Chain("c", isa.IntALU, 2)
+	ct := WithBranch(g, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Op(ct).Class.IsBranch() {
+		t.Error("control transfer op expected")
+	}
+	if g.NumOps() != 5 {
+		t.Errorf("ops = %d, want 5", g.NumOps())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := FIRFilter("fir", 4)
+	c := g.Clone()
+	c.AddOp(isa.IntALU, "extra")
+	c.AddDep(0, c.NumOps()-1, 0)
+	if g.NumOps() == c.NumOps() || g.NumEdges() == c.NumEdges() {
+		t.Error("clone must be independent")
+	}
+}
+
+func TestDynamicEnergyUnits(t *testing.T) {
+	g := New("e")
+	g.AddOp(isa.IntALU, "") // 1.0
+	g.AddOp(isa.FPMul, "")  // 1.5
+	g.AddOp(isa.Load, "")   // 1.0
+	if got := g.DynamicEnergyUnits(); got != 3.5 {
+		t.Errorf("energy units = %g, want 3.5", got)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Livermore("lv")
+	var sb strings.Builder
+	assign := make([]int, g.NumOps())
+	for i := range assign {
+		assign[i] = i % 4
+	}
+	if err := g.WriteDOT(&sb, assign); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "d=1") {
+		t.Errorf("dot output missing expected content:\n%s", out)
+	}
+	var sb2 strings.Builder
+	if err := g.WriteDOT(&sb2, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecMIIMatchesCircuitEnumeration cross-checks the binary-search recMII
+// against brute-force circuit enumeration on random small graphs.
+func TestRecMIIMatchesCircuitEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(5)
+		g := New("rand")
+		for i := 0; i < n; i++ {
+			g.AddOp(isa.Class(rng.Intn(6)), "")
+		}
+		// random forward edges + a few backward loop-carried edges
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					g.AddDep(i, j, 0)
+				}
+			}
+		}
+		for k := 0; k < 2; k++ {
+			from := rng.Intn(n)
+			to := rng.Intn(n)
+			if from == to || from > to {
+				g.AddDep(from, to, 1+rng.Intn(2))
+			}
+		}
+		want := bruteRecMII(g)
+		if got := g.RecMII(); got != want {
+			t.Fatalf("trial %d: recMII = %d, brute force = %d", trial, got, want)
+		}
+	}
+}
+
+// bruteRecMII enumerates all elementary circuits by DFS (small graphs only).
+func bruteRecMII(g *Graph) int {
+	best := 0
+	n := g.NumOps()
+	var path []int
+	onPath := make([]bool, n)
+	var dfs func(start, cur, lat, dist int)
+	dfs = func(start, cur, lat, dist int) {
+		for _, ei := range g.OutEdges(cur) {
+			e := g.Edge(ei)
+			l, d := lat+e.Latency, dist+e.Dist
+			if e.To == start {
+				if d > 0 {
+					if v := (l + d - 1) / d; v > best {
+						best = v
+					}
+				}
+				continue
+			}
+			if e.To < start || onPath[e.To] {
+				continue // canonical circuits start at their min node
+			}
+			onPath[e.To] = true
+			path = append(path, e.To)
+			dfs(start, e.To, l, d)
+			path = path[:len(path)-1]
+			onPath[e.To] = false
+		}
+	}
+	for s := 0; s < n; s++ {
+		onPath[s] = true
+		dfs(s, s, 0, 0)
+		onPath[s] = false
+	}
+	return best
+}
+
+// TestDepthsProperty checks the defining inequality of depths on random
+// graphs: depth[to] ≥ depth[from] + lat − II·dist for every edge.
+func TestDepthsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		g := New("p")
+		for i := 0; i < n; i++ {
+			g.AddOp(isa.Class(rng.Intn(6)), "")
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					g.AddDep(i, j, 0)
+				}
+			}
+		}
+		g.AddDep(n-1, 0, 1)
+		ii := g.RecMII()
+		if ii == 0 {
+			ii = 1
+		}
+		depth, height, ok := g.Depths(ii)
+		if !ok {
+			return false
+		}
+		for _, e := range g.Edges() {
+			w := e.Latency - ii*e.Dist
+			if depth[e.To] < depth[e.From]+w {
+				return false
+			}
+			if height[e.From] < height[e.To]+w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

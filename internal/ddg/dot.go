@@ -1,0 +1,43 @@
+package ddg
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format. assign, if non-nil,
+// maps ops to clusters and colors nodes accordingly.
+func (g *Graph) WriteDOT(w io.Writer, assign []int) error {
+	var palette = []string{
+		"lightblue", "lightgreen", "lightsalmon", "plum",
+		"khaki", "lightcyan", "mistyrose", "lavender",
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n", g.name); err != nil {
+		return err
+	}
+	for _, o := range g.ops {
+		label := fmt.Sprintf("%d: %s", o.ID, o.Class)
+		if o.Name != "" {
+			label = fmt.Sprintf("%d: %s\\n%s", o.ID, o.Name, o.Class)
+		}
+		attr := ""
+		if assign != nil && o.ID < len(assign) && assign[o.ID] >= 0 {
+			attr = fmt.Sprintf(", style=filled, fillcolor=%q",
+				palette[assign[o.ID]%len(palette)])
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q%s];\n", o.ID, label, attr); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.edges {
+		style := ""
+		if e.Dist > 0 {
+			style = fmt.Sprintf(" [label=\"d=%d\", style=dashed]", e.Dist)
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d%s;\n", e.From, e.To, style); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,229 @@
+// Package ddg implements the data dependence graphs (DDGs) of loop bodies
+// that the modulo scheduler operates on. Nodes are operations (with an ISA
+// class that determines latency, energy and resource usage); edges are data
+// or ordering dependences annotated with a latency (in producer cycles) and
+// an iteration distance (0 = intra-iteration, k > 0 = value produced k
+// iterations earlier).
+//
+// The package provides the graph algorithms the paper's compiler needs:
+// strongly connected components (recurrences), the recurrence-constrained
+// minimum initiation interval recMII, per-recurrence criticality, and
+// ASAP/ALAP slack used by the partitioner.
+package ddg
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Op is one operation of the loop body.
+type Op struct {
+	// ID is the operation's index in the graph (0-based, dense).
+	ID int
+	// Class determines latency, energy and the resource slot consumed.
+	Class isa.Class
+	// Name is an optional human-readable label.
+	Name string
+}
+
+// Latency returns the op's latency in executing-domain cycles.
+func (o Op) Latency() int { return o.Class.Latency() }
+
+// Edge is a dependence between two operations.
+type Edge struct {
+	// From and To are op IDs.
+	From, To int
+	// Latency is the number of producer-domain cycles that must elapse
+	// between the start of From and the start of To (usually From's
+	// operation latency; 0 or 1 for anti/output dependences).
+	Latency int
+	// Dist is the iteration distance: To of iteration i depends on From
+	// of iteration i-Dist.
+	Dist int
+}
+
+// Graph is a loop-body DDG. The zero value is an empty graph ready to use.
+type Graph struct {
+	ops   []Op
+	edges []Edge
+	out   [][]int // op -> indices into edges
+	in    [][]int
+	name  string
+}
+
+// New returns an empty graph with the given name.
+func New(name string) *Graph { return &Graph{name: name} }
+
+// Name returns the graph's label.
+func (g *Graph) Name() string { return g.name }
+
+// AddOp appends an operation of the given class and returns its ID.
+func (g *Graph) AddOp(class isa.Class, name string) int {
+	id := len(g.ops)
+	g.ops = append(g.ops, Op{ID: id, Class: class, Name: name})
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return id
+}
+
+// AddDep adds a true data dependence from producer from to consumer to
+// with iteration distance dist; the edge latency is the producer's class
+// latency.
+func (g *Graph) AddDep(from, to, dist int) {
+	g.AddEdge(Edge{From: from, To: to, Latency: g.ops[from].Latency(), Dist: dist})
+}
+
+// AddEdge adds an explicit edge (for anti/output/ordering dependences with
+// custom latency).
+func (g *Graph) AddEdge(e Edge) {
+	idx := len(g.edges)
+	g.edges = append(g.edges, e)
+	g.out[e.From] = append(g.out[e.From], idx)
+	g.in[e.To] = append(g.in[e.To], idx)
+}
+
+// NumOps returns the number of operations.
+func (g *Graph) NumOps() int { return len(g.ops) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Op returns the operation with the given ID.
+func (g *Graph) Op(id int) Op { return g.ops[id] }
+
+// Ops returns all operations (shared slice; callers must not mutate).
+func (g *Graph) Ops() []Op { return g.ops }
+
+// Edge returns edge i.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// Edges returns all edges (shared slice; callers must not mutate).
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// OutEdges returns the indices of edges leaving op.
+func (g *Graph) OutEdges(op int) []int { return g.out[op] }
+
+// InEdges returns the indices of edges entering op.
+func (g *Graph) InEdges(op int) []int { return g.in[op] }
+
+// CountByResource returns, per resource kind, how many ops occupy it.
+func (g *Graph) CountByResource() [isa.NumResources]int {
+	var n [isa.NumResources]int
+	for _, o := range g.ops {
+		n[o.Class.Resource()]++
+	}
+	return n
+}
+
+// CountMemoryOps returns the number of loads and stores.
+func (g *Graph) CountMemoryOps() int {
+	n := 0
+	for _, o := range g.ops {
+		if o.Class.IsMemory() {
+			n++
+		}
+	}
+	return n
+}
+
+// DynamicEnergyUnits returns the sum over ops of the Table 1 relative
+// energies — the loop body's dynamic cluster energy per iteration in units
+// of one integer add.
+func (g *Graph) DynamicEnergyUnits() float64 {
+	e := 0.0
+	for _, o := range g.ops {
+		e += o.Class.RelativeEnergy()
+	}
+	return e
+}
+
+// Validate checks structural invariants: edge endpoints in range,
+// non-negative distances and latencies, and that every dependence cycle
+// carries at least one loop-carried edge (Dist > 0), since otherwise no
+// initiation interval can schedule the loop.
+func (g *Graph) Validate() error {
+	for i, e := range g.edges {
+		if e.From < 0 || e.From >= len(g.ops) || e.To < 0 || e.To >= len(g.ops) {
+			return fmt.Errorf("ddg %q: edge %d endpoints out of range", g.name, i)
+		}
+		if e.Dist < 0 {
+			return fmt.Errorf("ddg %q: edge %d has negative distance", g.name, i)
+		}
+		if e.Latency < 0 {
+			return fmt.Errorf("ddg %q: edge %d has negative latency", g.name, i)
+		}
+	}
+	// A cycle using only Dist==0 edges is unschedulable.
+	if cyc := g.hasZeroDistCycle(); cyc {
+		return fmt.Errorf("ddg %q: dependence cycle with zero total distance", g.name)
+	}
+	return nil
+}
+
+// hasZeroDistCycle detects a cycle composed solely of Dist==0 edges using
+// an iterative DFS three-coloring.
+func (g *Graph) hasZeroDistCycle() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int8, len(g.ops))
+	type frame struct {
+		op   int
+		next int
+	}
+	for start := range g.ops {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{op: start}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			advanced := false
+			for f.next < len(g.out[f.op]) {
+				e := g.edges[g.out[f.op][f.next]]
+				f.next++
+				if e.Dist != 0 {
+					continue
+				}
+				switch color[e.To] {
+				case gray:
+					return true
+				case white:
+					color[e.To] = gray
+					stack = append(stack, frame{op: e.To})
+					advanced = true
+				}
+				if advanced {
+					break
+				}
+			}
+			if !advanced {
+				color[f.op] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := &Graph{
+		ops:   append([]Op(nil), g.ops...),
+		edges: append([]Edge(nil), g.edges...),
+		out:   make([][]int, len(g.out)),
+		in:    make([][]int, len(g.in)),
+		name:  g.name,
+	}
+	for i := range g.out {
+		out.out[i] = append([]int(nil), g.out[i]...)
+	}
+	for i := range g.in {
+		out.in[i] = append([]int(nil), g.in[i]...)
+	}
+	return out
+}

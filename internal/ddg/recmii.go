@@ -1,0 +1,145 @@
+package ddg
+
+// RecMII returns the recurrence-constrained minimum initiation interval of
+// the whole graph, in cycles: the maximum over all dependence circuits of
+// ceil(Σ latency / Σ distance), or 0 when the graph has no recurrence.
+//
+// It is computed by binary search on II: a candidate II is infeasible iff
+// the graph contains a circuit with positive total weight under edge
+// weights w(e) = latency(e) − II·dist(e). Positive circuits are detected
+// with a Floyd–Warshall longest-path closure, exact for the graph sizes of
+// loop bodies.
+func (g *Graph) RecMII() int {
+	return g.recMIIWithin(allOps(len(g.ops)))
+}
+
+func allOps(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// recMIIWithin computes recMII restricted to the induced subgraph on ops.
+func (g *Graph) recMIIWithin(ops []int) int {
+	if len(ops) == 0 {
+		return 0
+	}
+	// Upper bound: sum of latencies of edges inside the subgraph (any
+	// simple circuit's Σlat is at most that, and Σdist ≥ 1).
+	inSet := make(map[int]int, len(ops)) // op -> local index
+	for i, op := range ops {
+		inSet[op] = i
+	}
+	type ledge struct{ from, to, lat, dist int }
+	var ledges []ledge
+	hi := 0
+	for _, e := range g.edges {
+		fi, okF := inSet[e.From]
+		ti, okT := inSet[e.To]
+		if !okF || !okT {
+			continue
+		}
+		ledges = append(ledges, ledge{fi, ti, e.Latency, e.Dist})
+		hi += e.Latency
+	}
+	if len(ledges) == 0 {
+		return 0
+	}
+	n := len(ops)
+	// dist matrix buffers reused across probes.
+	d := make([][]int64, n)
+	for i := range d {
+		d[i] = make([]int64, n)
+	}
+	const negInf = int64(-1) << 60
+	positiveCircuit := func(ii int) bool {
+		for i := range d {
+			row := d[i]
+			for j := range row {
+				row[j] = negInf
+			}
+		}
+		for _, e := range ledges {
+			w := int64(e.lat) - int64(ii)*int64(e.dist)
+			if w > d[e.from][e.to] {
+				d[e.from][e.to] = w
+			}
+		}
+		for k := 0; k < n; k++ {
+			dk := d[k]
+			for i := 0; i < n; i++ {
+				dik := d[i][k]
+				if dik == negInf {
+					continue
+				}
+				di := d[i]
+				for j := 0; j < n; j++ {
+					if dk[j] == negInf {
+						continue
+					}
+					if v := dik + dk[j]; v > di[j] {
+						di[j] = v
+					}
+				}
+			}
+			// Early exit: positive self-distance means a positive circuit.
+			for i := 0; i < n; i++ {
+				if d[i][i] > 0 {
+					return true
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if d[i][i] > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	if !positiveCircuit(0) {
+		return 0 // no recurrence at all
+	}
+	lo := 1
+	if hi < lo {
+		hi = lo
+	}
+	for positiveCircuit(hi) {
+		hi *= 2 // defensive; cannot trigger with valid graphs
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if positiveCircuit(mid) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ResMII returns the resource-constrained minimum initiation interval of
+// the graph on a machine with fu[r] total units of resource r, in cycles:
+// max over resource kinds of ceil(uses / units). Resources with zero uses
+// are ignored; a used resource with zero units yields -1 (unschedulable).
+func (g *Graph) ResMII(fu func(r int) int) int {
+	counts := g.CountByResource()
+	mii := 0
+	for r, uses := range counts {
+		if uses == 0 {
+			continue
+		}
+		units := fu(r)
+		if units <= 0 {
+			return -1
+		}
+		if v := (uses + units - 1) / units; v > mii {
+			mii = v
+		}
+	}
+	if mii < 1 {
+		mii = 1
+	}
+	return mii
+}

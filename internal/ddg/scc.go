@@ -1,0 +1,146 @@
+package ddg
+
+import "sort"
+
+// SCC is a strongly connected component of the DDG. Components with
+// IsRecurrence true contain at least one dependence cycle and therefore
+// constrain the initiation interval.
+type SCC struct {
+	// Ops are the member operation IDs, ascending.
+	Ops []int
+	// IsRecurrence is true when the component contains a cycle (more than
+	// one op, or a self edge).
+	IsRecurrence bool
+	// RecMII is the component's recurrence-constrained minimum initiation
+	// interval in cycles (0 for non-recurrence components): the maximum
+	// over the component's circuits of ceil(Σlatency / Σdistance).
+	RecMII int
+}
+
+// SCCs computes the strongly connected components with Tarjan's algorithm
+// (iterative) and, for each recurrence, its local recMII. Components are
+// returned in a deterministic order (by smallest member ID).
+func (g *Graph) SCCs() []SCC {
+	n := len(g.ops)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var (
+		stack   []int
+		counter int
+		comps   [][]int
+	)
+
+	type frame struct {
+		op   int
+		next int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		callStack := []frame{{op: root}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			recursed := false
+			for f.next < len(g.out[f.op]) {
+				w := g.edges[g.out[f.op][f.next]].To
+				f.next++
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{op: w})
+					recursed = true
+					break
+				} else if onStack[w] && index[w] < low[f.op] {
+					low[f.op] = index[w]
+				}
+			}
+			if recursed {
+				continue
+			}
+			v := f.op
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := callStack[len(callStack)-1].op
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(comp)
+				comps = append(comps, comp)
+			}
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+
+	out := make([]SCC, 0, len(comps))
+	for _, comp := range comps {
+		s := SCC{Ops: comp}
+		s.IsRecurrence = g.componentHasCycle(comp)
+		if s.IsRecurrence {
+			s.RecMII = g.recMIIWithin(comp)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// componentHasCycle reports whether the SCC contains any cycle: true for
+// multi-op components and for single ops with a self edge.
+func (g *Graph) componentHasCycle(comp []int) bool {
+	if len(comp) > 1 {
+		return true
+	}
+	op := comp[0]
+	for _, ei := range g.out[op] {
+		if g.edges[ei].To == op {
+			return true
+		}
+	}
+	return false
+}
+
+// Recurrences returns only the recurrence SCCs, most critical (highest
+// RecMII) first; ties broken by more ops, then smallest member ID, so the
+// order is deterministic.
+func (g *Graph) Recurrences() []SCC {
+	var recs []SCC
+	for _, s := range g.SCCs() {
+		if s.IsRecurrence {
+			recs = append(recs, s)
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].RecMII != recs[j].RecMII {
+			return recs[i].RecMII > recs[j].RecMII
+		}
+		if len(recs[i].Ops) != len(recs[j].Ops) {
+			return len(recs[i].Ops) > len(recs[j].Ops)
+		}
+		return recs[i].Ops[0] < recs[j].Ops[0]
+	})
+	return recs
+}

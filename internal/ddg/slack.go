@@ -1,0 +1,69 @@
+package ddg
+
+// Depths computes modulo-scheduling longest-path depths and heights for a
+// given candidate initiation interval ii (in cycles):
+//
+//	depth[v]  = longest Σ(lat − ii·dist) over paths ending at v
+//	height[v] = longest Σ(lat − ii·dist) over paths starting at v
+//
+// Both are ≥ 0 (paths may be empty). They exist iff the graph has no
+// positive circuit at ii, i.e. ii ≥ recMII; otherwise ok is false.
+// Slack(v) relative to the critical path is CP − depth[v] − height[v]
+// where CP = max_v(depth[v] + height[v]).
+func (g *Graph) Depths(ii int) (depth, height []int, ok bool) {
+	n := len(g.ops)
+	depth = make([]int, n)
+	height = make([]int, n)
+	// Bellman-Ford style relaxation; at most n rounds, else positive cycle.
+	for round := 0; ; round++ {
+		changed := false
+		for _, e := range g.edges {
+			w := e.Latency - ii*e.Dist
+			if v := depth[e.From] + w; v > depth[e.To] {
+				depth[e.To] = v
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if round > n+1 {
+			return nil, nil, false
+		}
+	}
+	for round := 0; ; round++ {
+		changed := false
+		for _, e := range g.edges {
+			w := e.Latency - ii*e.Dist
+			if v := height[e.To] + w; v > height[e.From] {
+				height[e.From] = v
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if round > n+1 {
+			return nil, nil, false
+		}
+	}
+	return depth, height, true
+}
+
+// CriticalPath returns, for initiation interval ii, the length in cycles
+// of the longest dependence path through one iteration (depth + own
+// latency), a lower bound of the iteration length. ok is false if
+// ii < recMII.
+func (g *Graph) CriticalPath(ii int) (int, bool) {
+	depth, _, ok := g.Depths(ii)
+	if !ok {
+		return 0, false
+	}
+	cp := 0
+	for i, o := range g.ops {
+		if v := depth[i] + o.Latency(); v > cp {
+			cp = v
+		}
+	}
+	return cp, true
+}

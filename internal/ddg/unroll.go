@@ -1,0 +1,85 @@
+package ddg
+
+import "fmt"
+
+// Unroll returns the loop body replicated `factor` times, with loop-
+// carried dependences rewired across the copies — the transformation the
+// paper proposes to soften synchronization-forced IT increases
+// (Section 5.3): the MIT of the unrolled loop is multiplied by the unroll
+// factor, so the relative penalty of rounding the IT up to a
+// synchronizable value shrinks, and the factor can even be chosen so the
+// resulting IT synchronizes exactly.
+//
+// Rewiring: an edge (u → v, latency, dist) becomes, for every copy k,
+// an edge (u_k → v_{(k+dist) mod factor}, latency, (k+dist) div factor).
+// Intra-iteration edges (dist 0) are simply replicated; a distance-1
+// recurrence becomes a chain through all copies with a single wrap-around
+// edge of distance 1 — its recMII in the unrolled body is factor times
+// the original, as expected.
+func Unroll(g *Graph, factor int) (*Graph, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("ddg: unroll factor must be ≥ 1")
+	}
+	if factor == 1 {
+		return g.Clone(), nil
+	}
+	out := New(fmt.Sprintf("%s.x%d", g.name, factor))
+	n := g.NumOps()
+	// id of copy k of op i = k*n + i.
+	for k := 0; k < factor; k++ {
+		for i := 0; i < n; i++ {
+			op := g.Op(i)
+			name := op.Name
+			if name != "" {
+				name = fmt.Sprintf("%s.%d", name, k)
+			}
+			out.AddOp(op.Class, name)
+		}
+	}
+	for _, e := range g.Edges() {
+		for k := 0; k < factor; k++ {
+			tgtIter := k + e.Dist
+			out.AddEdge(Edge{
+				From:    k*n + e.From,
+				To:      (tgtIter%factor)*n + e.To,
+				Latency: e.Latency,
+				Dist:    tgtIter / factor,
+			})
+		}
+	}
+	return out, nil
+}
+
+// UnrollForSync returns the smallest unroll factor in [1, maxFactor] whose
+// unrolled MIT is an exact multiple of syncQuantum (so the initiation time
+// synchronizes with no rounding loss), along with the unrolled graph.
+// If none divides exactly, the factor minimizing the relative rounding
+// loss ceil(f·mit/q)·q/(f·mit) is chosen.
+func UnrollForSync(g *Graph, mitPs, syncQuantumPs int64, maxFactor int) (*Graph, int, error) {
+	if mitPs <= 0 || syncQuantumPs <= 0 || maxFactor < 1 {
+		return nil, 0, fmt.Errorf("ddg: invalid unroll-for-sync parameters")
+	}
+	bestF := 1
+	bestLoss := syncLoss(mitPs, syncQuantumPs)
+	for f := 2; f <= maxFactor; f++ {
+		loss := syncLoss(int64(f)*mitPs, syncQuantumPs)
+		if loss < bestLoss-1e-12 {
+			bestF, bestLoss = f, loss
+			if loss == 0 {
+				break
+			}
+		}
+	}
+	u, err := Unroll(g, bestF)
+	if err != nil {
+		return nil, 0, err
+	}
+	return u, bestF, nil
+}
+
+// syncLoss is the relative IT inflation from rounding mit up to a
+// multiple of q.
+func syncLoss(mit, q int64) float64 {
+	rounded := (mit + q - 1) / q * q
+	return float64(rounded-mit) / float64(mit)
+}

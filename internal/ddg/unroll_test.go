@@ -1,0 +1,178 @@
+package ddg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestUnrollBasics(t *testing.T) {
+	g := Livermore("lv")
+	u, err := Unroll(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumOps() != 3*g.NumOps() {
+		t.Fatalf("ops = %d, want %d", u.NumOps(), 3*g.NumOps())
+	}
+	if u.NumEdges() != 3*g.NumEdges() {
+		t.Fatalf("edges = %d, want %d", u.NumEdges(), 3*g.NumEdges())
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unroll(g, 0); err == nil {
+		t.Error("factor 0 must fail")
+	}
+	one, err := Unroll(g, 1)
+	if err != nil || one.NumOps() != g.NumOps() {
+		t.Error("factor 1 must clone")
+	}
+}
+
+// TestUnrollRecMIIScales: recMII of the unrolled body is factor × the
+// original (the paper's premise: "The MIT of an unrolled loop is
+// multiplied").
+func TestUnrollRecMIIScales(t *testing.T) {
+	for _, factor := range []int{2, 3, 4} {
+		for _, g := range []*Graph{
+			Livermore("lv"),
+			Recurrence("r", isa.FPALU, 2, 1, isa.IntALU, 3),
+			Recurrence("r2", isa.FPMul, 2, 2, isa.IntALU, 0),
+		} {
+			base := g.RecMII()
+			u, err := Unroll(g, factor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// ceil-scaled: distance-2 recurrences may not divide evenly.
+			got := u.RecMII()
+			if got < base*factor-factor || got > base*factor+1 {
+				t.Errorf("%s x%d: recMII %d, original %d", g.Name(), factor, got, base)
+			}
+		}
+	}
+	// Exact scaling for distance-1 recurrences.
+	g := Livermore("lv")
+	u, _ := Unroll(g, 3)
+	if got, want := u.RecMII(), 3*g.RecMII(); got != want {
+		t.Errorf("distance-1 recMII scaled to %d, want %d", got, want)
+	}
+}
+
+// TestUnrollResourceScales: per-resource op counts scale exactly.
+func TestUnrollResourceScales(t *testing.T) {
+	g := FIRFilter("fir", 6)
+	u, err := Unroll(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := g.CountByResource()
+	got := u.CountByResource()
+	for r := range base {
+		if got[r] != 4*base[r] {
+			t.Errorf("resource %d: %d, want %d", r, got[r], 4*base[r])
+		}
+	}
+	if u.CountMemoryOps() != 4*g.CountMemoryOps() {
+		t.Error("memory ops must scale")
+	}
+	if diff := u.DynamicEnergyUnits() - 4*g.DynamicEnergyUnits(); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("energy units must scale (off by %g)", diff)
+	}
+}
+
+// TestUnrollDistanceSemantics: a distance-d edge reaches copy (k+d) mod f
+// with distance (k+d) div f — checked by brute-force instance expansion:
+// the set of (producer instance, consumer instance) pairs over the
+// flattened iteration space must be identical.
+func TestUnrollDistanceSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(4)
+		g := New("u")
+		for i := 0; i < n; i++ {
+			g.AddOp(isa.IntALU, "")
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					d := 0
+					if j <= i {
+						d = 1 + rng.Intn(3)
+					}
+					g.AddDep(i, j, d)
+				}
+			}
+		}
+		factor := 2 + rng.Intn(3)
+		u, err := Unroll(g, factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Expand both graphs over `iters` original iterations and compare
+		// dependence pairs (producer flat instance → consumer flat
+		// instance of the ORIGINAL op space).
+		const iters = 12
+		type pair struct{ from, to int }
+		orig := map[pair]bool{}
+		for it := 0; it < iters; it++ {
+			for _, e := range g.Edges() {
+				ct := it + e.Dist
+				if ct < iters {
+					orig[pair{it*n + e.From, ct*n + e.To}] = true
+				}
+			}
+		}
+		unrolled := map[pair]bool{}
+		for uit := 0; uit*factor < iters; uit++ {
+			for _, e := range u.Edges() {
+				fromCopy, fromOp := e.From/n, e.From%n
+				toCopy, toOp := e.To/n, e.To%n
+				fromFlat := (uit*factor+fromCopy)*n + fromOp
+				toFlat := ((uit+e.Dist)*factor+toCopy)*n + toOp
+				if (uit*factor+fromCopy) < iters && ((uit+e.Dist)*factor+toCopy) < iters {
+					unrolled[pair{fromFlat, toFlat}] = true
+				}
+			}
+		}
+		for p := range unrolled {
+			if !orig[p] {
+				t.Fatalf("trial %d: unrolled has spurious dependence %v", trial, p)
+			}
+		}
+		// Every original dependence whose endpoints are covered by whole
+		// unrolled iterations must appear.
+		covered := (iters / factor) * factor
+		for p := range orig {
+			if p.from < covered*n && p.to < covered*n && !unrolled[p] {
+				t.Fatalf("trial %d: unrolled lost dependence %v", trial, p)
+			}
+		}
+	}
+}
+
+func TestUnrollForSync(t *testing.T) {
+	g := Livermore("lv") // recMII 3 → MIT 2700ps at τ_fast = 900
+	// Sync quantum 1800: 2700 rounds to 3600 (+33%); factor 2 → 5400
+	// which is exactly 3×1800 → zero loss.
+	u, f, err := UnrollForSync(g, 2700, 1800, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 2 {
+		t.Errorf("factor = %d, want 2", f)
+	}
+	if u.NumOps() != 2*g.NumOps() {
+		t.Error("unroll not applied")
+	}
+	// Already synchronizable: factor 1.
+	_, f, err = UnrollForSync(g, 3600, 1800, 4)
+	if err != nil || f != 1 {
+		t.Errorf("factor = %d (err %v), want 1", f, err)
+	}
+	if _, _, err := UnrollForSync(g, 0, 1800, 4); err == nil {
+		t.Error("invalid MIT must fail")
+	}
+}

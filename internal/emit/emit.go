@@ -1,0 +1,186 @@
+// Package emit lowers a modulo-scheduled, register-allocated kernel to an
+// HPL-PD-style assembly listing with the paper's distributed control path
+// (Figure 1): each cluster has its own instruction stream (its own PC and
+// branch logic), so the code of a loop is laid out as one contiguous block
+// per cluster rather than interleaved very-long words.
+//
+// The emission is kernel-only (software-pipelined loops are dominated by
+// their kernels); stage predicates p[s] guard operations of different
+// stages during prologue/epilogue, following HPL-PD's rotating-predicate
+// convention.
+package emit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/modsched"
+	"repro/internal/regalloc"
+)
+
+// Program is the lowered kernel: one instruction stream per cluster plus
+// the bus copy schedule.
+type Program struct {
+	// Clusters[c] lists cluster c's kernel words, one per local cycle
+	// slot (II_c entries; empty slots hold "nop").
+	Clusters [][]string
+	// ICN lists the bus copy words per ICN slot.
+	ICN []string
+}
+
+// Lower produces the per-cluster instruction streams for schedule s with
+// register assignment a.
+func Lower(s *modsched.Schedule, a *regalloc.Assignment) (*Program, error) {
+	if err := a.Verify(s); err != nil {
+		return nil, err
+	}
+	g := s.Graph
+	arch := s.Arch
+
+	// Register of a value: producer op → (cluster) → register name.
+	regOf := make(map[[2]int]string)
+	for i, v := range a.Values {
+		regOf[[2]int{v.Def, v.Cluster}] = fmt.Sprintf("r%d", a.Reg[i])
+	}
+	srcRegs := func(op, cluster int) []string {
+		var srcs []string
+		seen := map[int]bool{}
+		for _, ei := range g.InEdges(op) {
+			e := g.Edge(ei)
+			if e.Latency <= 0 || seen[e.From] {
+				continue
+			}
+			cls := g.Op(e.From).Class
+			if cls == isa.Store || cls == isa.BranchCtrl {
+				continue
+			}
+			seen[e.From] = true
+			if r, ok := regOf[[2]int{e.From, cluster}]; ok {
+				srcs = append(srcs, r)
+			} else {
+				srcs = append(srcs, "r?")
+			}
+		}
+		sort.Strings(srcs)
+		return srcs
+	}
+
+	p := &Program{Clusters: make([][]string, arch.NumClusters())}
+	for c := 0; c < arch.NumClusters(); c++ {
+		ii := s.II[c]
+		words := make([][]string, ii)
+		for op := 0; op < g.NumOps(); op++ {
+			if s.Assign[op] != c {
+				continue
+			}
+			slot := s.Cycle[op] % ii
+			stage := s.Cycle[op] / ii
+			o := g.Op(op)
+			dst := ""
+			if o.Class != isa.Store && o.Class != isa.BranchCtrl {
+				if r, ok := regOf[[2]int{op, c}]; ok {
+					dst = r + " = "
+				}
+			}
+			name := o.Name
+			if name == "" {
+				name = fmt.Sprintf("op%d", op)
+			}
+			word := fmt.Sprintf("(p%d) %s%s %s ; %s", stage, dst, o.Class,
+				strings.Join(srcRegs(op, c), ", "), name)
+			words[slot] = append(words[slot], strings.TrimRight(word, " "))
+		}
+		stream := make([]string, ii)
+		for slot := 0; slot < ii; slot++ {
+			if len(words[slot]) == 0 {
+				stream[slot] = "nop"
+			} else {
+				sort.Strings(words[slot])
+				stream[slot] = strings.Join(words[slot], " || ")
+			}
+		}
+		p.Clusters[c] = stream
+	}
+
+	// ICN stream.
+	iiICN := s.II[arch.ICN()]
+	icn := make([]string, iiICN)
+	for i := range icn {
+		icn[i] = "nop"
+	}
+	for _, cp := range s.Copies {
+		slot := cp.Cycle % iiICN
+		stage := cp.Cycle / iiICN
+		src := regOf[[2]int{cp.Val, s.Assign[cp.Val]}]
+		dst := regOf[[2]int{cp.Val, cp.Dst}]
+		if dst == "" {
+			dst = "r?"
+		}
+		word := fmt.Sprintf("(p%d) bus%d: C%d.%s → C%d.%s",
+			stage, cp.Bus, s.Assign[cp.Val]+1, src, cp.Dst+1, dst)
+		if icn[slot] == "nop" {
+			icn[slot] = word
+		} else {
+			icn[slot] += " || " + word
+		}
+	}
+	p.ICN = icn
+	return p, nil
+}
+
+// DistributedLayout renders the Figure 1(b) code layout: each cluster's
+// words contiguous, clusters back to back — the layout a distributed
+// control path fetches from.
+func (p *Program) DistributedLayout() string {
+	var b strings.Builder
+	for c, stream := range p.Clusters {
+		fmt.Fprintf(&b, ".cluster C%d  ; own PC, own branch unit\n", c+1)
+		for slot, word := range stream {
+			fmt.Fprintf(&b, "  L%d.%d: %s\n", c+1, slot, word)
+		}
+	}
+	if len(p.ICN) > 0 {
+		fmt.Fprintf(&b, ".icn          ; register buses\n")
+		for slot, word := range p.ICN {
+			fmt.Fprintf(&b, "  B.%d:  %s\n", slot, word)
+		}
+	}
+	return b.String()
+}
+
+// CentralizedLayout renders the Figure 1(a) layout for comparison: one
+// very long instruction word per global slot, concatenating all clusters
+// (what a centralized control path would fetch). Slots beyond a cluster's
+// II wrap around, which is exactly why a centralized layout cannot encode
+// per-cluster IIs — the rendering repeats the kernel lcm(II) slots to
+// make that visible.
+func (p *Program) CentralizedLayout() string {
+	l := 1
+	for _, stream := range p.Clusters {
+		l = lcm(l, len(stream))
+	}
+	const maxRows = 64
+	if l > maxRows {
+		l = maxRows
+	}
+	var b strings.Builder
+	for slot := 0; slot < l; slot++ {
+		var parts []string
+		for _, stream := range p.Clusters {
+			parts = append(parts, stream[slot%len(stream)])
+		}
+		fmt.Fprintf(&b, "W%-3d | %s\n", slot, strings.Join(parts, " | "))
+	}
+	return b.String()
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }

@@ -1,0 +1,133 @@
+package emit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+	"repro/internal/partition"
+	"repro/internal/regalloc"
+)
+
+func scheduleLivermore(t *testing.T) (*modsched.Schedule, *regalloc.Assignment) {
+	t.Helper()
+	arch := machine.Reference4Cluster(1)
+	clk := machine.NewClocking(arch, clock.PS(1350), 1.0)
+	clk.MinPeriod[0] = clock.PS(900)
+	clk.MinPeriod[arch.ICN()] = clock.PS(900)
+	clk.MinPeriod[arch.Cache()] = clock.PS(900)
+	cfg := &machine.Config{Arch: arch, Clock: clk}
+	cost := partition.DefaultCost(4)
+	cost.DeltaCluster = []float64{1, 0.6, 0.6, 0.6}
+	cost.Iterations = 100
+	res, err := core.ScheduleLoop(ddg.Livermore("lv"), cfg, cost, core.Options{
+		Partition: partition.Options{EnergyAware: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := regalloc.Allocate(res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Schedule, a
+}
+
+func TestLowerBasics(t *testing.T) {
+	s, a := scheduleLivermore(t)
+	p, err := Lower(s, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Clusters) != 4 {
+		t.Fatalf("clusters = %d", len(p.Clusters))
+	}
+	for c, stream := range p.Clusters {
+		if len(stream) != s.II[c] {
+			t.Errorf("cluster %d stream has %d words, II is %d", c, len(stream), s.II[c])
+		}
+	}
+	// Every op must appear exactly once across all streams.
+	total := 0
+	for _, stream := range p.Clusters {
+		for _, w := range stream {
+			if w == "nop" {
+				continue
+			}
+			total += strings.Count(w, "(p") // one predicate per op
+		}
+	}
+	if total != s.Graph.NumOps() {
+		t.Errorf("emitted %d ops, graph has %d", total, s.Graph.NumOps())
+	}
+	// Copies appear on the ICN stream.
+	busWords := 0
+	for _, w := range p.ICN {
+		busWords += strings.Count(w, "bus")
+	}
+	if busWords != len(s.Copies) {
+		t.Errorf("emitted %d bus words, schedule has %d copies", busWords, len(s.Copies))
+	}
+}
+
+func TestLayouts(t *testing.T) {
+	s, a := scheduleLivermore(t)
+	p, err := Lower(s, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.DistributedLayout()
+	for _, want := range []string{".cluster C1", ".cluster C4", "acc+"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("distributed layout missing %q:\n%s", want, d)
+		}
+	}
+	c := p.CentralizedLayout()
+	if !strings.Contains(c, "W0 ") && !strings.Contains(c, "W0  ") {
+		t.Errorf("centralized layout missing word rows:\n%s", c)
+	}
+	// The centralized rendering must span lcm(II) rows (capped), which
+	// exceeds each single cluster's II when IIs differ.
+	rows := strings.Count(c, "\n")
+	maxII := 0
+	for _, ii := range s.II[:4] {
+		if ii > maxII {
+			maxII = ii
+		}
+	}
+	if rows < maxII {
+		t.Errorf("centralized layout has %d rows, expected ≥ %d", rows, maxII)
+	}
+}
+
+func TestLowerRejectsBadAssignment(t *testing.T) {
+	s, a := scheduleLivermore(t)
+	if len(a.Values) < 2 {
+		t.Skip("not enough values")
+	}
+	// Corrupt: collide two values of the same cluster if possible.
+	done := false
+	for i := range a.Values {
+		for j := i + 1; j < len(a.Values); j++ {
+			if a.Values[i].Cluster == a.Values[j].Cluster &&
+				a.Values[i].Start <= a.Values[j].End && a.Values[j].Start <= a.Values[i].End {
+				a.Reg[j] = a.Reg[i]
+				done = true
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	if !done {
+		t.Skip("no overlapping value pair")
+	}
+	if _, err := Lower(s, a); err == nil {
+		t.Error("corrupted assignment must be rejected")
+	}
+}

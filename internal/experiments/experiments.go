@@ -1,0 +1,397 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5):
+//
+//	Table 1  — ISA latencies and relative energies (static input)
+//	Table 2  — % of execution time in resource-/recurrence-constrained loops
+//	Figure 6 — ED² of the heterogeneous approach vs the optimum homogeneous,
+//	           per benchmark, for 1 and 2 buses
+//	Figure 7 — ED² for different numbers of supported frequencies
+//	Figure 8 — ED² varying the ICN/cache energy fractions
+//	Figure 9 — ED² varying the leakage fractions
+//	Ablation — ED²-driven refinement vs balance-only partitioning
+//
+// References (corpus generation + reference homogeneous runs) are built
+// once per bus configuration and shared across all sensitivity studies,
+// since those only change the pricing model or the heterogeneous run.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/confsel"
+	"repro/internal/isa"
+	"repro/internal/loopgen"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+)
+
+// confselDefaultSpace returns the paper's design space (indirection keeps
+// the import local to the studies that override it).
+func confselDefaultSpace() confsel.Space { return confsel.DefaultSpace() }
+
+// Suite caches per-bus references and runs the experiments.
+type Suite struct {
+	opts pipeline.Options
+
+	mu   sync.Mutex
+	refs map[int][]*pipeline.Reference
+}
+
+// New creates a Suite; opts.Buses is ignored (each experiment sets it).
+func New(opts pipeline.Options) *Suite {
+	return &Suite{opts: opts, refs: make(map[int][]*pipeline.Reference)}
+}
+
+// references builds (or returns cached) reference runs for a bus count.
+func (s *Suite) references(buses int) ([]*pipeline.Reference, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.refs[buses]; ok {
+		return r, nil
+	}
+	opts := s.opts
+	opts.Buses = buses
+	opts.EnergyAware = true
+	var refs []*pipeline.Reference
+	for _, name := range loopgen.Names() {
+		ref, err := pipeline.BuildReference(name, opts)
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, ref)
+	}
+	s.refs[buses] = refs
+	return refs, nil
+}
+
+func (s *Suite) evaluate(buses int, mutate func(*pipeline.Options)) (*pipeline.SuiteResult, error) {
+	refs, err := s.references(buses)
+	if err != nil {
+		return nil, err
+	}
+	opts := s.opts
+	opts.Buses = buses
+	opts.EnergyAware = true
+	if mutate != nil {
+		mutate(&opts)
+	}
+	return pipeline.EvaluateSuite(refs, opts)
+}
+
+// ---------------------------------------------------------------- Table 1
+
+// Table1String renders the paper's Table 1 from the ISA definition.
+func Table1String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: latency (cycles) and energy relative to an integer add\n")
+	fmt.Fprintf(&b, "%-22s %8s %8s\n", "class", "latency", "energy")
+	for _, c := range isa.Classes() {
+		fmt.Fprintf(&b, "%-22s %8d %8.1f\n", c.String(), c.Latency(), c.RelativeEnergy())
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table 2
+
+// Table2Row is one benchmark's measured execution-time split.
+type Table2Row struct {
+	Name   string
+	Shares [3]float64
+}
+
+// Table2 measures the per-class execution-time split on the reference
+// homogeneous machine with one bus (as in the paper).
+func (s *Suite) Table2() ([]Table2Row, error) {
+	refs, err := s.references(1)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table2Row, 0, len(refs))
+	for _, ref := range refs {
+		rows = append(rows, Table2Row{Name: ref.Profile.Name, Shares: ref.Table2})
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders Table 2 rows like the paper.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: %% of execution time per loop class (reference homogeneous, 1 bus)\n")
+	fmt.Fprintf(&b, "%-10s %16s %26s %18s\n", "benchmark",
+		"recMII<resMII", "resMII≤recMII<1.3resMII", "1.3resMII≤recMII")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %15.2f%% %25.2f%% %17.2f%%\n",
+			r.Name, r.Shares[0]*100, r.Shares[1]*100, r.Shares[2]*100)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+// Fig6 holds the per-benchmark ED² ratios for both bus configurations.
+type Fig6 struct {
+	Series []*pipeline.SuiteResult // index 0: 1 bus, index 1: 2 buses
+}
+
+// Figure6 reproduces the paper's headline result.
+func (s *Suite) Figure6() (*Fig6, error) {
+	out := &Fig6{}
+	for _, buses := range []int{1, 2} {
+		sr, err := s.evaluate(buses, nil)
+		if err != nil {
+			return nil, err
+		}
+		out.Series = append(out.Series, sr)
+	}
+	return out, nil
+}
+
+// String renders Figure 6 as bar rows.
+func (f *Fig6) String() string {
+	var b strings.Builder
+	for i, sr := range f.Series {
+		fmt.Fprintf(&b, "Figure 6 (%d bus%s): ED2 of heterogeneous vs optimum homogeneous (τ=%v)\n",
+			i+1, map[bool]string{true: "es", false: ""}[i == 1], sr.HomPeriod)
+		for _, r := range sr.Benchmarks {
+			fmt.Fprintf(&b, "  %-9s %5.3f %s\n", r.Name, r.ED2Ratio, bar(r.ED2Ratio))
+		}
+		fmt.Fprintf(&b, "  %-9s %5.3f %s\n", "mean", sr.Mean, bar(sr.Mean))
+	}
+	return b.String()
+}
+
+func bar(v float64) string {
+	n := int(v * 50)
+	if n < 0 {
+		n = 0
+	}
+	if n > 60 {
+		n = 60
+	}
+	return strings.Repeat("█", n)
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+// Fig7Row is the mean ED² ratio under a limited frequency count.
+type Fig7Row struct {
+	FreqCount int // 0 = any
+	Mean      [2]float64
+	Sync      [2]int // total synchronization IT increases (1 and 2 buses)
+}
+
+// Figure7 reproduces the frequency-count sensitivity: {any, 16, 8, 4}.
+func (s *Suite) Figure7() ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, count := range []int{0, 16, 8, 4} {
+		row := Fig7Row{FreqCount: count}
+		for bi, buses := range []int{1, 2} {
+			sr, err := s.evaluate(buses, func(o *pipeline.Options) { o.FreqCount = count })
+			if err != nil {
+				return nil, err
+			}
+			row.Mean[bi] = sr.Mean
+			for _, r := range sr.Benchmarks {
+				row.Sync[bi] += r.SyncIncreases
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFig7 renders the Figure 7 rows.
+func FormatFig7(rows []Fig7Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: mean ED2 ratio vs number of supported frequencies\n")
+	fmt.Fprintf(&b, "%-10s %10s %10s %14s\n", "freqs", "1 bus", "2 buses", "sync IT grows")
+	for _, r := range rows {
+		label := "any"
+		if r.FreqCount > 0 {
+			label = fmt.Sprintf("%d", r.FreqCount)
+		}
+		fmt.Fprintf(&b, "%-10s %10.3f %10.3f %8d/%d\n", label, r.Mean[0], r.Mean[1], r.Sync[0], r.Sync[1])
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+// Fig8Row is the mean ED² ratio under different ICN/cache energy splits.
+type Fig8Row struct {
+	ICN, Cache float64
+	Mean       [2]float64
+}
+
+// Figure8 reproduces the energy-fraction sensitivity. The paper's columns:
+// .1/.25, .1/.33, .15/.3, .2/.25, .2/.3 (ICN / cache). Each variant
+// recalibrates and recomputes its own optimum homogeneous.
+func (s *Suite) Figure8() ([]Fig8Row, error) {
+	pairs := [][2]float64{{0.10, 0.25}, {0.10, 1.0 / 3.0}, {0.15, 0.30}, {0.20, 0.25}, {0.20, 0.30}}
+	var rows []Fig8Row
+	for _, p := range pairs {
+		row := Fig8Row{ICN: p[0], Cache: p[1]}
+		for bi, buses := range []int{1, 2} {
+			sr, err := s.evaluate(buses, func(o *pipeline.Options) {
+				fr := power.DefaultFractions()
+				fr.ICN = p[0]
+				fr.Cache = p[1]
+				o.Fractions = fr
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Mean[bi] = sr.Mean
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFig8 renders the Figure 8 rows.
+func FormatFig8(rows []Fig8Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: mean ED2 ratio varying ICN/cache energy fractions\n")
+	fmt.Fprintf(&b, "%-12s %10s %10s\n", "ICN/cache", "1 bus", "2 buses")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%.2f / %.2f  %10.3f %10.3f\n", r.ICN, r.Cache, r.Mean[0], r.Mean[1])
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 9
+
+// Fig9Row is the mean ED² ratio under different leakage assumptions.
+type Fig9Row struct {
+	Cluster, ICN, Cache float64
+	Mean                [2]float64
+}
+
+// Figure9 reproduces the leakage sensitivity. The paper's columns
+// (cluster/ICN/cache): .25/.05/.6, .33/.1/.66, .4/.15/.7, .2/.1/.75.
+func (s *Suite) Figure9() ([]Fig9Row, error) {
+	triples := [][3]float64{
+		{0.25, 0.05, 0.60},
+		{1.0 / 3.0, 0.10, 2.0 / 3.0},
+		{0.40, 0.15, 0.70},
+		{0.20, 0.10, 0.75},
+	}
+	var rows []Fig9Row
+	for _, tr := range triples {
+		row := Fig9Row{Cluster: tr[0], ICN: tr[1], Cache: tr[2]}
+		for bi, buses := range []int{1, 2} {
+			sr, err := s.evaluate(buses, func(o *pipeline.Options) {
+				fr := power.DefaultFractions()
+				fr.LeakCluster = tr[0]
+				fr.LeakICN = tr[1]
+				fr.LeakCache = tr[2]
+				o.Fractions = fr
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Mean[bi] = sr.Mean
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFig9 renders the Figure 9 rows.
+func FormatFig9(rows []Fig9Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: mean ED2 ratio varying leakage fractions (cluster/ICN/cache)\n")
+	fmt.Fprintf(&b, "%-16s %10s %10s\n", "leakage", "1 bus", "2 buses")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%.2f/%.2f/%.2f   %10.3f %10.3f\n",
+			r.Cluster, r.ICN, r.Cache, r.Mean[0], r.Mean[1])
+	}
+	return b.String()
+}
+
+// -------------------------------------------------------------- Fast count
+
+// NumFastRow is the mean ED² ratio with a given number of fast clusters.
+type NumFastRow struct {
+	NumFast int
+	Mean    [2]float64
+}
+
+// NumFastStudy explores the first axis of the paper's design space
+// ("varying the number of fast clusters"): the Section 5 results fix one
+// fast + three slow clusters; this study re-runs selection and scheduling
+// with one, two and three performance-oriented clusters.
+func (s *Suite) NumFastStudy() ([]NumFastRow, error) {
+	var rows []NumFastRow
+	for _, nf := range []int{1, 2, 3} {
+		row := NumFastRow{NumFast: nf}
+		for bi, buses := range []int{1, 2} {
+			sr, err := s.evaluate(buses, func(o *pipeline.Options) {
+				sp := confselDefaultSpace()
+				sp.NumFast = nf
+				o.Space = &sp
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Mean[bi] = sr.Mean
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatNumFast renders the fast-cluster-count study.
+func FormatNumFast(rows []NumFastRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fast-cluster count study: mean ED2 ratio\n")
+	fmt.Fprintf(&b, "%-12s %10s %10s\n", "fast", "1 bus", "2 buses")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d fast/%d slow %9.3f %10.3f\n", r.NumFast, 4-r.NumFast, r.Mean[0], r.Mean[1])
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Ablation
+
+// AblationRow compares the ED²-aware partitioner against balance-only.
+type AblationRow struct {
+	Name            string
+	Aware, Balanced float64
+}
+
+// Ablation runs the 1-bus evaluation with and without the ED²-driven
+// refinement (our addition; the paper motivates the heuristic in 4.1.2).
+func (s *Suite) Ablation() ([]AblationRow, error) {
+	aware, err := s.evaluate(1, nil)
+	if err != nil {
+		return nil, err
+	}
+	blind, err := s.evaluate(1, func(o *pipeline.Options) { o.EnergyAware = false })
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for i := range aware.Benchmarks {
+		rows = append(rows, AblationRow{
+			Name:     aware.Benchmarks[i].Name,
+			Aware:    aware.Benchmarks[i].ED2Ratio,
+			Balanced: blind.Benchmarks[i].ED2Ratio,
+		})
+	}
+	rows = append(rows, AblationRow{Name: "mean", Aware: aware.Mean, Balanced: blind.Mean})
+	return rows, nil
+}
+
+// FormatAblation renders the ablation rows.
+func FormatAblation(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: ED2 ratio with ED2-aware vs balance-only partitioning (1 bus)\n")
+	fmt.Fprintf(&b, "%-10s %10s %14s\n", "benchmark", "ED2-aware", "balance-only")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %10.3f %14.3f\n", r.Name, r.Aware, r.Balanced)
+	}
+	return b.String()
+}

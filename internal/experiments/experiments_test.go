@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func smallSuite() *Suite {
+	return New(pipeline.Options{LoopsPerBenchmark: 8})
+}
+
+func TestTable1String(t *testing.T) {
+	s := Table1String()
+	for _, want := range []string{"fp.div", "18", "2.0", "load", "int.mul"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable2MatchesPaperShape(t *testing.T) {
+	s := smallSuite()
+	rows, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("want 10 rows, got %d", len(rows))
+	}
+	byName := map[string][3]float64{}
+	for _, r := range rows {
+		byName[r.Name] = r.Shares
+		sum := r.Shares[0] + r.Shares[1] + r.Shares[2]
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s shares sum to %g", r.Name, sum)
+		}
+	}
+	// Key qualitative rows of the paper's Table 2.
+	if byName["swim"][0] < 0.98 {
+		t.Errorf("swim should be ≈100%% resource bound: %v", byName["swim"])
+	}
+	if byName["sixtrack"][2] < 0.98 {
+		t.Errorf("sixtrack should be ≈100%% recurrence bound: %v", byName["sixtrack"])
+	}
+	if byName["wupwise"][1] < 0.5 {
+		t.Errorf("wupwise should be mostly borderline: %v", byName["wupwise"])
+	}
+	if byName["facerec"][2] < 0.7 {
+		t.Errorf("facerec should be mostly recurrence bound: %v", byName["facerec"])
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "swim") || !strings.Contains(out, "%") {
+		t.Error("Table 2 formatting broken")
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	s := smallSuite()
+	f, err := s.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 2 {
+		t.Fatal("need 1-bus and 2-bus series")
+	}
+	for bi, sr := range f.Series {
+		if len(sr.Benchmarks) != 10 {
+			t.Fatalf("series %d has %d benchmarks", bi, len(sr.Benchmarks))
+		}
+		var sixtrack, best float64 = 0, 2
+		for _, r := range sr.Benchmarks {
+			// Heterogeneity helps every benchmark (Section 5.2's main
+			// conclusion) — allow a small tolerance for noise.
+			if r.ED2Ratio > 1.02 {
+				t.Errorf("buses=%d %s: ED2 ratio %.3f > 1", bi+1, r.Name, r.ED2Ratio)
+			}
+			if r.Name == "sixtrack" {
+				sixtrack = r.ED2Ratio
+			}
+			if r.ED2Ratio < best {
+				best = r.ED2Ratio
+			}
+		}
+		// Mean benefit in the paper's ballpark (15%): accept 5–25%.
+		if sr.Mean < 0.75 || sr.Mean > 0.95 {
+			t.Errorf("buses=%d mean ratio %.3f outside [0.75, 0.95]", bi+1, sr.Mean)
+		}
+		// sixtrack is the biggest winner.
+		if sixtrack > best+1e-9 {
+			t.Errorf("buses=%d sixtrack %.3f is not the best (%.3f)", bi+1, sixtrack, best)
+		}
+	}
+	// 1-bus and 2-bus results are similar (paper: "benefits ... are
+	// similar, independent of whether 1 or 2 buses are used").
+	if d := math.Abs(f.Series[0].Mean - f.Series[1].Mean); d > 0.05 {
+		t.Errorf("bus sensitivity too high: Δmean = %.3f", d)
+	}
+	if out := f.String(); !strings.Contains(out, "mean") {
+		t.Error("Figure 6 formatting broken")
+	}
+}
+
+func TestFigure7Monotonicity(t *testing.T) {
+	s := smallSuite()
+	rows, err := s.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[0].FreqCount != 0 || rows[3].FreqCount != 4 {
+		t.Fatalf("unexpected rows: %+v", rows)
+	}
+	for bi := 0; bi < 2; bi++ {
+		anyF := rows[0].Mean[bi]
+		// 16 frequencies ≈ any (paper: under 0.1%; we allow 2%).
+		if rows[1].Mean[bi] > anyF+0.02 {
+			t.Errorf("16 freqs degrades too much: %.3f vs %.3f", rows[1].Mean[bi], anyF)
+		}
+		// 4 frequencies within a few percent (paper: 2%).
+		if rows[3].Mean[bi] > anyF+0.06 {
+			t.Errorf("4 freqs degrades too much: %.3f vs %.3f", rows[3].Mean[bi], anyF)
+		}
+	}
+	// Constrained frequencies trigger synchronization IT increases.
+	if rows[3].Sync[0] == 0 {
+		t.Error("4-frequency run should report sync IT increases")
+	}
+	if out := FormatFig7(rows); !strings.Contains(out, "any") {
+		t.Error("Figure 7 formatting broken")
+	}
+}
+
+func TestFigure8Insensitivity(t *testing.T) {
+	s := smallSuite()
+	rows, err := s.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("want 5 fraction pairs, got %d", len(rows))
+	}
+	for bi := 0; bi < 2; bi++ {
+		lo, hi := 2.0, 0.0
+		for _, r := range rows {
+			if r.Mean[bi] < lo {
+				lo = r.Mean[bi]
+			}
+			if r.Mean[bi] > hi {
+				hi = r.Mean[bi]
+			}
+		}
+		// Paper: "results vary slightly".
+		if hi-lo > 0.08 {
+			t.Errorf("buses=%d: fraction sensitivity %.3f too large", bi+1, hi-lo)
+		}
+	}
+	if out := FormatFig8(rows); !strings.Contains(out, "ICN/cache") {
+		t.Error("Figure 8 formatting broken")
+	}
+}
+
+func TestFigure9Insensitivity(t *testing.T) {
+	s := smallSuite()
+	rows, err := s.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want 4 leakage triples, got %d", len(rows))
+	}
+	for bi := 0; bi < 2; bi++ {
+		lo, hi := 2.0, 0.0
+		for _, r := range rows {
+			if r.Mean[bi] < lo {
+				lo = r.Mean[bi]
+			}
+			if r.Mean[bi] > hi {
+				hi = r.Mean[bi]
+			}
+		}
+		// Paper: "changing these percentages has little impact".
+		if hi-lo > 0.08 {
+			t.Errorf("buses=%d: leakage sensitivity %.3f too large", bi+1, hi-lo)
+		}
+	}
+	if out := FormatFig9(rows); !strings.Contains(out, "leakage") {
+		t.Error("Figure 9 formatting broken")
+	}
+}
+
+func TestAblation(t *testing.T) {
+	s := smallSuite()
+	rows, err := s.Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("want 10 benchmarks + mean, got %d", len(rows))
+	}
+	mean := rows[len(rows)-1]
+	// The ED²-aware refinement must not be worse overall than balance-only.
+	if mean.Aware > mean.Balanced+0.01 {
+		t.Errorf("ED2-aware mean %.3f worse than balance-only %.3f",
+			mean.Aware, mean.Balanced)
+	}
+	if out := FormatAblation(rows); !strings.Contains(out, "balance-only") {
+		t.Error("ablation formatting broken")
+	}
+}
+
+func TestNumFastStudy(t *testing.T) {
+	s := smallSuite()
+	rows, err := s.NumFastStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		for bi := 0; bi < 2; bi++ {
+			if r.Mean[bi] <= 0 || r.Mean[bi] > 1.1 {
+				t.Errorf("numFast=%d buses=%d: mean %.3f implausible",
+					r.NumFast, bi+1, r.Mean[bi])
+			}
+		}
+	}
+	// The paper settles on one fast cluster; more fast clusters shrink
+	// the pool of cheap slow clusters, so the benefit should not improve
+	// dramatically (allow equality/noise).
+	if rows[2].Mean[0] < rows[0].Mean[0]-0.05 {
+		t.Errorf("3 fast clusters much better than 1 (%.3f vs %.3f)?",
+			rows[2].Mean[0], rows[0].Mean[0])
+	}
+	if out := FormatNumFast(rows); !strings.Contains(out, "fast/") {
+		t.Error("numfast formatting broken")
+	}
+}

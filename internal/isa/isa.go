@@ -1,0 +1,181 @@
+// Package isa defines the instruction-set model of the clustered VLIW
+// machine studied in "Heterogeneous Clustered VLIW Microarchitectures"
+// (Aletà, Codina, González, Kaeli — CGO 2007).
+//
+// The machine follows the HPL-PD style assumed by the paper: integer and
+// floating-point operations execute on per-cluster functional units, memory
+// operations use a per-cluster memory port against a shared cache, values
+// move between clusters with explicit copy operations over register buses,
+// and branches are unbundled (target computation, condition evaluation and
+// control transfer are separate operations).
+//
+// Latencies are expressed in cycles of the executing component's own clock
+// domain and are therefore configuration independent; energies are relative
+// to one integer add, exactly as in Table 1 of the paper.
+package isa
+
+import "fmt"
+
+// Class identifies the resource class of an operation. The scheduler
+// allocates one slot of the corresponding per-cluster resource (or of the
+// inter-cluster bus for Copy) per operation.
+type Class uint8
+
+const (
+	// IntALU is an integer arithmetic/logic operation (add, sub, shift…).
+	IntALU Class = iota
+	// IntMul is an integer multiply.
+	IntMul
+	// IntDiv is an integer divide, modulo or square root.
+	IntDiv
+	// FPALU is a floating-point add/sub/compare.
+	FPALU
+	// FPMul is a floating-point multiply.
+	FPMul
+	// FPDiv is a floating-point divide, modulo or square root.
+	FPDiv
+	// Load is a memory read through the cluster's memory port.
+	Load
+	// Store is a memory write through the cluster's memory port.
+	Store
+	// Copy is an inter-cluster register copy over a register bus. It is
+	// never present in source DDGs; the scheduler materializes copies.
+	Copy
+	// BranchTarget computes a branch destination (unbundled branch, step 1).
+	BranchTarget
+	// BranchCond evaluates the branch condition (unbundled branch, step 2).
+	BranchCond
+	// BranchCtrl performs the control transfer (unbundled branch, step 3).
+	BranchCtrl
+	numClasses
+)
+
+// NumClasses is the number of operation classes.
+const NumClasses = int(numClasses)
+
+var classNames = [...]string{
+	IntALU:       "int.alu",
+	IntMul:       "int.mul",
+	IntDiv:       "int.div",
+	FPALU:        "fp.alu",
+	FPMul:        "fp.mul",
+	FPDiv:        "fp.div",
+	Load:         "load",
+	Store:        "store",
+	Copy:         "copy",
+	BranchTarget: "br.target",
+	BranchCond:   "br.cond",
+	BranchCtrl:   "br.ctrl",
+}
+
+// String returns the mnemonic name of the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Valid reports whether c is a defined operation class.
+func (c Class) Valid() bool { return c < numClasses }
+
+// Resource is the kind of hardware slot an operation occupies.
+type Resource uint8
+
+const (
+	// ResIntFU is a per-cluster integer functional unit.
+	ResIntFU Resource = iota
+	// ResFPFU is a per-cluster floating-point functional unit.
+	ResFPFU
+	// ResMemPort is a per-cluster memory port.
+	ResMemPort
+	// ResBus is an inter-cluster register bus (shared, ICN domain).
+	ResBus
+	numResources
+)
+
+// NumResources is the number of distinct resource kinds.
+const NumResources = int(numResources)
+
+var resourceNames = [...]string{
+	ResIntFU:   "int-fu",
+	ResFPFU:    "fp-fu",
+	ResMemPort: "mem-port",
+	ResBus:     "bus",
+}
+
+// String returns the name of the resource kind.
+func (r Resource) String() string {
+	if int(r) < len(resourceNames) {
+		return resourceNames[r]
+	}
+	return fmt.Sprintf("resource(%d)", uint8(r))
+}
+
+// Attr describes the scheduling-relevant attributes of an operation class.
+type Attr struct {
+	// Latency is the operation latency in cycles of the clock domain in
+	// which the operation executes (Table 1 of the paper).
+	Latency int
+	// Energy is the average dynamic energy of one operation relative to
+	// an integer add (Table 1 of the paper).
+	Energy float64
+	// Resource is the hardware slot occupied by the operation.
+	Resource Resource
+}
+
+// attrs is Table 1 of the paper, extended with the copy and unbundled
+// branch operations of the HPL-PD-style machine. Memory latency is 2 in
+// both integer and FP pipes; branches behave as 1-cycle integer ops; copies
+// take one bus cycle and cost one bus communication (accounted separately
+// by the energy model, so their Energy here is zero).
+var attrs = [...]Attr{
+	IntALU:       {Latency: 1, Energy: 1.0, Resource: ResIntFU},
+	IntMul:       {Latency: 2, Energy: 1.1, Resource: ResIntFU},
+	IntDiv:       {Latency: 6, Energy: 1.4, Resource: ResIntFU},
+	FPALU:        {Latency: 3, Energy: 1.2, Resource: ResFPFU},
+	FPMul:        {Latency: 6, Energy: 1.5, Resource: ResFPFU},
+	FPDiv:        {Latency: 18, Energy: 2.0, Resource: ResFPFU},
+	Load:         {Latency: 2, Energy: 1.0, Resource: ResMemPort},
+	Store:        {Latency: 1, Energy: 1.0, Resource: ResMemPort},
+	Copy:         {Latency: 1, Energy: 0.0, Resource: ResBus},
+	BranchTarget: {Latency: 1, Energy: 1.0, Resource: ResIntFU},
+	BranchCond:   {Latency: 1, Energy: 1.0, Resource: ResIntFU},
+	BranchCtrl:   {Latency: 1, Energy: 1.0, Resource: ResIntFU},
+}
+
+// Latency returns the latency, in executing-domain cycles, of class c.
+func (c Class) Latency() int { return attrs[c].Latency }
+
+// RelativeEnergy returns the average dynamic energy of one operation of
+// class c relative to an integer add (Table 1).
+func (c Class) RelativeEnergy() float64 { return attrs[c].Energy }
+
+// Resource returns the hardware slot kind occupied by class c.
+func (c Class) Resource() Resource { return attrs[c].Resource }
+
+// IsMemory reports whether the class accesses the memory hierarchy (and
+// therefore contributes a cache access to the energy model).
+func (c Class) IsMemory() bool { return c == Load || c == Store }
+
+// IsBranch reports whether the class is part of an unbundled branch.
+func (c Class) IsBranch() bool {
+	return c == BranchTarget || c == BranchCond || c == BranchCtrl
+}
+
+// Table1 returns a copy of the full attribute table, indexed by Class.
+// It is exported so that reports can print the paper's Table 1.
+func Table1() []Attr {
+	out := make([]Attr, len(attrs))
+	copy(out, attrs[:])
+	return out
+}
+
+// Classes returns all operation classes in declaration order.
+func Classes() []Class {
+	out := make([]Class, NumClasses)
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package isa
+
+import "testing"
+
+// TestTable1Latencies pins the latencies of Table 1 of the paper.
+func TestTable1Latencies(t *testing.T) {
+	cases := []struct {
+		class Class
+		want  int
+	}{
+		{Load, 2}, {Store, 1},
+		{IntALU, 1}, {IntMul, 2}, {IntDiv, 6},
+		{FPALU, 3}, {FPMul, 6}, {FPDiv, 18},
+		{Copy, 1},
+		{BranchTarget, 1}, {BranchCond, 1}, {BranchCtrl, 1},
+	}
+	for _, c := range cases {
+		if got := c.class.Latency(); got != c.want {
+			t.Errorf("%s latency = %d, want %d", c.class, got, c.want)
+		}
+	}
+}
+
+// TestTable1Energies pins the relative energies of Table 1.
+func TestTable1Energies(t *testing.T) {
+	cases := []struct {
+		class Class
+		want  float64
+	}{
+		{Load, 1.0}, {Store, 1.0},
+		{IntALU, 1.0}, {IntMul, 1.1}, {IntDiv, 1.4},
+		{FPALU, 1.2}, {FPMul, 1.5}, {FPDiv, 2.0},
+	}
+	for _, c := range cases {
+		if got := c.class.RelativeEnergy(); got != c.want {
+			t.Errorf("%s energy = %g, want %g", c.class, got, c.want)
+		}
+	}
+}
+
+func TestResourceMapping(t *testing.T) {
+	if IntALU.Resource() != ResIntFU || IntDiv.Resource() != ResIntFU {
+		t.Errorf("integer ops must use the integer FU")
+	}
+	if FPALU.Resource() != ResFPFU || FPDiv.Resource() != ResFPFU {
+		t.Errorf("FP ops must use the FP FU")
+	}
+	if Load.Resource() != ResMemPort || Store.Resource() != ResMemPort {
+		t.Errorf("memory ops must use the memory port")
+	}
+	if Copy.Resource() != ResBus {
+		t.Errorf("copies must use the bus")
+	}
+	for _, c := range []Class{BranchTarget, BranchCond, BranchCtrl} {
+		if c.Resource() != ResIntFU {
+			t.Errorf("%s should issue on the integer FU", c)
+		}
+		if !c.IsBranch() {
+			t.Errorf("%s should be a branch", c)
+		}
+	}
+}
+
+func TestIsMemory(t *testing.T) {
+	for _, c := range Classes() {
+		want := c == Load || c == Store
+		if got := c.IsMemory(); got != want {
+			t.Errorf("%s IsMemory = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestClassStringAndValid(t *testing.T) {
+	for _, c := range Classes() {
+		if !c.Valid() {
+			t.Errorf("%d should be valid", c)
+		}
+		if c.String() == "" {
+			t.Errorf("class %d has empty name", c)
+		}
+	}
+	if Class(200).Valid() {
+		t.Error("out-of-range class reported valid")
+	}
+	if Class(200).String() == "" {
+		t.Error("out-of-range class should still format")
+	}
+	if Resource(200).String() == "" {
+		t.Error("out-of-range resource should still format")
+	}
+}
+
+func TestTable1Copy(t *testing.T) {
+	tab := Table1()
+	if len(tab) != NumClasses {
+		t.Fatalf("Table1 has %d rows, want %d", len(tab), NumClasses)
+	}
+	tab[int(IntALU)].Latency = 99
+	if IntALU.Latency() == 99 {
+		t.Error("Table1 must return a copy, not the internal table")
+	}
+}

@@ -1,0 +1,320 @@
+package loopgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ddg"
+	"repro/internal/isa"
+)
+
+// generateLoop produces a DDG of the requested Table 2 class, retrying the
+// randomized construction until the classification (computed exactly on
+// the reference machine) matches.
+func generateLoop(rng *rand.Rand, prof *profile, class LoopClass) *ddg.Graph {
+	for attempt := 0; attempt < 64; attempt++ {
+		var g *ddg.Graph
+		switch class {
+		case ResourceBound:
+			g = genResourceBound(rng)
+		case Borderline:
+			g = genBorderline(rng)
+		default:
+			switch {
+			case prof.lowTripCount:
+				g = genRecurrenceTightSlack(rng)
+			case prof.fewOpRecurrences:
+				g = genRecurrenceFewOps(rng)
+			default:
+				g = genRecurrenceManyOps(rng)
+			}
+		}
+		if err := g.Validate(); err != nil {
+			continue
+		}
+		if classify(g) == class {
+			return g
+		}
+	}
+	panic(fmt.Sprintf("loopgen: could not generate a %v loop", class))
+}
+
+// addInduction adds the loop's induction variable (a 1-cycle integer add
+// with a distance-1 self dependence) and the unbundled branch triplet that
+// every software-pipelined loop carries (HPL-PD style: target computation,
+// condition evaluation on the induction value, control transfer).
+func addInduction(g *ddg.Graph) int {
+	ind := g.AddOp(isa.IntALU, "i++")
+	g.AddDep(ind, ind, 1)
+	bt := g.AddOp(isa.BranchTarget, "btgt")
+	bc := g.AddOp(isa.BranchCond, "bcond")
+	g.AddDep(ind, bc, 0)
+	ct := g.AddOp(isa.BranchCtrl, "bctrl")
+	g.AddEdge(ddg.Edge{From: bt, To: ct, Latency: 1, Dist: 0})
+	g.AddEdge(ddg.Edge{From: bc, To: ct, Latency: 1, Dist: 0})
+	return ind
+}
+
+// fpOp draws a floating-point op class with SPECfp-like frequencies.
+func fpOp(rng *rand.Rand) isa.Class {
+	switch r := rng.Float64(); {
+	case r < 0.55:
+		return isa.FPALU
+	case r < 0.92:
+		return isa.FPMul
+	default:
+		return isa.FPDiv
+	}
+}
+
+// genStreams builds `streams` independent load→compute→(store) chains fed
+// by the induction variable — the shape of stencil/array codes like swim
+// and mgrid. Returns the last compute op of each stream.
+func genStreams(g *ddg.Graph, rng *rand.Rand, ind, streams, depth int, withStores bool) []int {
+	return genStreamsLoads(g, rng, ind, streams, depth, withStores, 2)
+}
+
+// genStreamsLoads is genStreams with an explicit bound on loads per stream
+// (compute-rich kernels keep coefficients in registers and load little).
+func genStreamsLoads(g *ddg.Graph, rng *rand.Rand, ind, streams, depth int, withStores bool, maxLoads int) []int {
+	outs := make([]int, 0, streams)
+	for s := 0; s < streams; s++ {
+		nLoads := 1 + rng.Intn(maxLoads)
+		var inputs []int
+		for l := 0; l < nLoads; l++ {
+			addr := g.AddOp(isa.IntALU, "addr")
+			g.AddDep(ind, addr, 0)
+			ld := g.AddOp(isa.Load, "ld")
+			g.AddDep(addr, ld, 0)
+			inputs = append(inputs, ld)
+		}
+		cur := inputs[0]
+		for d := 0; d < depth; d++ {
+			op := g.AddOp(fpOp(rng), "fp")
+			g.AddDep(cur, op, 0)
+			if d == 0 && len(inputs) > 1 {
+				g.AddDep(inputs[1], op, 0)
+			}
+			cur = op
+		}
+		if withStores && rng.Float64() < 0.7 {
+			st := g.AddOp(isa.Store, "st")
+			g.AddDep(cur, st, 0)
+			g.AddDep(ind, st, 0)
+		}
+		outs = append(outs, cur)
+	}
+	return outs
+}
+
+// genResourceBound builds a wide, recurrence-free loop (except the trivial
+// induction): its MII is set by memory ports and FP units, recMII stays at
+// the 1-cycle induction. Stencil-like: many parallel streams, shallow FP.
+func genResourceBound(rng *rand.Rand) *ddg.Graph {
+	g := ddg.New("res")
+	ind := addInduction(g)
+	streams := 3 + rng.Intn(4) // 3..6 parallel streams
+	depth := 1 + rng.Intn(2)   // shallow compute
+	genStreams(g, rng, ind, streams, depth, true)
+	return g
+}
+
+// genBorderline starts from a narrower resource-bound body and inserts an
+// integer/FP recurrence whose recMII lands in [resMII, 1.3·resMII): loops
+// that are recurrence constrained on the homogeneous machine but become
+// resource constrained as soon as slow clusters shrink the capacity.
+func genBorderline(rng *rand.Rand) *ddg.Graph {
+	g := ddg.New("mid")
+	ind := addInduction(g)
+	streams := 2 + rng.Intn(3)
+	genStreams(g, rng, ind, streams, 1+rng.Intn(2), true)
+	// Current resMII without the recurrence.
+	_, resMII := MIIOf(g)
+	// Target recMII r with resMII ≤ r < 1.3·resMII. Adding r int ops can
+	// push resMII up; iterate once to converge.
+	for try := 0; try < 3; try++ {
+		r := resMII + rng.Intn(maxInt(1, int(0.3*float64(resMII))))
+		intOps := (r + 3) / 4 * 4 // future int usage estimate
+		newResMII := recomputeResMIIWithExtraInt(g, intOps)
+		if r >= newResMII {
+			buildIntRecurrence(g, ind, r)
+			return g
+		}
+		resMII = newResMII
+	}
+	buildIntRecurrence(g, ind, resMII)
+	return g
+}
+
+// buildIntRecurrence appends a chain of `lat` 1-cycle integer ops closed
+// with a distance-1 back edge: recMII contribution exactly lat.
+func buildIntRecurrence(g *ddg.Graph, ind, lat int) {
+	if lat < 1 {
+		lat = 1
+	}
+	first := g.AddOp(isa.IntALU, "rec")
+	prev := first
+	for i := 1; i < lat; i++ {
+		op := g.AddOp(isa.IntALU, "rec")
+		g.AddDep(prev, op, 0)
+		prev = op
+	}
+	g.AddDep(prev, first, 1)
+	g.AddDep(ind, first, 0)
+}
+
+func recomputeResMIIWithExtraInt(g *ddg.Graph, extraInt int) int {
+	counts := g.CountByResource()
+	counts[isa.ResIntFU] += extraInt
+	mii := 1
+	for r, uses := range counts {
+		units := 4
+		if isa.Resource(r) == isa.ResBus {
+			continue
+		}
+		if uses == 0 {
+			continue
+		}
+		if v := (uses + units - 1) / units; v > mii {
+			mii = v
+		}
+	}
+	return mii
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// genRecurrenceFewOps builds a loop dominated by a short, high-latency FP
+// recurrence (1–3 ops — e.g. the phase rotation of sixtrack or facerec's
+// correlation update) surrounded by plenty of independent, slack-rich
+// work: the archetype where heterogeneity shines, because only the few
+// recurrence ops need the fast cluster.
+func genRecurrenceFewOps(rng *rand.Rand) *ddg.Graph {
+	g := ddg.New("recfew")
+	ind := addInduction(g)
+	// Critical recurrence: 1-3 FP ops, total latency 9..21, distance 1.
+	var recOps []isa.Class
+	switch rng.Intn(4) {
+	case 0:
+		recOps = []isa.Class{isa.FPMul, isa.FPALU} // 9
+	case 1:
+		recOps = []isa.Class{isa.FPMul, isa.FPMul, isa.FPALU} // 15
+	case 2:
+		recOps = []isa.Class{isa.FPDiv} // 18
+	default:
+		recOps = []isa.Class{isa.FPDiv, isa.FPALU} // 21
+	}
+	first := g.AddOp(recOps[0], "crit")
+	prev := first
+	for _, c := range recOps[1:] {
+		op := g.AddOp(c, "crit")
+		g.AddDep(prev, op, 0)
+		prev = op
+	}
+	g.AddDep(prev, first, 1)
+	// Plenty of independent, slack-rich work — the energy that slow
+	// clusters can absorb. The classify retry in generateLoop enforces
+	// recMII ≥ 1.3·resMII exactly. Some streams feed the recurrence
+	// through a next-iteration edge (consumers with plenty of slack).
+	streams := 3 + rng.Intn(3)
+	outs := genStreamsLoads(g, rng, ind, streams, 2+rng.Intn(2), true, 1)
+	for _, o := range outs {
+		if rng.Float64() < 0.5 {
+			g.AddDep(o, first, 1) // through next iteration: keeps slack
+		}
+	}
+	// A consumer of the critical value (e.g. a store of the running sum).
+	st := g.AddOp(isa.Store, "st.crit")
+	g.AddDep(prev, st, 0)
+	return g
+}
+
+// genRecurrenceManyOps builds a loop whose critical recurrence contains
+// many operations (fma3d/apsi style elemental update chains): to speed the
+// loop up, many instructions must move to the fast cluster, so energy
+// savings are limited even though the speedup matches the few-op case.
+func genRecurrenceManyOps(rng *rand.Rand) *ddg.Graph {
+	g := ddg.New("recmany")
+	ind := addInduction(g)
+	// 8..12 mostly-FP ops in the circuit, distance 1: most of the loop's
+	// energy sits on the critical circuit itself.
+	n := 8 + rng.Intn(5)
+	classes := make([]isa.Class, n)
+	for i := range classes {
+		if rng.Float64() < 0.7 {
+			classes[i] = isa.FPALU
+		} else {
+			classes[i] = isa.IntALU
+		}
+	}
+	// Guarantee substantial latency: at least one FP multiply.
+	classes[0] = isa.FPMul
+	first := g.AddOp(classes[0], "crit")
+	prev := first
+	for _, c := range classes[1:] {
+		op := g.AddOp(c, "crit")
+		g.AddDep(prev, op, 0)
+		prev = op
+	}
+	g.AddDep(prev, first, 1)
+	// Light independent work only.
+	genStreams(g, rng, ind, 1, 1, true)
+	st := g.AddOp(isa.Store, "st.crit")
+	g.AddDep(prev, st, 0)
+	return g
+}
+
+// genRecurrenceTightSlack builds applu-style loops: a many-op recurrence
+// whose surrounding work is *coupled* to the circuit (stream inputs taken
+// from recurrence values, stream outputs feeding the next iteration), so
+// few instructions have enough slack to be delayed into slow clusters
+// without stretching the iteration length — which matters because these
+// loops iterate only a handful of times (Section 5.2's explanation of
+// applu's small benefit).
+func genRecurrenceTightSlack(rng *rand.Rand) *ddg.Graph {
+	g := ddg.New("rectight")
+	ind := addInduction(g)
+	n := 6 + rng.Intn(4)
+	classes := make([]isa.Class, n)
+	for i := range classes {
+		if rng.Float64() < 0.6 {
+			classes[i] = isa.FPALU
+		} else {
+			classes[i] = isa.IntALU
+		}
+	}
+	classes[0] = isa.FPMul
+	recOps := make([]int, n)
+	first := g.AddOp(classes[0], "crit")
+	recOps[0] = first
+	prev := first
+	for i, c := range classes[1:] {
+		op := g.AddOp(c, "crit")
+		g.AddDep(prev, op, 0)
+		recOps[i+1] = op
+		prev = op
+	}
+	g.AddDep(prev, first, 1)
+	// Coupled side work: chains that read a recurrence value and feed the
+	// next iteration's circuit — long paths with almost no slack.
+	chains := 1 + rng.Intn(2)
+	for s := 0; s < chains; s++ {
+		src := recOps[rng.Intn(n)]
+		ld := g.AddOp(isa.Load, "ld")
+		g.AddDep(ind, ld, 0)
+		m := g.AddOp(isa.FPMul, "fp")
+		g.AddDep(src, m, 0)
+		g.AddDep(ld, m, 0)
+		a := g.AddOp(isa.FPALU, "fp")
+		g.AddDep(m, a, 0)
+		g.AddDep(a, first, 1) // feeds the next iteration's circuit
+		st := g.AddOp(isa.Store, "st")
+		g.AddDep(a, st, 0)
+	}
+	return g
+}

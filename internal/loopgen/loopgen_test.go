@@ -1,0 +1,211 @@
+package loopgen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mii"
+)
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 10 {
+		t.Fatalf("want 10 SPECfp2000 benchmarks, got %d", len(names))
+	}
+	want := []string{"wupwise", "swim", "mgrid", "applu", "galgel",
+		"facerec", "lucas", "fma3d", "sixtrack", "apsi"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("benchmark %d = %q, want %q", i, names[i], n)
+		}
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("nosuch", 10); err == nil {
+		t.Error("unknown benchmark must fail")
+	}
+	if _, err := Generate("swim", 0); err == nil {
+		t.Error("zero loops must fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	b1, err := Generate("sixtrack", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Generate("sixtrack", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1.Loops) != len(b2.Loops) {
+		t.Fatal("loop counts differ")
+	}
+	for i := range b1.Loops {
+		g1, g2 := b1.Loops[i].Graph, b2.Loops[i].Graph
+		if g1.NumOps() != g2.NumOps() || g1.NumEdges() != g2.NumEdges() {
+			t.Fatalf("loop %d differs between runs", i)
+		}
+		if b1.Loops[i].Iterations != b2.Loops[i].Iterations ||
+			b1.Loops[i].Weight != b2.Loops[i].Weight {
+			t.Fatalf("loop %d metadata differs", i)
+		}
+	}
+}
+
+func TestAllLoopsValid(t *testing.T) {
+	suite, err := Suite(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 10 {
+		t.Fatalf("suite has %d benchmarks", len(suite))
+	}
+	for _, b := range suite {
+		if len(b.Loops) == 0 {
+			t.Errorf("%s: no loops", b.Name)
+		}
+		for i, l := range b.Loops {
+			if err := l.Graph.Validate(); err != nil {
+				t.Errorf("%s loop %d: %v", b.Name, i, err)
+			}
+			if l.Iterations < 1 {
+				t.Errorf("%s loop %d: bad trip count", b.Name, i)
+			}
+			if l.Weight <= 0 {
+				t.Errorf("%s loop %d: bad weight", b.Name, i)
+			}
+			if l.Graph.NumOps() < 5 {
+				t.Errorf("%s loop %d: trivially small (%d ops)", b.Name, i, l.Graph.NumOps())
+			}
+		}
+	}
+}
+
+// TestTable2SharesMatchTargets: the weighted execution-time split per class
+// (using the MII·N·weight estimate the weights were derived from) must hit
+// the paper's Table 2 within 1%.
+func TestTable2SharesMatchTargets(t *testing.T) {
+	targets := map[string][3]float64{
+		"wupwise":  {0.1404, 0.6876, 0.1720},
+		"swim":     {1.0000, 0.0000, 0.0000},
+		"mgrid":    {0.9554, 0.0000, 0.0446},
+		"applu":    {0.3194, 0.0617, 0.6189},
+		"galgel":   {0.3327, 0.0918, 0.5755},
+		"facerec":  {0.1659, 0.0000, 0.8341},
+		"lucas":    {0.3213, 0.0002, 0.6785},
+		"fma3d":    {0.1522, 0.0296, 0.8182},
+		"sixtrack": {0.0008, 0.0000, 0.9992},
+		"apsi":     {0.1550, 0.0337, 0.8113},
+	}
+	suite, err := Suite(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range suite {
+		var shares [3]float64
+		total := 0.0
+		for _, l := range b.Loops {
+			recMII, resMII := MIIOf(l.Graph)
+			m := recMII
+			if resMII > m {
+				m = resMII
+			}
+			tm := float64(m) * float64(l.Iterations) * l.Weight
+			shares[l.Class] += tm
+			total += tm
+		}
+		want := targets[b.Name]
+		for c := 0; c < 3; c++ {
+			got := shares[c] / total
+			if math.Abs(got-want[c]) > 0.01 {
+				t.Errorf("%s class %d share = %.4f, want %.4f", b.Name, c, got, want[c])
+			}
+		}
+	}
+}
+
+// TestRecurrenceStyles: few-op benchmarks must have small critical
+// recurrences; many-op benchmarks large ones.
+func TestRecurrenceStyles(t *testing.T) {
+	few, err := Generate("sixtrack", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Generate("fma3d", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgCrit := func(b Benchmark) float64 {
+		sum, n := 0.0, 0
+		for _, l := range b.Loops {
+			if l.Class != RecurrenceBound {
+				continue
+			}
+			recs := l.Graph.Recurrences()
+			if len(recs) == 0 {
+				continue
+			}
+			// recs[0] is the most critical.
+			sum += float64(len(recs[0].Ops))
+			n++
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	f, m := avgCrit(few), avgCrit(many)
+	if f == 0 || m == 0 {
+		t.Fatal("no recurrence-bound loops found")
+	}
+	if f >= m {
+		t.Errorf("sixtrack critical recurrences (%.1f ops) should be smaller than fma3d's (%.1f)", f, m)
+	}
+	if f > 3.5 {
+		t.Errorf("few-op critical recurrences average %.1f ops, want ≤ 3.5", f)
+	}
+	if m < 5 {
+		t.Errorf("many-op critical recurrences average %.1f ops, want ≥ 5", m)
+	}
+}
+
+// TestAppluLowTripCounts: applu's recurrence-bound loops iterate far fewer
+// times than other benchmarks'.
+func TestAppluLowTripCounts(t *testing.T) {
+	applu, err := Generate("applu", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range applu.Loops {
+		if l.Class == RecurrenceBound && l.Iterations > 24 {
+			t.Errorf("applu recurrence loop iterates %d times, want ≤ 24", l.Iterations)
+		}
+	}
+}
+
+// TestLoopsAreSchedulable: MIT computation succeeds for every loop on the
+// reference machine (full scheduling is exercised by the pipeline tests).
+func TestLoopsAreSchedulable(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	suite, err := Suite(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range suite {
+		for i, l := range b.Loops {
+			if _, err := mii.Compute(l.Graph, cfg.Arch, cfg.Clock, nil); err != nil {
+				t.Errorf("%s loop %d: %v", b.Name, i, err)
+			}
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ResourceBound.String() == "" || Borderline.String() == "" ||
+		RecurrenceBound.String() == "" || LoopClass(9).String() != "unknown" {
+		t.Error("class names wrong")
+	}
+}

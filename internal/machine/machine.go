@@ -1,0 +1,261 @@
+// Package machine describes the clustered VLIW processor of the paper:
+// a set of semi-independent clusters (each with integer and floating-point
+// functional units, a memory port and a register file), an inter-cluster
+// network (ICN) of register buses, and a shared on-chip cache. Each of
+// these components is a clock/voltage domain in the heterogeneous design.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/isa"
+)
+
+// ClusterSpec is the structural description of one cluster. All clusters
+// of the paper's machine share the same design (1 INT FU, 1 FP FU, 1 memory
+// port, 16 registers), which is what makes frequency/voltage the only axis
+// of heterogeneity.
+type ClusterSpec struct {
+	IntFUs   int // integer functional units
+	FPFUs    int // floating-point functional units
+	MemPorts int // memory ports
+	Regs     int // general-purpose registers
+}
+
+// FUCount returns how many units of resource kind r the cluster has.
+// ResBus is not a cluster resource and returns 0.
+func (c ClusterSpec) FUCount(r isa.Resource) int {
+	switch r {
+	case isa.ResIntFU:
+		return c.IntFUs
+	case isa.ResFPFU:
+		return c.FPFUs
+	case isa.ResMemPort:
+		return c.MemPorts
+	default:
+		return 0
+	}
+}
+
+// Arch is the structural (clock-independent) description of the machine.
+type Arch struct {
+	// Clusters lists the per-cluster resources.
+	Clusters []ClusterSpec
+	// Buses is the number of inter-cluster register buses.
+	Buses int
+	// BusLatency is the latency of one inter-cluster copy in ICN cycles.
+	BusLatency int
+	// SyncQueueCycles is the synchronization-queue penalty paid by a value
+	// crossing clock domains, in cycles of the receiving domain
+	// (Section 2.1: "queues often introduce delays of one cycle").
+	SyncQueueCycles int
+}
+
+// Reference4Cluster returns the evaluation machine of Section 5: four
+// identical clusters with 1 INT FU, 1 FP FU, 1 memory port and 16 registers
+// each, `buses` 1-cycle register buses, and 1-cycle sync queues.
+func Reference4Cluster(buses int) *Arch {
+	cl := ClusterSpec{IntFUs: 1, FPFUs: 1, MemPorts: 1, Regs: 16}
+	return &Arch{
+		Clusters:        []ClusterSpec{cl, cl, cl, cl},
+		Buses:           buses,
+		BusLatency:      1,
+		SyncQueueCycles: 1,
+	}
+}
+
+// NumClusters returns the number of clusters.
+func (a *Arch) NumClusters() int { return len(a.Clusters) }
+
+// DomainID identifies a clock/voltage domain: domains 0..NumClusters-1 are
+// the clusters, then the ICN, then the cache.
+type DomainID int
+
+// ICN returns the domain id of the inter-cluster network.
+func (a *Arch) ICN() DomainID { return DomainID(len(a.Clusters)) }
+
+// Cache returns the domain id of the memory hierarchy.
+func (a *Arch) Cache() DomainID { return DomainID(len(a.Clusters) + 1) }
+
+// NumDomains returns the total number of clock domains.
+func (a *Arch) NumDomains() int { return len(a.Clusters) + 2 }
+
+// IsCluster reports whether d is a cluster domain.
+func (a *Arch) IsCluster(d DomainID) bool { return d >= 0 && int(d) < len(a.Clusters) }
+
+// DomainName returns a human-readable domain name.
+func (a *Arch) DomainName(d DomainID) string {
+	switch {
+	case a.IsCluster(d):
+		return fmt.Sprintf("C%d", int(d)+1)
+	case d == a.ICN():
+		return "ICN"
+	case d == a.Cache():
+		return "cache"
+	default:
+		return fmt.Sprintf("domain(%d)", int(d))
+	}
+}
+
+// TotalFUs returns the machine-wide count of resource kind r (ResBus maps
+// to the number of buses).
+func (a *Arch) TotalFUs(r isa.Resource) int {
+	if r == isa.ResBus {
+		return a.Buses
+	}
+	n := 0
+	for _, c := range a.Clusters {
+		n += c.FUCount(r)
+	}
+	return n
+}
+
+// Validate checks structural sanity.
+func (a *Arch) Validate() error {
+	if len(a.Clusters) == 0 {
+		return fmt.Errorf("machine: no clusters")
+	}
+	for i, c := range a.Clusters {
+		if c.IntFUs < 0 || c.FPFUs < 0 || c.MemPorts < 0 || c.Regs < 0 {
+			return fmt.Errorf("machine: cluster %d has negative resources", i)
+		}
+		if c.IntFUs+c.FPFUs+c.MemPorts == 0 {
+			return fmt.Errorf("machine: cluster %d has no functional units", i)
+		}
+	}
+	if a.Buses < 0 {
+		return fmt.Errorf("machine: negative bus count")
+	}
+	if a.BusLatency < 1 {
+		return fmt.Errorf("machine: bus latency must be ≥ 1 cycle")
+	}
+	if a.SyncQueueCycles < 0 {
+		return fmt.Errorf("machine: negative sync-queue penalty")
+	}
+	return nil
+}
+
+// Clocking assigns each clock domain its minimum period (determined by the
+// supply voltage through the α-power model), its supply voltage, and the
+// set of frequencies its clock generator supports. A Clocking plus an Arch
+// fully specifies a (possibly heterogeneous) configuration.
+type Clocking struct {
+	// MinPeriod[d] is the smallest cycle time domain d may use, in ps.
+	MinPeriod []clock.Picos
+	// Vdd[d] is the supply voltage of domain d, in volts.
+	Vdd []float64
+	// FreqSet[d] constrains the frequencies domain d's generator produces;
+	// nil means unconstrained.
+	FreqSet []*clock.FreqSet
+}
+
+// NewClocking allocates a Clocking for arch with every domain at period
+// per, voltage vdd, unconstrained frequencies.
+func NewClocking(arch *Arch, per clock.Picos, vdd float64) *Clocking {
+	n := arch.NumDomains()
+	c := &Clocking{
+		MinPeriod: make([]clock.Picos, n),
+		Vdd:       make([]float64, n),
+		FreqSet:   make([]*clock.FreqSet, n),
+	}
+	for d := 0; d < n; d++ {
+		c.MinPeriod[d] = per
+		c.Vdd[d] = vdd
+	}
+	return c
+}
+
+// Clone returns a deep copy of the clocking.
+func (c *Clocking) Clone() *Clocking {
+	out := &Clocking{
+		MinPeriod: append([]clock.Picos(nil), c.MinPeriod...),
+		Vdd:       append([]float64(nil), c.Vdd...),
+		FreqSet:   append([]*clock.FreqSet(nil), c.FreqSet...),
+	}
+	return out
+}
+
+// Validate checks the clocking against the architecture.
+func (c *Clocking) Validate(arch *Arch) error {
+	n := arch.NumDomains()
+	if len(c.MinPeriod) != n || len(c.Vdd) != n || len(c.FreqSet) != n {
+		return fmt.Errorf("machine: clocking sized for %d domains, arch has %d",
+			len(c.MinPeriod), n)
+	}
+	for d := 0; d < n; d++ {
+		if c.MinPeriod[d] <= 0 {
+			return fmt.Errorf("machine: domain %s has non-positive period",
+				arch.DomainName(DomainID(d)))
+		}
+		if c.Vdd[d] <= 0 {
+			return fmt.Errorf("machine: domain %s has non-positive Vdd",
+				arch.DomainName(DomainID(d)))
+		}
+	}
+	return nil
+}
+
+// FastestCluster returns the cluster domain with the smallest minimum
+// period (ties broken by lowest id).
+func (c *Clocking) FastestCluster(arch *Arch) DomainID {
+	best := DomainID(0)
+	for d := 1; d < arch.NumClusters(); d++ {
+		if c.MinPeriod[d] < c.MinPeriod[best] {
+			best = DomainID(d)
+		}
+	}
+	return best
+}
+
+// IsHomogeneous reports whether all cluster domains share one period.
+func (c *Clocking) IsHomogeneous(arch *Arch) bool {
+	for d := 1; d < arch.NumClusters(); d++ {
+		if c.MinPeriod[d] != c.MinPeriod[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// MeanClusterPeriodNanos returns the arithmetic mean of cluster cycle
+// times in ns — the paper's estimator for iteration length scaling.
+func (c *Clocking) MeanClusterPeriodNanos(arch *Arch) float64 {
+	sum := 0.0
+	for d := 0; d < arch.NumClusters(); d++ {
+		sum += c.MinPeriod[d].Nanos()
+	}
+	return sum / float64(arch.NumClusters())
+}
+
+// Config bundles a structural architecture with a clocking assignment.
+type Config struct {
+	Arch  *Arch
+	Clock *Clocking
+}
+
+// Validate checks the full configuration.
+func (cfg *Config) Validate() error {
+	if err := cfg.Arch.Validate(); err != nil {
+		return err
+	}
+	return cfg.Clock.Validate(cfg.Arch)
+}
+
+// ReferencePeriod is the cycle time of the reference homogeneous machine
+// (1 GHz → 1000 ps).
+const ReferencePeriod = clock.Picos(1000)
+
+// ReferenceVdd and ReferenceVth are the reference supply and threshold
+// voltages (Section 5: 1 V and 0.25 V).
+const (
+	ReferenceVdd = 1.0
+	ReferenceVth = 0.25
+)
+
+// ReferenceConfig returns the reference homogeneous configuration used for
+// profiling and energy calibration: every domain at 1 GHz and 1 V.
+func ReferenceConfig(buses int) *Config {
+	arch := Reference4Cluster(buses)
+	return &Config{Arch: arch, Clock: NewClocking(arch, ReferencePeriod, ReferenceVdd)}
+}

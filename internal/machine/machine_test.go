@@ -1,0 +1,151 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/isa"
+)
+
+func TestReference4Cluster(t *testing.T) {
+	a := Reference4Cluster(1)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumClusters() != 4 {
+		t.Fatalf("want 4 clusters, got %d", a.NumClusters())
+	}
+	if a.TotalFUs(isa.ResIntFU) != 4 || a.TotalFUs(isa.ResFPFU) != 4 ||
+		a.TotalFUs(isa.ResMemPort) != 4 {
+		t.Error("reference machine must have 4 of each FU kind")
+	}
+	if a.TotalFUs(isa.ResBus) != 1 {
+		t.Error("1-bus configuration expected")
+	}
+	for _, c := range a.Clusters {
+		if c.Regs != 16 {
+			t.Error("16 registers per cluster expected")
+		}
+	}
+	if Reference4Cluster(2).TotalFUs(isa.ResBus) != 2 {
+		t.Error("2-bus configuration expected")
+	}
+}
+
+func TestDomainIDs(t *testing.T) {
+	a := Reference4Cluster(1)
+	if a.NumDomains() != 6 {
+		t.Fatalf("4 clusters + ICN + cache = 6 domains, got %d", a.NumDomains())
+	}
+	if !a.IsCluster(0) || !a.IsCluster(3) {
+		t.Error("domains 0..3 are clusters")
+	}
+	if a.IsCluster(a.ICN()) || a.IsCluster(a.Cache()) {
+		t.Error("ICN and cache are not clusters")
+	}
+	if a.DomainName(0) != "C1" || a.DomainName(a.ICN()) != "ICN" ||
+		a.DomainName(a.Cache()) != "cache" {
+		t.Errorf("domain names wrong: %s %s %s",
+			a.DomainName(0), a.DomainName(a.ICN()), a.DomainName(a.Cache()))
+	}
+	if a.DomainName(99) == "" {
+		t.Error("out-of-range domain should still format")
+	}
+}
+
+func TestClusterSpecFUCount(t *testing.T) {
+	c := ClusterSpec{IntFUs: 1, FPFUs: 2, MemPorts: 3, Regs: 16}
+	if c.FUCount(isa.ResIntFU) != 1 || c.FUCount(isa.ResFPFU) != 2 ||
+		c.FUCount(isa.ResMemPort) != 3 {
+		t.Error("FUCount mismatch")
+	}
+	if c.FUCount(isa.ResBus) != 0 {
+		t.Error("bus is not a cluster resource")
+	}
+}
+
+func TestArchValidate(t *testing.T) {
+	bad := &Arch{}
+	if bad.Validate() == nil {
+		t.Error("empty machine must be invalid")
+	}
+	bad = Reference4Cluster(1)
+	bad.BusLatency = 0
+	if bad.Validate() == nil {
+		t.Error("zero bus latency must be invalid")
+	}
+	bad = Reference4Cluster(1)
+	bad.Clusters[1] = ClusterSpec{}
+	if bad.Validate() == nil {
+		t.Error("cluster without FUs must be invalid")
+	}
+	bad = Reference4Cluster(1)
+	bad.Clusters[0].IntFUs = -1
+	if bad.Validate() == nil {
+		t.Error("negative FU count must be invalid")
+	}
+	bad = Reference4Cluster(1)
+	bad.Buses = -1
+	if bad.Validate() == nil {
+		t.Error("negative bus count must be invalid")
+	}
+	bad = Reference4Cluster(1)
+	bad.SyncQueueCycles = -1
+	if bad.Validate() == nil {
+		t.Error("negative sync penalty must be invalid")
+	}
+}
+
+func TestClocking(t *testing.T) {
+	cfg := ReferenceConfig(1)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := cfg.Clock
+	if !c.IsHomogeneous(cfg.Arch) {
+		t.Error("reference config must be homogeneous")
+	}
+	if c.FastestCluster(cfg.Arch) != 0 {
+		t.Error("ties broken by lowest cluster id")
+	}
+	if got := c.MeanClusterPeriodNanos(cfg.Arch); got != 1.0 {
+		t.Errorf("mean period = %g, want 1", got)
+	}
+
+	het := c.Clone()
+	het.MinPeriod[2] = clock.PS(900)
+	het.MinPeriod[0] = clock.PS(1350)
+	if het.IsHomogeneous(cfg.Arch) {
+		t.Error("clone with modified periods must be heterogeneous")
+	}
+	if het.FastestCluster(cfg.Arch) != 2 {
+		t.Errorf("fastest cluster = %d, want 2", het.FastestCluster(cfg.Arch))
+	}
+	want := (1.35 + 1.0 + 0.9 + 1.0) / 4
+	if got := het.MeanClusterPeriodNanos(cfg.Arch); got != want {
+		t.Errorf("mean period = %g, want %g", got, want)
+	}
+	// Clone independence.
+	if c.MinPeriod[2] != clock.PS(1000) {
+		t.Error("Clone must not alias the original")
+	}
+}
+
+func TestClockingValidate(t *testing.T) {
+	cfg := ReferenceConfig(1)
+	bad := cfg.Clock.Clone()
+	bad.MinPeriod = bad.MinPeriod[:3]
+	if bad.Validate(cfg.Arch) == nil {
+		t.Error("wrong domain count must be invalid")
+	}
+	bad = cfg.Clock.Clone()
+	bad.MinPeriod[0] = 0
+	if bad.Validate(cfg.Arch) == nil {
+		t.Error("zero period must be invalid")
+	}
+	bad = cfg.Clock.Clone()
+	bad.Vdd[5] = 0
+	if bad.Validate(cfg.Arch) == nil {
+		t.Error("zero Vdd must be invalid")
+	}
+}

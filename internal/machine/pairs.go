@@ -1,0 +1,68 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+)
+
+// Pairs fixes, for one modulo-scheduled loop, the initiation time IT and
+// the initiation interval II of every clock domain (Section 2.2: in a
+// heterogeneous machine the II is per component, related by II_X = IT·f_X).
+type Pairs struct {
+	// IT is the loop's initiation time.
+	IT clock.Picos
+	// II[d] is domain d's initiation interval in its own cycles (≥ 1).
+	II []int
+}
+
+// SelectPairs chooses the per-domain (frequency, II) pairs for initiation
+// time it on the given configuration: each domain runs the maximum number
+// of whole cycles that fit in IT at a frequency not exceeding its maximum
+// (and, with a constrained frequency set, at a supported frequency that
+// divides IT exactly). Returns an error naming the first domain for which
+// no pair exists — the caller must then increase the IT (a "synchronization
+// problem" in the paper's terms).
+func SelectPairs(arch *Arch, clk *Clocking, it clock.Picos) (Pairs, error) {
+	n := arch.NumDomains()
+	p := Pairs{IT: it, II: make([]int, n)}
+	for d := 0; d < n; d++ {
+		pair, ok := clock.SelectPair(it, clk.MinPeriod[d], clk.FreqSet[d])
+		if !ok {
+			return Pairs{}, fmt.Errorf("machine: no (frequency, II) pair for domain %s at IT=%v",
+				arch.DomainName(DomainID(d)), it)
+		}
+		p.II[d] = pair.II
+	}
+	return p, nil
+}
+
+// NextIT returns the smallest IT > p.IT at which some domain's II would
+// grow under unconstrained frequencies — the natural step when a schedule
+// attempt fails. With constrained frequency sets the caller should re-run
+// clock.NextFeasibleIT from the returned value.
+func (p Pairs) NextIT(clk *Clocking) clock.Picos {
+	best := clock.Picos(0)
+	for d, ii := range p.II {
+		cand := clock.Picos(int64(ii+1) * int64(clk.MinPeriod[d]))
+		if cand <= p.IT {
+			cand = p.IT + 1
+		}
+		if best == 0 || cand < best {
+			best = cand
+		}
+	}
+	if best <= p.IT {
+		best = p.IT + 1
+	}
+	return best
+}
+
+// EffectivePeriodPs returns domain d's effective cycle time IT/II in
+// picoseconds as a float (for reporting; scheduling never needs it).
+func (p Pairs) EffectivePeriodPs(d DomainID) float64 {
+	if p.II[d] == 0 {
+		return 0
+	}
+	return float64(p.IT) / float64(p.II[d])
+}

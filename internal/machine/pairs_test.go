@@ -1,0 +1,100 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clock"
+)
+
+func TestSelectPairsReference(t *testing.T) {
+	cfg := ReferenceConfig(1)
+	p, err := SelectPairs(cfg.Arch, cfg.Clock, clock.PS(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, ii := range p.II {
+		if ii != 5 {
+			t.Errorf("domain %d II = %d, want 5", d, ii)
+		}
+	}
+	if p.EffectivePeriodPs(0) != 1000 {
+		t.Errorf("effective period = %g", p.EffectivePeriodPs(0))
+	}
+}
+
+func TestSelectPairsHeterogeneous(t *testing.T) {
+	arch := Reference4Cluster(1)
+	clk := NewClocking(arch, clock.PS(1500), 1.0)
+	clk.MinPeriod[0] = clock.PS(1000)
+	clk.MinPeriod[arch.ICN()] = clock.PS(1000)
+	clk.MinPeriod[arch.Cache()] = clock.PS(1000)
+	// Figure 3: IT = 3 ns → fast II 3, slow II 2.
+	p, err := SelectPairs(arch, clk, clock.PS(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.II[0] != 3 || p.II[1] != 2 {
+		t.Errorf("IIs = %v", p.II)
+	}
+	// IT smaller than the slowest period: infeasible.
+	if _, err := SelectPairs(arch, clk, clock.PS(900)); err == nil {
+		t.Error("IT below slowest period must fail")
+	}
+}
+
+// TestSelectPairsFloorProperty: II = floor(IT/τ) for unconstrained sets.
+func TestSelectPairsFloorProperty(t *testing.T) {
+	arch := Reference4Cluster(1)
+	clk := NewClocking(arch, clock.PS(1330), 1.0)
+	clk.MinPeriod[0] = clock.PS(900)
+	f := func(raw uint16) bool {
+		it := clock.Picos(1500 + int64(raw)%30000)
+		p, err := SelectPairs(arch, clk, it)
+		if err != nil {
+			return true // small ITs may be infeasible
+		}
+		for d, ii := range p.II {
+			if int64(ii) != int64(it)/int64(clk.MinPeriod[d]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextIT(t *testing.T) {
+	arch := Reference4Cluster(1)
+	clk := NewClocking(arch, clock.PS(1330), 1.0)
+	clk.MinPeriod[0] = clock.PS(900)
+	clk.MinPeriod[arch.ICN()] = clock.PS(900)
+	clk.MinPeriod[arch.Cache()] = clock.PS(900)
+	p, err := SelectPairs(arch, clk, clock.PS(2700))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := p.NextIT(clk)
+	if next <= p.IT {
+		t.Fatalf("NextIT %v not greater than IT %v", next, p.IT)
+	}
+	// The next IT must grow some domain's II.
+	p2, err := SelectPairs(arch, clk, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grew := false
+	for d := range p.II {
+		if p2.II[d] > p.II[d] {
+			grew = true
+		}
+		if p2.II[d] < p.II[d] {
+			t.Errorf("domain %d II shrank", d)
+		}
+	}
+	if !grew {
+		t.Error("NextIT did not grow any II")
+	}
+}

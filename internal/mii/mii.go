@@ -1,0 +1,172 @@
+// Package mii computes the minimum initiation time (MIT) of a loop on a
+// (possibly heterogeneous) clustered VLIW configuration, generalizing the
+// classic MII = max(recMII, resMII) to the paper's Section 2.2:
+//
+//	recMIT = recMII · min_{clusters} Tcyc_c
+//	resMIT = min IT such that the slot capacity Σ_c floor(IT/τ_c)·FUs_c,r
+//	         covers the per-resource workload (plus, optionally, bus slots
+//	         for communications and register slots for value lifetimes)
+//	MIT    = max(recMIT, resMIT)
+package mii
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// Demand carries the optional extra slot demands used by the Section 3.2
+// execution-time estimator: communications on the buses and value
+// lifetimes in the register files, both taken from the reference
+// homogeneous schedule.
+type Demand struct {
+	// Comms is the number of inter-cluster communications per iteration.
+	Comms int
+	// LifetimeCycles is the sum of value lifetimes per iteration, in
+	// reference-machine cycles.
+	LifetimeCycles int
+	// LifetimePeriod converts lifetime cycles to time (the paper scales
+	// the homogeneous iteration metrics by the mean cluster cycle time).
+	LifetimePeriod clock.Picos
+}
+
+// Result is the outcome of a MIT computation.
+type Result struct {
+	// RecMII is the recurrence-constrained minimum II in cycles.
+	RecMII int
+	// RecMIT and ResMIT are the two lower bounds of the initiation time.
+	RecMIT, ResMIT clock.Picos
+	// MIT is max(RecMIT, ResMIT).
+	MIT clock.Picos
+}
+
+// SlotCapacity returns, for initiation time it, how many slots of each
+// resource kind the configuration offers per iteration window: for cluster
+// resources Σ_c floor(it/τ_c)·FUs, for the bus floor(it/τ_ICN)·buses.
+// This is the capacity column of the paper's Figure 4 table.
+func SlotCapacity(arch *machine.Arch, clk *machine.Clocking, it clock.Picos) [isa.NumResources]int {
+	var cap [isa.NumResources]int
+	for c := 0; c < arch.NumClusters(); c++ {
+		ii := int(int64(it) / int64(clk.MinPeriod[c]))
+		spec := arch.Clusters[c]
+		cap[isa.ResIntFU] += ii * spec.IntFUs
+		cap[isa.ResFPFU] += ii * spec.FPFUs
+		cap[isa.ResMemPort] += ii * spec.MemPorts
+	}
+	iiICN := int(int64(it) / int64(clk.MinPeriod[arch.ICN()]))
+	cap[isa.ResBus] += iiICN * arch.Buses
+	return cap
+}
+
+// RecMIT returns recMII (cycles) and the recurrence-constrained minimum
+// initiation time for the given clocking: recMII times the cycle time of
+// the fastest cluster.
+func RecMIT(g *ddg.Graph, arch *machine.Arch, clk *machine.Clocking) (int, clock.Picos) {
+	recMII := g.RecMII()
+	fastest := clk.MinPeriod[clk.FastestCluster(arch)]
+	return recMII, clock.Picos(int64(recMII) * int64(fastest))
+}
+
+// ResMIT returns the resource-constrained minimum initiation time: the
+// smallest IT whose slot capacity covers the graph's per-resource
+// workload, and — if extra is non-nil — the communication and lifetime
+// demands. Returns an error when some used resource has no units anywhere.
+func ResMIT(g *ddg.Graph, arch *machine.Arch, clk *machine.Clocking, extra *Demand) (clock.Picos, error) {
+	uses := g.CountByResource()
+	for r := range uses {
+		if uses[r] > 0 && arch.TotalFUs(isa.Resource(r)) == 0 {
+			return 0, fmt.Errorf("mii: %s used but machine has none", isa.Resource(r))
+		}
+	}
+	comms := 0
+	lifeDemand := int64(0)
+	if extra != nil {
+		comms = extra.Comms
+		if comms > 0 && arch.Buses == 0 {
+			return 0, fmt.Errorf("mii: communications required but machine has no buses")
+		}
+		lifeDemand = int64(extra.LifetimeCycles) * int64(extra.LifetimePeriod)
+	}
+	totalRegs := 0
+	for _, c := range arch.Clusters {
+		totalRegs += c.Regs
+	}
+
+	feasible := func(it clock.Picos) bool {
+		if it <= 0 {
+			return false
+		}
+		cap := SlotCapacity(arch, clk, it)
+		for r := range uses {
+			if uses[r] > cap[r] {
+				return false
+			}
+		}
+		if comms > 0 && comms > cap[isa.ResBus] {
+			return false
+		}
+		if lifeDemand > 0 {
+			if totalRegs == 0 || int64(it)*int64(totalRegs) < lifeDemand {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Upper bound: slow enough that even the slowest single cluster could
+	// hold everything, plus the lifetime and communication bounds.
+	var maxTau clock.Picos
+	for c := 0; c < arch.NumClusters(); c++ {
+		if clk.MinPeriod[c] > maxTau {
+			maxTau = clk.MinPeriod[c]
+		}
+	}
+	hi := clock.Picos(int64(maxTau) * int64(g.NumOps()+2))
+	if comms > 0 {
+		busHi := clock.Picos(int64(clk.MinPeriod[arch.ICN()]) * int64((comms+arch.Buses-1)/arch.Buses+1))
+		if busHi > hi {
+			hi = busHi
+		}
+	}
+	if lifeDemand > 0 && totalRegs > 0 {
+		lifeHi := clock.Picos(lifeDemand/int64(totalRegs) + 1)
+		if lifeHi > hi {
+			hi = lifeHi
+		}
+	}
+	for !feasible(hi) { // defensive: widen if bounds estimate was short
+		hi *= 2
+		if hi > 1<<50 {
+			return 0, fmt.Errorf("mii: no feasible initiation time found")
+		}
+	}
+	lo := clock.Picos(1)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}
+
+// Compute returns the full MIT result for the loop on the configuration.
+// extra may be nil (scheduler usage); the Section 3.2 estimator passes
+// communication/lifetime demands from the homogeneous profile.
+func Compute(g *ddg.Graph, arch *machine.Arch, clk *machine.Clocking, extra *Demand) (Result, error) {
+	recMII, recMIT := RecMIT(g, arch, clk)
+	resMIT, err := ResMIT(g, arch, clk, extra)
+	if err != nil {
+		return Result{}, err
+	}
+	mit := recMIT
+	if resMIT > mit {
+		mit = resMIT
+	}
+	return Result{RecMII: recMII, RecMIT: recMIT, ResMIT: resMIT, MIT: mit}, nil
+}

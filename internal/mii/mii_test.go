@@ -1,0 +1,200 @@
+package mii
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// fig4Machine builds the 2-cluster machine of the paper's Figure 4:
+// C1 at 1 ns, C2 at 1.67 ns, one FU per cluster (we give each cluster one
+// integer FU and schedule 1-cycle integer ops).
+func fig4Machine() (*machine.Arch, *machine.Clocking) {
+	cl := machine.ClusterSpec{IntFUs: 1, FPFUs: 1, MemPorts: 1, Regs: 16}
+	arch := &machine.Arch{
+		Clusters:        []machine.ClusterSpec{cl, cl},
+		Buses:           1,
+		BusLatency:      1,
+		SyncQueueCycles: 1,
+	}
+	clk := machine.NewClocking(arch, clock.PS(1000), 1.0)
+	clk.MinPeriod[1] = clock.PS(1670)
+	clk.MinPeriod[arch.ICN()] = clock.PS(1000)
+	clk.MinPeriod[arch.Cache()] = clock.PS(1000)
+	return arch, clk
+}
+
+// fig4Graph is the paper's Figure 4 DDG: recurrence {A,B,C} of 1-cycle ops
+// with distance 1, plus independent D and E. recMII = 3.
+func fig4Graph() *ddg.Graph {
+	g := ddg.New("fig4")
+	a := g.AddOp(isa.IntALU, "A")
+	b := g.AddOp(isa.IntALU, "B")
+	c := g.AddOp(isa.IntALU, "C")
+	d := g.AddOp(isa.IntALU, "D")
+	e := g.AddOp(isa.IntALU, "E")
+	g.AddDep(a, b, 0)
+	g.AddDep(b, c, 0)
+	g.AddDep(c, a, 1)
+	g.AddDep(a, d, 0)
+	g.AddDep(d, e, 0)
+	return g
+}
+
+// TestFigure4 reproduces the worked example of the paper's Figure 4:
+// recMIT = 3 cycles × 1 ns = 3 ns; five 1-cycle integer instructions on
+// two clusters (1 ns and 1.67 ns) need IT = 3.33 ns for 5 slots
+// (II = 3 + 2); MIT = max(3.33, 3) = 3.33 ns.
+func TestFigure4(t *testing.T) {
+	arch, clk := fig4Machine()
+	g := fig4Graph()
+	recMII, recMIT := RecMIT(g, arch, clk)
+	if recMII != 3 {
+		t.Errorf("recMII = %d, want 3", recMII)
+	}
+	if recMIT != clock.PS(3000) {
+		t.Errorf("recMIT = %v, want 3ns", recMIT)
+	}
+	res, err := ResMIT(g, arch, clk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: IT = 3.33 ns gives 3 slots in C1, 2 in C2 → exactly 5.
+	// On the integer-picosecond grid the minimum is 3340 ps
+	// (floor(3340/1670) = 2; at 3333 ps floor gives only 1).
+	if res != clock.PS(3340) {
+		t.Errorf("resMIT = %v, want 3.340ns", res)
+	}
+	cap := SlotCapacity(arch, clk, res)
+	if cap[isa.ResIntFU] != 5 {
+		t.Errorf("capacity at resMIT = %d slots, want 5", cap[isa.ResIntFU])
+	}
+	r, err := Compute(g, arch, clk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MIT != res {
+		t.Errorf("MIT = %v, want resMIT %v (recurrence bound is smaller)", r.MIT, res)
+	}
+}
+
+// TestFigure4CapacityTable pins the capacity column of the Figure 4 table.
+func TestFigure4CapacityTable(t *testing.T) {
+	arch, clk := fig4Machine()
+	cases := []struct {
+		it   clock.Picos
+		want int // INT slots
+	}{
+		{clock.PS(1000), 1},
+		{clock.PS(1670), 2},
+		{clock.PS(2000), 3},
+		{clock.PS(3000), 3 + 1},
+		{clock.PS(3340), 3 + 2},
+	}
+	for _, c := range cases {
+		cap := SlotCapacity(arch, clk, c.it)
+		if cap[isa.ResIntFU] != c.want {
+			t.Errorf("capacity(%v) = %d, want %d", c.it, cap[isa.ResIntFU], c.want)
+		}
+	}
+}
+
+func TestHomogeneousMITMatchesMII(t *testing.T) {
+	// On a homogeneous machine, MIT = MII × Tcyc.
+	cfg := machine.ReferenceConfig(1)
+	g := ddg.FIRFilter("fir", 8) // 9 mem ops on 4 ports → resMII 3
+	res, err := Compute(g, cfg.Arch, cfg.Clock, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resMII := g.ResMII(func(r int) int { return cfg.Arch.TotalFUs(isa.Resource(r)) })
+	recMII := g.RecMII()
+	mii := resMII
+	if recMII > mii {
+		mii = recMII
+	}
+	want := clock.Picos(int64(mii) * 1000)
+	if res.MIT != want {
+		t.Errorf("MIT = %v, want %v (MII %d × 1ns)", res.MIT, want, mii)
+	}
+}
+
+func TestResMITWithDemand(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	g := ddg.Chain("c", isa.IntALU, 4) // trivial: resMII 1
+	// 7 communications on 1 bus at 1ns → at least 7ns.
+	res, err := ResMIT(g, cfg.Arch, cfg.Clock, &Demand{Comms: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != clock.PS(7000) {
+		t.Errorf("resMIT with 7 comms = %v, want 7ns", res)
+	}
+	// Lifetimes: 4 clusters × 16 regs = 64 registers; 640 lifetime cycles
+	// at 1ns mean period → IT ≥ 10ns.
+	res, err = ResMIT(g, cfg.Arch, cfg.Clock, &Demand{
+		LifetimeCycles: 640, LifetimePeriod: clock.PS(1000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != clock.PS(10000) {
+		t.Errorf("resMIT with lifetimes = %v, want 10ns", res)
+	}
+}
+
+func TestResMITErrors(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	noFP := &machine.Arch{
+		Clusters:        []machine.ClusterSpec{{IntFUs: 1, MemPorts: 1, Regs: 8}},
+		Buses:           1,
+		BusLatency:      1,
+		SyncQueueCycles: 1,
+	}
+	clk := machine.NewClocking(noFP, clock.PS(1000), 1.0)
+	g := ddg.Chain("fp", isa.FPALU, 2)
+	if _, err := ResMIT(g, noFP, clk, nil); err == nil {
+		t.Error("FP ops on a machine without FP units must fail")
+	}
+	busless := machine.Reference4Cluster(0)
+	if _, err := ResMIT(ddg.Chain("c", isa.IntALU, 2), busless,
+		cfg.Clock, &Demand{Comms: 1}); err == nil {
+		t.Error("communications without buses must fail")
+	}
+}
+
+// TestResMITMinimality: the returned IT is feasible and IT−1 is not.
+func TestResMITMinimality(t *testing.T) {
+	arch, clk := fig4Machine()
+	graphs := []*ddg.Graph{
+		fig4Graph(),
+		ddg.FIRFilter("fir", 6),
+		ddg.Livermore("lv"),
+		ddg.Chain("long", isa.IntALU, 17),
+	}
+	for _, g := range graphs {
+		res, err := ResMIT(g, arch, clk, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		uses := g.CountByResource()
+		capOK := func(it clock.Picos) bool {
+			cap := SlotCapacity(arch, clk, it)
+			for r := range uses {
+				if uses[r] > cap[r] {
+					return false
+				}
+			}
+			return true
+		}
+		if !capOK(res) {
+			t.Errorf("%s: resMIT %v not feasible", g.Name(), res)
+		}
+		if res > 1 && capOK(res-1) {
+			t.Errorf("%s: resMIT %v not minimal", g.Name(), res)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package modsched
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// wideMachine has clusters with multiple units per resource, exercising
+// the multi-unit reservation-table paths.
+func wideMachine(buses int) (*machine.Arch, *machine.Clocking) {
+	cl := machine.ClusterSpec{IntFUs: 2, FPFUs: 2, MemPorts: 2, Regs: 24}
+	arch := &machine.Arch{
+		Clusters:        []machine.ClusterSpec{cl, cl},
+		Buses:           buses,
+		BusLatency:      1,
+		SyncQueueCycles: 1,
+	}
+	clk := machine.NewClocking(arch, clock.PS(1000), 1.0)
+	return arch, clk
+}
+
+func TestMultiUnitClusters(t *testing.T) {
+	arch, clk := wideMachine(2)
+	// 4 independent int ops on one 2-FU cluster: fit at II=2.
+	g := ddg.New("w")
+	for i := 0; i < 4; i++ {
+		g.AddOp(isa.IntALU, "")
+	}
+	p := mustPairs(t, arch, clk, clock.PS(2000))
+	s, err := Run(Input{Graph: g, Arch: arch, Pairs: p, Assign: []int{0, 0, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifySchedule(t, s)
+	// Two ops per slot are legal with two units; more is not.
+	perSlot := map[int]int{}
+	for i := 0; i < 4; i++ {
+		perSlot[s.Cycle[i]%2]++
+	}
+	for slot, n := range perSlot {
+		if n > 2 {
+			t.Errorf("slot %d holds %d ops on 2 FUs", slot, n)
+		}
+	}
+	// 5 ops at II=2 (capacity 4) must fail.
+	g.AddOp(isa.IntALU, "")
+	if _, err := Run(Input{Graph: g, Arch: arch, Pairs: p,
+		Assign: []int{0, 0, 0, 0, 0}}); err == nil {
+		t.Error("5 ops on 4 slots must fail")
+	}
+}
+
+func TestIIOneKernel(t *testing.T) {
+	arch, clk := wideMachine(2)
+	// One int op per cluster at II=1: the tightest possible kernel.
+	g := ddg.New("ii1")
+	a := g.AddOp(isa.IntALU, "a")
+	b := g.AddOp(isa.IntALU, "b")
+	g.AddDep(a, b, 0)
+	p := mustPairs(t, arch, clk, clock.PS(1000))
+	s, err := Run(Input{Graph: g, Arch: arch, Pairs: p, Assign: []int{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifySchedule(t, s)
+	if s.II[0] != 1 {
+		t.Errorf("II = %d, want 1", s.II[0])
+	}
+	if s.SC < 2 {
+		t.Errorf("dependent ops at II=1 need ≥ 2 stages, SC = %d", s.SC)
+	}
+}
+
+// TestZeroLatencyCrossEdge: ordering edges (latency 0) across clusters pay
+// only the synchronization penalty and need no copy.
+func TestZeroLatencyCrossEdge(t *testing.T) {
+	arch, clk := wideMachine(1)
+	g := ddg.New("z")
+	st := g.AddOp(isa.Store, "st")
+	ld := g.AddOp(isa.Load, "ld")
+	// Memory ordering: the load may not start before the store issues
+	// (latency 0 ordering edge), store and load in different clusters.
+	g.AddEdge(ddg.Edge{From: st, To: ld, Latency: 0, Dist: 0})
+	// Provide producers so the store has a value to write.
+	v := g.AddOp(isa.IntALU, "v")
+	g.AddDep(v, st, 0)
+	p := mustPairs(t, arch, clk, clock.PS(2000))
+	s, err := Run(Input{Graph: g, Arch: arch, Pairs: p, Assign: []int{0, 1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifySchedule(t, s)
+	// No copy is needed for the ordering edge (the store produces no
+	// register value; v→st is same-cluster).
+	if s.CommCount() != 0 {
+		t.Errorf("ordering edge must not materialize copies, got %d", s.CommCount())
+	}
+}
+
+// TestBusEviction: more copies than one bus slot at the chosen cycle
+// forces displacement on the ICN reservation table.
+func TestBusEviction(t *testing.T) {
+	arch, clk := wideMachine(1)
+	g := ddg.New("bus")
+	var assign []int
+	// Four producers in cluster 0, each with a consumer in cluster 1:
+	// 4 copies on one bus → bus II must spread them over 4 slots.
+	for i := 0; i < 4; i++ {
+		pr := g.AddOp(isa.IntALU, "")
+		assign = append(assign, 0)
+		co := g.AddOp(isa.IntALU, "")
+		assign = append(assign, 1)
+		g.AddDep(pr, co, 0)
+	}
+	p := mustPairs(t, arch, clk, clock.PS(4000))
+	s, err := Run(Input{Graph: g, Arch: arch, Pairs: p, Assign: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifySchedule(t, s)
+	slots := map[int]bool{}
+	for _, cp := range s.Copies {
+		slot := cp.Cycle % s.II[arch.ICN()]
+		if slots[slot] {
+			t.Errorf("two copies share bus slot %d", slot)
+		}
+		slots[slot] = true
+	}
+}
+
+// TestAsymmetricClusters: a machine whose clusters have different FU
+// mixes (one integer-only, one FP-only) must route ops accordingly.
+func TestAsymmetricClusters(t *testing.T) {
+	arch := &machine.Arch{
+		Clusters: []machine.ClusterSpec{
+			{IntFUs: 2, MemPorts: 1, Regs: 16},
+			{FPFUs: 2, MemPorts: 1, Regs: 16},
+		},
+		Buses:           1,
+		BusLatency:      1,
+		SyncQueueCycles: 1,
+	}
+	clk := machine.NewClocking(arch, clock.PS(1000), 1.0)
+	g := ddg.New("asym")
+	i0 := g.AddOp(isa.IntALU, "i0")
+	f0 := g.AddOp(isa.FPALU, "f0")
+	g.AddDep(i0, f0, 0)
+	p := mustPairs(t, arch, clk, clock.PS(3000))
+	// Correct routing schedules fine.
+	s, err := Run(Input{Graph: g, Arch: arch, Pairs: p, Assign: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifySchedule(t, s)
+	// Wrong routing is rejected up front.
+	if _, err := Run(Input{Graph: g, Arch: arch, Pairs: p, Assign: []int{1, 0}}); err == nil {
+		t.Error("FP op on an FP-less cluster must be rejected")
+	}
+}

@@ -1,0 +1,59 @@
+package modsched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Format renders the schedule as a human-readable kernel listing: one
+// section per cluster (with its II and effective cycle time), operations
+// by local cycle with their stage, then the bus copies.
+func (s *Schedule) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loop %q: IT=%v  SC=%d  it_length=%v  comms=%d\n",
+		s.Graph.Name(), s.IT, s.SC, s.ItLength, len(s.Copies))
+	for c := 0; c < s.Arch.NumClusters(); c++ {
+		ii := s.II[c]
+		fmt.Fprintf(&b, "cluster C%d: II=%d (cycle %.3fns)  maxlive=%d\n",
+			c+1, ii, float64(s.IT)/float64(ii)/1000.0, s.MaxLive[c])
+		type row struct{ op, cycle int }
+		var rows []row
+		for op := 0; op < s.Graph.NumOps(); op++ {
+			if s.Assign[op] == c {
+				rows = append(rows, row{op, s.Cycle[op]})
+			}
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].cycle != rows[j].cycle {
+				return rows[i].cycle < rows[j].cycle
+			}
+			return rows[i].op < rows[j].op
+		})
+		for _, r := range rows {
+			o := s.Graph.Op(r.op)
+			name := o.Name
+			if name == "" {
+				name = fmt.Sprintf("op%d", r.op)
+			}
+			fmt.Fprintf(&b, "  cycle %3d (slot %2d, stage %d): %-12s %s\n",
+				r.cycle, r.cycle%ii, r.cycle/ii, name, o.Class)
+		}
+	}
+	if len(s.Copies) > 0 {
+		icn := int(s.Arch.ICN())
+		fmt.Fprintf(&b, "ICN: II=%d, %d bus(es)\n", s.II[icn], s.Arch.Buses)
+		cps := append([]Copy(nil), s.Copies...)
+		sort.Slice(cps, func(i, j int) bool {
+			if cps[i].Cycle != cps[j].Cycle {
+				return cps[i].Cycle < cps[j].Cycle
+			}
+			return cps[i].Val < cps[j].Val
+		})
+		for _, cp := range cps {
+			fmt.Fprintf(&b, "  cycle %3d bus %d: copy op%d → C%d\n",
+				cp.Cycle, cp.Bus, cp.Val, cp.Dst+1)
+		}
+	}
+	return b.String()
+}

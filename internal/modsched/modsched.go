@@ -1,0 +1,178 @@
+// Package modsched implements modulo scheduling for heterogeneous
+// clustered VLIW machines (Section 4 of the paper). Given a loop DDG, a
+// cluster assignment (from the graph partitioner) and the per-domain
+// (frequency, II) pairs selected for the current initiation time, it
+// produces a kernel schedule:
+//
+//   - every operation gets a cycle in its cluster's local clock;
+//   - inter-cluster value flows get copy operations on the register buses
+//     (ICN clock domain), paying synchronization-queue penalties when
+//     crossing domains;
+//   - per-domain modulo reservation tables enforce resource constraints
+//     with *different IIs per domain*;
+//   - register lifetimes and MaxLive per cluster are computed and checked
+//     against the register files.
+//
+// All timing arithmetic is exact: an operation at local cycle k of a
+// domain with initiation interval II starts at time k·IT/II, and
+// dependence constraints are checked with cross-multiplied integers so IT
+// cancels out.
+//
+// The algorithm is iterative modulo scheduling in the style of Rau's IMS:
+// operations are scheduled highest-priority-first at their earliest
+// feasible slot, with bounded backtracking that displaces conflicting
+// operations. If the budget is exhausted, the caller increases the IT and
+// retries (Figure 5 of the paper).
+package modsched
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// Options tunes the scheduler.
+type Options struct {
+	// BudgetFactor bounds scheduling steps to BudgetFactor × ops
+	// (default 16).
+	BudgetFactor int
+	// MaxStageFactor bounds an op's cycle to II·(MaxStageFactor + ops)
+	// (default 4).
+	MaxStageFactor int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BudgetFactor <= 0 {
+		o.BudgetFactor = 16
+	}
+	if o.MaxStageFactor <= 0 {
+		o.MaxStageFactor = 4
+	}
+	return o
+}
+
+// Input bundles everything one scheduling attempt needs.
+type Input struct {
+	Graph  *ddg.Graph
+	Arch   *machine.Arch
+	Pairs  machine.Pairs
+	Assign []int // op -> cluster
+	Opts   Options
+}
+
+// Copy is a materialized inter-cluster communication: the value produced
+// by op Val is moved over bus Bus to cluster Dst, issuing at ICN-local
+// cycle Cycle.
+type Copy struct {
+	Val   int // producing op id in the source graph
+	Dst   int // destination cluster
+	Cycle int // ICN-domain local cycle
+	Bus   int // bus index
+}
+
+// Schedule is a complete modulo schedule of one loop.
+type Schedule struct {
+	Graph *ddg.Graph
+	Arch  *machine.Arch
+	// IT is the initiation time; II[d] the per-domain initiation interval.
+	IT clock.Picos
+	II []int
+	// Assign[op] is the op's cluster; Cycle[op] its local cycle.
+	Assign []int
+	Cycle  []int
+	// Copies are the inserted bus communications.
+	Copies []Copy
+	// MaxLive[c] is the register pressure of cluster c.
+	MaxLive []int
+	// SumLifetimeCycles is the total of all value lifetimes, in cycles of
+	// the clusters holding them (profile input for the Section 3.2 model).
+	SumLifetimeCycles int
+	// ItLength is the iteration length: time from an iteration's start to
+	// its last operation's completion, rounded up to whole picoseconds.
+	ItLength clock.Picos
+	// SC is the stage count: max over ops of floor(cycle/II)+1.
+	SC int
+}
+
+// CommCount returns the number of bus communications per iteration.
+func (s *Schedule) CommCount() int { return len(s.Copies) }
+
+// Stage returns the stage index of op (cycle / II of its cluster).
+func (s *Schedule) Stage(op int) int {
+	return s.Cycle[op] / s.II[s.Assign[op]]
+}
+
+// TexecPs returns the execution time in picoseconds of n iterations,
+// excluding startup synchronization: (n−1)·IT + it_length. This is the
+// heterogeneous generalization of Texec = (N−1+SC)·II·Tcyc.
+func (s *Schedule) TexecPs(n int64) clock.Picos {
+	if n <= 0 {
+		return 0
+	}
+	return clock.Picos(int64(s.IT)*(n-1)) + s.ItLength
+}
+
+// Run schedules the loop. It returns an error when the loop cannot be
+// scheduled at in.Pairs.IT (the caller should increase the IT, per the
+// Figure 5 flow) or when the input is malformed.
+func Run(in Input) (*Schedule, error) {
+	if err := checkInput(&in); err != nil {
+		return nil, err
+	}
+	in.Opts = in.Opts.withDefaults()
+	x, err := buildXGraph(&in)
+	if err != nil {
+		return nil, err
+	}
+	if err := x.computePriorities(); err != nil {
+		return nil, err
+	}
+	if err := x.schedule(); err != nil {
+		return nil, err
+	}
+	return x.emit()
+}
+
+func checkInput(in *Input) error {
+	if in.Graph == nil || in.Arch == nil {
+		return fmt.Errorf("modsched: nil graph or machine")
+	}
+	if err := in.Graph.Validate(); err != nil {
+		return err
+	}
+	if len(in.Assign) != in.Graph.NumOps() {
+		return fmt.Errorf("modsched: assignment covers %d ops, graph has %d",
+			len(in.Assign), in.Graph.NumOps())
+	}
+	if len(in.Pairs.II) != in.Arch.NumDomains() {
+		return fmt.Errorf("modsched: pairs cover %d domains, machine has %d",
+			len(in.Pairs.II), in.Arch.NumDomains())
+	}
+	if in.Pairs.IT <= 0 {
+		return fmt.Errorf("modsched: non-positive initiation time")
+	}
+	for op, c := range in.Assign {
+		if c < 0 || c >= in.Arch.NumClusters() {
+			return fmt.Errorf("modsched: op %d assigned to invalid cluster %d", op, c)
+		}
+		if in.Pairs.II[c] < 1 {
+			return fmt.Errorf("modsched: op %d assigned to cluster %d with II=0", op, c)
+		}
+		cls := in.Graph.Op(op).Class
+		if in.Arch.Clusters[c].FUCount(cls.Resource()) == 0 {
+			return fmt.Errorf("modsched: op %d (%s) assigned to cluster %d lacking %s",
+				op, cls, c, cls.Resource())
+		}
+	}
+	return nil
+}
+
+// producesValue reports whether an operation class defines a register
+// value that consumers read (everything except stores and control
+// transfers, which sink their operands).
+func producesValue(c isa.Class) bool {
+	return c != isa.Store && c != isa.BranchCtrl
+}

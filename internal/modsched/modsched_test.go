@@ -1,0 +1,415 @@
+package modsched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/mii"
+)
+
+// mustPairs selects per-domain pairs or fails the test.
+func mustPairs(t *testing.T, arch *machine.Arch, clk *machine.Clocking, it clock.Picos) machine.Pairs {
+	t.Helper()
+	p, err := machine.SelectPairs(arch, clk, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// verifySchedule independently re-checks a schedule against the source DDG
+// using exact rational time arithmetic (cross-multiplied int64), without
+// reusing any scheduler internals:
+//
+//   - every DDG edge is satisfied end-to-end (through copies when the
+//     endpoints live in different clusters),
+//   - per-cluster resource slots are not oversubscribed,
+//   - bus slots are not oversubscribed,
+//   - register pressure within limits.
+func verifySchedule(t *testing.T, s *Schedule) {
+	t.Helper()
+	arch := s.Arch
+	g := s.Graph
+	icn := int(arch.ICN())
+	sq := int64(arch.SyncQueueCycles)
+
+	// start/finish times in units of IT/LCM — use cross multiplication:
+	// t(node) = cycle/II. Compare a/b ≥ c/d via a·d ≥ c·b (all positive).
+	type tpoint struct{ num, den int64 } // time = num/den in IT units
+	opStart := func(op int) tpoint {
+		return tpoint{int64(s.Cycle[op]), int64(s.II[s.Assign[op]])}
+	}
+	// copy lookup
+	type ck struct{ val, dst int }
+	copyAt := make(map[ck]Copy)
+	for _, c := range s.Copies {
+		copyAt[ck{c.Val, c.Dst}] = c
+	}
+	geq := func(a, b tpoint) bool { return a.num*b.den >= b.num*a.den }
+	add := func(a tpoint, cycles int64, den int64) tpoint {
+		// a + cycles/den
+		return tpoint{a.num*den + cycles*a.den, a.den * den}
+	}
+
+	for _, e := range g.Edges() {
+		src, dst := s.Assign[e.From], s.Assign[e.To]
+		from := opStart(e.From)
+		to := opStart(e.To)
+		to = add(to, int64(e.Dist)*int64(s.II[dst]), int64(s.II[dst])) // + dist·IT
+		if src == dst {
+			need := add(from, int64(e.Latency), int64(s.II[src]))
+			if !geq(to, need) {
+				t.Errorf("edge %d→%d violated (same cluster)", e.From, e.To)
+			}
+			continue
+		}
+		if e.Latency <= 0 || !producesValue(g.Op(e.From).Class) {
+			need := add(from, int64(e.Latency), int64(s.II[src]))
+			need = add(need, sq, int64(s.II[dst]))
+			if !geq(to, need) {
+				t.Errorf("edge %d→%d violated (cross, no value)", e.From, e.To)
+			}
+			continue
+		}
+		cp, ok := copyAt[ck{e.From, dst}]
+		if !ok {
+			t.Errorf("edge %d→%d: missing copy to cluster %d", e.From, e.To, dst)
+			continue
+		}
+		cpStart := tpoint{int64(cp.Cycle), int64(s.II[icn])}
+		// producer -> copy
+		need := add(from, int64(e.Latency), int64(s.II[src]))
+		need = add(need, sq, int64(s.II[icn]))
+		if !geq(cpStart, need) {
+			t.Errorf("copy of op %d to cluster %d issues too early", e.From, dst)
+		}
+		// copy -> consumer
+		need = add(cpStart, int64(arch.BusLatency), int64(s.II[icn]))
+		need = add(need, sq, int64(s.II[dst]))
+		if !geq(to, need) {
+			t.Errorf("edge %d→%d violated after copy", e.From, e.To)
+		}
+	}
+
+	// Resource occupancy.
+	type slotKey struct{ cluster, res, slot int }
+	use := make(map[slotKey]int)
+	for op := 0; op < g.NumOps(); op++ {
+		c := s.Assign[op]
+		r := g.Op(op).Class.Resource()
+		k := slotKey{c, int(r), s.Cycle[op] % s.II[c]}
+		use[k]++
+		if use[k] > arch.Clusters[c].FUCount(r) {
+			t.Errorf("cluster %d %s slot %d oversubscribed", c, r, k.slot)
+		}
+	}
+	busUse := make(map[int]int)
+	for _, cp := range s.Copies {
+		slot := cp.Cycle % s.II[icn]
+		busUse[slot]++
+		if busUse[slot] > arch.Buses {
+			t.Errorf("bus slot %d oversubscribed", slot)
+		}
+	}
+	for c, ml := range s.MaxLive {
+		if ml > arch.Clusters[c].Regs {
+			t.Errorf("cluster %d pressure %d > %d regs", c, ml, arch.Clusters[c].Regs)
+		}
+	}
+}
+
+func TestHomogeneousChain(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	g := ddg.Chain("c", isa.IntALU, 4)
+	assign := []int{0, 0, 0, 0}
+	p := mustPairs(t, cfg.Arch, cfg.Clock, clock.PS(4000)) // II=4 everywhere
+	s, err := Run(Input{Graph: g, Arch: cfg.Arch, Pairs: p, Assign: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifySchedule(t, s)
+	// Chain of 1-cycle ops: cycles must be strictly increasing by ≥1.
+	for i := 1; i < 4; i++ {
+		if s.Cycle[i] < s.Cycle[i-1]+1 {
+			t.Errorf("op %d at %d, predecessor at %d", i, s.Cycle[i], s.Cycle[i-1])
+		}
+	}
+	if s.CommCount() != 0 {
+		t.Error("single-cluster schedule must have no copies")
+	}
+	if s.ItLength < clock.PS(4000) {
+		t.Errorf("it_length = %v, want ≥ 4ns (4 sequential 1-cycle ops)", s.ItLength)
+	}
+}
+
+func TestCrossClusterCopy(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	g := ddg.New("x")
+	a := g.AddOp(isa.IntALU, "a")
+	b := g.AddOp(isa.IntALU, "b")
+	g.AddDep(a, b, 0)
+	assign := []int{0, 1}
+	p := mustPairs(t, cfg.Arch, cfg.Clock, clock.PS(2000))
+	s, err := Run(Input{Graph: g, Arch: cfg.Arch, Pairs: p, Assign: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifySchedule(t, s)
+	if s.CommCount() != 1 {
+		t.Fatalf("want exactly 1 copy, got %d", s.CommCount())
+	}
+	cp := s.Copies[0]
+	if cp.Val != a || cp.Dst != 1 {
+		t.Errorf("copy = %+v", cp)
+	}
+	// Homogeneous 1ns everywhere, sync=1: a finishes at cycle 1, copy at
+	// ≥ 2 (1 sync), b at ≥ copy+1+1 = 4.
+	if cp.Cycle < s.Cycle[a]+2 {
+		t.Errorf("copy at %d, producer at %d", cp.Cycle, s.Cycle[a])
+	}
+	if s.Cycle[b] < cp.Cycle+2 {
+		t.Errorf("consumer at %d, copy at %d", s.Cycle[b], cp.Cycle)
+	}
+}
+
+// TestFigure3HeterogeneousIIs schedules on the paper's Figure 3 machine:
+// C1 at 1 ns, C2 at 1.5 ns, IT = 3 ns → II 3 and 2.
+func TestFigure3HeterogeneousIIs(t *testing.T) {
+	cl := machine.ClusterSpec{IntFUs: 1, FPFUs: 1, MemPorts: 1, Regs: 16}
+	arch := &machine.Arch{
+		Clusters:        []machine.ClusterSpec{cl, cl},
+		Buses:           1,
+		BusLatency:      1,
+		SyncQueueCycles: 1,
+	}
+	clk := machine.NewClocking(arch, clock.PS(1000), 1.0)
+	clk.MinPeriod[1] = clock.PS(1500)
+	p := mustPairs(t, arch, clk, clock.PS(3000))
+	if p.II[0] != 3 || p.II[1] != 2 {
+		t.Fatalf("IIs = %v, want [3 2 ...]", p.II)
+	}
+	g := ddg.New("f3")
+	a := g.AddOp(isa.IntALU, "a")
+	b := g.AddOp(isa.IntALU, "b")
+	c := g.AddOp(isa.IntALU, "c")
+	g.AddDep(a, b, 0)
+	g.AddDep(b, c, 0)
+	s, err := Run(Input{Graph: g, Arch: arch, Pairs: p, Assign: []int{0, 1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifySchedule(t, s)
+	if s.CommCount() != 2 {
+		t.Errorf("want 2 copies (a→C2, b→C1), got %d", s.CommCount())
+	}
+}
+
+func TestRecurrenceAtRecMII(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	// FP accumulation: recMII = 3 (FPALU latency).
+	g := ddg.Livermore("lv")
+	res, err := mii.Compute(g, cfg.Arch, cfg.Clock, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustPairs(t, cfg.Arch, cfg.Clock, res.MIT)
+	// All ops on cluster 0 keeps the recurrence local.
+	assign := make([]int, g.NumOps())
+	s, err2 := Run(Input{Graph: g, Arch: cfg.Arch, Pairs: p, Assign: assign})
+	if err2 != nil {
+		t.Fatalf("MIT=%v: %v", res.MIT, err2)
+	}
+	verifySchedule(t, s)
+}
+
+func TestResourceConflictForcesII(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	// 5 independent int ops on one cluster with 1 int FU: need II ≥ 5.
+	g := ddg.New("par")
+	for i := 0; i < 5; i++ {
+		g.AddOp(isa.IntALU, "")
+	}
+	assign := []int{0, 0, 0, 0, 0}
+	p := mustPairs(t, cfg.Arch, cfg.Clock, clock.PS(4000))
+	if _, err := Run(Input{Graph: g, Arch: cfg.Arch, Pairs: p, Assign: assign}); err == nil {
+		t.Fatal("II=4 with 5 ops on one FU must fail")
+	}
+	p = mustPairs(t, cfg.Arch, cfg.Clock, clock.PS(5000))
+	s, err := Run(Input{Graph: g, Arch: cfg.Arch, Pairs: p, Assign: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifySchedule(t, s)
+	// All 5 must occupy distinct modulo slots.
+	seen := map[int]bool{}
+	for i := 0; i < 5; i++ {
+		slot := s.Cycle[i] % 5
+		if seen[slot] {
+			t.Errorf("duplicate slot %d", slot)
+		}
+		seen[slot] = true
+	}
+}
+
+func TestRegisterPressureFailure(t *testing.T) {
+	// 1 cluster, 2 registers: a producer with many long-latency consumers
+	// forces > 2 simultaneous live values.
+	cl := machine.ClusterSpec{IntFUs: 2, FPFUs: 8, MemPorts: 1, Regs: 2}
+	arch := &machine.Arch{
+		Clusters:        []machine.ClusterSpec{cl},
+		Buses:           1,
+		BusLatency:      1,
+		SyncQueueCycles: 1,
+	}
+	clk := machine.NewClocking(arch, clock.PS(1000), 1.0)
+	g := ddg.New("press")
+	var prods []int
+	for i := 0; i < 6; i++ {
+		prods = append(prods, g.AddOp(isa.FPMul, "")) // lat 6
+	}
+	sink := g.AddOp(isa.FPALU, "")
+	for _, p := range prods {
+		g.AddDep(p, sink, 0)
+	}
+	p := mustPairs(t, arch, clk, clock.PS(1000)) // II=1: all values overlap
+	_, err := Run(Input{Graph: g, Arch: arch, Pairs: p, Assign: make([]int, g.NumOps())})
+	if err == nil {
+		t.Fatal("expected register-pressure failure")
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	g := ddg.Chain("c", isa.IntALU, 2)
+	p := mustPairs(t, cfg.Arch, cfg.Clock, clock.PS(2000))
+	cases := []Input{
+		{Graph: nil, Arch: cfg.Arch, Pairs: p, Assign: []int{0, 0}},
+		{Graph: g, Arch: cfg.Arch, Pairs: p, Assign: []int{0}},
+		{Graph: g, Arch: cfg.Arch, Pairs: p, Assign: []int{0, 9}},
+		{Graph: g, Arch: cfg.Arch, Pairs: machine.Pairs{IT: 0, II: p.II}, Assign: []int{0, 0}},
+		{Graph: g, Arch: cfg.Arch, Pairs: machine.Pairs{IT: p.IT, II: []int{1}}, Assign: []int{0, 0}},
+	}
+	for i, in := range cases {
+		if _, err := Run(in); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// FP op assigned to a cluster without FP units.
+	noFP := &machine.Arch{
+		Clusters: []machine.ClusterSpec{
+			{IntFUs: 1, MemPorts: 1, Regs: 16},
+			{IntFUs: 1, FPFUs: 1, MemPorts: 1, Regs: 16},
+		},
+		Buses: 1, BusLatency: 1, SyncQueueCycles: 1,
+	}
+	clk := machine.NewClocking(noFP, clock.PS(1000), 1.0)
+	pf, _ := machine.SelectPairs(noFP, clk, clock.PS(3000))
+	gf := ddg.Chain("f", isa.FPALU, 1)
+	if _, err := Run(Input{Graph: gf, Arch: noFP, Pairs: pf, Assign: []int{0}}); err == nil {
+		t.Error("FP op on FP-less cluster must be rejected")
+	}
+}
+
+func TestTexecFormula(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	g := ddg.Chain("c", isa.IntALU, 3)
+	p := mustPairs(t, cfg.Arch, cfg.Clock, clock.PS(3000))
+	s, err := Run(Input{Graph: g, Arch: cfg.Arch, Pairs: p, Assign: []int{0, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Texec(N) = (N−1)·IT + it_length.
+	want := clock.Picos(99*3000) + s.ItLength
+	if got := s.TexecPs(100); got != want {
+		t.Errorf("Texec(100) = %v, want %v", got, want)
+	}
+	if s.TexecPs(0) != 0 {
+		t.Error("Texec(0) must be 0")
+	}
+	// Stage count: 3 sequential 1-cycle ops at II=3 fit one stage.
+	if s.SC < 1 {
+		t.Errorf("SC = %d", s.SC)
+	}
+}
+
+// TestRandomizedSchedules fuzzes the scheduler across random graphs,
+// assignments and heterogeneous clockings; every produced schedule must
+// pass independent verification.
+func TestRandomizedSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	classes := []isa.Class{isa.IntALU, isa.IntMul, isa.FPALU, isa.FPMul, isa.Load, isa.Store}
+	slowRatios := [][2]clock.Picos{
+		{1000, 1000}, {1000, 1250}, {900, 1350}, {950, 1425},
+	}
+	scheduled := 0
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + rng.Intn(12)
+		g := ddg.New("rand")
+		for i := 0; i < n; i++ {
+			g.AddOp(classes[rng.Intn(len(classes))], "")
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.25 {
+					g.AddDep(i, j, 0)
+				}
+			}
+		}
+		if rng.Float64() < 0.5 {
+			// a loop-carried recurrence
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a < b {
+				g.AddDep(b, a, 1+rng.Intn(2))
+			}
+		}
+		ratio := slowRatios[rng.Intn(len(slowRatios))]
+		arch := machine.Reference4Cluster(1 + rng.Intn(2))
+		clk := machine.NewClocking(arch, ratio[0], 1.0)
+		for c := 1; c < 4; c++ {
+			clk.MinPeriod[c] = ratio[1]
+		}
+		clk.MinPeriod[arch.ICN()] = ratio[0]
+		clk.MinPeriod[arch.Cache()] = ratio[0]
+
+		res, err := mii.Compute(g, arch, clk, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assign := make([]int, n)
+		for i := range assign {
+			assign[i] = rng.Intn(4)
+		}
+		it := res.MIT
+		var s *Schedule
+		for attempt := 0; attempt < 25; attempt++ {
+			p, err := machine.SelectPairs(arch, clk, it)
+			if err != nil {
+				it += 500
+				continue
+			}
+			s, err = Run(Input{Graph: g, Arch: arch, Pairs: p, Assign: assign})
+			if err == nil {
+				break
+			}
+			s = nil
+			it = p.NextIT(clk)
+		}
+		if s == nil {
+			// Random assignments can be truly infeasible (e.g. all ops of
+			// one kind on one cluster with huge pressure); tolerate some.
+			continue
+		}
+		scheduled++
+		verifySchedule(t, s)
+		if s.IT < res.MIT {
+			t.Errorf("trial %d: scheduled below MIT", trial)
+		}
+	}
+	if scheduled < 120 {
+		t.Errorf("only %d/200 random loops scheduled; scheduler too weak", scheduled)
+	}
+}

@@ -1,0 +1,214 @@
+package modsched
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+)
+
+// value is a live register value in one cluster: produced either by an
+// original op (in its own cluster) or by a copy (in its destination
+// cluster). Its interval is expressed in cycles of the holding cluster.
+type value struct {
+	cluster  int
+	def, end int // inclusive cycle interval [def, end]
+}
+
+// computeValues derives all register values and their live intervals from
+// the scheduled extended graph.
+//
+// Reads: a consumer arc with distance d reads the value at time
+// t_consumer + d·IT, which in holder-cluster cycles is
+// floor(k_consumer·II_h/II_c) + d·II_h. A copy reading a producer's value
+// behaves the same way in the producer's cluster.
+func (x *xgraph) computeValues() []value {
+	var vals []value
+	for nid := range x.nodes {
+		nd := &x.nodes[nid]
+		var holder int
+		switch {
+		case nd.op >= 0:
+			if !producesValue(x.in.Graph.Op(nd.op).Class) {
+				continue
+			}
+			holder = nd.domain
+		default:
+			holder = x.copies[nid-x.in.Graph.NumOps()].Dst
+		}
+		iiH := x.in.Pairs.II[holder]
+		// Definition cycle in the holder's clock: the producing node
+		// finishes at (k+lat)·IT/II_producerDomain.
+		def := int(ceilDiv(int64(x.cycle[nid]+nd.lat)*int64(iiH), int64(x.ii(nid))))
+		end := def
+		for _, ai := range x.nodes[nid].out {
+			a := &x.arcs[ai]
+			// Only arcs whose consumer actually reads this register:
+			// same-cluster consumers for op values; destination-cluster
+			// consumers for copy values; and copies reading an op value
+			// on the bus (they read it from the producer's file).
+			toNode := &x.nodes[a.to]
+			read := int(int64(x.cycle[a.to])*int64(iiH)/int64(x.ii(a.to))) +
+				a.dist*iiH
+			if toNode.op < 0 {
+				// A copy reads the producer's register at copy issue.
+				if nd.op >= 0 && read > end {
+					end = read
+				}
+				continue
+			}
+			consumerCluster := x.in.Assign[toNode.op]
+			if consumerCluster != holder {
+				continue
+			}
+			if read > end {
+				end = read
+			}
+		}
+		vals = append(vals, value{cluster: holder, def: def, end: end})
+	}
+	return vals
+}
+
+// maxLive folds the value intervals into per-cluster kernel-slot pressure
+// and returns MaxLive per cluster plus the total lifetime cycles.
+func (x *xgraph) maxLive(vals []value) (maxLive []int, sumLifetimes int) {
+	nc := x.in.Arch.NumClusters()
+	live := make([][]int, nc)
+	for c := 0; c < nc; c++ {
+		ii := x.in.Pairs.II[c]
+		if ii < 1 {
+			ii = 1
+		}
+		live[c] = make([]int, ii)
+	}
+	for _, v := range vals {
+		ii := len(live[v.cluster])
+		span := v.end - v.def + 1
+		sumLifetimes += span
+		full := span / ii
+		rem := span % ii
+		for s := range live[v.cluster] {
+			live[v.cluster][s] += full
+		}
+		for i := 0; i < rem; i++ {
+			live[v.cluster][(v.def+i)%ii]++
+		}
+	}
+	maxLive = make([]int, nc)
+	for c := 0; c < nc; c++ {
+		for _, l := range live[c] {
+			if l > maxLive[c] {
+				maxLive[c] = l
+			}
+		}
+	}
+	return maxLive, sumLifetimes
+}
+
+// emit finalizes the schedule: normalizes cycles, assigns buses to copies,
+// computes iteration length, stage count and register pressure, and runs
+// the internal consistency checks.
+func (x *xgraph) emit() (*Schedule, error) {
+	g := x.in.Graph
+	arch := x.in.Arch
+	s := &Schedule{
+		Graph:  g,
+		Arch:   arch,
+		IT:     x.in.Pairs.IT,
+		II:     append([]int(nil), x.in.Pairs.II...),
+		Assign: append([]int(nil), x.in.Assign...),
+		Cycle:  make([]int, g.NumOps()),
+	}
+	for i := 0; i < g.NumOps(); i++ {
+		s.Cycle[i] = x.cycle[i]
+	}
+	// Copies: record cycles, assign bus units from the reservation table.
+	icn := int(arch.ICN())
+	iiBus := x.in.Pairs.II[icn]
+	busUse := make(map[int]int) // slot -> next unit
+	for ci := range x.copies {
+		nid := g.NumOps() + ci
+		cp := x.copies[ci]
+		cp.Cycle = x.cycle[nid]
+		slot := 0
+		if iiBus > 0 {
+			slot = cp.Cycle % iiBus
+		}
+		cp.Bus = busUse[slot]
+		busUse[slot]++
+		if cp.Bus >= arch.Buses {
+			return nil, fmt.Errorf("modsched: internal error: bus oversubscribed at slot %d", slot)
+		}
+		s.Copies = append(s.Copies, cp)
+	}
+	// Iteration length: latest completion time across all nodes, in ps
+	// (rounded up). Completion of node n is (k+lat)·IT/II.
+	var itLen int64
+	for nid := range x.nodes {
+		num := int64(x.cycle[nid]+x.nodes[nid].lat) * int64(s.IT)
+		den := int64(x.ii(nid))
+		fin := ceilDiv(num, den)
+		if fin > itLen {
+			itLen = fin
+		}
+	}
+	s.ItLength = clock.Picos(itLen)
+	// Stage count.
+	for nid := range x.nodes {
+		stage := x.cycle[nid]/x.ii(nid) + 1
+		if stage > s.SC {
+			s.SC = stage
+		}
+	}
+	// Register pressure.
+	vals := x.computeValues()
+	s.MaxLive, s.SumLifetimeCycles = x.maxLive(vals)
+	for c := 0; c < arch.NumClusters(); c++ {
+		if s.MaxLive[c] > arch.Clusters[c].Regs {
+			return nil, fmt.Errorf("modsched: register pressure %d exceeds %d registers in cluster %d at IT=%v",
+				s.MaxLive[c], arch.Clusters[c].Regs, c, s.IT)
+		}
+	}
+	if err := x.verify(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// verify re-checks every arc and reservation slot of the final schedule.
+func (x *xgraph) verify() error {
+	for ai := range x.arcs {
+		a := &x.arcs[ai]
+		if x.cycle[a.from] < 0 || x.cycle[a.to] < 0 {
+			return fmt.Errorf("modsched: internal error: unscheduled node after success")
+		}
+		if !x.satisfied(a) {
+			return fmt.Errorf("modsched: internal error: violated dependence %d→%d", a.from, a.to)
+		}
+	}
+	// Slot occupancy: every node appears exactly once in its table.
+	for nid := range x.nodes {
+		nd := &x.nodes[nid]
+		tbl := x.mrt[nd.domain][nd.resKey]
+		count := 0
+		for _, occ := range tbl {
+			if occ == nid {
+				count++
+			}
+		}
+		if count != 1 {
+			return fmt.Errorf("modsched: internal error: node %d holds %d slots", nid, count)
+		}
+		slot := x.cycle[nid] % x.ii(nid)
+		found := false
+		for u := 0; u < nd.units; u++ {
+			if tbl[slot*nd.units+u] == nid {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("modsched: internal error: node %d not at its own slot", nid)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package modsched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// schedule runs iterative modulo scheduling over the extended graph:
+// highest-priority-first placement at the earliest feasible slot, with
+// bounded displacement of conflicting operations (Rau's IMS adapted to
+// per-domain initiation intervals).
+func (x *xgraph) schedule() error {
+	// Process order: priority descending, node id as tie-break.
+	order := make([]int, len(x.nodes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		pi, pj := x.nodes[order[i]].prio, x.nodes[order[j]].prio
+		if pi != pj {
+			return pi > pj
+		}
+		return order[i] < order[j]
+	})
+
+	unscheduled := len(x.nodes)
+	for unscheduled > 0 {
+		if x.budget <= 0 {
+			return fmt.Errorf("modsched: scheduling budget exhausted at IT=%v", x.in.Pairs.IT)
+		}
+		// Highest-priority unscheduled node.
+		var pick = -1
+		for _, nid := range order {
+			if x.cycle[nid] < 0 {
+				pick = nid
+				break
+			}
+		}
+		x.budget--
+
+		estart := x.earliestStart(pick)
+		minCycle := estart
+		if x.lastCycle[pick] >= 0 && x.lastCycle[pick]+1 > minCycle {
+			// Restart rule: never re-place an op where it was before.
+			minCycle = x.lastCycle[pick] + 1
+		}
+		if minCycle > x.maxCycle[pick] {
+			return fmt.Errorf("modsched: op pushed beyond stage bound at IT=%v", x.in.Pairs.IT)
+		}
+		ii := x.ii(pick)
+		placed := false
+		for k := minCycle; k < minCycle+ii; k++ {
+			if k > x.maxCycle[pick] {
+				break
+			}
+			if x.hasFreeUnit(pick, k) {
+				x.place(pick, k)
+				unscheduled--
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Force placement at minCycle, displacing the lowest-priority
+			// resource-conflict victim.
+			k := minCycle
+			for _, v := range x.pickVictims(pick, k) {
+				x.releaseSlot(v)
+				x.unplace(v)
+				unscheduled++
+			}
+			x.place(pick, k)
+			unscheduled--
+		}
+		// Dependence repair: displace scheduled neighbors whose arcs are
+		// now violated.
+		for _, ai := range x.nodes[pick].out {
+			a := &x.arcs[ai]
+			if x.cycle[a.to] >= 0 && !x.satisfied(a) {
+				x.unplace(a.to)
+				x.releaseSlot(a.to)
+				unscheduled++
+			}
+		}
+		for _, ai := range x.nodes[pick].in {
+			a := &x.arcs[ai]
+			if x.cycle[a.from] >= 0 && !x.satisfied(a) {
+				x.unplace(a.from)
+				x.releaseSlot(a.from)
+				unscheduled++
+			}
+		}
+	}
+	return nil
+}
+
+// earliestStart computes the earliest legal cycle of node nid from its
+// scheduled predecessors.
+func (x *xgraph) earliestStart(nid int) int {
+	e := 0
+	for _, ai := range x.nodes[nid].in {
+		a := &x.arcs[ai]
+		if x.cycle[a.from] < 0 {
+			continue
+		}
+		if v := x.earliestFrom(a, x.cycle[a.from]); v > e {
+			e = v
+		}
+	}
+	return e
+}
+
+// hasFreeUnit reports whether node nid's resource has a free unit at
+// cycle k (modulo its domain's II).
+func (x *xgraph) hasFreeUnit(nid, k int) bool {
+	nd := &x.nodes[nid]
+	tbl := x.mrt[nd.domain][nd.resKey]
+	slot := k % x.ii(nid)
+	for u := 0; u < nd.units; u++ {
+		if tbl[slot*nd.units+u] < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// pickVictims selects the occupants to displace so that node nid can take
+// a unit at cycle k: the lowest-priority occupant of the slot, or nothing
+// if a unit is free after all.
+func (x *xgraph) pickVictims(nid, k int) []int {
+	nd := &x.nodes[nid]
+	tbl := x.mrt[nd.domain][nd.resKey]
+	slot := k % x.ii(nid)
+	victim := -1
+	for u := 0; u < nd.units; u++ {
+		occ := tbl[slot*nd.units+u]
+		if occ < 0 {
+			return nil // a unit is free after all
+		}
+		if victim < 0 || x.nodes[occ].prio < x.nodes[victim].prio {
+			victim = occ
+		}
+	}
+	return []int{victim}
+}
+
+// place records node nid at cycle k and claims its reservation slot.
+func (x *xgraph) place(nid, k int) {
+	nd := &x.nodes[nid]
+	tbl := x.mrt[nd.domain][nd.resKey]
+	ii := x.ii(nid)
+	slot := k % ii
+	for u := 0; u < nd.units; u++ {
+		if tbl[slot*nd.units+u] < 0 {
+			tbl[slot*nd.units+u] = nid
+			x.cycle[nid] = k
+			x.lastCycle[nid] = k
+			return
+		}
+	}
+	panic("modsched: place called without a free unit")
+}
+
+// unplace marks nid unscheduled (its slot must be released separately when
+// it still holds one; eviction via reserveForce leaves the slot to the
+// usurper).
+func (x *xgraph) unplace(nid int) { x.cycle[nid] = -1 }
+
+// releaseSlot clears nid's reservation entry if present.
+func (x *xgraph) releaseSlot(nid int) {
+	nd := &x.nodes[nid]
+	tbl := x.mrt[nd.domain][nd.resKey]
+	for i, occ := range tbl {
+		if occ == nid {
+			tbl[i] = -1
+			return
+		}
+	}
+}

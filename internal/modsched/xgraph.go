@@ -1,0 +1,312 @@
+package modsched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// arc is a dependence in the extended (copy-augmented) graph.
+//
+// Timing semantics: if the source node u (domain Du, cycle k_u) has the
+// arc (lat, dist, sync) to node v (domain Dv, cycle k_v), then
+//
+//	t_v ≥ t_u + lat·IT/II_Du + sync·IT/II_Dv − dist·IT
+//
+// which, with t = k·IT/II, reduces to the integer constraint
+//
+//	k_v ≥ ceil(II_Dv·(k_u+lat) / II_Du) + sync − dist·II_Dv .
+type arc struct {
+	from, to int
+	lat      int // cycles of the source node's domain
+	dist     int // iteration distance
+	sync     int // synchronization-queue cycles of the target's domain
+}
+
+// node is an op of the extended graph: the original DDG ops first, then
+// one copy node per (value, destination cluster) communication.
+type node struct {
+	op     int // original op id, or -1 for copies
+	domain int // cluster id, or ICN domain for copies
+	lat    int // latency in own-domain cycles
+	units  int // number of resource units available to this node
+	resKey int // reservation-table key (domain-local resource kind)
+	out    []int
+	in     []int
+	prio   float64
+}
+
+// xgraph is the scheduler's working state.
+type xgraph struct {
+	in     *Input
+	nodes  []node
+	arcs   []arc
+	copies []Copy // parallel to copy nodes (cycle/bus filled at emit)
+
+	// mrt[d][resKey] is the modulo reservation table of one resource kind
+	// in domain d: a slice of II_d·units entries holding the occupying
+	// node or -1.
+	mrt map[int]map[int][]int
+
+	cycle     []int // node -> local cycle, -1 if unscheduled
+	lastCycle []int // node -> last cycle tried (Rau's restart rule)
+	budget    int
+	maxCycle  []int // node -> upper bound on cycle
+}
+
+// resource table keys within a domain (clusters use the isa resource
+// ordinal of the op class; the ICN uses busKey).
+const busKey = 100
+
+// buildXGraph expands the DDG with copy nodes for every inter-cluster
+// value flow and collects the arcs.
+func buildXGraph(in *Input) (*xgraph, error) {
+	g := in.Graph
+	arch := in.Arch
+	icn := int(arch.ICN())
+	x := &xgraph{in: in}
+
+	// Original ops.
+	for i := 0; i < g.NumOps(); i++ {
+		cls := g.Op(i).Class
+		d := in.Assign[i]
+		x.nodes = append(x.nodes, node{
+			op:     i,
+			domain: d,
+			lat:    cls.Latency(),
+			units:  arch.Clusters[d].FUCount(cls.Resource()),
+			resKey: int(cls.Resource()),
+		})
+	}
+
+	// Copy nodes: one per (producer op, destination cluster) that has at
+	// least one value-carrying cross-cluster edge. Deterministic order.
+	commNode := make(map[commKey]int)
+	var keys []commKey
+	for _, e := range g.Edges() {
+		if e.Latency <= 0 || !producesValue(g.Op(e.From).Class) {
+			continue
+		}
+		src, dst := in.Assign[e.From], in.Assign[e.To]
+		if src == dst {
+			continue
+		}
+		k := commKey{e.From, dst}
+		if _, ok := commNode[k]; !ok {
+			commNode[k] = -1 // placeholder; assigned below in sorted order
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].val != keys[j].val {
+			return keys[i].val < keys[j].val
+		}
+		return keys[i].dst < keys[j].dst
+	})
+	if len(keys) > 0 && arch.Buses == 0 {
+		return nil, fmt.Errorf("modsched: partition requires communications but machine has no buses")
+	}
+	if len(keys) > 0 && in.Pairs.II[icn] < 1 {
+		return nil, fmt.Errorf("modsched: communications required but ICN has II=0")
+	}
+	for _, k := range keys {
+		id := len(x.nodes)
+		commNode[k] = id
+		x.nodes = append(x.nodes, node{
+			op:     -1,
+			domain: icn,
+			lat:    arch.BusLatency,
+			units:  arch.Buses,
+			resKey: busKey,
+		})
+		x.copies = append(x.copies, Copy{Val: k.val, Dst: k.dst})
+		// Producer -> copy: full producer latency, then cross into the
+		// ICN domain (sync in ICN cycles).
+		x.addArc(arc{
+			from: k.val, to: id,
+			lat:  g.Op(k.val).Latency(),
+			dist: 0,
+			sync: arch.SyncQueueCycles,
+		})
+	}
+
+	// Dependence arcs.
+	for _, e := range g.Edges() {
+		src, dst := in.Assign[e.From], in.Assign[e.To]
+		if src == dst || e.Latency <= 0 || !producesValue(g.Op(e.From).Class) {
+			// Same-cluster edge, or an ordering edge that carries no
+			// register value: direct arc; pay a sync-queue penalty only
+			// when it crosses domains.
+			sync := 0
+			if src != dst {
+				sync = arch.SyncQueueCycles
+			}
+			x.addArc(arc{from: e.From, to: e.To, lat: e.Latency, dist: e.Dist, sync: sync})
+			continue
+		}
+		// Cross-cluster value: route through the copy node. The
+		// copy-to-consumer arc carries the original iteration distance
+		// (the copy travels with the producer's iteration).
+		cn := commNode[commKey{e.From, dst}]
+		x.addArc(arc{
+			from: cn, to: e.To,
+			lat:  arch.BusLatency,
+			dist: e.Dist,
+			sync: arch.SyncQueueCycles,
+		})
+	}
+
+	// Scheduler state.
+	n := len(x.nodes)
+	x.cycle = make([]int, n)
+	x.lastCycle = make([]int, n)
+	x.maxCycle = make([]int, n)
+	for i := range x.cycle {
+		x.cycle[i] = -1
+		x.lastCycle[i] = -1
+		ii := in.Pairs.II[x.nodes[i].domain]
+		x.maxCycle[i] = ii*(in.Opts.MaxStageFactor+g.NumOps()) + ii
+	}
+	x.budget = in.Opts.BudgetFactor * n
+	x.mrt = make(map[int]map[int][]int)
+	for i := range x.nodes {
+		nd := &x.nodes[i]
+		if x.mrt[nd.domain] == nil {
+			x.mrt[nd.domain] = make(map[int][]int)
+		}
+		if x.mrt[nd.domain][nd.resKey] == nil {
+			ii := in.Pairs.II[nd.domain]
+			tbl := make([]int, ii*nd.units)
+			for j := range tbl {
+				tbl[j] = -1
+			}
+			x.mrt[nd.domain][nd.resKey] = tbl
+		}
+	}
+	return x, nil
+}
+
+type commKey struct{ val, dst int }
+
+func (x *xgraph) addArc(a arc) {
+	idx := len(x.arcs)
+	x.arcs = append(x.arcs, a)
+	x.nodes[a.from].out = append(x.nodes[a.from].out, idx)
+	x.nodes[a.to].in = append(x.nodes[a.to].in, idx)
+}
+
+// ii returns the initiation interval of node n's domain.
+func (x *xgraph) ii(n int) int { return x.in.Pairs.II[x.nodes[n].domain] }
+
+// earliestFrom returns the smallest cycle of a.to that satisfies arc a
+// given that a.from is scheduled at cycle k:
+//
+//	ceil(II_to·(k+lat)/II_from) + sync − dist·II_to
+func (x *xgraph) earliestFrom(a *arc, k int) int {
+	iiFrom := int64(x.ii(a.from))
+	iiTo := int64(x.ii(a.to))
+	num := iiTo * int64(k+a.lat)
+	e := ceilDiv(num, iiFrom) + int64(a.sync) - int64(a.dist)*iiTo
+	if e < 0 {
+		return 0
+	}
+	return int(e)
+}
+
+// satisfied reports whether arc a holds for the current (scheduled)
+// cycles of both endpoints.
+func (x *xgraph) satisfied(a *arc) bool {
+	kf, kt := x.cycle[a.from], x.cycle[a.to]
+	if kf < 0 || kt < 0 {
+		return true
+	}
+	return kt >= x.earliestFrom(a, kf)
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}
+
+// computePriorities assigns each node a height-based priority: the longest
+// time-weighted path (in units of IT) from the node through the graph,
+// including its own latency. Fails if the dependences admit no schedule at
+// this IT (a positive-weight cycle), which signals the caller to grow IT.
+//
+// Weights are scaled by the lcm of the per-domain IIs so the longest-path
+// relaxation runs in exact integer arithmetic (zero-weight recurrences,
+// which are common at IT = MIT, must not be mistaken for positive cycles).
+func (x *xgraph) computePriorities() error {
+	n := len(x.nodes)
+	scale := int64(1)
+	for _, ii := range x.in.Pairs.II {
+		if ii > 0 {
+			scale = lcm64(scale, int64(ii))
+			if scale > 1<<30 {
+				scale = 0 // overflow: no exact scale available
+				break
+			}
+		}
+	}
+	h := make([]int64, n)
+	var hf []float64
+	if scale == 0 {
+		hf = make([]float64, n)
+	}
+	for i := range x.nodes {
+		nd := &x.nodes[i]
+		if scale != 0 {
+			h[i] = int64(nd.lat) * (scale / int64(x.ii(i)))
+		} else {
+			hf[i] = float64(nd.lat) / float64(x.ii(i))
+		}
+	}
+	for round := 0; ; round++ {
+		changed := false
+		for ai := range x.arcs {
+			a := &x.arcs[ai]
+			if scale != 0 {
+				w := int64(a.lat)*(scale/int64(x.ii(a.from))) +
+					int64(a.sync)*(scale/int64(x.ii(a.to))) -
+					int64(a.dist)*scale
+				if v := w + h[a.to]; v > h[a.from] {
+					h[a.from] = v
+					changed = true
+				}
+			} else {
+				w := float64(a.lat)/float64(x.ii(a.from)) +
+					float64(a.sync)/float64(x.ii(a.to)) -
+					float64(a.dist)
+				if v := w + hf[a.to]; v > hf[a.from]+1e-9 {
+					hf[a.from] = v
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		if round > n+2 {
+			return fmt.Errorf("modsched: recurrence unschedulable at IT=%v (positive cycle)", x.in.Pairs.IT)
+		}
+	}
+	for i := range x.nodes {
+		if scale != 0 {
+			x.nodes[i].prio = float64(h[i]) / float64(scale)
+		} else {
+			x.nodes[i].prio = hf[i]
+		}
+	}
+	return nil
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm64(a, b int64) int64 { return a / gcd64(a, b) * b }

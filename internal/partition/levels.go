@@ -1,0 +1,325 @@
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// macro is a macronode: a fused set of operations treated as a unit.
+type macro struct {
+	ops  []int
+	use  [isa.NumResources]int
+	pin  int     // cluster the node is pinned to, or -1
+	crit float64 // maximum op criticality inside
+}
+
+// level is one coarsening level: a set of macronodes, the mapping from
+// ops to node indices, and (once computed) the node-level assignment.
+type level struct {
+	nodes  []macro
+	opNode []int // op id -> node index at this level
+	assign []int // node index -> cluster (nil until assigned)
+}
+
+// computeCriticality derives each op's 1/(1+slack) criticality at the
+// graph's recMII (or 1 if recurrence-free).
+func (p *partitioner) computeCriticality() {
+	ii := p.g.RecMII()
+	if ii < 1 {
+		ii = 1
+	}
+	depth, height, ok := p.g.Depths(ii)
+	n := p.g.NumOps()
+	p.crit = make([]float64, n)
+	if !ok {
+		for i := range p.crit {
+			p.crit[i] = 1
+		}
+		return
+	}
+	cp := 0
+	for i := 0; i < n; i++ {
+		if v := depth[i] + height[i]; v > cp {
+			cp = v
+		}
+	}
+	for i := 0; i < n; i++ {
+		slack := cp - depth[i] - height[i]
+		p.crit[i] = 1.0 / float64(1+slack)
+	}
+}
+
+// fitsCluster reports whether a usage vector fits cluster c's capacity at
+// the current pairs (II_c slots per functional unit).
+func (p *partitioner) fitsCluster(use [isa.NumResources]int, c int) bool {
+	ii := p.pairs.II[c]
+	if ii < 1 {
+		return false
+	}
+	for r := 0; r < isa.NumResources; r++ {
+		if use[r] == 0 || isa.Resource(r) == isa.ResBus {
+			continue
+		}
+		units := p.arch.Clusters[c].FUCount(isa.Resource(r))
+		if use[r] > ii*units {
+			return false
+		}
+	}
+	return true
+}
+
+// fitsAnyCluster reports whether the usage fits at least one cluster.
+func (p *partitioner) fitsAnyCluster(use [isa.NumResources]int) bool {
+	for c := 0; c < p.arch.NumClusters(); c++ {
+		if p.fitsCluster(use, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// buildBaseLevel constructs the finest macronode level: each recurrence
+// SCC that fits in a cluster becomes one macronode (recurrences are not
+// split during coarsening, Section 4.1.1); other ops are singletons.
+// Constrained recurrences are pre-placed (pinned).
+func (p *partitioner) buildBaseLevel() error {
+	n := p.g.NumOps()
+	lv := &level{opNode: make([]int, n)}
+	for i := range lv.opNode {
+		lv.opNode[i] = -1
+	}
+
+	if err := p.placeRecurrences(lv); err != nil {
+		return err
+	}
+
+	// Remaining ops become singleton macronodes.
+	for op := 0; op < n; op++ {
+		if lv.opNode[op] >= 0 {
+			continue
+		}
+		m := macro{ops: []int{op}, pin: -1, crit: p.crit[op]}
+		m.use[p.g.Op(op).Class.Resource()]++
+		lv.opNode[op] = len(lv.nodes)
+		lv.nodes = append(lv.nodes, m)
+	}
+	p.levels = []*level{lv}
+	return nil
+}
+
+// placeRecurrences implements Section 4.1.1: recurrences whose recMII
+// exceeds the II of some cluster cannot be scheduled everywhere; they are
+// taken most-critical-first and pinned to the slowest cluster that can
+// still schedule them (slower clusters consume less power). All
+// recurrences that fit in a single cluster become unsplittable macronodes.
+func (p *partitioner) placeRecurrences(lv *level) error {
+	recs := p.g.Recurrences() // already ordered most critical first
+	if len(recs) == 0 {
+		return nil
+	}
+	minII := p.pairs.II[0]
+	for c := 1; c < p.arch.NumClusters(); c++ {
+		if p.pairs.II[c] < minII {
+			minII = p.pairs.II[c]
+		}
+	}
+	// Cumulative usage of pinned recurrences per cluster.
+	pinnedUse := make([][isa.NumResources]int, p.arch.NumClusters())
+
+	// Slowest-first cluster order (largest period first, then higher id).
+	order := make([]int, p.arch.NumClusters())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		pi, pj := p.clk.MinPeriod[order[i]], p.clk.MinPeriod[order[j]]
+		if pi != pj {
+			return pi > pj
+		}
+		return order[i] > order[j]
+	})
+
+	for _, rec := range recs {
+		var use [isa.NumResources]int
+		crit := 0.0
+		for _, op := range rec.Ops {
+			use[p.g.Op(op).Class.Resource()]++
+			if p.crit[op] > crit {
+				crit = p.crit[op]
+			}
+		}
+		if !p.fitsAnyCluster(use) {
+			// The recurrence cannot live whole in any cluster; leave its
+			// ops free (refinement may split it, paying communication).
+			continue
+		}
+		pin := -1
+		if rec.RecMII > minII {
+			// Constrained: pre-place in the slowest feasible cluster.
+			for _, c := range order {
+				if p.pairs.II[c] < rec.RecMII {
+					continue
+				}
+				sum := pinnedUse[c]
+				for r := range sum {
+					sum[r] += use[r]
+				}
+				if !p.fitsCluster(sum, c) {
+					continue
+				}
+				pin = c
+				pinnedUse[c] = sum
+				break
+			}
+			if pin < 0 {
+				// No cluster can host it together with more critical
+				// recurrences: leave unpinned and let refinement try; if
+				// that fails the IT will be increased.
+				continue
+			}
+		}
+		m := macro{ops: append([]int(nil), rec.Ops...), use: use, pin: pin, crit: crit}
+		id := len(lv.nodes)
+		for _, op := range rec.Ops {
+			lv.opNode[op] = id
+		}
+		lv.nodes = append(lv.nodes, m)
+	}
+	return nil
+}
+
+// coarsen builds successively coarser levels by heavy-edge matching until
+// the node count reaches the number of clusters or no progress is made.
+func (p *partitioner) coarsen() {
+	target := p.arch.NumClusters()
+	for {
+		cur := p.levels[len(p.levels)-1]
+		if len(cur.nodes) <= target {
+			return
+		}
+		next, progressed := p.coarsenStep(cur)
+		if !progressed {
+			return
+		}
+		p.levels = append(p.levels, next)
+	}
+}
+
+// coarsenStep performs one matching round.
+func (p *partitioner) coarsenStep(cur *level) (*level, bool) {
+	type medge struct {
+		a, b int
+		w    float64
+	}
+	weights := make(map[[2]int]float64)
+	for _, e := range p.g.Edges() {
+		na, nb := cur.opNode[e.From], cur.opNode[e.To]
+		if na == nb {
+			continue
+		}
+		key := [2]int{na, nb}
+		if na > nb {
+			key = [2]int{nb, na}
+		}
+		w := p.crit[e.From]
+		if p.crit[e.To] > w {
+			w = p.crit[e.To]
+		}
+		weights[key] += w
+	}
+	edges := make([]medge, 0, len(weights))
+	for k, w := range weights {
+		edges = append(edges, medge{k[0], k[1], w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+
+	matched := make([]int, len(cur.nodes))
+	for i := range matched {
+		matched[i] = -1
+	}
+	progress := false
+	remaining := len(cur.nodes)
+	target := p.arch.NumClusters()
+	for _, e := range edges {
+		if remaining <= target {
+			break
+		}
+		if matched[e.a] >= 0 || matched[e.b] >= 0 {
+			continue
+		}
+		if !p.canMerge(&cur.nodes[e.a], &cur.nodes[e.b]) {
+			continue
+		}
+		matched[e.a] = e.b
+		matched[e.b] = e.a
+		progress = true
+		remaining--
+	}
+	if !progress {
+		return nil, false
+	}
+
+	next := &level{opNode: make([]int, p.g.NumOps())}
+	nodeMap := make([]int, len(cur.nodes))
+	for i := range nodeMap {
+		nodeMap[i] = -1
+	}
+	for i := range cur.nodes {
+		if nodeMap[i] >= 0 {
+			continue
+		}
+		j := matched[i]
+		m := cur.nodes[i]
+		m.ops = append([]int(nil), m.ops...)
+		if j >= 0 && j != i {
+			other := &cur.nodes[j]
+			m.ops = append(m.ops, other.ops...)
+			for r := range m.use {
+				m.use[r] += other.use[r]
+			}
+			if other.pin >= 0 {
+				m.pin = other.pin
+			}
+			if other.crit > m.crit {
+				m.crit = other.crit
+			}
+			nodeMap[j] = len(next.nodes)
+		}
+		nodeMap[i] = len(next.nodes)
+		next.nodes = append(next.nodes, m)
+	}
+	for op := 0; op < p.g.NumOps(); op++ {
+		next.opNode[op] = nodeMap[cur.opNode[op]]
+	}
+	return next, true
+}
+
+// canMerge checks pin compatibility and that the fused node still fits in
+// at least one cluster (a macronode larger than every cluster could never
+// be placed).
+func (p *partitioner) canMerge(a, b *macro) bool {
+	if a.pin >= 0 && b.pin >= 0 && a.pin != b.pin {
+		return false
+	}
+	var use [isa.NumResources]int
+	for r := range use {
+		use[r] = a.use[r] + b.use[r]
+	}
+	pin := a.pin
+	if pin < 0 {
+		pin = b.pin
+	}
+	if pin >= 0 {
+		return p.fitsCluster(use, pin)
+	}
+	return p.fitsAnyCluster(use)
+}

@@ -1,0 +1,168 @@
+// Package partition implements the paper's multilevel graph-partitioning
+// cluster assignment for modulo scheduling on heterogeneous clustered
+// VLIW machines (Section 4.1, building on Aletà et al. MICRO'01/PACT'02):
+//
+//  1. recurrences that do not fit in every cluster at the current IT are
+//     pre-placed, most critical first, into the slowest cluster that can
+//     still schedule them (Section 4.1.1);
+//  2. the DDG is coarsened by fusing node pairs connected by critical
+//     edges into macronodes (recurrences are never split here);
+//  3. the coarsest graph is assigned to clusters: critical macronodes to
+//     fast clusters, the rest to slow, low-energy clusters;
+//  4. the partition is refined level by level with two heuristics: a
+//     balance pass that repairs capacity violations and an ED²-driven
+//     hill-climbing pass that evaluates candidate moves with
+//     pseudo-schedules and the Section 3.1 energy model (Section 4.1.2).
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/pseudo"
+)
+
+// CostParams prices a candidate partition: per-cluster dynamic scaling,
+// unit energies from the calibrated reference, σ-weighted static power,
+// and the loop's expected iteration count. The cost of a partition is the
+// estimated ED² of the loop's execution.
+type CostParams struct {
+	// DeltaCluster[c] is the dynamic scaling factor δ of cluster c.
+	DeltaCluster []float64
+	// DeltaICN and DeltaCache are the δ factors of the ICN and the cache.
+	DeltaICN, DeltaCache float64
+	// EIns, EComm, EAccess are the calibrated unit energies.
+	EIns, EComm, EAccess float64
+	// StaticPower is the σ-weighted total static power (energy per
+	// second); constant across partitions but part of ED².
+	StaticPower float64
+	// Iterations is the expected trip count N of the loop.
+	Iterations float64
+}
+
+// DefaultCost returns neutral parameters (homogeneous δ=1, unit energies,
+// no leakage term): the cost then degenerates to communication count and
+// iteration length, which is the homogeneous partitioning objective.
+func DefaultCost(nClusters int) CostParams {
+	d := make([]float64, nClusters)
+	for i := range d {
+		d[i] = 1
+	}
+	return CostParams{
+		DeltaCluster: d,
+		DeltaICN:     1,
+		DeltaCache:   1,
+		EIns:         1,
+		EComm:        1,
+		EAccess:      1,
+		Iterations:   100,
+	}
+}
+
+// Cost evaluates the estimated ED² of a partition, running a
+// pseudo-schedule for feasibility and iteration length. Infeasible
+// partitions cost +Inf.
+func (cp CostParams) Cost(g *ddg.Graph, arch *machine.Arch, pairs machine.Pairs, assign []int) (float64, pseudo.Result) {
+	r := pseudo.Evaluate(g, arch, pairs, assign)
+	if !r.Feasible {
+		return math.Inf(1), r
+	}
+	eIter := cp.IterationEnergy(g, assign, r.Comms)
+	n := cp.Iterations
+	if n < 1 {
+		n = 1
+	}
+	t := (float64(pairs.IT)*(n-1) + float64(r.ItLength)) * 1e-12
+	e := n*eIter + cp.StaticPower*t
+	return e * t * t, r
+}
+
+// IterationEnergy returns the dynamic energy of one iteration under the
+// partition: instructions priced per cluster δ, communications on the ICN,
+// memory accesses on the cache.
+func (cp CostParams) IterationEnergy(g *ddg.Graph, assign []int, comms int) float64 {
+	e := 0.0
+	for op := 0; op < g.NumOps(); op++ {
+		cls := g.Op(op).Class
+		e += cp.EIns * cls.RelativeEnergy() * cp.DeltaCluster[assign[op]]
+		if cls.IsMemory() {
+			e += cp.EAccess * cp.DeltaCache
+		}
+	}
+	e += float64(comms) * cp.EComm * cp.DeltaICN
+	return e
+}
+
+// Options tunes the partitioner.
+type Options struct {
+	// EnergyAware enables the ED²-driven refinement objective. When
+	// false only balance refinement runs (the ablation baseline).
+	EnergyAware bool
+	// MaxPasses bounds hill-climbing passes per level (default 2).
+	MaxPasses int
+	// MaxEvals bounds full pseudo-schedule evaluations (default 96).
+	MaxEvals int
+	// CritThreshold separates performance-critical macronodes (placed in
+	// fast clusters) from the rest (default 0.5 on the 1/(1+slack) scale).
+	CritThreshold float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPasses <= 0 {
+		o.MaxPasses = 2
+	}
+	if o.MaxEvals <= 0 {
+		o.MaxEvals = 96
+	}
+	if o.CritThreshold <= 0 {
+		o.CritThreshold = 0.5
+	}
+	return o
+}
+
+// Partition computes a cluster assignment for graph g on the machine at
+// the given per-domain pairs. It returns an error when no feasible
+// partition was found at this IT — the Figure 5 driver then increases the
+// IT and retries.
+func Partition(g *ddg.Graph, arch *machine.Arch, clk *machine.Clocking,
+	pairs machine.Pairs, cost CostParams, opts Options) ([]int, error) {
+	opts = opts.withDefaults()
+	if g.NumOps() == 0 {
+		return nil, fmt.Errorf("partition: empty graph")
+	}
+	if len(cost.DeltaCluster) != arch.NumClusters() {
+		return nil, fmt.Errorf("partition: cost has %d cluster deltas, machine has %d",
+			len(cost.DeltaCluster), arch.NumClusters())
+	}
+	p := &partitioner{
+		g: g, arch: arch, clk: clk, pairs: pairs, cost: cost, opts: opts,
+	}
+	p.computeCriticality()
+	if err := p.buildBaseLevel(); err != nil {
+		return nil, err
+	}
+	p.coarsen()
+	p.initialAssign()
+	assign := p.refineAll()
+	// Final feasibility check at op granularity.
+	if c, _ := cost.Cost(g, arch, pairs, assign); math.IsInf(c, 1) {
+		return nil, fmt.Errorf("partition: no feasible partition at IT=%v", pairs.IT)
+	}
+	return assign, nil
+}
+
+// partitioner carries the working state.
+type partitioner struct {
+	g     *ddg.Graph
+	arch  *machine.Arch
+	clk   *machine.Clocking
+	pairs machine.Pairs
+	cost  CostParams
+	opts  Options
+
+	crit []float64 // per-op criticality 1/(1+slack)
+
+	levels []*level
+}

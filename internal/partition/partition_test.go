@@ -1,0 +1,284 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/pseudo"
+)
+
+// hetConfig builds a 4-cluster machine with one fast cluster (900 ps) and
+// three slow ones (1350 ps), ICN and cache at the fast period.
+func hetConfig(buses int) *machine.Config {
+	arch := machine.Reference4Cluster(buses)
+	clk := machine.NewClocking(arch, clock.PS(1350), 1.0)
+	clk.MinPeriod[0] = clock.PS(900)
+	clk.MinPeriod[arch.ICN()] = clock.PS(900)
+	clk.MinPeriod[arch.Cache()] = clock.PS(900)
+	return &machine.Config{Arch: arch, Clock: clk}
+}
+
+// hetCost builds cost params with cheap slow clusters.
+func hetCost() CostParams {
+	c := DefaultCost(4)
+	c.DeltaCluster = []float64{1.0, 0.6, 0.6, 0.6}
+	return c
+}
+
+func mustPartition(t *testing.T, g *ddg.Graph, cfg *machine.Config, it clock.Picos,
+	cost CostParams, opts Options) []int {
+	t.Helper()
+	pairs, err := machine.SelectPairs(cfg.Arch, cfg.Clock, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := Partition(g, cfg.Arch, cfg.Clock, pairs, cost, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != g.NumOps() {
+		t.Fatalf("assignment covers %d ops, want %d", len(assign), g.NumOps())
+	}
+	r := pseudo.Evaluate(g, cfg.Arch, pairs, assign)
+	if !r.Feasible {
+		t.Fatalf("returned partition infeasible: %s", r.Reason)
+	}
+	return assign
+}
+
+// TestCriticalRecurrenceGoesFast: a recurrence with recMII larger than the
+// slow clusters' II must be placed (whole) in the fast cluster.
+func TestCriticalRecurrenceGoesFast(t *testing.T) {
+	cfg := hetConfig(1)
+	// recMII = 4 (4 int ops, dist 1). At IT = 4×900 = 3600 ps:
+	// II = [4, 2, 2, 2]: only cluster 0 can host it.
+	g := ddg.Recurrence("r", isa.IntALU, 4, 1, isa.IntALU, 3)
+	assign := mustPartition(t, g, cfg, clock.PS(3600), hetCost(), Options{EnergyAware: true})
+	for i := 0; i < 4; i++ {
+		if assign[i] != 0 {
+			t.Errorf("recurrence op %d in cluster %d, want fast cluster 0", i, assign[i])
+		}
+	}
+}
+
+// TestHeavyIndependentWorkMovesToSlowClusters: a heavy FP chain that is
+// independent of the rest of the loop saves substantial dynamic energy in
+// a slow (δ=0.6) cluster at no communication cost, so the energy-aware
+// refinement must not leave it in the fast cluster.
+func TestHeavyIndependentWorkMovesToSlowClusters(t *testing.T) {
+	cfg := hetConfig(1)
+	g := ddg.New("mix")
+	// A 4-op integer recurrence (recMII 4) ...
+	var rec []int
+	for i := 0; i < 4; i++ {
+		rec = append(rec, g.AddOp(isa.IntALU, ""))
+		if i > 0 {
+			g.AddDep(rec[i-1], rec[i], 0)
+		}
+	}
+	g.AddDep(rec[3], rec[0], 1)
+	// ... plus an independent 5-op FP chain (6.0 energy units).
+	var chain []int
+	for i := 0; i < 5; i++ {
+		chain = append(chain, g.AddOp(isa.FPALU, ""))
+		if i > 0 {
+			g.AddDep(chain[i-1], chain[i], 0)
+		}
+	}
+	// IT = 7200 ps → II = [8, 5, 5, 5]: everything fits everywhere.
+	assign := mustPartition(t, g, cfg, clock.PS(7200), hetCost(), Options{EnergyAware: true})
+	slowFP := 0
+	for _, op := range chain {
+		if assign[op] != 0 {
+			slowFP++
+		}
+	}
+	if slowFP == 0 {
+		t.Error("energy-aware partition left the whole FP chain in the fast cluster")
+	}
+}
+
+// TestTwoConstrainedRecurrences: two recurrences that only fit in the fast
+// cluster must both land there (capacity permitting).
+func TestTwoConstrainedRecurrences(t *testing.T) {
+	cfg := hetConfig(1)
+	g := ddg.New("two")
+	// Recurrence 1: 3 int ops dist 1 → recMII 3 > slow II 2.
+	a0 := g.AddOp(isa.IntALU, "")
+	a1 := g.AddOp(isa.IntALU, "")
+	a2 := g.AddOp(isa.IntALU, "")
+	g.AddDep(a0, a1, 0)
+	g.AddDep(a1, a2, 0)
+	g.AddDep(a2, a0, 1)
+	// Recurrence 2: FP with recMII 3 (one FPALU self-loop).
+	f := g.AddOp(isa.FPALU, "")
+	g.AddDep(f, f, 1)
+	assign := mustPartition(t, g, cfg, clock.PS(3600), hetCost(), Options{EnergyAware: true})
+	for i := 0; i < 3; i++ {
+		if assign[i] != 0 {
+			t.Errorf("int recurrence op %d not in fast cluster", i)
+		}
+	}
+	if assign[f] != 0 {
+		t.Errorf("fp recurrence not in fast cluster (II slow = 2 < recMII 3)")
+	}
+}
+
+// TestBalanceSpreadsLoad: with one cluster too small for all ops, the
+// partition must spread across clusters.
+func TestBalanceSpreadsLoad(t *testing.T) {
+	cfg := machine.ReferenceConfig(2)
+	g := ddg.New("wide")
+	for i := 0; i < 12; i++ {
+		g.AddOp(isa.IntALU, "")
+	}
+	// II = 3 → 3 slots per cluster → 12 ops need all 4 clusters.
+	assign := mustPartition(t, g, cfg, clock.PS(3000), DefaultCost(4), Options{})
+	counts := make([]int, 4)
+	for _, c := range assign {
+		counts[c]++
+	}
+	for c, n := range counts {
+		if n != 3 {
+			t.Errorf("cluster %d has %d ops, want exactly 3", c, n)
+		}
+	}
+}
+
+// TestEnergyAwareBeatsBalanceOnEnergy: on a heterogeneous machine the
+// energy-aware refinement must produce an iteration energy no worse than
+// the balance-only ablation.
+func TestEnergyAwareBeatsBalanceOnEnergy(t *testing.T) {
+	cfg := hetConfig(2)
+	cost := hetCost()
+	rng := rand.New(rand.NewSource(3))
+	better, worse := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		g := ddg.New("t")
+		n := 8 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			cls := []isa.Class{isa.IntALU, isa.FPALU, isa.Load}[rng.Intn(3)]
+			g.AddOp(cls, "")
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.2 {
+					g.AddDep(i, j, 0)
+				}
+			}
+		}
+		it := clock.PS(5400) // II = [6,4,4,4]
+		pairs, err := machine.SelectPairs(cfg.Arch, cfg.Clock, it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aware, err1 := Partition(g, cfg.Arch, cfg.Clock, pairs, cost, Options{EnergyAware: true})
+		blind, err2 := Partition(g, cfg.Arch, cfg.Clock, pairs, cost, Options{EnergyAware: false})
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		eAware := cost.IterationEnergy(g, aware, pseudo.CommCount(g, aware))
+		eBlind := cost.IterationEnergy(g, blind, pseudo.CommCount(g, blind))
+		if eAware < eBlind-1e-9 {
+			better++
+		} else if eAware > eBlind+1e-9 {
+			worse++
+		}
+	}
+	if better == 0 {
+		t.Error("energy-aware refinement never improved on balance-only")
+	}
+	if worse > better {
+		t.Errorf("energy-aware worse than balance-only in %d/%d decided trials", worse, better+worse)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	pairs, _ := machine.SelectPairs(cfg.Arch, cfg.Clock, clock.PS(1000))
+	// Empty graph.
+	if _, err := Partition(ddg.New("e"), cfg.Arch, cfg.Clock, pairs, DefaultCost(4), Options{}); err == nil {
+		t.Error("empty graph must fail")
+	}
+	// Wrong cost arity.
+	g := ddg.Chain("c", isa.IntALU, 2)
+	if _, err := Partition(g, cfg.Arch, cfg.Clock, pairs, DefaultCost(2), Options{}); err == nil {
+		t.Error("wrong delta arity must fail")
+	}
+	// Infeasible: 9 int ops at II=1 (4 slots machine-wide) can never fit.
+	wide := ddg.New("w")
+	for i := 0; i < 9; i++ {
+		wide.AddOp(isa.IntALU, "")
+	}
+	if _, err := Partition(wide, cfg.Arch, cfg.Clock, pairs, DefaultCost(4), Options{}); err == nil {
+		t.Error("over-capacity graph must fail at II=1")
+	}
+}
+
+func TestCostInfeasiblePartition(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	pairs, _ := machine.SelectPairs(cfg.Arch, cfg.Clock, clock.PS(1000))
+	g := ddg.New("w")
+	for i := 0; i < 3; i++ {
+		g.AddOp(isa.IntALU, "")
+	}
+	cost := DefaultCost(4)
+	c, _ := cost.Cost(g, cfg.Arch, pairs, []int{0, 0, 0})
+	if !math.IsInf(c, 1) {
+		t.Error("infeasible partition must cost +Inf")
+	}
+}
+
+// TestPartitionDeterminism: identical inputs give identical assignments.
+func TestPartitionDeterminism(t *testing.T) {
+	cfg := hetConfig(1)
+	g := ddg.FIRFilter("fir", 8)
+	a1 := mustPartition(t, g, cfg, clock.PS(8100), hetCost(), Options{EnergyAware: true})
+	a2 := mustPartition(t, g, cfg, clock.PS(8100), hetCost(), Options{EnergyAware: true})
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("non-deterministic partition at op %d", i)
+		}
+	}
+}
+
+// TestPartitionThenScheduleFuzz: partitions of random graphs must be
+// schedulable by modsched at (possibly grown) IT — exercised through core
+// in core_test; here we check partition+pseudo agreement only.
+func TestPartitionPseudoAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := hetConfig(1)
+	cost := hetCost()
+	for trial := 0; trial < 30; trial++ {
+		n := 6 + rng.Intn(10)
+		g := ddg.New("z")
+		for i := 0; i < n; i++ {
+			cls := []isa.Class{isa.IntALU, isa.FPALU, isa.Load, isa.FPMul}[rng.Intn(4)]
+			g.AddOp(cls, "")
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.2 {
+					g.AddDep(i, j, 0)
+				}
+			}
+		}
+		it := clock.PS(900 * int64(4+rng.Intn(6)))
+		pairs, err := machine.SelectPairs(cfg.Arch, cfg.Clock, it)
+		if err != nil {
+			continue
+		}
+		assign, err := Partition(g, cfg.Arch, cfg.Clock, pairs, cost, Options{EnergyAware: true})
+		if err != nil {
+			continue
+		}
+		if r := pseudo.Evaluate(g, cfg.Arch, pairs, assign); !r.Feasible {
+			t.Fatalf("trial %d: partition returned but pseudo says %s", trial, r.Reason)
+		}
+	}
+}

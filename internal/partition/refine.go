@@ -1,0 +1,426 @@
+package partition
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// initialAssign places the coarsest level's macronodes: pinned nodes go to
+// their cluster; the rest are ordered by criticality and greedily placed —
+// performance-critical nodes into the fastest cluster with room, others
+// into the lowest-energy (slowest) cluster with room (Section 4.1's goal:
+// only instructions critical for execution time go to fast clusters).
+func (p *partitioner) initialAssign() {
+	top := p.levels[len(p.levels)-1]
+	nc := p.arch.NumClusters()
+	assign := make([]int, len(top.nodes))
+	usage := make([][isa.NumResources]int, nc)
+
+	addUse := func(c int, m *macro) {
+		for r := range usage[c] {
+			usage[c][r] += m.use[r]
+		}
+	}
+	fitsWith := func(c int, m *macro) bool {
+		sum := usage[c]
+		for r := range sum {
+			sum[r] += m.use[r]
+		}
+		return p.fitsCluster(sum, c)
+	}
+
+	// Cluster orderings: fastest first and cheapest (lowest δ, slowest) first.
+	fast := make([]int, nc)
+	for i := range fast {
+		fast[i] = i
+	}
+	sort.SliceStable(fast, func(i, j int) bool {
+		pi, pj := p.clk.MinPeriod[fast[i]], p.clk.MinPeriod[fast[j]]
+		if pi != pj {
+			return pi < pj
+		}
+		return fast[i] < fast[j]
+	})
+	cheap := make([]int, nc)
+	copy(cheap, fast)
+	sort.SliceStable(cheap, func(i, j int) bool {
+		di, dj := p.cost.DeltaCluster[cheap[i]], p.cost.DeltaCluster[cheap[j]]
+		if di != dj {
+			return di < dj
+		}
+		// Equal δ (homogeneous): spread by reverse speed for balance.
+		return p.clk.MinPeriod[cheap[i]] > p.clk.MinPeriod[cheap[j]]
+	})
+
+	order := make([]int, len(top.nodes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := &top.nodes[order[i]], &top.nodes[order[j]]
+		if (a.pin >= 0) != (b.pin >= 0) {
+			return a.pin >= 0 // pinned first
+		}
+		if a.crit != b.crit {
+			return a.crit > b.crit
+		}
+		return order[i] < order[j]
+	})
+
+	// With uniform δ (homogeneous machines, or the ablation) placement
+	// quality is about balance, as in the PACT'02 ancestor: spread load.
+	deltaVaries := false
+	for _, d := range p.cost.DeltaCluster {
+		if math.Abs(d-p.cost.DeltaCluster[0]) > 1e-12 {
+			deltaVaries = true
+			break
+		}
+	}
+
+	leastLoaded := func(cands []int) int {
+		best, bestLoad := cands[0], math.MaxInt
+		for _, c := range cands {
+			load := 0
+			for r := range usage[c] {
+				load += usage[c][r]
+			}
+			if load < bestLoad {
+				best, bestLoad = c, load
+			}
+		}
+		return best
+	}
+
+	for _, ni := range order {
+		m := &top.nodes[ni]
+		if m.pin >= 0 {
+			assign[ni] = m.pin
+			addUse(m.pin, m)
+			continue
+		}
+		var pref []int
+		if p.opts.EnergyAware && deltaVaries && m.crit < p.opts.CritThreshold {
+			pref = cheap
+		} else {
+			pref = fast
+		}
+		chosen := -1
+		if !deltaVaries {
+			var fitting []int
+			for _, c := range pref {
+				if fitsWith(c, m) {
+					fitting = append(fitting, c)
+				}
+			}
+			if len(fitting) > 0 {
+				chosen = leastLoaded(fitting)
+			}
+		} else {
+			for _, c := range pref {
+				if fitsWith(c, m) {
+					chosen = c
+					break
+				}
+			}
+		}
+		if chosen < 0 {
+			// Nothing fits: least-loaded cluster, balance pass will try
+			// to repair.
+			chosen = leastLoaded(pref)
+		}
+		assign[ni] = chosen
+		addUse(chosen, m)
+	}
+	top.assign = assign
+}
+
+// refineAll projects the assignment from the coarsest to the finest level,
+// refining at each level, and returns the op-level assignment.
+func (p *partitioner) refineAll() []int {
+	for li := len(p.levels) - 1; li >= 0; li-- {
+		lv := p.levels[li]
+		if lv.assign == nil {
+			// Project from the coarser level via op membership.
+			coarser := p.levels[li+1]
+			lv.assign = make([]int, len(lv.nodes))
+			for ni := range lv.nodes {
+				op := lv.nodes[ni].ops[0]
+				lv.assign[ni] = coarser.assign[coarser.opNode[op]]
+			}
+		}
+		p.balance(lv)
+		if p.opts.EnergyAware {
+			p.energyRefine(lv)
+		}
+	}
+	base := p.levels[0]
+	out := make([]int, p.g.NumOps())
+	for op := range out {
+		out[op] = base.assign[base.opNode[op]]
+	}
+	return out
+}
+
+// opAssign expands a level assignment to per-op granularity.
+func (p *partitioner) opAssign(lv *level) []int {
+	out := make([]int, p.g.NumOps())
+	for op := range out {
+		out[op] = lv.assign[lv.opNode[op]]
+	}
+	return out
+}
+
+// usageOf recomputes per-cluster usage for a level assignment.
+func (p *partitioner) usageOf(lv *level) [][isa.NumResources]int {
+	usage := make([][isa.NumResources]int, p.arch.NumClusters())
+	for ni := range lv.nodes {
+		c := lv.assign[ni]
+		for r := range usage[c] {
+			usage[c][r] += lv.nodes[ni].use[r]
+		}
+	}
+	return usage
+}
+
+// balance repairs capacity violations: while some cluster exceeds its slot
+// capacity in some resource, move the smallest movable node that uses that
+// resource to the cluster with the most headroom (Section 4.1.2's first
+// heuristic, after PACT'02).
+func (p *partitioner) balance(lv *level) {
+	nc := p.arch.NumClusters()
+	usage := p.usageOf(lv)
+	for iter := 0; iter < 4*len(lv.nodes)+8; iter++ {
+		// Find the worst violation.
+		worstC, worstR, worstOver := -1, -1, 0
+		for c := 0; c < nc; c++ {
+			ii := p.pairs.II[c]
+			for r := 0; r < isa.NumResources; r++ {
+				if isa.Resource(r) == isa.ResBus {
+					continue
+				}
+				capacity := ii * p.arch.Clusters[c].FUCount(isa.Resource(r))
+				if over := usage[c][r] - capacity; over > worstOver {
+					worstC, worstR, worstOver = c, r, over
+				}
+			}
+		}
+		if worstC < 0 {
+			return // balanced
+		}
+		// Candidate nodes in worstC that use worstR, smallest first.
+		cands := []int{}
+		for ni := range lv.nodes {
+			if lv.assign[ni] == worstC && lv.nodes[ni].pin < 0 && lv.nodes[ni].use[worstR] > 0 {
+				cands = append(cands, ni)
+			}
+		}
+		sort.SliceStable(cands, func(i, j int) bool {
+			a, b := &lv.nodes[cands[i]], &lv.nodes[cands[j]]
+			if a.crit != b.crit {
+				return a.crit < b.crit // move non-critical work first
+			}
+			if a.use[worstR] != b.use[worstR] {
+				return a.use[worstR] < b.use[worstR]
+			}
+			return cands[i] < cands[j]
+		})
+		moved := false
+		for _, ni := range cands {
+			m := &lv.nodes[ni]
+			bestC, bestHead := -1, 0
+			for c := 0; c < nc; c++ {
+				if c == worstC {
+					continue
+				}
+				sum := usage[c]
+				for r := range sum {
+					sum[r] += m.use[r]
+				}
+				if !p.fitsCluster(sum, c) {
+					continue
+				}
+				head := p.pairs.II[c]*p.arch.Clusters[c].FUCount(isa.Resource(worstR)) - sum[worstR]
+				if bestC < 0 || head > bestHead {
+					bestC, bestHead = c, head
+				}
+			}
+			if bestC < 0 {
+				continue
+			}
+			lv.assign[ni] = bestC
+			for r := range m.use {
+				usage[worstC][r] -= m.use[r]
+				usage[bestC][r] += m.use[r]
+			}
+			moved = true
+			break
+		}
+		if !moved {
+			return // cannot repair further at this level
+		}
+	}
+}
+
+// energyRefine is the ED²-driven refinement of Section 4.1.2, organized as
+// Fiduccia–Mattheyses passes: within a pass, the globally best move (by
+// exact incremental energy delta) is applied tentatively — even when it is
+// locally uphill — each node moving at most once; the pass then keeps the
+// prefix of moves with the lowest cumulative delta and validates it with a
+// full pseudo-schedule + ED² evaluation. Uphill intermediate moves let
+// connected regions (e.g. a dependence chain) migrate to a low-energy
+// cluster even though no single-node move pays for its copy.
+func (p *partitioner) energyRefine(lv *level) {
+	opsAssign := p.opAssign(lv)
+	base, _ := p.cost.Cost(p.g, p.arch, p.pairs, opsAssign)
+	evals := 1
+	nc := p.arch.NumClusters()
+
+	for pass := 0; pass < p.opts.MaxPasses; pass++ {
+		if evals >= p.opts.MaxEvals {
+			return
+		}
+		usage := p.usageOf(lv)
+		locked := make([]bool, len(lv.nodes))
+		saved := append([]int(nil), lv.assign...)
+		type move struct{ node, from, to int }
+		var trail []move
+		cum := 0.0
+		bestCum, bestLen := 0.0, 0
+
+		for step := 0; step < len(lv.nodes); step++ {
+			bestNode, bestTo := -1, -1
+			bestDelta := math.Inf(1)
+			for ni := range lv.nodes {
+				if locked[ni] || lv.nodes[ni].pin >= 0 {
+					continue
+				}
+				cur := lv.assign[ni]
+				m := &lv.nodes[ni]
+				for c := 0; c < nc; c++ {
+					if c == cur {
+						continue
+					}
+					sum := usage[c]
+					for r := range sum {
+						sum[r] += m.use[r]
+					}
+					if !p.fitsCluster(sum, c) {
+						continue
+					}
+					delta := p.moveEnergyDelta(opsAssign, m.ops, cur, c)
+					if delta < bestDelta {
+						bestNode, bestTo, bestDelta = ni, c, delta
+					}
+				}
+			}
+			if bestNode < 0 {
+				break
+			}
+			// Apply tentatively.
+			cur := lv.assign[bestNode]
+			m := &lv.nodes[bestNode]
+			lv.assign[bestNode] = bestTo
+			for _, op := range m.ops {
+				opsAssign[op] = bestTo
+			}
+			for r := range m.use {
+				usage[cur][r] -= m.use[r]
+				usage[bestTo][r] += m.use[r]
+			}
+			locked[bestNode] = true
+			cum += bestDelta
+			trail = append(trail, move{bestNode, cur, bestTo})
+			if cum < bestCum-1e-12 {
+				bestCum, bestLen = cum, len(trail)
+			}
+		}
+		if bestLen == 0 {
+			lv.assign = saved
+			return
+		}
+		// Keep the best prefix: undo the tail moves.
+		for i := len(trail) - 1; i >= bestLen; i-- {
+			mv := trail[i]
+			lv.assign[mv.node] = mv.from
+			for _, op := range lv.nodes[mv.node].ops {
+				opsAssign[op] = mv.from
+			}
+		}
+		newCost, _ := p.cost.Cost(p.g, p.arch, p.pairs, opsAssign)
+		evals++
+		if newCost < base {
+			base = newCost
+			continue // another pass may find more
+		}
+		// The prefix did not validate: restore the pass snapshot.
+		lv.assign = saved
+		opsAssign = p.opAssign(lv)
+		return
+	}
+}
+
+// moveEnergyDelta computes the exact change in per-iteration dynamic
+// energy if the given ops move from cluster `from` to cluster `to`:
+// the δ difference on the ops' instruction energy plus the change in
+// communication energy. opsAssign must reflect the CURRENT assignment.
+func (p *partitioner) moveEnergyDelta(opsAssign []int, ops []int, from, to int) float64 {
+	delta := 0.0
+	for _, op := range ops {
+		w := p.g.Op(op).Class.RelativeEnergy()
+		delta += p.cost.EIns * w * (p.cost.DeltaCluster[to] - p.cost.DeltaCluster[from])
+	}
+	// Communication delta: count affected (producer, dst) pairs before
+	// and after. Affected producers: the moving ops themselves plus the
+	// producers feeding them.
+	moving := make(map[int]bool, len(ops))
+	for _, op := range ops {
+		moving[op] = true
+	}
+	producers := make(map[int]bool)
+	for _, op := range ops {
+		if producesValueClass(p.g.Op(op).Class) {
+			producers[op] = true
+		}
+		for _, ei := range p.g.InEdges(op) {
+			e := p.g.Edge(ei)
+			if e.Latency > 0 && producesValueClass(p.g.Op(e.From).Class) {
+				producers[e.From] = true
+			}
+		}
+	}
+	commsLocal := func(moved bool) int {
+		cl := func(op int) int {
+			if moved && moving[op] {
+				return to
+			}
+			return opsAssign[op]
+		}
+		count := 0
+		for prod := range producers {
+			var dsts [16]bool // clusters ≤ 16 in practice
+			pc := cl(prod)
+			for _, ei := range p.g.OutEdges(prod) {
+				e := p.g.Edge(ei)
+				if e.Latency <= 0 {
+					continue
+				}
+				d := cl(e.To)
+				if d != pc && d < len(dsts) && !dsts[d] {
+					dsts[d] = true
+					count++
+				}
+			}
+		}
+		return count
+	}
+	before := commsLocal(false)
+	after := commsLocal(true)
+	delta += float64(after-before) * p.cost.EComm * p.cost.DeltaICN
+	return delta
+}
+
+func producesValueClass(c isa.Class) bool {
+	return c != isa.Store && c != isa.BranchCtrl
+}

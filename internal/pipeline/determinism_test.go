@@ -1,0 +1,34 @@
+package pipeline
+
+import "testing"
+
+// TestSuiteDeterminism: the whole evaluation is bit-for-bit reproducible —
+// seeded corpus, deterministic heuristics, ordered parallel reduction.
+func TestSuiteDeterminism(t *testing.T) {
+	opts := Options{Buses: 1, LoopsPerBenchmark: 6, EnergyAware: true, Parallelism: 8}
+	run := func() []float64 {
+		var refs []*Reference
+		for _, n := range []string{"sixtrack", "swim", "facerec"} {
+			ref, err := BuildReference(n, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs = append(refs, ref)
+		}
+		sr, err := EvaluateSuite(refs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := []float64{}
+		for _, r := range sr.Benchmarks {
+			out = append(out, r.ED2Ratio, r.Het.Seconds, r.Het.Energy)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("value %d differs between runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

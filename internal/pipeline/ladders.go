@@ -1,0 +1,91 @@
+package pipeline
+
+import (
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/confsel"
+	"repro/internal/machine"
+	"repro/internal/mii"
+)
+
+// usageLadders builds, per clock domain, a FreqCount-entry supported-
+// frequency set from the benchmark's profile: for each loop, the domain
+// could run the loop at any period that divides the loop's estimated IT
+// exactly (that is what "(frequency, II) pair" feasibility means); the
+// most time-weighted such periods across the profile become the supported
+// rungs. This implements the frequency-usage study the paper suggests for
+// machines with few supported frequencies (Section 5.3).
+//
+// The domain's design period is always included as the first rung so that
+// unconstrained-loop performance is preserved when the IT happens to be a
+// multiple of it.
+func usageLadders(arch *machine.Arch, clk *machine.Clocking, prof *confsel.Profile,
+	count int) ([]*clock.FreqSet, error) {
+
+	nd := arch.NumDomains()
+	weightOf := make([]map[clock.Picos]float64, nd)
+	for d := 0; d < nd; d++ {
+		weightOf[d] = make(map[clock.Picos]float64)
+	}
+	for i := range prof.Loops {
+		lp := &prof.Loops[i]
+		res, err := mii.Compute(lp.Graph, arch, clk, nil)
+		if err != nil {
+			return nil, err
+		}
+		it := res.MIT
+		w := lp.Weight * float64(lp.Iterations)
+		for d := 0; d < nd; d++ {
+			lo := clk.MinPeriod[d]
+			hi := clock.Picos(float64(lo) * 1.7)
+			// Divisors of it within [lo, hi]: iterate quotients.
+			qLo := int64(it) / int64(hi)
+			if qLo < 1 {
+				qLo = 1
+			}
+			qHi := int64(it) / int64(lo)
+			for q := qLo; q <= qHi; q++ {
+				if q == 0 || int64(it)%q != 0 {
+					continue
+				}
+				p := clock.Picos(int64(it) / q)
+				if p >= lo && p <= hi {
+					weightOf[d][p] += w
+				}
+			}
+		}
+	}
+	out := make([]*clock.FreqSet, nd)
+	for d := 0; d < nd; d++ {
+		type rung struct {
+			p clock.Picos
+			w float64
+		}
+		var rungs []rung
+		for p, w := range weightOf[d] {
+			rungs = append(rungs, rung{p, w})
+		}
+		sort.Slice(rungs, func(i, j int) bool {
+			if rungs[i].w != rungs[j].w {
+				return rungs[i].w > rungs[j].w
+			}
+			return rungs[i].p < rungs[j].p
+		})
+		picks := []clock.Picos{clk.MinPeriod[d]}
+		for _, r := range rungs {
+			if len(picks) >= count {
+				break
+			}
+			if r.p != clk.MinPeriod[d] {
+				picks = append(picks, r.p)
+			}
+		}
+		fs, err := clock.NewFreqSet(picks...)
+		if err != nil {
+			return nil, err
+		}
+		out[d] = fs
+	}
+	return out, nil
+}

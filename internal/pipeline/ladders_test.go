@@ -1,0 +1,67 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/confsel"
+	"repro/internal/mii"
+)
+
+// TestUsageLadders: every ladder contains the domain's design period, has
+// at most `count` rungs, and its extra rungs exactly divide at least one
+// profiled loop's estimated IT.
+func TestUsageLadders(t *testing.T) {
+	opts := Options{Buses: 1, LoopsPerBenchmark: 10, EnergyAware: true}
+	ref, err := BuildReference("lucas", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := confsel.BuildHetClocking(ref.Arch, clock.PS(1000), clock.PS(1330), 1)
+	const count = 4
+	ladders, err := usageLadders(ref.Arch, clk, ref.Profile, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ladders) != ref.Arch.NumDomains() {
+		t.Fatalf("%d ladders for %d domains", len(ladders), ref.Arch.NumDomains())
+	}
+	// Collect the profile's estimated ITs.
+	var its []clock.Picos
+	for i := range ref.Profile.Loops {
+		res, err := mii.Compute(ref.Profile.Loops[i].Graph, ref.Arch, clk, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		its = append(its, res.MIT)
+	}
+	for d, fs := range ladders {
+		rungs := fs.Periods()
+		if len(rungs) == 0 || len(rungs) > count {
+			t.Fatalf("domain %d: %d rungs", d, len(rungs))
+		}
+		foundDesign := false
+		for _, r := range rungs {
+			if r == clk.MinPeriod[d] {
+				foundDesign = true
+				continue
+			}
+			divides := false
+			for _, it := range its {
+				if int64(it)%int64(r) == 0 {
+					divides = true
+					break
+				}
+			}
+			if !divides {
+				t.Errorf("domain %d rung %v divides no profiled IT", d, r)
+			}
+			if r < clk.MinPeriod[d] {
+				t.Errorf("domain %d rung %v below design period", d, r)
+			}
+		}
+		if !foundDesign {
+			t.Errorf("domain %d ladder misses the design period %v", d, clk.MinPeriod[d])
+		}
+	}
+}

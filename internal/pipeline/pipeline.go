@@ -1,0 +1,485 @@
+// Package pipeline orchestrates the paper's full evaluation flow for one
+// benchmark (Section 5):
+//
+//  1. generate the benchmark's loop corpus;
+//  2. modulo schedule every loop on the reference homogeneous machine
+//     (1 GHz, 1 V) and simulate it → profile data + reference event counts;
+//  3. calibrate the energy model from the assumed energy fractions;
+//  4. find the optimum homogeneous configuration (the baseline);
+//  5. select the heterogeneous configuration with the Section 3 models;
+//  6. re-schedule every loop on the selected heterogeneous configuration
+//     with the ED²-aware partitioner, simulate, and price with the energy
+//     model;
+//  7. report ED²(het) / ED²(optimum homogeneous).
+//
+// Loops are processed in parallel with deterministic reduction.
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/confsel"
+	"repro/internal/core"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// Options selects the evaluated machine and model variants.
+type Options struct {
+	// Buses is the number of register buses (the paper reports 1 and 2).
+	Buses int
+	// LoopsPerBenchmark sizes the corpus (default 40).
+	LoopsPerBenchmark int
+	// Fractions are the energy-breakdown assumptions (default Section 5).
+	Fractions power.Fractions
+	// FreqCount limits each domain's clock generator to this many
+	// supported frequencies (0 = unconstrained, the baseline).
+	FreqCount int
+	// EnergyAware toggles the ED²-driven refinement (false = ablation).
+	EnergyAware bool
+	// Space overrides the explored design space (zero value = default).
+	Space *confsel.Space
+	// Parallelism bounds concurrent loop scheduling (default NumCPU).
+	Parallelism int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Buses == 0 {
+		o.Buses = 1
+	}
+	if o.LoopsPerBenchmark <= 0 {
+		o.LoopsPerBenchmark = 40
+	}
+	zero := power.Fractions{}
+	if o.Fractions == zero {
+		o.Fractions = power.DefaultFractions()
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
+	return o
+}
+
+func (o Options) space() confsel.Space {
+	if o.Space != nil {
+		return *o.Space
+	}
+	return confsel.DefaultSpace()
+}
+
+// ConfigOutcome is a measured (or exactly scaled) configuration result.
+type ConfigOutcome struct {
+	FastPeriod, SlowPeriod clock.Picos
+	Seconds                float64
+	Energy                 float64
+	ED2                    float64
+}
+
+// BenchmarkResult is the per-benchmark evaluation outcome.
+type BenchmarkResult struct {
+	Name string
+	// Reference is the measured 1 GHz / 1 V homogeneous run.
+	Reference ConfigOutcome
+	// HomOpt is the optimum homogeneous baseline (exact frequency scaling
+	// of the reference schedules).
+	HomOpt ConfigOutcome
+	// Het is the measured run on the selected heterogeneous configuration.
+	Het ConfigOutcome
+	// HetEstimate is what the Section 3 models predicted for Het.
+	HetEstimate confsel.Estimate
+	// ED2Ratio = Het.ED2 / HomOpt.ED2 (the Figure 6 bars).
+	ED2Ratio float64
+	// Table2 is the measured execution-time share per loop class on the
+	// reference run.
+	Table2 [3]float64
+	// SyncIncreases counts IT growth due to frequency-set synchronization
+	// during heterogeneous scheduling (Figure 7's mechanism).
+	SyncIncreases int
+}
+
+// Reference bundles the per-benchmark reference run, reusable across model
+// variants (energy fractions, frequency sets) that do not change the
+// reference schedules.
+type Reference struct {
+	Bench   loopgen.Benchmark
+	Arch    *machine.Arch
+	Profile *confsel.Profile
+	// Outcome is the measured reference run (δ = σ = 1 pricing happens at
+	// evaluation time, since it depends on the fractions).
+	RefSeconds float64
+	Table2     [3]float64
+}
+
+// BuildReference generates the corpus and performs the reference
+// homogeneous run for one benchmark.
+func BuildReference(name string, opts Options) (*Reference, error) {
+	opts = opts.withDefaults()
+	bench, err := loopgen.Generate(name, opts.LoopsPerBenchmark)
+	if err != nil {
+		return nil, err
+	}
+	cfg := machine.ReferenceConfig(opts.Buses)
+
+	type loopOut struct {
+		prof   confsel.LoopProfile
+		counts power.RunCounts
+		texecS float64
+		class  loopgen.LoopClass
+		err    error
+	}
+	outs := make([]loopOut, len(bench.Loops))
+	parallelFor(len(bench.Loops), opts.Parallelism, func(i int) {
+		l := bench.Loops[i]
+		cost := partition.DefaultCost(cfg.Arch.NumClusters())
+		cost.Iterations = float64(l.Iterations)
+		res, err := core.ScheduleLoop(l.Graph, cfg, cost, core.Options{
+			Partition: partition.Options{EnergyAware: opts.EnergyAware},
+		})
+		if err != nil {
+			outs[i].err = fmt.Errorf("%s loop %d (reference): %w", name, i, err)
+			return
+		}
+		s := res.Schedule
+		r, err := sim.Run(s, l.Iterations, sim.DefaultGenPeriod)
+		if err != nil {
+			outs[i].err = fmt.Errorf("%s loop %d (reference sim): %w", name, i, err)
+			return
+		}
+		var recs []confsel.RecSummary
+		for _, sc := range l.Graph.Recurrences() {
+			units := 0.0
+			for _, op := range sc.Ops {
+				units += l.Graph.Op(op).Class.RelativeEnergy()
+			}
+			recs = append(recs, confsel.RecSummary{RecMII: sc.RecMII, Ops: len(sc.Ops), Units: units})
+		}
+		outs[i] = loopOut{
+			prof: confsel.LoopProfile{
+				Graph:          l.Graph,
+				Recs:           recs,
+				RecMII:         res.MIT.RecMII,
+				InsUnits:       l.Graph.DynamicEnergyUnits(),
+				MemOps:         l.Graph.CountMemoryOps(),
+				CommsHom:       s.CommCount(),
+				LifetimeCycles: s.SumLifetimeCycles,
+				IIHom:          s.II[0],
+				MIIHom:         int(int64(res.MIT.MIT) / int64(machine.ReferencePeriod)),
+				ItLenHomCycles: int((int64(s.ItLength) + 999) / 1000),
+				Iterations:     l.Iterations,
+				Weight:         l.Weight,
+			},
+			counts: r.Counts,
+			texecS: r.Texec.Seconds(),
+			class:  l.Class,
+		}
+	})
+	ref := &Reference{Bench: bench, Arch: cfg.Arch}
+	agg := power.RunCounts{InsUnits: make([]float64, cfg.Arch.NumClusters())}
+	var loops []confsel.LoopProfile
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		w := bench.Loops[i].Weight
+		for c := range outs[i].counts.InsUnits {
+			agg.InsUnits[c] += outs[i].counts.InsUnits[c] * w
+		}
+		agg.Comms += outs[i].counts.Comms * w
+		agg.MemAccesses += outs[i].counts.MemAccesses * w
+		agg.Seconds += outs[i].texecS * w
+		ref.Table2[outs[i].class] += outs[i].texecS * w
+		loops = append(loops, outs[i].prof)
+	}
+	tot := ref.Table2[0] + ref.Table2[1] + ref.Table2[2]
+	if tot > 0 {
+		for c := range ref.Table2 {
+			ref.Table2[c] /= tot
+		}
+	}
+	ref.RefSeconds = agg.Seconds
+	ref.Profile = confsel.ProfileFromLoops(name, loops, agg)
+	return ref, nil
+}
+
+// SuiteResult is the outcome of evaluating a set of benchmarks against a
+// single (suite-wide) optimum homogeneous baseline — the paper's setup: a
+// homogeneous chip has one design point, while the heterogeneous chip is
+// reconfigured per program (Section 2.1: "reconfiguration ... is only
+// performed at a program level").
+type SuiteResult struct {
+	// HomPeriod is the chip-wide cycle time of the homogeneous baseline.
+	HomPeriod clock.Picos
+	// Benchmarks holds the per-benchmark results in input order.
+	Benchmarks []*BenchmarkResult
+	// Mean is the arithmetic mean ED² ratio.
+	Mean float64
+}
+
+// EvaluateSuite calibrates the energy model on the aggregate reference
+// counts of all benchmarks, picks one optimum homogeneous design for the
+// whole suite, and evaluates every benchmark's heterogeneous selection
+// against it.
+func EvaluateSuite(refs []*Reference, opts Options) (*SuiteResult, error) {
+	opts = opts.withDefaults()
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("pipeline: no references")
+	}
+	arch := refs[0].Arch
+	model := power.DefaultAlphaModel()
+	space := opts.space()
+
+	// Suite-wide aggregate counts: the reference chip's energy breakdown
+	// (cache 1/3, ICN 10%, …) is a property of the chip running its
+	// workload mix, so unit energies are calibrated once.
+	agg := power.RunCounts{InsUnits: make([]float64, arch.NumClusters())}
+	for _, ref := range refs {
+		rc := ref.Profile.RefCounts
+		for c := range rc.InsUnits {
+			agg.InsUnits[c] += rc.InsUnits[c]
+		}
+		agg.Comms += rc.Comms
+		agg.MemAccesses += rc.MemAccesses
+		agg.Seconds += rc.Seconds
+	}
+	cal, err := power.Calibrate(arch, agg, opts.Fractions)
+	if err != nil {
+		return nil, err
+	}
+	suiteProf := confsel.ProfileFromLoops("suite", nil, agg)
+	homSel, err := confsel.OptimumHomogeneous(arch, suiteProf, cal, model, space)
+	if err != nil {
+		return nil, err
+	}
+	out := &SuiteResult{HomPeriod: homSel.FastPeriod}
+	for _, ref := range refs {
+		br, err := evaluateOne(ref, opts, cal, homSel)
+		if err != nil {
+			return nil, err
+		}
+		out.Benchmarks = append(out.Benchmarks, br)
+	}
+	out.Mean = MeanRatio(out.Benchmarks)
+	return out, nil
+}
+
+// Evaluate runs one benchmark with the baseline computed from that
+// benchmark alone (useful for unit tests; the experiments use
+// EvaluateSuite so all benchmarks share one homogeneous design).
+func Evaluate(ref *Reference, opts Options) (*BenchmarkResult, error) {
+	sr, err := EvaluateSuite([]*Reference{ref}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return sr.Benchmarks[0], nil
+}
+
+// evaluateOne measures one benchmark against a fixed calibration and
+// homogeneous baseline.
+func evaluateOne(ref *Reference, opts Options, cal *power.Calibration,
+	homSel *confsel.Selection) (*BenchmarkResult, error) {
+	arch := ref.Arch
+	model := power.DefaultAlphaModel()
+	space := opts.space()
+
+	res := &BenchmarkResult{Name: ref.Profile.Name, Table2: ref.Table2}
+
+	// Reference outcome (δ = σ = 1 by construction).
+	unit := &power.DomainScale{
+		Delta: ones(arch.NumDomains()),
+		Sigma: ones(arch.NumDomains()),
+	}
+	res.Reference = ConfigOutcome{
+		FastPeriod: machine.ReferencePeriod,
+		SlowPeriod: machine.ReferencePeriod,
+		Seconds:    ref.RefSeconds,
+		Energy:     cal.Energy(arch, ref.Profile.RefCounts, unit),
+	}
+	res.Reference.ED2 = power.ED2(res.Reference.Energy, res.Reference.Seconds)
+
+	// Homogeneous baseline outcome on THIS benchmark: schedules are
+	// frequency invariant, so the exact time is the reference time scaled
+	// by the chip-wide cycle time, priced with the baseline's voltages.
+	homD := ref.RefSeconds * float64(homSel.FastPeriod) / float64(machine.ReferencePeriod)
+	homCounts := ref.Profile.RefCounts
+	homCounts.InsUnits = append([]float64(nil), homCounts.InsUnits...)
+	homCounts.Seconds = homD
+	res.HomOpt = ConfigOutcome{
+		FastPeriod: homSel.FastPeriod,
+		SlowPeriod: homSel.SlowPeriod,
+		Seconds:    homD,
+		Energy:     cal.Energy(arch, homCounts, homSel.Scales),
+	}
+	res.HomOpt.ED2 = power.ED2(res.HomOpt.Energy, res.HomOpt.Seconds)
+
+	// Heterogeneous selection + measured run.
+	hetSel, err := confsel.SelectHeterogeneous(arch, ref.Profile, cal, model, space)
+	if err != nil {
+		return nil, err
+	}
+	res.HetEstimate = hetSel.Estimate
+
+	hetClk := hetSel.Clock.Clone()
+	if opts.FreqCount > 0 {
+		// Each domain supports only FreqCount frequencies. Following the
+		// paper's guidance ("a study of which frequencies appear most
+		// often could be done"), the rungs are chosen from the profile:
+		// for every loop's estimated IT, the domain's usable periods are
+		// the exact divisors of that IT in its legal range; the FreqCount
+		// most time-weighted divisors become the ladder.
+		ladders, err := usageLadders(arch, hetClk, ref.Profile, opts.FreqCount)
+		if err != nil {
+			return nil, err
+		}
+		for d := 0; d < arch.NumDomains(); d++ {
+			hetClk.FreqSet[d] = ladders[d]
+		}
+	}
+	hetCfg := &machine.Config{Arch: arch, Clock: hetClk}
+
+	staticPower := cal.StatICN*hetSel.Scales.Sigma[arch.ICN()] +
+		cal.StatCache*hetSel.Scales.Sigma[arch.Cache()]
+	for c := 0; c < arch.NumClusters(); c++ {
+		staticPower += cal.StatCluster * hetSel.Scales.Sigma[c]
+	}
+
+	type loopOut struct {
+		counts  power.RunCounts
+		texecS  float64
+		syncInc int
+		err     error
+	}
+	loops := ref.Bench.Loops
+	outs := make([]loopOut, len(loops))
+	parallelFor(len(loops), opts.Parallelism, func(i int) {
+		l := loops[i]
+		cost := partition.CostParams{
+			DeltaCluster: hetSel.Scales.Delta[:arch.NumClusters()],
+			DeltaICN:     hetSel.Scales.Delta[arch.ICN()],
+			DeltaCache:   hetSel.Scales.Delta[arch.Cache()],
+			EIns:         cal.EIns,
+			EComm:        cal.EComm,
+			EAccess:      cal.EAccess,
+			StaticPower:  staticPower,
+			Iterations:   float64(l.Iterations),
+		}
+		sres, err := core.ScheduleLoop(l.Graph, hetCfg, cost, core.Options{
+			Partition: partition.Options{EnergyAware: opts.EnergyAware},
+		})
+		if err != nil {
+			outs[i].err = fmt.Errorf("%s loop %d (het): %w", ref.Profile.Name, i, err)
+			return
+		}
+		r, err := sim.Run(sres.Schedule, l.Iterations, sim.DefaultGenPeriod)
+		if err != nil {
+			outs[i].err = fmt.Errorf("%s loop %d (het sim): %w", ref.Profile.Name, i, err)
+			return
+		}
+		outs[i] = loopOut{counts: r.Counts, texecS: r.Texec.Seconds(), syncInc: sres.SyncIncreases}
+	})
+	agg := power.RunCounts{InsUnits: make([]float64, arch.NumClusters())}
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		w := loops[i].Weight
+		for c := range outs[i].counts.InsUnits {
+			agg.InsUnits[c] += outs[i].counts.InsUnits[c] * w
+		}
+		agg.Comms += outs[i].counts.Comms * w
+		agg.MemAccesses += outs[i].counts.MemAccesses * w
+		agg.Seconds += outs[i].texecS * w
+		res.SyncIncreases += outs[i].syncInc
+	}
+	res.Het = ConfigOutcome{
+		FastPeriod: hetSel.FastPeriod,
+		SlowPeriod: hetSel.SlowPeriod,
+		Seconds:    agg.Seconds,
+		Energy:     cal.Energy(arch, agg, hetSel.Scales),
+	}
+	res.Het.ED2 = power.ED2(res.Het.Energy, res.Het.Seconds)
+	if res.HomOpt.ED2 > 0 {
+		res.ED2Ratio = res.Het.ED2 / res.HomOpt.ED2
+	} else {
+		res.ED2Ratio = math.NaN()
+	}
+	return res, nil
+}
+
+// RunBenchmark is BuildReference + Evaluate.
+func RunBenchmark(name string, opts Options) (*BenchmarkResult, error) {
+	ref, err := BuildReference(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	return Evaluate(ref, opts)
+}
+
+// RunSuite evaluates every benchmark.
+func RunSuite(opts Options) ([]*BenchmarkResult, error) {
+	var out []*BenchmarkResult
+	for _, name := range loopgen.Names() {
+		r, err := RunBenchmark(name, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// MeanRatio returns the arithmetic mean of the per-benchmark ED² ratios
+// (the paper's "mean" bar in Figure 6).
+func MeanRatio(rs []*BenchmarkResult) float64 {
+	if len(rs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, r := range rs {
+		sum += r.ED2Ratio
+	}
+	return sum / float64(len(rs))
+}
+
+func ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// parallelFor runs fn(i) for i in [0, n) on up to p workers.
+func parallelFor(n, p int, fn func(int)) {
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,172 @@
+package pipeline
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/power"
+)
+
+// smallOpts keeps test runtime reasonable.
+func smallOpts(buses int) Options {
+	return Options{
+		Buses:             buses,
+		LoopsPerBenchmark: 8,
+		EnergyAware:       true,
+	}
+}
+
+func TestBuildReference(t *testing.T) {
+	ref, err := BuildReference("sixtrack", smallOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Profile.Loops) != len(ref.Bench.Loops) {
+		t.Fatalf("profile covers %d loops, corpus has %d",
+			len(ref.Profile.Loops), len(ref.Bench.Loops))
+	}
+	if ref.RefSeconds <= 0 {
+		t.Error("non-positive reference time")
+	}
+	// sixtrack: ≈100% of time in recurrence-bound loops.
+	if ref.Table2[2] < 0.98 {
+		t.Errorf("sixtrack recurrence share = %.3f, want ≈ 1", ref.Table2[2])
+	}
+	// Profile sanity.
+	for i, lp := range ref.Profile.Loops {
+		if lp.IIHom < 1 || lp.ItLenHomCycles < lp.IIHom {
+			t.Errorf("loop %d: II=%d itLen=%d", i, lp.IIHom, lp.ItLenHomCycles)
+		}
+		if lp.InsUnits <= 0 || lp.Weight <= 0 {
+			t.Errorf("loop %d: bad units/weight", i)
+		}
+	}
+}
+
+func TestEvaluateSixtrack(t *testing.T) {
+	opts := smallOpts(1)
+	ref, err := BuildReference("sixtrack", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(ref, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The baseline must not be worse than the 1 GHz reference.
+	if res.HomOpt.ED2 > res.Reference.ED2*1.0001 {
+		t.Errorf("optimum homogeneous ED2 %.3g worse than reference %.3g",
+			res.HomOpt.ED2, res.Reference.ED2)
+	}
+	// Heterogeneity must help on the most recurrence-bound benchmark.
+	if !(res.ED2Ratio < 1.0) {
+		t.Errorf("sixtrack ED2 ratio = %.3f, want < 1", res.ED2Ratio)
+	}
+	if res.ED2Ratio < 0.3 {
+		t.Errorf("sixtrack ED2 ratio = %.3f suspiciously low", res.ED2Ratio)
+	}
+	// The selected configuration should use a fast/slow split (Section
+	// 5.2: recurrence-constrained programs get a large frequency gap).
+	if res.Het.SlowPeriod <= res.Het.FastPeriod {
+		t.Errorf("het config not heterogeneous: fast %v slow %v",
+			res.Het.FastPeriod, res.Het.SlowPeriod)
+	}
+}
+
+func TestEvaluateSwim(t *testing.T) {
+	opts := smallOpts(1)
+	ref, err := BuildReference("swim", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(ref, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resource-bound: benefit should exist but be modest, and the
+	// mechanism is energy savings (Section 5.2), not speedup.
+	if math.IsNaN(res.ED2Ratio) || res.ED2Ratio > 1.05 {
+		t.Errorf("swim ED2 ratio = %.3f", res.ED2Ratio)
+	}
+	if res.Table2[0] < 0.98 {
+		t.Errorf("swim resource share = %.3f, want ≈ 1", res.Table2[0])
+	}
+}
+
+func TestEvaluateFractionsVariant(t *testing.T) {
+	opts := smallOpts(1)
+	ref, err := BuildReference("facerec", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Evaluate(ref, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt := opts
+	alt.Fractions = power.Fractions{
+		Cache: 0.25, ICN: 0.10,
+		LeakCluster: 1.0 / 3.0, LeakICN: 0.10, LeakCache: 2.0 / 3.0,
+	}
+	varied, err := Evaluate(ref, alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 8's claim: the benefit is fairly insensitive to the split.
+	if math.Abs(varied.ED2Ratio-base.ED2Ratio) > 0.15 {
+		t.Errorf("fraction sensitivity too high: %.3f vs %.3f",
+			varied.ED2Ratio, base.ED2Ratio)
+	}
+}
+
+func TestFrequencyCountDegradation(t *testing.T) {
+	opts := smallOpts(1)
+	ref, err := BuildReference("lucas", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	any, err := Evaluate(ref, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := opts
+	lim.FreqCount = 4
+	limited, err := Evaluate(ref, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constrained frequencies can only hurt (or tie), and with a
+	// harmonic ladder the damage stays small.
+	if limited.Het.ED2 < any.Het.ED2*0.999 {
+		t.Errorf("4-frequency ED2 %.4g better than unconstrained %.4g?",
+			limited.Het.ED2, any.Het.ED2)
+	}
+	if limited.ED2Ratio > any.ED2Ratio+0.10 {
+		t.Errorf("4-frequency degradation too large: %.3f vs %.3f",
+			limited.ED2Ratio, any.ED2Ratio)
+	}
+}
+
+func TestMeanRatio(t *testing.T) {
+	rs := []*BenchmarkResult{{ED2Ratio: 0.8}, {ED2Ratio: 0.9}}
+	if got := MeanRatio(rs); math.Abs(got-0.85) > 1e-12 {
+		t.Errorf("mean = %g", got)
+	}
+	if !math.IsNaN(MeanRatio(nil)) {
+		t.Error("empty mean should be NaN")
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	var sum int64
+	parallelFor(100, 8, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if sum != 4950 {
+		t.Errorf("sum = %d", sum)
+	}
+	sum = 0
+	parallelFor(10, 1, func(i int) { sum += int64(i) })
+	if sum != 45 {
+		t.Errorf("serial sum = %d", sum)
+	}
+}

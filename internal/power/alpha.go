@@ -1,0 +1,134 @@
+// Package power implements the compile-time energy model of Section 3 of
+// the paper: the α-power law linking maximum frequency, supply voltage and
+// threshold voltage; the dynamic (δ) and static (σ) energy scaling factors
+// of Sections 3.1.1–3.1.2; the calibration of per-unit energies from a
+// reference homogeneous run (Section 5); and the ED² metric.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/clock"
+)
+
+// AlphaModel is the α-power device model:
+//
+//	fmax = β (Vdd − Vth)^α / (C_L · Vdd)
+//
+// α reflects velocity saturation (α ≈ 1.3 for the deep-submicron processes
+// the paper targets), C_L is the switched capacitance (normalized to 1),
+// and β is a technology constant calibrated so that the reference design
+// point (1 GHz at Vdd = 1 V with Vth = 0.25 V) is exact.
+type AlphaModel struct {
+	// Alpha is the velocity-saturation exponent.
+	Alpha float64
+	// Beta is the technology constant (GHz·V^(1-α) units, C_L = 1).
+	Beta float64
+	// CL is the normalized load capacitance.
+	CL float64
+	// SubthresholdSlope is the subthreshold swing S in volts/decade used
+	// by the σ factor (typically 0.1 V/decade).
+	SubthresholdSlope float64
+	// GuardBand is the minimum gate overdrive as a fraction of Vdd:
+	// Vdd − Vth ≥ GuardBand·Vdd must hold to prevent metastability,
+	// glitches and process-variation failures (paper: 0.1).
+	GuardBand float64
+	// VddRef and VthRef are the reference supply/threshold voltages.
+	VddRef, VthRef float64
+}
+
+// DefaultAlphaModel returns the model calibrated to the paper's reference
+// point: 1 GHz, Vdd = 1 V, Vth = 0.25 V, α = 1.3, guard band 10%,
+// S = 100 mV/decade.
+func DefaultAlphaModel() *AlphaModel {
+	m := &AlphaModel{
+		Alpha:             1.3,
+		CL:                1.0,
+		SubthresholdSlope: 0.1,
+		GuardBand:         0.1,
+		VddRef:            1.0,
+		VthRef:            0.25,
+	}
+	// β such that fmax(1V, 0.25V) = 1 GHz.
+	m.Beta = 1.0 * m.CL * m.VddRef / math.Pow(m.VddRef-m.VthRef, m.Alpha)
+	return m
+}
+
+// FmaxGHz returns the maximum frequency, in GHz, of a domain at supply vdd
+// with threshold vth. Returns 0 if vth ≥ vdd.
+func (m *AlphaModel) FmaxGHz(vdd, vth float64) float64 {
+	if vdd <= vth {
+		return 0
+	}
+	return m.Beta * math.Pow(vdd-vth, m.Alpha) / (m.CL * vdd)
+}
+
+// VthFor returns the threshold voltage a domain must be designed with to
+// run at frequency fGHz under supply vdd — the inversion of the α-power
+// law (higher voltage headroom allows a higher threshold, which
+// exponentially reduces leakage). It returns an error when the frequency
+// is unreachable at this supply (the required Vth would be negative) or
+// when the guard band Vdd − Vth ≥ GuardBand·Vdd would be violated.
+func (m *AlphaModel) VthFor(fGHz, vdd float64) (float64, error) {
+	if fGHz <= 0 || vdd <= 0 {
+		return 0, fmt.Errorf("power: invalid operating point f=%g GHz vdd=%g V", fGHz, vdd)
+	}
+	overdrive := math.Pow(fGHz*m.CL*vdd/m.Beta, 1/m.Alpha)
+	vth := vdd - overdrive
+	if vth < 0 {
+		return 0, fmt.Errorf("power: %g GHz unreachable at Vdd=%g V", fGHz, vdd)
+	}
+	if overdrive < m.GuardBand*vdd {
+		// Vth would leave less than the guard band of overdrive; the
+		// domain must use a lower Vth, capped by the guard band.
+		vth = vdd * (1 - m.GuardBand)
+	}
+	return vth, nil
+}
+
+// VthForPeriod is VthFor with the frequency given as a clock period.
+func (m *AlphaModel) VthForPeriod(period clock.Picos, vdd float64) (float64, error) {
+	return m.VthFor(period.GHz(), vdd)
+}
+
+// Delta returns the dynamic-energy scaling factor of Section 3.1.1 for a
+// domain at supply vdd relative to the reference supply:
+//
+//	δ = (Vdd/Vdd0)²
+func (m *AlphaModel) Delta(vdd float64) float64 {
+	r := vdd / m.VddRef
+	return r * r
+}
+
+// Sigma returns the static-energy scaling factor of Section 3.1.2 for a
+// domain at supply vdd with threshold vth relative to the reference point:
+//
+//	σ = 10^((Vth0 − Vth)/S) · Vdd/Vdd0
+func (m *AlphaModel) Sigma(vdd, vth float64) float64 {
+	return math.Pow(10, (m.VthRef-vth)/m.SubthresholdSlope) * vdd / m.VddRef
+}
+
+// ScaleFactors returns (δ, σ) for a domain configured with minimum clock
+// period `period` at supply vdd. The threshold voltage is derived from the
+// α-power law at that operating point.
+func (m *AlphaModel) ScaleFactors(period clock.Picos, vdd float64) (delta, sigma float64, err error) {
+	vth, err := m.VthForPeriod(period, vdd)
+	if err != nil {
+		return 0, 0, err
+	}
+	return m.Delta(vdd), m.Sigma(vdd, vth), nil
+}
+
+// MinVddFor returns the lowest supply voltage in [lo, hi] (stepped by
+// step) at which the domain can run with period `period`, or an error when
+// even hi is insufficient.
+func (m *AlphaModel) MinVddFor(period clock.Picos, lo, hi, step float64) (float64, error) {
+	f := period.GHz()
+	for v := lo; v <= hi+1e-9; v += step {
+		if _, err := m.VthFor(f, v); err == nil {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("power: period %v unreachable at Vdd ≤ %g V", period, hi)
+}

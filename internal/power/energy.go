@@ -1,0 +1,182 @@
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Fractions captures the energy-breakdown assumptions of the reference
+// homogeneous microarchitecture (Section 5 and the Figure 8/9 sensitivity
+// studies). All values are fractions in [0, 1).
+type Fractions struct {
+	// Cache is the fraction of total energy consumed by the memory
+	// hierarchy (paper baseline: 1/3).
+	Cache float64
+	// ICN is the fraction of total energy consumed by the inter-cluster
+	// network (paper baseline: 0.10).
+	ICN float64
+	// LeakCluster, LeakICN, LeakCache are the leakage fractions of each
+	// component's own energy (paper baseline: 1/3, 0.10, 2/3).
+	LeakCluster, LeakICN, LeakCache float64
+}
+
+// DefaultFractions returns the paper's baseline assumptions.
+func DefaultFractions() Fractions {
+	return Fractions{
+		Cache:       1.0 / 3.0,
+		ICN:         0.10,
+		LeakCluster: 1.0 / 3.0,
+		LeakICN:     0.10,
+		LeakCache:   2.0 / 3.0,
+	}
+}
+
+// Validate checks the fractions are usable.
+func (f Fractions) Validate() error {
+	if f.Cache < 0 || f.ICN < 0 || f.Cache+f.ICN >= 1 {
+		return fmt.Errorf("power: cache+ICN fractions %g+%g leave nothing for clusters", f.Cache, f.ICN)
+	}
+	for _, l := range []float64{f.LeakCluster, f.LeakICN, f.LeakCache} {
+		if l < 0 || l >= 1 {
+			return fmt.Errorf("power: leakage fraction %g out of [0,1)", l)
+		}
+	}
+	return nil
+}
+
+// RunCounts are the event counts of one program execution needed by the
+// energy model. Cluster instruction work is pre-weighted by the Table 1
+// relative energies.
+type RunCounts struct {
+	// InsUnits[c] is the Σ over instructions executed on cluster c of
+	// their Table 1 relative energy (units of one integer add).
+	InsUnits []float64
+	// Comms is the number of inter-cluster communications (bus copies).
+	Comms float64
+	// MemAccesses is the number of cache accesses (loads + stores).
+	MemAccesses float64
+	// Seconds is the execution time.
+	Seconds float64
+}
+
+// TotalInsUnits sums the per-cluster instruction energy units.
+func (rc *RunCounts) TotalInsUnits() float64 {
+	t := 0.0
+	for _, u := range rc.InsUnits {
+		t += u
+	}
+	return t
+}
+
+// Calibration holds the per-unit energies of the reference homogeneous
+// machine, in units of one integer add on the reference design
+// (Section 3.1: E_ins is folded into the per-class weights, E_comm,
+// E_access, and the per-second static consumptions E_s).
+type Calibration struct {
+	Fractions Fractions
+	// EIns is the energy of one instruction-unit (always 1 by choice of
+	// unit; kept explicit for clarity).
+	EIns float64
+	// EComm is the energy of one bus communication.
+	EComm float64
+	// EAccess is the energy of one cache access.
+	EAccess float64
+	// StatCluster is the static energy per second of ONE cluster.
+	StatCluster float64
+	// StatICN and StatCache are static energies per second.
+	StatICN, StatCache float64
+	// RefTotal is the total energy of the reference run (for reporting).
+	RefTotal float64
+}
+
+// Calibrate derives the unit energies from a reference homogeneous run,
+// exactly as Section 5 specifies the baseline: given the measured counts
+// and the assumed fractions, every unit energy falls out.
+func Calibrate(arch *machine.Arch, ref RunCounts, fr Fractions) (*Calibration, error) {
+	if err := fr.Validate(); err != nil {
+		return nil, err
+	}
+	if ref.Seconds <= 0 {
+		return nil, fmt.Errorf("power: reference run has non-positive duration")
+	}
+	insUnits := ref.TotalInsUnits()
+	if insUnits <= 0 {
+		return nil, fmt.Errorf("power: reference run executed no instructions")
+	}
+	clusterFrac := 1 - fr.Cache - fr.ICN
+	// Cluster dynamic energy is the weighted instruction count by choice
+	// of unit (EIns = 1).
+	clusterDyn := insUnits
+	clusterTotal := clusterDyn / (1 - fr.LeakCluster)
+	total := clusterTotal / clusterFrac
+	icnTotal := total * fr.ICN
+	cacheTotal := total * fr.Cache
+
+	c := &Calibration{
+		Fractions:   fr,
+		EIns:        1,
+		RefTotal:    total,
+		StatCluster: clusterTotal * fr.LeakCluster / ref.Seconds / float64(arch.NumClusters()),
+		StatICN:     icnTotal * fr.LeakICN / ref.Seconds,
+		StatCache:   cacheTotal * fr.LeakCache / ref.Seconds,
+	}
+	if ref.Comms > 0 {
+		c.EComm = icnTotal * (1 - fr.LeakICN) / ref.Comms
+	}
+	if ref.MemAccesses > 0 {
+		c.EAccess = cacheTotal * (1 - fr.LeakCache) / ref.MemAccesses
+	}
+	return c, nil
+}
+
+// DomainScale holds the (δ, σ) factors of every clock domain of a
+// configuration, in machine.DomainID order.
+type DomainScale struct {
+	Delta []float64
+	Sigma []float64
+}
+
+// ScalesFor computes the per-domain (δ, σ) factors of a configuration
+// using model m. Each domain's threshold voltage is derived from its
+// minimum period and supply voltage.
+func ScalesFor(m *AlphaModel, cfg *machine.Config) (*DomainScale, error) {
+	n := cfg.Arch.NumDomains()
+	ds := &DomainScale{Delta: make([]float64, n), Sigma: make([]float64, n)}
+	for d := 0; d < n; d++ {
+		delta, sigma, err := m.ScaleFactors(cfg.Clock.MinPeriod[d], cfg.Clock.Vdd[d])
+		if err != nil {
+			return nil, fmt.Errorf("domain %s: %w", cfg.Arch.DomainName(machine.DomainID(d)), err)
+		}
+		ds.Delta[d] = delta
+		ds.Sigma[d] = sigma
+	}
+	return ds, nil
+}
+
+// Energy prices a run on an arbitrary configuration using the calibrated
+// unit energies and the configuration's per-domain scale factors — the
+// heterogeneous energy equation of Section 3.1.3:
+//
+//	E = Σ_c nIns_c·E_ins·δ_c + nComms·E_comm·δ_ICN + nMem·E_access·δ_cache
+//	  + T·(Σ_c E_s_C·σ_c + E_s_ICN·σ_ICN + E_s_cache·σ_cache)
+func (c *Calibration) Energy(arch *machine.Arch, run RunCounts, ds *DomainScale) float64 {
+	icn := int(arch.ICN())
+	cache := int(arch.Cache())
+	e := 0.0
+	for cl := 0; cl < arch.NumClusters(); cl++ {
+		u := 0.0
+		if cl < len(run.InsUnits) {
+			u = run.InsUnits[cl]
+		}
+		e += u * c.EIns * ds.Delta[cl]
+		e += run.Seconds * c.StatCluster * ds.Sigma[cl]
+	}
+	e += run.Comms * c.EComm * ds.Delta[icn]
+	e += run.MemAccesses * c.EAccess * ds.Delta[cache]
+	e += run.Seconds * (c.StatICN*ds.Sigma[icn] + c.StatCache*ds.Sigma[cache])
+	return e
+}
+
+// ED2 returns the energy-delay² product for energy e and delay d seconds.
+func ED2(e, d float64) float64 { return e * d * d }

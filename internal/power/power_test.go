@@ -1,0 +1,279 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clock"
+	"repro/internal/machine"
+)
+
+func TestAlphaModelReferencePoint(t *testing.T) {
+	m := DefaultAlphaModel()
+	// The calibration must reproduce the paper's reference design point.
+	if f := m.FmaxGHz(1.0, 0.25); math.Abs(f-1.0) > 1e-12 {
+		t.Errorf("fmax(1V, 0.25V) = %g GHz, want 1", f)
+	}
+	vth, err := m.VthFor(1.0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vth-0.25) > 1e-12 {
+		t.Errorf("Vth(1GHz, 1V) = %g, want 0.25", vth)
+	}
+	if m.FmaxGHz(0.2, 0.25) != 0 {
+		t.Error("vdd below vth must yield zero frequency")
+	}
+}
+
+func TestVthForMonotonicity(t *testing.T) {
+	m := DefaultAlphaModel()
+	// Slower target frequency → higher allowed threshold (less leakage).
+	v1, err1 := m.VthFor(1.0, 1.0)
+	v2, err2 := m.VthFor(0.7, 1.0)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if v2 <= v1 {
+		t.Errorf("Vth(0.7GHz)=%g should exceed Vth(1GHz)=%g", v2, v1)
+	}
+	// Higher supply at fixed frequency → higher allowed threshold.
+	v3, err := m.VthFor(1.0, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3 <= v1 {
+		t.Errorf("Vth(1GHz,1.2V)=%g should exceed Vth(1GHz,1V)=%g", v3, v1)
+	}
+}
+
+func TestVthForGuardBand(t *testing.T) {
+	m := DefaultAlphaModel()
+	// A very slow domain would want Vth near Vdd; the guard band caps it.
+	vth, err := m.VthFor(0.01, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vth > 0.9+1e-12 {
+		t.Errorf("guard band violated: Vth = %g > 0.9·Vdd", vth)
+	}
+	// An unreachable frequency errors out.
+	if _, err := m.VthFor(5.0, 0.7); err == nil {
+		t.Error("5 GHz at 0.7 V should be unreachable")
+	}
+	if _, err := m.VthFor(0, 1.0); err == nil {
+		t.Error("zero frequency is invalid")
+	}
+}
+
+func TestDeltaSigmaReference(t *testing.T) {
+	m := DefaultAlphaModel()
+	if d := m.Delta(1.0); d != 1.0 {
+		t.Errorf("δ(Vdd0) = %g, want 1", d)
+	}
+	if s := m.Sigma(1.0, 0.25); math.Abs(s-1.0) > 1e-12 {
+		t.Errorf("σ(ref) = %g, want 1", s)
+	}
+	if d := m.Delta(0.8); math.Abs(d-0.64) > 1e-12 {
+		t.Errorf("δ(0.8) = %g, want 0.64", d)
+	}
+	// Raising Vth by one subthreshold slope decade cuts leakage 10×.
+	s := m.Sigma(1.0, 0.35)
+	if math.Abs(s-0.1) > 1e-12 {
+		t.Errorf("σ(Vth+0.1) = %g, want 0.1", s)
+	}
+}
+
+func TestScaleFactorsConsistency(t *testing.T) {
+	m := DefaultAlphaModel()
+	d, s, err := m.ScaleFactors(clock.PS(1000), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1) > 1e-12 || math.Abs(s-1) > 1e-9 {
+		t.Errorf("reference scale factors = (%g, %g), want (1, 1)", d, s)
+	}
+	// A slower domain at the same voltage leaks less.
+	_, s2, err := m.ScaleFactors(clock.PS(1500), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 >= s {
+		t.Errorf("slower domain should leak less: σ=%g vs %g", s2, s)
+	}
+}
+
+func TestMinVddFor(t *testing.T) {
+	m := DefaultAlphaModel()
+	v, err := m.MinVddFor(clock.PS(1000), 0.7, 1.2, 0.025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0.7 || v > 1.2 {
+		t.Errorf("MinVdd = %g out of range", v)
+	}
+	// 1 GHz must be reachable at 1 V (the reference point), so the
+	// minimal supply is at most 1 V.
+	if v > 1.0 {
+		t.Errorf("MinVdd(1GHz) = %g, should be ≤ 1", v)
+	}
+	if _, err := m.MinVddFor(clock.PS(200), 0.7, 1.2, 0.025); err == nil {
+		t.Error("5 GHz should be unreachable in range")
+	}
+}
+
+func TestFractionsValidate(t *testing.T) {
+	if DefaultFractions().Validate() != nil {
+		t.Error("default fractions must validate")
+	}
+	bad := DefaultFractions()
+	bad.Cache = 0.95
+	if bad.Validate() == nil {
+		t.Error("cache+ICN ≥ 1 must fail")
+	}
+	bad = DefaultFractions()
+	bad.LeakCache = 1.0
+	if bad.Validate() == nil {
+		t.Error("leak fraction 1.0 must fail")
+	}
+}
+
+func refRun(arch *machine.Arch) RunCounts {
+	return RunCounts{
+		InsUnits:    []float64{250, 250, 250, 250},
+		Comms:       100,
+		MemAccesses: 300,
+		Seconds:     1e-6,
+	}
+}
+
+// TestCalibrationReproducesFractions: pricing the reference run with the
+// reference scale factors (δ=σ=1) must return the reference total, and the
+// component fractions must match the assumptions.
+func TestCalibrationReproducesFractions(t *testing.T) {
+	arch := machine.Reference4Cluster(1)
+	fr := DefaultFractions()
+	ref := refRun(arch)
+	cal, err := Calibrate(arch, ref, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := &DomainScale{
+		Delta: []float64{1, 1, 1, 1, 1, 1},
+		Sigma: []float64{1, 1, 1, 1, 1, 1},
+	}
+	got := cal.Energy(arch, ref, unit)
+	if math.Abs(got-cal.RefTotal)/cal.RefTotal > 1e-12 {
+		t.Errorf("reference energy %g != calibrated total %g", got, cal.RefTotal)
+	}
+	// Component fractions.
+	clusterDyn := ref.TotalInsUnits() * cal.EIns
+	clusterStat := ref.Seconds * cal.StatCluster * 4
+	cluster := clusterDyn + clusterStat
+	icn := ref.Comms*cal.EComm + ref.Seconds*cal.StatICN
+	cache := ref.MemAccesses*cal.EAccess + ref.Seconds*cal.StatCache
+	tot := cluster + icn + cache
+	if math.Abs(cache/tot-fr.Cache) > 1e-9 {
+		t.Errorf("cache fraction = %g, want %g", cache/tot, fr.Cache)
+	}
+	if math.Abs(icn/tot-fr.ICN) > 1e-9 {
+		t.Errorf("ICN fraction = %g, want %g", icn/tot, fr.ICN)
+	}
+	if math.Abs(clusterStat/cluster-fr.LeakCluster) > 1e-9 {
+		t.Errorf("cluster leakage = %g, want %g", clusterStat/cluster, fr.LeakCluster)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	arch := machine.Reference4Cluster(1)
+	ref := refRun(arch)
+	bad := ref
+	bad.Seconds = 0
+	if _, err := Calibrate(arch, bad, DefaultFractions()); err == nil {
+		t.Error("zero duration must fail")
+	}
+	bad = ref
+	bad.InsUnits = nil
+	if _, err := Calibrate(arch, bad, DefaultFractions()); err == nil {
+		t.Error("no instructions must fail")
+	}
+	badFr := DefaultFractions()
+	badFr.ICN = -1
+	if _, err := Calibrate(arch, ref, badFr); err == nil {
+		t.Error("invalid fractions must fail")
+	}
+}
+
+// TestEnergyScalesWithDelta: doubling δ on one cluster adds exactly that
+// cluster's dynamic energy once more.
+func TestEnergyScalesWithDelta(t *testing.T) {
+	arch := machine.Reference4Cluster(1)
+	ref := refRun(arch)
+	cal, err := Calibrate(arch, ref, DefaultFractions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := &DomainScale{
+		Delta: []float64{1, 1, 1, 1, 1, 1},
+		Sigma: []float64{1, 1, 1, 1, 1, 1},
+	}
+	base := cal.Energy(arch, ref, unit)
+	bumped := &DomainScale{
+		Delta: []float64{2, 1, 1, 1, 1, 1},
+		Sigma: []float64{1, 1, 1, 1, 1, 1},
+	}
+	got := cal.Energy(arch, ref, bumped)
+	want := base + ref.InsUnits[0]*cal.EIns
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("energy = %g, want %g", got, want)
+	}
+}
+
+// TestEnergyMonotoneInTime: leakage grows linearly with execution time.
+func TestEnergyMonotoneInTime(t *testing.T) {
+	arch := machine.Reference4Cluster(1)
+	ref := refRun(arch)
+	cal, err := Calibrate(arch, ref, DefaultFractions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := &DomainScale{
+		Delta: []float64{1, 1, 1, 1, 1, 1},
+		Sigma: []float64{1, 1, 1, 1, 1, 1},
+	}
+	run2 := ref
+	run2.Seconds *= 2
+	e1 := cal.Energy(arch, ref, unit)
+	e2 := cal.Energy(arch, run2, unit)
+	stat := (cal.StatCluster*4 + cal.StatICN + cal.StatCache) * ref.Seconds
+	if math.Abs((e2-e1)-stat) > 1e-9 {
+		t.Errorf("extra energy %g, want leakage %g", e2-e1, stat)
+	}
+}
+
+// TestSigmaDeltaProperty: σ and δ are positive and increase with Vdd at a
+// fixed threshold/frequency.
+func TestSigmaDeltaProperty(t *testing.T) {
+	m := DefaultAlphaModel()
+	f := func(raw uint8) bool {
+		vdd := 0.7 + float64(raw%50)*0.01 // 0.7..1.19
+		d := m.Delta(vdd)
+		s := m.Sigma(vdd, 0.25)
+		if d <= 0 || s <= 0 {
+			return false
+		}
+		d2 := m.Delta(vdd + 0.05)
+		s2 := m.Sigma(vdd+0.05, 0.25)
+		return d2 > d && s2 > s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestED2(t *testing.T) {
+	if ED2(2, 3) != 18 {
+		t.Errorf("ED2(2,3) = %g", ED2(2, 3))
+	}
+}

@@ -1,0 +1,193 @@
+// Package pseudo computes pseudo-schedules (Aletà et al., PACT'02): fast
+// approximate schedules used by the graph partitioner to compare candidate
+// partitions without running the full modulo scheduler. A pseudo-schedule
+// answers two questions for a partition at a fixed initiation time:
+//
+//  1. feasibility — per-cluster resource capacity, bus capacity, and
+//     schedulability of every recurrence given the clusters its
+//     operations were assigned to (a recurrence spread across slow
+//     clusters or cut by inter-cluster copies may no longer fit in IT);
+//  2. an estimate of the iteration length (dependence-constrained ASAP
+//     completion time), from which execution time is estimated.
+package pseudo
+
+import (
+	"repro/internal/clock"
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// Result is the outcome of a pseudo-schedule evaluation.
+type Result struct {
+	// Feasible reports whether the partition can possibly be scheduled at
+	// this IT.
+	Feasible bool
+	// Reason says why not (empty when feasible).
+	Reason string
+	// ItLength is the estimated iteration length.
+	ItLength clock.Picos
+	// Comms is the number of inter-cluster communications the partition
+	// requires (distinct (value, destination-cluster) pairs).
+	Comms int
+}
+
+// CommCount returns the number of distinct (producer, destination cluster)
+// communications a partition requires: one bus copy moves a value to one
+// destination cluster, where any number of consumers may read it.
+func CommCount(g *ddg.Graph, assign []int) int {
+	seen := make(map[int64]bool)
+	count := 0
+	for _, e := range g.Edges() {
+		if e.Latency <= 0 || !producesValue(g.Op(e.From).Class) {
+			continue
+		}
+		src, dst := assign[e.From], assign[e.To]
+		if src == dst {
+			continue
+		}
+		key := int64(e.From)<<16 | int64(dst)
+		if !seen[key] {
+			seen[key] = true
+			count++
+		}
+	}
+	return count
+}
+
+func producesValue(c isa.Class) bool {
+	return c != isa.Store && c != isa.BranchCtrl
+}
+
+// Evaluate computes the pseudo-schedule of graph g under the given cluster
+// assignment and per-domain (IT, II) pairs.
+func Evaluate(g *ddg.Graph, arch *machine.Arch, pairs machine.Pairs, assign []int) Result {
+	// 1. Per-cluster capacity.
+	nc := arch.NumClusters()
+	var use = make([][isa.NumResources]int, nc)
+	for op := 0; op < g.NumOps(); op++ {
+		use[assign[op]][g.Op(op).Class.Resource()]++
+	}
+	for c := 0; c < nc; c++ {
+		ii := pairs.II[c]
+		for r := 0; r < isa.NumResources; r++ {
+			if use[c][r] == 0 {
+				continue
+			}
+			units := arch.Clusters[c].FUCount(isa.Resource(r))
+			if use[c][r] > ii*units {
+				return Result{Feasible: false, Reason: "cluster capacity exceeded"}
+			}
+		}
+	}
+	// 2. Bus capacity.
+	comms := CommCount(g, assign)
+	icn := int(arch.ICN())
+	if comms > 0 {
+		if arch.Buses == 0 || comms > pairs.II[icn]*arch.Buses {
+			return Result{Feasible: false, Reason: "bus capacity exceeded", Comms: comms}
+		}
+	}
+	// 3. Dependence feasibility + ASAP iteration length. Edge weights in
+	// units of IT/scale (scale = lcm of IIs) so the arithmetic is exact.
+	scale := int64(1)
+	for _, ii := range pairs.II {
+		if ii > 0 {
+			scale = lcm64(scale, int64(ii))
+			if scale > 1<<30 {
+				scale = 0
+				break
+			}
+		}
+	}
+	type wedge struct {
+		from, to int
+		w        int64
+		wf       float64
+	}
+	sq := arch.SyncQueueCycles
+	edges := make([]wedge, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		src, dst := assign[e.From], assign[e.To]
+		latCycles := int64(e.Latency)
+		var w int64
+		var wf float64
+		addTerm := func(cycles int64, ii int) {
+			if scale != 0 {
+				w += cycles * (scale / int64(ii))
+			} else {
+				wf += float64(cycles) / float64(ii)
+			}
+		}
+		addTerm(latCycles, pairs.II[src])
+		if src != dst {
+			if e.Latency > 0 && producesValue(g.Op(e.From).Class) {
+				// producer → (sync) bus copy → (sync) consumer
+				addTerm(int64(sq+arch.BusLatency), pairs.II[icn])
+				addTerm(int64(sq), pairs.II[dst])
+			} else {
+				addTerm(int64(sq), pairs.II[dst])
+			}
+		}
+		if scale != 0 {
+			w -= int64(e.Dist) * scale
+		} else {
+			wf -= float64(e.Dist)
+		}
+		edges = append(edges, wedge{e.From, e.To, w, wf})
+	}
+	n := g.NumOps()
+	asap := make([]int64, n)
+	asapF := make([]float64, n)
+	for round := 0; ; round++ {
+		changed := false
+		for _, e := range edges {
+			if scale != 0 {
+				if v := asap[e.from] + e.w; v > asap[e.to] {
+					asap[e.to] = v
+					changed = true
+				}
+			} else {
+				if v := asapF[e.from] + e.wf; v > asapF[e.to]+1e-9 {
+					asapF[e.to] = v
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		if round > n+2 {
+			return Result{Feasible: false, Reason: "recurrence unschedulable at this IT", Comms: comms}
+		}
+	}
+	// Iteration length estimate: latest ASAP completion in IT units,
+	// converted to picoseconds, but never shorter than one full IT.
+	var itLenIT float64
+	for op := 0; op < n; op++ {
+		lat := float64(g.Op(op).Latency()) / float64(pairs.II[assign[op]])
+		var start float64
+		if scale != 0 {
+			start = float64(asap[op]) / float64(scale)
+		} else {
+			start = asapF[op]
+		}
+		if v := start + lat; v > itLenIT {
+			itLenIT = v
+		}
+	}
+	itLen := clock.Picos(int64(itLenIT*float64(pairs.IT)) + 1)
+	if itLen < pairs.IT {
+		itLen = pairs.IT
+	}
+	return Result{Feasible: true, ItLength: itLen, Comms: comms}
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm64(a, b int64) int64 { return a / gcd64(a, b) * b }

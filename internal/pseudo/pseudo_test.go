@@ -1,0 +1,156 @@
+package pseudo
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+func refPairs(t *testing.T, buses int, it clock.Picos) (*machine.Arch, machine.Pairs) {
+	t.Helper()
+	cfg := machine.ReferenceConfig(buses)
+	p, err := machine.SelectPairs(cfg.Arch, cfg.Clock, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg.Arch, p
+}
+
+func TestCommCount(t *testing.T) {
+	g := ddg.New("c")
+	a := g.AddOp(isa.IntALU, "a")
+	b := g.AddOp(isa.IntALU, "b")
+	c := g.AddOp(isa.IntALU, "c")
+	d := g.AddOp(isa.Store, "d")
+	g.AddDep(a, b, 0)
+	g.AddDep(a, c, 0)
+	g.AddDep(a, d, 0)
+	// All same cluster: no comms.
+	if got := CommCount(g, []int{0, 0, 0, 0}); got != 0 {
+		t.Errorf("same cluster: %d comms", got)
+	}
+	// b and c in cluster 1: one value, one destination → 1 comm.
+	if got := CommCount(g, []int{0, 1, 1, 0}); got != 1 {
+		t.Errorf("two consumers one dst: %d comms, want 1", got)
+	}
+	// b in 1, c in 2: two destinations → 2 comms.
+	if got := CommCount(g, []int{0, 1, 2, 0}); got != 2 {
+		t.Errorf("two dsts: %d comms, want 2", got)
+	}
+	// Store output (no value): moving the store's producer edge... store
+	// consumes a; a store in another cluster still needs the value.
+	if got := CommCount(g, []int{0, 0, 0, 1}); got != 1 {
+		t.Errorf("store consumer in other cluster: %d comms, want 1", got)
+	}
+}
+
+func TestEvaluateCapacity(t *testing.T) {
+	arch, p := refPairs(t, 1, clock.PS(2000)) // II=2, 1 FU each kind
+	g := ddg.New("cap")
+	for i := 0; i < 3; i++ {
+		g.AddOp(isa.IntALU, "")
+	}
+	// 3 int ops on one cluster with 2 slots: infeasible.
+	r := Evaluate(g, arch, p, []int{0, 0, 0})
+	if r.Feasible {
+		t.Error("capacity violation not detected")
+	}
+	// Spread: feasible.
+	r = Evaluate(g, arch, p, []int{0, 0, 1})
+	if !r.Feasible {
+		t.Errorf("spread assignment infeasible: %s", r.Reason)
+	}
+}
+
+func TestEvaluateBusCapacity(t *testing.T) {
+	// II = 2 everywhere, 1 bus → at most 2 comms per iteration. Two
+	// producers in cluster 0 each broadcast to clusters 1, 2 and 3:
+	// 6 communications, but only 2 ops per cluster (capacity is fine).
+	arch, p := refPairs(t, 1, clock.PS(2000))
+	g := ddg.New("bus")
+	p0 := g.AddOp(isa.IntALU, "")
+	p1 := g.AddOp(isa.IntALU, "")
+	assign := []int{0, 0}
+	for dst := 1; dst <= 3; dst++ {
+		for _, pr := range []int{p0, p1} {
+			c := g.AddOp(isa.IntALU, "")
+			g.AddDep(pr, c, 0)
+			assign = append(assign, dst)
+		}
+	}
+	r := Evaluate(g, arch, p, assign)
+	if r.Feasible {
+		t.Error("bus overload not detected")
+	}
+	if r.Comms != 6 {
+		t.Errorf("comms = %d, want 6", r.Comms)
+	}
+	// With 2 buses and II 4 (8 bus slots) it fits.
+	arch2, p2 := refPairs(t, 2, clock.PS(4000))
+	r = Evaluate(g, arch2, p2, assign)
+	if !r.Feasible {
+		t.Errorf("2-bus II-4 configuration should fit: %s", r.Reason)
+	}
+}
+
+func TestEvaluateRecurrenceInfeasibleInSlowCluster(t *testing.T) {
+	// 3-op 1-cycle recurrence (recMII 3): fits the fast cluster (II 3)
+	// but not a slow cluster with II 2.
+	cl := machine.ClusterSpec{IntFUs: 1, FPFUs: 1, MemPorts: 1, Regs: 16}
+	arch := &machine.Arch{
+		Clusters:        []machine.ClusterSpec{cl, cl},
+		Buses:           1,
+		BusLatency:      1,
+		SyncQueueCycles: 1,
+	}
+	clk := machine.NewClocking(arch, clock.PS(1000), 1.0)
+	clk.MinPeriod[1] = clock.PS(1500)
+	p, err := machine.SelectPairs(arch, clk, clock.PS(3000)) // II = [3, 2]
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ddg.Recurrence("r", isa.IntALU, 3, 1, isa.IntALU, 0)
+	if r := Evaluate(g, arch, p, []int{0, 0, 0}); !r.Feasible {
+		t.Errorf("recurrence in fast cluster must fit: %s", r.Reason)
+	}
+	if r := Evaluate(g, arch, p, []int{1, 1, 1}); r.Feasible {
+		t.Error("recMII-3 recurrence in an II-2 cluster must be infeasible")
+	}
+	// Splitting the recurrence across clusters adds bus+sync latency:
+	// also infeasible at IT=3ns.
+	if r := Evaluate(g, arch, p, []int{0, 1, 0}); r.Feasible {
+		t.Error("split recurrence at tight IT must be infeasible")
+	}
+}
+
+func TestEvaluateItLength(t *testing.T) {
+	arch, p := refPairs(t, 1, clock.PS(3000))
+	g := ddg.Chain("c", isa.FPALU, 3) // 9 cycles of dependent work
+	r := Evaluate(g, arch, p, []int{0, 0, 0})
+	if !r.Feasible {
+		t.Fatal(r.Reason)
+	}
+	if r.ItLength < clock.PS(9000) {
+		t.Errorf("it_length = %v, want ≥ 9ns", r.ItLength)
+	}
+	// Splitting across clusters adds copy+sync time.
+	r2 := Evaluate(g, arch, p, []int{0, 1, 0})
+	if !r2.Feasible {
+		t.Fatal(r2.Reason)
+	}
+	if r2.ItLength <= r.ItLength {
+		t.Errorf("cross-cluster it_length %v should exceed local %v", r2.ItLength, r.ItLength)
+	}
+}
+
+func TestEvaluateItLengthAtLeastIT(t *testing.T) {
+	arch, p := refPairs(t, 1, clock.PS(8000))
+	g := ddg.Chain("tiny", isa.IntALU, 2)
+	r := Evaluate(g, arch, p, []int{0, 0})
+	if !r.Feasible || r.ItLength < p.IT {
+		t.Errorf("it_length %v must be at least IT %v", r.ItLength, p.IT)
+	}
+}

@@ -1,0 +1,271 @@
+// Package regalloc assigns physical registers to the values of a modulo-
+// scheduled kernel. The paper's machine is HPL-PD style, whose register
+// files support rotation: a value defined in stage s of iteration i and
+// read k iterations later must not be overwritten by the intervening
+// definitions of the same virtual register, so each value needs
+// ceil(lifetime/II) consecutive rotating registers.
+//
+// The allocator here performs the equivalent static assignment (modulo
+// variable expansion): every value's live interval, expressed in its
+// cluster's local cycles, is placed on the cluster's register file so
+// that no two values overlap on the same register at the same kernel slot
+// — the wrap-around interval-graph coloring of modulo scheduling. It both
+// *constructs* an assignment (proof that MaxLive registers suffice, up to
+// the fragmentation bound of wrap-around coloring) and *verifies* it.
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/modsched"
+)
+
+// Value is a register value of the kernel: produced by op Def (or a copy
+// of it) and held in cluster Cluster for the local-cycle interval
+// [Start, End] (inclusive, absolute schedule cycles; End − Start + 1 may
+// exceed the II, meaning the value lives across multiple stages and needs
+// multiple rotating registers).
+type Value struct {
+	// Def is the producing op id; CopyDst ≥ 0 marks the copy-delivered
+	// replica of Def's value into cluster CopyDst.
+	Def     int
+	CopyDst int
+	Cluster int
+	// Start and End delimit the live interval in the holder cluster's
+	// local cycles.
+	Start, End int
+}
+
+// Span returns the interval length in cycles.
+func (v Value) Span() int { return v.End - v.Start + 1 }
+
+// Assignment maps each value to its first physical register; a value with
+// Span > II occupies ceil(Span/II) consecutive registers (mod file size),
+// exactly like a rotating-file allocation.
+type Assignment struct {
+	// Values are the kernel's register values.
+	Values []Value
+	// Reg[i] is the first physical register of Values[i].
+	Reg []int
+	// RegsUsed[c] is the number of distinct physical registers used in
+	// cluster c.
+	RegsUsed []int
+}
+
+// CollectValues derives the kernel's register values from a schedule,
+// using the same read/write timing rules as the scheduler's pressure
+// analysis: a consumer at distance d reads at its start time + d·IT; a
+// copy reads the producer's register at copy issue and defines a new
+// value in the destination cluster at copy completion (plus the
+// synchronization queue).
+func CollectValues(s *modsched.Schedule) []Value {
+	g := s.Graph
+	arch := s.Arch
+	icn := int(arch.ICN())
+	var vals []Value
+
+	// Copy lookup per (producer, dst).
+	type ck struct{ val, dst int }
+	copyAt := make(map[ck]modsched.Copy, len(s.Copies))
+	for _, c := range s.Copies {
+		copyAt[ck{c.Val, c.Dst}] = c
+	}
+	// cycleIn converts cycle k of domain srcII to the holder's cycles.
+	floorCycle := func(k int64, holderII, srcII int) int {
+		return int(k * int64(holderII) / int64(srcII))
+	}
+	ceilCycle := func(k int64, holderII, srcII int) int {
+		num := k * int64(holderII)
+		den := int64(srcII)
+		q := num / den
+		if num%den != 0 {
+			q++
+		}
+		return int(q)
+	}
+
+	for op := 0; op < g.NumOps(); op++ {
+		cls := g.Op(op).Class
+		if !producesValue(cls) {
+			continue
+		}
+		holder := s.Assign[op]
+		hII := s.II[holder]
+		def := s.Cycle[op] + cls.Latency()
+		end := def
+		for _, ei := range g.OutEdges(op) {
+			e := g.Edge(ei)
+			dst := s.Assign[e.To]
+			if dst == holder && e.Latency > 0 {
+				read := s.Cycle[e.To] + e.Dist*hII
+				if read > end {
+					end = read
+				}
+			}
+		}
+		// Copies reading this value from the producer's file.
+		for _, c := range s.Copies {
+			if c.Val != op {
+				continue
+			}
+			read := floorCycle(int64(c.Cycle), hII, s.II[icn])
+			if read > end {
+				end = read
+			}
+		}
+		vals = append(vals, Value{Def: op, CopyDst: -1, Cluster: holder, Start: def, End: end})
+
+		// Replicas delivered by copies.
+		seen := map[int]bool{}
+		for _, ei := range g.OutEdges(op) {
+			e := g.Edge(ei)
+			dst := s.Assign[e.To]
+			if dst == holder || e.Latency <= 0 {
+				continue
+			}
+			cp, ok := copyAt[ck{op, dst}]
+			if !ok {
+				continue // ordering edge without a register value
+			}
+			dII := s.II[dst]
+			arrive := ceilCycle(int64(cp.Cycle+arch.BusLatency), dII, s.II[icn]) +
+				arch.SyncQueueCycles
+			readEnd := arrive
+			for _, ej := range g.OutEdges(op) {
+				e2 := g.Edge(ej)
+				if s.Assign[e2.To] != dst || e2.Latency <= 0 {
+					continue
+				}
+				read := s.Cycle[e2.To] + e2.Dist*dII
+				if read > readEnd {
+					readEnd = read
+				}
+			}
+			if !seen[dst] {
+				seen[dst] = true
+				vals = append(vals, Value{Def: op, CopyDst: dst, Cluster: dst, Start: arrive, End: readEnd})
+			}
+		}
+	}
+	return vals
+}
+
+// Allocate assigns physical registers to all kernel values. It returns an
+// error when a cluster's register file cannot hold its values even after
+// wrap-around coloring (which can exceed MaxLive by fragmentation — the
+// scheduler's MaxLive check makes this rare).
+func Allocate(s *modsched.Schedule) (*Assignment, error) {
+	vals := CollectValues(s)
+	a := &Assignment{
+		Values:   vals,
+		Reg:      make([]int, len(vals)),
+		RegsUsed: make([]int, s.Arch.NumClusters()),
+	}
+	for c := 0; c < s.Arch.NumClusters(); c++ {
+		if err := a.allocateCluster(s, c); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// allocateCluster colors one cluster's values: first-fit over registers,
+// where a value occupies slots (start..end mod II) on regs
+// r..r+wraps-1 (mod nregs), matching rotating-file semantics.
+func (a *Assignment) allocateCluster(s *modsched.Schedule, cluster int) error {
+	ii := s.II[cluster]
+	nregs := s.Arch.Clusters[cluster].Regs
+	type slotUse struct{ reg, slot int }
+	used := make(map[slotUse]int) // -> value index + 1
+
+	var idx []int
+	for i, v := range a.Values {
+		if v.Cluster == cluster {
+			idx = append(idx, i)
+		}
+	}
+	// Longer lifetimes first (harder to place), then by start cycle.
+	sort.SliceStable(idx, func(x, y int) bool {
+		vx, vy := a.Values[idx[x]], a.Values[idx[y]]
+		if vx.Span() != vy.Span() {
+			return vx.Span() > vy.Span()
+		}
+		if vx.Start != vy.Start {
+			return vx.Start < vy.Start
+		}
+		return idx[x] < idx[y]
+	})
+
+	slotsOf := func(v Value, firstReg int) ([]slotUse, bool) {
+		// Walk the interval cycle by cycle; each full II advance moves to
+		// the next register (rotation).
+		var out []slotUse
+		for c := v.Start; c <= v.End; c++ {
+			reg := (firstReg + (c-v.Start)/ii) % nregs
+			su := slotUse{reg, c % ii}
+			if owner, busy := used[su]; busy && owner != 0 {
+				return nil, false
+			}
+			out = append(out, su)
+		}
+		return out, true
+	}
+	maxReg := 0
+	for _, vi := range idx {
+		v := a.Values[vi]
+		placed := false
+		for r := 0; r < nregs; r++ {
+			slots, ok := slotsOf(v, r)
+			if !ok {
+				continue
+			}
+			for _, su := range slots {
+				used[su] = vi + 1
+			}
+			a.Reg[vi] = r
+			wraps := (v.Span() + ii - 1) / ii
+			if r+wraps > maxReg {
+				maxReg = r + wraps
+			}
+			placed = true
+			break
+		}
+		if !placed {
+			return fmt.Errorf("regalloc: cluster %d cannot hold value of op %d (span %d, II %d, %d regs)",
+				cluster, v.Def, v.Span(), ii, nregs)
+		}
+	}
+	if maxReg > nregs {
+		maxReg = nregs
+	}
+	a.RegsUsed[cluster] = maxReg
+	return nil
+}
+
+// Verify checks the assignment: no two values of a cluster may occupy the
+// same physical register at the same kernel slot.
+func (a *Assignment) Verify(s *modsched.Schedule) error {
+	type slotUse struct{ cluster, reg, slot int }
+	owner := make(map[slotUse]int)
+	for i, v := range a.Values {
+		ii := s.II[v.Cluster]
+		nregs := s.Arch.Clusters[v.Cluster].Regs
+		for c := v.Start; c <= v.End; c++ {
+			su := slotUse{v.Cluster, (a.Reg[i] + (c-v.Start)/ii) % nregs, c % ii}
+			if o, busy := owner[su]; busy && o != i {
+				return fmt.Errorf("regalloc: values %d and %d collide on C%d r%d slot %d",
+					o, i, v.Cluster+1, su.reg, su.slot)
+			}
+			owner[su] = i
+		}
+	}
+	return nil
+}
+
+// producesValue reports whether the class defines a register value
+// (stores and control transfers sink their operands).
+func producesValue(c isa.Class) bool {
+	return c != isa.Store && c != isa.BranchCtrl
+}

@@ -1,0 +1,190 @@
+package regalloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+	"repro/internal/partition"
+)
+
+func hetConfig(buses int) *machine.Config {
+	arch := machine.Reference4Cluster(buses)
+	clk := machine.NewClocking(arch, clock.PS(1350), 1.0)
+	clk.MinPeriod[0] = clock.PS(900)
+	clk.MinPeriod[arch.ICN()] = clock.PS(900)
+	clk.MinPeriod[arch.Cache()] = clock.PS(900)
+	return &machine.Config{Arch: arch, Clock: clk}
+}
+
+func schedule(t *testing.T, g *ddg.Graph, cfg *machine.Config) *modsched.Schedule {
+	t.Helper()
+	cost := partition.DefaultCost(4)
+	cost.DeltaCluster = []float64{1, 0.6, 0.6, 0.6}
+	cost.Iterations = 100
+	res, err := core.ScheduleLoop(g, cfg, cost, core.Options{
+		Partition: partition.Options{EnergyAware: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Schedule
+}
+
+func TestAllocateLivermore(t *testing.T) {
+	s := schedule(t, ddg.Livermore("lv"), hetConfig(1))
+	a, err := Allocate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Values) == 0 {
+		t.Fatal("no values collected")
+	}
+	for c, used := range a.RegsUsed {
+		if used > s.Arch.Clusters[c].Regs {
+			t.Errorf("cluster %d uses %d registers, file has %d", c, used, s.Arch.Clusters[c].Regs)
+		}
+		// MaxLive is a lower bound on any valid assignment.
+		if used < s.MaxLive[c] {
+			t.Errorf("cluster %d: %d regs used < MaxLive %d", c, used, s.MaxLive[c])
+		}
+	}
+}
+
+func TestValuesCoverProducers(t *testing.T) {
+	g := ddg.FIRFilter("fir", 6)
+	s := schedule(t, g, hetConfig(2))
+	vals := CollectValues(s)
+	producers := map[int]bool{}
+	for _, v := range vals {
+		if v.CopyDst < 0 {
+			producers[v.Def] = true
+		}
+		if v.End < v.Start {
+			t.Errorf("value of op %d has negative span", v.Def)
+		}
+	}
+	for op := 0; op < g.NumOps(); op++ {
+		cls := g.Op(op).Class
+		if cls == isa.Store || cls == isa.BranchCtrl {
+			if producers[op] {
+				t.Errorf("op %d (%s) should not produce a value", op, cls)
+			}
+			continue
+		}
+		if !producers[op] {
+			t.Errorf("op %d (%s) missing its value", op, cls)
+		}
+	}
+	// One replica per copy.
+	replicas := 0
+	for _, v := range vals {
+		if v.CopyDst >= 0 {
+			replicas++
+		}
+	}
+	if replicas != len(s.Copies) {
+		t.Errorf("replicas = %d, copies = %d", replicas, len(s.Copies))
+	}
+}
+
+func TestVerifyCatchesCollisions(t *testing.T) {
+	s := schedule(t, ddg.FIRFilter("fir", 8), hetConfig(1))
+	a, err := Allocate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force two same-cluster values onto the same register.
+	var x, y = -1, -1
+	for i, v := range a.Values {
+		for j := i + 1; j < len(a.Values); j++ {
+			w := a.Values[j]
+			if v.Cluster == w.Cluster && a.Reg[i] != a.Reg[j] &&
+				overlapModulo(v, w, s.II[v.Cluster]) {
+				x, y = i, j
+				break
+			}
+		}
+		if x >= 0 {
+			break
+		}
+	}
+	if x < 0 {
+		t.Skip("no overlapping pair found in this schedule")
+	}
+	a.Reg[y] = a.Reg[x]
+	if err := a.Verify(s); err == nil {
+		t.Error("collision not detected")
+	}
+}
+
+func overlapModulo(v, w Value, ii int) bool {
+	// Conservative: same kernel slot occupied by both at wrap 0.
+	for c := v.Start; c <= v.End && c < v.Start+ii; c++ {
+		for d := w.Start; d <= w.End && d < w.Start+ii; d++ {
+			if c%ii == d%ii && (c-v.Start)/ii == 0 && (d-w.Start)/ii == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestAllocateFuzz allocates registers for many random scheduled loops;
+// every allocation must verify and fit the files.
+func TestAllocateFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	classes := []isa.Class{isa.IntALU, isa.FPALU, isa.FPMul, isa.Load, isa.Store}
+	allocated := 0
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(12)
+		g := ddg.New("f")
+		for i := 0; i < n; i++ {
+			g.AddOp(classes[rng.Intn(len(classes))], "")
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.25 {
+					g.AddDep(i, j, 0)
+				}
+			}
+		}
+		if rng.Float64() < 0.5 {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a < b {
+				g.AddDep(b, a, 1)
+			}
+		}
+		cfg := hetConfig(1 + rng.Intn(2))
+		cost := partition.DefaultCost(4)
+		cost.DeltaCluster = []float64{1, 0.6, 0.6, 0.6}
+		cost.Iterations = 50
+		res, err := core.ScheduleLoop(g, cfg, cost, core.Options{
+			Partition: partition.Options{EnergyAware: true},
+		})
+		if err != nil {
+			continue
+		}
+		a, err := Allocate(res.Schedule)
+		if err != nil {
+			// Wrap-around fragmentation can exceed the file; must be rare.
+			t.Logf("trial %d: %v", trial, err)
+			continue
+		}
+		allocated++
+		if err := a.Verify(res.Schedule); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+	if allocated < 30 {
+		t.Errorf("only %d/40 loops allocated", allocated)
+	}
+}

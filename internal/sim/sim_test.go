@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+	"repro/internal/partition"
+)
+
+func hetConfig(buses int) *machine.Config {
+	arch := machine.Reference4Cluster(buses)
+	clk := machine.NewClocking(arch, clock.PS(1350), 1.0)
+	clk.MinPeriod[0] = clock.PS(900)
+	clk.MinPeriod[arch.ICN()] = clock.PS(900)
+	clk.MinPeriod[arch.Cache()] = clock.PS(900)
+	return &machine.Config{Arch: arch, Clock: clk}
+}
+
+func schedule(t *testing.T, g *ddg.Graph, cfg *machine.Config) *core.Result {
+	t.Helper()
+	cost := partition.DefaultCost(cfg.Arch.NumClusters())
+	res, err := core.ScheduleLoop(g, cfg, cost, core.Options{
+		Partition: partition.Options{EnergyAware: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunHomogeneous(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	res := schedule(t, ddg.FIRFilter("fir", 8), cfg)
+	r, err := Run(res.Schedule, 100, DefaultGenPeriod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Startup != clock.PS(200) {
+		t.Errorf("startup = %v, want 200ps (2 general cycles)", r.Startup)
+	}
+	want := r.Startup + res.Schedule.TexecPs(100)
+	if r.Texec != want {
+		t.Errorf("Texec = %v, want %v", r.Texec, want)
+	}
+	// Event counts: fir8 has 8 loads + 1 store.
+	if r.Counts.MemAccesses != 900 {
+		t.Errorf("mem accesses = %g, want 900", r.Counts.MemAccesses)
+	}
+	totalUnits := 0.0
+	for _, u := range r.Counts.InsUnits {
+		totalUnits += u
+	}
+	wantUnits := res.Schedule.Graph.DynamicEnergyUnits() * 100
+	if math.Abs(totalUnits-wantUnits) > 1e-9 {
+		t.Errorf("instruction units = %g, want %g", totalUnits, wantUnits)
+	}
+	if r.Counts.Comms != float64(res.Schedule.CommCount())*100 {
+		t.Errorf("comms = %g", r.Counts.Comms)
+	}
+	if r.Counts.Seconds != r.Texec.Seconds() {
+		t.Error("seconds mismatch")
+	}
+}
+
+func TestRunHeterogeneous(t *testing.T) {
+	cfg := hetConfig(2)
+	res := schedule(t, ddg.Livermore("lv"), cfg)
+	r, err := Run(res.Schedule, 50, DefaultGenPeriod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CheckedIterations < 3 {
+		t.Errorf("only %d iterations instance-checked", r.CheckedIterations)
+	}
+	if r.Texec <= 0 {
+		t.Error("non-positive Texec")
+	}
+}
+
+func TestRunRejectsBadTripCount(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	res := schedule(t, ddg.Livermore("lv"), cfg)
+	if _, err := Run(res.Schedule, 0, DefaultGenPeriod); err == nil {
+		t.Error("zero iterations must fail")
+	}
+}
+
+// TestValidateCatchesTampering corrupts schedules in targeted ways and
+// expects the validator to object.
+func TestValidateCatchesTampering(t *testing.T) {
+	cfg := hetConfig(1)
+	base := schedule(t, ddg.FIRFilter("fir", 6), cfg)
+
+	tamper := func(name string, mutate func(*modsched.Schedule), wantSub string) {
+		t.Helper()
+		s := cloneSchedule(base)
+		mutate(s)
+		err := Validate(s)
+		if err == nil {
+			t.Errorf("%s: tampering not detected", name)
+			return
+		}
+		if wantSub != "" && !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%s: error %q does not mention %q", name, err, wantSub)
+		}
+	}
+
+	// Find an op with a predecessor to violate a dependence.
+	g := base.Schedule.Graph
+	victim := -1
+	for _, e := range g.Edges() {
+		if e.Dist == 0 {
+			victim = e.To
+			break
+		}
+	}
+	if victim >= 0 {
+		tamper("dependence", func(s *modsched.Schedule) {
+			s.Cycle[victim] = 0
+			// Move its producer very late.
+			for _, ei := range g.InEdges(victim) {
+				e := g.Edge(ei)
+				if e.Dist == 0 {
+					s.Cycle[e.From] = s.II[s.Assign[e.From]] * 50
+				}
+			}
+		}, "")
+	}
+	tamper("pressure", func(s *modsched.Schedule) {
+		s.MaxLive[0] = 999
+	}, "register pressure")
+	tamper("missing copy", func(s *modsched.Schedule) {
+		if len(s.Copies) > 0 {
+			s.Copies = s.Copies[:0]
+		} else {
+			// ensure at least one cross edge exists: force op 0 away
+			s.Assign[0] = (s.Assign[0] + 1) % 4
+		}
+	}, "")
+}
+
+func cloneSchedule(r *core.Result) *modsched.Schedule {
+	s := *r.Schedule
+	s.Cycle = append([]int(nil), r.Schedule.Cycle...)
+	s.Assign = append([]int(nil), r.Schedule.Assign...)
+	s.Copies = append([]modsched.Copy(nil), r.Schedule.Copies...)
+	s.MaxLive = append([]int(nil), r.Schedule.MaxLive...)
+	s.II = append([]int(nil), r.Schedule.II...)
+	return &s
+}
+
+// TestFuzzAgainstCore schedules random loops and simulates them; Run must
+// accept every scheduler-produced schedule.
+func TestFuzzAgainstCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	classes := []isa.Class{isa.IntALU, isa.FPALU, isa.FPMul, isa.Load, isa.Store}
+	cost := partition.CostParams{
+		DeltaCluster: []float64{1, 0.6, 0.6, 0.6},
+		DeltaICN:     1, DeltaCache: 1,
+		EIns: 1, EComm: 1, EAccess: 1,
+		Iterations: 64,
+	}
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(12)
+		g := ddg.New("f")
+		for i := 0; i < n; i++ {
+			g.AddOp(classes[rng.Intn(len(classes))], "")
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.25 {
+					g.AddDep(i, j, 0)
+				}
+			}
+		}
+		if rng.Float64() < 0.5 {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a < b {
+				g.AddDep(b, a, 1)
+			}
+		}
+		cfg := hetConfig(1 + rng.Intn(2))
+		res, err := core.ScheduleLoop(g, cfg, cost, core.Options{
+			Partition: partition.Options{EnergyAware: true},
+		})
+		if err != nil {
+			continue
+		}
+		if _, err := Run(res.Schedule, int64(1+rng.Intn(200)), DefaultGenPeriod); err != nil {
+			t.Fatalf("trial %d: simulator rejected scheduler output: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/modsched"
+)
+
+// TraceEvent is one operation instance in a chronological execution trace.
+type TraceEvent struct {
+	// Op is the op id, or -1 for a bus copy.
+	Op int
+	// CopyIdx indexes Schedule.Copies when Op == -1.
+	CopyIdx int
+	// Iteration is the instance's iteration number.
+	Iteration int64
+	// Domain is the executing clock domain.
+	Domain int
+	// StartNum/StartDen encode the exact start time StartNum/StartDen in
+	// units of IT (cross-multiplied rationals; no rounding).
+	StartNum, StartDen int64
+}
+
+// StartPs returns the (rounded) start time in picoseconds.
+func (e TraceEvent) StartPs(it int64) int64 {
+	return e.StartNum * it / e.StartDen
+}
+
+// Trace expands the first `iters` iterations of the schedule into a
+// chronologically sorted event list — the view an engineer would get from
+// a waveform of the multi-clock-domain machine. The schedule must already
+// validate (callers typically run Run first).
+func Trace(s *modsched.Schedule, iters int64) ([]TraceEvent, error) {
+	if iters < 1 {
+		return nil, fmt.Errorf("sim: trace needs at least one iteration")
+	}
+	if err := Validate(s); err != nil {
+		return nil, err
+	}
+	icn := int(s.Arch.ICN())
+	var evs []TraceEvent
+	for i := int64(0); i < iters; i++ {
+		for op := 0; op < s.Graph.NumOps(); op++ {
+			d := s.Assign[op]
+			ii := int64(s.II[d])
+			evs = append(evs, TraceEvent{
+				Op: op, CopyIdx: -1, Iteration: i, Domain: d,
+				StartNum: i*ii + int64(s.Cycle[op]), StartDen: ii,
+			})
+		}
+		for ci, cp := range s.Copies {
+			ii := int64(s.II[icn])
+			evs = append(evs, TraceEvent{
+				Op: -1, CopyIdx: ci, Iteration: i, Domain: icn,
+				StartNum: i*ii + int64(cp.Cycle), StartDen: ii,
+			})
+		}
+	}
+	sort.SliceStable(evs, func(a, b int) bool {
+		l, r := evs[a], evs[b]
+		if c := l.StartNum*r.StartDen - r.StartNum*l.StartDen; c != 0 {
+			return c < 0
+		}
+		if l.Domain != r.Domain {
+			return l.Domain < r.Domain
+		}
+		return l.Op < r.Op
+	})
+	return evs, nil
+}
+
+// FormatTrace renders a trace with picosecond timestamps.
+func FormatTrace(s *modsched.Schedule, evs []TraceEvent) string {
+	var b strings.Builder
+	for _, e := range evs {
+		ps := e.StartPs(int64(s.IT))
+		if e.Op >= 0 {
+			o := s.Graph.Op(e.Op)
+			name := o.Name
+			if name == "" {
+				name = fmt.Sprintf("op%d", e.Op)
+			}
+			fmt.Fprintf(&b, "%8dps  iter %-3d %-5s %-10s %s\n",
+				ps, e.Iteration, s.Arch.DomainName(machine.DomainID(e.Domain)),
+				name, o.Class)
+		} else {
+			cp := s.Copies[e.CopyIdx]
+			fmt.Fprintf(&b, "%8dps  iter %-3d %-5s copy op%d → C%d (bus %d)\n",
+				ps, e.Iteration, "ICN", cp.Val, cp.Dst+1, cp.Bus)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+func TestTraceChronological(t *testing.T) {
+	cfg := hetConfig(1)
+	res := schedule(t, ddg.Livermore("lv"), cfg)
+	evs, err := Trace(res.Schedule, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEvents := 4 * (res.Schedule.Graph.NumOps() + len(res.Schedule.Copies))
+	if len(evs) != wantEvents {
+		t.Fatalf("trace has %d events, want %d", len(evs), wantEvents)
+	}
+	// Monotone non-decreasing times.
+	for i := 1; i < len(evs); i++ {
+		l, r := evs[i-1], evs[i]
+		if l.StartNum*r.StartDen > r.StartNum*l.StartDen {
+			t.Fatalf("trace out of order at %d", i)
+		}
+	}
+	// Every iteration of every op appears exactly once.
+	seen := map[[2]int64]int{}
+	for _, e := range evs {
+		if e.Op >= 0 {
+			seen[[2]int64{int64(e.Op), e.Iteration}]++
+		}
+	}
+	for op := 0; op < res.Schedule.Graph.NumOps(); op++ {
+		for i := int64(0); i < 4; i++ {
+			if seen[[2]int64{int64(op), i}] != 1 {
+				t.Errorf("op %d iteration %d appears %d times", op, i,
+					seen[[2]int64{int64(op), i}])
+			}
+		}
+	}
+	out := FormatTrace(res.Schedule, evs)
+	if !strings.Contains(out, "iter") || !strings.Contains(out, "ps") {
+		t.Error("trace formatting broken")
+	}
+	if len(res.Schedule.Copies) > 0 && !strings.Contains(out, "copy") {
+		t.Error("trace should show copies")
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	res := schedule(t, ddg.Livermore("lv"), cfg)
+	if _, err := Trace(res.Schedule, 0); err == nil {
+		t.Error("zero iterations must fail")
+	}
+	bad := cloneSchedule(res)
+	bad.MaxLive[0] = 999
+	if _, err := Trace(bad, 2); err == nil {
+		t.Error("invalid schedule must fail")
+	}
+}
