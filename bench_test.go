@@ -7,9 +7,11 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/confsel"
 	"repro/internal/core"
 	"repro/internal/ddg"
 	"repro/internal/experiments"
+	"repro/internal/explore"
 	"repro/internal/loopgen"
 	"repro/internal/machine"
 	"repro/internal/partition"
@@ -99,6 +101,75 @@ func BenchmarkAblationPartitioner(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
 		if _, err := s.Ablation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ----------------------------------------------------------------- engine
+
+// exploreRefs builds a small reference set once for the engine benchmarks.
+func exploreRefs(b *testing.B, eng *explore.Engine) ([]*pipeline.Reference, pipeline.Options) {
+	b.Helper()
+	opts := pipeline.Options{
+		Buses: 1, LoopsPerBenchmark: 6, EnergyAware: true, Engine: eng,
+	}
+	var refs []*pipeline.Reference
+	for _, name := range []string{"sixtrack", "swim", "applu", "lucas"} {
+		ref, err := pipeline.BuildReference(name, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs = append(refs, ref)
+	}
+	return refs, opts
+}
+
+// BenchmarkExploreColdCache measures one full design-space evaluation on
+// a fresh engine each iteration: every candidate and loop is scheduled
+// from scratch.
+func BenchmarkExploreColdCache(b *testing.B) {
+	refs, _ := exploreRefs(b, explore.New(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := explore.New(0)
+		opts := pipeline.Options{Buses: 1, LoopsPerBenchmark: 6, EnergyAware: true, Engine: eng}
+		if _, err := pipeline.EvaluateSuite(refs, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExploreWarmCache measures the same evaluation against a primed
+// engine: every design point is served from the content-addressed cache,
+// which is the steady state of a long sensitivity-study session. The gap
+// to BenchmarkExploreColdCache is the memoisation speedup.
+func BenchmarkExploreWarmCache(b *testing.B) {
+	eng := explore.New(0)
+	refs, opts := exploreRefs(b, eng)
+	if _, err := pipeline.EvaluateSuite(refs, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.EvaluateSuite(refs, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExploreDenseGrid sweeps the ~8× denser scenario grid on a
+// shared engine — the workload the engine exists for: candidates overlap
+// heavily in their per-loop analyses, so the denser grid costs far less
+// than 8× the paper grid.
+func BenchmarkExploreDenseGrid(b *testing.B) {
+	eng := explore.New(0)
+	refs, opts := exploreRefs(b, eng)
+	sp := confsel.DenseSpace()
+	opts.Space = &sp
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.EvaluateSuite(refs, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

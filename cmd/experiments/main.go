@@ -4,6 +4,8 @@
 //	experiments                    # everything, default corpus size
 //	experiments -loops 60          # bigger corpus
 //	experiments -only fig6,table2  # a subset
+//	experiments -dense             # ~8× denser design-space grid
+//	experiments -cachestats        # exploration-cache hit/miss report
 //
 // Artifacts: table1, table2, fig6, fig7, fig8, fig9, ablation.
 package main
@@ -15,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/confsel"
 	"repro/internal/experiments"
 	"repro/internal/pipeline"
 )
@@ -23,6 +26,8 @@ func main() {
 	loops := flag.Int("loops", 40, "loops per benchmark in the synthetic corpus")
 	only := flag.String("only", "", "comma-separated subset: table1,table2,fig6,fig7,fig8,fig9,numfast,ablation")
 	par := flag.Int("par", 0, "worker parallelism (0 = NumCPU)")
+	dense := flag.Bool("dense", false, "sweep the dense design-space grid (confsel.DenseSpace) instead of the paper's Table 2 grid")
+	cachestats := flag.Bool("cachestats", false, "print the exploration engine's cache statistics on exit")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -33,10 +38,15 @@ func main() {
 	}
 	enabled := func(k string) bool { return len(want) == 0 || want[k] }
 
-	suite := experiments.New(pipeline.Options{
+	popts := pipeline.Options{
 		LoopsPerBenchmark: *loops,
 		Parallelism:       *par,
-	})
+	}
+	if *dense {
+		sp := confsel.DenseSpace()
+		popts.Space = &sp
+	}
+	suite := experiments.New(popts)
 	start := time.Now()
 
 	if enabled("table1") {
@@ -76,6 +86,16 @@ func main() {
 		rows, err := suite.Ablation()
 		exitOn(err)
 		fmt.Println(experiments.FormatAblation(rows))
+	}
+	if *cachestats {
+		st := suite.CacheStats()
+		total := st.Hits + st.Misses
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(st.Hits) / float64(total)
+		}
+		fmt.Printf("exploration cache: %d hits / %d misses (%.1f%% hit rate), %d entries\n",
+			st.Hits, st.Misses, pct, st.Entries)
 	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
 }

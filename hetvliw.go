@@ -35,9 +35,11 @@ package repro
 
 import (
 	"repro/internal/clock"
+	"repro/internal/confsel"
 	"repro/internal/core"
 	"repro/internal/ddg"
 	"repro/internal/emit"
+	"repro/internal/explore"
 	"repro/internal/isa"
 	"repro/internal/loopgen"
 	"repro/internal/machine"
@@ -72,7 +74,34 @@ type (
 	Picos = clock.Picos
 	// RegisterAssignment maps kernel values to physical registers.
 	RegisterAssignment = regalloc.Assignment
+	// ExploreEngine is the parallel, memoised design-space exploration
+	// engine: a bounded worker pool plus a content-addressed result cache
+	// shared by the configuration selectors and the evaluation pipeline.
+	ExploreEngine = explore.Engine
+	// ExploreStats reports an engine's cache hit/miss/entry counters.
+	ExploreStats = explore.CacheStats
+	// DesignSpace is the explored configuration grid (frequencies,
+	// slow/fast ratios, voltage ranges).
+	DesignSpace = confsel.Space
+	// SuiteResult is a suite-wide evaluation outcome against one shared
+	// homogeneous baseline.
+	SuiteResult = pipeline.SuiteResult
 )
+
+// NewExploreEngine returns an exploration engine bounded to the given
+// worker-pool size (<= 0 selects NumCPU). Share one engine across every
+// evaluation of a session — PipelineOptions.Engine — so overlapping
+// design points (same loop, machine and clocking) are scheduled once and
+// served from cache thereafter; results are byte-identical at every
+// parallelism level.
+func NewExploreEngine(parallelism int) *ExploreEngine { return explore.New(parallelism) }
+
+// DefaultDesignSpace returns the paper's Section 5 design-space grid.
+func DefaultDesignSpace() DesignSpace { return confsel.DefaultSpace() }
+
+// DenseDesignSpace returns a grid ~8× denser than the paper's — the
+// larger scenario space the memoised exploration engine makes affordable.
+func DenseDesignSpace() DesignSpace { return confsel.DenseSpace() }
 
 // Operation classes (Table 1 of the paper).
 const (
@@ -179,4 +208,12 @@ func GenerateBenchmark(name string, loops int) (Benchmark, error) {
 // heterogeneous scheduling and ED² comparison.
 func RunBenchmark(name string, opts PipelineOptions) (*BenchmarkResult, error) {
 	return pipeline.RunBenchmark(name, opts)
+}
+
+// RunSuite evaluates every corpus benchmark. Set opts.Engine (see
+// NewExploreEngine) to share scheduling work across benchmarks and with
+// later evaluations; set opts.Space to DenseDesignSpace() to sweep the
+// denser grid.
+func RunSuite(opts PipelineOptions) ([]*BenchmarkResult, error) {
+	return pipeline.RunSuite(opts)
 }

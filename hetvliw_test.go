@@ -102,6 +102,31 @@ func TestFacadePipeline(t *testing.T) {
 	}
 }
 
+func TestFacadeExploreEngine(t *testing.T) {
+	def, dense := DefaultDesignSpace(), DenseDesignSpace()
+	if got, want := len(dense.FastFactors)*len(dense.SlowRatios),
+		len(def.FastFactors)*len(def.SlowRatios); got <= want {
+		t.Errorf("dense grid has %d candidates, not denser than default %d", got, want)
+	}
+	eng := NewExploreEngine(2)
+	opts := PipelineOptions{LoopsPerBenchmark: 6, EnergyAware: true, Engine: eng}
+	a, err := RunBenchmark("sixtrack", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBenchmark("sixtrack", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Het.ED2 != b.Het.ED2 || a.ED2Ratio != b.ED2Ratio {
+		t.Errorf("shared engine changed results: %+v vs %+v", a.Het, b.Het)
+	}
+	st := eng.Stats()
+	if st.Misses == 0 || st.Hits == 0 {
+		t.Errorf("engine cache unexercised across repeated runs: %+v", st)
+	}
+}
+
 func TestFacadeReferenceMachine(t *testing.T) {
 	cfg := ReferenceMachine(2)
 	if cfg.Arch.Buses != 2 || cfg.Arch.NumClusters() != 4 {

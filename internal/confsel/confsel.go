@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/ddg"
+	"repro/internal/explore"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/mii"
@@ -125,6 +126,60 @@ func DefaultSpace() Space {
 	}
 }
 
+// DenseSpace returns a scenario grid substantially finer than the paper's
+// Table 2 defaults: fast factors in steps of 0.025 over [0.85, 1.15] and
+// slow/fast ratios in steps of 0.05 over [1.0, 1.6] — 169 heterogeneous
+// candidates per benchmark instead of 20, plus a finer homogeneous sweep.
+// The exploration engine's memoisation keeps the denser grid affordable:
+// every candidate reuses the per-loop MIT analyses its neighbours already
+// computed where they coincide, and revisited design points are free.
+func DenseSpace() Space {
+	s := DefaultSpace()
+	s.FastFactors = gridSteps(0.85, 1.15, 0.025)
+	s.SlowRatios = gridSteps(1.00, 1.60, 0.05)
+	s.HomFactors = gridSteps(0.80, 1.50, 0.025)
+	return s
+}
+
+// gridSteps returns {lo, lo+step, …, hi} (inclusive, tolerant of float
+// drift).
+func gridSteps(lo, hi, step float64) []float64 {
+	var out []float64
+	for i := 0; ; i++ {
+		v := lo + float64(i)*step
+		if v > hi+step/2 {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+// computeMIT is the engine-memoised front of mii.Compute. The key covers
+// exactly what the analysis reads: the loop DDG, the machine structure,
+// the per-domain minimum periods and the optional demand bounds — not the
+// voltages or frequency ladders, so candidates that differ only in those
+// share one cache line.
+func computeMIT(eng *explore.Engine, g *ddg.Graph, arch *machine.Arch,
+	clk *machine.Clocking, extra *mii.Demand) (mii.Result, error) {
+	if eng == nil {
+		return mii.Compute(g, arch, clk, extra)
+	}
+	d := explore.NewDigest("mit")
+	d.Str(string(eng.GraphFingerprint(g)))
+	explore.ArchDigest(d, arch)
+	for _, p := range clk.MinPeriod {
+		d.Int(int64(p))
+	}
+	if extra != nil {
+		d.Int(1, int64(extra.Comms), int64(extra.LifetimeCycles), int64(extra.LifetimePeriod))
+	} else {
+		d.Int(0)
+	}
+	return explore.Memoize(eng, d.Key(), func() (mii.Result, error) {
+		return mii.Compute(g, arch, clk, extra)
+	})
+}
+
 // Estimate is a model-predicted configuration outcome.
 type Estimate struct {
 	// Seconds is the estimated execution time D.
@@ -156,16 +211,16 @@ func BuildHetClocking(arch *machine.Arch, fastPeriod, slowPeriod clock.Picos, nu
 // schedule's communications and enough register slots for its lifetimes;
 // it_length is the homogeneous iteration length scaled by the mean cluster
 // cycle time.
-func estimateD(arch *machine.Arch, clk *machine.Clocking, prof *Profile) (float64, error) {
+func estimateD(eng *explore.Engine, arch *machine.Arch, clk *machine.Clocking, prof *Profile) (float64, error) {
 	meanTau := clk.MeanClusterPeriodNanos(arch) * 1000 // ps
 	total := 0.0
 	for i := range prof.Loops {
 		lp := &prof.Loops[i]
-		plain, err := mii.Compute(lp.Graph, arch, clk, nil)
+		plain, err := computeMIT(eng, lp.Graph, arch, clk, nil)
 		if err != nil {
 			return 0, err
 		}
-		demand, err := mii.Compute(lp.Graph, arch, clk, &mii.Demand{
+		demand, err := computeMIT(eng, lp.Graph, arch, clk, &mii.Demand{
 			Comms:          lp.CommsHom,
 			LifetimeCycles: lp.LifetimeCycles,
 			LifetimePeriod: clock.Picos(int64(meanTau)),
@@ -286,11 +341,11 @@ func loopShares(arch *machine.Arch, clk *machine.Clocking, lp *LoopProfile, it c
 // optimization: loads[c] for clusters (instruction units), the ICN's
 // communication count and the cache's access count are returned
 // separately.
-func domainLoads(arch *machine.Arch, clk *machine.Clocking, prof *Profile) (clusterUnits []float64, comms, mems float64, err error) {
+func domainLoads(eng *explore.Engine, arch *machine.Arch, clk *machine.Clocking, prof *Profile) (clusterUnits []float64, comms, mems float64, err error) {
 	clusterUnits = make([]float64, arch.NumClusters())
 	for i := range prof.Loops {
 		lp := &prof.Loops[i]
-		res, cerr := mii.Compute(lp.Graph, arch, clk, nil)
+		res, cerr := computeMIT(eng, lp.Graph, arch, clk, nil)
 		if cerr != nil {
 			return nil, 0, 0, cerr
 		}
@@ -380,45 +435,88 @@ type Selection struct {
 	FastPeriod, SlowPeriod clock.Picos
 }
 
+// hetCandidate is one point of the heterogeneous design space.
+type hetCandidate struct {
+	fast, slow clock.Picos
+}
+
+// hetCandidates enumerates the (fast period, slow period) grid in the
+// paper's sweep order (fast factors outer, slow ratios inner), which is
+// also the deterministic tie-breaking order of the selection.
+func (s Space) hetCandidates() []hetCandidate {
+	out := make([]hetCandidate, 0, len(s.FastFactors)*len(s.SlowRatios))
+	for _, ff := range s.FastFactors {
+		fast := clock.Picos(math.Round(ff * float64(machine.ReferencePeriod)))
+		for _, sr := range s.SlowRatios {
+			slow := clock.Picos(math.Round(float64(fast) * sr))
+			out = append(out, hetCandidate{fast: fast, slow: slow})
+		}
+	}
+	return out
+}
+
 // SelectHeterogeneous explores the design space and returns the candidate
-// minimizing estimated ED².
+// minimizing estimated ED², using a private exploration engine.
 func SelectHeterogeneous(arch *machine.Arch, prof *Profile, cal *power.Calibration,
 	model *power.AlphaModel, space Space) (*Selection, error) {
+	return SelectHeterogeneousEx(nil, arch, prof, cal, model, space)
+}
+
+// SelectHeterogeneousEx is SelectHeterogeneous routed through an
+// exploration engine: candidates are evaluated concurrently on the
+// engine's worker pool, per-loop MIT analyses are memoised in its cache
+// (shared across candidates, benchmarks and repeated studies), and the
+// reduction scans candidates in grid order so the result is identical at
+// every parallelism level. eng == nil builds a fresh default engine.
+func SelectHeterogeneousEx(eng *explore.Engine, arch *machine.Arch, prof *Profile,
+	cal *power.Calibration, model *power.AlphaModel, space Space) (*Selection, error) {
+	if eng == nil {
+		eng = explore.New(0)
+	}
+	cands := space.hetCandidates()
+	sels := explore.Map(eng, len(cands), func(i int) *Selection {
+		return evalHetCandidate(eng, arch, prof, cal, model, space, cands[i])
+	})
 	var best *Selection
-	for _, ff := range space.FastFactors {
-		fast := clock.Picos(math.Round(ff * float64(machine.ReferencePeriod)))
-		for _, sr := range space.SlowRatios {
-			slow := clock.Picos(math.Round(float64(fast) * sr))
-			clk := BuildHetClocking(arch, fast, slow, space.NumFast)
-			d, err := estimateD(arch, clk, prof)
-			if err != nil {
-				continue // infeasible candidate (e.g. resource starvation)
-			}
-			clusterUnits, comms, mems, err := domainLoads(arch, clk, prof)
-			if err != nil {
-				continue
-			}
-			ds, err := OptimizeVoltages(arch, clk, model, cal, space, clusterUnits, comms, mems, d)
-			if err != nil {
-				continue
-			}
-			e := estimateE(arch, cal, ds, clusterUnits, comms, mems, d)
-			ed2 := power.ED2(e, d)
-			if best == nil || ed2 < best.Estimate.ED2 {
-				best = &Selection{
-					Clock:      clk,
-					Scales:     ds,
-					Estimate:   Estimate{Seconds: d, Energy: e, ED2: ed2},
-					FastPeriod: fast,
-					SlowPeriod: slow,
-				}
-			}
+	for _, s := range sels {
+		if s == nil {
+			continue // infeasible candidate (e.g. resource starvation)
+		}
+		if best == nil || s.Estimate.ED2 < best.Estimate.ED2 {
+			best = s
 		}
 	}
 	if best == nil {
 		return nil, fmt.Errorf("confsel: no feasible heterogeneous configuration for %s", prof.Name)
 	}
 	return best, nil
+}
+
+// evalHetCandidate prices one design point with the Section 3 models,
+// returning nil when the candidate is infeasible.
+func evalHetCandidate(eng *explore.Engine, arch *machine.Arch, prof *Profile,
+	cal *power.Calibration, model *power.AlphaModel, space Space, c hetCandidate) *Selection {
+	clk := BuildHetClocking(arch, c.fast, c.slow, space.NumFast)
+	d, err := estimateD(eng, arch, clk, prof)
+	if err != nil {
+		return nil
+	}
+	clusterUnits, comms, mems, err := domainLoads(eng, arch, clk, prof)
+	if err != nil {
+		return nil
+	}
+	ds, err := OptimizeVoltages(arch, clk, model, cal, space, clusterUnits, comms, mems, d)
+	if err != nil {
+		return nil
+	}
+	e := estimateE(arch, cal, ds, clusterUnits, comms, mems, d)
+	return &Selection{
+		Clock:      clk,
+		Scales:     ds,
+		Estimate:   Estimate{Seconds: d, Energy: e, ED2: power.ED2(e, d)},
+		FastPeriod: c.fast,
+		SlowPeriod: c.slow,
+	}
 }
 
 // OptimumHomogeneous sweeps a single chip-wide frequency AND a single
@@ -429,14 +527,26 @@ func SelectHeterogeneous(arch *machine.Arch, prof *Profile, cal *power.Calibrati
 // reference per-cluster instruction counts apply.
 func OptimumHomogeneous(arch *machine.Arch, prof *Profile, cal *power.Calibration,
 	model *power.AlphaModel, space Space) (*Selection, error) {
+	return OptimumHomogeneousEx(nil, arch, prof, cal, model, space)
+}
 
+// OptimumHomogeneousEx is OptimumHomogeneous with the frequency sweep
+// sharded across an exploration engine's worker pool: each chip-wide
+// cycle time evaluates its voltage ladder independently, and the
+// frequency-ordered reduction keeps the winner identical at every
+// parallelism level. eng == nil builds a fresh default engine.
+func OptimumHomogeneousEx(eng *explore.Engine, arch *machine.Arch, prof *Profile,
+	cal *power.Calibration, model *power.AlphaModel, space Space) (*Selection, error) {
+	if eng == nil {
+		eng = explore.New(0)
+	}
 	// Reference cycle totals: D(τ) = refSeconds · τ/τ0.
 	refSeconds := prof.RefCounts.Seconds
-	var best *Selection
-	for _, hf := range space.HomFactors {
-		tau := clock.Picos(math.Round(hf * float64(machine.ReferencePeriod)))
+	sels := explore.Map(eng, len(space.HomFactors), func(i int) *Selection {
+		tau := clock.Picos(math.Round(space.HomFactors[i] * float64(machine.ReferencePeriod)))
 		d := refSeconds * float64(tau) / float64(machine.ReferencePeriod)
 		clusterUnits := append([]float64(nil), prof.RefCounts.InsUnits...)
+		var best *Selection
 		for v := space.ClusterVdd[0]; v <= space.ClusterVdd[1]+1e-9; v += space.VddStep {
 			vth, err := model.VthForPeriod(tau, v)
 			if err != nil {
@@ -464,6 +574,16 @@ func OptimumHomogeneous(arch *machine.Arch, prof *Profile, cal *power.Calibratio
 					SlowPeriod: tau,
 				}
 			}
+		}
+		return best
+	})
+	var best *Selection
+	for _, s := range sels {
+		if s == nil {
+			continue
+		}
+		if best == nil || s.Estimate.ED2 < best.Estimate.ED2 {
+			best = s
 		}
 	}
 	if best == nil {

@@ -186,7 +186,7 @@ func TestEstimateDUniformIsExact(t *testing.T) {
 	arch := machine.Reference4Cluster(1)
 	prof := testProfile(arch)
 	clk := machine.NewClocking(arch, machine.ReferencePeriod, 1.0)
-	d, err := estimateD(arch, clk, prof)
+	d, err := estimateD(nil, arch, clk, prof)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/confsel"
+	"repro/internal/explore"
 	"repro/internal/isa"
 	"repro/internal/loopgen"
 	"repro/internal/pipeline"
@@ -31,18 +32,32 @@ import (
 // the import local to the studies that override it).
 func confselDefaultSpace() confsel.Space { return confsel.DefaultSpace() }
 
-// Suite caches per-bus references and runs the experiments.
+// Suite caches per-bus references and runs the experiments. All studies
+// share one exploration engine, so design points revisited across figures
+// — e.g. the unconstrained-frequency row of Figure 7, which is exactly
+// Figure 6, or the ED²-aware arm of the ablation — are served from the
+// engine's content-addressed cache instead of being re-scheduled.
 type Suite struct {
 	opts pipeline.Options
+	eng  *explore.Engine
 
 	mu   sync.Mutex
 	refs map[int][]*pipeline.Reference
 }
 
 // New creates a Suite; opts.Buses is ignored (each experiment sets it).
+// opts.Engine, if nil, is replaced by a fresh engine shared by every
+// study the Suite runs.
 func New(opts pipeline.Options) *Suite {
-	return &Suite{opts: opts, refs: make(map[int][]*pipeline.Reference)}
+	if opts.Engine == nil {
+		opts.Engine = explore.New(opts.Parallelism)
+	}
+	return &Suite{opts: opts, eng: opts.Engine, refs: make(map[int][]*pipeline.Reference)}
 }
+
+// CacheStats reports the shared engine's memoisation counters — the
+// observable form of the cross-study sharing described above.
+func (s *Suite) CacheStats() explore.CacheStats { return s.eng.Stats() }
 
 // references builds (or returns cached) reference runs for a bus count.
 func (s *Suite) references(buses int) ([]*pipeline.Reference, error) {
@@ -330,6 +345,9 @@ func (s *Suite) NumFastStudy() ([]NumFastRow, error) {
 		for bi, buses := range []int{1, 2} {
 			sr, err := s.evaluate(buses, func(o *pipeline.Options) {
 				sp := confselDefaultSpace()
+				if o.Space != nil {
+					sp = *o.Space // layer onto the configured (e.g. dense) grid
+				}
 				sp.NumFast = nf
 				o.Space = &sp
 			})

@@ -3,14 +3,20 @@ package experiments
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/pipeline"
 )
 
-func smallSuite() *Suite {
+// smallSuite is shared across all tests in this package: every study is a
+// pure function of the suite's options, and sharing the suite (hence its
+// reference runs and exploration-engine cache) is exactly the workload
+// the memoised engine is designed for — each overlapping design point is
+// scheduled once no matter how many figures revisit it.
+var smallSuite = sync.OnceValue(func() *Suite {
 	return New(pipeline.Options{LoopsPerBenchmark: 8})
-}
+})
 
 func TestTable1String(t *testing.T) {
 	s := Table1String()
@@ -187,6 +193,32 @@ func TestFigure9Insensitivity(t *testing.T) {
 	}
 	if out := FormatFig9(rows); !strings.Contains(out, "leakage") {
 		t.Error("Figure 9 formatting broken")
+	}
+}
+
+// TestCacheSharing: studies overlap in design points (the ED²-aware arm
+// of the ablation is exactly the 1-bus Figure 6 evaluation), so after any
+// study has run, the shared engine must report cache traffic — and a
+// repeated study must add no misses.
+func TestCacheSharing(t *testing.T) {
+	s := smallSuite()
+	if _, err := s.Ablation(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.CacheStats()
+	if before.Misses == 0 || before.Hits == 0 {
+		t.Fatalf("engine unused after a full study: %+v", before)
+	}
+	if _, err := s.Ablation(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.CacheStats()
+	if after.Misses != before.Misses {
+		t.Errorf("repeating a study added %d cache misses; all its design points should hit",
+			after.Misses-before.Misses)
+	}
+	if after.Hits <= before.Hits {
+		t.Error("repeating a study produced no cache hits")
 	}
 }
 

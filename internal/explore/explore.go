@@ -1,0 +1,157 @@
+// Package explore is the design-space exploration engine behind the
+// paper's Section 5 evaluation: every candidate clustered-VLIW
+// configuration must re-estimate (and, for the winner, re-schedule and
+// re-simulate) the whole loop corpus, and the interesting design spaces
+// are far larger than the paper's Table 2 grid. The engine makes that
+// sweep cheap in two orthogonal ways:
+//
+//   - Sharding: candidate evaluations fan out across a bounded worker
+//     pool (Engine.ForEach / Map), with results reduced in input order so
+//     Parallelism=1 and Parallelism=NumCPU produce byte-identical tables.
+//
+//   - Memoisation: scheduling, simulation and MIT analysis results are
+//     kept in a content-addressed cache keyed by (loop DDG fingerprint,
+//     machine config, clocking, demand/cost inputs). Candidates that
+//     share a homogeneous baseline, differ only in clock domains, or are
+//     revisited by a later sensitivity study never redo identical work.
+//
+// The cache stores only deterministic functions of their key, so hits are
+// indistinguishable from recomputation; the hit/miss counters (Stats)
+// exist to make that claim testable and the speedup measurable.
+package explore
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine couples a bounded worker pool with a content-addressed result
+// cache. The zero value is not usable; construct with New. An Engine is
+// safe for concurrent use and is typically shared across every selector,
+// pipeline run and sensitivity study of one evaluation session, so that
+// overlapping design points are computed once.
+type Engine struct {
+	parallelism int
+	cache       sync.Map // Key -> *entry
+	graphFPs    sync.Map // *ddg.Graph -> Key (see GraphFingerprint)
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+}
+
+// New returns an Engine with the given worker-pool bound; parallelism <= 0
+// selects runtime.NumCPU().
+func New(parallelism int) *Engine {
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	return &Engine{parallelism: parallelism}
+}
+
+// Parallelism returns the worker-pool bound.
+func (e *Engine) Parallelism() int { return e.parallelism }
+
+// CacheStats is a snapshot of the memoisation counters.
+type CacheStats struct {
+	// Hits counts lookups served from the cache (including waits on an
+	// in-flight computation of the same key).
+	Hits uint64
+	// Misses counts lookups that had to compute.
+	Misses uint64
+	// Entries is the number of distinct keys cached.
+	Entries int
+}
+
+// Stats snapshots the cache counters.
+func (e *Engine) Stats() CacheStats {
+	s := CacheStats{Hits: e.hits.Load(), Misses: e.misses.Load()}
+	e.cache.Range(func(any, any) bool { s.Entries++; return true })
+	return s
+}
+
+// entry is a single-flight cache slot: the first goroutine to claim the
+// key computes; everyone else blocks on done and shares the result.
+type entry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// memo returns the cached value for key, computing it with fn on a miss.
+// Concurrent callers with the same key compute once (single-flight).
+// Errors are cached too: the computations routed through the engine are
+// deterministic in their key, so an infeasible design point stays
+// infeasible.
+func (e *Engine) memo(key Key, fn func() (any, error)) (any, error) {
+	if v, ok := e.cache.Load(key); ok {
+		ent := v.(*entry)
+		<-ent.done
+		e.hits.Add(1)
+		return ent.val, ent.err
+	}
+	ent := &entry{done: make(chan struct{})}
+	if v, raced := e.cache.LoadOrStore(key, ent); raced {
+		ent := v.(*entry)
+		<-ent.done
+		e.hits.Add(1)
+		return ent.val, ent.err
+	}
+	e.misses.Add(1)
+	ent.val, ent.err = fn()
+	close(ent.done)
+	return ent.val, ent.err
+}
+
+// Memoize is the typed front of the engine's cache: it returns the value
+// for key, computing it with fn on a miss. All callers of one key must
+// store the same concrete type.
+func Memoize[T any](e *Engine, key Key, fn func() (T, error)) (T, error) {
+	v, err := e.memo(key, func() (any, error) { return fn() })
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to Parallelism() workers.
+// fn must write its result into a caller-owned slot indexed by i; the
+// caller then reduces in index order, which is what keeps the overall
+// computation independent of the parallelism level.
+func (e *Engine) ForEach(n int, fn func(int)) {
+	p := e.parallelism
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Map evaluates fn over [0, n) on the worker pool and returns the results
+// in index order — the deterministic fan-out/reduce primitive used by the
+// configuration selectors.
+func Map[T any](e *Engine, n int, fn func(int) T) []T {
+	out := make([]T, n)
+	e.ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -1,0 +1,156 @@
+package explore
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+func TestMapOrderIndependentOfParallelism(t *testing.T) {
+	square := func(i int) int { return i * i }
+	serial := Map(New(1), 200, square)
+	parallel := Map(New(16), 200, square)
+	for i := range serial {
+		if serial[i] != i*i || parallel[i] != i*i {
+			t.Fatalf("index %d: serial %d parallel %d want %d", i, serial[i], parallel[i], i*i)
+		}
+	}
+}
+
+func TestMemoizeSingleFlight(t *testing.T) {
+	eng := New(8)
+	var computations atomic.Int64
+	var wg sync.WaitGroup
+	const callers = 32
+	results := make([]int, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := Memoize(eng, NewDigest("test").Int(42).Key(), func() (int, error) {
+				computations.Add(1)
+				return 1234, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[c] = v
+		}()
+	}
+	wg.Wait()
+	if n := computations.Load(); n != 1 {
+		t.Errorf("same key computed %d times, want 1 (single-flight)", n)
+	}
+	for c, v := range results {
+		if v != 1234 {
+			t.Errorf("caller %d got %d", c, v)
+		}
+	}
+	st := eng.Stats()
+	if st.Misses != 1 || st.Hits != callers-1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 miss, %d hits, 1 entry", st, callers-1)
+	}
+}
+
+func TestMemoizeCachesErrors(t *testing.T) {
+	eng := New(2)
+	sentinel := errors.New("infeasible")
+	var computations int
+	key := NewDigest("err").Key()
+	for round := 0; round < 3; round++ {
+		_, err := Memoize(eng, key, func() (int, error) {
+			computations++
+			return 0, sentinel
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("round %d: err = %v", round, err)
+		}
+	}
+	if computations != 1 {
+		t.Errorf("failing key recomputed %d times; deterministic errors should cache", computations)
+	}
+}
+
+func TestDigestFieldSeparation(t *testing.T) {
+	// Adjacent variable-length fields must not alias.
+	a := NewDigest("t").Str("ab").Str("c").Key()
+	b := NewDigest("t").Str("a").Str("bc").Key()
+	if a == b {
+		t.Error("string fields alias across boundaries")
+	}
+	if NewDigest("x").Int(1).Key() == NewDigest("y").Int(1).Key() {
+		t.Error("domain tags do not separate keys")
+	}
+	if NewDigest("t").Float(0.0).Key() == NewDigest("t").Float(math.Copysign(0, -1)).Key() {
+		t.Error("float hashing lost the sign bit (content addressing must be by bit pattern)")
+	}
+}
+
+// buildGraph makes a small content-fixed DDG.
+func buildGraph(extraEdge bool) *ddg.Graph {
+	g := ddg.New("fp-test")
+	ld := g.AddOp(isa.Load, "x")
+	add := g.AddOp(isa.FPALU, "acc")
+	g.AddDep(ld, add, 0)
+	g.AddDep(add, add, 1)
+	if extraEdge {
+		g.AddEdge(ddg.Edge{From: ld, To: add, Latency: 1, Dist: 2})
+	}
+	return g
+}
+
+func TestGraphFingerprintContentAddressed(t *testing.T) {
+	a, b := buildGraph(false), buildGraph(false)
+	if GraphFingerprint(a) != GraphFingerprint(b) {
+		t.Error("identical graph content produced different fingerprints")
+	}
+	if GraphFingerprint(a) == GraphFingerprint(buildGraph(true)) {
+		t.Error("extra edge did not change the fingerprint")
+	}
+	// The engine-scoped cache (miss, then pointer hit) agrees with the
+	// uncached computation.
+	eng := New(1)
+	if eng.GraphFingerprint(a) != GraphFingerprint(a) {
+		t.Error("engine-cached fingerprint differs from direct computation")
+	}
+	if eng.GraphFingerprint(a) != eng.GraphFingerprint(a) {
+		t.Error("fingerprint cache is inconsistent")
+	}
+}
+
+func TestClockingDigestSensitivity(t *testing.T) {
+	arch := machine.Reference4Cluster(1)
+	key := func(mutate func(*machine.Clocking)) Key {
+		clk := machine.NewClocking(arch, machine.ReferencePeriod, machine.ReferenceVdd)
+		if mutate != nil {
+			mutate(clk)
+		}
+		d := NewDigest("clk")
+		ClockingDigest(d, clk)
+		return d.Key()
+	}
+	base := key(nil)
+	if key(nil) != base {
+		t.Error("identical clockings produced different digests")
+	}
+	if key(func(c *machine.Clocking) { c.MinPeriod[0] = 900 }) == base {
+		t.Error("period change invisible to the digest")
+	}
+	if key(func(c *machine.Clocking) { c.Vdd[2] = 0.8 }) == base {
+		t.Error("voltage change invisible to the digest")
+	}
+	fs, err := clock.NewFreqSet(1000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key(func(c *machine.Clocking) { c.FreqSet[0] = fs }) == base {
+		t.Error("frequency-ladder change invisible to the digest")
+	}
+}

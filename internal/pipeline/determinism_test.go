@@ -1,6 +1,12 @@
 package pipeline
 
-import "testing"
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/explore"
+)
 
 // TestSuiteDeterminism: the whole evaluation is bit-for-bit reproducible —
 // seeded corpus, deterministic heuristics, ordered parallel reduction.
@@ -30,5 +36,64 @@ func TestSuiteDeterminism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("value %d differs between runs: %v vs %v", i, a[i], b[i])
 		}
+	}
+}
+
+// TestExplorationDeterminism: the exploration engine's sharding and
+// memoisation are invisible in the results — the same suite evaluated at
+// Parallelism=1 and Parallelism=NumCPU produces identical SuiteResult
+// values, while the cache counters prove memoisation actually ran.
+func TestExplorationDeterminism(t *testing.T) {
+	run := func(par int) (*SuiteResult, explore.CacheStats) {
+		eng := explore.New(par)
+		opts := Options{
+			Buses: 1, LoopsPerBenchmark: 6, EnergyAware: true,
+			Parallelism: par, Engine: eng,
+		}
+		var refs []*Reference
+		for _, n := range []string{"sixtrack", "swim", "applu"} {
+			ref, err := BuildReference(n, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs = append(refs, ref)
+		}
+		sr, err := EvaluateSuite(refs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sr, eng.Stats()
+	}
+
+	serial, serialStats := run(1)
+	parallel, parallelStats := run(runtime.NumCPU())
+
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("SuiteResult differs between Parallelism=1 and Parallelism=%d:\nserial:   %+v\nparallel: %+v",
+			runtime.NumCPU(), serial, parallel)
+	}
+	// Memoisation must have been exercised in both runs: every candidate's
+	// demand-bound MIT pass revisits the plain MIT of the same (loop,
+	// clocking) pair, so a working cache always reports hits, and the
+	// first computation of each design point reports misses.
+	for _, st := range []struct {
+		name  string
+		stats explore.CacheStats
+	}{{"serial", serialStats}, {"parallel", parallelStats}} {
+		if st.stats.Misses == 0 {
+			t.Errorf("%s engine reports zero cache misses — nothing was computed through the cache", st.name)
+		}
+		if st.stats.Hits == 0 {
+			t.Errorf("%s engine reports zero cache hits — memoisation never shared work", st.name)
+		}
+		if st.stats.Entries == 0 {
+			t.Errorf("%s engine cached no entries", st.name)
+		}
+	}
+	// The two engines saw the same work, so they cached the same set of
+	// design points.
+	if serialStats.Entries != parallelStats.Entries {
+		t.Errorf("cache entries differ: serial %d vs parallel %d",
+			serialStats.Entries, parallelStats.Entries)
 	}
 }

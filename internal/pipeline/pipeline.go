@@ -19,11 +19,12 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"repro/internal/clock"
 	"repro/internal/confsel"
 	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/explore"
 	"repro/internal/loopgen"
 	"repro/internal/machine"
 	"repro/internal/partition"
@@ -48,6 +49,14 @@ type Options struct {
 	Space *confsel.Space
 	// Parallelism bounds concurrent loop scheduling (default NumCPU).
 	Parallelism int
+	// Engine is the design-space exploration engine: its worker pool
+	// shards per-loop scheduling and per-candidate selection, and its
+	// content-addressed cache memoises scheduling/simulation/MIT results
+	// across candidates and repeated evaluations. nil builds a private
+	// engine with Parallelism workers; callers evaluating many variants
+	// (sensitivity studies, denser grids) should share one engine so
+	// overlapping design points are computed once.
+	Engine *explore.Engine
 }
 
 func (o Options) withDefaults() Options {
@@ -63,6 +72,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.NumCPU()
+	}
+	if o.Engine == nil {
+		o.Engine = explore.New(o.Parallelism)
 	}
 	return o
 }
@@ -131,61 +143,62 @@ func BuildReference(name string, opts Options) (*Reference, error) {
 		prof   confsel.LoopProfile
 		counts power.RunCounts
 		texecS float64
-		class  loopgen.LoopClass
-		err    error
 	}
 	outs := make([]loopOut, len(bench.Loops))
-	parallelFor(len(bench.Loops), opts.Parallelism, func(i int) {
+	errs := make([]error, len(bench.Loops))
+	opts.Engine.ForEach(len(bench.Loops), func(i int) {
 		l := bench.Loops[i]
 		cost := partition.DefaultCost(cfg.Arch.NumClusters())
 		cost.Iterations = float64(l.Iterations)
-		res, err := core.ScheduleLoop(l.Graph, cfg, cost, core.Options{
-			Partition: partition.Options{EnergyAware: opts.EnergyAware},
-		})
-		if err != nil {
-			outs[i].err = fmt.Errorf("%s loop %d (reference): %w", name, i, err)
-			return
-		}
-		s := res.Schedule
-		r, err := sim.Run(s, l.Iterations, sim.DefaultGenPeriod)
-		if err != nil {
-			outs[i].err = fmt.Errorf("%s loop %d (reference sim): %w", name, i, err)
-			return
-		}
-		var recs []confsel.RecSummary
-		for _, sc := range l.Graph.Recurrences() {
-			units := 0.0
-			for _, op := range sc.Ops {
-				units += l.Graph.Op(op).Class.RelativeEnergy()
+		key := loopRunKey("ref-loop", opts.Engine, cfg, l.Graph, cost, opts.EnergyAware, l.Iterations, l.Weight)
+		outs[i], errs[i] = explore.Memoize(opts.Engine, key, func() (loopOut, error) {
+			res, err := core.ScheduleLoop(l.Graph, cfg, cost, core.Options{
+				Partition: partition.Options{EnergyAware: opts.EnergyAware},
+			})
+			if err != nil {
+				return loopOut{}, fmt.Errorf("reference: %w", err)
 			}
-			recs = append(recs, confsel.RecSummary{RecMII: sc.RecMII, Ops: len(sc.Ops), Units: units})
-		}
-		outs[i] = loopOut{
-			prof: confsel.LoopProfile{
-				Graph:          l.Graph,
-				Recs:           recs,
-				RecMII:         res.MIT.RecMII,
-				InsUnits:       l.Graph.DynamicEnergyUnits(),
-				MemOps:         l.Graph.CountMemoryOps(),
-				CommsHom:       s.CommCount(),
-				LifetimeCycles: s.SumLifetimeCycles,
-				IIHom:          s.II[0],
-				MIIHom:         int(int64(res.MIT.MIT) / int64(machine.ReferencePeriod)),
-				ItLenHomCycles: int((int64(s.ItLength) + 999) / 1000),
-				Iterations:     l.Iterations,
-				Weight:         l.Weight,
-			},
-			counts: r.Counts,
-			texecS: r.Texec.Seconds(),
-			class:  l.Class,
-		}
+			s := res.Schedule
+			r, err := sim.Run(s, l.Iterations, sim.DefaultGenPeriod)
+			if err != nil {
+				return loopOut{}, fmt.Errorf("reference sim: %w", err)
+			}
+			var recs []confsel.RecSummary
+			for _, sc := range l.Graph.Recurrences() {
+				units := 0.0
+				for _, op := range sc.Ops {
+					units += l.Graph.Op(op).Class.RelativeEnergy()
+				}
+				recs = append(recs, confsel.RecSummary{RecMII: sc.RecMII, Ops: len(sc.Ops), Units: units})
+			}
+			return loopOut{
+				prof: confsel.LoopProfile{
+					Graph:          l.Graph,
+					Recs:           recs,
+					RecMII:         res.MIT.RecMII,
+					InsUnits:       l.Graph.DynamicEnergyUnits(),
+					MemOps:         l.Graph.CountMemoryOps(),
+					CommsHom:       s.CommCount(),
+					LifetimeCycles: s.SumLifetimeCycles,
+					IIHom:          s.II[0],
+					MIIHom:         int(int64(res.MIT.MIT) / int64(machine.ReferencePeriod)),
+					ItLenHomCycles: int((int64(s.ItLength) + 999) / 1000),
+					Iterations:     l.Iterations,
+					Weight:         l.Weight,
+				},
+				counts: r.Counts,
+				texecS: r.Texec.Seconds(),
+			}, nil
+		})
 	})
 	ref := &Reference{Bench: bench, Arch: cfg.Arch}
 	agg := power.RunCounts{InsUnits: make([]float64, cfg.Arch.NumClusters())}
 	var loops []confsel.LoopProfile
 	for i := range outs {
-		if outs[i].err != nil {
-			return nil, outs[i].err
+		if errs[i] != nil {
+			// Attribute here, not inside the memoised closure: a cached
+			// error may have been computed under another benchmark's loop.
+			return nil, fmt.Errorf("%s loop %d: %w", name, i, errs[i])
 		}
 		w := bench.Loops[i].Weight
 		for c := range outs[i].counts.InsUnits {
@@ -194,7 +207,7 @@ func BuildReference(name string, opts Options) (*Reference, error) {
 		agg.Comms += outs[i].counts.Comms * w
 		agg.MemAccesses += outs[i].counts.MemAccesses * w
 		agg.Seconds += outs[i].texecS * w
-		ref.Table2[outs[i].class] += outs[i].texecS * w
+		ref.Table2[bench.Loops[i].Class] += outs[i].texecS * w
 		loops = append(loops, outs[i].prof)
 	}
 	tot := ref.Table2[0] + ref.Table2[1] + ref.Table2[2]
@@ -253,7 +266,7 @@ func EvaluateSuite(refs []*Reference, opts Options) (*SuiteResult, error) {
 		return nil, err
 	}
 	suiteProf := confsel.ProfileFromLoops("suite", nil, agg)
-	homSel, err := confsel.OptimumHomogeneous(arch, suiteProf, cal, model, space)
+	homSel, err := confsel.OptimumHomogeneousEx(opts.Engine, arch, suiteProf, cal, model, space)
 	if err != nil {
 		return nil, err
 	}
@@ -319,7 +332,7 @@ func evaluateOne(ref *Reference, opts Options, cal *power.Calibration,
 	res.HomOpt.ED2 = power.ED2(res.HomOpt.Energy, res.HomOpt.Seconds)
 
 	// Heterogeneous selection + measured run.
-	hetSel, err := confsel.SelectHeterogeneous(arch, ref.Profile, cal, model, space)
+	hetSel, err := confsel.SelectHeterogeneousEx(opts.Engine, arch, ref.Profile, cal, model, space)
 	if err != nil {
 		return nil, err
 	}
@@ -353,11 +366,11 @@ func evaluateOne(ref *Reference, opts Options, cal *power.Calibration,
 		counts  power.RunCounts
 		texecS  float64
 		syncInc int
-		err     error
 	}
 	loops := ref.Bench.Loops
 	outs := make([]loopOut, len(loops))
-	parallelFor(len(loops), opts.Parallelism, func(i int) {
+	errs := make([]error, len(loops))
+	opts.Engine.ForEach(len(loops), func(i int) {
 		l := loops[i]
 		cost := partition.CostParams{
 			DeltaCluster: hetSel.Scales.Delta[:arch.NumClusters()],
@@ -369,24 +382,28 @@ func evaluateOne(ref *Reference, opts Options, cal *power.Calibration,
 			StaticPower:  staticPower,
 			Iterations:   float64(l.Iterations),
 		}
-		sres, err := core.ScheduleLoop(l.Graph, hetCfg, cost, core.Options{
-			Partition: partition.Options{EnergyAware: opts.EnergyAware},
+		// Weight scales only the reduction below, never the schedule or the
+		// simulation, so it stays out of the key: content-identical loops
+		// with different weights share one cache entry.
+		key := loopRunKey("het-loop", opts.Engine, hetCfg, l.Graph, cost, opts.EnergyAware, l.Iterations, 0)
+		outs[i], errs[i] = explore.Memoize(opts.Engine, key, func() (loopOut, error) {
+			sres, err := core.ScheduleLoop(l.Graph, hetCfg, cost, core.Options{
+				Partition: partition.Options{EnergyAware: opts.EnergyAware},
+			})
+			if err != nil {
+				return loopOut{}, fmt.Errorf("het: %w", err)
+			}
+			r, err := sim.Run(sres.Schedule, l.Iterations, sim.DefaultGenPeriod)
+			if err != nil {
+				return loopOut{}, fmt.Errorf("het sim: %w", err)
+			}
+			return loopOut{counts: r.Counts, texecS: r.Texec.Seconds(), syncInc: sres.SyncIncreases}, nil
 		})
-		if err != nil {
-			outs[i].err = fmt.Errorf("%s loop %d (het): %w", ref.Profile.Name, i, err)
-			return
-		}
-		r, err := sim.Run(sres.Schedule, l.Iterations, sim.DefaultGenPeriod)
-		if err != nil {
-			outs[i].err = fmt.Errorf("%s loop %d (het sim): %w", ref.Profile.Name, i, err)
-			return
-		}
-		outs[i] = loopOut{counts: r.Counts, texecS: r.Texec.Seconds(), syncInc: sres.SyncIncreases}
 	})
 	agg := power.RunCounts{InsUnits: make([]float64, arch.NumClusters())}
 	for i := range outs {
-		if outs[i].err != nil {
-			return nil, outs[i].err
+		if errs[i] != nil {
+			return nil, fmt.Errorf("%s loop %d: %w", ref.Profile.Name, i, errs[i])
 		}
 		w := loops[i].Weight
 		for c := range outs[i].counts.InsUnits {
@@ -455,31 +472,25 @@ func ones(n int) []float64 {
 	return v
 }
 
-// parallelFor runs fn(i) for i in [0, n) on up to p workers.
-func parallelFor(n, p int, fn func(int)) {
-	if p > n {
-		p = n
+// loopRunKey content-addresses one loop's schedule-and-simulate run: the
+// machine configuration (structure, periods, voltages, frequency
+// ladders), the loop DDG, the partitioning cost model and the execution
+// parameters. Any two runs sharing this key — across candidates,
+// benchmarks, or repeated sensitivity studies — produce identical
+// schedules and counts, so the engine serves the second from cache.
+func loopRunKey(tag string, eng *explore.Engine, cfg *machine.Config, g *ddg.Graph,
+	cost partition.CostParams, energyAware bool, iterations int64, weight float64) explore.Key {
+	d := explore.ConfigKey(tag, cfg)
+	d.Str(string(eng.GraphFingerprint(g)))
+	d.Int(int64(len(cost.DeltaCluster)))
+	d.Float(cost.DeltaCluster...)
+	d.Float(cost.DeltaICN, cost.DeltaCache, cost.EIns, cost.EComm, cost.EAccess,
+		cost.StaticPower, cost.Iterations)
+	aware := int64(0)
+	if energyAware {
+		aware = 1
 	}
-	if p <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < p; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	d.Int(aware, iterations)
+	d.Float(weight)
+	return d.Key()
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/explore"
 	"repro/internal/power"
 )
 
@@ -158,14 +159,14 @@ func TestMeanRatio(t *testing.T) {
 	}
 }
 
-func TestParallelFor(t *testing.T) {
+func TestEngineForEach(t *testing.T) {
 	var sum int64
-	parallelFor(100, 8, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	explore.New(8).ForEach(100, func(i int) { atomic.AddInt64(&sum, int64(i)) })
 	if sum != 4950 {
 		t.Errorf("sum = %d", sum)
 	}
 	sum = 0
-	parallelFor(10, 1, func(i int) { sum += int64(i) })
+	explore.New(1).ForEach(10, func(i int) { sum += int64(i) })
 	if sum != 45 {
 		t.Errorf("serial sum = %d", sum)
 	}
