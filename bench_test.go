@@ -158,6 +158,56 @@ func BenchmarkExploreWarmCache(b *testing.B) {
 	}
 }
 
+// BenchmarkWarmDiskCache quantifies the disk-persistent cache tier: the
+// same suite evaluation cold (fresh engine, no disk), disk-warm (fresh
+// engine per iteration over a primed cache directory — the cross-process
+// warm start a second cmd/experiments run gets), and memory-warm (the
+// long-lived in-process engine, the upper bound).
+func BenchmarkWarmDiskCache(b *testing.B) {
+	dir := b.TempDir()
+	primer, err := explore.NewDisk(0, dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	refs, opts := exploreRefs(b, primer)
+	if _, err := pipeline.EvaluateSuite(refs, opts); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := opts
+			o.Engine = explore.New(0)
+			if _, err := pipeline.EvaluateSuite(refs, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("disk-warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng, err := explore.NewDisk(0, dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			o := opts
+			o.Engine = eng
+			if _, err := pipeline.EvaluateSuite(refs, o); err != nil {
+				b.Fatal(err)
+			}
+			if st := eng.Stats(); st.Misses != 0 {
+				b.Fatalf("disk-warm run recomputed %d results", st.Misses)
+			}
+		}
+	})
+	b.Run("memory-warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pipeline.EvaluateSuite(refs, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkExploreDenseGrid sweeps the ~8× denser scenario grid on a
 // shared engine — the workload the engine exists for: candidates overlap
 // heavily in their per-loop analyses, so the denser grid costs far less

@@ -1,13 +1,24 @@
-// Command experiments regenerates every table and figure of the paper's
-// evaluation and prints them as text tables:
+// Command experiments regenerates the paper's evaluation and manages the
+// serializable artifacts behind it (corpora, the disk-persistent
+// exploration cache):
 //
-//	experiments                    # everything, default corpus size
-//	experiments -loops 60          # bigger corpus
-//	experiments -only fig6,table2  # a subset
-//	experiments -dense             # ~8× denser design-space grid
-//	experiments -cachestats        # exploration-cache hit/miss report
+//	experiments run                          # every table/figure, default corpus
+//	experiments run -loops 60 -only fig6     # bigger corpus, subset
+//	experiments run -dense                   # ~8× denser design-space grid
+//	experiments run -cache-dir .cache        # warm-start across processes
+//	experiments run -corpus c.hvc            # evaluate an imported corpus
+//	experiments run -family media            # another synthetic family
 //
-// Artifacts: table1, table2, fig6, fig7, fig8, fig9, ablation.
+//	experiments corpus export -o c.hvc       # export the synthetic corpus
+//	experiments corpus export -family media -loops 20 -o media.json
+//	experiments corpus import -i c.json -o c.hvc   # validate / re-encode
+//	experiments corpus stats -i c.hvc        # per-benchmark summary
+//
+//	experiments cache stats -dir .cache      # entries / bytes on disk
+//	experiments cache clear -dir .cache      # drop every entry
+//
+// A bare `experiments [flags]` is shorthand for `experiments run [flags]`.
+// Artifacts: table1, table2, fig6, fig7, fig8, fig9, numfast, ablation.
 package main
 
 import (
@@ -17,18 +28,60 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/confsel"
 	"repro/internal/experiments"
+	"repro/internal/explore"
+	"repro/internal/loopgen"
 	"repro/internal/pipeline"
 )
 
 func main() {
-	loops := flag.Int("loops", 40, "loops per benchmark in the synthetic corpus")
-	only := flag.String("only", "", "comma-separated subset: table1,table2,fig6,fig7,fig8,fig9,numfast,ablation")
-	par := flag.Int("par", 0, "worker parallelism (0 = NumCPU)")
-	dense := flag.Bool("dense", false, "sweep the dense design-space grid (confsel.DenseSpace) instead of the paper's Table 2 grid")
-	cachestats := flag.Bool("cachestats", false, "print the exploration engine's cache statistics on exit")
-	flag.Parse()
+	args := os.Args[1:]
+	cmd := "run"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
+	}
+	switch cmd {
+	case "run":
+		runCmd(args)
+	case "corpus":
+		corpusCmd(args)
+	case "cache":
+		cacheCmd(args)
+	case "help", "-h", "--help":
+		usage(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown command %q\n\n", cmd)
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+}
+
+func usage(w *os.File) {
+	fmt.Fprintln(w, `usage:
+  experiments [run] [flags]          regenerate tables and figures
+  experiments corpus export [flags]  export a synthetic corpus artifact
+  experiments corpus import [flags]  validate / re-encode a corpus file
+  experiments corpus stats  [flags]  summarize a corpus
+  experiments cache stats -dir DIR   inspect a disk cache directory
+  experiments cache clear -dir DIR   remove every cache entry
+run 'experiments <cmd> -h' for flags`)
+}
+
+// ------------------------------------------------------------------- run
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	loops := fs.Int("loops", 40, "loops per benchmark in the synthetic corpus")
+	only := fs.String("only", "", "comma-separated subset: table1,table2,fig6,fig7,fig8,fig9,numfast,ablation")
+	par := fs.Int("par", 0, "worker parallelism (0 = NumCPU)")
+	dense := fs.Bool("dense", false, "sweep the dense design-space grid (confsel.DenseSpace) instead of the paper's Table 2 grid")
+	cachestats := fs.Bool("cachestats", false, "print the exploration engine's cache statistics on exit")
+	cacheDir := fs.String("cache-dir", "", "disk-persistent cache directory (warm-starts later runs)")
+	corpusFile := fs.String("corpus", "", "evaluate this corpus artifact instead of generating one")
+	family := fs.String("family", "specfp", "synthetic generator family: "+strings.Join(loopgen.Families(), ", "))
+	exitOn(fs.Parse(args))
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -38,9 +91,19 @@ func main() {
 	}
 	enabled := func(k string) bool { return len(want) == 0 || want[k] }
 
+	eng, err := explore.NewDisk(*par, *cacheDir)
+	exitOn(err)
 	popts := pipeline.Options{
 		LoopsPerBenchmark: *loops,
 		Parallelism:       *par,
+		Engine:            eng,
+	}
+	if *corpusFile != "" {
+		popts.Corpus = artifact.NewFileSource(*corpusFile)
+	} else if *family != "specfp" {
+		src, err := loopgen.NewSyntheticSource(*family, *loops)
+		exitOn(err)
+		popts.Corpus = src
 	}
 	if *dense {
 		sp := confsel.DenseSpace()
@@ -89,15 +152,116 @@ func main() {
 	}
 	if *cachestats {
 		st := suite.CacheStats()
-		total := st.Hits + st.Misses
-		pct := 0.0
-		if total > 0 {
-			pct = 100 * float64(st.Hits) / float64(total)
-		}
-		fmt.Printf("exploration cache: %d hits / %d misses (%.1f%% hit rate), %d entries\n",
-			st.Hits, st.Misses, pct, st.Entries)
+		fmt.Printf("exploration cache: %d memory hits / %d disk hits / %d misses (%.1f%% hit rate), %d entries, %d disk writes\n",
+			st.Hits, st.DiskHits, st.Misses, 100*st.HitRate(), st.Entries, st.DiskWrites)
 	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// ---------------------------------------------------------------- corpus
+
+func corpusCmd(args []string) {
+	sub := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		sub, args = args[0], args[1:]
+	}
+	switch sub {
+	case "export":
+		fs := flag.NewFlagSet("corpus export", flag.ExitOnError)
+		family := fs.String("family", "specfp", "synthetic generator family: "+strings.Join(loopgen.Families(), ", "))
+		loops := fs.Int("loops", 40, "loops per benchmark")
+		out := fs.String("o", "", "output file (.json = JSON, else compact binary; required)")
+		exitOn(fs.Parse(args))
+		if *out == "" {
+			exitOn(fmt.Errorf("corpus export: -o is required"))
+		}
+		src, err := loopgen.NewSyntheticSource(*family, *loops)
+		exitOn(err)
+		c, err := artifact.CorpusFromSource(src)
+		exitOn(err)
+		exitOn(artifact.WriteCorpusFile(*out, c))
+		fmt.Printf("exported %s (%d benchmarks) to %s (sha256 %.16s…)\n",
+			c.Name, len(c.Benchmarks), *out, c.Hash().Hex())
+
+	case "import":
+		fs := flag.NewFlagSet("corpus import", flag.ExitOnError)
+		in := fs.String("i", "", "input corpus file (binary or JSON; required)")
+		out := fs.String("o", "", "optional output file to re-encode to (.json = JSON, else binary)")
+		exitOn(fs.Parse(args))
+		if *in == "" {
+			exitOn(fmt.Errorf("corpus import: -i is required"))
+		}
+		c, err := artifact.ReadCorpusFile(*in)
+		exitOn(err)
+		nLoops := 0
+		for _, b := range c.Benchmarks {
+			nLoops += len(b.Loops)
+		}
+		fmt.Printf("valid corpus %s: %d benchmarks, %d loops (sha256 %.16s…)\n",
+			c.Name, len(c.Benchmarks), nLoops, c.Hash().Hex())
+		if *out != "" {
+			exitOn(artifact.WriteCorpusFile(*out, c))
+			fmt.Printf("re-encoded to %s\n", *out)
+		}
+
+	case "stats":
+		fs := flag.NewFlagSet("corpus stats", flag.ExitOnError)
+		in := fs.String("i", "", "corpus file (default: generate synthetically)")
+		family := fs.String("family", "specfp", "synthetic generator family (when no -i)")
+		loops := fs.Int("loops", 40, "loops per benchmark (when no -i)")
+		verbose := fs.Bool("v", false, "per-loop tables instead of the per-benchmark summary")
+		exitOn(fs.Parse(args))
+		var src loopgen.Source
+		if *in != "" {
+			src = artifact.NewFileSource(*in)
+		} else {
+			s, err := loopgen.NewSyntheticSource(*family, *loops)
+			exitOn(err)
+			src = s
+		}
+		benches, err := loopgen.Load(src)
+		exitOn(err)
+		fmt.Printf("corpus %s\n", src.Name())
+		if *verbose {
+			for _, b := range benches {
+				fmt.Println(loopgen.FormatBenchmark(b))
+			}
+		} else {
+			fmt.Print(loopgen.FormatCorpusStats(benches))
+		}
+
+	default:
+		fmt.Fprintln(os.Stderr, "usage: experiments corpus {export|import|stats} [flags]")
+		os.Exit(2)
+	}
+}
+
+// ----------------------------------------------------------------- cache
+
+func cacheCmd(args []string) {
+	sub := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		sub, args = args[0], args[1:]
+	}
+	if sub != "stats" && sub != "clear" {
+		fmt.Fprintln(os.Stderr, "usage: experiments cache {stats|clear} -dir DIR")
+		os.Exit(2)
+	}
+	fs := flag.NewFlagSet("cache "+sub, flag.ExitOnError)
+	dir := fs.String("dir", "", "cache directory (required)")
+	exitOn(fs.Parse(args))
+	if *dir == "" {
+		exitOn(fmt.Errorf("cache %s: -dir is required", sub))
+	}
+	if sub == "stats" {
+		st, err := explore.StatDiskCache(*dir)
+		exitOn(err)
+		fmt.Printf("%s: %d entries, %d bytes\n", *dir, st.Entries, st.Bytes)
+	} else {
+		n, err := explore.ClearDiskCache(*dir)
+		exitOn(err)
+		fmt.Printf("%s: removed %d entries\n", *dir, n)
+	}
 }
 
 func exitOn(err error) {

@@ -1,7 +1,13 @@
-// Command loopgen inspects the synthetic SPECfp2000-like corpus:
+// Command loopgen inspects and exports synthetic loop corpora:
 //
 //	loopgen -bench sixtrack -loops 20          # per-loop statistics
+//	loopgen -bench adpcm -loops 10             # media-family benchmark
 //	loopgen -bench facerec -dot 3              # DOT dump of loop 3
+//	loopgen -bench swim -export swim.json      # one-benchmark corpus artifact
+//	loopgen -corpus c.hvc -bench swim          # inspect an imported corpus
+//
+// The statistics table and the file formats are shared with
+// `experiments corpus` (package loopgen / internal/artifact).
 package main
 
 import (
@@ -9,43 +15,65 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/artifact"
 	"repro/internal/loopgen"
 )
 
 func main() {
-	bench := flag.String("bench", "sixtrack", "benchmark name")
+	bench := flag.String("bench", "sixtrack", "benchmark name (any generator family)")
 	loops := flag.Int("loops", 20, "loops to generate")
 	dot := flag.Int("dot", -1, "dump the DDG of this loop index as DOT")
+	export := flag.String("export", "", "write the benchmark as a corpus artifact (.json = JSON, else binary)")
+	corpus := flag.String("corpus", "", "read the benchmark from this corpus artifact instead of generating")
 	flag.Parse()
 
-	b, err := loopgen.Generate(*bench, *loops)
+	var src loopgen.Source
+	if *corpus != "" {
+		src = artifact.NewFileSource(*corpus)
+	} else {
+		var err error
+		src, err = sourceFor(*bench, *loops)
+		exitOn(err)
+	}
+	b, err := src.Benchmark(*bench)
+	exitOn(err)
+
+	if *dot >= 0 {
+		if *dot >= len(b.Loops) {
+			exitOn(fmt.Errorf("loop %d out of range (%d loops)", *dot, len(b.Loops)))
+		}
+		exitOn(b.Loops[*dot].Graph.WriteDOT(os.Stdout, nil))
+		return
+	}
+	if *export != "" {
+		c := &artifact.Corpus{Name: src.Name() + "/" + b.Name, Benchmarks: []loopgen.Benchmark{b}}
+		exitOn(artifact.WriteCorpusFile(*export, c))
+		fmt.Printf("exported %s (%d loops) to %s (sha256 %.16s…)\n",
+			b.Name, len(b.Loops), *export, c.Hash().Hex())
+		return
+	}
+	fmt.Print(loopgen.FormatBenchmark(b))
+}
+
+// sourceFor finds the synthetic source of the family containing bench.
+func sourceFor(bench string, loops int) (loopgen.Source, error) {
+	for _, fam := range loopgen.Families() {
+		names, err := loopgen.FamilyNames(fam)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range names {
+			if n == bench {
+				return loopgen.NewSyntheticSource(fam, loops)
+			}
+		}
+	}
+	return nil, fmt.Errorf("unknown benchmark %q", bench)
+}
+
+func exitOn(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loopgen:", err)
 		os.Exit(1)
-	}
-	if *dot >= 0 {
-		if *dot >= len(b.Loops) {
-			fmt.Fprintf(os.Stderr, "loopgen: loop %d out of range (%d loops)\n", *dot, len(b.Loops))
-			os.Exit(1)
-		}
-		if err := b.Loops[*dot].Graph.WriteDOT(os.Stdout, nil); err != nil {
-			fmt.Fprintln(os.Stderr, "loopgen:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	fmt.Printf("%s: %d loops\n", b.Name, len(b.Loops))
-	fmt.Printf("%-5s %-26s %5s %7s %7s %7s %9s %9s\n",
-		"loop", "class", "ops", "recMII", "resMII", "iters", "weight", "recs")
-	for i, l := range b.Loops {
-		recMII, resMII := loopgen.MIIOf(l.Graph)
-		recs := l.Graph.Recurrences()
-		critOps := 0
-		if len(recs) > 0 {
-			critOps = len(recs[0].Ops)
-		}
-		fmt.Printf("%-5d %-26s %5d %7d %7d %7d %9.3g %6d/%d\n",
-			i, l.Class, l.Graph.NumOps(), recMII, resMII,
-			l.Iterations, l.Weight, critOps, len(recs))
 	}
 }

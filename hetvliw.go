@@ -34,6 +34,7 @@
 package repro
 
 import (
+	"repro/internal/artifact"
 	"repro/internal/clock"
 	"repro/internal/confsel"
 	"repro/internal/core"
@@ -86,6 +87,16 @@ type (
 	// SuiteResult is a suite-wide evaluation outcome against one shared
 	// homogeneous baseline.
 	SuiteResult = pipeline.SuiteResult
+	// Corpus is a serializable loop corpus (a named set of benchmarks)
+	// with versioned binary and JSON file forms.
+	Corpus = artifact.Corpus
+	// LoopSource yields the benchmarks of one corpus: a synthetic
+	// generator family or a corpus artifact file. PipelineOptions.Corpus
+	// plugs any source into the end-to-end evaluation.
+	LoopSource = loopgen.Source
+	// ScheduleSummary is the serializable summary of a kernel schedule
+	// (timing, per-domain IIs, pressure, communication).
+	ScheduleSummary = artifact.ScheduleSummary
 )
 
 // NewExploreEngine returns an exploration engine bounded to the given
@@ -95,6 +106,15 @@ type (
 // served from cache thereafter; results are byte-identical at every
 // parallelism level.
 func NewExploreEngine(parallelism int) *ExploreEngine { return explore.New(parallelism) }
+
+// NewDiskExploreEngine returns an exploration engine whose cache is
+// additionally backed by a directory of content-addressed entries: a
+// fresh process pointed at the same directory warm-starts with the
+// previous run's scheduling and analysis results. The directory is
+// created if missing and is safe to share between concurrent runs.
+func NewDiskExploreEngine(parallelism int, dir string) (*ExploreEngine, error) {
+	return explore.NewDisk(parallelism, dir)
+}
 
 // DefaultDesignSpace returns the paper's Section 5 design-space grid.
 func DefaultDesignSpace() DesignSpace { return confsel.DefaultSpace() }
@@ -198,10 +218,64 @@ func Unroll(g *Graph, factor int) (*Graph, error) { return ddg.Unroll(g, factor)
 // BenchmarkNames lists the SPECfp2000-like corpus benchmarks.
 func BenchmarkNames() []string { return loopgen.Names() }
 
-// GenerateBenchmark builds the named benchmark's synthetic loop corpus.
+// GenerateBenchmark builds the named benchmark's synthetic loop corpus
+// (the name may come from any generator family — see CorpusFamilies).
 func GenerateBenchmark(name string, loops int) (Benchmark, error) {
 	return loopgen.Generate(name, loops)
 }
+
+// CorpusFamilies lists the synthetic generator families: "specfp" (the
+// paper's corpus), "media" (integer/address-heavy streaming kernels) and
+// "embedded" (short-trip-count kernels).
+func CorpusFamilies() []string { return loopgen.Families() }
+
+// NewSyntheticCorpus returns a source generating the named family with
+// loopsPer loops per benchmark; plug it into PipelineOptions.Corpus.
+func NewSyntheticCorpus(family string, loopsPer int) (LoopSource, error) {
+	return loopgen.NewSyntheticSource(family, loopsPer)
+}
+
+// OpenCorpusFile returns a lazily-loaded source for a corpus artifact
+// file (binary or JSON, auto-detected). The corpus evaluates byte-
+// identically to the in-memory corpus it was exported from.
+func OpenCorpusFile(path string) LoopSource { return artifact.NewFileSource(path) }
+
+// ExportCorpus materializes a source and writes it as a corpus artifact:
+// ".json" writes the human-readable form, anything else the compact
+// binary form.
+func ExportCorpus(path string, src LoopSource) (*Corpus, error) {
+	c, err := artifact.CorpusFromSource(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := artifact.WriteCorpusFile(path, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ImportCorpus reads and validates a corpus artifact file.
+func ImportCorpus(path string) (*Corpus, error) { return artifact.ReadCorpusFile(path) }
+
+// SummarizeSchedule extracts the serializable summary of a schedule; see
+// EncodeScheduleSummary for its file forms.
+func SummarizeSchedule(s *KernelSchedule) ScheduleSummary { return artifact.Summarize(s) }
+
+// EncodeScheduleSummary renders a schedule summary artifact: compact
+// binary when json is false, indented JSON when true.
+func EncodeScheduleSummary(s ScheduleSummary, asJSON bool) ([]byte, error) {
+	if asJSON {
+		return artifact.EncodeScheduleSummaryJSON(s)
+	}
+	return artifact.EncodeScheduleSummary(s), nil
+}
+
+// EncodeGraphArtifact encodes a loop DDG as a standalone binary artifact;
+// DecodeGraphArtifact reverses it (validating structure).
+func EncodeGraphArtifact(g *Graph) []byte { return artifact.EncodeGraph(g) }
+
+// DecodeGraphArtifact decodes a standalone binary DDG artifact.
+func DecodeGraphArtifact(data []byte) (*Graph, error) { return artifact.DecodeGraph(data) }
 
 // RunBenchmark runs the paper's full per-benchmark evaluation: reference
 // homogeneous profiling, calibration, configuration selection,

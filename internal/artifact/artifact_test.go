@@ -1,0 +1,433 @@
+package artifact
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+)
+
+// -update regenerates the golden files from the current encoders:
+//
+//	go test ./internal/artifact -run Golden -update
+var update = flag.Bool("update", false, "rewrite testdata golden files")
+
+// sampleCorpus is a small, deterministic corpus spanning two generator
+// families (the synthetic generators are seeded per benchmark name, so
+// this is stable across runs and platforms).
+func sampleCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c := &Corpus{Name: "golden-sample"}
+	for _, bench := range []struct {
+		name  string
+		loops int
+	}{{"sixtrack", 3}, {"adpcm", 2}} {
+		b, err := loopgen.Generate(bench.name, bench.loops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Benchmarks = append(c.Benchmarks, b)
+	}
+	return c
+}
+
+// sampleConfig is a heterogeneous configuration with a constrained
+// frequency ladder on one domain, exercising every Clocking field.
+func sampleConfig(t *testing.T) *machine.Config {
+	t.Helper()
+	arch := machine.Reference4Cluster(2)
+	clk := machine.NewClocking(arch, 1350, 0.9)
+	clk.MinPeriod[0] = 900
+	clk.MinPeriod[arch.ICN()] = 900
+	clk.MinPeriod[arch.Cache()] = 900
+	clk.Vdd[0] = 1.15
+	fs, err := clock.NewFreqSet(900, 1080, 1350)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.FreqSet[1] = fs
+	return &machine.Config{Arch: arch, Clock: clk}
+}
+
+// sampleSummary is a schedule summary from a real scheduled loop shape.
+func sampleSummary() ScheduleSummary {
+	g := ddg.New("dot")
+	x := g.AddOp(isa.Load, "x")
+	acc := g.AddOp(isa.FPALU, "acc")
+	g.AddDep(x, acc, 0)
+	g.AddDep(acc, acc, 1)
+	s := &modsched.Schedule{
+		Graph:             g,
+		Arch:              machine.Reference4Cluster(1),
+		IT:                2700,
+		II:                []int{3, 2, 2, 2, 3, 3},
+		Assign:            []int{0, 0},
+		Cycle:             []int{0, 2},
+		MaxLive:           []int{2, 0, 0, 0},
+		SumLifetimeCycles: 5,
+		ItLength:          5400,
+		SC:                2,
+	}
+	return Summarize(s)
+}
+
+// graphsEqual compares two graphs structurally (ops, names, edges).
+func graphsEqual(a, b *ddg.Graph) bool {
+	if a.Name() != b.Name() || a.NumOps() != b.NumOps() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	return reflect.DeepEqual(a.Ops(), b.Ops()) && reflect.DeepEqual(a.Edges(), b.Edges())
+}
+
+// TestGraphRoundTrip: encode→decode→encode is byte-identical, both forms.
+func TestGraphRoundTrip(t *testing.T) {
+	c := sampleCorpus(t)
+	for _, b := range c.Benchmarks {
+		for i, l := range b.Loops {
+			enc := EncodeGraph(l.Graph)
+			dec, err := DecodeGraph(enc)
+			if err != nil {
+				t.Fatalf("%s loop %d: %v", b.Name, i, err)
+			}
+			if !graphsEqual(l.Graph, dec) {
+				t.Fatalf("%s loop %d: decoded graph differs", b.Name, i)
+			}
+			if !bytes.Equal(enc, EncodeGraph(dec)) {
+				t.Fatalf("%s loop %d: re-encode not byte-identical", b.Name, i)
+			}
+
+			jenc, err := EncodeGraphJSON(l.Graph)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jdec, err := DecodeGraphJSON(jenc)
+			if err != nil {
+				t.Fatalf("%s loop %d JSON: %v", b.Name, i, err)
+			}
+			if !graphsEqual(l.Graph, jdec) {
+				t.Fatalf("%s loop %d: JSON-decoded graph differs", b.Name, i)
+			}
+			jenc2, err := EncodeGraphJSON(jdec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(jenc, jenc2) {
+				t.Fatalf("%s loop %d: JSON re-encode not byte-identical", b.Name, i)
+			}
+		}
+	}
+}
+
+// TestCorpusRoundTrip covers both forms plus the binary↔JSON bridge: the
+// content hash is invariant under re-encoding through either form.
+func TestCorpusRoundTrip(t *testing.T) {
+	c := sampleCorpus(t)
+	enc := EncodeCorpus(c)
+	dec, err := DecodeCorpus(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, EncodeCorpus(dec)) {
+		t.Fatal("binary re-encode not byte-identical")
+	}
+	if dec.Hash() != c.Hash() {
+		t.Fatal("content hash changed across binary round trip")
+	}
+
+	jenc, err := EncodeCorpusJSON(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jdec, err := DecodeCorpus(jenc) // auto-detects JSON
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jdec.Hash() != c.Hash() {
+		t.Fatal("content hash changed across JSON round trip")
+	}
+	for i, b := range jdec.Benchmarks {
+		for j, l := range b.Loops {
+			orig := c.Benchmarks[i].Loops[j]
+			if l.Iterations != orig.Iterations || l.Weight != orig.Weight || l.Class != orig.Class {
+				t.Fatalf("benchmark %d loop %d metadata drifted", i, j)
+			}
+			if !graphsEqual(l.Graph, orig.Graph) {
+				t.Fatalf("benchmark %d loop %d graph drifted", i, j)
+			}
+		}
+	}
+}
+
+// TestConfigRoundTrip: machine configurations survive both forms exactly.
+func TestConfigRoundTrip(t *testing.T) {
+	cfg := sampleConfig(t)
+	enc := EncodeConfig(cfg)
+	dec, err := DecodeConfig(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, EncodeConfig(dec)) {
+		t.Fatal("re-encode not byte-identical")
+	}
+	if !reflect.DeepEqual(cfg.Arch, dec.Arch) {
+		t.Fatal("arch drifted")
+	}
+	if !reflect.DeepEqual(cfg.Clock.MinPeriod, dec.Clock.MinPeriod) ||
+		!reflect.DeepEqual(cfg.Clock.Vdd, dec.Clock.Vdd) {
+		t.Fatal("clocking drifted")
+	}
+	if got, want := dec.Clock.FreqSet[1].Periods(), cfg.Clock.FreqSet[1].Periods(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("freq set drifted: %v != %v", got, want)
+	}
+
+	jenc, err := EncodeConfigJSON(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jdec, err := DecodeConfigJSON(jenc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, EncodeConfig(jdec)) {
+		t.Fatal("JSON round trip changed the canonical binary form")
+	}
+}
+
+// TestScheduleSummaryRoundTrip: summaries survive both forms exactly.
+func TestScheduleSummaryRoundTrip(t *testing.T) {
+	s := sampleSummary()
+	enc := EncodeScheduleSummary(s)
+	dec, err := DecodeScheduleSummary(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, dec) {
+		t.Fatalf("summary drifted: %+v != %+v", dec, s)
+	}
+	if !bytes.Equal(enc, EncodeScheduleSummary(dec)) {
+		t.Fatal("re-encode not byte-identical")
+	}
+	if dec.TexecPs(100) != clock.Picos(99*2700+5400) {
+		t.Fatalf("TexecPs wrong: %v", dec.TexecPs(100))
+	}
+
+	jenc, err := EncodeScheduleSummaryJSON(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jdec, err := DecodeScheduleSummaryJSON(jenc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, jdec) {
+		t.Fatal("JSON summary drifted")
+	}
+}
+
+// TestGolden pins the wire formats: any layout change must be deliberate
+// (bump artifact.Version, regenerate with -update, and grandfather the
+// old layout in the decoder if cache/corpus compatibility matters).
+func TestGolden(t *testing.T) {
+	goldens := []struct {
+		file string
+		data func() []byte
+	}{
+		{"corpus.golden.hvc", func() []byte { return EncodeCorpus(sampleCorpus(t)) }},
+		{"corpus.golden.json", func() []byte {
+			d, err := EncodeCorpusJSON(sampleCorpus(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}},
+		{"config.golden.hvc", func() []byte { return EncodeConfig(sampleConfig(t)) }},
+		{"config.golden.json", func() []byte {
+			d, err := EncodeConfigJSON(sampleConfig(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}},
+		{"schedule.golden.hvc", func() []byte { return EncodeScheduleSummary(sampleSummary()) }},
+		{"schedule.golden.json", func() []byte {
+			d, err := EncodeScheduleSummaryJSON(sampleSummary())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}},
+	}
+	for _, g := range goldens {
+		t.Run(g.file, func(t *testing.T) {
+			path := filepath.Join("testdata", g.file)
+			got := g.data()
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: encoding drifted from golden (%d vs %d bytes); if intentional, bump artifact.Version and run -update", g.file, len(got), len(want))
+			}
+		})
+	}
+
+	// Goldens must decode with the current decoders (forward readability).
+	if _, err := ReadCorpusFile(filepath.Join("testdata", "corpus.golden.hvc")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCorpusFile(filepath.Join("testdata", "corpus.golden.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnvelopeRejects: wrong kind, future version, truncation, garbage.
+func TestEnvelopeRejects(t *testing.T) {
+	cfg := sampleConfig(t)
+	enc := EncodeConfig(cfg)
+
+	if _, err := DecodeGraph(enc); err == nil {
+		t.Fatal("config decoded as graph")
+	}
+	if _, _, err := OpenEnvelope([]byte("not an artifact"), KindConfig); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := DecodeConfig(enc[:len(enc)/2]); err == nil {
+		t.Fatal("truncated artifact accepted")
+	}
+
+	future := NewEnvelope(KindConfig).Bytes()
+	// Patch the version byte (last byte of the envelope for version < 128).
+	future[len(future)-1] = Version + 1
+	if _, _, err := OpenEnvelope(future, KindConfig); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+// TestCorpusRejectsPoisonedMetadata: weights multiply into every
+// aggregated count, so non-finite/non-positive weights (and bad trip
+// counts/classes) must be refused at decode time, in both forms.
+func TestCorpusRejectsPoisonedMetadata(t *testing.T) {
+	base := sampleCorpus(t)
+	for name, poison := range map[string]func(*Corpus){
+		"negative weight": func(c *Corpus) { c.Benchmarks[0].Loops[0].Weight = -1 },
+		"zero weight":     func(c *Corpus) { c.Benchmarks[0].Loops[0].Weight = 0 },
+		"zero iterations": func(c *Corpus) { c.Benchmarks[0].Loops[0].Iterations = 0 },
+		"bad class":       func(c *Corpus) { c.Benchmarks[0].Loops[0].Class = 99 },
+	} {
+		bad, err := DecodeCorpus(EncodeCorpus(base)) // deep copy
+		if err != nil {
+			t.Fatal(err)
+		}
+		poison(bad)
+		if _, err := DecodeCorpus(EncodeCorpus(bad)); err == nil {
+			t.Errorf("binary decode accepted %s", name)
+		}
+		jenc, err := EncodeCorpusJSON(bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeCorpusJSON(jenc); err == nil {
+			t.Errorf("JSON decode accepted %s", name)
+		}
+	}
+	// NaN weight: the binary form preserves the bit pattern; decode must
+	// still refuse it. (The JSON encoder itself rejects NaN upstream.)
+	bad, _ := DecodeCorpus(EncodeCorpus(base))
+	bad.Benchmarks[0].Loops[0].Weight = math.NaN()
+	if _, err := DecodeCorpus(EncodeCorpus(bad)); err == nil {
+		t.Error("binary decode accepted NaN weight")
+	}
+}
+
+// TestHashGraphIgnoresNames: renaming ops must not change the scheduling
+// fingerprint (cache keys survive relabeling), while the serialized
+// artifact does keep names.
+func TestHashGraphIgnoresNames(t *testing.T) {
+	g1 := ddg.New("a")
+	x := g1.AddOp(isa.Load, "x")
+	y := g1.AddOp(isa.FPALU, "y")
+	g1.AddDep(x, y, 0)
+
+	g2 := ddg.New("b")
+	x2 := g2.AddOp(isa.Load, "renamed")
+	y2 := g2.AddOp(isa.FPALU, "also renamed")
+	g2.AddDep(x2, y2, 0)
+
+	if HashGraph(g1) != HashGraph(g2) {
+		t.Fatal("names leaked into the scheduling fingerprint")
+	}
+	g2.AddDep(y2, y2, 1)
+	if HashGraph(g1) == HashGraph(g2) {
+		t.Fatal("structural change did not change the fingerprint")
+	}
+}
+
+// TestFileSource: a file-backed source serves the same benchmarks as the
+// synthetic source it was exported from.
+func TestFileSource(t *testing.T) {
+	src, err := loopgen.NewSyntheticSource("embedded", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CorpusFromSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "embedded.hvc")
+	if err := WriteCorpusFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := NewFileSource(path)
+	names, err := fs.BenchmarkNames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := src.BenchmarkNames()
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("names drifted: %v != %v", names, want)
+	}
+	for _, name := range names {
+		fb, err := fs.Benchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := src.Benchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fb.Loops) != len(sb.Loops) {
+			t.Fatalf("%s: loop count drifted", name)
+		}
+		for i := range fb.Loops {
+			if !graphsEqual(fb.Loops[i].Graph, sb.Loops[i].Graph) {
+				t.Fatalf("%s loop %d: graph drifted through the file", name, i)
+			}
+			if fb.Loops[i].Weight != sb.Loops[i].Weight {
+				t.Fatalf("%s loop %d: weight drifted", name, i)
+			}
+		}
+	}
+	if _, err := fs.Benchmark("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

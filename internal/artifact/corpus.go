@@ -1,0 +1,244 @@
+// Loop corpus artifact: a named set of benchmarks, each a weighted set of
+// software-pipelinable loops. Exported corpora make the evaluation
+// workload shareable and importable: a corpus file evaluates byte-
+// identically to the in-memory corpus it was exported from.
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/loopgen"
+)
+
+// KindCorpus is the envelope kind of a corpus artifact.
+const KindCorpus = "loopgen.corpus"
+
+// Corpus is a serializable loop corpus.
+type Corpus struct {
+	// Name records the corpus's provenance (e.g. "synthetic:specfp×40"
+	// or the source file it was imported from).
+	Name string
+	// Benchmarks are the corpus's benchmarks in evaluation order.
+	Benchmarks []loopgen.Benchmark
+}
+
+// CorpusFromSource materializes every benchmark of a source into a corpus.
+func CorpusFromSource(src loopgen.Source) (*Corpus, error) {
+	names, err := src.BenchmarkNames()
+	if err != nil {
+		return nil, err
+	}
+	c := &Corpus{Name: src.Name()}
+	for _, name := range names {
+		b, err := src.Benchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		c.Benchmarks = append(c.Benchmarks, b)
+	}
+	return c, nil
+}
+
+// Hash returns the corpus's content address (over the canonical binary
+// encoding, so it covers every graph, weight and trip count).
+func (c *Corpus) Hash() Key {
+	w := &Writer{}
+	appendCorpus(w, c)
+	return HashBytes(KindCorpus, w.Bytes())
+}
+
+// appendCorpus writes the canonical corpus payload.
+func appendCorpus(w *Writer, c *Corpus) {
+	w.Str(c.Name)
+	w.Uint(uint64(len(c.Benchmarks)))
+	for _, b := range c.Benchmarks {
+		w.Str(b.Name)
+		w.Uint(uint64(len(b.Loops)))
+		for _, l := range b.Loops {
+			appendGraph(w, l.Graph)
+			w.Int(l.Iterations)
+			w.Float(l.Weight)
+			w.Uint(uint64(l.Class))
+		}
+	}
+}
+
+// readCorpus reconstructs a corpus from its canonical payload.
+func readCorpus(r *Reader) (*Corpus, error) {
+	c := &Corpus{Name: r.Str()}
+	nBench := r.Len(2)
+	for i := 0; i < nBench; i++ {
+		b := loopgen.Benchmark{Name: r.Str()}
+		nLoops := r.Len(2)
+		for j := 0; j < nLoops; j++ {
+			g, err := readGraph(r)
+			if err != nil {
+				return nil, fmt.Errorf("artifact: corpus benchmark %d loop %d: %w", i, j, err)
+			}
+			l := loopgen.Loop{
+				Graph:      g,
+				Iterations: r.Int(),
+				Weight:     r.Float(),
+				Class:      loopgen.LoopClass(r.Uint()),
+			}
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			if err := validateLoopMeta(b.Name, j, l.Iterations, l.Weight, int(l.Class)); err != nil {
+				return nil, err
+			}
+			b.Loops = append(b.Loops, l)
+		}
+		c.Benchmarks = append(c.Benchmarks, b)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// validateLoopMeta rejects loop metadata that would silently poison the
+// evaluation: non-positive trip counts, non-finite or non-positive
+// invocation weights (they multiply into every aggregated count), and
+// out-of-range classes.
+func validateLoopMeta(bench string, loop int, iterations int64, weight float64, class int) error {
+	if iterations < 1 {
+		return fmt.Errorf("artifact: corpus benchmark %q loop %d has trip count %d", bench, loop, iterations)
+	}
+	if weight <= 0 || math.IsInf(weight, 0) || math.IsNaN(weight) {
+		return fmt.Errorf("artifact: corpus benchmark %q loop %d has invalid weight %v", bench, loop, weight)
+	}
+	if class < int(loopgen.ResourceBound) || class > int(loopgen.RecurrenceBound) {
+		return fmt.Errorf("artifact: corpus benchmark %q loop %d has invalid class %d", bench, loop, class)
+	}
+	return nil
+}
+
+// EncodeCorpus encodes a corpus artifact (binary).
+func EncodeCorpus(c *Corpus) []byte {
+	w := NewEnvelope(KindCorpus)
+	appendCorpus(w, c)
+	return w.Bytes()
+}
+
+// DecodeCorpus decodes a corpus artifact, auto-detecting the binary and
+// JSON forms.
+func DecodeCorpus(data []byte) (*Corpus, error) {
+	if !IsBinary(data) {
+		return DecodeCorpusJSON(data)
+	}
+	r, _, err := OpenEnvelope(data, KindCorpus)
+	if err != nil {
+		return nil, err
+	}
+	return readCorpus(r)
+}
+
+// corpusJSON is the JSON envelope of a corpus.
+type corpusJSON struct {
+	Artifact   string          `json:"artifact"`
+	Version    int             `json:"version"`
+	Name       string          `json:"name"`
+	Benchmarks []benchmarkJSON `json:"benchmarks"`
+}
+
+// benchmarkJSON is one benchmark of the JSON corpus form.
+type benchmarkJSON struct {
+	Name  string     `json:"name"`
+	Loops []loopJSON `json:"loops"`
+}
+
+// loopJSON is one loop of the JSON corpus form.
+type loopJSON struct {
+	Graph      GraphJSON `json:"graph"`
+	Iterations int64     `json:"iterations"`
+	Weight     float64   `json:"weight"`
+	Class      int       `json:"class"`
+}
+
+// EncodeCorpusJSON encodes a corpus as indented JSON.
+func EncodeCorpusJSON(c *Corpus) ([]byte, error) {
+	j := corpusJSON{Artifact: KindCorpus, Version: Version, Name: c.Name}
+	for _, b := range c.Benchmarks {
+		bj := benchmarkJSON{Name: b.Name}
+		for _, l := range b.Loops {
+			bj.Loops = append(bj.Loops, loopJSON{
+				Graph:      graphToJSON(l.Graph),
+				Iterations: l.Iterations,
+				Weight:     l.Weight,
+				Class:      int(l.Class),
+			})
+		}
+		j.Benchmarks = append(j.Benchmarks, bj)
+	}
+	return json.MarshalIndent(j, "", "  ")
+}
+
+// DecodeCorpusJSON decodes the JSON form of a corpus.
+func DecodeCorpusJSON(data []byte) (*Corpus, error) {
+	var j corpusJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	if j.Artifact != KindCorpus {
+		return nil, fmt.Errorf("artifact: kind mismatch: file holds %q, want %q", j.Artifact, KindCorpus)
+	}
+	if j.Version == 0 || j.Version > Version {
+		return nil, fmt.Errorf("artifact: %s version %d not supported (max %d)", KindCorpus, j.Version, Version)
+	}
+	c := &Corpus{Name: j.Name}
+	for i, bj := range j.Benchmarks {
+		b := loopgen.Benchmark{Name: bj.Name}
+		for k, lj := range bj.Loops {
+			g, err := graphFromJSON(lj.Graph)
+			if err != nil {
+				return nil, fmt.Errorf("artifact: corpus benchmark %d loop %d: %w", i, k, err)
+			}
+			if err := validateLoopMeta(bj.Name, k, lj.Iterations, lj.Weight, lj.Class); err != nil {
+				return nil, err
+			}
+			b.Loops = append(b.Loops, loopgen.Loop{
+				Graph:      g,
+				Iterations: lj.Iterations,
+				Weight:     lj.Weight,
+				Class:      loopgen.LoopClass(lj.Class),
+			})
+		}
+		c.Benchmarks = append(c.Benchmarks, b)
+	}
+	return c, nil
+}
+
+// WriteCorpusFile writes a corpus to path, choosing the form from the
+// extension: ".json" writes JSON, everything else the compact binary.
+func WriteCorpusFile(path string, c *Corpus) error {
+	var data []byte
+	if strings.EqualFold(filepath.Ext(path), ".json") {
+		var err error
+		if data, err = EncodeCorpusJSON(c); err != nil {
+			return err
+		}
+		data = append(data, '\n')
+	} else {
+		data = EncodeCorpus(c)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadCorpusFile reads a corpus from path (binary or JSON, auto-detected).
+func ReadCorpusFile(path string) (*Corpus, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := DecodeCorpus(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}

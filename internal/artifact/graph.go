@@ -1,0 +1,180 @@
+// Loop DDG artifact: binary and JSON forms of ddg.Graph.
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/ddg"
+	"repro/internal/isa"
+)
+
+// KindGraph is the envelope kind of a standalone DDG artifact.
+const KindGraph = "ddg.graph"
+
+// classByName maps Table 1 mnemonics back to classes for the JSON form.
+var classByName = func() map[string]isa.Class {
+	m := make(map[string]isa.Class, isa.NumClasses)
+	for _, c := range isa.Classes() {
+		m[c.String()] = c
+	}
+	return m
+}()
+
+// appendGraph writes the canonical graph payload: name, ops (class,
+// label), edges (from, to, latency, dist).
+func appendGraph(w *Writer, g *ddg.Graph) {
+	w.Str(g.Name())
+	w.Uint(uint64(g.NumOps()))
+	for _, op := range g.Ops() {
+		w.Uint(uint64(op.Class))
+		w.Str(op.Name)
+	}
+	w.Uint(uint64(g.NumEdges()))
+	for _, e := range g.Edges() {
+		w.Int(int64(e.From))
+		w.Int(int64(e.To))
+		w.Int(int64(e.Latency))
+		w.Int(int64(e.Dist))
+	}
+}
+
+// readGraph reconstructs a graph from its canonical payload and validates
+// it structurally.
+func readGraph(r *Reader) (*ddg.Graph, error) {
+	g := ddg.New(r.Str())
+	nOps := r.Len(2)
+	for i := 0; i < nOps; i++ {
+		cls := isa.Class(r.Uint())
+		name := r.Str()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if !cls.Valid() {
+			return nil, fmt.Errorf("artifact: graph %q op %d has invalid class %d", g.Name(), i, cls)
+		}
+		g.AddOp(cls, name)
+	}
+	nEdges := r.Len(4)
+	for i := 0; i < nEdges; i++ {
+		e := ddg.Edge{
+			From:    int(r.Int()),
+			To:      int(r.Int()),
+			Latency: int(r.Int()),
+			Dist:    int(r.Int()),
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if e.From < 0 || e.From >= nOps || e.To < 0 || e.To >= nOps {
+			return nil, fmt.Errorf("artifact: graph %q edge %d endpoints out of range", g.Name(), i)
+		}
+		g.AddEdge(e)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("artifact: decoded graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+// EncodeGraph encodes a standalone DDG artifact (binary).
+func EncodeGraph(g *ddg.Graph) []byte {
+	w := NewEnvelope(KindGraph)
+	appendGraph(w, g)
+	return w.Bytes()
+}
+
+// DecodeGraph decodes a standalone DDG artifact (binary).
+func DecodeGraph(data []byte) (*ddg.Graph, error) {
+	r, _, err := OpenEnvelope(data, KindGraph)
+	if err != nil {
+		return nil, err
+	}
+	return readGraph(r)
+}
+
+// GraphJSON is the human-readable form of a loop DDG.
+type GraphJSON struct {
+	Name  string     `json:"name"`
+	Ops   []OpJSON   `json:"ops"`
+	Edges []EdgeJSON `json:"edges"`
+}
+
+// OpJSON is one operation: the Table 1 mnemonic plus an optional label.
+type OpJSON struct {
+	Class string `json:"class"`
+	Name  string `json:"name,omitempty"`
+}
+
+// EdgeJSON is one dependence edge.
+type EdgeJSON struct {
+	From    int `json:"from"`
+	To      int `json:"to"`
+	Latency int `json:"latency"`
+	Dist    int `json:"dist"`
+}
+
+// graphToJSON builds the JSON form.
+func graphToJSON(g *ddg.Graph) GraphJSON {
+	out := GraphJSON{Name: g.Name(), Ops: make([]OpJSON, 0, g.NumOps()), Edges: make([]EdgeJSON, 0, g.NumEdges())}
+	for _, op := range g.Ops() {
+		out.Ops = append(out.Ops, OpJSON{Class: op.Class.String(), Name: op.Name})
+	}
+	for _, e := range g.Edges() {
+		out.Edges = append(out.Edges, EdgeJSON{From: e.From, To: e.To, Latency: e.Latency, Dist: e.Dist})
+	}
+	return out
+}
+
+// graphFromJSON reconstructs and validates a graph from its JSON form.
+func graphFromJSON(j GraphJSON) (*ddg.Graph, error) {
+	g := ddg.New(j.Name)
+	for i, op := range j.Ops {
+		cls, ok := classByName[op.Class]
+		if !ok {
+			return nil, fmt.Errorf("artifact: graph %q op %d has unknown class %q", j.Name, i, op.Class)
+		}
+		g.AddOp(cls, op.Name)
+	}
+	for i, e := range j.Edges {
+		if e.From < 0 || e.From >= len(j.Ops) || e.To < 0 || e.To >= len(j.Ops) {
+			return nil, fmt.Errorf("artifact: graph %q edge %d endpoints out of range", j.Name, i)
+		}
+		g.AddEdge(ddg.Edge{From: e.From, To: e.To, Latency: e.Latency, Dist: e.Dist})
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("artifact: decoded graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+// EncodeGraphJSON encodes a standalone DDG artifact as indented JSON.
+func EncodeGraphJSON(g *ddg.Graph) ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Artifact string `json:"artifact"`
+		Version  int    `json:"version"`
+		GraphJSON
+	}{KindGraph, Version, graphToJSON(g)}, "", "  ")
+}
+
+// DecodeGraphJSON decodes the JSON form of a standalone DDG artifact.
+func DecodeGraphJSON(data []byte) (*ddg.Graph, error) {
+	var env struct {
+		Artifact string `json:"artifact"`
+		Version  int    `json:"version"`
+		GraphJSON
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	if env.Artifact != KindGraph {
+		return nil, fmt.Errorf("artifact: kind mismatch: file holds %q, want %q", env.Artifact, KindGraph)
+	}
+	if env.Version == 0 || env.Version > Version {
+		return nil, fmt.Errorf("artifact: %s version %d not supported (max %d)", KindGraph, env.Version, Version)
+	}
+	return graphFromJSON(env.GraphJSON)
+}

@@ -1,0 +1,134 @@
+// Content addressing: canonical fingerprints of the value types that
+// determine scheduling/simulation/estimation results. Two values share a
+// hash iff they are semantically identical, so a cache hit — in-process or
+// on disk — is a proof of redundant work. This file is the single home of
+// the digest machinery; package explore re-exports it so every cache key
+// in the repo is built from the same primitives as the file formats.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"repro/internal/clock"
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// Key is a content-addressed cache key (a domain tag plus the SHA-256 of
+// the canonical serialization of every input the computation reads).
+type Key string
+
+// Hex returns the key as a filesystem-safe lowercase hex string.
+func (k Key) Hex() string { return hex.EncodeToString([]byte(k)) }
+
+// Digest accumulates a canonical binary serialization and hashes it.
+// Field order is fixed by the caller; variable-length sections must be
+// preceded by their length (the helpers below do this) so that adjacent
+// fields cannot alias.
+type Digest struct {
+	w Writer
+}
+
+// NewDigest starts a digest with a domain-separating tag.
+func NewDigest(tag string) *Digest {
+	d := &Digest{}
+	d.Str(tag)
+	return d
+}
+
+// Int appends signed integers.
+func (d *Digest) Int(vs ...int64) *Digest {
+	for _, v := range vs {
+		d.w.Int(v)
+	}
+	return d
+}
+
+// Float appends float64 values by bit pattern (so -0.0 ≠ 0.0 and NaNs are
+// stable).
+func (d *Digest) Float(vs ...float64) *Digest {
+	for _, v := range vs {
+		d.w.Float(v)
+	}
+	return d
+}
+
+// Str appends a length-prefixed string.
+func (d *Digest) Str(s string) *Digest {
+	d.w.Str(s)
+	return d
+}
+
+// Key finalizes the digest.
+func (d *Digest) Key() Key {
+	sum := sha256.Sum256(d.w.Bytes())
+	return Key(sum[:])
+}
+
+// HashGraph returns the content fingerprint of a loop DDG: its ops (class
+// order) and edges (endpoints, latency, distance). Names are excluded —
+// they do not affect scheduling — so a renamed but structurally identical
+// loop shares cache entries with the original.
+func HashGraph(g *ddg.Graph) Key {
+	d := NewDigest("ddg")
+	d.Int(int64(g.NumOps()))
+	for _, op := range g.Ops() {
+		d.Int(int64(op.Class))
+	}
+	d.Int(int64(g.NumEdges()))
+	for _, e := range g.Edges() {
+		d.Int(int64(e.From), int64(e.To), int64(e.Latency), int64(e.Dist))
+	}
+	return d.Key()
+}
+
+// ArchDigest appends the structural machine description.
+func ArchDigest(d *Digest, a *machine.Arch) {
+	d.Int(int64(len(a.Clusters)))
+	for _, c := range a.Clusters {
+		d.Int(int64(c.IntFUs), int64(c.FPFUs), int64(c.MemPorts), int64(c.Regs))
+	}
+	d.Int(int64(a.Buses), int64(a.BusLatency), int64(a.SyncQueueCycles))
+}
+
+// ClockingDigest appends a clock assignment: per-domain minimum periods,
+// supply voltages, and frequency-set ladders (nil/unconstrained sets hash
+// as empty).
+func ClockingDigest(d *Digest, c *machine.Clocking) {
+	d.Int(int64(len(c.MinPeriod)))
+	for _, p := range c.MinPeriod {
+		d.Int(int64(p))
+	}
+	d.Float(c.Vdd...)
+	for _, fs := range c.FreqSet {
+		var ps []clock.Picos
+		if !fs.Unconstrained() {
+			ps = fs.Periods()
+		}
+		d.Int(int64(len(ps)))
+		for _, p := range ps {
+			d.Int(int64(p))
+		}
+	}
+}
+
+// ConfigKey fingerprints a full machine configuration under the given tag.
+func ConfigKey(tag string, cfg *machine.Config) *Digest {
+	d := NewDigest(tag)
+	ArchDigest(d, cfg.Arch)
+	ClockingDigest(d, cfg.Clock)
+	return d
+}
+
+// HashConfig returns the content fingerprint of a machine configuration.
+func HashConfig(cfg *machine.Config) Key { return ConfigKey("config", cfg).Key() }
+
+// HashBytes hashes an already-canonical byte string under a domain tag —
+// the content address of an encoded artifact.
+func HashBytes(tag string, data []byte) Key {
+	d := NewDigest(tag)
+	d.Int(int64(len(data)))
+	d.w.Raw(data)
+	return d.Key()
+}

@@ -1,0 +1,230 @@
+// Machine configuration artifact: binary and JSON forms of machine.Config
+// (structural architecture + clock/voltage assignment).
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/machine"
+)
+
+// KindConfig is the envelope kind of a machine configuration artifact.
+const KindConfig = "machine.config"
+
+// appendConfig writes the canonical configuration payload.
+func appendConfig(w *Writer, cfg *machine.Config) {
+	a := cfg.Arch
+	w.Uint(uint64(len(a.Clusters)))
+	for _, c := range a.Clusters {
+		w.Int(int64(c.IntFUs))
+		w.Int(int64(c.FPFUs))
+		w.Int(int64(c.MemPorts))
+		w.Int(int64(c.Regs))
+	}
+	w.Int(int64(a.Buses))
+	w.Int(int64(a.BusLatency))
+	w.Int(int64(a.SyncQueueCycles))
+
+	c := cfg.Clock
+	w.Uint(uint64(len(c.MinPeriod)))
+	for _, p := range c.MinPeriod {
+		w.Int(int64(p))
+	}
+	for _, v := range c.Vdd {
+		w.Float(v)
+	}
+	for _, fs := range c.FreqSet {
+		var ps []clock.Picos
+		if !fs.Unconstrained() {
+			ps = fs.Periods()
+		}
+		w.Uint(uint64(len(ps)))
+		for _, p := range ps {
+			w.Int(int64(p))
+		}
+	}
+}
+
+// readConfig reconstructs a configuration and validates it.
+func readConfig(r *Reader) (*machine.Config, error) {
+	arch := &machine.Arch{}
+	nCl := r.Len(4)
+	arch.Clusters = make([]machine.ClusterSpec, nCl)
+	for i := range arch.Clusters {
+		arch.Clusters[i] = machine.ClusterSpec{
+			IntFUs:   int(r.Int()),
+			FPFUs:    int(r.Int()),
+			MemPorts: int(r.Int()),
+			Regs:     int(r.Int()),
+		}
+	}
+	arch.Buses = int(r.Int())
+	arch.BusLatency = int(r.Int())
+	arch.SyncQueueCycles = int(r.Int())
+
+	clk := &machine.Clocking{}
+	nDom := r.Len(1)
+	clk.MinPeriod = make([]clock.Picos, nDom)
+	for d := range clk.MinPeriod {
+		clk.MinPeriod[d] = clock.Picos(r.Int())
+	}
+	clk.Vdd = make([]float64, nDom)
+	for d := range clk.Vdd {
+		clk.Vdd[d] = r.Float()
+	}
+	clk.FreqSet = make([]*clock.FreqSet, nDom)
+	for d := range clk.FreqSet {
+		n := r.Len(1)
+		if n == 0 {
+			continue // unconstrained
+		}
+		ps := make([]clock.Picos, n)
+		for i := range ps {
+			ps[i] = clock.Picos(r.Int())
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		fs, err := clock.NewFreqSet(ps...)
+		if err != nil {
+			return nil, fmt.Errorf("artifact: config domain %d frequency set: %w", d, err)
+		}
+		clk.FreqSet[d] = fs
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	cfg := &machine.Config{Arch: arch, Clock: clk}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("artifact: decoded config invalid: %w", err)
+	}
+	return cfg, nil
+}
+
+// EncodeConfig encodes a machine configuration artifact (binary).
+func EncodeConfig(cfg *machine.Config) []byte {
+	w := NewEnvelope(KindConfig)
+	appendConfig(w, cfg)
+	return w.Bytes()
+}
+
+// DecodeConfig decodes a machine configuration artifact (binary).
+func DecodeConfig(data []byte) (*machine.Config, error) {
+	r, _, err := OpenEnvelope(data, KindConfig)
+	if err != nil {
+		return nil, err
+	}
+	return readConfig(r)
+}
+
+// ConfigJSON is the human-readable form of a machine configuration.
+type ConfigJSON struct {
+	Clusters        []ClusterJSON `json:"clusters"`
+	Buses           int           `json:"buses"`
+	BusLatency      int           `json:"bus_latency"`
+	SyncQueueCycles int           `json:"sync_queue_cycles"`
+	Domains         []DomainJSON  `json:"domains"`
+}
+
+// ClusterJSON is one cluster's resources.
+type ClusterJSON struct {
+	IntFUs   int `json:"int_fus"`
+	FPFUs    int `json:"fp_fus"`
+	MemPorts int `json:"mem_ports"`
+	Regs     int `json:"regs"`
+}
+
+// DomainJSON is one clock domain's assignment: period in ps, Vdd in volts,
+// and the supported period ladder (empty = unconstrained generator).
+type DomainJSON struct {
+	Name      string  `json:"name"`
+	PeriodPs  int64   `json:"period_ps"`
+	Vdd       float64 `json:"vdd"`
+	FreqSetPs []int64 `json:"freq_set_ps,omitempty"`
+}
+
+// EncodeConfigJSON encodes a machine configuration as indented JSON.
+func EncodeConfigJSON(cfg *machine.Config) ([]byte, error) {
+	j := ConfigJSON{
+		Buses:           cfg.Arch.Buses,
+		BusLatency:      cfg.Arch.BusLatency,
+		SyncQueueCycles: cfg.Arch.SyncQueueCycles,
+	}
+	for _, c := range cfg.Arch.Clusters {
+		j.Clusters = append(j.Clusters, ClusterJSON{c.IntFUs, c.FPFUs, c.MemPorts, c.Regs})
+	}
+	for d := 0; d < cfg.Arch.NumDomains(); d++ {
+		dj := DomainJSON{
+			Name:     cfg.Arch.DomainName(machine.DomainID(d)),
+			PeriodPs: int64(cfg.Clock.MinPeriod[d]),
+			Vdd:      cfg.Clock.Vdd[d],
+		}
+		if fs := cfg.Clock.FreqSet[d]; !fs.Unconstrained() {
+			for _, p := range fs.Periods() {
+				dj.FreqSetPs = append(dj.FreqSetPs, int64(p))
+			}
+		}
+		j.Domains = append(j.Domains, dj)
+	}
+	return json.MarshalIndent(struct {
+		Artifact string `json:"artifact"`
+		Version  int    `json:"version"`
+		ConfigJSON
+	}{KindConfig, Version, j}, "", "  ")
+}
+
+// DecodeConfigJSON decodes the JSON form of a machine configuration.
+func DecodeConfigJSON(data []byte) (*machine.Config, error) {
+	var env struct {
+		Artifact string `json:"artifact"`
+		Version  int    `json:"version"`
+		ConfigJSON
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	if env.Artifact != KindConfig {
+		return nil, fmt.Errorf("artifact: kind mismatch: file holds %q, want %q", env.Artifact, KindConfig)
+	}
+	if env.Version == 0 || env.Version > Version {
+		return nil, fmt.Errorf("artifact: %s version %d not supported (max %d)", KindConfig, env.Version, Version)
+	}
+	arch := &machine.Arch{
+		Buses:           env.Buses,
+		BusLatency:      env.BusLatency,
+		SyncQueueCycles: env.SyncQueueCycles,
+	}
+	for _, c := range env.Clusters {
+		arch.Clusters = append(arch.Clusters, machine.ClusterSpec{
+			IntFUs: c.IntFUs, FPFUs: c.FPFUs, MemPorts: c.MemPorts, Regs: c.Regs,
+		})
+	}
+	n := len(env.Domains)
+	clk := &machine.Clocking{
+		MinPeriod: make([]clock.Picos, n),
+		Vdd:       make([]float64, n),
+		FreqSet:   make([]*clock.FreqSet, n),
+	}
+	for d, dj := range env.Domains {
+		clk.MinPeriod[d] = clock.Picos(dj.PeriodPs)
+		clk.Vdd[d] = dj.Vdd
+		if len(dj.FreqSetPs) > 0 {
+			ps := make([]clock.Picos, len(dj.FreqSetPs))
+			for i, p := range dj.FreqSetPs {
+				ps[i] = clock.Picos(p)
+			}
+			fs, err := clock.NewFreqSet(ps...)
+			if err != nil {
+				return nil, fmt.Errorf("artifact: config domain %d frequency set: %w", d, err)
+			}
+			clk.FreqSet[d] = fs
+		}
+	}
+	cfg := &machine.Config{Arch: arch, Clock: clk}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("artifact: decoded config invalid: %w", err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,166 @@
+// Schedule summary artifact: the configuration-level outcome of one
+// modulo-scheduled loop (timing, per-domain IIs, pressure, communication),
+// without the per-op placement detail. Summaries are what sensitivity
+// studies and reports consume, and they tie back to their loop through the
+// DDG content hash.
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/modsched"
+)
+
+// KindSchedule is the envelope kind of a schedule summary artifact.
+const KindSchedule = "modsched.summary"
+
+// ScheduleSummary is the serializable summary of a kernel schedule.
+type ScheduleSummary struct {
+	// Loop is the scheduled loop's name; GraphHex the hex content hash of
+	// its DDG (HashGraph), so a summary can be matched to a corpus loop.
+	Loop     string
+	GraphHex string
+	// ITPs is the initiation time in picoseconds; II the per-domain
+	// initiation intervals in local cycles.
+	ITPs int64
+	II   []int
+	// SC is the stage count; ItLengthPs the iteration length in ps.
+	SC         int
+	ItLengthPs int64
+	// MaxLive is the per-cluster register pressure.
+	MaxLive []int
+	// Comms is the number of bus communications per iteration;
+	// SumLifetimeCycles the total value-lifetime profile input.
+	Comms             int
+	SumLifetimeCycles int
+}
+
+// Summarize extracts the serializable summary of a schedule.
+func Summarize(s *modsched.Schedule) ScheduleSummary {
+	return ScheduleSummary{
+		Loop:              s.Graph.Name(),
+		GraphHex:          HashGraph(s.Graph).Hex(),
+		ITPs:              int64(s.IT),
+		II:                append([]int(nil), s.II...),
+		SC:                s.SC,
+		ItLengthPs:        int64(s.ItLength),
+		MaxLive:           append([]int(nil), s.MaxLive...),
+		Comms:             s.CommCount(),
+		SumLifetimeCycles: s.SumLifetimeCycles,
+	}
+}
+
+// TexecPs returns the summary's execution time for n iterations, matching
+// modsched.Schedule.TexecPs.
+func (s ScheduleSummary) TexecPs(n int64) clock.Picos {
+	if n <= 0 {
+		return 0
+	}
+	return clock.Picos(s.ITPs*(n-1) + s.ItLengthPs)
+}
+
+// appendSummary writes the canonical summary payload.
+func appendSummary(w *Writer, s ScheduleSummary) {
+	w.Str(s.Loop)
+	w.Str(s.GraphHex)
+	w.Int(s.ITPs)
+	w.Uint(uint64(len(s.II)))
+	for _, ii := range s.II {
+		w.Int(int64(ii))
+	}
+	w.Int(int64(s.SC))
+	w.Int(s.ItLengthPs)
+	w.Uint(uint64(len(s.MaxLive)))
+	for _, m := range s.MaxLive {
+		w.Int(int64(m))
+	}
+	w.Int(int64(s.Comms))
+	w.Int(int64(s.SumLifetimeCycles))
+}
+
+// readSummary reconstructs a summary from its canonical payload.
+func readSummary(r *Reader) (ScheduleSummary, error) {
+	var s ScheduleSummary
+	s.Loop = r.Str()
+	s.GraphHex = r.Str()
+	s.ITPs = r.Int()
+	if n := r.Len(1); n > 0 {
+		s.II = make([]int, n)
+		for i := range s.II {
+			s.II[i] = int(r.Int())
+		}
+	}
+	s.SC = int(r.Int())
+	s.ItLengthPs = r.Int()
+	if n := r.Len(1); n > 0 {
+		s.MaxLive = make([]int, n)
+		for i := range s.MaxLive {
+			s.MaxLive[i] = int(r.Int())
+		}
+	}
+	s.Comms = int(r.Int())
+	s.SumLifetimeCycles = int(r.Int())
+	return s, r.Err()
+}
+
+// EncodeScheduleSummary encodes a schedule summary artifact (binary).
+func EncodeScheduleSummary(s ScheduleSummary) []byte {
+	w := NewEnvelope(KindSchedule)
+	appendSummary(w, s)
+	return w.Bytes()
+}
+
+// DecodeScheduleSummary decodes a schedule summary artifact (binary).
+func DecodeScheduleSummary(data []byte) (ScheduleSummary, error) {
+	r, _, err := OpenEnvelope(data, KindSchedule)
+	if err != nil {
+		return ScheduleSummary{}, err
+	}
+	return readSummary(r)
+}
+
+// scheduleJSON is the JSON envelope of a schedule summary.
+type scheduleJSON struct {
+	Artifact string `json:"artifact"`
+	Version  int    `json:"version"`
+	Loop     string `json:"loop"`
+	Graph    string `json:"graph_sha256"`
+	ITPs     int64  `json:"it_ps"`
+	II       []int  `json:"ii"`
+	SC       int    `json:"sc"`
+	ItLenPs  int64  `json:"it_length_ps"`
+	MaxLive  []int  `json:"max_live"`
+	Comms    int    `json:"comms"`
+	Lifetime int    `json:"sum_lifetime_cycles"`
+}
+
+// EncodeScheduleSummaryJSON encodes a schedule summary as indented JSON.
+func EncodeScheduleSummaryJSON(s ScheduleSummary) ([]byte, error) {
+	return json.MarshalIndent(scheduleJSON{
+		Artifact: KindSchedule, Version: Version,
+		Loop: s.Loop, Graph: s.GraphHex, ITPs: s.ITPs, II: s.II, SC: s.SC,
+		ItLenPs: s.ItLengthPs, MaxLive: s.MaxLive, Comms: s.Comms,
+		Lifetime: s.SumLifetimeCycles,
+	}, "", "  ")
+}
+
+// DecodeScheduleSummaryJSON decodes the JSON form of a schedule summary.
+func DecodeScheduleSummaryJSON(data []byte) (ScheduleSummary, error) {
+	var j scheduleJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return ScheduleSummary{}, fmt.Errorf("artifact: %w", err)
+	}
+	if j.Artifact != KindSchedule {
+		return ScheduleSummary{}, fmt.Errorf("artifact: kind mismatch: file holds %q, want %q", j.Artifact, KindSchedule)
+	}
+	if j.Version == 0 || j.Version > Version {
+		return ScheduleSummary{}, fmt.Errorf("artifact: %s version %d not supported (max %d)", KindSchedule, j.Version, Version)
+	}
+	return ScheduleSummary{
+		Loop: j.Loop, GraphHex: j.Graph, ITPs: j.ITPs, II: j.II, SC: j.SC,
+		ItLengthPs: j.ItLenPs, MaxLive: j.MaxLive, Comms: j.Comms,
+		SumLifetimeCycles: j.Lifetime,
+	}, nil
+}

@@ -1,0 +1,82 @@
+// File-backed corpus sources: loopgen.Source implementations that serve
+// benchmarks from an exported corpus artifact instead of the synthetic
+// generators. An imported corpus evaluates byte-identically to the
+// in-memory corpus it was exported from (the codec preserves every graph,
+// weight and trip count exactly).
+package artifact
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/loopgen"
+)
+
+// CorpusSource serves an in-memory corpus as a loopgen.Source.
+type CorpusSource struct {
+	c *Corpus
+}
+
+// NewCorpusSource wraps a corpus.
+func NewCorpusSource(c *Corpus) *CorpusSource { return &CorpusSource{c: c} }
+
+// Name identifies the corpus.
+func (s *CorpusSource) Name() string { return s.c.Name }
+
+// BenchmarkNames lists the corpus's benchmarks in evaluation order.
+func (s *CorpusSource) BenchmarkNames() ([]string, error) {
+	out := make([]string, len(s.c.Benchmarks))
+	for i, b := range s.c.Benchmarks {
+		out[i] = b.Name
+	}
+	return out, nil
+}
+
+// Benchmark returns the named benchmark.
+func (s *CorpusSource) Benchmark(name string) (loopgen.Benchmark, error) {
+	for _, b := range s.c.Benchmarks {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return loopgen.Benchmark{}, fmt.Errorf("artifact: corpus %q has no benchmark %q", s.c.Name, name)
+}
+
+// FileSource is a loopgen.Source backed by a corpus artifact file. The
+// file is read and decoded once, on first use.
+type FileSource struct {
+	path string
+	once sync.Once
+	c    *Corpus
+	err  error
+}
+
+// NewFileSource returns a lazily-loaded source for the corpus at path.
+func NewFileSource(path string) *FileSource { return &FileSource{path: path} }
+
+// load reads and decodes the file once.
+func (s *FileSource) load() (*Corpus, error) {
+	s.once.Do(func() { s.c, s.err = ReadCorpusFile(s.path) })
+	return s.c, s.err
+}
+
+// Name identifies the source by its file path.
+func (s *FileSource) Name() string { return "file:" + s.path }
+
+// BenchmarkNames lists the file's benchmarks in evaluation order.
+func (s *FileSource) BenchmarkNames() ([]string, error) {
+	c, err := s.load()
+	if err != nil {
+		return nil, err
+	}
+	return NewCorpusSource(c).BenchmarkNames()
+}
+
+// Benchmark returns the named benchmark from the file.
+func (s *FileSource) Benchmark(name string) (loopgen.Benchmark, error) {
+	c, err := s.load()
+	if err != nil {
+		return loopgen.Benchmark{}, err
+	}
+	return NewCorpusSource(c).Benchmark(name)
+}

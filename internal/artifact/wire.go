@@ -1,0 +1,202 @@
+// Package artifact makes the repo's core value types — loop DDGs, loop
+// corpora, machine configurations, design spaces and schedule summaries —
+// first-class serializable artifacts. Every artifact has two wire forms:
+//
+//   - a compact, deterministic binary encoding (varint/length-prefixed,
+//     float64s by bit pattern) used for files, the disk-persistent
+//     exploration cache, and content hashing;
+//   - a human-readable JSON encoding for inspection and interchange.
+//
+// Both forms are versioned: the binary form carries a 4-byte magic, a
+// kind string and a format version in its envelope, the JSON form carries
+// the same fields as properties. Decoders reject unknown kinds and future
+// versions, so cache entries and corpora written by a newer format are
+// recomputed/re-exported rather than misread.
+//
+// The binary encoding is canonical: encode(decode(encode(x))) is byte
+// identical to encode(x). That property is what lets the same primitives
+// back both the file formats and the content-addressed cache keys used by
+// the exploration engine (package explore) — a hash of the canonical
+// bytes is a content address.
+package artifact
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Version is the current format version of every artifact kind. Bump it
+// when any binary layout changes; decoders accept only versions ≤ their
+// compiled Version (per kind, older layouts may be grandfathered in the
+// kind's decoder).
+const Version = 1
+
+// magic identifies a binary artifact file or cache entry.
+var magic = [4]byte{'H', 'V', 'A', 'R'}
+
+// Writer accumulates the canonical binary encoding.
+type Writer struct {
+	b []byte
+}
+
+// Uint appends an unsigned varint.
+func (w *Writer) Uint(v uint64) { w.b = binary.AppendUvarint(w.b, v) }
+
+// Int appends a signed varint.
+func (w *Writer) Int(v int64) { w.b = binary.AppendVarint(w.b, v) }
+
+// Float appends a float64 by bit pattern (big endian), so -0.0 ≠ 0.0 and
+// NaN payloads survive a round trip.
+func (w *Writer) Float(v float64) {
+	w.b = binary.BigEndian.AppendUint64(w.b, math.Float64bits(v))
+}
+
+// Str appends a length-prefixed string.
+func (w *Writer) Str(s string) {
+	w.Uint(uint64(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// Raw appends bytes verbatim (no length prefix).
+func (w *Writer) Raw(p []byte) { w.b = append(w.b, p...) }
+
+// Bytes returns the accumulated encoding.
+func (w *Writer) Bytes() []byte { return w.b }
+
+// Reader decodes the canonical binary encoding. It is error-latching: the
+// first malformed field sets Err and every later read returns zero values,
+// so decoders can read a whole struct and check Err once.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader wraps raw bytes (no envelope).
+func NewReader(p []byte) *Reader { return &Reader{b: p} }
+
+func (r *Reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("artifact: truncated or malformed %s at offset %d", what, r.off)
+	}
+}
+
+// Uint reads an unsigned varint.
+func (r *Reader) Uint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads a signed varint.
+func (r *Reader) Int() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Float reads a float64 bit pattern.
+func (r *Reader) Float() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail("float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+// Str reads a length-prefixed string.
+func (r *Reader) Str() string {
+	n := r.Uint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail("string")
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// Len reads a length prefix and validates it against a per-element lower
+// bound on the remaining bytes, so a corrupt length cannot drive a huge
+// allocation.
+func (r *Reader) Len(minBytesPerElem int) int {
+	n := r.Uint()
+	if r.err != nil {
+		return 0
+	}
+	if minBytesPerElem < 1 {
+		minBytesPerElem = 1
+	}
+	if n > uint64((len(r.b)-r.off)/minBytesPerElem) {
+		r.fail("length prefix")
+		return 0
+	}
+	return int(n)
+}
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+// NewEnvelope starts a binary artifact of the given kind at the current
+// format Version: magic, kind, version, then the caller's payload.
+func NewEnvelope(kind string) *Writer {
+	w := &Writer{}
+	w.Raw(magic[:])
+	w.Str(kind)
+	w.Uint(Version)
+	return w
+}
+
+// OpenEnvelope validates the magic, kind and version of a binary artifact
+// and returns a Reader positioned at the payload, plus the format version
+// it was written with.
+func OpenEnvelope(data []byte, kind string) (*Reader, int, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic[:]) {
+		return nil, 0, fmt.Errorf("artifact: not a binary artifact (bad magic)")
+	}
+	r := &Reader{b: data, off: len(magic)}
+	k := r.Str()
+	v := r.Uint()
+	if err := r.Err(); err != nil {
+		return nil, 0, err
+	}
+	if k != kind {
+		return nil, 0, fmt.Errorf("artifact: kind mismatch: file holds %q, want %q", k, kind)
+	}
+	if v == 0 || v > Version {
+		return nil, 0, fmt.Errorf("artifact: %s version %d not supported (max %d)", kind, v, Version)
+	}
+	return r, int(v), nil
+}
+
+// IsBinary reports whether data starts with the binary artifact magic
+// (used to auto-detect binary vs JSON artifact files).
+func IsBinary(data []byte) bool {
+	return len(data) >= len(magic) && string(data[:len(magic)]) == string(magic[:])
+}

@@ -1,0 +1,149 @@
+// Serialization for the configuration-selection layer: a durable codec
+// for the memoised MIT analysis (so the disk-persistent exploration cache
+// covers it) and a versioned artifact form of the design space, so the
+// explored grid is itself a shareable, reproducible input.
+package confsel
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/artifact"
+	"repro/internal/clock"
+	"repro/internal/explore"
+	"repro/internal/mii"
+)
+
+// mitCodec persists mii.Result values in the engine's disk tier.
+var mitCodec = explore.Codec[mii.Result]{
+	Kind: "confsel.mit",
+	Encode: func(w *artifact.Writer, r mii.Result) {
+		w.Int(int64(r.RecMII))
+		w.Int(int64(r.RecMIT))
+		w.Int(int64(r.ResMIT))
+		w.Int(int64(r.MIT))
+	},
+	Decode: func(r *artifact.Reader) (mii.Result, error) {
+		out := mii.Result{
+			RecMII: int(r.Int()),
+			RecMIT: clock.Picos(r.Int()),
+			ResMIT: clock.Picos(r.Int()),
+			MIT:    clock.Picos(r.Int()),
+		}
+		return out, r.Err()
+	},
+}
+
+// KindSpace is the envelope kind of a design-space artifact.
+const KindSpace = "confsel.space"
+
+// appendSpace writes the canonical design-space payload.
+func appendSpace(w *artifact.Writer, s *Space) {
+	w.Uint(uint64(len(s.FastFactors)))
+	for _, f := range s.FastFactors {
+		w.Float(f)
+	}
+	w.Uint(uint64(len(s.SlowRatios)))
+	for _, f := range s.SlowRatios {
+		w.Float(f)
+	}
+	w.Int(int64(s.NumFast))
+	for _, pair := range [][2]float64{s.ClusterVdd, s.ICNVdd, s.CacheVdd} {
+		w.Float(pair[0])
+		w.Float(pair[1])
+	}
+	w.Float(s.VddStep)
+	w.Uint(uint64(len(s.HomFactors)))
+	for _, f := range s.HomFactors {
+		w.Float(f)
+	}
+}
+
+// readSpace reconstructs a design space.
+func readSpace(r *artifact.Reader) (Space, error) {
+	var s Space
+	if n := r.Len(8); n > 0 {
+		s.FastFactors = make([]float64, n)
+		for i := range s.FastFactors {
+			s.FastFactors[i] = r.Float()
+		}
+	}
+	if n := r.Len(8); n > 0 {
+		s.SlowRatios = make([]float64, n)
+		for i := range s.SlowRatios {
+			s.SlowRatios[i] = r.Float()
+		}
+	}
+	s.NumFast = int(r.Int())
+	for _, pair := range []*[2]float64{&s.ClusterVdd, &s.ICNVdd, &s.CacheVdd} {
+		pair[0] = r.Float()
+		pair[1] = r.Float()
+	}
+	s.VddStep = r.Float()
+	if n := r.Len(8); n > 0 {
+		s.HomFactors = make([]float64, n)
+		for i := range s.HomFactors {
+			s.HomFactors[i] = r.Float()
+		}
+	}
+	return s, r.Err()
+}
+
+// EncodeSpace encodes a design-space artifact (binary).
+func EncodeSpace(s *Space) []byte {
+	w := artifact.NewEnvelope(KindSpace)
+	appendSpace(w, s)
+	return w.Bytes()
+}
+
+// DecodeSpace decodes a design-space artifact (binary).
+func DecodeSpace(data []byte) (Space, error) {
+	r, _, err := artifact.OpenEnvelope(data, KindSpace)
+	if err != nil {
+		return Space{}, err
+	}
+	return readSpace(r)
+}
+
+// spaceJSON is the JSON envelope of a design space.
+type spaceJSON struct {
+	Artifact    string     `json:"artifact"`
+	Version     int        `json:"version"`
+	FastFactors []float64  `json:"fast_factors"`
+	SlowRatios  []float64  `json:"slow_ratios"`
+	NumFast     int        `json:"num_fast"`
+	ClusterVdd  [2]float64 `json:"cluster_vdd"`
+	ICNVdd      [2]float64 `json:"icn_vdd"`
+	CacheVdd    [2]float64 `json:"cache_vdd"`
+	VddStep     float64    `json:"vdd_step"`
+	HomFactors  []float64  `json:"hom_factors"`
+}
+
+// EncodeSpaceJSON encodes a design space as indented JSON.
+func EncodeSpaceJSON(s *Space) ([]byte, error) {
+	return json.MarshalIndent(spaceJSON{
+		Artifact: KindSpace, Version: artifact.Version,
+		FastFactors: s.FastFactors, SlowRatios: s.SlowRatios, NumFast: s.NumFast,
+		ClusterVdd: s.ClusterVdd, ICNVdd: s.ICNVdd, CacheVdd: s.CacheVdd,
+		VddStep: s.VddStep, HomFactors: s.HomFactors,
+	}, "", "  ")
+}
+
+// DecodeSpaceJSON decodes the JSON form of a design space.
+func DecodeSpaceJSON(data []byte) (Space, error) {
+	var j spaceJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return Space{}, fmt.Errorf("artifact: %w", err)
+	}
+	if j.Artifact != KindSpace {
+		return Space{}, fmt.Errorf("artifact: kind mismatch: file holds %q, want %q", j.Artifact, KindSpace)
+	}
+	if j.Version == 0 || j.Version > artifact.Version {
+		return Space{}, fmt.Errorf("artifact: %s version %d not supported (max %d)", KindSpace, j.Version, artifact.Version)
+	}
+	return Space{
+		FastFactors: j.FastFactors, SlowRatios: j.SlowRatios, NumFast: j.NumFast,
+		ClusterVdd: j.ClusterVdd, ICNVdd: j.ICNVdd, CacheVdd: j.CacheVdd,
+		VddStep: j.VddStep, HomFactors: j.HomFactors,
+	}, nil
+}

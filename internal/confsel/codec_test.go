@@ -1,0 +1,46 @@
+package confsel
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestSpaceRoundTrip: design spaces survive both artifact forms exactly.
+func TestSpaceRoundTrip(t *testing.T) {
+	for _, s := range []Space{DefaultSpace(), DenseSpace()} {
+		enc := EncodeSpace(&s)
+		dec, err := DecodeSpace(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(s, dec) {
+			t.Fatalf("space drifted:\n got %+v\nwant %+v", dec, s)
+		}
+		if !bytes.Equal(enc, EncodeSpace(&dec)) {
+			t.Fatal("re-encode not byte-identical")
+		}
+
+		jenc, err := EncodeSpaceJSON(&s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jdec, err := DecodeSpaceJSON(jenc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(s, jdec) {
+			t.Fatal("JSON space drifted")
+		}
+	}
+}
+
+// TestSpaceRejects: wrong-kind artifacts are refused.
+func TestSpaceRejects(t *testing.T) {
+	if _, err := DecodeSpace([]byte("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := DecodeSpaceJSON([]byte(`{"artifact":"other","version":1}`)); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+}

@@ -175,7 +175,7 @@ func computeMIT(eng *explore.Engine, g *ddg.Graph, arch *machine.Arch,
 	} else {
 		d.Int(0)
 	}
-	return explore.Memoize(eng, d.Key(), func() (mii.Result, error) {
+	return explore.MemoizeDurable(eng, d.Key(), mitCodec, func() (mii.Result, error) {
 		return mii.Compute(g, arch, clk, extra)
 	})
 }

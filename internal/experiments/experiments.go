@@ -23,7 +23,6 @@ import (
 	"repro/internal/confsel"
 	"repro/internal/explore"
 	"repro/internal/isa"
-	"repro/internal/loopgen"
 	"repro/internal/pipeline"
 	"repro/internal/power"
 )
@@ -47,10 +46,15 @@ type Suite struct {
 
 // New creates a Suite; opts.Buses is ignored (each experiment sets it).
 // opts.Engine, if nil, is replaced by a fresh engine shared by every
-// study the Suite runs.
+// study the Suite runs; opts.Corpus, if nil, by the synthetic SPECfp
+// family sized by opts.LoopsPerBenchmark. A file-backed corpus (artifact
+// codec) or another generator family drops in through opts.Corpus.
 func New(opts pipeline.Options) *Suite {
 	if opts.Engine == nil {
 		opts.Engine = explore.New(opts.Parallelism)
+	}
+	if opts.Corpus == nil {
+		opts.Corpus = pipeline.DefaultCorpus(opts.LoopsPerBenchmark)
 	}
 	return &Suite{opts: opts, eng: opts.Engine, refs: make(map[int][]*pipeline.Reference)}
 }
@@ -69,8 +73,12 @@ func (s *Suite) references(buses int) ([]*pipeline.Reference, error) {
 	opts := s.opts
 	opts.Buses = buses
 	opts.EnergyAware = true
+	names, err := opts.Corpus.BenchmarkNames()
+	if err != nil {
+		return nil, err
+	}
 	var refs []*pipeline.Reference
-	for _, name := range loopgen.Names() {
+	for _, name := range names {
 		ref, err := pipeline.BuildReference(name, opts)
 		if err != nil {
 			return nil, err

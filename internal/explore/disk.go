@@ -1,0 +1,235 @@
+// Disk-persistent cache tier. The in-process cache dies with the process,
+// so every cmd/experiments invocation used to re-pay the full cold cost;
+// the disk tier gives a fresh process the same warm start a long-lived
+// engine enjoys. Entries are content-addressed files (the cache key's hex
+// under a two-level fan-out) holding a versioned artifact envelope, so a
+// format bump or a corrupted file reads as a miss, never as wrong data.
+//
+// Concurrency: writes go to a unique temp file in the cache directory and
+// are renamed into place, so concurrent runs — even of different builds —
+// only ever observe complete entries. Two processes computing the same
+// key race benignly: both write identical bytes (the cache stores only
+// deterministic functions of the key).
+package explore
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/artifact"
+)
+
+// diskCache is the engine's second cache tier.
+type diskCache struct {
+	dir string
+}
+
+// NewDisk returns an Engine whose cache is backed by a directory of
+// content-addressed entries: values memoised through MemoizeDurable are
+// written to dir and served from it by later processes. dir is created if
+// missing; an empty dir returns a memory-only engine (same as New).
+func NewDisk(parallelism int, dir string) (*Engine, error) {
+	e := New(parallelism)
+	if dir == "" {
+		return e, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("explore: cache dir: %w", err)
+	}
+	e.disk = &diskCache{dir: dir}
+	return e, nil
+}
+
+// CacheDir returns the disk tier's directory ("" when memory-only).
+func (e *Engine) CacheDir() string {
+	if e.disk == nil {
+		return ""
+	}
+	return e.disk.dir
+}
+
+// path maps a key to its entry file: two-level hex fan-out so directories
+// stay small at millions of entries.
+func (c *diskCache) path(key Key) string {
+	hx := key.Hex()
+	return filepath.Join(c.dir, hx[:2], hx[2:]+".art")
+}
+
+// load reads an entry; any error (missing, torn write survived by a crash,
+// foreign format) reads as a miss.
+func (c *diskCache) load(key Key) ([]byte, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// store writes an entry atomically (temp file + rename). Failures are
+// swallowed: the disk tier is an accelerator, and the computed value is
+// already in memory.
+func (c *diskCache) store(key Key, data []byte) bool {
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return false
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		return false
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return false
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return false
+	}
+	return true
+}
+
+// Codec serializes one memoisable result type for the disk tier, using
+// the artifact package's canonical wire primitives. Encode writes the
+// payload (it cannot fail: the value was just computed in memory); Decode
+// validates and may reject, which reads as a cache miss. Kind names the
+// artifact envelope and must change when the payload layout does —
+// stale-format entries then miss instead of misdecoding.
+type Codec[T any] struct {
+	Kind   string
+	Encode func(*artifact.Writer, T)
+	Decode func(*artifact.Reader) (T, error)
+}
+
+// MemoizeDurable is Memoize with disk persistence: on an in-memory miss
+// the engine's disk tier is consulted before computing, and computed
+// values are written back. Engines without a disk tier behave exactly
+// like Memoize. Errors are memoised in memory only — an infeasible design
+// point stays infeasible for this process, but is re-examined by the next
+// one (feasibility may be build-dependent).
+func MemoizeDurable[T any](e *Engine, key Key, c Codec[T], fn func() (T, error)) (T, error) {
+	if e.disk == nil {
+		return Memoize(e, key, fn)
+	}
+	v, err := e.memoTiered(key,
+		func() (any, bool) {
+			data, ok := e.disk.load(key)
+			if !ok {
+				return nil, false
+			}
+			val, derr := decodeEntry(c, data)
+			if derr != nil {
+				return nil, false // stale/corrupt entry: recompute
+			}
+			return val, true
+		},
+		func(v any) {
+			if e.disk.store(key, encodeEntry(c, v.(T))) {
+				e.diskWrites.Add(1)
+			}
+		},
+		func() (any, error) { return fn() })
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+// encodeEntry wraps the codec payload in a versioned artifact envelope.
+func encodeEntry[T any](c Codec[T], v T) []byte {
+	w := artifact.NewEnvelope(c.Kind)
+	c.Encode(w, v)
+	return w.Bytes()
+}
+
+// decodeEntry unwraps and decodes one disk entry.
+func decodeEntry[T any](c Codec[T], data []byte) (T, error) {
+	r, _, err := artifact.OpenEnvelope(data, c.Kind)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return c.Decode(r)
+}
+
+// memoTiered is the single-flight lookup behind both Memoize (nil
+// load/store: memory then fn) and MemoizeDurable (disk tier plugged in:
+// memory, then load, then fn, with store persisting fresh values).
+// Exactly one goroutine per key runs load/fn; the others share the
+// result.
+func (e *Engine) memoTiered(key Key, load func() (any, bool),
+	store func(any), fn func() (any, error)) (any, error) {
+	if v, ok := e.cache.Load(key); ok {
+		ent := v.(*entry)
+		<-ent.done
+		e.hits.Add(1)
+		return ent.val, ent.err
+	}
+	ent := &entry{done: make(chan struct{})}
+	if v, raced := e.cache.LoadOrStore(key, ent); raced {
+		ent := v.(*entry)
+		<-ent.done
+		e.hits.Add(1)
+		return ent.val, ent.err
+	}
+	if load != nil {
+		if v, ok := load(); ok {
+			e.diskHits.Add(1)
+			ent.val = v
+			close(ent.done)
+			return ent.val, nil
+		}
+	}
+	e.misses.Add(1)
+	ent.val, ent.err = fn()
+	if ent.err == nil && store != nil {
+		store(ent.val)
+	}
+	close(ent.done)
+	return ent.val, ent.err
+}
+
+// DiskStats describes a cache directory: entry count and total bytes.
+type DiskStats struct {
+	Entries int
+	Bytes   int64
+}
+
+// StatDiskCache walks a cache directory and counts its entries.
+func StatDiskCache(dir string) (DiskStats, error) {
+	var st DiskStats
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".art" {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		st.Entries++
+		st.Bytes += info.Size()
+		return nil
+	})
+	return st, err
+}
+
+// ClearDiskCache removes every entry of a cache directory (the directory
+// itself is kept). Temp files from in-flight writers are left alone.
+func ClearDiskCache(dir string) (int, error) {
+	removed := 0
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".art" {
+			return err
+		}
+		if rerr := os.Remove(path); rerr != nil {
+			return rerr
+		}
+		removed++
+		return nil
+	})
+	return removed, err
+}

@@ -1,0 +1,223 @@
+package explore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/artifact"
+)
+
+// intCodec is a trivial durable codec for tests.
+var intCodec = Codec[int]{
+	Kind:   "test.int",
+	Encode: func(w *artifact.Writer, v int) { w.Int(int64(v)) },
+	Decode: func(r *artifact.Reader) (int, error) { return int(r.Int()), r.Err() },
+}
+
+func testKey(s string) Key { return NewDigest("disk-test").Str(s).Key() }
+
+// TestDiskPersistsAcrossEngines: a second engine on the same directory
+// serves the value from disk without recomputing — the cross-process
+// warm start, minus the process boundary.
+func TestDiskPersistsAcrossEngines(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey("a")
+
+	e1, err := NewDisk(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int32
+	compute := func() (int, error) { calls.Add(1); return 42, nil }
+
+	v, err := MemoizeDurable(e1, key, intCodec, compute)
+	if err != nil || v != 42 {
+		t.Fatalf("got %d, %v", v, err)
+	}
+	if st := e1.Stats(); st.Misses != 1 || st.DiskWrites != 1 || st.DiskHits != 0 {
+		t.Fatalf("first engine stats: %+v", st)
+	}
+
+	// Same engine again: memory hit, no disk traffic.
+	if v, _ = MemoizeDurable(e1, key, intCodec, compute); v != 42 {
+		t.Fatal("memory tier broken")
+	}
+	if st := e1.Stats(); st.Hits != 1 || st.DiskHits != 0 {
+		t.Fatalf("memory-hit stats: %+v", st)
+	}
+
+	// Fresh engine, same dir: disk hit, no recompute.
+	e2, err := NewDisk(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err = MemoizeDurable(e2, key, intCodec, compute)
+	if err != nil || v != 42 {
+		t.Fatalf("got %d, %v", v, err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("computed %d times, want 1", got)
+	}
+	if st := e2.Stats(); st.DiskHits != 1 || st.Misses != 0 || st.DiskWrites != 0 {
+		t.Fatalf("second engine stats: %+v", st)
+	}
+	if st := e2.Stats(); st.HitRate() != 1.0 {
+		t.Fatalf("hit rate %v, want 1", st.HitRate())
+	}
+}
+
+// TestDiskCorruptEntryRecomputes: torn/corrupt entries read as misses and
+// are rewritten, never misdecoded.
+func TestDiskCorruptEntryRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey("b")
+
+	e1, _ := NewDisk(1, dir)
+	if _, err := MemoizeDurable(e1, key, intCodec, func() (int, error) { return 7, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt every entry file.
+	var files []string
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".art" {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if len(files) != 1 {
+		t.Fatalf("expected 1 entry file, found %d", len(files))
+	}
+	if err := os.WriteFile(files[0], []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, _ := NewDisk(1, dir)
+	v, err := MemoizeDurable(e2, key, intCodec, func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("got %d, %v", v, err)
+	}
+	if st := e2.Stats(); st.Misses != 1 || st.DiskHits != 0 || st.DiskWrites != 1 {
+		t.Fatalf("stats after corruption: %+v", st)
+	}
+
+	// The rewrite healed the entry.
+	e3, _ := NewDisk(1, dir)
+	if _, err := MemoizeDurable(e3, key, intCodec, func() (int, error) {
+		t.Fatal("recomputed a healed entry")
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiskKindMismatchRecomputes: an entry written by a different codec
+// kind (format evolution) reads as a miss.
+func TestDiskKindMismatchRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey("c")
+
+	e1, _ := NewDisk(1, dir)
+	if _, err := MemoizeDurable(e1, key, intCodec, func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	other := Codec[int]{Kind: "test.int.v2", Encode: intCodec.Encode, Decode: intCodec.Decode}
+	e2, _ := NewDisk(1, dir)
+	if _, err := MemoizeDurable(e2, key, other, func() (int, error) { return 2, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := e2.Stats(); st.Misses != 1 || st.DiskHits != 0 {
+		t.Fatalf("kind mismatch served from disk: %+v", st)
+	}
+}
+
+// TestDiskErrorsNotPersisted: failed computations are memoised in memory
+// only; a fresh engine retries them.
+func TestDiskErrorsNotPersisted(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey("d")
+	boom := errors.New("boom")
+
+	e1, _ := NewDisk(1, dir)
+	if _, err := MemoizeDurable(e1, key, intCodec, func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// In-process: the error is cached.
+	if _, err := MemoizeDurable(e1, key, intCodec, func() (int, error) { return 9, nil }); !errors.Is(err, boom) {
+		t.Fatalf("cached err = %v", err)
+	}
+	// Fresh engine: recomputes and succeeds.
+	e2, _ := NewDisk(1, dir)
+	v, err := MemoizeDurable(e2, key, intCodec, func() (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("got %d, %v", v, err)
+	}
+}
+
+// TestDiskConcurrentSingleFlight: concurrent callers of one key on one
+// engine compute once even with the disk tier active.
+func TestDiskConcurrentSingleFlight(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := NewDisk(8, dir)
+	key := testKey("e")
+	var calls atomic.Int32
+	results := Map(e, 32, func(i int) int {
+		v, err := MemoizeDurable(e, key, intCodec, func() (int, error) {
+			calls.Add(1)
+			return 5, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		return v
+	})
+	for _, v := range results {
+		if v != 5 {
+			t.Fatalf("results: %v", results)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("computed %d times", got)
+	}
+}
+
+// TestStatAndClearDiskCache exercises the maintenance helpers.
+func TestStatAndClearDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := NewDisk(1, dir)
+	for i := 0; i < 5; i++ {
+		k := testKey(string(rune('f' + i)))
+		if _, err := MemoizeDurable(e, k, intCodec, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := StatDiskCache(dir)
+	if err != nil || st.Entries != 5 || st.Bytes == 0 {
+		t.Fatalf("stats %+v, %v", st, err)
+	}
+	n, err := ClearDiskCache(dir)
+	if err != nil || n != 5 {
+		t.Fatalf("cleared %d, %v", n, err)
+	}
+	st, err = StatDiskCache(dir)
+	if err != nil || st.Entries != 0 {
+		t.Fatalf("post-clear stats %+v, %v", st, err)
+	}
+}
+
+// TestMemoizeDurableWithoutDisk: memory-only engines behave like Memoize.
+func TestMemoizeDurableWithoutDisk(t *testing.T) {
+	e := New(1)
+	if e.CacheDir() != "" {
+		t.Fatal("memory engine reports a cache dir")
+	}
+	v, err := MemoizeDurable(e, testKey("z"), intCodec, func() (int, error) { return 3, nil })
+	if err != nil || v != 3 {
+		t.Fatalf("got %d, %v", v, err)
+	}
+	if st := e.Stats(); st.DiskWrites != 0 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}

@@ -37,6 +37,10 @@ type Engine struct {
 	graphFPs    sync.Map // *ddg.Graph -> Key (see GraphFingerprint)
 	hits        atomic.Uint64
 	misses      atomic.Uint64
+	// disk is the optional persistent tier (see NewDisk / MemoizeDurable).
+	disk       *diskCache
+	diskHits   atomic.Uint64
+	diskWrites atomic.Uint64
 }
 
 // New returns an Engine with the given worker-pool bound; parallelism <= 0
@@ -53,18 +57,38 @@ func (e *Engine) Parallelism() int { return e.parallelism }
 
 // CacheStats is a snapshot of the memoisation counters.
 type CacheStats struct {
-	// Hits counts lookups served from the cache (including waits on an
-	// in-flight computation of the same key).
+	// Hits counts lookups served from the in-memory cache (including
+	// waits on an in-flight computation of the same key).
 	Hits uint64
 	// Misses counts lookups that had to compute.
 	Misses uint64
-	// Entries is the number of distinct keys cached.
+	// Entries is the number of distinct keys cached in memory.
 	Entries int
+	// DiskHits counts lookups served from the disk tier; DiskWrites
+	// counts entries persisted to it. Both are zero on memory-only
+	// engines.
+	DiskHits   uint64
+	DiskWrites uint64
+}
+
+// HitRate returns the fraction of lookups served without recomputation
+// (memory and disk hits over all lookups); 0 when nothing was looked up.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.DiskHits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.DiskHits) / float64(total)
 }
 
 // Stats snapshots the cache counters.
 func (e *Engine) Stats() CacheStats {
-	s := CacheStats{Hits: e.hits.Load(), Misses: e.misses.Load()}
+	s := CacheStats{
+		Hits:       e.hits.Load(),
+		Misses:     e.misses.Load(),
+		DiskHits:   e.diskHits.Load(),
+		DiskWrites: e.diskWrites.Load(),
+	}
 	e.cache.Range(func(any, any) bool { s.Entries++; return true })
 	return s
 }
@@ -81,25 +105,10 @@ type entry struct {
 // Concurrent callers with the same key compute once (single-flight).
 // Errors are cached too: the computations routed through the engine are
 // deterministic in their key, so an infeasible design point stays
-// infeasible.
+// infeasible. The disk tier (MemoizeDurable) shares the same lookup with
+// a load/store pair plugged in.
 func (e *Engine) memo(key Key, fn func() (any, error)) (any, error) {
-	if v, ok := e.cache.Load(key); ok {
-		ent := v.(*entry)
-		<-ent.done
-		e.hits.Add(1)
-		return ent.val, ent.err
-	}
-	ent := &entry{done: make(chan struct{})}
-	if v, raced := e.cache.LoadOrStore(key, ent); raced {
-		ent := v.(*entry)
-		<-ent.done
-		e.hits.Add(1)
-		return ent.val, ent.err
-	}
-	e.misses.Add(1)
-	ent.val, ent.err = fn()
-	close(ent.done)
-	return ent.val, ent.err
+	return e.memoTiered(key, nil, nil, fn)
 }
 
 // Memoize is the typed front of the engine's cache: it returns the value

@@ -1,68 +1,26 @@
-// Content addressing for the exploration cache: canonical fingerprints of
-// the inputs that determine a scheduling/simulation/estimation result —
-// loop DDGs, machine structures, clock assignments and scalar model
-// parameters. Two inputs share a fingerprint iff they are semantically
-// identical, so a cache hit is a proof of redundant work.
+// Content addressing for the exploration cache. The digest machinery
+// lives in package artifact — the same canonical-encoding primitives back
+// the artifact file formats and these cache keys, so a fingerprint is the
+// content address of the value's serialized form. This file re-exports
+// the artifact types under their historical explore names and adds the
+// engine-scoped graph-fingerprint cache.
 package explore
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
-	"math"
-
-	"repro/internal/clock"
+	"repro/internal/artifact"
 	"repro/internal/ddg"
 	"repro/internal/machine"
 )
 
 // Key is a content-addressed cache key (a domain tag plus the SHA-256 of
 // the canonical serialization of every input the computation reads).
-type Key string
+type Key = artifact.Key
 
 // Digest accumulates a canonical binary serialization and hashes it.
-// Field order is fixed by the caller; variable-length sections must be
-// preceded by their length (the helpers below do this) so that adjacent
-// fields cannot alias.
-type Digest struct {
-	b []byte
-}
+type Digest = artifact.Digest
 
 // NewDigest starts a digest with a domain-separating tag.
-func NewDigest(tag string) *Digest {
-	d := &Digest{}
-	d.Str(tag)
-	return d
-}
-
-// Int appends signed integers.
-func (d *Digest) Int(vs ...int64) *Digest {
-	for _, v := range vs {
-		d.b = binary.AppendVarint(d.b, v)
-	}
-	return d
-}
-
-// Float appends float64 values by bit pattern (so -0.0 ≠ 0.0 and NaNs are
-// stable).
-func (d *Digest) Float(vs ...float64) *Digest {
-	for _, v := range vs {
-		d.b = binary.BigEndian.AppendUint64(d.b, math.Float64bits(v))
-	}
-	return d
-}
-
-// Str appends a length-prefixed string.
-func (d *Digest) Str(s string) *Digest {
-	d.b = binary.AppendUvarint(d.b, uint64(len(s)))
-	d.b = append(d.b, s...)
-	return d
-}
-
-// Key finalizes the digest.
-func (d *Digest) Key() Key {
-	sum := sha256.Sum256(d.b)
-	return Key(sum[:])
-}
+func NewDigest(tag string) *Digest { return artifact.NewDigest(tag) }
 
 // GraphFingerprint caches the content fingerprint of a loop DDG in the
 // engine, keyed by pointer: graphs are immutable once built (the corpus
@@ -83,53 +41,15 @@ func (e *Engine) GraphFingerprint(g *ddg.Graph) Key {
 // (class order) and edges (endpoints, latency, distance). Names are
 // excluded — they do not affect scheduling. Uncached; hot paths go
 // through (*Engine).GraphFingerprint.
-func GraphFingerprint(g *ddg.Graph) Key {
-	d := NewDigest("ddg")
-	d.Int(int64(g.NumOps()))
-	for _, op := range g.Ops() {
-		d.Int(int64(op.Class))
-	}
-	d.Int(int64(g.NumEdges()))
-	for _, e := range g.Edges() {
-		d.Int(int64(e.From), int64(e.To), int64(e.Latency), int64(e.Dist))
-	}
-	return d.Key()
-}
+func GraphFingerprint(g *ddg.Graph) Key { return artifact.HashGraph(g) }
 
 // ArchDigest appends the structural machine description.
-func ArchDigest(d *Digest, a *machine.Arch) {
-	d.Int(int64(len(a.Clusters)))
-	for _, c := range a.Clusters {
-		d.Int(int64(c.IntFUs), int64(c.FPFUs), int64(c.MemPorts), int64(c.Regs))
-	}
-	d.Int(int64(a.Buses), int64(a.BusLatency), int64(a.SyncQueueCycles))
-}
+func ArchDigest(d *Digest, a *machine.Arch) { artifact.ArchDigest(d, a) }
 
 // ClockingDigest appends a clock assignment: per-domain minimum periods,
 // supply voltages, and frequency-set ladders (nil/unconstrained sets hash
 // as empty).
-func ClockingDigest(d *Digest, c *machine.Clocking) {
-	d.Int(int64(len(c.MinPeriod)))
-	for _, p := range c.MinPeriod {
-		d.Int(int64(p))
-	}
-	d.Float(c.Vdd...)
-	for _, fs := range c.FreqSet {
-		var ps []clock.Picos
-		if !fs.Unconstrained() {
-			ps = fs.Periods()
-		}
-		d.Int(int64(len(ps)))
-		for _, p := range ps {
-			d.Int(int64(p))
-		}
-	}
-}
+func ClockingDigest(d *Digest, c *machine.Clocking) { artifact.ClockingDigest(d, c) }
 
 // ConfigKey fingerprints a full machine configuration under the given tag.
-func ConfigKey(tag string, cfg *machine.Config) *Digest {
-	d := NewDigest(tag)
-	ArchDigest(d, cfg.Arch)
-	ClockingDigest(d, cfg.Clock)
-	return d
-}
+func ConfigKey(tag string, cfg *machine.Config) *Digest { return artifact.ConfigKey(tag, cfg) }

@@ -1,0 +1,102 @@
+// Generator families beyond the paper's SPECfp corpus. The paper's
+// methodology — classify loops by recMII vs resMII, weight by execution
+// time, select per-domain frequencies from the profile — is workload
+// agnostic; what changes between workload domains is the operation mix
+// and the trip counts. Two additional families exercise that axis:
+//
+//   - media: integer/address-heavy streaming kernels (DCTs, filter banks,
+//     codecs). Compute is dominated by fixed-point arithmetic and table
+//     address generation; the critical recurrences are integer chains
+//     (predictors, accumulators), so the fast cluster's advantage shifts
+//     from FP latency to integer recurrence latency.
+//
+//   - embedded: short-trip-count control/DSP kernels. Every loop runs for
+//     only a handful of iterations, so it_length matters as much as the
+//     II — the regime Section 5.2 describes for applu, here as a whole
+//     workload family.
+//
+// Each family is a set of generator profiles exactly like the SPECfp
+// ones; FamilyNames/GenerateFamily and the synthetic Source expose them.
+package loopgen
+
+import "fmt"
+
+// mediaProfiles is the integer/address-heavy streaming family.
+var mediaProfiles = []profile{
+	{name: "cjpeg", shares: [3]float64{0.62, 0.23, 0.15}, intMix: 0.75},
+	{name: "djpeg", shares: [3]float64{0.70, 0.18, 0.12}, intMix: 0.75},
+	{name: "epic", shares: [3]float64{0.48, 0.12, 0.40}, intMix: 0.65},
+	{name: "gsm", shares: [3]float64{0.35, 0.10, 0.55}, intMix: 0.80, fewOpRecurrences: true},
+	{name: "adpcm", shares: [3]float64{0.05, 0.05, 0.90}, intMix: 0.90, fewOpRecurrences: true},
+	{name: "g721", shares: [3]float64{0.20, 0.15, 0.65}, intMix: 0.85},
+}
+
+// embeddedProfiles is the short-trip-count kernel family.
+var embeddedProfiles = []profile{
+	{name: "crc32", shares: [3]float64{0.80, 0.10, 0.10}, intMix: 0.95, shortTrips: true},
+	{name: "fir8", shares: [3]float64{0.90, 0.05, 0.05}, intMix: 0.40, shortTrips: true},
+	{name: "iir4", shares: [3]float64{0.15, 0.05, 0.80}, intMix: 0.35, shortTrips: true, fewOpRecurrences: true},
+	{name: "dotprod", shares: [3]float64{0.70, 0.20, 0.10}, intMix: 0.45, shortTrips: true},
+	{name: "viterbi", shares: [3]float64{0.30, 0.10, 0.60}, intMix: 0.85, shortTrips: true},
+}
+
+// family is one named generator family.
+type family struct {
+	name     string
+	profiles []profile
+}
+
+// families lists every generator family, SPECfp (the paper's corpus)
+// first. Benchmark names are unique across families.
+var families = []family{
+	{"specfp", profiles},
+	{"media", mediaProfiles},
+	{"embedded", embeddedProfiles},
+}
+
+// Families returns the generator family names.
+func Families() []string {
+	out := make([]string, len(families))
+	for i, f := range families {
+		out[i] = f.name
+	}
+	return out
+}
+
+// familyByName finds a family.
+func familyByName(name string) (*family, error) {
+	for i := range families {
+		if families[i].name == name {
+			return &families[i], nil
+		}
+	}
+	return nil, fmt.Errorf("loopgen: unknown generator family %q (have %v)", name, Families())
+}
+
+// FamilyNames returns the benchmark names of one generator family.
+func FamilyNames(familyName string) ([]string, error) {
+	f, err := familyByName(familyName)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(f.profiles))
+	for i, p := range f.profiles {
+		out[i] = p.name
+	}
+	return out, nil
+}
+
+// GenerateFamily builds the named benchmark of the given family with n
+// loops.
+func GenerateFamily(familyName, name string, n int) (Benchmark, error) {
+	f, err := familyByName(familyName)
+	if err != nil {
+		return Benchmark{}, err
+	}
+	for i := range f.profiles {
+		if f.profiles[i].name == name {
+			return generateFromProfile(&f.profiles[i], n)
+		}
+	}
+	return Benchmark{}, fmt.Errorf("loopgen: family %q has no benchmark %q", familyName, name)
+}

@@ -16,17 +16,17 @@ func generateLoop(rng *rand.Rand, prof *profile, class LoopClass) *ddg.Graph {
 		var g *ddg.Graph
 		switch class {
 		case ResourceBound:
-			g = genResourceBound(rng)
+			g = genResourceBound(rng, prof)
 		case Borderline:
-			g = genBorderline(rng)
+			g = genBorderline(rng, prof)
 		default:
 			switch {
 			case prof.lowTripCount:
-				g = genRecurrenceTightSlack(rng)
+				g = genRecurrenceTightSlack(rng, prof)
 			case prof.fewOpRecurrences:
-				g = genRecurrenceFewOps(rng)
+				g = genRecurrenceFewOps(rng, prof)
 			default:
-				g = genRecurrenceManyOps(rng)
+				g = genRecurrenceManyOps(rng, prof)
 			}
 		}
 		if err := g.Validate(); err != nil {
@@ -67,16 +67,35 @@ func fpOp(rng *rand.Rand) isa.Class {
 	}
 }
 
+// computeOp draws one stream compute op according to the profile's mix.
+// With intMix = 0 (the SPECfp profiles) it consumes exactly one draw and
+// reproduces the historical FP mix bit for bit; integer-heavy profiles
+// divert a share of ops to fixed-point arithmetic.
+func computeOp(rng *rand.Rand, prof *profile) isa.Class {
+	if prof.intMix <= 0 {
+		return fpOp(rng)
+	}
+	if rng.Float64() < prof.intMix {
+		// Fixed-point compute: mostly single-cycle ALU ops with some
+		// multiplies (MACs, scaling).
+		if rng.Float64() < 0.25 {
+			return isa.IntMul
+		}
+		return isa.IntALU
+	}
+	return fpOp(rng)
+}
+
 // genStreams builds `streams` independent load→compute→(store) chains fed
 // by the induction variable — the shape of stencil/array codes like swim
 // and mgrid. Returns the last compute op of each stream.
-func genStreams(g *ddg.Graph, rng *rand.Rand, ind, streams, depth int, withStores bool) []int {
-	return genStreamsLoads(g, rng, ind, streams, depth, withStores, 2)
+func genStreams(g *ddg.Graph, rng *rand.Rand, prof *profile, ind, streams, depth int, withStores bool) []int {
+	return genStreamsLoads(g, rng, prof, ind, streams, depth, withStores, 2)
 }
 
 // genStreamsLoads is genStreams with an explicit bound on loads per stream
 // (compute-rich kernels keep coefficients in registers and load little).
-func genStreamsLoads(g *ddg.Graph, rng *rand.Rand, ind, streams, depth int, withStores bool, maxLoads int) []int {
+func genStreamsLoads(g *ddg.Graph, rng *rand.Rand, prof *profile, ind, streams, depth int, withStores bool, maxLoads int) []int {
 	outs := make([]int, 0, streams)
 	for s := 0; s < streams; s++ {
 		nLoads := 1 + rng.Intn(maxLoads)
@@ -90,7 +109,7 @@ func genStreamsLoads(g *ddg.Graph, rng *rand.Rand, ind, streams, depth int, with
 		}
 		cur := inputs[0]
 		for d := 0; d < depth; d++ {
-			op := g.AddOp(fpOp(rng), "fp")
+			op := g.AddOp(computeOp(rng, prof), "fp")
 			g.AddDep(cur, op, 0)
 			if d == 0 && len(inputs) > 1 {
 				g.AddDep(inputs[1], op, 0)
@@ -110,12 +129,12 @@ func genStreamsLoads(g *ddg.Graph, rng *rand.Rand, ind, streams, depth int, with
 // genResourceBound builds a wide, recurrence-free loop (except the trivial
 // induction): its MII is set by memory ports and FP units, recMII stays at
 // the 1-cycle induction. Stencil-like: many parallel streams, shallow FP.
-func genResourceBound(rng *rand.Rand) *ddg.Graph {
+func genResourceBound(rng *rand.Rand, prof *profile) *ddg.Graph {
 	g := ddg.New("res")
 	ind := addInduction(g)
 	streams := 3 + rng.Intn(4) // 3..6 parallel streams
 	depth := 1 + rng.Intn(2)   // shallow compute
-	genStreams(g, rng, ind, streams, depth, true)
+	genStreams(g, rng, prof, ind, streams, depth, true)
 	return g
 }
 
@@ -123,11 +142,11 @@ func genResourceBound(rng *rand.Rand) *ddg.Graph {
 // integer/FP recurrence whose recMII lands in [resMII, 1.3·resMII): loops
 // that are recurrence constrained on the homogeneous machine but become
 // resource constrained as soon as slow clusters shrink the capacity.
-func genBorderline(rng *rand.Rand) *ddg.Graph {
+func genBorderline(rng *rand.Rand, prof *profile) *ddg.Graph {
 	g := ddg.New("mid")
 	ind := addInduction(g)
 	streams := 2 + rng.Intn(3)
-	genStreams(g, rng, ind, streams, 1+rng.Intn(2), true)
+	genStreams(g, rng, prof, ind, streams, 1+rng.Intn(2), true)
 	// Current resMII without the recurrence.
 	_, resMII := MIIOf(g)
 	// Target recMII r with resMII ≤ r < 1.3·resMII. Adding r int ops can
@@ -189,26 +208,46 @@ func maxInt(a, b int) int {
 	return b
 }
 
-// genRecurrenceFewOps builds a loop dominated by a short, high-latency FP
-// recurrence (1–3 ops — e.g. the phase rotation of sixtrack or facerec's
-// correlation update) surrounded by plenty of independent, slack-rich
-// work: the archetype where heterogeneity shines, because only the few
-// recurrence ops need the fast cluster.
-func genRecurrenceFewOps(rng *rand.Rand) *ddg.Graph {
-	g := ddg.New("recfew")
-	ind := addInduction(g)
-	// Critical recurrence: 1-3 FP ops, total latency 9..21, distance 1.
-	var recOps []isa.Class
+// criticalRecOps draws the op classes of a short critical recurrence. FP
+// profiles use the historical high-latency FP chains; integer-heavy
+// profiles (intMix ≥ 0.5) use fixed-point predictor/accumulator chains
+// anchored on a divide so the recurrence latency stays comfortably above
+// the reference machine's resMII.
+func criticalRecOps(rng *rand.Rand, prof *profile) []isa.Class {
+	if prof.intMix >= 0.5 {
+		switch rng.Intn(4) {
+		case 0:
+			return []isa.Class{isa.IntDiv} // 6
+		case 1:
+			return []isa.Class{isa.IntDiv, isa.IntALU} // 7
+		case 2:
+			return []isa.Class{isa.IntDiv, isa.IntMul, isa.IntALU} // 9
+		default:
+			return []isa.Class{isa.IntDiv, isa.IntDiv} // 12
+		}
+	}
 	switch rng.Intn(4) {
 	case 0:
-		recOps = []isa.Class{isa.FPMul, isa.FPALU} // 9
+		return []isa.Class{isa.FPMul, isa.FPALU} // 9
 	case 1:
-		recOps = []isa.Class{isa.FPMul, isa.FPMul, isa.FPALU} // 15
+		return []isa.Class{isa.FPMul, isa.FPMul, isa.FPALU} // 15
 	case 2:
-		recOps = []isa.Class{isa.FPDiv} // 18
+		return []isa.Class{isa.FPDiv} // 18
 	default:
-		recOps = []isa.Class{isa.FPDiv, isa.FPALU} // 21
+		return []isa.Class{isa.FPDiv, isa.FPALU} // 21
 	}
+}
+
+// genRecurrenceFewOps builds a loop dominated by a short, high-latency
+// recurrence (1–3 ops — e.g. the phase rotation of sixtrack, facerec's
+// correlation update, or a codec's sample predictor) surrounded by plenty
+// of independent, slack-rich work: the archetype where heterogeneity
+// shines, because only the few recurrence ops need the fast cluster.
+func genRecurrenceFewOps(rng *rand.Rand, prof *profile) *ddg.Graph {
+	g := ddg.New("recfew")
+	ind := addInduction(g)
+	// Critical recurrence: 1-3 ops, total latency 6..21, distance 1.
+	recOps := criticalRecOps(rng, prof)
 	first := g.AddOp(recOps[0], "crit")
 	prev := first
 	for _, c := range recOps[1:] {
@@ -222,7 +261,7 @@ func genRecurrenceFewOps(rng *rand.Rand) *ddg.Graph {
 	// recMII ≥ 1.3·resMII exactly. Some streams feed the recurrence
 	// through a next-iteration edge (consumers with plenty of slack).
 	streams := 3 + rng.Intn(3)
-	outs := genStreamsLoads(g, rng, ind, streams, 2+rng.Intn(2), true, 1)
+	outs := genStreamsLoads(g, rng, prof, ind, streams, 2+rng.Intn(2), true, 1)
 	for _, o := range outs {
 		if rng.Float64() < 0.5 {
 			g.AddDep(o, first, 1) // through next iteration: keeps slack
@@ -234,26 +273,41 @@ func genRecurrenceFewOps(rng *rand.Rand) *ddg.Graph {
 	return g
 }
 
-// genRecurrenceManyOps builds a loop whose critical recurrence contains
-// many operations (fma3d/apsi style elemental update chains): to speed the
-// loop up, many instructions must move to the fast cluster, so energy
-// savings are limited even though the speedup matches the few-op case.
-func genRecurrenceManyOps(rng *rand.Rand) *ddg.Graph {
-	g := ddg.New("recmany")
-	ind := addInduction(g)
-	// 8..12 mostly-FP ops in the circuit, distance 1: most of the loop's
-	// energy sits on the critical circuit itself.
-	n := 8 + rng.Intn(5)
+// recChainClasses draws the op classes of a many-op critical circuit:
+// mostly FP for the SPECfp profiles, mostly fixed-point for integer-heavy
+// ones, always anchored on a multi-cycle op so the circuit latency is
+// substantial.
+func recChainClasses(rng *rand.Rand, prof *profile, n int, fpFrac float64) []isa.Class {
+	if prof.intMix > 0 {
+		fpFrac = 1 - prof.intMix
+	}
 	classes := make([]isa.Class, n)
 	for i := range classes {
-		if rng.Float64() < 0.7 {
+		if rng.Float64() < fpFrac {
 			classes[i] = isa.FPALU
 		} else {
 			classes[i] = isa.IntALU
 		}
 	}
-	// Guarantee substantial latency: at least one FP multiply.
-	classes[0] = isa.FPMul
+	if prof.intMix >= 0.5 {
+		classes[0] = isa.IntDiv
+	} else {
+		classes[0] = isa.FPMul
+	}
+	return classes
+}
+
+// genRecurrenceManyOps builds a loop whose critical recurrence contains
+// many operations (fma3d/apsi style elemental update chains): to speed the
+// loop up, many instructions must move to the fast cluster, so energy
+// savings are limited even though the speedup matches the few-op case.
+func genRecurrenceManyOps(rng *rand.Rand, prof *profile) *ddg.Graph {
+	g := ddg.New("recmany")
+	ind := addInduction(g)
+	// 8..12 ops in the circuit, distance 1: most of the loop's energy
+	// sits on the critical circuit itself.
+	n := 8 + rng.Intn(5)
+	classes := recChainClasses(rng, prof, n, 0.7)
 	first := g.AddOp(classes[0], "crit")
 	prev := first
 	for _, c := range classes[1:] {
@@ -263,7 +317,7 @@ func genRecurrenceManyOps(rng *rand.Rand) *ddg.Graph {
 	}
 	g.AddDep(prev, first, 1)
 	// Light independent work only.
-	genStreams(g, rng, ind, 1, 1, true)
+	genStreams(g, rng, prof, ind, 1, 1, true)
 	st := g.AddOp(isa.Store, "st.crit")
 	g.AddDep(prev, st, 0)
 	return g
@@ -276,19 +330,11 @@ func genRecurrenceManyOps(rng *rand.Rand) *ddg.Graph {
 // without stretching the iteration length — which matters because these
 // loops iterate only a handful of times (Section 5.2's explanation of
 // applu's small benefit).
-func genRecurrenceTightSlack(rng *rand.Rand) *ddg.Graph {
+func genRecurrenceTightSlack(rng *rand.Rand, prof *profile) *ddg.Graph {
 	g := ddg.New("rectight")
 	ind := addInduction(g)
 	n := 6 + rng.Intn(4)
-	classes := make([]isa.Class, n)
-	for i := range classes {
-		if rng.Float64() < 0.6 {
-			classes[i] = isa.FPALU
-		} else {
-			classes[i] = isa.IntALU
-		}
-	}
-	classes[0] = isa.FPMul
+	classes := recChainClasses(rng, prof, n, 0.6)
 	recOps := make([]int, n)
 	first := g.AddOp(classes[0], "crit")
 	recOps[0] = first

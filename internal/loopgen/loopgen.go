@@ -87,6 +87,16 @@ type profile struct {
 	// lowTripCount marks benchmarks whose dominant loops iterate few
 	// times (applu).
 	lowTripCount bool
+	// intMix is the probability that a stream compute op is integer
+	// rather than floating point. Zero keeps the SPECfp FP-heavy mix;
+	// media/embedded kernels set it high (address arithmetic, table
+	// lookups, fixed-point filters). At ≥ 0.5 the critical recurrences
+	// become integer chains too.
+	intMix float64
+	// shortTrips marks kernels invoked on short buffers: every loop runs
+	// for only a handful of iterations, so it_length dominates Texec the
+	// way it does for applu's dominant loops.
+	shortTrips bool
 }
 
 // profiles reproduces Table 2's per-benchmark execution-time split.
@@ -103,7 +113,8 @@ var profiles = []profile{
 	{name: "apsi", shares: [3]float64{0.1550, 0.0337, 0.8113}},
 }
 
-// Names returns the benchmark names in the paper's order.
+// Names returns the benchmark names in the paper's order (the SPECfp
+// family). Other generator families are listed by FamilyNames.
 func Names() []string {
 	out := make([]string, len(profiles))
 	for i, p := range profiles {
@@ -112,7 +123,7 @@ func Names() []string {
 	return out
 }
 
-// Suite generates every benchmark with loopsPer loops each.
+// Suite generates every SPECfp benchmark with loopsPer loops each.
 func Suite(loopsPer int) ([]Benchmark, error) {
 	out := make([]Benchmark, 0, len(profiles))
 	for _, p := range profiles {
@@ -125,23 +136,37 @@ func Suite(loopsPer int) ([]Benchmark, error) {
 	return out, nil
 }
 
-// Generate builds the named benchmark with n loops.
-func Generate(name string, n int) (Benchmark, error) {
-	var prof *profile
-	for i := range profiles {
-		if profiles[i].name == name {
-			prof = &profiles[i]
-			break
+// findProfile locates a benchmark profile across every generator family
+// (benchmark names are unique across families).
+func findProfile(name string) *profile {
+	for _, f := range families {
+		for i := range f.profiles {
+			if f.profiles[i].name == name {
+				return &f.profiles[i]
+			}
 		}
 	}
+	return nil
+}
+
+// Generate builds the named benchmark with n loops. The name may come
+// from any generator family.
+func Generate(name string, n int) (Benchmark, error) {
+	prof := findProfile(name)
 	if prof == nil {
 		return Benchmark{}, fmt.Errorf("loopgen: unknown benchmark %q", name)
 	}
+	return generateFromProfile(prof, n)
+}
+
+// generateFromProfile builds a benchmark from an already-located profile
+// (the single generation path behind Generate and GenerateFamily).
+func generateFromProfile(prof *profile, n int) (Benchmark, error) {
 	if n < 1 {
 		return Benchmark{}, fmt.Errorf("loopgen: need at least one loop")
 	}
 	h := fnv.New64a()
-	h.Write([]byte(name))
+	h.Write([]byte(prof.name))
 	rng := rand.New(rand.NewSource(int64(h.Sum64() % (1 << 62))))
 
 	// Distribute loop counts over the three classes proportionally to the
@@ -156,7 +181,7 @@ func Generate(name string, n int) (Benchmark, error) {
 		}
 	}
 	assignWeights(loops, prof.shares)
-	return Benchmark{Name: name, Loops: loops}, nil
+	return Benchmark{Name: prof.name, Loops: loops}, nil
 }
 
 // apportion splits n into three counts proportional to the shares, at
@@ -221,6 +246,11 @@ func MIIOf(g *ddg.Graph) (recMII, resMII int) {
 
 // tripCount draws an average trip count.
 func tripCount(rng *rand.Rand, prof *profile, class LoopClass) int64 {
+	if prof.shortTrips {
+		// Embedded kernels run over short buffers: a handful of
+		// iterations for every loop, whatever its class.
+		return int64(4 + rng.Intn(12))
+	}
 	if prof.lowTripCount && class == RecurrenceBound {
 		// applu: the dominant loops run a handful of iterations, making
 		// it_length as important as the IT.

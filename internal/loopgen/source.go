@@ -1,0 +1,85 @@
+package loopgen
+
+import "fmt"
+
+// Source yields the benchmarks of one loop corpus. Implementations are
+// the synthetic generator families (SyntheticSource) and file-backed
+// corpora decoded by the artifact codec (artifact.FileSource); the
+// pipeline and the experiments suite evaluate whatever source they are
+// given, so workloads are pluggable end to end.
+type Source interface {
+	// Name identifies the corpus (family, file, …) for reports and
+	// provenance records.
+	Name() string
+	// BenchmarkNames lists the corpus's benchmarks in evaluation order.
+	BenchmarkNames() ([]string, error)
+	// Benchmark materializes one benchmark by name.
+	Benchmark(name string) (Benchmark, error)
+}
+
+// SyntheticSource generates one family's benchmarks on demand, loopsPer
+// loops each. Generation is deterministic (seeded per benchmark name), so
+// two SyntheticSources with equal parameters are interchangeable.
+type SyntheticSource struct {
+	family   string
+	loopsPer int
+}
+
+// NewSyntheticSource returns a source for the named generator family
+// ("specfp", "media", "embedded") with loopsPer loops per benchmark.
+func NewSyntheticSource(familyName string, loopsPer int) (*SyntheticSource, error) {
+	if _, err := familyByName(familyName); err != nil {
+		return nil, err
+	}
+	if loopsPer < 1 {
+		return nil, fmt.Errorf("loopgen: need at least one loop per benchmark")
+	}
+	return &SyntheticSource{family: familyName, loopsPer: loopsPer}, nil
+}
+
+// SPECfp returns the paper's synthetic SPECfp2000 corpus as a source.
+func SPECfp(loopsPer int) *SyntheticSource {
+	s, err := NewSyntheticSource("specfp", loopsPer)
+	if err != nil {
+		panic(err) // unreachable: the family exists and callers size > 0
+	}
+	return s
+}
+
+// Family returns the generator family name.
+func (s *SyntheticSource) Family() string { return s.family }
+
+// LoopsPerBenchmark returns the per-benchmark corpus size.
+func (s *SyntheticSource) LoopsPerBenchmark() int { return s.loopsPer }
+
+// Name identifies the source by family and size.
+func (s *SyntheticSource) Name() string {
+	return fmt.Sprintf("synthetic:%s/%d", s.family, s.loopsPer)
+}
+
+// BenchmarkNames lists the family's benchmarks.
+func (s *SyntheticSource) BenchmarkNames() ([]string, error) {
+	return FamilyNames(s.family)
+}
+
+// Benchmark generates the named benchmark.
+func (s *SyntheticSource) Benchmark(name string) (Benchmark, error) {
+	return GenerateFamily(s.family, name, s.loopsPer)
+}
+
+// Load materializes every benchmark of a source, in order.
+func Load(src Source) ([]Benchmark, error) {
+	names, err := src.BenchmarkNames()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Benchmark, 0, len(names))
+	for _, name := range names {
+		b, err := src.Benchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

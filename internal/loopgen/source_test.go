@@ -1,0 +1,175 @@
+package loopgen
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFamilies: every family generates every benchmark, classes match the
+// requested shares' support, and generation is deterministic.
+func TestFamilies(t *testing.T) {
+	if got := Families(); !reflect.DeepEqual(got, []string{"specfp", "media", "embedded"}) {
+		t.Fatalf("families: %v", got)
+	}
+	seen := map[string]string{}
+	for _, fam := range Families() {
+		names, err := FamilyNames(fam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) < 5 {
+			t.Fatalf("family %s has only %d benchmarks", fam, len(names))
+		}
+		for _, name := range names {
+			if prev, dup := seen[name]; dup {
+				t.Fatalf("benchmark %q in both %s and %s", name, prev, fam)
+			}
+			seen[name] = fam
+			b, err := GenerateFamily(fam, name, 12)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", fam, name, err)
+			}
+			if len(b.Loops) != 12 {
+				t.Fatalf("%s/%s: %d loops", fam, name, len(b.Loops))
+			}
+			for i, l := range b.Loops {
+				if err := l.Graph.Validate(); err != nil {
+					t.Fatalf("%s/%s loop %d: %v", fam, name, i, err)
+				}
+				if l.Class != classify(l.Graph) {
+					t.Fatalf("%s/%s loop %d: stored class %v != classified", fam, name, i, l.Class)
+				}
+				if l.Iterations < 1 || l.Weight <= 0 {
+					t.Fatalf("%s/%s loop %d: iters %d weight %g", fam, name, i, l.Iterations, l.Weight)
+				}
+			}
+		}
+	}
+}
+
+// TestFamilyDeterminism: generation is a pure function of (name, n).
+func TestFamilyDeterminism(t *testing.T) {
+	for _, name := range []string{"sixtrack", "adpcm", "viterbi"} {
+		a, err := Generate(name, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(name, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Loops) != len(b.Loops) {
+			t.Fatalf("%s: loop counts differ", name)
+		}
+		for i := range a.Loops {
+			if !reflect.DeepEqual(a.Loops[i].Graph.Ops(), b.Loops[i].Graph.Ops()) ||
+				!reflect.DeepEqual(a.Loops[i].Graph.Edges(), b.Loops[i].Graph.Edges()) ||
+				a.Loops[i].Iterations != b.Loops[i].Iterations ||
+				a.Loops[i].Weight != b.Loops[i].Weight {
+				t.Fatalf("%s loop %d: generation not deterministic", name, i)
+			}
+		}
+	}
+}
+
+// TestMediaIsIntegerHeavy: the media family's motivation is an integer/
+// address-heavy mix — verify integer ops dominate FP ops, reversing the
+// SPECfp balance, and that integer-heavy critical recurrences exist.
+func TestMediaIsIntegerHeavy(t *testing.T) {
+	countMix := func(b Benchmark) (intOps, fpOps int) {
+		for _, l := range b.Loops {
+			for _, op := range l.Graph.Ops() {
+				switch op.Class.Resource().String() {
+				case "int-fu":
+					intOps++
+				case "fp-fu":
+					fpOps++
+				}
+			}
+		}
+		return
+	}
+	media, err := GenerateFamily("media", "adpcm", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi, mf := countMix(media)
+	if mi <= mf {
+		t.Errorf("media/adpcm: %d int vs %d fp ops — expected integer-heavy", mi, mf)
+	}
+	spec, err := GenerateFamily("specfp", "sixtrack", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, sf := countMix(spec)
+	// SPECfp carries int address arithmetic + branches, so just require
+	// the media family to be clearly more integer-tilted.
+	if float64(mi)/float64(mf) <= float64(si)/float64(sf) {
+		t.Errorf("media int/fp ratio %.2f not above specfp's %.2f",
+			float64(mi)/float64(mf), float64(si)/float64(sf))
+	}
+}
+
+// TestEmbeddedShortTrips: every embedded loop runs a handful of
+// iterations (the it_length-dominated regime).
+func TestEmbeddedShortTrips(t *testing.T) {
+	names, err := FamilyNames("embedded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		b, err := GenerateFamily("embedded", name, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, l := range b.Loops {
+			if l.Iterations > 15 {
+				t.Errorf("embedded/%s loop %d: %d iterations, want short trips", name, i, l.Iterations)
+			}
+		}
+	}
+}
+
+// TestSyntheticSource: the Source view agrees with direct generation.
+func TestSyntheticSource(t *testing.T) {
+	src, err := NewSyntheticSource("media", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := src.BenchmarkNames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FamilyNames("media")
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("names %v != %v", names, want)
+	}
+	b, err := src.Benchmark("epic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := GenerateFamily("media", "epic", 6)
+	if !reflect.DeepEqual(b.Loops[0].Graph.Ops(), direct.Loops[0].Graph.Ops()) {
+		t.Fatal("source generation differs from direct generation")
+	}
+	if _, err := NewSyntheticSource("nope", 6); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if _, err := NewSyntheticSource("media", 0); err == nil {
+		t.Fatal("zero loops accepted")
+	}
+	if _, err := src.Benchmark("sixtrack"); err == nil {
+		t.Fatal("cross-family benchmark served")
+	}
+
+	benches, err := Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != len(names) {
+		t.Fatalf("Load returned %d benchmarks", len(benches))
+	}
+	if FormatBenchmark(benches[0]) == "" || FormatCorpusStats(benches) == "" {
+		t.Fatal("stats formatters returned nothing")
+	}
+}

@@ -1,0 +1,57 @@
+package loopgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatBenchmark renders one benchmark's per-loop statistics as the
+// table printed by cmd/loopgen and `cmd/experiments corpus stats`.
+func FormatBenchmark(b Benchmark) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %d loops\n", b.Name, len(b.Loops))
+	fmt.Fprintf(&sb, "%-5s %-26s %5s %7s %7s %7s %9s %9s\n",
+		"loop", "class", "ops", "recMII", "resMII", "iters", "weight", "recs")
+	for i, l := range b.Loops {
+		recMII, resMII := MIIOf(l.Graph)
+		recs := l.Graph.Recurrences()
+		critOps := 0
+		if len(recs) > 0 {
+			critOps = len(recs[0].Ops)
+		}
+		fmt.Fprintf(&sb, "%-5d %-26s %5d %7d %7d %7d %9.3g %6d/%d\n",
+			i, l.Class, l.Graph.NumOps(), recMII, resMII,
+			l.Iterations, l.Weight, critOps, len(recs))
+	}
+	return sb.String()
+}
+
+// FormatCorpusStats renders an aggregate per-benchmark summary of a
+// corpus: loop counts, op counts, the class mix, and trip-count ranges.
+func FormatCorpusStats(benches []Benchmark) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %6s %6s %8s %8s %8s %12s\n",
+		"benchmark", "loops", "ops", "res", "mid", "rec", "iters")
+	totLoops, totOps := 0, 0
+	for _, b := range benches {
+		var byClass [3]int
+		ops := 0
+		minIt, maxIt := int64(0), int64(0)
+		for i, l := range b.Loops {
+			byClass[l.Class]++
+			ops += l.Graph.NumOps()
+			if i == 0 || l.Iterations < minIt {
+				minIt = l.Iterations
+			}
+			if l.Iterations > maxIt {
+				maxIt = l.Iterations
+			}
+		}
+		fmt.Fprintf(&sb, "%-10s %6d %6d %8d %8d %8d %5d..%-5d\n",
+			b.Name, len(b.Loops), ops, byClass[0], byClass[1], byClass[2], minIt, maxIt)
+		totLoops += len(b.Loops)
+		totOps += ops
+	}
+	fmt.Fprintf(&sb, "%-10s %6d %6d\n", "total", totLoops, totOps)
+	return sb.String()
+}

@@ -1,0 +1,130 @@
+// Durable codecs for the pipeline's memoised per-loop results — the
+// expensive schedule-and-simulate runs. With these, an engine with a disk
+// tier gives a fresh process the warm start that previously required a
+// long-lived in-memory engine: a second cmd/experiments run with the same
+// cache dir re-schedules nothing.
+//
+// The reference-loop profile deliberately omits the loop DDG: the graph
+// is part of the cache key (content fingerprint), so the caller reattaches
+// its own copy after decoding.
+package pipeline
+
+import (
+	"repro/internal/artifact"
+	"repro/internal/confsel"
+	"repro/internal/explore"
+	"repro/internal/power"
+)
+
+// refLoopOut is one loop's reference run: its selection-model profile,
+// simulated event counts and execution time.
+type refLoopOut struct {
+	prof   confsel.LoopProfile
+	counts power.RunCounts
+	texecS float64
+}
+
+// hetLoopOut is one loop's heterogeneous run.
+type hetLoopOut struct {
+	counts  power.RunCounts
+	texecS  float64
+	syncInc int
+}
+
+// appendRunCounts writes the canonical RunCounts payload.
+func appendRunCounts(w *artifact.Writer, rc *power.RunCounts) {
+	w.Uint(uint64(len(rc.InsUnits)))
+	for _, u := range rc.InsUnits {
+		w.Float(u)
+	}
+	w.Float(rc.Comms)
+	w.Float(rc.MemAccesses)
+	w.Float(rc.Seconds)
+}
+
+// readRunCounts reconstructs a RunCounts.
+func readRunCounts(r *artifact.Reader) power.RunCounts {
+	var rc power.RunCounts
+	if n := r.Len(8); n > 0 {
+		rc.InsUnits = make([]float64, n)
+		for i := range rc.InsUnits {
+			rc.InsUnits[i] = r.Float()
+		}
+	}
+	rc.Comms = r.Float()
+	rc.MemAccesses = r.Float()
+	rc.Seconds = r.Float()
+	return rc
+}
+
+// refLoopCodec persists reference-loop runs in the engine's disk tier.
+var refLoopCodec = explore.Codec[refLoopOut]{
+	Kind: "pipeline.refloop",
+	Encode: func(w *artifact.Writer, o refLoopOut) {
+		p := &o.prof
+		w.Uint(uint64(len(p.Recs)))
+		for _, rec := range p.Recs {
+			w.Int(int64(rec.RecMII))
+			w.Int(int64(rec.Ops))
+			w.Float(rec.Units)
+		}
+		w.Int(int64(p.RecMII))
+		w.Float(p.InsUnits)
+		w.Int(int64(p.MemOps))
+		w.Int(int64(p.CommsHom))
+		w.Int(int64(p.LifetimeCycles))
+		w.Int(int64(p.IIHom))
+		w.Int(int64(p.ItLenHomCycles))
+		w.Int(int64(p.MIIHom))
+		w.Int(p.Iterations)
+		w.Float(p.Weight)
+		appendRunCounts(w, &o.counts)
+		w.Float(o.texecS)
+	},
+	Decode: func(r *artifact.Reader) (refLoopOut, error) {
+		var o refLoopOut
+		p := &o.prof
+		if n := r.Len(3); n > 0 {
+			p.Recs = make([]confsel.RecSummary, n)
+			for i := range p.Recs {
+				p.Recs[i] = confsel.RecSummary{
+					RecMII: int(r.Int()),
+					Ops:    int(r.Int()),
+					Units:  r.Float(),
+				}
+			}
+		}
+		p.RecMII = int(r.Int())
+		p.InsUnits = r.Float()
+		p.MemOps = int(r.Int())
+		p.CommsHom = int(r.Int())
+		p.LifetimeCycles = int(r.Int())
+		p.IIHom = int(r.Int())
+		p.ItLenHomCycles = int(r.Int())
+		p.MIIHom = int(r.Int())
+		p.Iterations = r.Int()
+		p.Weight = r.Float()
+		o.counts = readRunCounts(r)
+		o.texecS = r.Float()
+		// p.Graph is intentionally nil here: the graph is the cache key's
+		// content, and the caller owns the live object.
+		return o, r.Err()
+	},
+}
+
+// hetLoopCodec persists heterogeneous-loop runs in the engine's disk tier.
+var hetLoopCodec = explore.Codec[hetLoopOut]{
+	Kind: "pipeline.hetloop",
+	Encode: func(w *artifact.Writer, o hetLoopOut) {
+		appendRunCounts(w, &o.counts)
+		w.Float(o.texecS)
+		w.Int(int64(o.syncInc))
+	},
+	Decode: func(r *artifact.Reader) (hetLoopOut, error) {
+		var o hetLoopOut
+		o.counts = readRunCounts(r)
+		o.texecS = r.Float()
+		o.syncInc = int(r.Int())
+		return o, r.Err()
+	},
+}

@@ -1,0 +1,141 @@
+package pipeline
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/explore"
+	"repro/internal/loopgen"
+)
+
+// corpusOpts builds small, fast options around an explicit corpus and
+// engine (separate engines per evaluation so nothing is shared through
+// memory — content addressing has to do all the work).
+func corpusOpts(src loopgen.Source, eng *explore.Engine) Options {
+	return Options{
+		Buses:       1,
+		Corpus:      src,
+		EnergyAware: true,
+		Engine:      eng,
+		Parallelism: 2,
+	}
+}
+
+// resultString renders every field of a benchmark result for exact
+// comparison (fmt prints float64s precisely enough to distinguish any
+// bit-level drift in practice; %v on the structs covers all fields).
+func resultString(r *BenchmarkResult) string {
+	return fmt.Sprintf("%+v", *r)
+}
+
+// TestImportedCorpusIsDeterministic is the determinism regression for the
+// artifact layer: a file-backed corpus imported from an exported
+// synthetic corpus produces identical Evaluate results to the in-memory
+// original — through both the binary and the JSON file forms.
+func TestImportedCorpusIsDeterministic(t *testing.T) {
+	synth, err := loopgen.NewSyntheticSource("specfp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := artifact.CorpusFromSource(synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "c.hvc")
+	jsonPath := filepath.Join(dir, "c.json")
+	if err := artifact.WriteCorpusFile(binPath, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := artifact.WriteCorpusFile(jsonPath, c); err != nil {
+		t.Fatal(err)
+	}
+
+	evaluate := func(src loopgen.Source) string {
+		t.Helper()
+		opts := corpusOpts(src, explore.New(2))
+		ref, err := BuildReference("sixtrack", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Evaluate(ref, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resultString(res)
+	}
+
+	want := evaluate(synth)
+	if got := evaluate(artifact.NewFileSource(binPath)); got != want {
+		t.Errorf("binary corpus drifted:\n got %s\nwant %s", got, want)
+	}
+	if got := evaluate(artifact.NewFileSource(jsonPath)); got != want {
+		t.Errorf("JSON corpus drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestDiskCacheWarmStart is the cross-process persistence property, minus
+// the process boundary: a fresh engine on a warmed cache directory
+// reproduces the cold run's results exactly, recomputes nothing, and
+// serves ≥ 90% of lookups from cache.
+func TestDiskCacheWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	src := loopgen.SPECfp(4)
+
+	run := func() (string, explore.CacheStats) {
+		eng, err := explore.NewDisk(2, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := corpusOpts(src, eng)
+		ref, err := BuildReference("lucas", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Evaluate(ref, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resultString(res), eng.Stats()
+	}
+
+	cold, coldStats := run()
+	if coldStats.DiskWrites == 0 {
+		t.Fatal("cold run persisted nothing")
+	}
+	warm, warmStats := run()
+	if warm != cold {
+		t.Errorf("disk-warm results drifted:\n got %s\nwant %s", warm, cold)
+	}
+	if warmStats.Misses != 0 {
+		t.Errorf("disk-warm run recomputed %d results", warmStats.Misses)
+	}
+	if warmStats.DiskHits == 0 {
+		t.Error("disk-warm run never touched the disk tier")
+	}
+	if rate := warmStats.HitRate(); rate < 0.9 {
+		t.Errorf("warm hit rate %.2f, want ≥ 0.90", rate)
+	}
+}
+
+// TestCorpusOptionDefaults: a nil Corpus evaluates the synthetic SPECfp
+// family exactly as the historical name-based path did.
+func TestCorpusOptionDefaults(t *testing.T) {
+	opts := Options{Buses: 1, LoopsPerBenchmark: 3, EnergyAware: true, Parallelism: 2}
+	refDefault, err := BuildReference("swim", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts2 := opts
+	opts2.Corpus = loopgen.SPECfp(3)
+	refExplicit, err := BuildReference("swim", opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", refDefault.Table2) != fmt.Sprintf("%+v", refExplicit.Table2) ||
+		refDefault.RefSeconds != refExplicit.RefSeconds {
+		t.Fatal("default corpus differs from explicit SPECfp source")
+	}
+}

@@ -36,8 +36,13 @@ import (
 type Options struct {
 	// Buses is the number of register buses (the paper reports 1 and 2).
 	Buses int
-	// LoopsPerBenchmark sizes the corpus (default 40).
+	// LoopsPerBenchmark sizes the synthetic corpus (default 40). Ignored
+	// when Corpus is set.
 	LoopsPerBenchmark int
+	// Corpus is the evaluated loop corpus: a synthetic generator family
+	// or a file-backed corpus decoded by the artifact codec. nil selects
+	// the paper's synthetic SPECfp family sized by LoopsPerBenchmark.
+	Corpus loopgen.Source
 	// Fractions are the energy-breakdown assumptions (default Section 5).
 	Fractions power.Fractions
 	// FreqCount limits each domain's clock generator to this many
@@ -76,7 +81,21 @@ func (o Options) withDefaults() Options {
 	if o.Engine == nil {
 		o.Engine = explore.New(o.Parallelism)
 	}
+	if o.Corpus == nil {
+		o.Corpus = DefaultCorpus(o.LoopsPerBenchmark)
+	}
 	return o
+}
+
+// DefaultCorpus is the corpus evaluated when Options.Corpus is nil: the
+// paper's synthetic SPECfp family with loopsPerBenchmark loops per
+// benchmark (≤ 0 selects the default size). Single source of that
+// default for every layer that needs a concrete corpus up front.
+func DefaultCorpus(loopsPerBenchmark int) loopgen.Source {
+	if loopsPerBenchmark <= 0 {
+		loopsPerBenchmark = 40
+	}
+	return loopgen.SPECfp(loopsPerBenchmark)
 }
 
 func (o Options) space() confsel.Space {
@@ -129,39 +148,42 @@ type Reference struct {
 	Table2     [3]float64
 }
 
-// BuildReference generates the corpus and performs the reference
-// homogeneous run for one benchmark.
+// BuildReference fetches the named benchmark from the corpus and performs
+// the reference homogeneous run.
 func BuildReference(name string, opts Options) (*Reference, error) {
 	opts = opts.withDefaults()
-	bench, err := loopgen.Generate(name, opts.LoopsPerBenchmark)
+	bench, err := opts.Corpus.Benchmark(name)
 	if err != nil {
 		return nil, err
 	}
+	return BuildReferenceBench(bench, opts)
+}
+
+// BuildReferenceBench performs the reference homogeneous run for an
+// already-materialized benchmark (generated, or imported from a corpus
+// artifact — content-identical benchmarks produce identical references).
+func BuildReferenceBench(bench loopgen.Benchmark, opts Options) (*Reference, error) {
+	opts = opts.withDefaults()
 	cfg := machine.ReferenceConfig(opts.Buses)
 
-	type loopOut struct {
-		prof   confsel.LoopProfile
-		counts power.RunCounts
-		texecS float64
-	}
-	outs := make([]loopOut, len(bench.Loops))
+	outs := make([]refLoopOut, len(bench.Loops))
 	errs := make([]error, len(bench.Loops))
 	opts.Engine.ForEach(len(bench.Loops), func(i int) {
 		l := bench.Loops[i]
 		cost := partition.DefaultCost(cfg.Arch.NumClusters())
 		cost.Iterations = float64(l.Iterations)
 		key := loopRunKey("ref-loop", opts.Engine, cfg, l.Graph, cost, opts.EnergyAware, l.Iterations, l.Weight)
-		outs[i], errs[i] = explore.Memoize(opts.Engine, key, func() (loopOut, error) {
+		outs[i], errs[i] = explore.MemoizeDurable(opts.Engine, key, refLoopCodec, func() (refLoopOut, error) {
 			res, err := core.ScheduleLoop(l.Graph, cfg, cost, core.Options{
 				Partition: partition.Options{EnergyAware: opts.EnergyAware},
 			})
 			if err != nil {
-				return loopOut{}, fmt.Errorf("reference: %w", err)
+				return refLoopOut{}, fmt.Errorf("reference: %w", err)
 			}
 			s := res.Schedule
 			r, err := sim.Run(s, l.Iterations, sim.DefaultGenPeriod)
 			if err != nil {
-				return loopOut{}, fmt.Errorf("reference sim: %w", err)
+				return refLoopOut{}, fmt.Errorf("reference sim: %w", err)
 			}
 			var recs []confsel.RecSummary
 			for _, sc := range l.Graph.Recurrences() {
@@ -171,7 +193,7 @@ func BuildReference(name string, opts Options) (*Reference, error) {
 				}
 				recs = append(recs, confsel.RecSummary{RecMII: sc.RecMII, Ops: len(sc.Ops), Units: units})
 			}
-			return loopOut{
+			return refLoopOut{
 				prof: confsel.LoopProfile{
 					Graph:          l.Graph,
 					Recs:           recs,
@@ -190,6 +212,11 @@ func BuildReference(name string, opts Options) (*Reference, error) {
 				texecS: r.Texec.Seconds(),
 			}, nil
 		})
+		// The durable codec strips the graph (it is the key's content);
+		// reattach the caller's live object. Memory-served entries may
+		// carry a content-identical graph from another benchmark — the
+		// caller's own graph is always the right one to expose.
+		outs[i].prof.Graph = l.Graph
 	})
 	ref := &Reference{Bench: bench, Arch: cfg.Arch}
 	agg := power.RunCounts{InsUnits: make([]float64, cfg.Arch.NumClusters())}
@@ -198,7 +225,7 @@ func BuildReference(name string, opts Options) (*Reference, error) {
 		if errs[i] != nil {
 			// Attribute here, not inside the memoised closure: a cached
 			// error may have been computed under another benchmark's loop.
-			return nil, fmt.Errorf("%s loop %d: %w", name, i, errs[i])
+			return nil, fmt.Errorf("%s loop %d: %w", bench.Name, i, errs[i])
 		}
 		w := bench.Loops[i].Weight
 		for c := range outs[i].counts.InsUnits {
@@ -217,7 +244,7 @@ func BuildReference(name string, opts Options) (*Reference, error) {
 		}
 	}
 	ref.RefSeconds = agg.Seconds
-	ref.Profile = confsel.ProfileFromLoops(name, loops, agg)
+	ref.Profile = confsel.ProfileFromLoops(bench.Name, loops, agg)
 	return ref, nil
 }
 
@@ -362,13 +389,8 @@ func evaluateOne(ref *Reference, opts Options, cal *power.Calibration,
 		staticPower += cal.StatCluster * hetSel.Scales.Sigma[c]
 	}
 
-	type loopOut struct {
-		counts  power.RunCounts
-		texecS  float64
-		syncInc int
-	}
 	loops := ref.Bench.Loops
-	outs := make([]loopOut, len(loops))
+	outs := make([]hetLoopOut, len(loops))
 	errs := make([]error, len(loops))
 	opts.Engine.ForEach(len(loops), func(i int) {
 		l := loops[i]
@@ -386,18 +408,18 @@ func evaluateOne(ref *Reference, opts Options, cal *power.Calibration,
 		// simulation, so it stays out of the key: content-identical loops
 		// with different weights share one cache entry.
 		key := loopRunKey("het-loop", opts.Engine, hetCfg, l.Graph, cost, opts.EnergyAware, l.Iterations, 0)
-		outs[i], errs[i] = explore.Memoize(opts.Engine, key, func() (loopOut, error) {
+		outs[i], errs[i] = explore.MemoizeDurable(opts.Engine, key, hetLoopCodec, func() (hetLoopOut, error) {
 			sres, err := core.ScheduleLoop(l.Graph, hetCfg, cost, core.Options{
 				Partition: partition.Options{EnergyAware: opts.EnergyAware},
 			})
 			if err != nil {
-				return loopOut{}, fmt.Errorf("het: %w", err)
+				return hetLoopOut{}, fmt.Errorf("het: %w", err)
 			}
 			r, err := sim.Run(sres.Schedule, l.Iterations, sim.DefaultGenPeriod)
 			if err != nil {
-				return loopOut{}, fmt.Errorf("het sim: %w", err)
+				return hetLoopOut{}, fmt.Errorf("het sim: %w", err)
 			}
-			return loopOut{counts: r.Counts, texecS: r.Texec.Seconds(), syncInc: sres.SyncIncreases}, nil
+			return hetLoopOut{counts: r.Counts, texecS: r.Texec.Seconds(), syncInc: sres.SyncIncreases}, nil
 		})
 	})
 	agg := power.RunCounts{InsUnits: make([]float64, arch.NumClusters())}
@@ -438,10 +460,15 @@ func RunBenchmark(name string, opts Options) (*BenchmarkResult, error) {
 	return Evaluate(ref, opts)
 }
 
-// RunSuite evaluates every benchmark.
+// RunSuite evaluates every benchmark of the configured corpus.
 func RunSuite(opts Options) ([]*BenchmarkResult, error) {
+	opts = opts.withDefaults()
+	names, err := opts.Corpus.BenchmarkNames()
+	if err != nil {
+		return nil, err
+	}
 	var out []*BenchmarkResult
-	for _, name := range loopgen.Names() {
+	for _, name := range names {
 		r, err := RunBenchmark(name, opts)
 		if err != nil {
 			return nil, err
