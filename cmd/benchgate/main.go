@@ -1,0 +1,207 @@
+// Command benchgate compares two `go test -json` benchmark outputs and
+// fails when a gated benchmark regressed beyond a threshold. It is the
+// CI perf gate: the repository commits a BENCH_baseline.json snapshot,
+// every CI run produces a fresh BENCH_ci.json, and
+//
+//	benchgate -baseline BENCH_baseline.json -current BENCH_ci.json \
+//	          -gate 'BenchmarkWarmDiskCache/cold' \
+//	          -normalize BenchmarkTable1ISA -threshold 15
+//
+// exits non-zero if the gated benchmarks' ns/op grew by more than the
+// threshold percentage. Non-gated benchmarks are reported for context but
+// never fail the build (micro-benchmarks at -benchtime=1x are too noisy
+// to gate individually). The committed baseline is recorded on one
+// machine and CI runs on another, so -normalize names a calibration
+// benchmark whose time divides both sides first: a uniformly faster or
+// slower runner cancels out and only relative regressions remain.
+//
+// Baselines regenerate with:
+//
+//	go test -bench=. -benchtime=1x -run '^$' -json ./... > BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the test2json record benchgate reads.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// benchLine matches a benchmark result line:
+//
+//	BenchmarkName[/sub]-8   	      12	  9536015 ns/op	 ...
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+
+// parseBenchJSON extracts benchmark name -> ns/op from test2json output.
+// A benchmark's name and timing may arrive as separate Output events (go
+// test flushes the name before running the case), so output is
+// reassembled per package before matching. The trailing -N GOMAXPROCS
+// suffix is stripped so runs from machines with different core counts
+// compare. A benchmark appearing repeatedly keeps its last value.
+func parseBenchJSON(r io.Reader) (map[string]float64, error) {
+	perPkg := map[string]*strings.Builder{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("benchgate: malformed test2json line: %w", err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		b, ok := perPkg[ev.Package]
+		if !ok {
+			b = &strings.Builder{}
+			perPkg[ev.Package] = b
+			order = append(order, ev.Package)
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, pkg := range order {
+		for _, line := range strings.Split(perPkg[pkg].String(), "\n") {
+			m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil {
+				continue
+			}
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			out[m[1]] = ns
+		}
+	}
+	return out, nil
+}
+
+// regression describes one gated benchmark's comparison.
+type regression struct {
+	Name               string
+	BaseNs, CurNs, Pct float64
+	Failed             bool
+}
+
+// compare evaluates every benchmark present in both maps against the
+// gate pattern and threshold (percent). When normalize names a
+// calibration benchmark present in both files, each side's ns/op is
+// divided by its own calibration time first, so a uniformly faster or
+// slower machine (CI runners vs the laptop that recorded the committed
+// baseline) cancels out and the gate measures the code, not the
+// hardware. Returns an error when the requested calibration is missing.
+func compare(base, cur map[string]float64, gate *regexp.Regexp, thresholdPct float64,
+	normalize string) ([]regression, error) {
+	scale := 1.0 // multiplies the current/base ratio
+	if normalize != "" {
+		nb, okB := base[normalize]
+		nc, okC := cur[normalize]
+		if !okB || !okC || nb <= 0 || nc <= 0 {
+			return nil, fmt.Errorf("normalization benchmark %q missing from baseline or current run", normalize)
+		}
+		scale = nb / nc
+	}
+	var names []string
+	for name := range base {
+		if _, ok := cur[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []regression
+	for _, name := range names {
+		b, c := base[name], cur[name]
+		if b <= 0 {
+			continue
+		}
+		pct := (c/b*scale - 1) * 100
+		out = append(out, regression{
+			Name:   name,
+			BaseNs: b,
+			CurNs:  c,
+			Pct:    pct,
+			Failed: gate.MatchString(name) && pct > thresholdPct,
+		})
+	}
+	return out, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "committed test2json benchmark snapshot")
+	current := flag.String("current", "BENCH_ci.json", "freshly produced test2json benchmark output")
+	gatePat := flag.String("gate", "BenchmarkWarmDiskCache/cold", "regexp of benchmarks that fail the build on regression")
+	threshold := flag.Float64("threshold", 15, "maximum allowed ns/op growth of gated benchmarks, percent")
+	normalize := flag.String("normalize", "", "calibration benchmark: divide each side's ns/op by its own time for this benchmark, cancelling machine-speed differences between the baseline recorder and this runner")
+	flag.Parse()
+
+	gate, err := regexp.Compile(*gatePat)
+	exitOn(err)
+	base := mustParse(*baseline)
+	cur := mustParse(*current)
+
+	regs, err := compare(base, cur, gate, *threshold, *normalize)
+	exitOn(err)
+	if len(regs) == 0 {
+		exitOn(fmt.Errorf("no common benchmarks between %s and %s", *baseline, *current))
+	}
+	failed := 0
+	gated := 0
+	for _, r := range regs {
+		mark := " "
+		if gate.MatchString(r.Name) {
+			gated++
+			mark = "*"
+			if r.Failed {
+				failed++
+				mark = "!"
+			}
+		}
+		fmt.Printf("%s %-55s %14.0f -> %14.0f ns/op  %+7.1f%%\n", mark, r.Name, r.BaseNs, r.CurNs, r.Pct)
+	}
+	if gated == 0 {
+		exitOn(fmt.Errorf("gate %q matched no benchmark common to both files", *gatePat))
+	}
+	if failed > 0 {
+		exitOn(fmt.Errorf("%d gated benchmark(s) regressed more than %.0f%%", failed, *threshold))
+	}
+	fmt.Printf("bench gate OK: %d gated benchmark(s) within %.0f%%\n", gated, *threshold)
+}
+
+func mustParse(path string) map[string]float64 {
+	f, err := os.Open(path)
+	exitOn(err)
+	defer f.Close()
+	m, err := parseBenchJSON(f)
+	exitOn(err)
+	if len(m) == 0 {
+		exitOn(fmt.Errorf("%s contains no benchmark results", path))
+	}
+	return m
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}

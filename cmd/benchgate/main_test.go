@@ -1,0 +1,135 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleJSON = `{"Action":"run","Package":"repro","Test":"BenchmarkWarmDiskCache"}
+{"Action":"output","Package":"repro","Output":"BenchmarkWarmDiskCache/cold-8         \t       8\t  9536015 ns/op\t  792495 B/op\t    9047 allocs/op\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkWarmDiskCache/disk-warm-8    \t       8\t  9114619 ns/op\n"}
+{"Action":"output","Package":"repro","Output":"not a benchmark line\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkScheduleLoop-8   \t       1\t  1278000 ns/op\n"}
+{"Action":"pass","Package":"repro"}
+`
+
+func TestParseBenchJSON(t *testing.T) {
+	m, err := parseBenchJSON(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkWarmDiskCache/cold":      9536015,
+		"BenchmarkWarmDiskCache/disk-warm": 9114619,
+		"BenchmarkScheduleLoop":            1278000,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(m), len(want), m)
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("%s = %v, want %v (GOMAXPROCS suffix must be stripped)", k, m[k], v)
+		}
+	}
+}
+
+// TestParseSplitOutputEvents: go test flushes a benchmark's name before
+// running it, so the name and the timing arrive as separate Output events
+// that must be reassembled.
+func TestParseSplitOutputEvents(t *testing.T) {
+	split := `{"Action":"output","Package":"repro","Output":"BenchmarkWarmDiskCache/cold-8         "}
+{"Action":"output","Package":"other","Output":"BenchmarkElse-4 \t1\t42 ns/op\n"}
+{"Action":"output","Package":"repro","Output":"\t       1\t  12345678 ns/op\n"}
+`
+	m, err := parseBenchJSON(strings.NewReader(split))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["BenchmarkWarmDiskCache/cold"] != 12345678 {
+		t.Errorf("split-event benchmark not reassembled: %v", m)
+	}
+	if m["BenchmarkElse"] != 42 {
+		t.Errorf("interleaved package lost: %v", m)
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := map[string]float64{"BenchmarkWarmDiskCache/cold": 100, "BenchmarkOther": 100}
+	cur := map[string]float64{"BenchmarkWarmDiskCache/cold": 120, "BenchmarkOther": 300}
+	gate := regexp.MustCompile("BenchmarkWarmDiskCache/cold")
+
+	regs, err := compare(base, cur, gate, 15, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]regression{}
+	for _, r := range regs {
+		byName[r.Name] = r
+	}
+	if !byName["BenchmarkWarmDiskCache/cold"].Failed {
+		t.Error("20% regression on the gated benchmark must fail a 15% threshold")
+	}
+	if byName["BenchmarkOther"].Failed {
+		t.Error("ungated benchmarks must never fail the build")
+	}
+
+	// Within threshold: passes.
+	cur["BenchmarkWarmDiskCache/cold"] = 110
+	regs, err = compare(base, cur, gate, 15, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range regs {
+		if r.Failed {
+			t.Errorf("%s failed at +10%% under a 15%% threshold", r.Name)
+		}
+	}
+}
+
+func TestCompareIgnoresMissing(t *testing.T) {
+	base := map[string]float64{"BenchmarkGone": 100}
+	cur := map[string]float64{"BenchmarkNew": 100}
+	if regs, err := compare(base, cur, regexp.MustCompile("."), 15, ""); err != nil || len(regs) != 0 {
+		t.Errorf("disjoint benchmark sets compared: %v (err %v)", regs, err)
+	}
+}
+
+// TestCompareNormalized: a uniformly 2x-slower machine must not trip the
+// gate when a calibration benchmark divides the machine speed out — and
+// a real regression must still trip it.
+func TestCompareNormalized(t *testing.T) {
+	gate := regexp.MustCompile("BenchmarkWarmDiskCache/cold")
+	base := map[string]float64{"BenchmarkWarmDiskCache/cold": 100, "BenchmarkCal": 10}
+	// Same code on a machine 2x slower: everything doubles.
+	cur := map[string]float64{"BenchmarkWarmDiskCache/cold": 200, "BenchmarkCal": 20}
+	regs, err := compare(base, cur, gate, 15, "BenchmarkCal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range regs {
+		if r.Failed {
+			t.Errorf("machine-speed doubling tripped the normalized gate: %+v", r)
+		}
+	}
+	// Real regression: the gated bench grew 2.6x while calibration only
+	// doubled -> +30%% normalized.
+	cur["BenchmarkWarmDiskCache/cold"] = 260
+	regs, err = compare(base, cur, gate, 15, "BenchmarkCal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tripped := false
+	for _, r := range regs {
+		if r.Name == "BenchmarkWarmDiskCache/cold" && r.Failed {
+			tripped = true
+		}
+	}
+	if !tripped {
+		t.Error("normalized gate missed a real regression")
+	}
+	// Missing calibration is an explicit error, not a silent raw compare.
+	if _, err := compare(base, cur, gate, 15, "BenchmarkMissing"); err == nil {
+		t.Error("missing calibration benchmark must error")
+	}
+}

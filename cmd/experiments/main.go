@@ -22,6 +22,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -253,15 +254,33 @@ func cacheCmd(args []string) {
 	if *dir == "" {
 		exitOn(fmt.Errorf("cache %s: -dir is required", sub))
 	}
+	msg, err := cacheMessage(sub, *dir)
+	exitOn(err)
+	fmt.Println(msg)
+}
+
+// cacheMessage runs one cache subcommand and renders its report. A
+// nonexistent directory is a clean "no cache" report, not an error: it
+// simply means nothing was ever cached there.
+func cacheMessage(sub, dir string) (string, error) {
 	if sub == "stats" {
-		st, err := explore.StatDiskCache(*dir)
-		exitOn(err)
-		fmt.Printf("%s: %d entries, %d bytes\n", *dir, st.Entries, st.Bytes)
-	} else {
-		n, err := explore.ClearDiskCache(*dir)
-		exitOn(err)
-		fmt.Printf("%s: removed %d entries\n", *dir, n)
+		st, err := explore.StatDiskCache(dir)
+		if errors.Is(err, explore.ErrNoCacheDir) {
+			return fmt.Sprintf("no cache at %s", dir), nil
+		}
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s: %d entries, %d bytes", dir, st.Entries, st.Bytes), nil
 	}
+	n, err := explore.ClearDiskCache(dir)
+	if errors.Is(err, explore.ErrNoCacheDir) {
+		return fmt.Sprintf("no cache at %s", dir), nil
+	}
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s: removed %d entries", dir, n), nil
 }
 
 func exitOn(err error) {

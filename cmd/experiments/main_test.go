@@ -1,0 +1,51 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/explore"
+)
+
+// TestCacheStatsMissingDir: `experiments cache stats` on a directory that
+// was never created reports a clean "no cache" message instead of a raw
+// filesystem error, and `cache clear` behaves the same.
+func TestCacheStatsMissingDir(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "never-created")
+	for _, sub := range []string{"stats", "clear"} {
+		msg, err := cacheMessage(sub, missing)
+		if err != nil {
+			t.Fatalf("cache %s on missing dir errored: %v", sub, err)
+		}
+		want := "no cache at " + missing
+		if msg != want {
+			t.Errorf("cache %s message = %q, want %q", sub, msg, want)
+		}
+	}
+}
+
+// TestCacheStatsExistingDir: an existing (possibly empty) cache dir still
+// reports entry counts.
+func TestCacheStatsExistingDir(t *testing.T) {
+	dir := t.TempDir()
+	msg, err := cacheMessage("stats", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg, "0 entries") {
+		t.Errorf("empty cache message = %q", msg)
+	}
+}
+
+// TestStatDiskCacheSentinel pins the explore-level contract the command
+// relies on.
+func TestStatDiskCacheSentinel(t *testing.T) {
+	_, err := explore.StatDiskCache(filepath.Join(t.TempDir(), "nope"))
+	if err == nil {
+		t.Fatal("missing dir must error at the library level")
+	}
+	if !strings.Contains(err.Error(), "no cache directory") {
+		t.Errorf("error %q does not wrap ErrNoCacheDir", err)
+	}
+}

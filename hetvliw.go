@@ -192,6 +192,35 @@ func Simulate(s *KernelSchedule, n int64) (*SimResult, error) {
 	return sim.Run(s, n, sim.DefaultGenPeriod)
 }
 
+// RefSchedule is the reference scheduling path: the same IMS algorithm on
+// the preserved map-based modulo reservation tables. It must produce a
+// schedule identical to the fast path for every input (internal/oracle
+// fuzzes that continuously); it exists for differential testing and as a
+// second opinion when debugging the dense tables. in mirrors one accepted
+// design point: pass a schedule's IT, II and Assign back through
+// modsched.Input via ScheduleInput.
+func RefSchedule(in ScheduleInput) (*KernelSchedule, error) { return modsched.RefRun(in) }
+
+// ScheduleInput is one fully-specified scheduling attempt (a design point
+// accepted or probed by the Figure 5 flow).
+type ScheduleInput = modsched.Input
+
+// Pairs fixes a design point's initiation time and per-domain IIs.
+type Pairs = machine.Pairs
+
+// PairsOf reconstructs the (IT, II) pairs of an accepted schedule — the
+// design point to replay through RefSchedule.
+func PairsOf(s *KernelSchedule) Pairs {
+	return Pairs{IT: s.IT, II: append([]int(nil), s.II...)}
+}
+
+// RefSimulate is the reference simulation path: Simulate on the preserved
+// map-based occupancy checkers. Results are identical to Simulate for
+// every valid schedule (enforced by internal/oracle).
+func RefSimulate(s *KernelSchedule, n int64) (*SimResult, error) {
+	return sim.RefRun(s, n, sim.DefaultGenPeriod)
+}
+
 // FormatSchedule renders a kernel schedule for humans.
 func FormatSchedule(s *KernelSchedule) string { return s.Format() }
 

@@ -9,6 +9,7 @@ package artifact
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"sync"
 
 	"repro/internal/clock"
 	"repro/internal/ddg"
@@ -30,9 +31,19 @@ type Digest struct {
 	w Writer
 }
 
-// NewDigest starts a digest with a domain-separating tag.
-func NewDigest(tag string) *Digest {
+// digestPool recycles digest buffers: cache keys are built on every memo
+// lookup of the exploration hot path, so the buffer churn is visible.
+var digestPool = sync.Pool{New: func() any {
 	d := &Digest{}
+	d.w.b = make([]byte, 0, 256)
+	return d
+}}
+
+// NewDigest starts a digest with a domain-separating tag. The digest is
+// recycled when Key is called — do not retain or reuse it afterwards.
+func NewDigest(tag string) *Digest {
+	d := digestPool.Get().(*Digest)
+	d.w.b = d.w.b[:0]
 	d.Str(tag)
 	return d
 }
@@ -60,9 +71,11 @@ func (d *Digest) Str(s string) *Digest {
 	return d
 }
 
-// Key finalizes the digest.
+// Key finalizes the digest and recycles it; the digest must not be used
+// after this call.
 func (d *Digest) Key() Key {
 	sum := sha256.Sum256(d.w.Bytes())
+	digestPool.Put(d)
 	return Key(sum[:])
 }
 

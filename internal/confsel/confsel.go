@@ -211,14 +211,24 @@ func BuildHetClocking(arch *machine.Arch, fastPeriod, slowPeriod clock.Picos, nu
 // schedule's communications and enough register slots for its lifetimes;
 // it_length is the homogeneous iteration length scaled by the mean cluster
 // cycle time.
-func estimateD(eng *explore.Engine, arch *machine.Arch, clk *machine.Clocking, prof *Profile) (float64, error) {
+// plainMITs, when non-nil, carries the per-loop demand-free MIT results
+// already computed for this clocking (see loopMITs) so the shared lookups
+// are not repeated.
+func estimateD(eng *explore.Engine, arch *machine.Arch, clk *machine.Clocking, prof *Profile,
+	plainMITs []mii.Result) (float64, error) {
 	meanTau := clk.MeanClusterPeriodNanos(arch) * 1000 // ps
 	total := 0.0
 	for i := range prof.Loops {
 		lp := &prof.Loops[i]
-		plain, err := computeMIT(eng, lp.Graph, arch, clk, nil)
-		if err != nil {
-			return 0, err
+		var plain mii.Result
+		if plainMITs != nil {
+			plain = plainMITs[i]
+		} else {
+			var err error
+			plain, err = computeMIT(eng, lp.Graph, arch, clk, nil)
+			if err != nil {
+				return 0, err
+			}
 		}
 		demand, err := computeMIT(eng, lp.Graph, arch, clk, &mii.Demand{
 			Comms:          lp.CommsHom,
@@ -255,9 +265,12 @@ func estimateD(eng *explore.Engine, arch *machine.Arch, clk *machine.Clocking, p
 // this IT go to the fast clusters; the remaining operations go to the
 // slow, low-power clusters up to their slot capacity (spill returns to the
 // fast clusters); within a group, distribution is II proportional.
-func loopShares(arch *machine.Arch, clk *machine.Clocking, lp *LoopProfile, it clock.Picos) []float64 {
+// ii and shares are caller-provided buffers of length NumClusters (the
+// per-candidate sweep calls this once per loop); the returned slice is
+// shares.
+func loopShares(arch *machine.Arch, clk *machine.Clocking, lp *LoopProfile, it clock.Picos,
+	ii, shares []float64) []float64 {
 	nc := arch.NumClusters()
-	ii := make([]float64, nc)
 	fastest := clk.MinPeriod[clk.FastestCluster(arch)]
 	sumAll, sumFast, sumSlow := 0.0, 0.0, 0.0
 	minSlowII := math.Inf(1)
@@ -273,7 +286,6 @@ func loopShares(arch *machine.Arch, clk *machine.Clocking, lp *LoopProfile, it c
 			}
 		}
 	}
-	shares := make([]float64, nc)
 	if sumAll == 0 {
 		for c := range shares {
 			shares[c] = 1.0 / float64(nc)
@@ -341,15 +353,14 @@ func loopShares(arch *machine.Arch, clk *machine.Clocking, lp *LoopProfile, it c
 // optimization: loads[c] for clusters (instruction units), the ICN's
 // communication count and the cache's access count are returned
 // separately.
-func domainLoads(eng *explore.Engine, arch *machine.Arch, clk *machine.Clocking, prof *Profile) (clusterUnits []float64, comms, mems float64, err error) {
+func domainLoads(arch *machine.Arch, clk *machine.Clocking, prof *Profile,
+	plainMITs []mii.Result) (clusterUnits []float64, comms, mems float64) {
 	clusterUnits = make([]float64, arch.NumClusters())
+	iiBuf := make([]float64, arch.NumClusters())
+	shareBuf := make([]float64, arch.NumClusters())
 	for i := range prof.Loops {
 		lp := &prof.Loops[i]
-		res, cerr := computeMIT(eng, lp.Graph, arch, clk, nil)
-		if cerr != nil {
-			return nil, 0, 0, cerr
-		}
-		shares := loopShares(arch, clk, lp, res.MIT)
+		shares := loopShares(arch, clk, lp, plainMITs[i].MIT, iiBuf, shareBuf)
 		w := lp.Weight * float64(lp.Iterations)
 		for c := range shares {
 			clusterUnits[c] += lp.InsUnits * shares[c] * w
@@ -357,7 +368,22 @@ func domainLoads(eng *explore.Engine, arch *machine.Arch, clk *machine.Clocking,
 		comms += float64(lp.CommsHom) * w
 		mems += float64(lp.MemOps) * w
 	}
-	return clusterUnits, comms, mems, nil
+	return clusterUnits, comms, mems
+}
+
+// loopMITs computes (or fetches from the engine cache) the demand-free
+// MIT of every profile loop under one clocking — shared by the time and
+// energy estimators of a candidate evaluation.
+func loopMITs(eng *explore.Engine, arch *machine.Arch, clk *machine.Clocking, prof *Profile) ([]mii.Result, error) {
+	out := make([]mii.Result, len(prof.Loops))
+	for i := range prof.Loops {
+		res, err := computeMIT(eng, prof.Loops[i].Graph, arch, clk, nil)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
 }
 
 // OptimizeVoltages picks, independently per domain (the energy is
@@ -497,14 +523,15 @@ func SelectHeterogeneousEx(eng *explore.Engine, arch *machine.Arch, prof *Profil
 func evalHetCandidate(eng *explore.Engine, arch *machine.Arch, prof *Profile,
 	cal *power.Calibration, model *power.AlphaModel, space Space, c hetCandidate) *Selection {
 	clk := BuildHetClocking(arch, c.fast, c.slow, space.NumFast)
-	d, err := estimateD(eng, arch, clk, prof)
+	plainMITs, err := loopMITs(eng, arch, clk, prof)
 	if err != nil {
 		return nil
 	}
-	clusterUnits, comms, mems, err := domainLoads(eng, arch, clk, prof)
+	d, err := estimateD(eng, arch, clk, prof, plainMITs)
 	if err != nil {
 		return nil
 	}
+	clusterUnits, comms, mems := domainLoads(arch, clk, prof, plainMITs)
 	ds, err := OptimizeVoltages(arch, clk, model, cal, space, clusterUnits, comms, mems, d)
 	if err != nil {
 		return nil
@@ -546,7 +573,14 @@ func OptimumHomogeneousEx(eng *explore.Engine, arch *machine.Arch, prof *Profile
 		tau := clock.Picos(math.Round(space.HomFactors[i] * float64(machine.ReferencePeriod)))
 		d := refSeconds * float64(tau) / float64(machine.ReferencePeriod)
 		clusterUnits := append([]float64(nil), prof.RefCounts.InsUnits...)
-		var best *Selection
+		// Sweep the voltage ladder tracking only the winning scalar point;
+		// the Clocking and DomainScale objects are built once at the end.
+		bestV, bestE, bestED2 := 0.0, 0.0, math.Inf(1)
+		bestDelta, bestSigma := 0.0, 0.0
+		ds := &power.DomainScale{
+			Delta: make([]float64, arch.NumDomains()),
+			Sigma: make([]float64, arch.NumDomains()),
+		}
 		for v := space.ClusterVdd[0]; v <= space.ClusterVdd[1]+1e-9; v += space.VddStep {
 			vth, err := model.VthForPeriod(tau, v)
 			if err != nil {
@@ -554,28 +588,31 @@ func OptimumHomogeneousEx(eng *explore.Engine, arch *machine.Arch, prof *Profile
 			}
 			delta := model.Delta(v)
 			sigma := model.Sigma(v, vth)
-			clk := machine.NewClocking(arch, tau, v)
-			ds := &power.DomainScale{
-				Delta: make([]float64, arch.NumDomains()),
-				Sigma: make([]float64, arch.NumDomains()),
-			}
 			for dd := 0; dd < arch.NumDomains(); dd++ {
 				ds.Delta[dd] = delta
 				ds.Sigma[dd] = sigma
 			}
 			e := estimateE(arch, cal, ds, clusterUnits, prof.RefCounts.Comms, prof.RefCounts.MemAccesses, d)
 			ed2 := power.ED2(e, d)
-			if best == nil || ed2 < best.Estimate.ED2 {
-				best = &Selection{
-					Clock:      clk,
-					Scales:     ds,
-					Estimate:   Estimate{Seconds: d, Energy: e, ED2: ed2},
-					FastPeriod: tau,
-					SlowPeriod: tau,
-				}
+			if ed2 < bestED2 {
+				bestV, bestE, bestED2 = v, e, ed2
+				bestDelta, bestSigma = delta, sigma
 			}
 		}
-		return best
+		if math.IsInf(bestED2, 1) {
+			return nil
+		}
+		for dd := 0; dd < arch.NumDomains(); dd++ {
+			ds.Delta[dd] = bestDelta
+			ds.Sigma[dd] = bestSigma
+		}
+		return &Selection{
+			Clock:      machine.NewClocking(arch, tau, bestV),
+			Scales:     ds,
+			Estimate:   Estimate{Seconds: d, Energy: bestE, ED2: bestED2},
+			FastPeriod: tau,
+			SlowPeriod: tau,
+		}
 	})
 	var best *Selection
 	for _, s := range sels {

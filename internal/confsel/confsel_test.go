@@ -148,7 +148,7 @@ func TestLoopSharesRecurrenceAware(t *testing.T) {
 	// Loop 0: recMII 9 recurrence; slow clusters have II = floor(IT/1500).
 	// At IT = 9000: slow II = 6 < 9 → the recurrence units must be in the
 	// fast cluster's share.
-	shares := loopShares(arch, clk, &prof.Loops[0], clock.PS(9000))
+	shares := loopShares(arch, clk, &prof.Loops[0], clock.PS(9000), make([]float64, 4), make([]float64, 4))
 	if len(shares) != 4 {
 		t.Fatal("share arity")
 	}
@@ -171,7 +171,7 @@ func TestLoopSharesRecurrenceAware(t *testing.T) {
 	}
 	// Uniform config: II proportional.
 	uni := machine.NewClocking(arch, clock.PS(1000), 1.0)
-	shares = loopShares(arch, uni, &prof.Loops[0], clock.PS(9000))
+	shares = loopShares(arch, uni, &prof.Loops[0], clock.PS(9000), make([]float64, 4), make([]float64, 4))
 	for c := 0; c < 4; c++ {
 		if math.Abs(shares[c]-0.25) > 1e-9 {
 			t.Errorf("uniform share[%d] = %g, want 0.25", c, shares[c])
@@ -186,7 +186,7 @@ func TestEstimateDUniformIsExact(t *testing.T) {
 	arch := machine.Reference4Cluster(1)
 	prof := testProfile(arch)
 	clk := machine.NewClocking(arch, machine.ReferencePeriod, 1.0)
-	d, err := estimateD(nil, arch, clk, prof)
+	d, err := estimateD(nil, arch, clk, prof, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,6 +29,11 @@ type Options struct {
 	MaxAttempts int
 	// MaxIT bounds the initiation time (default 32× MIT plus slack).
 	MaxIT clock.Picos
+	// Scratch, when non-nil, is the reusable scheduling arena threaded to
+	// modsched.RunScratch; every IT attempt of this run (and any later
+	// runs handed the same arena) reuses its working memory. Must not be
+	// shared between concurrent calls.
+	Scratch *modsched.Scratch
 }
 
 func (o Options) withDefaults(mit clock.Picos) Options {
@@ -88,13 +93,13 @@ func ScheduleLoop(g *ddg.Graph, cfg *machine.Config, cost partition.CostParams, 
 		} else {
 			assign, perr := partition.Partition(g, arch, clk, pairs, cost, opts.Partition)
 			if perr == nil {
-				sched, serr := modsched.Run(modsched.Input{
+				sched, serr := modsched.RunScratch(modsched.Input{
 					Graph:  g,
 					Arch:   arch,
 					Pairs:  pairs,
 					Assign: assign,
 					Opts:   opts.Sched,
-				})
+				}, opts.Scratch)
 				if serr == nil {
 					res.Schedule = sched
 					return res, nil

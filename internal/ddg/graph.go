@@ -13,6 +13,7 @@ package ddg
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/isa"
 )
@@ -50,6 +51,32 @@ type Graph struct {
 	out   [][]int // op -> indices into edges
 	in    [][]int
 	name  string
+
+	// memo caches the graph-only analyses (recMII, SCCs) that the
+	// schedulers and selectors re-query for every candidate configuration;
+	// they depend on nothing but the ops and edges, so they are computed
+	// once and invalidated on mutation. Guarded by memo.mu: graphs are
+	// queried concurrently by the exploration engine's workers.
+	memo struct {
+		mu          sync.Mutex
+		recMII      int
+		recMIIOK    bool
+		sccs        []SCC
+		sccsOK      bool
+		recurrences []SCC
+		recsOK      bool
+	}
+}
+
+// invalidate drops the memoized analyses after a mutation.
+func (g *Graph) invalidate() {
+	g.memo.mu.Lock()
+	g.memo.recMIIOK = false
+	g.memo.sccs = nil
+	g.memo.sccsOK = false
+	g.memo.recurrences = nil
+	g.memo.recsOK = false
+	g.memo.mu.Unlock()
 }
 
 // New returns an empty graph with the given name.
@@ -64,6 +91,7 @@ func (g *Graph) AddOp(class isa.Class, name string) int {
 	g.ops = append(g.ops, Op{ID: id, Class: class, Name: name})
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	g.invalidate()
 	return id
 }
 
@@ -81,6 +109,7 @@ func (g *Graph) AddEdge(e Edge) {
 	g.edges = append(g.edges, e)
 	g.out[e.From] = append(g.out[e.From], idx)
 	g.in[e.To] = append(g.in[e.To], idx)
+	g.invalidate()
 }
 
 // NumOps returns the number of operations.

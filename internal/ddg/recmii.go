@@ -9,8 +9,17 @@ package ddg
 // weights w(e) = latency(e) − II·dist(e). Positive circuits are detected
 // with a Floyd–Warshall longest-path closure, exact for the graph sizes of
 // loop bodies.
+// The result is memoized on the graph (it depends only on ops and edges)
+// because the selectors and the Figure 5 retry loop re-query it for every
+// candidate configuration and every IT attempt.
 func (g *Graph) RecMII() int {
-	return g.recMIIWithin(allOps(len(g.ops)))
+	g.memo.mu.Lock()
+	defer g.memo.mu.Unlock()
+	if !g.memo.recMIIOK {
+		g.memo.recMII = g.recMIIWithin(allOps(len(g.ops)))
+		g.memo.recMIIOK = true
+	}
+	return g.memo.recMII
 }
 
 func allOps(n int) []int {
@@ -48,33 +57,27 @@ func (g *Graph) recMIIWithin(ops []int) int {
 		return 0
 	}
 	n := len(ops)
-	// dist matrix buffers reused across probes.
-	d := make([][]int64, n)
-	for i := range d {
-		d[i] = make([]int64, n)
-	}
+	// One flat dist matrix reused across probes (row i at d[i*n:]).
+	d := make([]int64, n*n)
 	const negInf = int64(-1) << 60
 	positiveCircuit := func(ii int) bool {
 		for i := range d {
-			row := d[i]
-			for j := range row {
-				row[j] = negInf
-			}
+			d[i] = negInf
 		}
 		for _, e := range ledges {
 			w := int64(e.lat) - int64(ii)*int64(e.dist)
-			if w > d[e.from][e.to] {
-				d[e.from][e.to] = w
+			if w > d[e.from*n+e.to] {
+				d[e.from*n+e.to] = w
 			}
 		}
 		for k := 0; k < n; k++ {
-			dk := d[k]
+			dk := d[k*n : k*n+n]
 			for i := 0; i < n; i++ {
-				dik := d[i][k]
+				dik := d[i*n+k]
 				if dik == negInf {
 					continue
 				}
-				di := d[i]
+				di := d[i*n : i*n+n]
 				for j := 0; j < n; j++ {
 					if dk[j] == negInf {
 						continue
@@ -86,13 +89,13 @@ func (g *Graph) recMIIWithin(ops []int) int {
 			}
 			// Early exit: positive self-distance means a positive circuit.
 			for i := 0; i < n; i++ {
-				if d[i][i] > 0 {
+				if d[i*n+i] > 0 {
 					return true
 				}
 			}
 		}
 		for i := 0; i < n; i++ {
-			if d[i][i] > 0 {
+			if d[i*n+i] > 0 {
 				return true
 			}
 		}

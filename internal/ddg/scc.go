@@ -19,8 +19,19 @@ type SCC struct {
 
 // SCCs computes the strongly connected components with Tarjan's algorithm
 // (iterative) and, for each recurrence, its local recMII. Components are
-// returned in a deterministic order (by smallest member ID).
+// returned in a deterministic order (by smallest member ID). The result is
+// memoized on the graph and shared between callers — do not mutate it.
 func (g *Graph) SCCs() []SCC {
+	g.memo.mu.Lock()
+	defer g.memo.mu.Unlock()
+	if !g.memo.sccsOK {
+		g.memo.sccs = g.computeSCCs()
+		g.memo.sccsOK = true
+	}
+	return g.memo.sccs
+}
+
+func (g *Graph) computeSCCs() []SCC {
 	n := len(g.ops)
 	index := make([]int, n)
 	low := make([]int, n)
@@ -125,10 +136,16 @@ func (g *Graph) componentHasCycle(comp []int) bool {
 
 // Recurrences returns only the recurrence SCCs, most critical (highest
 // RecMII) first; ties broken by more ops, then smallest member ID, so the
-// order is deterministic.
+// order is deterministic. Memoized and shared — do not mutate the result.
 func (g *Graph) Recurrences() []SCC {
+	sccs := g.SCCs()
+	g.memo.mu.Lock()
+	defer g.memo.mu.Unlock()
+	if g.memo.recsOK {
+		return g.memo.recurrences
+	}
 	var recs []SCC
-	for _, s := range g.SCCs() {
+	for _, s := range sccs {
 		if s.IsRecurrence {
 			recs = append(recs, s)
 		}
@@ -142,5 +159,7 @@ func (g *Graph) Recurrences() []SCC {
 		}
 		return recs[i].Ops[0] < recs[j].Ops[0]
 	})
+	g.memo.recurrences = recs
+	g.memo.recsOK = true
 	return recs
 }

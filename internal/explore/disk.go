@@ -13,6 +13,7 @@
 package explore
 
 import (
+	"errors"
 	"fmt"
 	"io/fs"
 	"os"
@@ -199,9 +200,18 @@ type DiskStats struct {
 	Bytes   int64
 }
 
-// StatDiskCache walks a cache directory and counts its entries.
+// ErrNoCacheDir marks a stat/clear of a cache directory that does not
+// exist — a normal condition (nothing was ever cached there), which
+// callers should report as such instead of surfacing a filesystem error.
+var ErrNoCacheDir = errors.New("explore: no cache directory")
+
+// StatDiskCache walks a cache directory and counts its entries. A missing
+// directory returns an error wrapping ErrNoCacheDir.
 func StatDiskCache(dir string) (DiskStats, error) {
 	var st DiskStats
+	if _, err := os.Stat(dir); errors.Is(err, fs.ErrNotExist) {
+		return st, fmt.Errorf("%w at %s", ErrNoCacheDir, dir)
+	}
 	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() || filepath.Ext(path) != ".art" {
 			return err
@@ -218,8 +228,12 @@ func StatDiskCache(dir string) (DiskStats, error) {
 }
 
 // ClearDiskCache removes every entry of a cache directory (the directory
-// itself is kept). Temp files from in-flight writers are left alone.
+// itself is kept). Temp files from in-flight writers are left alone. A
+// missing directory returns an error wrapping ErrNoCacheDir.
 func ClearDiskCache(dir string) (int, error) {
+	if _, err := os.Stat(dir); errors.Is(err, fs.ErrNotExist) {
+		return 0, fmt.Errorf("%w at %s", ErrNoCacheDir, dir)
+	}
 	removed := 0
 	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() || filepath.Ext(path) != ".art" {

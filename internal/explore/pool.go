@@ -1,0 +1,24 @@
+package explore
+
+import "sync"
+
+// Pool is a typed free list of per-worker scratch arenas. The evaluation
+// hot path (modulo scheduling + simulation of one design point) runs on
+// reusable working memory; pooling one arena per engine worker makes the
+// steady state of a sweep allocation-free without threading ownership
+// through every layer. Get/Put pairs are cheap enough to wrap around a
+// single loop evaluation.
+type Pool[T any] struct {
+	p sync.Pool
+}
+
+// NewPool returns a pool producing fresh values with newFn when empty.
+func NewPool[T any](newFn func() T) *Pool[T] {
+	return &Pool[T]{p: sync.Pool{New: func() any { return newFn() }}}
+}
+
+// Get takes an arena from the pool (or builds a fresh one).
+func (p *Pool[T]) Get() T { return p.p.Get().(T) }
+
+// Put returns an arena to the pool. The caller must not use it afterward.
+func (p *Pool[T]) Put(v T) { p.p.Put(v) }

@@ -1,0 +1,16 @@
+// Package grow holds the one slice-reuse primitive behind every scratch
+// arena in the repo: hand back the caller's backing array when it is
+// already big enough, allocate a fresh one only when it is not. Keeping
+// it in one place keeps the reuse semantics (contents are unspecified on
+// reuse unless the caller resets them) identical everywhere.
+package grow
+
+// Slice returns s resized to n elements, reusing its backing array when
+// cap(s) ≥ n. Contents are unspecified unless freshly allocated (then
+// zero); callers that need a clean slate must reset it themselves.
+func Slice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,31 @@
+package grow
+
+import "testing"
+
+func TestSliceReusesBacking(t *testing.T) {
+	s := make([]int, 8)
+	s[0] = 7
+	r := Slice(s[:2], 8)
+	if &r[0] != &s[0] {
+		t.Error("sufficient capacity must reuse the backing array")
+	}
+	if len(r) != 8 {
+		t.Errorf("len = %d, want 8", len(r))
+	}
+}
+
+func TestSliceAllocatesZeroed(t *testing.T) {
+	r := Slice([]int(nil), 4)
+	if len(r) != 4 {
+		t.Fatalf("len = %d", len(r))
+	}
+	for i, v := range r {
+		if v != 0 {
+			t.Errorf("fresh slice not zeroed at %d: %d", i, v)
+		}
+	}
+	big := Slice(r, 16)
+	if len(big) != 16 {
+		t.Errorf("grow len = %d", len(big))
+	}
+}

@@ -119,21 +119,36 @@ func (s *Schedule) TexecPs(n int64) clock.Picos {
 // scheduled at in.Pairs.IT (the caller should increase the IT, per the
 // Figure 5 flow) or when the input is malformed.
 func Run(in Input) (*Schedule, error) {
+	return RunScratch(in, nil)
+}
+
+// RunScratch is Run with a caller-owned scratch arena: repeated calls
+// reuse sc's working slices, so the steady state of a design-space sweep
+// allocates only the returned Schedule. sc must not be shared between
+// concurrent calls; nil allocates a private arena.
+func RunScratch(in Input, sc *Scratch) (*Schedule, error) {
 	if err := checkInput(&in); err != nil {
 		return nil, err
 	}
 	in.Opts = in.Opts.withDefaults()
-	x, err := buildXGraph(&in)
+	if sc == nil {
+		sc = new(Scratch)
+	}
+	// A pooled scratch must not pin the caller's graph/config between
+	// runs: drop the input reference however this run ends.
+	defer func() { sc.xg.in = nil }()
+	x, err := buildXGraph(&in, sc)
 	if err != nil {
 		return nil, err
 	}
 	if err := x.computePriorities(); err != nil {
 		return nil, err
 	}
-	if err := x.schedule(); err != nil {
+	tbl := buildDenseMRT(x)
+	if err := schedule(x, tbl); err != nil {
 		return nil, err
 	}
-	return x.emit()
+	return emit(x, tbl)
 }
 
 func checkInput(in *Input) error {

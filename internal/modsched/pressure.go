@@ -15,14 +15,14 @@ type value struct {
 }
 
 // computeValues derives all register values and their live intervals from
-// the scheduled extended graph.
+// the scheduled extended graph, into the scratch value buffer.
 //
 // Reads: a consumer arc with distance d reads the value at time
 // t_consumer + d·IT, which in holder-cluster cycles is
 // floor(k_consumer·II_h/II_c) + d·II_h. A copy reading a producer's value
 // behaves the same way in the producer's cluster.
 func (x *xgraph) computeValues() []value {
-	var vals []value
+	vals := x.sc.vals[:0]
 	for nid := range x.nodes {
 		nd := &x.nodes[nid]
 		var holder int
@@ -40,7 +40,7 @@ func (x *xgraph) computeValues() []value {
 		// finishes at (k+lat)·IT/II_producerDomain.
 		def := int(ceilDiv(int64(x.cycle[nid]+nd.lat)*int64(iiH), int64(x.ii(nid))))
 		end := def
-		for _, ai := range x.nodes[nid].out {
+		for _, ai := range x.outOf(nid) {
 			a := &x.arcs[ai]
 			// Only arcs whose consumer actually reads this register:
 			// same-cluster consumers for op values; destination-cluster
@@ -66,37 +66,49 @@ func (x *xgraph) computeValues() []value {
 		}
 		vals = append(vals, value{cluster: holder, def: def, end: end})
 	}
+	x.sc.vals = vals
 	return vals
 }
 
 // maxLive folds the value intervals into per-cluster kernel-slot pressure
-// and returns MaxLive per cluster plus the total lifetime cycles.
+// and returns MaxLive per cluster plus the total lifetime cycles. The
+// per-slot counters live in one flat scratch slice, one segment per
+// cluster at liveOff[c].
 func (x *xgraph) maxLive(vals []value) (maxLive []int, sumLifetimes int) {
+	sc := x.sc
 	nc := x.in.Arch.NumClusters()
-	live := make([][]int, nc)
+	liveOff := growInts(sc.liveOff, nc+1)
+	sc.liveOff = liveOff
+	liveOff[0] = 0
 	for c := 0; c < nc; c++ {
 		ii := x.in.Pairs.II[c]
 		if ii < 1 {
 			ii = 1
 		}
-		live[c] = make([]int, ii)
+		liveOff[c+1] = liveOff[c] + ii
+	}
+	live := growInts(sc.live, liveOff[nc])
+	sc.live = live
+	for i := range live {
+		live[i] = 0
 	}
 	for _, v := range vals {
-		ii := len(live[v.cluster])
+		row := live[liveOff[v.cluster]:liveOff[v.cluster+1]]
+		ii := len(row)
 		span := v.end - v.def + 1
 		sumLifetimes += span
 		full := span / ii
 		rem := span % ii
-		for s := range live[v.cluster] {
-			live[v.cluster][s] += full
+		for s := range row {
+			row[s] += full
 		}
 		for i := 0; i < rem; i++ {
-			live[v.cluster][(v.def+i)%ii]++
+			row[(v.def+i)%ii]++
 		}
 	}
-	maxLive = make([]int, nc)
+	maxLive = make([]int, nc) // escapes into the Schedule
 	for c := 0; c < nc; c++ {
-		for _, l := range live[c] {
+		for _, l := range live[liveOff[c]:liveOff[c+1]] {
 			if l > maxLive[c] {
 				maxLive[c] = l
 			}
@@ -107,8 +119,10 @@ func (x *xgraph) maxLive(vals []value) (maxLive []int, sumLifetimes int) {
 
 // emit finalizes the schedule: normalizes cycles, assigns buses to copies,
 // computes iteration length, stage count and register pressure, and runs
-// the internal consistency checks.
-func (x *xgraph) emit() (*Schedule, error) {
+// the internal consistency checks. The returned Schedule owns its slices —
+// nothing aliases the scratch arena, so schedules stay valid after the
+// scratch is reused for the next candidate.
+func emit[T resTable](x *xgraph, tbl T) (*Schedule, error) {
 	g := x.in.Graph
 	arch := x.in.Arch
 	s := &Schedule{
@@ -125,7 +139,14 @@ func (x *xgraph) emit() (*Schedule, error) {
 	// Copies: record cycles, assign bus units from the reservation table.
 	icn := int(arch.ICN())
 	iiBus := x.in.Pairs.II[icn]
-	busUse := make(map[int]int) // slot -> next unit
+	busUse := growInts(x.sc.busUse, iiBus) // slot -> next unit
+	x.sc.busUse = busUse
+	for i := range busUse {
+		busUse[i] = 0
+	}
+	if len(x.copies) > 0 {
+		s.Copies = make([]Copy, 0, len(x.copies))
+	}
 	for ci := range x.copies {
 		nid := g.NumOps() + ci
 		cp := x.copies[ci]
@@ -169,14 +190,17 @@ func (x *xgraph) emit() (*Schedule, error) {
 				s.MaxLive[c], arch.Clusters[c].Regs, c, s.IT)
 		}
 	}
-	if err := x.verify(); err != nil {
+	if err := x.verifyArcs(); err != nil {
+		return nil, err
+	}
+	if err := tbl.verify(x); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
-// verify re-checks every arc and reservation slot of the final schedule.
-func (x *xgraph) verify() error {
+// verifyArcs re-checks every arc of the final schedule.
+func (x *xgraph) verifyArcs() error {
 	for ai := range x.arcs {
 		a := &x.arcs[ai]
 		if x.cycle[a.from] < 0 || x.cycle[a.to] < 0 {
@@ -184,30 +208,6 @@ func (x *xgraph) verify() error {
 		}
 		if !x.satisfied(a) {
 			return fmt.Errorf("modsched: internal error: violated dependence %d→%d", a.from, a.to)
-		}
-	}
-	// Slot occupancy: every node appears exactly once in its table.
-	for nid := range x.nodes {
-		nd := &x.nodes[nid]
-		tbl := x.mrt[nd.domain][nd.resKey]
-		count := 0
-		for _, occ := range tbl {
-			if occ == nid {
-				count++
-			}
-		}
-		if count != 1 {
-			return fmt.Errorf("modsched: internal error: node %d holds %d slots", nid, count)
-		}
-		slot := x.cycle[nid] % x.ii(nid)
-		found := false
-		for u := 0; u < nd.units; u++ {
-			if tbl[slot*nd.units+u] == nid {
-				found = true
-			}
-		}
-		if !found {
-			return fmt.Errorf("modsched: internal error: node %d not at its own slot", nid)
 		}
 	}
 	return nil

@@ -1,0 +1,146 @@
+// Reference scheduling path for the differential oracle (internal/oracle).
+//
+// refMRT preserves the PR-2 modulo reservation table representation —
+// nested Go maps keyed by domain and resource kind, one freshly allocated
+// []int per kind — exactly as it was before the dense rewrite. The
+// scheduler logic is shared (schedule/emit are generic over resTable);
+// what differs is every table access, which is the rewritten part. The
+// oracle schedules each fuzzed loop through both representations and
+// requires byte-identical results.
+
+package modsched
+
+import "fmt"
+
+// refMRT is the reference map-based modulo reservation table.
+// mrt[d][resKey] is the table of one resource kind in domain d: a slice
+// of II_d·units entries holding the occupying node or -1.
+type refMRT struct {
+	mrt map[int]map[int][]int
+}
+
+// buildRefMRT allocates the nested map tables for the xgraph, as the
+// PR-2 buildXGraph did.
+func buildRefMRT(x *xgraph) *refMRT {
+	t := &refMRT{mrt: make(map[int]map[int][]int)}
+	for i := range x.nodes {
+		nd := &x.nodes[i]
+		if t.mrt[nd.domain] == nil {
+			t.mrt[nd.domain] = make(map[int][]int)
+		}
+		if t.mrt[nd.domain][nd.resKey] == nil {
+			ii := x.in.Pairs.II[nd.domain]
+			tbl := make([]int, ii*nd.units)
+			for j := range tbl {
+				tbl[j] = -1
+			}
+			t.mrt[nd.domain][nd.resKey] = tbl
+		}
+	}
+	return t
+}
+
+func (t *refMRT) hasFreeUnit(x *xgraph, nid, k int) bool {
+	nd := &x.nodes[nid]
+	tbl := t.mrt[nd.domain][nd.resKey]
+	slot := k % x.ii(nid)
+	for u := 0; u < nd.units; u++ {
+		if tbl[slot*nd.units+u] < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *refMRT) pickVictim(x *xgraph, nid, k int) int {
+	nd := &x.nodes[nid]
+	tbl := t.mrt[nd.domain][nd.resKey]
+	slot := k % x.ii(nid)
+	victim := -1
+	for u := 0; u < nd.units; u++ {
+		occ := tbl[slot*nd.units+u]
+		if occ < 0 {
+			return -1 // a unit is free after all
+		}
+		if victim < 0 || x.nodes[occ].prio < x.nodes[victim].prio {
+			victim = occ
+		}
+	}
+	return victim
+}
+
+func (t *refMRT) place(x *xgraph, nid, k int) {
+	nd := &x.nodes[nid]
+	tbl := t.mrt[nd.domain][nd.resKey]
+	ii := x.ii(nid)
+	slot := k % ii
+	for u := 0; u < nd.units; u++ {
+		if tbl[slot*nd.units+u] < 0 {
+			tbl[slot*nd.units+u] = nid
+			x.cycle[nid] = k
+			x.lastCycle[nid] = k
+			return
+		}
+	}
+	panic("modsched: place called without a free unit")
+}
+
+func (t *refMRT) release(x *xgraph, nid int) {
+	nd := &x.nodes[nid]
+	tbl := t.mrt[nd.domain][nd.resKey]
+	for i, occ := range tbl {
+		if occ == nid {
+			tbl[i] = -1
+			return
+		}
+	}
+}
+
+func (t *refMRT) verify(x *xgraph) error {
+	for nid := range x.nodes {
+		nd := &x.nodes[nid]
+		tbl := t.mrt[nd.domain][nd.resKey]
+		count := 0
+		for _, occ := range tbl {
+			if occ == nid {
+				count++
+			}
+		}
+		if count != 1 {
+			return fmt.Errorf("modsched: internal error: node %d holds %d slots", nid, count)
+		}
+		slot := x.cycle[nid] % x.ii(nid)
+		found := false
+		for u := 0; u < nd.units; u++ {
+			if tbl[slot*nd.units+u] == nid {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("modsched: internal error: node %d not at its own slot", nid)
+		}
+	}
+	return nil
+}
+
+// RefRun schedules the loop through the reference (map-based) reservation
+// tables. It must produce exactly the same schedule as Run for every
+// input; internal/oracle enforces that.
+func RefRun(in Input) (*Schedule, error) {
+	if err := checkInput(&in); err != nil {
+		return nil, err
+	}
+	in.Opts = in.Opts.withDefaults()
+	x, err := buildXGraph(&in, new(Scratch))
+	if err != nil {
+		return nil, err
+	}
+	if err := x.computePriorities(); err != nil {
+		return nil, err
+	}
+	tbl := buildRefMRT(x)
+	if err := schedule(x, tbl); err != nil {
+		return nil, err
+	}
+	return emit(x, tbl)
+}

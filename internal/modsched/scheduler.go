@@ -2,25 +2,52 @@ package modsched
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
+
+// resTable is a modulo reservation table representation. Two exist: the
+// dense fast-path table (denseMRT) and the reference map-based table
+// (refMRT, the PR-2 structure kept for the differential oracle). The
+// scheduler is generic over the representation — static dispatch, so the
+// fast path pays no interface calls — and both must behave identically:
+// segments are slot-major (slot*units + u) and scanned in the same order,
+// which is what makes fast and reference schedules byte-identical.
+type resTable interface {
+	// hasFreeUnit reports whether nid's resource has a free unit at cycle
+	// k (modulo its domain's II).
+	hasFreeUnit(x *xgraph, nid, k int) bool
+	// pickVictim selects the occupant to displace so that nid can take a
+	// unit at cycle k: the lowest-priority occupant of the slot, or -1
+	// when a unit is free after all.
+	pickVictim(x *xgraph, nid, k int) int
+	// place records nid at cycle k and claims its reservation slot.
+	place(x *xgraph, nid, k int)
+	// release clears nid's reservation entry if present.
+	release(x *xgraph, nid int)
+	// verify checks that every node holds exactly its own slot.
+	verify(x *xgraph) error
+}
 
 // schedule runs iterative modulo scheduling over the extended graph:
 // highest-priority-first placement at the earliest feasible slot, with
 // bounded displacement of conflicting operations (Rau's IMS adapted to
 // per-domain initiation intervals).
-func (x *xgraph) schedule() error {
+func schedule[T resTable](x *xgraph, tbl T) error {
 	// Process order: priority descending, node id as tie-break.
-	order := make([]int, len(x.nodes))
+	order := growInts(x.sc.order, len(x.nodes))
+	x.sc.order = order
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(i, j int) bool {
-		pi, pj := x.nodes[order[i]].prio, x.nodes[order[j]].prio
-		if pi != pj {
-			return pi > pj
+	slices.SortStableFunc(order, func(a, b int) int {
+		pa, pb := x.nodes[a].prio, x.nodes[b].prio
+		if pa != pb {
+			if pa > pb {
+				return -1
+			}
+			return 1
 		}
-		return order[i] < order[j]
+		return a - b
 	})
 
 	unscheduled := len(x.nodes)
@@ -53,8 +80,8 @@ func (x *xgraph) schedule() error {
 			if k > x.maxCycle[pick] {
 				break
 			}
-			if x.hasFreeUnit(pick, k) {
-				x.place(pick, k)
+			if tbl.hasFreeUnit(x, pick, k) {
+				tbl.place(x, pick, k)
 				unscheduled--
 				placed = true
 				break
@@ -64,29 +91,29 @@ func (x *xgraph) schedule() error {
 			// Force placement at minCycle, displacing the lowest-priority
 			// resource-conflict victim.
 			k := minCycle
-			for _, v := range x.pickVictims(pick, k) {
-				x.releaseSlot(v)
+			if v := tbl.pickVictim(x, pick, k); v >= 0 {
+				tbl.release(x, v)
 				x.unplace(v)
 				unscheduled++
 			}
-			x.place(pick, k)
+			tbl.place(x, pick, k)
 			unscheduled--
 		}
 		// Dependence repair: displace scheduled neighbors whose arcs are
 		// now violated.
-		for _, ai := range x.nodes[pick].out {
+		for _, ai := range x.outOf(pick) {
 			a := &x.arcs[ai]
 			if x.cycle[a.to] >= 0 && !x.satisfied(a) {
 				x.unplace(a.to)
-				x.releaseSlot(a.to)
+				tbl.release(x, a.to)
 				unscheduled++
 			}
 		}
-		for _, ai := range x.nodes[pick].in {
+		for _, ai := range x.inOf(pick) {
 			a := &x.arcs[ai]
 			if x.cycle[a.from] >= 0 && !x.satisfied(a) {
 				x.unplace(a.from)
-				x.releaseSlot(a.from)
+				tbl.release(x, a.from)
 				unscheduled++
 			}
 		}
@@ -98,7 +125,7 @@ func (x *xgraph) schedule() error {
 // scheduled predecessors.
 func (x *xgraph) earliestStart(nid int) int {
 	e := 0
-	for _, ai := range x.nodes[nid].in {
+	for _, ai := range x.inOf(nid) {
 		a := &x.arcs[ai]
 		if x.cycle[a.from] < 0 {
 			continue
@@ -110,70 +137,6 @@ func (x *xgraph) earliestStart(nid int) int {
 	return e
 }
 
-// hasFreeUnit reports whether node nid's resource has a free unit at
-// cycle k (modulo its domain's II).
-func (x *xgraph) hasFreeUnit(nid, k int) bool {
-	nd := &x.nodes[nid]
-	tbl := x.mrt[nd.domain][nd.resKey]
-	slot := k % x.ii(nid)
-	for u := 0; u < nd.units; u++ {
-		if tbl[slot*nd.units+u] < 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// pickVictims selects the occupants to displace so that node nid can take
-// a unit at cycle k: the lowest-priority occupant of the slot, or nothing
-// if a unit is free after all.
-func (x *xgraph) pickVictims(nid, k int) []int {
-	nd := &x.nodes[nid]
-	tbl := x.mrt[nd.domain][nd.resKey]
-	slot := k % x.ii(nid)
-	victim := -1
-	for u := 0; u < nd.units; u++ {
-		occ := tbl[slot*nd.units+u]
-		if occ < 0 {
-			return nil // a unit is free after all
-		}
-		if victim < 0 || x.nodes[occ].prio < x.nodes[victim].prio {
-			victim = occ
-		}
-	}
-	return []int{victim}
-}
-
-// place records node nid at cycle k and claims its reservation slot.
-func (x *xgraph) place(nid, k int) {
-	nd := &x.nodes[nid]
-	tbl := x.mrt[nd.domain][nd.resKey]
-	ii := x.ii(nid)
-	slot := k % ii
-	for u := 0; u < nd.units; u++ {
-		if tbl[slot*nd.units+u] < 0 {
-			tbl[slot*nd.units+u] = nid
-			x.cycle[nid] = k
-			x.lastCycle[nid] = k
-			return
-		}
-	}
-	panic("modsched: place called without a free unit")
-}
-
 // unplace marks nid unscheduled (its slot must be released separately when
-// it still holds one; eviction via reserveForce leaves the slot to the
-// usurper).
+// it still holds one; eviction leaves the slot to the usurper).
 func (x *xgraph) unplace(nid int) { x.cycle[nid] = -1 }
-
-// releaseSlot clears nid's reservation entry if present.
-func (x *xgraph) releaseSlot(nid int) {
-	nd := &x.nodes[nid]
-	tbl := x.mrt[nd.domain][nd.resKey]
-	for i, occ := range tbl {
-		if occ == nid {
-			tbl[i] = -1
-			return
-		}
-	}
-}

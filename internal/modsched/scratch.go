@@ -1,0 +1,179 @@
+package modsched
+
+import (
+	"fmt"
+
+	"repro/internal/grow"
+	"repro/internal/isa"
+)
+
+// Scratch is a reusable arena for one scheduling run: every working slice
+// the scheduler needs (extended-graph nodes and arcs, CSR adjacency, the
+// dense modulo reservation table, priority and pressure workspaces) is
+// grown once and reused across runs, so the steady-state hot path of a
+// design-space sweep does near-zero allocation. A Scratch is owned by one
+// goroutine at a time; the exploration engine pools one per worker.
+// The zero value is ready to use.
+type Scratch struct {
+	nodes     []node
+	arcs      []arc
+	copies    []Copy
+	cycle     []int
+	lastCycle []int
+	maxCycle  []int
+
+	outStart, inStart []int32
+	outArcs, inArcs   []int32
+
+	commIdx  []int32 // (op, dst-cluster) -> copy node id + 1; kept all-zero between runs
+	commKeys []commKey
+
+	order []int
+	h     []int64
+	hf    []float64
+
+	mrtTbl []int32 // dense reservation table backing store
+	mrtOff []int32 // (domain, resource) -> segment offset, -1 unused
+
+	vals    []value
+	liveOff []int
+	live    []int
+	busUse  []int
+
+	xg xgraph // reused working-state header
+}
+
+// Local names for the shared grow.Slice reuse primitive.
+var (
+	growInts   = grow.Slice[int]
+	growInt32  = grow.Slice[int32]
+	growInt64  = grow.Slice[int64]
+	growFloats = grow.Slice[float64]
+	growNodes  = grow.Slice[node]
+)
+
+// denseMRT is the fast-path modulo reservation table: one flat []int32
+// holding every (domain, resource) segment back to back, each segment laid
+// out slot-major exactly like the PR-2 per-kind tables (slot*units + u,
+// occupant node id or -1). Indexing is (domain, resource ordinal) through
+// the off table — no map lookups, no per-candidate allocation.
+type denseMRT struct {
+	tbl []int32
+	off []int32 // domain*isa.NumResources + res -> offset into tbl, -1 unused
+}
+
+// buildDenseMRT sizes and clears the table for the xgraph's nodes, using
+// the scratch backing store.
+func buildDenseMRT(x *xgraph) *denseMRT {
+	sc := x.sc
+	nd := x.in.Arch.NumDomains()
+	off := growInt32(sc.mrtOff, nd*isa.NumResources)
+	for i := range off {
+		off[i] = -1
+	}
+	// First pass: segment sizes.
+	size := int32(0)
+	for i := range x.nodes {
+		n := &x.nodes[i]
+		oi := n.domain*isa.NumResources + n.resKey
+		if off[oi] >= 0 {
+			continue
+		}
+		off[oi] = size
+		size += int32(x.in.Pairs.II[n.domain] * n.units)
+	}
+	tbl := growInt32(sc.mrtTbl, int(size))
+	for i := range tbl {
+		tbl[i] = -1
+	}
+	sc.mrtOff, sc.mrtTbl = off, tbl
+	return &denseMRT{tbl: tbl, off: off}
+}
+
+// seg returns the table segment of node nd's (domain, resource).
+func (t *denseMRT) seg(x *xgraph, nd *node) []int32 {
+	o := t.off[nd.domain*isa.NumResources+nd.resKey]
+	return t.tbl[o : o+int32(x.in.Pairs.II[nd.domain]*nd.units)]
+}
+
+func (t *denseMRT) hasFreeUnit(x *xgraph, nid, k int) bool {
+	nd := &x.nodes[nid]
+	tbl := t.seg(x, nd)
+	slot := k % x.ii(nid)
+	for u := 0; u < nd.units; u++ {
+		if tbl[slot*nd.units+u] < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *denseMRT) pickVictim(x *xgraph, nid, k int) int {
+	nd := &x.nodes[nid]
+	tbl := t.seg(x, nd)
+	slot := k % x.ii(nid)
+	victim := -1
+	for u := 0; u < nd.units; u++ {
+		occ := int(tbl[slot*nd.units+u])
+		if occ < 0 {
+			return -1 // a unit is free after all
+		}
+		if victim < 0 || x.nodes[occ].prio < x.nodes[victim].prio {
+			victim = occ
+		}
+	}
+	return victim
+}
+
+func (t *denseMRT) place(x *xgraph, nid, k int) {
+	nd := &x.nodes[nid]
+	tbl := t.seg(x, nd)
+	slot := k % x.ii(nid)
+	for u := 0; u < nd.units; u++ {
+		if tbl[slot*nd.units+u] < 0 {
+			tbl[slot*nd.units+u] = int32(nid)
+			x.cycle[nid] = k
+			x.lastCycle[nid] = k
+			return
+		}
+	}
+	panic("modsched: place called without a free unit")
+}
+
+func (t *denseMRT) release(x *xgraph, nid int) {
+	nd := &x.nodes[nid]
+	tbl := t.seg(x, nd)
+	for i, occ := range tbl {
+		if int(occ) == nid {
+			tbl[i] = -1
+			return
+		}
+	}
+}
+
+func (t *denseMRT) verify(x *xgraph) error {
+	for nid := range x.nodes {
+		nd := &x.nodes[nid]
+		tbl := t.seg(x, nd)
+		count := 0
+		for _, occ := range tbl {
+			if int(occ) == nid {
+				count++
+			}
+		}
+		if count != 1 {
+			return fmt.Errorf("modsched: internal error: node %d holds %d slots", nid, count)
+		}
+		slot := x.cycle[nid] % x.ii(nid)
+		found := false
+		for u := 0; u < nd.units; u++ {
+			if int(tbl[slot*nd.units+u]) == nid {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("modsched: internal error: node %d not at its own slot", nid)
+		}
+	}
+	return nil
+}

@@ -2,7 +2,9 @@ package modsched
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+
+	"repro/internal/isa"
 )
 
 // arc is a dependence in the extended (copy-augmented) graph.
@@ -29,23 +31,25 @@ type node struct {
 	domain int // cluster id, or ICN domain for copies
 	lat    int // latency in own-domain cycles
 	units  int // number of resource units available to this node
-	resKey int // reservation-table key (domain-local resource kind)
-	out    []int
-	in     []int
+	resKey int // reservation-table key (resource ordinal; ResBus for copies)
 	prio   float64
 }
 
-// xgraph is the scheduler's working state.
+// xgraph is the scheduler's working state. Adjacency is CSR-shaped
+// (outStart/outArcs and inStart/inArcs index into arcs) so rebuilding it
+// for the next candidate reuses the scratch arena instead of growing one
+// slice pair per node. The modulo reservation table lives outside, in
+// either the dense fast-path table (denseMRT) or the reference map table
+// (refMRT) — the scheduler is generic over the two.
 type xgraph struct {
 	in     *Input
+	sc     *Scratch
 	nodes  []node
 	arcs   []arc
 	copies []Copy // parallel to copy nodes (cycle/bus filled at emit)
 
-	// mrt[d][resKey] is the modulo reservation table of one resource kind
-	// in domain d: a slice of II_d·units entries holding the occupying
-	// node or -1.
-	mrt map[int]map[int][]int
+	outStart, inStart []int32 // node -> first index in outArcs/inArcs
+	outArcs, inArcs   []int32 // arc indices grouped per node, build order
 
 	cycle     []int // node -> local cycle, -1 if unscheduled
 	lastCycle []int // node -> last cycle tried (Rau's restart rule)
@@ -53,35 +57,48 @@ type xgraph struct {
 	maxCycle  []int // node -> upper bound on cycle
 }
 
-// resource table keys within a domain (clusters use the isa resource
-// ordinal of the op class; the ICN uses busKey).
-const busKey = 100
+// outOf returns the arc indices leaving node nid.
+func (x *xgraph) outOf(nid int) []int32 { return x.outArcs[x.outStart[nid]:x.outStart[nid+1]] }
+
+// inOf returns the arc indices entering node nid.
+func (x *xgraph) inOf(nid int) []int32 { return x.inArcs[x.inStart[nid]:x.inStart[nid+1]] }
 
 // buildXGraph expands the DDG with copy nodes for every inter-cluster
-// value flow and collects the arcs.
-func buildXGraph(in *Input) (*xgraph, error) {
+// value flow and collects the arcs. All working slices come from sc.
+func buildXGraph(in *Input, sc *Scratch) (*xgraph, error) {
 	g := in.Graph
 	arch := in.Arch
 	icn := int(arch.ICN())
-	x := &xgraph{in: in}
+	nc := arch.NumClusters()
+	x := &sc.xg
+	*x = xgraph{in: in, sc: sc}
 
 	// Original ops.
+	x.nodes = growNodes(sc.nodes[:0], g.NumOps())
 	for i := 0; i < g.NumOps(); i++ {
 		cls := g.Op(i).Class
 		d := in.Assign[i]
-		x.nodes = append(x.nodes, node{
+		x.nodes[i] = node{
 			op:     i,
 			domain: d,
 			lat:    cls.Latency(),
 			units:  arch.Clusters[d].FUCount(cls.Resource()),
 			resKey: int(cls.Resource()),
-		})
+		}
 	}
 
 	// Copy nodes: one per (producer op, destination cluster) that has at
 	// least one value-carrying cross-cluster edge. Deterministic order.
-	commNode := make(map[commKey]int)
-	var keys []commKey
+	// commIdx is the scratch (op, dst) -> copy-node lookup; entries touched
+	// here are cleared before returning.
+	sc.commIdx = growInt32(sc.commIdx, g.NumOps()*nc)
+	keys := sc.commKeys[:0]
+	defer func() {
+		for _, k := range keys {
+			sc.commIdx[k.val*nc+k.dst] = 0
+		}
+		sc.commKeys = keys[:0]
+	}()
 	for _, e := range g.Edges() {
 		if e.Latency <= 0 || !producesValue(g.Op(e.From).Class) {
 			continue
@@ -90,17 +107,16 @@ func buildXGraph(in *Input) (*xgraph, error) {
 		if src == dst {
 			continue
 		}
-		k := commKey{e.From, dst}
-		if _, ok := commNode[k]; !ok {
-			commNode[k] = -1 // placeholder; assigned below in sorted order
-			keys = append(keys, k)
+		if sc.commIdx[e.From*nc+dst] == 0 {
+			sc.commIdx[e.From*nc+dst] = 1 // seen; node id assigned below
+			keys = append(keys, commKey{e.From, dst})
 		}
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].val != keys[j].val {
-			return keys[i].val < keys[j].val
+	slices.SortFunc(keys, func(a, b commKey) int {
+		if a.val != b.val {
+			return a.val - b.val
 		}
-		return keys[i].dst < keys[j].dst
+		return a.dst - b.dst
 	})
 	if len(keys) > 0 && arch.Buses == 0 {
 		return nil, fmt.Errorf("modsched: partition requires communications but machine has no buses")
@@ -108,20 +124,22 @@ func buildXGraph(in *Input) (*xgraph, error) {
 	if len(keys) > 0 && in.Pairs.II[icn] < 1 {
 		return nil, fmt.Errorf("modsched: communications required but ICN has II=0")
 	}
+	x.copies = sc.copies[:0]
+	x.arcs = sc.arcs[:0]
 	for _, k := range keys {
 		id := len(x.nodes)
-		commNode[k] = id
+		sc.commIdx[k.val*nc+k.dst] = int32(id) + 1
 		x.nodes = append(x.nodes, node{
 			op:     -1,
 			domain: icn,
 			lat:    arch.BusLatency,
 			units:  arch.Buses,
-			resKey: busKey,
+			resKey: int(isa.ResBus),
 		})
 		x.copies = append(x.copies, Copy{Val: k.val, Dst: k.dst})
 		// Producer -> copy: full producer latency, then cross into the
 		// ICN domain (sync in ICN cycles).
-		x.addArc(arc{
+		x.arcs = append(x.arcs, arc{
 			from: k.val, to: id,
 			lat:  g.Op(k.val).Latency(),
 			dist: 0,
@@ -140,14 +158,14 @@ func buildXGraph(in *Input) (*xgraph, error) {
 			if src != dst {
 				sync = arch.SyncQueueCycles
 			}
-			x.addArc(arc{from: e.From, to: e.To, lat: e.Latency, dist: e.Dist, sync: sync})
+			x.arcs = append(x.arcs, arc{from: e.From, to: e.To, lat: e.Latency, dist: e.Dist, sync: sync})
 			continue
 		}
 		// Cross-cluster value: route through the copy node. The
 		// copy-to-consumer arc carries the original iteration distance
 		// (the copy travels with the producer's iteration).
-		cn := commNode[commKey{e.From, dst}]
-		x.addArc(arc{
+		cn := int(sc.commIdx[e.From*nc+dst]) - 1
+		x.arcs = append(x.arcs, arc{
 			from: cn, to: e.To,
 			lat:  arch.BusLatency,
 			dist: e.Dist,
@@ -155,11 +173,14 @@ func buildXGraph(in *Input) (*xgraph, error) {
 		})
 	}
 
+	x.buildAdjacency()
+
 	// Scheduler state.
 	n := len(x.nodes)
-	x.cycle = make([]int, n)
-	x.lastCycle = make([]int, n)
-	x.maxCycle = make([]int, n)
+	x.cycle = growInts(sc.cycle, n)
+	x.lastCycle = growInts(sc.lastCycle, n)
+	x.maxCycle = growInts(sc.maxCycle, n)
+	sc.cycle, sc.lastCycle, sc.maxCycle = x.cycle, x.lastCycle, x.maxCycle
 	for i := range x.cycle {
 		x.cycle[i] = -1
 		x.lastCycle[i] = -1
@@ -167,32 +188,49 @@ func buildXGraph(in *Input) (*xgraph, error) {
 		x.maxCycle[i] = ii*(in.Opts.MaxStageFactor+g.NumOps()) + ii
 	}
 	x.budget = in.Opts.BudgetFactor * n
-	x.mrt = make(map[int]map[int][]int)
-	for i := range x.nodes {
-		nd := &x.nodes[i]
-		if x.mrt[nd.domain] == nil {
-			x.mrt[nd.domain] = make(map[int][]int)
-		}
-		if x.mrt[nd.domain][nd.resKey] == nil {
-			ii := in.Pairs.II[nd.domain]
-			tbl := make([]int, ii*nd.units)
-			for j := range tbl {
-				tbl[j] = -1
-			}
-			x.mrt[nd.domain][nd.resKey] = tbl
-		}
-	}
+	sc.nodes, sc.arcs, sc.copies = x.nodes, x.arcs, x.copies
 	return x, nil
 }
 
-type commKey struct{ val, dst int }
-
-func (x *xgraph) addArc(a arc) {
-	idx := len(x.arcs)
-	x.arcs = append(x.arcs, a)
-	x.nodes[a.from].out = append(x.nodes[a.from].out, idx)
-	x.nodes[a.to].in = append(x.nodes[a.to].in, idx)
+// buildAdjacency fills the CSR in/out arc index arrays. Per-node groups
+// keep arc build order, matching the append order of the PR-2 slices.
+func (x *xgraph) buildAdjacency() {
+	sc := x.sc
+	n, m := len(x.nodes), len(x.arcs)
+	x.outStart = growInt32(sc.outStart, n+1)
+	x.inStart = growInt32(sc.inStart, n+1)
+	x.outArcs = growInt32(sc.outArcs, m)
+	x.inArcs = growInt32(sc.inArcs, m)
+	sc.outStart, sc.inStart, sc.outArcs, sc.inArcs = x.outStart, x.inStart, x.outArcs, x.inArcs
+	for i := range x.outStart {
+		x.outStart[i] = 0
+		x.inStart[i] = 0
+	}
+	for ai := range x.arcs {
+		x.outStart[x.arcs[ai].from+1]++
+		x.inStart[x.arcs[ai].to+1]++
+	}
+	for i := 0; i < n; i++ {
+		x.outStart[i+1] += x.outStart[i]
+		x.inStart[i+1] += x.inStart[i]
+	}
+	// Fill using the start offsets as cursors, then restore them.
+	for ai := range x.arcs {
+		a := &x.arcs[ai]
+		x.outArcs[x.outStart[a.from]] = int32(ai)
+		x.outStart[a.from]++
+		x.inArcs[x.inStart[a.to]] = int32(ai)
+		x.inStart[a.to]++
+	}
+	for i := n; i > 0; i-- {
+		x.outStart[i] = x.outStart[i-1]
+		x.inStart[i] = x.inStart[i-1]
+	}
+	x.outStart[0] = 0
+	x.inStart[0] = 0
 }
+
+type commKey struct{ val, dst int }
 
 // ii returns the initiation interval of node n's domain.
 func (x *xgraph) ii(n int) int { return x.in.Pairs.II[x.nodes[n].domain] }
@@ -250,10 +288,12 @@ func (x *xgraph) computePriorities() error {
 			}
 		}
 	}
-	h := make([]int64, n)
+	h := growInt64(x.sc.h, n)
+	x.sc.h = h
 	var hf []float64
 	if scale == 0 {
-		hf = make([]float64, n)
+		hf = growFloats(x.sc.hf, n)
+		x.sc.hf = hf
 	}
 	for i := range x.nodes {
 		nd := &x.nodes[i]

@@ -1,0 +1,136 @@
+package oracle
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/clock"
+	"repro/internal/confsel"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+	"repro/internal/partition"
+)
+
+// hetConfig builds the 4-cluster heterogeneous test machine (1 fast
+// cluster at 900 ps, slow at 1350 ps, one bus).
+func hetConfig() *machine.Config {
+	arch := machine.Reference4Cluster(1)
+	clk := confsel.BuildHetClocking(arch, clock.Picos(900), clock.Picos(1350), 1)
+	return &machine.Config{Arch: arch, Clock: clk}
+}
+
+// hetCost is the energy-aware partitioning cost used by the fuzz runs.
+func hetCost(iterations int64) partition.CostParams {
+	cost := partition.DefaultCost(4)
+	cost.DeltaCluster = []float64{1, 0.6, 0.6, 0.6}
+	cost.Iterations = float64(iterations)
+	return cost
+}
+
+// fuzzLoops yields every loop of every family's synthetic corpus at the
+// given size, with a provenance name per loop.
+func fuzzLoops(t *testing.T, loopsPer int) []struct {
+	name string
+	loop loopgen.Loop
+} {
+	t.Helper()
+	var out []struct {
+		name string
+		loop loopgen.Loop
+	}
+	for _, fam := range loopgen.Families() {
+		src, err := loopgen.NewSyntheticSource(fam, loopsPer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		benches, err := loopgen.Load(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range benches {
+			for i, l := range b.Loops {
+				out = append(out, struct {
+					name string
+					loop loopgen.Loop
+				}{fmt.Sprintf("%s-%s-%d", fam, b.Name, i), l})
+			}
+		}
+	}
+	return out
+}
+
+// TestDifferentialFuzz schedules and simulates ≥200 generated loops from
+// all three families through the fast path and the reference path, on the
+// heterogeneous machine, and requires exact agreement on schedule slots,
+// (II, IT), simulated cycles and energy. A failing loop is dumped as a
+// replayable .hvc corpus artifact in the test's temp dir.
+func TestDifferentialFuzz(t *testing.T) {
+	cases := fuzzLoops(t, 10)
+	if len(cases) < 200 {
+		t.Fatalf("fuzz corpus has only %d loops, want ≥ 200", len(cases))
+	}
+	cfg := hetConfig()
+	sc := new(modsched.Scratch)
+	checked := 0
+	for _, tc := range cases {
+		_, _, err := Diff(tc.loop.Graph, cfg, hetCost(tc.loop.Iterations), tc.loop.Iterations, sc)
+		if err != nil {
+			path, derr := DumpLoop(t.TempDir(), tc.name, tc.loop)
+			if derr != nil {
+				t.Fatalf("loop %s: %v (dump also failed: %v)", tc.name, err, derr)
+			}
+			t.Fatalf("loop %s: %v\nreplay artifact: %s", tc.name, err, path)
+		}
+		checked++
+	}
+	t.Logf("differential oracle: %d loops agree on the heterogeneous machine", checked)
+}
+
+// TestDifferentialFuzzHomogeneous repeats the differential check on the
+// reference homogeneous machine — the frequency-uniform corner where the
+// ICN domain shares the cluster period.
+func TestDifferentialFuzzHomogeneous(t *testing.T) {
+	cases := fuzzLoops(t, 4)
+	cfg := machine.ReferenceConfig(1)
+	cost := partition.DefaultCost(cfg.Arch.NumClusters())
+	sc := new(modsched.Scratch)
+	for _, tc := range cases {
+		c := cost
+		c.Iterations = float64(tc.loop.Iterations)
+		_, _, err := Diff(tc.loop.Graph, cfg, c, tc.loop.Iterations, sc)
+		if err != nil {
+			path, derr := DumpLoop(t.TempDir(), tc.name, tc.loop)
+			if derr != nil {
+				t.Fatalf("loop %s: %v (dump also failed: %v)", tc.name, err, derr)
+			}
+			t.Fatalf("loop %s: %v\nreplay artifact: %s", tc.name, err, path)
+		}
+	}
+}
+
+// TestDumpLoopRoundTrips ensures the failure artifact is replayable: a
+// dumped loop reads back content-identical through the corpus codec.
+func TestDumpLoopRoundTrips(t *testing.T) {
+	cases := fuzzLoops(t, 1)
+	l := cases[0].loop
+	path, err := DumpLoop(t.TempDir(), "repro-case", l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := artifact.ReadCorpusFile(path)
+	if err != nil {
+		t.Fatalf("replay artifact unreadable: %v", err)
+	}
+	if len(c.Benchmarks) != 1 || len(c.Benchmarks[0].Loops) != 1 {
+		t.Fatalf("artifact shape wrong: %+v", c)
+	}
+	got := c.Benchmarks[0].Loops[0]
+	if artifact.HashGraph(got.Graph) != artifact.HashGraph(l.Graph) {
+		t.Error("dumped graph differs from the original")
+	}
+	if got.Iterations != l.Iterations || got.Weight != l.Weight || got.Class != l.Class {
+		t.Errorf("loop metadata differs: %+v vs %+v", got, l)
+	}
+}

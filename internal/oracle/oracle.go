@@ -1,0 +1,324 @@
+// Package oracle guards the scheduler/simulator fast path with two
+// independent lines of defense:
+//
+//   - a differential oracle: every loop is scheduled and simulated twice,
+//     through the dense fast-path tables (modsched.Run / sim.Run) and
+//     through the preserved PR-2 map-based reference implementations
+//     (modsched.RefRun / sim.RefRun), and the results must be identical
+//     down to every schedule slot, (II, IT) pair, cycle count and energy
+//     event count;
+//
+//   - an invariant checker written against the paper's definitions, not
+//     the implementation: dependence latencies across clock domains,
+//     per-domain modulo resource bounds and the inter-cluster bus
+//     capacity are re-verified from the public Schedule data alone.
+//
+// The test files fuzz loops from all three generator families through
+// both; failures dump the offending loop as a replayable corpus artifact.
+package oracle
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+// CheckSchedule verifies the IMS invariants of a kernel schedule from its
+// public data alone.
+//
+// Timing rule: an operation at local cycle k of a domain with initiation
+// interval II starts at time k·IT/II. A dependence edge (lat, dist)
+// requires, with sq sync-queue cycles of the consumer's (or ICN's) domain
+// on every domain crossing,
+//
+//	start(to) + dist·IT ≥ start(from) + lat·IT/II_from [+ sq·IT/II_cross].
+//
+// All comparisons are cross-multiplied integers, so IT cancels exactly.
+func CheckSchedule(s *modsched.Schedule) error {
+	g := s.Graph
+	arch := s.Arch
+	icn := int(arch.ICN())
+	nc := arch.NumClusters()
+
+	if len(s.Cycle) != g.NumOps() || len(s.Assign) != g.NumOps() {
+		return fmt.Errorf("oracle: schedule does not cover the graph")
+	}
+	if len(s.II) != arch.NumDomains() {
+		return fmt.Errorf("oracle: II does not cover the domains")
+	}
+	for d, ii := range s.II {
+		if ii < 1 && d < nc {
+			return fmt.Errorf("oracle: cluster %d has II=%d", d, ii)
+		}
+	}
+
+	// Copy lookup and bus invariants.
+	copyAt := make(map[[2]int]modsched.Copy, len(s.Copies))
+	busSlot := make(map[int]int)
+	for _, cp := range s.Copies {
+		if cp.Dst < 0 || cp.Dst >= nc {
+			return fmt.Errorf("oracle: copy of op %d to invalid cluster %d", cp.Val, cp.Dst)
+		}
+		if cp.Cycle < 0 {
+			return fmt.Errorf("oracle: copy of op %d unscheduled", cp.Val)
+		}
+		if cp.Bus < 0 || cp.Bus >= arch.Buses {
+			return fmt.Errorf("oracle: copy of op %d on invalid bus %d", cp.Val, cp.Bus)
+		}
+		copyAt[[2]int{cp.Val, cp.Dst}] = cp
+		busSlot[cp.Cycle%s.II[icn]]++
+	}
+	for slot, n := range busSlot {
+		if n > arch.Buses {
+			return fmt.Errorf("oracle: bus slot %d holds %d copies, capacity %d", slot, n, arch.Buses)
+		}
+	}
+
+	// Modulo resource bounds per (cluster, resource kind).
+	type slotKey struct{ cluster, res, slot int }
+	occ := make(map[slotKey]int)
+	for op := 0; op < g.NumOps(); op++ {
+		c := s.Assign[op]
+		if c < 0 || c >= nc {
+			return fmt.Errorf("oracle: op %d assigned to invalid cluster %d", op, c)
+		}
+		if s.Cycle[op] < 0 {
+			return fmt.Errorf("oracle: op %d unscheduled", op)
+		}
+		r := g.Op(op).Class.Resource()
+		k := slotKey{c, int(r), s.Cycle[op] % s.II[c]}
+		occ[k]++
+		if occ[k] > arch.Clusters[c].FUCount(r) {
+			return fmt.Errorf("oracle: cluster %d %s slot %d over capacity %d",
+				c, r, k.slot, arch.Clusters[c].FUCount(r))
+		}
+	}
+
+	// Dependence latencies. before(aNum/aDen, bNum/bDen) ⇔ a ≤ b with
+	// cross multiplication; times are in units of IT.
+	leq := func(aNum, aDen, bNum, bDen int64) bool {
+		return aNum*bDen <= bNum*aDen
+	}
+	sq := int64(arch.SyncQueueCycles)
+	for _, e := range g.Edges() {
+		src, dst := s.Assign[e.From], s.Assign[e.To]
+		iiS, iiD := int64(s.II[src]), int64(s.II[dst])
+		iiB := int64(s.II[icn])
+		// Consumer start + dist, in units of IT: (cycle + dist·II)/II.
+		toNum, toDen := int64(s.Cycle[e.To])+int64(e.Dist)*iiD, iiD
+		fromNum, fromDen := int64(s.Cycle[e.From]), iiS
+		carriesValue := e.Latency > 0 && producesValue(g.Op(e.From).Class)
+		switch {
+		case src == dst:
+			// ready = from + lat/II_src.
+			if !leq(fromNum+int64(e.Latency), fromDen, toNum, toDen) {
+				return fmt.Errorf("oracle: edge %d→%d latency violated", e.From, e.To)
+			}
+		case !carriesValue:
+			// Direct cross-domain ordering: from + lat/II_src + sq/II_dst.
+			num := (fromNum+int64(e.Latency))*iiD + sq*fromDen
+			den := fromDen * iiD
+			if !leq(num, den, toNum, toDen) {
+				return fmt.Errorf("oracle: cross edge %d→%d latency violated", e.From, e.To)
+			}
+		default:
+			// Value through a copy: producer → (sq) → copy, copy + buslat
+			// → (sq) → consumer.
+			cp, ok := copyAt[[2]int{e.From, dst}]
+			if !ok {
+				return fmt.Errorf("oracle: edge %d→%d has no copy into cluster %d", e.From, e.To, dst)
+			}
+			cpNum, cpDen := int64(cp.Cycle), iiB
+			readyNum := (fromNum+int64(e.Latency))*iiB + sq*fromDen
+			readyDen := fromDen * iiB
+			if !leq(readyNum, readyDen, cpNum, cpDen) {
+				return fmt.Errorf("oracle: copy of op %d issues before its value is ready", e.From)
+			}
+			arriveNum := (cpNum+int64(arch.BusLatency))*iiD + sq*cpDen
+			arriveDen := cpDen * iiD
+			if !leq(arriveNum, arriveDen, toNum, toDen) {
+				return fmt.Errorf("oracle: edge %d→%d violated through copy", e.From, e.To)
+			}
+		}
+	}
+
+	// Register files must hold the reported pressure.
+	for c, ml := range s.MaxLive {
+		if ml > arch.Clusters[c].Regs {
+			return fmt.Errorf("oracle: cluster %d pressure %d exceeds %d registers",
+				c, ml, arch.Clusters[c].Regs)
+		}
+	}
+	return nil
+}
+
+// EqualSchedules reports the first discrepancy between two schedules of
+// the same loop, or nil when they agree exactly (slots, pairs, copies,
+// pressure, derived metrics).
+func EqualSchedules(a, b *modsched.Schedule) error {
+	if a.IT != b.IT {
+		return fmt.Errorf("IT differs: %v vs %v", a.IT, b.IT)
+	}
+	if err := equalInts("II", a.II, b.II); err != nil {
+		return err
+	}
+	if err := equalInts("Assign", a.Assign, b.Assign); err != nil {
+		return err
+	}
+	if err := equalInts("Cycle", a.Cycle, b.Cycle); err != nil {
+		return err
+	}
+	if len(a.Copies) != len(b.Copies) {
+		return fmt.Errorf("copy count differs: %d vs %d", len(a.Copies), len(b.Copies))
+	}
+	for i := range a.Copies {
+		if a.Copies[i] != b.Copies[i] {
+			return fmt.Errorf("copy %d differs: %+v vs %+v", i, a.Copies[i], b.Copies[i])
+		}
+	}
+	if err := equalInts("MaxLive", a.MaxLive, b.MaxLive); err != nil {
+		return err
+	}
+	if a.SumLifetimeCycles != b.SumLifetimeCycles {
+		return fmt.Errorf("lifetime cycles differ: %d vs %d", a.SumLifetimeCycles, b.SumLifetimeCycles)
+	}
+	if a.ItLength != b.ItLength {
+		return fmt.Errorf("it_length differs: %v vs %v", a.ItLength, b.ItLength)
+	}
+	if a.SC != b.SC {
+		return fmt.Errorf("stage count differs: %d vs %d", a.SC, b.SC)
+	}
+	return nil
+}
+
+func equalInts(what string, a, b []int) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%s length differs: %d vs %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("%s[%d] differs: %d vs %d", what, i, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+// EqualResults reports the first discrepancy between two simulation
+// results (cycle-exact times and energy event counts), or nil.
+func EqualResults(a, b *sim.Result) error {
+	if a.Iterations != b.Iterations {
+		return fmt.Errorf("iterations differ: %d vs %d", a.Iterations, b.Iterations)
+	}
+	if a.Startup != b.Startup {
+		return fmt.Errorf("startup differs: %v vs %v", a.Startup, b.Startup)
+	}
+	if a.Texec != b.Texec {
+		return fmt.Errorf("Texec differs: %v vs %v", a.Texec, b.Texec)
+	}
+	if a.CheckedIterations != b.CheckedIterations {
+		return fmt.Errorf("checked iterations differ: %d vs %d", a.CheckedIterations, b.CheckedIterations)
+	}
+	ca, cb := a.Counts, b.Counts
+	if len(ca.InsUnits) != len(cb.InsUnits) {
+		return fmt.Errorf("InsUnits arity differs")
+	}
+	for c := range ca.InsUnits {
+		if ca.InsUnits[c] != cb.InsUnits[c] {
+			return fmt.Errorf("InsUnits[%d] differs: %v vs %v", c, ca.InsUnits[c], cb.InsUnits[c])
+		}
+	}
+	if ca.Comms != cb.Comms || ca.MemAccesses != cb.MemAccesses || ca.Seconds != cb.Seconds {
+		return fmt.Errorf("counts differ: %+v vs %+v", ca, cb)
+	}
+	return nil
+}
+
+// Diff schedules the loop on cfg through the full Figure 5 flow (fast
+// path), re-schedules the accepted design point through the reference
+// implementation, simulates iters iterations through both simulators, and
+// returns the fast results after asserting exact agreement and the IMS
+// invariants. A scratch-reusing rerun is also compared, so arena reuse
+// can never leak state between loops.
+func Diff(g *ddg.Graph, cfg *machine.Config, cost partition.CostParams, iters int64, sc *modsched.Scratch) (*modsched.Schedule, *sim.Result, error) {
+	res, err := core.ScheduleLoop(g, cfg, cost, core.Options{
+		Partition: partition.Options{EnergyAware: true},
+		Scratch:   sc,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	fast := res.Schedule
+
+	// Re-run the accepted design point through both table representations.
+	in := modsched.Input{
+		Graph:  g,
+		Arch:   cfg.Arch,
+		Pairs:  machine.Pairs{IT: fast.IT, II: fast.II},
+		Assign: fast.Assign,
+	}
+	again, err := modsched.RunScratch(in, sc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("oracle: fast path rerun failed: %w", err)
+	}
+	ref, err := modsched.RefRun(in)
+	if err != nil {
+		return nil, nil, fmt.Errorf("oracle: reference path failed where fast path succeeded: %w", err)
+	}
+	if err := EqualSchedules(fast, again); err != nil {
+		return nil, nil, fmt.Errorf("oracle: scratch reuse changed the schedule: %w", err)
+	}
+	if err := EqualSchedules(fast, ref); err != nil {
+		return nil, nil, fmt.Errorf("oracle: fast vs reference schedule: %w", err)
+	}
+	if err := CheckSchedule(fast); err != nil {
+		return nil, nil, err
+	}
+
+	fastSim, err := sim.Run(fast, iters, sim.DefaultGenPeriod)
+	if err != nil {
+		return nil, nil, fmt.Errorf("oracle: fast simulation: %w", err)
+	}
+	refSim, err := sim.RefRun(ref, iters, sim.DefaultGenPeriod)
+	if err != nil {
+		return nil, nil, fmt.Errorf("oracle: reference simulation: %w", err)
+	}
+	if err := EqualResults(fastSim, refSim); err != nil {
+		return nil, nil, fmt.Errorf("oracle: fast vs reference simulation: %w", err)
+	}
+	return fast, fastSim, nil
+}
+
+// DumpLoop writes the loop as a single-benchmark corpus artifact (.hvc)
+// under dir for replay (`experiments run -corpus <file>` or
+// artifact.ReadCorpusFile), returning the file path.
+func DumpLoop(dir, name string, l loopgen.Loop) (string, error) {
+	c := &artifact.Corpus{
+		Name: "oracle-failure:" + name,
+		Benchmarks: []loopgen.Benchmark{{
+			Name:  name,
+			Loops: []loopgen.Loop{l},
+		}},
+	}
+	path := filepath.Join(dir, name+".hvc")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	if err := artifact.WriteCorpusFile(path, c); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func producesValue(c isa.Class) bool {
+	return c != isa.Store && c != isa.BranchCtrl
+}

@@ -1,7 +1,7 @@
 package partition
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/isa"
 )
@@ -16,10 +16,15 @@ type macro struct {
 
 // level is one coarsening level: a set of macronodes, the mapping from
 // ops to node indices, and (once computed) the node-level assignment.
+// Levels are recycled across Partition calls (see takeLevel): arena backs
+// every macronode's ops sub-slice, assignBuf backs assign.
 type level struct {
 	nodes  []macro
 	opNode []int // op id -> node index at this level
 	assign []int // node index -> cluster (nil until assigned)
+
+	arena     []int // backing store for macro.ops
+	assignBuf []int // backing store for assign
 }
 
 // computeCriticality derives each op's 1/(1+slack) criticality at the
@@ -31,7 +36,10 @@ func (p *partitioner) computeCriticality() {
 	}
 	depth, height, ok := p.g.Depths(ii)
 	n := p.g.NumOps()
-	p.crit = make([]float64, n)
+	if cap(p.crit) < n {
+		p.crit = make([]float64, n)
+	}
+	p.crit = p.crit[:n]
 	if !ok {
 		for i := range p.crit {
 			p.crit[i] = 1
@@ -85,7 +93,7 @@ func (p *partitioner) fitsAnyCluster(use [isa.NumResources]int) bool {
 // Constrained recurrences are pre-placed (pinned).
 func (p *partitioner) buildBaseLevel() error {
 	n := p.g.NumOps()
-	lv := &level{opNode: make([]int, n)}
+	lv := p.takeLevel()
 	for i := range lv.opNode {
 		lv.opNode[i] = -1
 	}
@@ -94,17 +102,20 @@ func (p *partitioner) buildBaseLevel() error {
 		return err
 	}
 
-	// Remaining ops become singleton macronodes.
+	// Remaining ops become singleton macronodes (ops live in the level's
+	// arena, one sub-slice per node).
 	for op := 0; op < n; op++ {
 		if lv.opNode[op] >= 0 {
 			continue
 		}
-		m := macro{ops: []int{op}, pin: -1, crit: p.crit[op]}
+		lo := len(lv.arena)
+		lv.arena = append(lv.arena, op)
+		m := macro{ops: lv.arena[lo : lo+1 : lo+1], pin: -1, crit: p.crit[op]}
 		m.use[p.g.Op(op).Class.Resource()]++
 		lv.opNode[op] = len(lv.nodes)
 		lv.nodes = append(lv.nodes, m)
 	}
-	p.levels = []*level{lv}
+	p.levels = append(p.levels[:0], lv)
 	return nil
 }
 
@@ -125,19 +136,26 @@ func (p *partitioner) placeRecurrences(lv *level) error {
 		}
 	}
 	// Cumulative usage of pinned recurrences per cluster.
-	pinnedUse := make([][isa.NumResources]int, p.arch.NumClusters())
+	if cap(p.pinnedBuf) < p.arch.NumClusters() {
+		p.pinnedBuf = make([][isa.NumResources]int, p.arch.NumClusters())
+	}
+	pinnedUse := p.pinnedBuf[:p.arch.NumClusters()]
+	for c := range pinnedUse {
+		pinnedUse[c] = [isa.NumResources]int{}
+	}
 
 	// Slowest-first cluster order (largest period first, then higher id).
-	order := make([]int, p.arch.NumClusters())
+	p.clusterBuf = growInts(p.clusterBuf, p.arch.NumClusters())
+	order := p.clusterBuf
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(i, j int) bool {
-		pi, pj := p.clk.MinPeriod[order[i]], p.clk.MinPeriod[order[j]]
-		if pi != pj {
-			return pi > pj
+	slices.SortStableFunc(order, func(a, b int) int {
+		pa, pb := p.clk.MinPeriod[a], p.clk.MinPeriod[b]
+		if pa != pb {
+			return int(pb - pa)
 		}
-		return order[i] > order[j]
+		return b - a
 	})
 
 	for _, rec := range recs {
@@ -179,7 +197,9 @@ func (p *partitioner) placeRecurrences(lv *level) error {
 				continue
 			}
 		}
-		m := macro{ops: append([]int(nil), rec.Ops...), use: use, pin: pin, crit: crit}
+		lo := len(lv.arena)
+		lv.arena = append(lv.arena, rec.Ops...)
+		m := macro{ops: lv.arena[lo:len(lv.arena):len(lv.arena)], use: use, pin: pin, crit: crit}
 		id := len(lv.nodes)
 		for _, op := range rec.Ops {
 			lv.opNode[op] = id
@@ -206,43 +226,56 @@ func (p *partitioner) coarsen() {
 	}
 }
 
-// coarsenStep performs one matching round.
+// coarsenStep performs one matching round. Edge weights accumulate in a
+// dense node-pair table (macronode counts are loop-body sized, so n² is
+// small) instead of a per-round map.
 func (p *partitioner) coarsenStep(cur *level) (*level, bool) {
-	type medge struct {
-		a, b int
-		w    float64
+	n := len(cur.nodes)
+	p.weightsBuf = growFloats(p.weightsBuf, n*n)
+	weights := p.weightsBuf // (a, b) with a < b -> summed weight
+	for i := range weights {
+		weights[i] = 0
 	}
-	weights := make(map[[2]int]float64)
+	pairs := p.pairsBuf[:0]
 	for _, e := range p.g.Edges() {
 		na, nb := cur.opNode[e.From], cur.opNode[e.To]
 		if na == nb {
 			continue
 		}
-		key := [2]int{na, nb}
 		if na > nb {
-			key = [2]int{nb, na}
+			na, nb = nb, na
 		}
 		w := p.crit[e.From]
 		if p.crit[e.To] > w {
 			w = p.crit[e.To]
 		}
-		weights[key] += w
-	}
-	edges := make([]medge, 0, len(weights))
-	for k, w := range weights {
-		edges = append(edges, medge{k[0], k[1], w})
-	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].w != edges[j].w {
-			return edges[i].w > edges[j].w
+		k := na*n + nb
+		if weights[k] == 0 {
+			pairs = append(pairs, int32(k))
 		}
-		if edges[i].a != edges[j].a {
-			return edges[i].a < edges[j].a
+		weights[k] += w
+	}
+	p.pairsBuf = pairs[:0]
+	edges := p.medgeBuf[:0]
+	for _, k := range pairs {
+		edges = append(edges, medge{int(k) / n, int(k) % n, weights[k]})
+	}
+	p.medgeBuf = edges[:0]
+	slices.SortFunc(edges, func(x, y medge) int {
+		if x.w != y.w {
+			if x.w > y.w {
+				return -1
+			}
+			return 1
 		}
-		return edges[i].b < edges[j].b
+		if x.a != y.a {
+			return x.a - y.a
+		}
+		return x.b - y.b
 	})
 
-	matched := make([]int, len(cur.nodes))
+	p.matchedBuf = growInts(p.matchedBuf, len(cur.nodes))
+	matched := p.matchedBuf
 	for i := range matched {
 		matched[i] = -1
 	}
@@ -268,21 +301,26 @@ func (p *partitioner) coarsenStep(cur *level) (*level, bool) {
 		return nil, false
 	}
 
-	next := &level{opNode: make([]int, p.g.NumOps())}
-	nodeMap := make([]int, len(cur.nodes))
+	next := p.takeLevel()
+	p.nodeMapBuf = growInts(p.nodeMapBuf, len(cur.nodes))
+	nodeMap := p.nodeMapBuf
 	for i := range nodeMap {
 		nodeMap[i] = -1
 	}
+	// The level arena backs every macronode's op list: sub-slices, not
+	// per-node allocations (a level's lists cover each op exactly once,
+	// so the arena never regrows past NumOps).
 	for i := range cur.nodes {
 		if nodeMap[i] >= 0 {
 			continue
 		}
 		j := matched[i]
 		m := cur.nodes[i]
-		m.ops = append([]int(nil), m.ops...)
+		lo := len(next.arena)
+		next.arena = append(next.arena, m.ops...)
 		if j >= 0 && j != i {
 			other := &cur.nodes[j]
-			m.ops = append(m.ops, other.ops...)
+			next.arena = append(next.arena, other.ops...)
 			for r := range m.use {
 				m.use[r] += other.use[r]
 			}
@@ -294,6 +332,7 @@ func (p *partitioner) coarsenStep(cur *level) (*level, bool) {
 			}
 			nodeMap[j] = len(next.nodes)
 		}
+		m.ops = next.arena[lo:len(next.arena):len(next.arena)]
 		nodeMap[i] = len(next.nodes)
 		next.nodes = append(next.nodes, m)
 	}

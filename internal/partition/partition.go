@@ -18,8 +18,11 @@ package partition
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/ddg"
+	"repro/internal/grow"
+	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/pseudo"
 )
@@ -136,9 +139,9 @@ func Partition(g *ddg.Graph, arch *machine.Arch, clk *machine.Clocking,
 		return nil, fmt.Errorf("partition: cost has %d cluster deltas, machine has %d",
 			len(cost.DeltaCluster), arch.NumClusters())
 	}
-	p := &partitioner{
-		g: g, arch: arch, clk: clk, pairs: pairs, cost: cost, opts: opts,
-	}
+	p := partPool.Get().(*partitioner)
+	p.reset(g, arch, clk, pairs, cost, opts)
+	defer p.recycle()
 	p.computeCriticality()
 	if err := p.buildBaseLevel(); err != nil {
 		return nil, err
@@ -153,6 +156,59 @@ func Partition(g *ddg.Graph, arch *machine.Arch, clk *machine.Clocking,
 	return assign, nil
 }
 
+// partPool recycles partitioner working state: one Figure 5 scheduling
+// run calls Partition once per IT attempt, and a design-space sweep
+// multiplies that by every candidate, so the coarsening and refinement
+// buffers are reused process-wide instead of rebuilt per call.
+var partPool = sync.Pool{New: func() any { return new(partitioner) }}
+
+// reset rebinds the partitioner to one Partition call's inputs and
+// restores its buffer invariants.
+func (p *partitioner) reset(g *ddg.Graph, arch *machine.Arch, clk *machine.Clocking,
+	pairs machine.Pairs, cost CostParams, opts Options) {
+	p.g, p.arch, p.clk, p.pairs, p.cost, p.opts = g, arch, clk, pairs, cost, opts
+	n := g.NumOps()
+	p.moving = growBools(p.moving, n)
+	p.prodMark = growBools(p.prodMark, n)
+	p.levels = p.levels[:0]
+}
+
+// recycle returns the partitioner (and its levels) to the pool, dropping
+// references to the caller's graph and machine.
+func (p *partitioner) recycle() {
+	p.freeLevels = append(p.freeLevels, p.levels...)
+	p.levels = p.levels[:0]
+	p.g, p.arch, p.clk = nil, nil, nil
+	p.cost = CostParams{}
+	partPool.Put(p)
+}
+
+// takeLevel returns a recycled (or fresh) level with nodes/arena reset
+// and opNode sized for the graph. assign is nil until a pass sets it.
+func (p *partitioner) takeLevel() *level {
+	var lv *level
+	if k := len(p.freeLevels); k > 0 {
+		lv = p.freeLevels[k-1]
+		p.freeLevels = p.freeLevels[:k-1]
+	} else {
+		lv = new(level)
+	}
+	n := p.g.NumOps()
+	lv.nodes = lv.nodes[:0]
+	lv.opNode = growInts(lv.opNode, n)
+	lv.arena = growInts(lv.arena, n)[:0]
+	lv.assign = nil
+	return lv
+}
+
+// Local names for the shared grow.Slice reuse primitive. growBools's
+// users additionally maintain an all-false invariant between calls.
+var (
+	growBools  = grow.Slice[bool]
+	growInts   = grow.Slice[int]
+	growFloats = grow.Slice[float64]
+)
+
 // partitioner carries the working state.
 type partitioner struct {
 	g     *ddg.Graph
@@ -165,4 +221,53 @@ type partitioner struct {
 	crit []float64 // per-op criticality 1/(1+slack)
 
 	levels []*level
+
+	// Recycled working memory (see partPool). freeLevels holds retired
+	// level objects; the *Buf slices back the coarsening and refinement
+	// working sets, reused across calls.
+	freeLevels []*level
+	// moveEnergyDelta scratch (see there): per-op marks kept false
+	// between calls, plus the reusable producer worklist.
+	moving   []bool
+	prodMark []bool
+	prodList []int
+	// usageOf's reusable per-cluster usage buffer (also used by
+	// initialAssign, which never overlaps a usageOf caller).
+	usageBuf [][isa.NumResources]int
+	// coarsenStep buffers.
+	weightsBuf []float64
+	pairsBuf   []int32
+	medgeBuf   []medge
+	matchedBuf []int
+	nodeMapBuf []int
+	// refinement buffers.
+	lockedBuf    []bool
+	savedBuf     []int
+	trailBuf     []move
+	opsAssignBuf []int
+	nodeOrderBuf []int
+	candsBuf     []int
+	fastBuf      []int
+	cheapBuf     []int
+	clusterBuf   []int
+	pinnedBuf    [][isa.NumResources]int
+}
+
+// move is one tentative refinement step (see energyRefine).
+type move struct{ node, from, to int }
+
+// medge is a weighted macronode pair considered for matching.
+type medge struct {
+	a, b int
+	w    float64
+}
+
+// clearedUsage returns the per-cluster usage buffer, zeroed.
+func (p *partitioner) clearedUsage() [][isa.NumResources]int {
+	p.usageBuf = grow.Slice(p.usageBuf, p.arch.NumClusters())
+	usage := p.usageBuf
+	for c := range usage {
+		usage[c] = [isa.NumResources]int{}
+	}
+	return usage
 }

@@ -2,7 +2,7 @@ package partition
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/isa"
 )
@@ -15,8 +15,9 @@ import (
 func (p *partitioner) initialAssign() {
 	top := p.levels[len(p.levels)-1]
 	nc := p.arch.NumClusters()
-	assign := make([]int, len(top.nodes))
-	usage := make([][isa.NumResources]int, nc)
+	top.assignBuf = growInts(top.assignBuf, len(top.nodes))
+	assign := top.assignBuf
+	usage := p.clearedUsage()
 
 	addUse := func(c int, m *macro) {
 		for r := range usage[c] {
@@ -32,41 +33,53 @@ func (p *partitioner) initialAssign() {
 	}
 
 	// Cluster orderings: fastest first and cheapest (lowest δ, slowest) first.
-	fast := make([]int, nc)
+	p.fastBuf = growInts(p.fastBuf, nc)
+	fast := p.fastBuf
 	for i := range fast {
 		fast[i] = i
 	}
-	sort.SliceStable(fast, func(i, j int) bool {
-		pi, pj := p.clk.MinPeriod[fast[i]], p.clk.MinPeriod[fast[j]]
-		if pi != pj {
-			return pi < pj
+	slices.SortStableFunc(fast, func(a, b int) int {
+		pa, pb := p.clk.MinPeriod[a], p.clk.MinPeriod[b]
+		if pa != pb {
+			return int(pa - pb)
 		}
-		return fast[i] < fast[j]
+		return a - b
 	})
-	cheap := make([]int, nc)
+	p.cheapBuf = growInts(p.cheapBuf, nc)
+	cheap := p.cheapBuf
 	copy(cheap, fast)
-	sort.SliceStable(cheap, func(i, j int) bool {
-		di, dj := p.cost.DeltaCluster[cheap[i]], p.cost.DeltaCluster[cheap[j]]
-		if di != dj {
-			return di < dj
+	slices.SortStableFunc(cheap, func(a, b int) int {
+		da, db := p.cost.DeltaCluster[a], p.cost.DeltaCluster[b]
+		if da != db {
+			if da < db {
+				return -1
+			}
+			return 1
 		}
 		// Equal δ (homogeneous): spread by reverse speed for balance.
-		return p.clk.MinPeriod[cheap[i]] > p.clk.MinPeriod[cheap[j]]
+		return int(p.clk.MinPeriod[b] - p.clk.MinPeriod[a])
 	})
 
-	order := make([]int, len(top.nodes))
+	p.nodeOrderBuf = growInts(p.nodeOrderBuf, len(top.nodes))
+	order := p.nodeOrderBuf
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(i, j int) bool {
-		a, b := &top.nodes[order[i]], &top.nodes[order[j]]
+	slices.SortStableFunc(order, func(i, j int) int {
+		a, b := &top.nodes[i], &top.nodes[j]
 		if (a.pin >= 0) != (b.pin >= 0) {
-			return a.pin >= 0 // pinned first
+			if a.pin >= 0 {
+				return -1 // pinned first
+			}
+			return 1
 		}
 		if a.crit != b.crit {
-			return a.crit > b.crit
+			if a.crit > b.crit {
+				return -1
+			}
+			return 1
 		}
-		return order[i] < order[j]
+		return i - j
 	})
 
 	// With uniform δ (homogeneous machines, or the ablation) placement
@@ -108,12 +121,13 @@ func (p *partitioner) initialAssign() {
 		}
 		chosen := -1
 		if !deltaVaries {
-			var fitting []int
+			fitting := p.clusterBuf[:0]
 			for _, c := range pref {
 				if fitsWith(c, m) {
 					fitting = append(fitting, c)
 				}
 			}
+			p.clusterBuf = fitting[:0]
 			if len(fitting) > 0 {
 				chosen = leastLoaded(fitting)
 			}
@@ -144,7 +158,8 @@ func (p *partitioner) refineAll() []int {
 		if lv.assign == nil {
 			// Project from the coarser level via op membership.
 			coarser := p.levels[li+1]
-			lv.assign = make([]int, len(lv.nodes))
+			lv.assignBuf = growInts(lv.assignBuf, len(lv.nodes))
+			lv.assign = lv.assignBuf
 			for ni := range lv.nodes {
 				op := lv.nodes[ni].ops[0]
 				lv.assign[ni] = coarser.assign[coarser.opNode[op]]
@@ -163,18 +178,20 @@ func (p *partitioner) refineAll() []int {
 	return out
 }
 
-// opAssign expands a level assignment to per-op granularity.
-func (p *partitioner) opAssign(lv *level) []int {
-	out := make([]int, p.g.NumOps())
-	for op := range out {
-		out[op] = lv.assign[lv.opNode[op]]
+// opAssign expands a level assignment to per-op granularity into dst
+// (grown as needed).
+func (p *partitioner) opAssign(lv *level, dst []int) []int {
+	dst = growInts(dst, p.g.NumOps())
+	for op := range dst {
+		dst[op] = lv.assign[lv.opNode[op]]
 	}
-	return out
+	return dst
 }
 
-// usageOf recomputes per-cluster usage for a level assignment.
+// usageOf recomputes per-cluster usage for a level assignment, into the
+// partitioner's reusable buffer (overwritten by the next call).
 func (p *partitioner) usageOf(lv *level) [][isa.NumResources]int {
-	usage := make([][isa.NumResources]int, p.arch.NumClusters())
+	usage := p.clearedUsage()
 	for ni := range lv.nodes {
 		c := lv.assign[ni]
 		for r := range usage[c] {
@@ -210,22 +227,26 @@ func (p *partitioner) balance(lv *level) {
 			return // balanced
 		}
 		// Candidate nodes in worstC that use worstR, smallest first.
-		cands := []int{}
+		cands := p.candsBuf[:0]
 		for ni := range lv.nodes {
 			if lv.assign[ni] == worstC && lv.nodes[ni].pin < 0 && lv.nodes[ni].use[worstR] > 0 {
 				cands = append(cands, ni)
 			}
 		}
-		sort.SliceStable(cands, func(i, j int) bool {
-			a, b := &lv.nodes[cands[i]], &lv.nodes[cands[j]]
+		slices.SortStableFunc(cands, func(i, j int) int {
+			a, b := &lv.nodes[i], &lv.nodes[j]
 			if a.crit != b.crit {
-				return a.crit < b.crit // move non-critical work first
+				if a.crit < b.crit {
+					return -1 // move non-critical work first
+				}
+				return 1
 			}
 			if a.use[worstR] != b.use[worstR] {
-				return a.use[worstR] < b.use[worstR]
+				return a.use[worstR] - b.use[worstR]
 			}
-			return cands[i] < cands[j]
+			return i - j
 		})
+		p.candsBuf = cands[:0]
 		moved := false
 		for _, ni := range cands {
 			m := &lv.nodes[ni]
@@ -272,7 +293,8 @@ func (p *partitioner) balance(lv *level) {
 // connected regions (e.g. a dependence chain) migrate to a low-energy
 // cluster even though no single-node move pays for its copy.
 func (p *partitioner) energyRefine(lv *level) {
-	opsAssign := p.opAssign(lv)
+	p.opsAssignBuf = p.opAssign(lv, p.opsAssignBuf)
+	opsAssign := p.opsAssignBuf
 	base, _ := p.cost.Cost(p.g, p.arch, p.pairs, opsAssign)
 	evals := 1
 	nc := p.arch.NumClusters()
@@ -282,10 +304,15 @@ func (p *partitioner) energyRefine(lv *level) {
 			return
 		}
 		usage := p.usageOf(lv)
-		locked := make([]bool, len(lv.nodes))
-		saved := append([]int(nil), lv.assign...)
-		type move struct{ node, from, to int }
-		var trail []move
+		p.lockedBuf = growBools(p.lockedBuf, len(lv.nodes))
+		locked := p.lockedBuf
+		for i := range locked {
+			locked[i] = false
+		}
+		p.savedBuf = growInts(p.savedBuf, len(lv.assign))
+		saved := p.savedBuf
+		copy(saved, lv.assign)
+		trail := p.trailBuf[:0]
 		cum := 0.0
 		bestCum, bestLen := 0.0, 0
 
@@ -336,8 +363,9 @@ func (p *partitioner) energyRefine(lv *level) {
 				bestCum, bestLen = cum, len(trail)
 			}
 		}
+		p.trailBuf = trail[:0]
 		if bestLen == 0 {
-			lv.assign = saved
+			copy(lv.assign, saved)
 			return
 		}
 		// Keep the best prefix: undo the tail moves.
@@ -355,8 +383,7 @@ func (p *partitioner) energyRefine(lv *level) {
 			continue // another pass may find more
 		}
 		// The prefix did not validate: restore the pass snapshot.
-		lv.assign = saved
-		opsAssign = p.opAssign(lv)
+		copy(lv.assign, saved)
 		return
 	}
 }
@@ -365,6 +392,8 @@ func (p *partitioner) energyRefine(lv *level) {
 // energy if the given ops move from cluster `from` to cluster `to`:
 // the δ difference on the ops' instruction energy plus the change in
 // communication energy. opsAssign must reflect the CURRENT assignment.
+// It is called O(nodes · clusters) times per refinement step, so its
+// working sets are partitioner-scoped scratch slices, not per-call maps.
 func (p *partitioner) moveEnergyDelta(opsAssign []int, ops []int, from, to int) float64 {
 	delta := 0.0
 	for _, op := range ops {
@@ -374,19 +403,21 @@ func (p *partitioner) moveEnergyDelta(opsAssign []int, ops []int, from, to int) 
 	// Communication delta: count affected (producer, dst) pairs before
 	// and after. Affected producers: the moving ops themselves plus the
 	// producers feeding them.
-	moving := make(map[int]bool, len(ops))
+	moving := p.moving
 	for _, op := range ops {
 		moving[op] = true
 	}
-	producers := make(map[int]bool)
+	producers := p.prodList[:0]
 	for _, op := range ops {
-		if producesValueClass(p.g.Op(op).Class) {
-			producers[op] = true
+		if producesValueClass(p.g.Op(op).Class) && !p.prodMark[op] {
+			p.prodMark[op] = true
+			producers = append(producers, op)
 		}
 		for _, ei := range p.g.InEdges(op) {
 			e := p.g.Edge(ei)
-			if e.Latency > 0 && producesValueClass(p.g.Op(e.From).Class) {
-				producers[e.From] = true
+			if e.Latency > 0 && !p.prodMark[e.From] && producesValueClass(p.g.Op(e.From).Class) {
+				p.prodMark[e.From] = true
+				producers = append(producers, e.From)
 			}
 		}
 	}
@@ -398,7 +429,7 @@ func (p *partitioner) moveEnergyDelta(opsAssign []int, ops []int, from, to int) 
 			return opsAssign[op]
 		}
 		count := 0
-		for prod := range producers {
+		for _, prod := range producers {
 			var dsts [16]bool // clusters ≤ 16 in practice
 			pc := cl(prod)
 			for _, ei := range p.g.OutEdges(prod) {
@@ -418,6 +449,14 @@ func (p *partitioner) moveEnergyDelta(opsAssign []int, ops []int, from, to int) 
 	before := commsLocal(false)
 	after := commsLocal(true)
 	delta += float64(after-before) * p.cost.EComm * p.cost.DeltaICN
+	// Reset the scratch marks for the next call.
+	for _, op := range ops {
+		moving[op] = false
+	}
+	for _, prod := range producers {
+		p.prodMark[prod] = false
+	}
+	p.prodList = producers[:0]
 	return delta
 }
 

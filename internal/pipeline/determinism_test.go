@@ -62,6 +62,15 @@ func TestExplorationDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// A second evaluation over the same engine must be served from the
+		// cache — this is where the hit counters are guaranteed to move.
+		sr2, err := EvaluateSuite(refs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sr, sr2) {
+			t.Errorf("repeat evaluation over a warm engine differs at Parallelism=%d", par)
+		}
 		return sr, eng.Stats()
 	}
 
@@ -72,10 +81,10 @@ func TestExplorationDeterminism(t *testing.T) {
 		t.Errorf("SuiteResult differs between Parallelism=1 and Parallelism=%d:\nserial:   %+v\nparallel: %+v",
 			runtime.NumCPU(), serial, parallel)
 	}
-	// Memoisation must have been exercised in both runs: every candidate's
-	// demand-bound MIT pass revisits the plain MIT of the same (loop,
-	// clocking) pair, so a working cache always reports hits, and the
-	// first computation of each design point reports misses.
+	// Memoisation must have been exercised in both runs: the repeat
+	// evaluation revisits every design point of the first, so a working
+	// cache always reports hits, and the first computation of each design
+	// point reports misses.
 	for _, st := range []struct {
 		name  string
 		stats explore.CacheStats

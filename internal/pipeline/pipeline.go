@@ -27,10 +27,21 @@ import (
 	"repro/internal/explore"
 	"repro/internal/loopgen"
 	"repro/internal/machine"
+	"repro/internal/modsched"
 	"repro/internal/partition"
 	"repro/internal/power"
 	"repro/internal/sim"
 )
+
+// evalScratch bundles the reusable arenas of one loop evaluation
+// (scheduling + simulation). The pool hands one arena per engine worker,
+// so a suite evaluation's steady state allocates only its results.
+type evalScratch struct {
+	sched modsched.Scratch
+	sim   sim.Scratch
+}
+
+var scratchPool = explore.NewPool(func() *evalScratch { return new(evalScratch) })
 
 // Options selects the evaluated machine and model variants.
 type Options struct {
@@ -174,14 +185,17 @@ func BuildReferenceBench(bench loopgen.Benchmark, opts Options) (*Reference, err
 		cost.Iterations = float64(l.Iterations)
 		key := loopRunKey("ref-loop", opts.Engine, cfg, l.Graph, cost, opts.EnergyAware, l.Iterations, l.Weight)
 		outs[i], errs[i] = explore.MemoizeDurable(opts.Engine, key, refLoopCodec, func() (refLoopOut, error) {
+			sc := scratchPool.Get()
+			defer scratchPool.Put(sc)
 			res, err := core.ScheduleLoop(l.Graph, cfg, cost, core.Options{
 				Partition: partition.Options{EnergyAware: opts.EnergyAware},
+				Scratch:   &sc.sched,
 			})
 			if err != nil {
 				return refLoopOut{}, fmt.Errorf("reference: %w", err)
 			}
 			s := res.Schedule
-			r, err := sim.Run(s, l.Iterations, sim.DefaultGenPeriod)
+			r, err := sim.RunScratch(s, l.Iterations, sim.DefaultGenPeriod, &sc.sim)
 			if err != nil {
 				return refLoopOut{}, fmt.Errorf("reference sim: %w", err)
 			}
@@ -409,13 +423,16 @@ func evaluateOne(ref *Reference, opts Options, cal *power.Calibration,
 		// with different weights share one cache entry.
 		key := loopRunKey("het-loop", opts.Engine, hetCfg, l.Graph, cost, opts.EnergyAware, l.Iterations, 0)
 		outs[i], errs[i] = explore.MemoizeDurable(opts.Engine, key, hetLoopCodec, func() (hetLoopOut, error) {
+			sc := scratchPool.Get()
+			defer scratchPool.Put(sc)
 			sres, err := core.ScheduleLoop(l.Graph, hetCfg, cost, core.Options{
 				Partition: partition.Options{EnergyAware: opts.EnergyAware},
+				Scratch:   &sc.sched,
 			})
 			if err != nil {
 				return hetLoopOut{}, fmt.Errorf("het: %w", err)
 			}
-			r, err := sim.Run(sres.Schedule, l.Iterations, sim.DefaultGenPeriod)
+			r, err := sim.RunScratch(sres.Schedule, l.Iterations, sim.DefaultGenPeriod, &sc.sim)
 			if err != nil {
 				return hetLoopOut{}, fmt.Errorf("het sim: %w", err)
 			}

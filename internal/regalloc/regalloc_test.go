@@ -188,3 +188,112 @@ func TestAllocateFuzz(t *testing.T) {
 		t.Errorf("only %d/40 loops allocated", allocated)
 	}
 }
+
+// manualSchedule modulo-schedules g with an explicit cluster assignment
+// (the partitioner rejects empty graphs, and edge cases want full control
+// over placement).
+func manualSchedule(t *testing.T, cfg *machine.Config, g *ddg.Graph, assign []int, it clock.Picos) *modsched.Schedule {
+	t.Helper()
+	pairs, err := machine.SelectPairs(cfg.Arch, cfg.Clock, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := modsched.Run(modsched.Input{Graph: g, Arch: cfg.Arch, Pairs: pairs, Assign: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestAllocateEmptyLoop: the degenerate kernel allocates zero values and
+// zero registers in every cluster.
+func TestAllocateEmptyLoop(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	s := manualSchedule(t, cfg, ddg.New("empty"), nil, clock.PS(4000))
+	a, err := Allocate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Values) != 0 {
+		t.Errorf("empty loop has %d values", len(a.Values))
+	}
+	for c, used := range a.RegsUsed {
+		if used != 0 {
+			t.Errorf("cluster %d uses %d registers for an empty loop", c, used)
+		}
+	}
+	if err := a.Verify(s); err != nil {
+		t.Errorf("empty assignment fails verification: %v", err)
+	}
+}
+
+// TestAllocateSingleOp: one unconsumed op defines exactly one value with a
+// point lifetime, occupying one register in its cluster and none anywhere
+// else.
+func TestAllocateSingleOp(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	g := ddg.New("one")
+	g.AddOp(isa.IntALU, "x")
+	s := manualSchedule(t, cfg, g, []int{0}, clock.PS(3000))
+	a, err := Allocate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Values) != 1 {
+		t.Fatalf("single op produced %d values", len(a.Values))
+	}
+	v := a.Values[0]
+	if v.Def != 0 || v.Cluster != 0 || v.CopyDst != -1 {
+		t.Errorf("value = %+v", v)
+	}
+	if v.Span() != 1 {
+		t.Errorf("unconsumed value has span %d, want 1", v.Span())
+	}
+	if a.RegsUsed[0] != 1 {
+		t.Errorf("cluster 1 uses %d registers, want 1", a.RegsUsed[0])
+	}
+	for c := 1; c < len(a.RegsUsed); c++ {
+		if a.RegsUsed[c] != 0 {
+			t.Errorf("cluster %d uses %d registers", c, a.RegsUsed[c])
+		}
+	}
+	if err := a.Verify(s); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAllocateAllOpsOneCluster: a dependence chain pinned to one cluster
+// produces no copy values, keeps every value in that cluster, and the
+// register count matches the schedule's MaxLive bound there.
+func TestAllocateAllOpsOneCluster(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	g := ddg.Chain("chain", isa.IntALU, 6)
+	assign := make([]int, g.NumOps())
+	s := manualSchedule(t, cfg, g, assign, clock.PS(6000))
+	if len(s.Copies) != 0 {
+		t.Fatalf("single-cluster schedule has %d copies", len(s.Copies))
+	}
+	a, err := Allocate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range a.Values {
+		if v.Cluster != 0 {
+			t.Errorf("value of op %d landed in cluster %d", v.Def, v.Cluster)
+		}
+		if v.CopyDst != -1 {
+			t.Errorf("single-cluster loop produced copy value %+v", v)
+		}
+	}
+	if a.RegsUsed[0] < s.MaxLive[0] {
+		t.Errorf("allocator used %d registers, below MaxLive %d", a.RegsUsed[0], s.MaxLive[0])
+	}
+	for c := 1; c < len(a.RegsUsed); c++ {
+		if a.RegsUsed[c] != 0 {
+			t.Errorf("cluster %d uses %d registers", c, a.RegsUsed[c])
+		}
+	}
+	if err := a.Verify(s); err != nil {
+		t.Error(err)
+	}
+}

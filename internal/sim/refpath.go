@@ -1,0 +1,213 @@
+// Reference simulation path for the differential oracle: the PR-2
+// map-based schedule validation and instance expansion, preserved
+// verbatim. RefRun must produce exactly the same Result as Run for every
+// schedule; internal/oracle enforces that.
+
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/isa"
+	"repro/internal/modsched"
+)
+
+// RefRun validates schedule s and simulates n iterations through the
+// reference (map-based) occupancy checkers.
+func RefRun(s *modsched.Schedule, n int64, genPeriod clock.Picos) (*Result, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sim: trip count must be ≥ 1")
+	}
+	if genPeriod <= 0 {
+		genPeriod = DefaultGenPeriod
+	}
+	if err := RefValidate(s); err != nil {
+		return nil, err
+	}
+	window := int64(s.SC) + 3
+	if window > n {
+		window = n
+	}
+	if err := refCheckInstances(s, window); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Iterations:        n,
+		Startup:           clock.StartupSync(genPeriod),
+		CheckedIterations: window,
+	}
+	res.Texec = res.Startup + s.TexecPs(n)
+	res.Counts = countEvents(s, n, res.Texec)
+	return res, nil
+}
+
+// RefValidate re-checks the kernel schedule from its public data only,
+// using the reference map-based occupancy tables.
+func RefValidate(s *modsched.Schedule) error {
+	arch := s.Arch
+	g := s.Graph
+	icn := int(arch.ICN())
+	sq := int64(arch.SyncQueueCycles)
+	if len(s.Assign) != g.NumOps() || len(s.Cycle) != g.NumOps() {
+		return fmt.Errorf("sim: schedule arrays do not cover the graph")
+	}
+	if len(s.II) != arch.NumDomains() {
+		return fmt.Errorf("sim: II array does not cover the domains")
+	}
+	type ck struct{ val, dst int }
+	copyAt := make(map[ck]modsched.Copy, len(s.Copies))
+	for _, c := range s.Copies {
+		copyAt[ck{c.Val, c.Dst}] = c
+	}
+	start := func(op int) rat {
+		return rat{int64(s.Cycle[op]), int64(s.II[s.Assign[op]])}
+	}
+	for _, e := range g.Edges() {
+		src, dst := s.Assign[e.From], s.Assign[e.To]
+		from, to := start(e.From), start(e.To)
+		to = to.plus(int64(e.Dist)*int64(s.II[dst]), int64(s.II[dst]))
+		switch {
+		case src == dst:
+			if !to.geq(from.plus(int64(e.Latency), int64(s.II[src]))) {
+				return fmt.Errorf("sim: edge %d→%d violated", e.From, e.To)
+			}
+		case e.Latency <= 0 || !producesValue(g.Op(e.From).Class):
+			need := from.plus(int64(e.Latency), int64(s.II[src])).plus(sq, int64(s.II[dst]))
+			if !to.geq(need) {
+				return fmt.Errorf("sim: cross edge %d→%d violated", e.From, e.To)
+			}
+		default:
+			cp, ok := copyAt[ck{e.From, dst}]
+			if !ok {
+				return fmt.Errorf("sim: edge %d→%d lacks a copy to cluster %d", e.From, e.To, dst)
+			}
+			cpStart := rat{int64(cp.Cycle), int64(s.II[icn])}
+			need := from.plus(int64(e.Latency), int64(s.II[src])).plus(sq, int64(s.II[icn]))
+			if !cpStart.geq(need) {
+				return fmt.Errorf("sim: copy of op %d to cluster %d too early", e.From, dst)
+			}
+			need = cpStart.plus(int64(arch.BusLatency), int64(s.II[icn])).plus(sq, int64(s.II[dst]))
+			if !to.geq(need) {
+				return fmt.Errorf("sim: edge %d→%d violated after copy", e.From, e.To)
+			}
+		}
+	}
+	// Kernel-slot occupancy.
+	type slotKey struct{ cluster, res, slot int }
+	use := make(map[slotKey]int)
+	for op := 0; op < g.NumOps(); op++ {
+		c := s.Assign[op]
+		if s.Cycle[op] < 0 {
+			return fmt.Errorf("sim: op %d unscheduled", op)
+		}
+		r := g.Op(op).Class.Resource()
+		k := slotKey{c, int(r), s.Cycle[op] % s.II[c]}
+		use[k]++
+		if use[k] > arch.Clusters[c].FUCount(r) {
+			return fmt.Errorf("sim: cluster %d %s slot %d oversubscribed", c, r, k.slot)
+		}
+	}
+	busUse := make(map[int]int)
+	for _, cp := range s.Copies {
+		slot := cp.Cycle % s.II[icn]
+		busUse[slot]++
+		if busUse[slot] > arch.Buses {
+			return fmt.Errorf("sim: bus slot %d oversubscribed", slot)
+		}
+	}
+	for c, ml := range s.MaxLive {
+		if ml > arch.Clusters[c].Regs {
+			return fmt.Errorf("sim: cluster %d register pressure %d exceeds %d",
+				c, ml, arch.Clusters[c].Regs)
+		}
+	}
+	return nil
+}
+
+// refCheckInstances expands `window` concrete iterations and verifies
+// absolute-cycle resource exclusivity and cross-iteration data timing.
+// Instance (op, i) issues at absolute cycle i·II + k of its domain.
+func refCheckInstances(s *modsched.Schedule, window int64) error {
+	arch := s.Arch
+	g := s.Graph
+	icn := int(arch.ICN())
+	sq := int64(arch.SyncQueueCycles)
+
+	// Absolute-cycle occupancy.
+	type absKey struct {
+		domain, res int
+		cycle       int64
+	}
+	occ := make(map[absKey]int)
+	for i := int64(0); i < window; i++ {
+		for op := 0; op < g.NumOps(); op++ {
+			c := s.Assign[op]
+			r := g.Op(op).Class.Resource()
+			k := absKey{c, int(r), i*int64(s.II[c]) + int64(s.Cycle[op])}
+			occ[k]++
+			if occ[k] > arch.Clusters[c].FUCount(r) {
+				return fmt.Errorf("sim: instance conflict in cluster %d %s at cycle %d",
+					c, r, k.cycle)
+			}
+		}
+		for _, cp := range s.Copies {
+			k := absKey{icn, int(isa.ResBus), i*int64(s.II[icn]) + int64(cp.Cycle)}
+			occ[k]++
+			if occ[k] > arch.Buses {
+				return fmt.Errorf("sim: bus instance conflict at cycle %d", k.cycle)
+			}
+		}
+	}
+
+	// Cross-iteration data timing: instance start (op, i) in IT units is
+	// (i·II + k)/II.
+	instStart := func(op int, i int64) rat {
+		ii := int64(s.II[s.Assign[op]])
+		return rat{i*ii + int64(s.Cycle[op]), ii}
+	}
+	type ck struct{ val, dst int }
+	copyAt := make(map[ck]modsched.Copy, len(s.Copies))
+	for _, c := range s.Copies {
+		copyAt[ck{c.Val, c.Dst}] = c
+	}
+	for i := int64(0); i < window; i++ {
+		for _, e := range g.Edges() {
+			pi := i - int64(e.Dist) // producer iteration
+			if pi < 0 {
+				continue // prologue: produced before the loop
+			}
+			src, dst := s.Assign[e.From], s.Assign[e.To]
+			to := instStart(e.To, i)
+			from := instStart(e.From, pi)
+			switch {
+			case src == dst:
+				if !to.geq(from.plus(int64(e.Latency), int64(s.II[src]))) {
+					return fmt.Errorf("sim: instance edge %d→%d violated at iteration %d",
+						e.From, e.To, i)
+				}
+			case e.Latency <= 0 || !producesValue(g.Op(e.From).Class):
+				need := from.plus(int64(e.Latency), int64(s.II[src])).plus(sq, int64(s.II[dst]))
+				if !to.geq(need) {
+					return fmt.Errorf("sim: instance cross edge %d→%d violated at iteration %d",
+						e.From, e.To, i)
+				}
+			default:
+				cp := copyAt[ck{e.From, dst}]
+				iiICN := int64(s.II[icn])
+				cpStart := rat{pi*iiICN + int64(cp.Cycle), iiICN}
+				need := from.plus(int64(e.Latency), int64(s.II[src])).plus(sq, iiICN)
+				if !cpStart.geq(need) {
+					return fmt.Errorf("sim: instance copy of op %d too early at iteration %d",
+						e.From, pi)
+				}
+				need = cpStart.plus(int64(arch.BusLatency), iiICN).plus(sq, int64(s.II[dst]))
+				if !to.geq(need) {
+					return fmt.Errorf("sim: instance edge %d→%d violated after copy at iteration %d",
+						e.From, e.To, i)
+				}
+			}
+		}
+	}
+	return nil
+}

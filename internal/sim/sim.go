@@ -15,12 +15,18 @@
 //   - produces the event counts (weighted instructions per cluster, bus
 //     communications, cache accesses) that the Section 3.1 energy model
 //     prices.
+//
+// The occupancy checkers run on dense, reusable tables (see Scratch); the
+// PR-2 map-based checkers are preserved as RefRun/RefValidate for the
+// differential oracle in internal/oracle.
 package sim
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/clock"
+	"repro/internal/grow"
 	"repro/internal/isa"
 	"repro/internal/modsched"
 	"repro/internal/power"
@@ -46,22 +52,42 @@ type Result struct {
 	CheckedIterations int64
 }
 
+// Scratch is a reusable arena for the occupancy checkers: the copy
+// lookup, the kernel-slot counters and the instance-key buffer are grown
+// once and reused across runs, so repeated simulation during a sweep does
+// near-zero allocation. A Scratch is owned by one goroutine at a time;
+// the zero value is ready to use.
+type Scratch struct {
+	copyIdx []int32 // op*numClusters + dst -> copy index + 1
+	slotUse []int32 // (domain*NumResources + res)*maxII + slot -> count
+	absKeys []int64 // packed (domain, res, cycle) instance keys
+}
+
 // Run validates schedule s and simulates n iterations.
 func Run(s *modsched.Schedule, n int64, genPeriod clock.Picos) (*Result, error) {
+	return RunScratch(s, n, genPeriod, nil)
+}
+
+// RunScratch is Run with a caller-owned scratch arena (nil allocates a
+// private one). sc must not be shared between concurrent calls.
+func RunScratch(s *modsched.Schedule, n int64, genPeriod clock.Picos, sc *Scratch) (*Result, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("sim: trip count must be ≥ 1")
 	}
 	if genPeriod <= 0 {
 		genPeriod = DefaultGenPeriod
 	}
-	if err := Validate(s); err != nil {
+	if sc == nil {
+		sc = new(Scratch)
+	}
+	if err := validate(s, sc); err != nil {
 		return nil, err
 	}
 	window := int64(s.SC) + 3
 	if window > n {
 		window = n
 	}
-	if err := checkInstances(s, window); err != nil {
+	if err := checkInstances(s, window, sc); err != nil {
 		return nil, err
 	}
 	res := &Result{
@@ -100,10 +126,35 @@ func (a rat) plus(cycles int64, den int64) rat {
 	return rat{a.num*den + cycles*a.den, a.den * den}
 }
 
+// Local names for the shared grow.Slice reuse primitive.
+var (
+	growI32 = grow.Slice[int32]
+	growI64 = grow.Slice[int64]
+)
+
+// fillCopyIdx rebuilds the dense (producer, destination) -> copy lookup.
+func fillCopyIdx(s *modsched.Schedule, sc *Scratch) []int32 {
+	nc := s.Arch.NumClusters()
+	idx := growI32(sc.copyIdx, s.Graph.NumOps()*nc)
+	sc.copyIdx = idx
+	for i := range idx {
+		idx[i] = 0
+	}
+	for ci, c := range s.Copies {
+		idx[c.Val*nc+c.Dst] = int32(ci) + 1
+	}
+	return idx
+}
+
 // Validate re-checks the kernel schedule from its public data only.
 func Validate(s *modsched.Schedule) error {
+	return validate(s, new(Scratch))
+}
+
+func validate(s *modsched.Schedule, sc *Scratch) error {
 	arch := s.Arch
 	g := s.Graph
+	nc := arch.NumClusters()
 	icn := int(arch.ICN())
 	sq := int64(arch.SyncQueueCycles)
 	if len(s.Assign) != g.NumOps() || len(s.Cycle) != g.NumOps() {
@@ -112,11 +163,7 @@ func Validate(s *modsched.Schedule) error {
 	if len(s.II) != arch.NumDomains() {
 		return fmt.Errorf("sim: II array does not cover the domains")
 	}
-	type ck struct{ val, dst int }
-	copyAt := make(map[ck]modsched.Copy, len(s.Copies))
-	for _, c := range s.Copies {
-		copyAt[ck{c.Val, c.Dst}] = c
-	}
+	copyIdx := fillCopyIdx(s, sc)
 	start := func(op int) rat {
 		return rat{int64(s.Cycle[op]), int64(s.II[s.Assign[op]])}
 	}
@@ -135,10 +182,11 @@ func Validate(s *modsched.Schedule) error {
 				return fmt.Errorf("sim: cross edge %d→%d violated", e.From, e.To)
 			}
 		default:
-			cp, ok := copyAt[ck{e.From, dst}]
-			if !ok {
+			ci := copyIdx[e.From*nc+dst]
+			if ci == 0 {
 				return fmt.Errorf("sim: edge %d→%d lacks a copy to cluster %d", e.From, e.To, dst)
 			}
+			cp := s.Copies[ci-1]
 			cpStart := rat{int64(cp.Cycle), int64(s.II[icn])}
 			need := from.plus(int64(e.Latency), int64(s.II[src])).plus(sq, int64(s.II[icn]))
 			if !cpStart.geq(need) {
@@ -150,26 +198,36 @@ func Validate(s *modsched.Schedule) error {
 			}
 		}
 	}
-	// Kernel-slot occupancy.
-	type slotKey struct{ cluster, res, slot int }
-	use := make(map[slotKey]int)
+	// Kernel-slot occupancy on the dense per-(domain, resource) counters.
+	maxII := 0
+	for _, ii := range s.II {
+		if ii > maxII {
+			maxII = ii
+		}
+	}
+	use := growI32(sc.slotUse, arch.NumDomains()*isa.NumResources*maxII)
+	sc.slotUse = use
+	for i := range use {
+		use[i] = 0
+	}
 	for op := 0; op < g.NumOps(); op++ {
 		c := s.Assign[op]
 		if s.Cycle[op] < 0 {
 			return fmt.Errorf("sim: op %d unscheduled", op)
 		}
 		r := g.Op(op).Class.Resource()
-		k := slotKey{c, int(r), s.Cycle[op] % s.II[c]}
+		slot := s.Cycle[op] % s.II[c]
+		k := (c*isa.NumResources+int(r))*maxII + slot
 		use[k]++
-		if use[k] > arch.Clusters[c].FUCount(r) {
-			return fmt.Errorf("sim: cluster %d %s slot %d oversubscribed", c, r, k.slot)
+		if int(use[k]) > arch.Clusters[c].FUCount(r) {
+			return fmt.Errorf("sim: cluster %d %s slot %d oversubscribed", c, r, slot)
 		}
 	}
-	busUse := make(map[int]int)
 	for _, cp := range s.Copies {
 		slot := cp.Cycle % s.II[icn]
-		busUse[slot]++
-		if busUse[slot] > arch.Buses {
+		k := (icn*isa.NumResources+int(isa.ResBus))*maxII + slot
+		use[k]++
+		if int(use[k]) > arch.Buses {
 			return fmt.Errorf("sim: bus slot %d oversubscribed", slot)
 		}
 	}
@@ -182,39 +240,58 @@ func Validate(s *modsched.Schedule) error {
 	return nil
 }
 
+// absCycleShift packs (domain, resource) above the absolute cycle in one
+// sortable int64 instance key. Absolute cycles are far below 2^44: they
+// are bounded by (window + stage count)·maxII.
+const absCycleShift = 44
+
 // checkInstances expands `window` concrete iterations and verifies
 // absolute-cycle resource exclusivity and cross-iteration data timing.
 // Instance (op, i) issues at absolute cycle i·II + k of its domain.
-func checkInstances(s *modsched.Schedule, window int64) error {
+//
+// Occupancy counting packs every instance into a (domain, res, cycle) key,
+// sorts, and bounds the run lengths — same exactness as the reference
+// map-based counter without its per-instance allocations.
+func checkInstances(s *modsched.Schedule, window int64, sc *Scratch) error {
 	arch := s.Arch
 	g := s.Graph
 	icn := int(arch.ICN())
 	sq := int64(arch.SyncQueueCycles)
 
 	// Absolute-cycle occupancy.
-	type absKey struct {
-		domain, res int
-		cycle       int64
-	}
-	occ := make(map[absKey]int)
+	keys := growI64(sc.absKeys, 0)
 	for i := int64(0); i < window; i++ {
 		for op := 0; op < g.NumOps(); op++ {
 			c := s.Assign[op]
 			r := g.Op(op).Class.Resource()
-			k := absKey{c, int(r), i*int64(s.II[c]) + int64(s.Cycle[op])}
-			occ[k]++
-			if occ[k] > arch.Clusters[c].FUCount(r) {
-				return fmt.Errorf("sim: instance conflict in cluster %d %s at cycle %d",
-					c, r, k.cycle)
-			}
+			cyc := i*int64(s.II[c]) + int64(s.Cycle[op])
+			keys = append(keys, int64(c*isa.NumResources+int(r))<<absCycleShift|cyc)
 		}
 		for _, cp := range s.Copies {
-			k := absKey{icn, int(isa.ResBus), i*int64(s.II[icn]) + int64(cp.Cycle)}
-			occ[k]++
-			if occ[k] > arch.Buses {
-				return fmt.Errorf("sim: bus instance conflict at cycle %d", k.cycle)
-			}
+			cyc := i*int64(s.II[icn]) + int64(cp.Cycle)
+			keys = append(keys, int64(icn*isa.NumResources+int(isa.ResBus))<<absCycleShift|cyc)
 		}
+	}
+	sc.absKeys = keys
+	slices.Sort(keys)
+	for lo := 0; lo < len(keys); {
+		hi := lo + 1
+		for hi < len(keys) && keys[hi] == keys[lo] {
+			hi++
+		}
+		domRes := int(keys[lo] >> absCycleShift)
+		domain := domRes / isa.NumResources
+		r := isa.Resource(domRes % isa.NumResources)
+		cyc := keys[lo] & (1<<absCycleShift - 1)
+		if domain == icn {
+			if hi-lo > arch.Buses {
+				return fmt.Errorf("sim: bus instance conflict at cycle %d", cyc)
+			}
+		} else if hi-lo > arch.Clusters[domain].FUCount(r) {
+			return fmt.Errorf("sim: instance conflict in cluster %d %s at cycle %d",
+				domain, r, cyc)
+		}
+		lo = hi
 	}
 
 	// Cross-iteration data timing: instance start (op, i) in IT units is
@@ -223,11 +300,8 @@ func checkInstances(s *modsched.Schedule, window int64) error {
 		ii := int64(s.II[s.Assign[op]])
 		return rat{i*ii + int64(s.Cycle[op]), ii}
 	}
-	type ck struct{ val, dst int }
-	copyAt := make(map[ck]modsched.Copy, len(s.Copies))
-	for _, c := range s.Copies {
-		copyAt[ck{c.Val, c.Dst}] = c
-	}
+	nc := arch.NumClusters()
+	copyIdx := fillCopyIdx(s, sc)
 	for i := int64(0); i < window; i++ {
 		for _, e := range g.Edges() {
 			pi := i - int64(e.Dist) // producer iteration
@@ -250,7 +324,7 @@ func checkInstances(s *modsched.Schedule, window int64) error {
 						e.From, e.To, i)
 				}
 			default:
-				cp := copyAt[ck{e.From, dst}]
+				cp := s.Copies[copyIdx[e.From*nc+dst]-1]
 				iiICN := int64(s.II[icn])
 				cpStart := rat{pi*iiICN + int64(cp.Cycle), iiICN}
 				need := from.plus(int64(e.Latency), int64(s.II[src])).plus(sq, iiICN)

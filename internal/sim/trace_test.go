@@ -4,8 +4,11 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/clock"
 	"repro/internal/ddg"
+	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/modsched"
 )
 
 func TestTraceChronological(t *testing.T) {
@@ -60,5 +63,98 @@ func TestTraceErrors(t *testing.T) {
 	bad.MaxLive[0] = 999
 	if _, err := Trace(bad, 2); err == nil {
 		t.Error("invalid schedule must fail")
+	}
+}
+
+// manualSchedule modulo-schedules g with an explicit cluster assignment
+// (bypassing the partitioner, which rejects empty graphs).
+func manualSchedule(t *testing.T, cfg *machine.Config, g *ddg.Graph, assign []int, it clock.Picos) *modsched.Schedule {
+	t.Helper()
+	pairs, err := machine.SelectPairs(cfg.Arch, cfg.Clock, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := modsched.Run(modsched.Input{Graph: g, Arch: cfg.Arch, Pairs: pairs, Assign: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestTraceEmptyLoop: an empty loop body is a valid (degenerate) kernel —
+// it validates, simulates and traces to zero events.
+func TestTraceEmptyLoop(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	s := manualSchedule(t, cfg, ddg.New("empty"), nil, clock.PS(4000))
+	if _, err := Run(s, 5, DefaultGenPeriod); err != nil {
+		t.Fatalf("empty loop does not simulate: %v", err)
+	}
+	evs, err := Trace(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Errorf("empty loop traced %d events", len(evs))
+	}
+	if out := FormatTrace(s, evs); out != "" {
+		t.Errorf("empty trace renders %q", out)
+	}
+}
+
+// TestTraceSingleOp: a one-op loop traces one event per iteration with
+// exact start times (i·II + cycle)/II and the op-id fallback name.
+func TestTraceSingleOp(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	g := ddg.New("one")
+	g.AddOp(isa.FPMul, "") // unnamed: formatter must fall back to op0
+	s := manualSchedule(t, cfg, g, []int{0}, clock.PS(3000))
+	evs, err := Trace(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("traced %d events, want 4", len(evs))
+	}
+	ii := int64(s.II[0])
+	for i, e := range evs {
+		if e.Op != 0 || e.Iteration != int64(i) || e.Domain != 0 {
+			t.Errorf("event %d = %+v", i, e)
+		}
+		wantNum := int64(i)*ii + int64(s.Cycle[0])
+		if e.StartNum != wantNum || e.StartDen != ii {
+			t.Errorf("event %d start %d/%d, want %d/%d", i, e.StartNum, e.StartDen, wantNum, ii)
+		}
+		wantPs := wantNum * int64(s.IT) / ii
+		if got := e.StartPs(int64(s.IT)); got != wantPs {
+			t.Errorf("event %d StartPs = %d, want %d", i, got, wantPs)
+		}
+	}
+	out := FormatTrace(s, evs)
+	if !strings.Contains(out, "op0") || !strings.Contains(out, "fp.mul") {
+		t.Errorf("single-op trace rendering broken:\n%s", out)
+	}
+}
+
+// TestTraceAllOpsOneCluster: with every op pinned to cluster C1 the trace
+// must never leave that domain, and kernel slots stay within C1's FUs.
+func TestTraceAllOpsOneCluster(t *testing.T) {
+	cfg := machine.ReferenceConfig(1)
+	g := ddg.Chain("chain", isa.IntALU, 5)
+	assign := make([]int, g.NumOps())
+	s := manualSchedule(t, cfg, g, assign, clock.PS(5000))
+	if len(s.Copies) != 0 {
+		t.Fatalf("single-cluster schedule has %d copies", len(s.Copies))
+	}
+	evs, err := Trace(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range evs {
+		if e.Domain != 0 {
+			t.Errorf("event %+v escaped cluster 1", e)
+		}
+	}
+	if out := FormatTrace(s, evs); strings.Contains(out, "copy") {
+		t.Error("single-cluster trace shows copies")
 	}
 }
