@@ -8,6 +8,8 @@
 //	experiments run -cache-dir .cache        # warm-start across processes
 //	experiments run -corpus c.hvc            # evaluate an imported corpus
 //	experiments run -family media            # another synthetic family
+//	experiments run -server http://host:8080 # same run, through a hetvliwd
+//	                                         # daemon (byte-identical tables)
 //
 //	experiments corpus export -o c.hvc       # export the synthetic corpus
 //	experiments corpus export -family media -loops 20 -o media.json
@@ -22,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,6 +38,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/loopgen"
 	"repro/internal/pipeline"
+	"repro/internal/service"
 )
 
 func main() {
@@ -75,88 +79,139 @@ run 'experiments <cmd> -h' for flags`)
 func runCmd(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	loops := fs.Int("loops", 40, "loops per benchmark in the synthetic corpus")
-	only := fs.String("only", "", "comma-separated subset: table1,table2,fig6,fig7,fig8,fig9,numfast,ablation")
+	only := fs.String("only", "", "comma-separated subset: "+strings.Join(experiments.ArtifactNames, ","))
 	par := fs.Int("par", 0, "worker parallelism (0 = NumCPU)")
 	dense := fs.Bool("dense", false, "sweep the dense design-space grid (confsel.DenseSpace) instead of the paper's Table 2 grid")
 	cachestats := fs.Bool("cachestats", false, "print the exploration engine's cache statistics on exit")
 	cacheDir := fs.String("cache-dir", "", "disk-persistent cache directory (warm-starts later runs)")
 	corpusFile := fs.String("corpus", "", "evaluate this corpus artifact instead of generating one")
 	family := fs.String("family", "specfp", "synthetic generator family: "+strings.Join(loopgen.Families(), ", "))
+	server := fs.String("server", "", "run through the hetvliwd daemon at this base URL instead of locally")
 	exitOn(fs.Parse(args))
 
 	want := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(k)] = true
+			k = strings.TrimSpace(k)
+			if !experiments.KnownArtifact(k) {
+				exitOn(fmt.Errorf("unknown artifact %q (have %s)", k, strings.Join(experiments.ArtifactNames, ", ")))
+			}
+			want[k] = true
 		}
 	}
 	enabled := func(k string) bool { return len(want) == 0 || want[k] }
 
-	eng, err := explore.NewDisk(*par, *cacheDir)
-	exitOn(err)
+	start := time.Now()
+	var report *experiments.Report
+	var stats explore.CacheStats
+	if *server != "" {
+		r, st, err := remoteReport(*server, *corpusFile, *family, *loops, *only, *dense, *cachestats)
+		exitOn(err)
+		report, stats = r, st
+	} else {
+		r, st, err := localReport(*corpusFile, *family, *loops, *par, *dense, *cacheDir, enabled)
+		exitOn(err)
+		report, stats = r, st
+	}
+	experiments.WriteReport(os.Stdout, report, enabled)
+	if *cachestats {
+		fmt.Printf("exploration cache: %d memory hits / %d disk hits / %d misses (%.1f%% hit rate), %d entries, %d disk writes\n",
+			stats.Hits, stats.DiskHits, stats.Misses, 100*stats.HitRate(), stats.Entries, stats.DiskWrites)
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// openCorpus returns a file-backed source for path, with a clean one-line
+// error when nothing is there (a raw decode error would bury the common
+// case: a typo'd or absent path).
+func openCorpus(path string) (loopgen.Source, error) {
+	if _, err := os.Stat(path); err != nil {
+		return nil, fmt.Errorf("no corpus at %s", path)
+	}
+	return artifact.NewFileSource(path), nil
+}
+
+// localReport computes the report in-process, exactly as the daemon
+// would: same Suite entry point, same artifact set.
+func localReport(corpusFile, family string, loops, par int, dense bool, cacheDir string,
+	enabled func(string) bool) (*experiments.Report, explore.CacheStats, error) {
+	eng, err := explore.NewDisk(par, cacheDir)
+	if err != nil {
+		return nil, explore.CacheStats{}, err
+	}
 	popts := pipeline.Options{
-		LoopsPerBenchmark: *loops,
-		Parallelism:       *par,
+		LoopsPerBenchmark: loops,
+		Parallelism:       par,
 		Engine:            eng,
 	}
-	if *corpusFile != "" {
-		popts.Corpus = artifact.NewFileSource(*corpusFile)
-	} else if *family != "specfp" {
-		src, err := loopgen.NewSyntheticSource(*family, *loops)
-		exitOn(err)
+	if corpusFile != "" {
+		src, err := openCorpus(corpusFile)
+		if err != nil {
+			return nil, explore.CacheStats{}, err
+		}
+		popts.Corpus = src
+	} else if family != "specfp" {
+		src, err := loopgen.NewSyntheticSource(family, loops)
+		if err != nil {
+			return nil, explore.CacheStats{}, err
+		}
 		popts.Corpus = src
 	}
-	if *dense {
+	if dense {
 		sp := confsel.DenseSpace()
 		popts.Space = &sp
 	}
 	suite := experiments.New(popts)
-	start := time.Now()
+	report, err := suite.Run(context.Background(), enabled)
+	if err != nil {
+		return nil, explore.CacheStats{}, err
+	}
+	return report, suite.CacheStats(), nil
+}
 
-	if enabled("table1") {
-		fmt.Println(experiments.Table1String())
+// remoteReport computes the report through a hetvliwd daemon. The daemon
+// decodes the same corpus bytes (or generates the same synthetic family)
+// and runs the same Suite code, so the decoded report renders
+// byte-identically to a local run.
+func remoteReport(server, corpusFile, family string, loops int, only string,
+	dense, wantStats bool) (*experiments.Report, explore.CacheStats, error) {
+	req := service.SuiteRequest{Family: family, Loops: loops, Dense: dense}
+	if corpusFile != "" {
+		data, err := os.ReadFile(corpusFile)
+		if err != nil {
+			return nil, explore.CacheStats{}, fmt.Errorf("no corpus at %s", corpusFile)
+		}
+		req.Corpus = data
 	}
-	if enabled("table2") {
-		rows, err := suite.Table2()
-		exitOn(err)
-		fmt.Println(experiments.FormatTable2(rows))
+	if only != "" {
+		for _, k := range strings.Split(only, ",") {
+			k = strings.TrimSpace(k)
+			if k == "table1" {
+				continue // static: rendered locally, never computed remotely
+			}
+			req.Only = append(req.Only, k)
+		}
+		if len(req.Only) == 0 {
+			// Only static artifacts requested: nothing to compute remotely.
+			return &experiments.Report{}, explore.CacheStats{}, nil
+		}
 	}
-	if enabled("fig6") {
-		f, err := suite.Figure6()
-		exitOn(err)
-		fmt.Println(f.String())
+	client := service.NewClient(server)
+	ctx := context.Background()
+	resp, err := client.Suite(ctx, req)
+	if err != nil {
+		return nil, explore.CacheStats{}, err
 	}
-	if enabled("fig7") {
-		rows, err := suite.Figure7()
-		exitOn(err)
-		fmt.Println(experiments.FormatFig7(rows))
+	var stats explore.CacheStats
+	if wantStats {
+		// Only fetch the daemon's counters when they will be printed.
+		st, err := client.Stats(ctx)
+		if err != nil {
+			return nil, explore.CacheStats{}, err
+		}
+		stats = st.Engine
 	}
-	if enabled("fig8") {
-		rows, err := suite.Figure8()
-		exitOn(err)
-		fmt.Println(experiments.FormatFig8(rows))
-	}
-	if enabled("fig9") {
-		rows, err := suite.Figure9()
-		exitOn(err)
-		fmt.Println(experiments.FormatFig9(rows))
-	}
-	if enabled("numfast") {
-		rows, err := suite.NumFastStudy()
-		exitOn(err)
-		fmt.Println(experiments.FormatNumFast(rows))
-	}
-	if enabled("ablation") {
-		rows, err := suite.Ablation()
-		exitOn(err)
-		fmt.Println(experiments.FormatAblation(rows))
-	}
-	if *cachestats {
-		st := suite.CacheStats()
-		fmt.Printf("exploration cache: %d memory hits / %d disk hits / %d misses (%.1f%% hit rate), %d entries, %d disk writes\n",
-			st.Hits, st.DiskHits, st.Misses, 100*st.HitRate(), st.Entries, st.DiskWrites)
-	}
-	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+	return resp.Report, stats, nil
 }
 
 // ---------------------------------------------------------------- corpus
@@ -214,7 +269,9 @@ func corpusCmd(args []string) {
 		exitOn(fs.Parse(args))
 		var src loopgen.Source
 		if *in != "" {
-			src = artifact.NewFileSource(*in)
+			s, err := openCorpus(*in)
+			exitOn(err)
+			src = s
 		} else {
 			s, err := loopgen.NewSyntheticSource(*family, *loops)
 			exitOn(err)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -35,6 +36,36 @@ func TestCacheStatsExistingDir(t *testing.T) {
 	}
 	if !strings.Contains(msg, "0 entries") {
 		t.Errorf("empty cache message = %q", msg)
+	}
+}
+
+// TestOpenCorpusMissing: `experiments run -corpus <missing-file>` (and
+// `corpus stats -i`) report a clean one-line "no corpus" message instead
+// of a raw decode/filesystem error.
+func TestOpenCorpusMissing(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "nope.hvc")
+	_, err := openCorpus(missing)
+	if err == nil {
+		t.Fatal("missing corpus must error")
+	}
+	if want := "no corpus at " + missing; err.Error() != want {
+		t.Errorf("error = %q, want %q", err.Error(), want)
+	}
+}
+
+// TestOpenCorpusExisting: a present file opens lazily (decode errors, if
+// any, surface on first use, not here).
+func TestOpenCorpusExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.hvc")
+	if err := os.WriteFile(path, []byte("not a corpus"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := openCorpus(path)
+	if err != nil {
+		t.Fatalf("existing file: %v", err)
+	}
+	if _, err := src.BenchmarkNames(); err == nil {
+		t.Error("malformed corpus must fail on first use")
 	}
 }
 

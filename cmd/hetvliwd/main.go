@@ -1,0 +1,74 @@
+// Command hetvliwd serves the evaluation pipeline as a long-running
+// HTTP/JSON daemon: one shared exploration engine (optionally backed by a
+// disk-persistent cache directory) multiplexed across concurrent clients,
+// with a bounded job queue, per-request cancellation and in-flight
+// request deduplication.
+//
+//	hetvliwd -addr :8080 -cache-dir .cache
+//	hetvliwd -addr 127.0.0.1:9000 -par 8 -workers 4 -queue 16
+//
+// Endpoints: POST /v1/schedule, /v1/evaluate, /v1/suite, /v1/select;
+// GET /v1/healthz, /v1/stats. See the README "Serving" section for an
+// example curl session. SIGINT/SIGTERM shut down gracefully: in-flight
+// requests are cancelled (they return 503) and the listener drains.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheDir := flag.String("cache-dir", "", "disk-persistent exploration cache directory")
+	par := flag.Int("par", 0, "engine worker parallelism (0 = NumCPU)")
+	workers := flag.Int("workers", 0, "max concurrently executing jobs (0 = default)")
+	queue := flag.Int("queue", 0, "max jobs waiting for a worker (0 = default)")
+	flag.Parse()
+
+	srv, err := service.New(service.Config{
+		Parallelism: *par,
+		CacheDir:    *cacheDir,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetvliwd:", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "hetvliwd: listening on %s (cache %q)\n", *addr, *cacheDir)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "hetvliwd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "hetvliwd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Close(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "hetvliwd: drain:", err)
+	}
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "hetvliwd: shutdown:", err)
+		os.Exit(1)
+	}
+}

@@ -34,12 +34,15 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/artifact"
 	"repro/internal/clock"
 	"repro/internal/confsel"
 	"repro/internal/core"
 	"repro/internal/ddg"
 	"repro/internal/emit"
+	"repro/internal/experiments"
 	"repro/internal/explore"
 	"repro/internal/isa"
 	"repro/internal/loopgen"
@@ -48,6 +51,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/pipeline"
 	"repro/internal/regalloc"
+	"repro/internal/service"
 	"repro/internal/sim"
 )
 
@@ -97,6 +101,23 @@ type (
 	// ScheduleSummary is the serializable summary of a kernel schedule
 	// (timing, per-domain IIs, pressure, communication).
 	ScheduleSummary = artifact.ScheduleSummary
+	// Service is the evaluation daemon: the pipeline behind an HTTP/JSON
+	// API with a shared exploration engine, a bounded job queue,
+	// per-request cancellation and in-flight request deduplication (the
+	// hetvliwd command wraps one in an http.Server).
+	Service = service.Server
+	// ServiceConfig sizes a Service: engine parallelism, disk cache
+	// directory, worker and queue bounds.
+	ServiceConfig = service.Config
+	// ServiceClient is the typed client for a running hetvliwd daemon.
+	ServiceClient = service.Client
+	// ServiceStats is the daemon's /v1/stats payload: engine cache
+	// counters plus request accounting.
+	ServiceStats = service.Stats
+	// SuiteReport is one evaluation run's computed artifacts (Table 2,
+	// Figures 6–9, studies); reports compute locally or remotely and
+	// render identically (see experiments.WriteReport).
+	SuiteReport = experiments.Report
 )
 
 // NewExploreEngine returns an exploration engine bounded to the given
@@ -320,3 +341,23 @@ func RunBenchmark(name string, opts PipelineOptions) (*BenchmarkResult, error) {
 func RunSuite(opts PipelineOptions) ([]*BenchmarkResult, error) {
 	return pipeline.RunSuite(opts)
 }
+
+// RunSuiteCtx is RunSuite with cancellation: ctx threads through the
+// pipeline, the selection sweeps and the exploration engine, so an
+// expired or cancelled context stops dispatching loops and design points
+// instead of running the evaluation to completion.
+func RunSuiteCtx(ctx context.Context, opts PipelineOptions) ([]*BenchmarkResult, error) {
+	return pipeline.RunSuiteCtx(ctx, opts)
+}
+
+// NewService builds an embeddable evaluation daemon (an http.Handler):
+// the full pipeline behind /v1/schedule, /v1/evaluate, /v1/suite,
+// /v1/select, /v1/healthz and /v1/stats, with one shared exploration
+// engine across every request. The hetvliwd command is a thin wrapper
+// around this.
+func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
+
+// NewClient returns a typed client for the hetvliwd daemon at baseURL
+// (e.g. "http://127.0.0.1:8080"). Evaluations requested through the
+// client decode into the same result types local runs produce.
+func NewClient(baseURL string) *ServiceClient { return service.NewClient(baseURL) }

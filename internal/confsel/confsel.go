@@ -21,6 +21,7 @@
 package confsel
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -159,7 +160,7 @@ func gridSteps(lo, hi, step float64) []float64 {
 // the per-domain minimum periods and the optional demand bounds — not the
 // voltages or frequency ladders, so candidates that differ only in those
 // share one cache line.
-func computeMIT(eng *explore.Engine, g *ddg.Graph, arch *machine.Arch,
+func computeMIT(ctx context.Context, eng *explore.Engine, g *ddg.Graph, arch *machine.Arch,
 	clk *machine.Clocking, extra *mii.Demand) (mii.Result, error) {
 	if eng == nil {
 		return mii.Compute(g, arch, clk, extra)
@@ -175,7 +176,7 @@ func computeMIT(eng *explore.Engine, g *ddg.Graph, arch *machine.Arch,
 	} else {
 		d.Int(0)
 	}
-	return explore.MemoizeDurable(eng, d.Key(), mitCodec, func() (mii.Result, error) {
+	return explore.MemoizeDurableCtx(ctx, eng, d.Key(), mitCodec, func(context.Context) (mii.Result, error) {
 		return mii.Compute(g, arch, clk, extra)
 	})
 }
@@ -214,7 +215,7 @@ func BuildHetClocking(arch *machine.Arch, fastPeriod, slowPeriod clock.Picos, nu
 // plainMITs, when non-nil, carries the per-loop demand-free MIT results
 // already computed for this clocking (see loopMITs) so the shared lookups
 // are not repeated.
-func estimateD(eng *explore.Engine, arch *machine.Arch, clk *machine.Clocking, prof *Profile,
+func estimateD(ctx context.Context, eng *explore.Engine, arch *machine.Arch, clk *machine.Clocking, prof *Profile,
 	plainMITs []mii.Result) (float64, error) {
 	meanTau := clk.MeanClusterPeriodNanos(arch) * 1000 // ps
 	total := 0.0
@@ -225,12 +226,12 @@ func estimateD(eng *explore.Engine, arch *machine.Arch, clk *machine.Clocking, p
 			plain = plainMITs[i]
 		} else {
 			var err error
-			plain, err = computeMIT(eng, lp.Graph, arch, clk, nil)
+			plain, err = computeMIT(ctx, eng, lp.Graph, arch, clk, nil)
 			if err != nil {
 				return 0, err
 			}
 		}
-		demand, err := computeMIT(eng, lp.Graph, arch, clk, &mii.Demand{
+		demand, err := computeMIT(ctx, eng, lp.Graph, arch, clk, &mii.Demand{
 			Comms:          lp.CommsHom,
 			LifetimeCycles: lp.LifetimeCycles,
 			LifetimePeriod: clock.Picos(int64(meanTau)),
@@ -374,10 +375,10 @@ func domainLoads(arch *machine.Arch, clk *machine.Clocking, prof *Profile,
 // loopMITs computes (or fetches from the engine cache) the demand-free
 // MIT of every profile loop under one clocking — shared by the time and
 // energy estimators of a candidate evaluation.
-func loopMITs(eng *explore.Engine, arch *machine.Arch, clk *machine.Clocking, prof *Profile) ([]mii.Result, error) {
+func loopMITs(ctx context.Context, eng *explore.Engine, arch *machine.Arch, clk *machine.Clocking, prof *Profile) ([]mii.Result, error) {
 	out := make([]mii.Result, len(prof.Loops))
 	for i := range prof.Loops {
-		res, err := computeMIT(eng, prof.Loops[i].Graph, arch, clk, nil)
+		res, err := computeMIT(ctx, eng, prof.Loops[i].Graph, arch, clk, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -496,13 +497,31 @@ func SelectHeterogeneous(arch *machine.Arch, prof *Profile, cal *power.Calibrati
 // every parallelism level. eng == nil builds a fresh default engine.
 func SelectHeterogeneousEx(eng *explore.Engine, arch *machine.Arch, prof *Profile,
 	cal *power.Calibration, model *power.AlphaModel, space Space) (*Selection, error) {
+	return SelectHeterogeneousCtx(context.Background(), eng, arch, prof, cal, model, space)
+}
+
+// SelectHeterogeneousCtx is SelectHeterogeneousEx with cancellation: the
+// candidate sweep stops dispatching design points once ctx is done and
+// returns ctx.Err() — the paper's per-program reconfiguration as an
+// interruptible service request.
+func SelectHeterogeneousCtx(ctx context.Context, eng *explore.Engine, arch *machine.Arch, prof *Profile,
+	cal *power.Calibration, model *power.AlphaModel, space Space) (*Selection, error) {
 	if eng == nil {
 		eng = explore.New(0)
 	}
 	cands := space.hetCandidates()
-	sels := explore.Map(eng, len(cands), func(i int) *Selection {
-		return evalHetCandidate(eng, arch, prof, cal, model, space, cands[i])
+	sels, err := explore.MapCtx(ctx, eng, len(cands), func(i int) *Selection {
+		return evalHetCandidate(ctx, eng, arch, prof, cal, model, space, cands[i])
 	})
+	if err != nil {
+		return nil, err
+	}
+	// A cancellation that lands after dispatch makes interrupted
+	// candidates indistinguishable from infeasible ones; a partial sweep
+	// must never masquerade as a (possibly different) selection.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var best *Selection
 	for _, s := range sels {
 		if s == nil {
@@ -520,14 +539,14 @@ func SelectHeterogeneousEx(eng *explore.Engine, arch *machine.Arch, prof *Profil
 
 // evalHetCandidate prices one design point with the Section 3 models,
 // returning nil when the candidate is infeasible.
-func evalHetCandidate(eng *explore.Engine, arch *machine.Arch, prof *Profile,
+func evalHetCandidate(ctx context.Context, eng *explore.Engine, arch *machine.Arch, prof *Profile,
 	cal *power.Calibration, model *power.AlphaModel, space Space, c hetCandidate) *Selection {
 	clk := BuildHetClocking(arch, c.fast, c.slow, space.NumFast)
-	plainMITs, err := loopMITs(eng, arch, clk, prof)
+	plainMITs, err := loopMITs(ctx, eng, arch, clk, prof)
 	if err != nil {
 		return nil
 	}
-	d, err := estimateD(eng, arch, clk, prof, plainMITs)
+	d, err := estimateD(ctx, eng, arch, clk, prof, plainMITs)
 	if err != nil {
 		return nil
 	}
@@ -564,12 +583,19 @@ func OptimumHomogeneous(arch *machine.Arch, prof *Profile, cal *power.Calibratio
 // parallelism level. eng == nil builds a fresh default engine.
 func OptimumHomogeneousEx(eng *explore.Engine, arch *machine.Arch, prof *Profile,
 	cal *power.Calibration, model *power.AlphaModel, space Space) (*Selection, error) {
+	return OptimumHomogeneousCtx(context.Background(), eng, arch, prof, cal, model, space)
+}
+
+// OptimumHomogeneousCtx is OptimumHomogeneousEx with cancellation: the
+// chip-wide frequency sweep stops dispatching once ctx is done.
+func OptimumHomogeneousCtx(ctx context.Context, eng *explore.Engine, arch *machine.Arch, prof *Profile,
+	cal *power.Calibration, model *power.AlphaModel, space Space) (*Selection, error) {
 	if eng == nil {
 		eng = explore.New(0)
 	}
 	// Reference cycle totals: D(τ) = refSeconds · τ/τ0.
 	refSeconds := prof.RefCounts.Seconds
-	sels := explore.Map(eng, len(space.HomFactors), func(i int) *Selection {
+	sels, err := explore.MapCtx(ctx, eng, len(space.HomFactors), func(i int) *Selection {
 		tau := clock.Picos(math.Round(space.HomFactors[i] * float64(machine.ReferencePeriod)))
 		d := refSeconds * float64(tau) / float64(machine.ReferencePeriod)
 		clusterUnits := append([]float64(nil), prof.RefCounts.InsUnits...)
@@ -614,6 +640,14 @@ func OptimumHomogeneousEx(eng *explore.Engine, arch *machine.Arch, prof *Profile
 			SlowPeriod: tau,
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
+	// Same guard as the heterogeneous sweep: never reduce a sweep that a
+	// late cancellation may have truncated.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var best *Selection
 	for _, s := range sels {
 		if s == nil {

@@ -1,6 +1,8 @@
 package confsel
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -186,7 +188,7 @@ func TestEstimateDUniformIsExact(t *testing.T) {
 	arch := machine.Reference4Cluster(1)
 	prof := testProfile(arch)
 	clk := machine.NewClocking(arch, machine.ReferencePeriod, 1.0)
-	d, err := estimateD(nil, arch, clk, prof, nil)
+	d, err := estimateD(context.Background(), nil, arch, clk, prof, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,5 +227,28 @@ func TestOptimizeVoltagesRanges(t *testing.T) {
 	if _, err := OptimizeVoltages(arch, clk2, model, cal, space,
 		[]float64{100, 400, 400, 400}, 50, 200, 1e-4); err == nil {
 		t.Error("2 GHz cluster should be unreachable")
+	}
+}
+
+// TestSelectionCtxCancelledNeverPartial: a cancelled context must yield
+// ctx.Err(), never a selection reduced from a possibly-truncated sweep —
+// interrupted candidates are indistinguishable from infeasible ones, so
+// any result under cancellation could be silently wrong.
+func TestSelectionCtxCancelledNeverPartial(t *testing.T) {
+	arch := machine.Reference4Cluster(1)
+	prof := testProfile(arch)
+	cal := calFor(t, arch, prof)
+	model := power.DefaultAlphaModel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if sel, err := SelectHeterogeneousCtx(ctx, nil, arch, prof, cal, model, DefaultSpace()); err == nil {
+		t.Fatalf("cancelled het selection returned %+v", sel)
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("het selection err = %v, want Canceled", err)
+	}
+	if sel, err := OptimumHomogeneousCtx(ctx, nil, arch, prof, cal, model, DefaultSpace()); err == nil {
+		t.Fatalf("cancelled hom selection returned %+v", sel)
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("hom selection err = %v, want Canceled", err)
 	}
 }

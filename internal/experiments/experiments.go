@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -64,7 +65,7 @@ func New(opts pipeline.Options) *Suite {
 func (s *Suite) CacheStats() explore.CacheStats { return s.eng.Stats() }
 
 // references builds (or returns cached) reference runs for a bus count.
-func (s *Suite) references(buses int) ([]*pipeline.Reference, error) {
+func (s *Suite) references(ctx context.Context, buses int) ([]*pipeline.Reference, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if r, ok := s.refs[buses]; ok {
@@ -79,7 +80,7 @@ func (s *Suite) references(buses int) ([]*pipeline.Reference, error) {
 	}
 	var refs []*pipeline.Reference
 	for _, name := range names {
-		ref, err := pipeline.BuildReference(name, opts)
+		ref, err := pipeline.BuildReferenceCtx(ctx, name, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -89,8 +90,8 @@ func (s *Suite) references(buses int) ([]*pipeline.Reference, error) {
 	return refs, nil
 }
 
-func (s *Suite) evaluate(buses int, mutate func(*pipeline.Options)) (*pipeline.SuiteResult, error) {
-	refs, err := s.references(buses)
+func (s *Suite) evaluate(ctx context.Context, buses int, mutate func(*pipeline.Options)) (*pipeline.SuiteResult, error) {
+	refs, err := s.references(ctx, buses)
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +101,7 @@ func (s *Suite) evaluate(buses int, mutate func(*pipeline.Options)) (*pipeline.S
 	if mutate != nil {
 		mutate(&opts)
 	}
-	return pipeline.EvaluateSuite(refs, opts)
+	return pipeline.EvaluateSuiteCtx(ctx, refs, opts)
 }
 
 // ---------------------------------------------------------------- Table 1
@@ -126,8 +127,10 @@ type Table2Row struct {
 
 // Table2 measures the per-class execution-time split on the reference
 // homogeneous machine with one bus (as in the paper).
-func (s *Suite) Table2() ([]Table2Row, error) {
-	refs, err := s.references(1)
+func (s *Suite) Table2() ([]Table2Row, error) { return s.table2(context.Background()) }
+
+func (s *Suite) table2(ctx context.Context) ([]Table2Row, error) {
+	refs, err := s.references(ctx, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -159,10 +162,12 @@ type Fig6 struct {
 }
 
 // Figure6 reproduces the paper's headline result.
-func (s *Suite) Figure6() (*Fig6, error) {
+func (s *Suite) Figure6() (*Fig6, error) { return s.figure6(context.Background()) }
+
+func (s *Suite) figure6(ctx context.Context) (*Fig6, error) {
 	out := &Fig6{}
 	for _, buses := range []int{1, 2} {
-		sr, err := s.evaluate(buses, nil)
+		sr, err := s.evaluate(ctx, buses, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -206,12 +211,14 @@ type Fig7Row struct {
 }
 
 // Figure7 reproduces the frequency-count sensitivity: {any, 16, 8, 4}.
-func (s *Suite) Figure7() ([]Fig7Row, error) {
+func (s *Suite) Figure7() ([]Fig7Row, error) { return s.figure7(context.Background()) }
+
+func (s *Suite) figure7(ctx context.Context) ([]Fig7Row, error) {
 	var rows []Fig7Row
 	for _, count := range []int{0, 16, 8, 4} {
 		row := Fig7Row{FreqCount: count}
 		for bi, buses := range []int{1, 2} {
-			sr, err := s.evaluate(buses, func(o *pipeline.Options) { o.FreqCount = count })
+			sr, err := s.evaluate(ctx, buses, func(o *pipeline.Options) { o.FreqCount = count })
 			if err != nil {
 				return nil, err
 			}
@@ -251,13 +258,15 @@ type Fig8Row struct {
 // Figure8 reproduces the energy-fraction sensitivity. The paper's columns:
 // .1/.25, .1/.33, .15/.3, .2/.25, .2/.3 (ICN / cache). Each variant
 // recalibrates and recomputes its own optimum homogeneous.
-func (s *Suite) Figure8() ([]Fig8Row, error) {
+func (s *Suite) Figure8() ([]Fig8Row, error) { return s.figure8(context.Background()) }
+
+func (s *Suite) figure8(ctx context.Context) ([]Fig8Row, error) {
 	pairs := [][2]float64{{0.10, 0.25}, {0.10, 1.0 / 3.0}, {0.15, 0.30}, {0.20, 0.25}, {0.20, 0.30}}
 	var rows []Fig8Row
 	for _, p := range pairs {
 		row := Fig8Row{ICN: p[0], Cache: p[1]}
 		for bi, buses := range []int{1, 2} {
-			sr, err := s.evaluate(buses, func(o *pipeline.Options) {
+			sr, err := s.evaluate(ctx, buses, func(o *pipeline.Options) {
 				fr := power.DefaultFractions()
 				fr.ICN = p[0]
 				fr.Cache = p[1]
@@ -294,7 +303,9 @@ type Fig9Row struct {
 
 // Figure9 reproduces the leakage sensitivity. The paper's columns
 // (cluster/ICN/cache): .25/.05/.6, .33/.1/.66, .4/.15/.7, .2/.1/.75.
-func (s *Suite) Figure9() ([]Fig9Row, error) {
+func (s *Suite) Figure9() ([]Fig9Row, error) { return s.figure9(context.Background()) }
+
+func (s *Suite) figure9(ctx context.Context) ([]Fig9Row, error) {
 	triples := [][3]float64{
 		{0.25, 0.05, 0.60},
 		{1.0 / 3.0, 0.10, 2.0 / 3.0},
@@ -305,7 +316,7 @@ func (s *Suite) Figure9() ([]Fig9Row, error) {
 	for _, tr := range triples {
 		row := Fig9Row{Cluster: tr[0], ICN: tr[1], Cache: tr[2]}
 		for bi, buses := range []int{1, 2} {
-			sr, err := s.evaluate(buses, func(o *pipeline.Options) {
+			sr, err := s.evaluate(ctx, buses, func(o *pipeline.Options) {
 				fr := power.DefaultFractions()
 				fr.LeakCluster = tr[0]
 				fr.LeakICN = tr[1]
@@ -346,12 +357,14 @@ type NumFastRow struct {
 // ("varying the number of fast clusters"): the Section 5 results fix one
 // fast + three slow clusters; this study re-runs selection and scheduling
 // with one, two and three performance-oriented clusters.
-func (s *Suite) NumFastStudy() ([]NumFastRow, error) {
+func (s *Suite) NumFastStudy() ([]NumFastRow, error) { return s.numFastStudy(context.Background()) }
+
+func (s *Suite) numFastStudy(ctx context.Context) ([]NumFastRow, error) {
 	var rows []NumFastRow
 	for _, nf := range []int{1, 2, 3} {
 		row := NumFastRow{NumFast: nf}
 		for bi, buses := range []int{1, 2} {
-			sr, err := s.evaluate(buses, func(o *pipeline.Options) {
+			sr, err := s.evaluate(ctx, buses, func(o *pipeline.Options) {
 				sp := confselDefaultSpace()
 				if o.Space != nil {
 					sp = *o.Space // layer onto the configured (e.g. dense) grid
@@ -390,12 +403,14 @@ type AblationRow struct {
 
 // Ablation runs the 1-bus evaluation with and without the ED²-driven
 // refinement (our addition; the paper motivates the heuristic in 4.1.2).
-func (s *Suite) Ablation() ([]AblationRow, error) {
-	aware, err := s.evaluate(1, nil)
+func (s *Suite) Ablation() ([]AblationRow, error) { return s.ablation(context.Background()) }
+
+func (s *Suite) ablation(ctx context.Context) ([]AblationRow, error) {
+	aware, err := s.evaluate(ctx, 1, nil)
 	if err != nil {
 		return nil, err
 	}
-	blind, err := s.evaluate(1, func(o *pipeline.Options) { o.EnergyAware = false })
+	blind, err := s.evaluate(ctx, 1, func(o *pipeline.Options) { o.EnergyAware = false })
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,118 @@
+// Report bundles one run's worth of evaluation artifacts into a single
+// serializable value. It exists so the CLI and the hetvliwd daemon share
+// one computation entry point ((*Suite).Run) and one renderer
+// (WriteReport): a report computed locally and a report decoded from a
+// daemon's JSON response render byte-identically, which is what makes
+// "run it here" and "run it over there" interchangeable.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+)
+
+// ArtifactNames lists the runnable artifacts in report order. "table1" is
+// static (rendered from the ISA definition, no evaluation); the rest are
+// computed by (*Suite).Run.
+var ArtifactNames = []string{
+	"table1", "table2", "fig6", "fig7", "fig8", "fig9", "numfast", "ablation",
+}
+
+// KnownArtifact reports whether name is one of ArtifactNames.
+func KnownArtifact(name string) bool {
+	for _, n := range ArtifactNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Report holds the computed artifacts of one evaluation run. Fields for
+// artifacts that were not requested stay nil and render as nothing. All
+// fields are plain data (no graphs, schedules or engines), so a report
+// round-trips through JSON without loss.
+type Report struct {
+	Table2   []Table2Row   `json:"table2,omitempty"`
+	Fig6     *Fig6         `json:"fig6,omitempty"`
+	Fig7     []Fig7Row     `json:"fig7,omitempty"`
+	Fig8     []Fig8Row     `json:"fig8,omitempty"`
+	Fig9     []Fig9Row     `json:"fig9,omitempty"`
+	NumFast  []NumFastRow  `json:"numfast,omitempty"`
+	Ablation []AblationRow `json:"ablation,omitempty"`
+}
+
+// Run computes every artifact enabled selects (nil enables all),
+// checking ctx between artifacts and threading it through the pipeline,
+// selection sweeps and the exploration engine below, so a cancelled
+// request stops scheduling instead of running the suite to completion.
+func (s *Suite) Run(ctx context.Context, enabled func(string) bool) (*Report, error) {
+	if enabled == nil {
+		enabled = func(string) bool { return true }
+	}
+	r := &Report{}
+	steps := []struct {
+		name string
+		fill func(context.Context) error
+	}{
+		{"table2", func(ctx context.Context) (err error) { r.Table2, err = s.table2(ctx); return }},
+		{"fig6", func(ctx context.Context) (err error) { r.Fig6, err = s.figure6(ctx); return }},
+		{"fig7", func(ctx context.Context) (err error) { r.Fig7, err = s.figure7(ctx); return }},
+		{"fig8", func(ctx context.Context) (err error) { r.Fig8, err = s.figure8(ctx); return }},
+		{"fig9", func(ctx context.Context) (err error) { r.Fig9, err = s.figure9(ctx); return }},
+		{"numfast", func(ctx context.Context) (err error) { r.NumFast, err = s.numFastStudy(ctx); return }},
+		{"ablation", func(ctx context.Context) (err error) { r.Ablation, err = s.ablation(ctx); return }},
+	}
+	for _, st := range steps {
+		if !enabled(st.name) {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := st.fill(ctx); err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", st.name, err)
+		}
+	}
+	return r, nil
+}
+
+// WriteReport renders a report exactly as `experiments run` prints it:
+// each enabled artifact's table followed by a blank line, in
+// ArtifactNames order. "table1" is rendered from the static ISA
+// definition when enabled (it never travels in a Report). Artifacts the
+// report does not carry are skipped, so a partial report renders its
+// subset.
+func WriteReport(w io.Writer, r *Report, enabled func(string) bool) {
+	if enabled == nil {
+		enabled = func(string) bool { return true }
+	}
+	if enabled("table1") {
+		fmt.Fprintln(w, Table1String())
+	}
+	if r == nil {
+		return
+	}
+	if r.Table2 != nil && enabled("table2") {
+		fmt.Fprintln(w, FormatTable2(r.Table2))
+	}
+	if r.Fig6 != nil && enabled("fig6") {
+		fmt.Fprintln(w, r.Fig6.String())
+	}
+	if r.Fig7 != nil && enabled("fig7") {
+		fmt.Fprintln(w, FormatFig7(r.Fig7))
+	}
+	if r.Fig8 != nil && enabled("fig8") {
+		fmt.Fprintln(w, FormatFig8(r.Fig8))
+	}
+	if r.Fig9 != nil && enabled("fig9") {
+		fmt.Fprintln(w, FormatFig9(r.Fig9))
+	}
+	if r.NumFast != nil && enabled("numfast") {
+		fmt.Fprintln(w, FormatNumFast(r.NumFast))
+	}
+	if r.Ablation != nil && enabled("ablation") {
+		fmt.Fprintln(w, FormatAblation(r.Ablation))
+	}
+}

@@ -1,0 +1,157 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForEachCtxCancelled: a cancelled context stops dispatch and
+// surfaces ctx.Err() at every parallelism level.
+func TestForEachCtxCancelled(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		e := New(par)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var ran atomic.Int64
+		err := e.ForEachCtx(ctx, 1000, func(int) { ran.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("par=%d: err = %v, want Canceled", par, err)
+		}
+		if ran.Load() == 1000 {
+			t.Errorf("par=%d: cancelled dispatch still ran every index", par)
+		}
+	}
+}
+
+// TestForEachCtxComplete: an un-cancelled context behaves exactly like
+// ForEach, covering every index once.
+func TestForEachCtxComplete(t *testing.T) {
+	e := New(4)
+	ctx := context.Background()
+	seen := make([]atomic.Int64, 100)
+	if err := e.ForEachCtx(ctx, len(seen), func(i int) { seen[i].Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("index %d ran %d times", i, seen[i].Load())
+		}
+	}
+}
+
+// TestMemoizeCtxWaiterUnblocks: a waiter on an in-flight computation
+// returns its own context's error instead of blocking for the result.
+func TestMemoizeCtxWaiterUnblocks(t *testing.T) {
+	e := New(2)
+	key := NewDigest("test-waiter").Key()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_, _ = MemoizeCtx(context.Background(), e, key, func(context.Context) (int, error) {
+			close(started)
+			<-release
+			return 42, nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := MemoizeCtx(ctx, e, key, func(context.Context) (int, error) { return 0, nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter err = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	// The original computation still completes and is served from cache.
+	v, err := Memoize(e, key, func() (int, error) { t.Error("recompute after hit"); return 0, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("post-wait lookup = (%v, %v), want (42, nil)", v, err)
+	}
+}
+
+// TestMemoizeCtxCancelledNotCached: a computation aborted by its own
+// context is evicted, so the key stays computable for later callers —
+// cancellation must never poison the cache.
+func TestMemoizeCtxCancelledNotCached(t *testing.T) {
+	e := New(2)
+	key := NewDigest("test-evict").Key()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MemoizeCtx(ctx, e, key, func(ctx context.Context) (int, error) {
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled compute err = %v", err)
+	}
+	v, err := Memoize(e, key, func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("recompute after eviction = (%v, %v), want (7, nil)", v, err)
+	}
+	// Real errors, by contrast, stay memoised (deterministic in the key).
+	ekey := NewDigest("test-err").Key()
+	boom := errors.New("infeasible")
+	if _, err := Memoize(e, ekey, func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if _, err := Memoize(e, ekey, func() (int, error) { t.Error("recomputed cached error"); return 0, nil }); !errors.Is(err, boom) {
+		t.Fatalf("cached error lookup = %v", err)
+	}
+}
+
+// TestMapCtx: results arrive in index order, or not at all on cancel.
+func TestMapCtx(t *testing.T) {
+	e := New(4)
+	out, err := MapCtx(context.Background(), e, 10, func(i int) int { return i * i })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MapCtx(ctx, e, 10, func(i int) int { return i }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled MapCtx err = %v", err)
+	}
+}
+
+// TestMemoizeCtxWaiterSurvivesClaimantCancel: when the claimant's own
+// context dies mid-computation, a waiter whose context is still live
+// must not inherit the cancellation — it retries and gets a real value.
+func TestMemoizeCtxWaiterSurvivesClaimantCancel(t *testing.T) {
+	e := New(2)
+	key := NewDigest("test-retry").Key()
+	claimStarted := make(chan struct{})
+	claimRelease := make(chan struct{})
+	cctx, ccancel := context.WithCancel(context.Background())
+	go func() {
+		_, _ = MemoizeCtx(cctx, e, key, func(ctx context.Context) (int, error) {
+			close(claimStarted)
+			<-claimRelease
+			return 0, ctx.Err() // the claimant observes its own cancellation
+		})
+	}()
+	<-claimStarted
+
+	type res struct {
+		v   int
+		err error
+	}
+	got := make(chan res, 1)
+	go func() {
+		v, err := MemoizeCtx(context.Background(), e, key,
+			func(context.Context) (int, error) { return 42, nil })
+		got <- res{v, err}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter join the flight
+	ccancel()
+	close(claimRelease)
+	r := <-got
+	if r.err != nil || r.v != 42 {
+		t.Fatalf("waiter got (%v, %v), want (42, nil) — claimant cancellation leaked", r.v, r.err)
+	}
+}

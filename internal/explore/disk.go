@@ -13,6 +13,7 @@
 package explore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -112,10 +113,18 @@ type Codec[T any] struct {
 // point stays infeasible for this process, but is re-examined by the next
 // one (feasibility may be build-dependent).
 func MemoizeDurable[T any](e *Engine, key Key, c Codec[T], fn func() (T, error)) (T, error) {
+	return MemoizeDurableCtx(context.Background(), e, key, c,
+		func(context.Context) (T, error) { return fn() })
+}
+
+// MemoizeDurableCtx is MemoizeDurable with cancellation, with the same
+// semantics as MemoizeCtx: waiters unblock when their context expires, and
+// a computation aborted by its own context is evicted rather than cached.
+func MemoizeDurableCtx[T any](ctx context.Context, e *Engine, key Key, c Codec[T], fn func(context.Context) (T, error)) (T, error) {
 	if e.disk == nil {
-		return Memoize(e, key, fn)
+		return MemoizeCtx(ctx, e, key, fn)
 	}
-	v, err := e.memoTiered(key,
+	v, err := e.memoTiered(ctx, key,
 		func() (any, bool) {
 			data, ok := e.disk.load(key)
 			if !ok {
@@ -132,7 +141,7 @@ func MemoizeDurable[T any](e *Engine, key Key, c Codec[T], fn func() (T, error))
 				e.diskWrites.Add(1)
 			}
 		},
-		func() (any, error) { return fn() })
+		func() (any, error) { return fn(ctx) })
 	if err != nil {
 		var zero T
 		return zero, err
@@ -161,37 +170,76 @@ func decodeEntry[T any](c Codec[T], data []byte) (T, error) {
 // load/store: memory then fn) and MemoizeDurable (disk tier plugged in:
 // memory, then load, then fn, with store persisting fresh values).
 // Exactly one goroutine per key runs load/fn; the others share the
-// result.
-func (e *Engine) memoTiered(key Key, load func() (any, bool),
+// result. Waiters whose ctx expires unblock with ctx.Err(); the claimant
+// always finishes the entry, but a result poisoned by its own context's
+// cancellation is evicted instead of cached, and waiters whose own
+// context is still live retry — one request's cancellation never
+// answers another's lookup.
+func (e *Engine) memoTiered(ctx context.Context, key Key, load func() (any, bool),
 	store func(any), fn func() (any, error)) (any, error) {
-	if v, ok := e.cache.Load(key); ok {
-		ent := v.(*entry)
-		<-ent.done
-		e.hits.Add(1)
-		return ent.val, ent.err
-	}
-	ent := &entry{done: make(chan struct{})}
-	if v, raced := e.cache.LoadOrStore(key, ent); raced {
-		ent := v.(*entry)
-		<-ent.done
-		e.hits.Add(1)
-		return ent.val, ent.err
-	}
-	if load != nil {
-		if v, ok := load(); ok {
-			e.diskHits.Add(1)
-			ent.val = v
-			close(ent.done)
-			return ent.val, nil
+	done := ctx.Done()
+	for {
+		var ent *entry
+		if v, ok := e.cache.Load(key); ok {
+			ent = v.(*entry)
+		} else {
+			fresh := &entry{done: make(chan struct{})}
+			if v, raced := e.cache.LoadOrStore(key, fresh); raced {
+				ent = v.(*entry)
+			} else {
+				// Claimant: compute (or load) and publish.
+				if load != nil {
+					if v, ok := load(); ok {
+						e.diskHits.Add(1)
+						fresh.val = v
+						close(fresh.done)
+						return fresh.val, nil
+					}
+				}
+				e.misses.Add(1)
+				fresh.val, fresh.err = fn()
+				switch {
+				case isCtxErr(fresh.err):
+					// Cancellation is a property of this request, not of
+					// the key: evict so the key stays computable.
+					e.cache.Delete(key)
+				case fresh.err == nil && store != nil:
+					store(fresh.val)
+				}
+				close(fresh.done)
+				return fresh.val, fresh.err
+			}
 		}
+		// Waiter: share the in-flight result, bounded by our own ctx.
+		if done != nil {
+			select {
+			case <-ent.done:
+			case <-done:
+				return nil, ctx.Err()
+			}
+		} else {
+			<-ent.done
+		}
+		if isCtxErr(ent.err) {
+			// The claimant's context died, not ours; its entry was
+			// evicted. Retry: recompute or join the replacement flight.
+			if done != nil {
+				select {
+				case <-done:
+					return nil, ctx.Err()
+				default:
+				}
+			}
+			continue
+		}
+		e.hits.Add(1)
+		return ent.val, ent.err
 	}
-	e.misses.Add(1)
-	ent.val, ent.err = fn()
-	if ent.err == nil && store != nil {
-		store(ent.val)
-	}
-	close(ent.done)
-	return ent.val, ent.err
+}
+
+// isCtxErr reports whether err is a context cancellation or deadline.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // DiskStats describes a cache directory: entry count and total bytes.

@@ -21,6 +21,7 @@
 package explore
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -101,21 +102,20 @@ type entry struct {
 	err  error
 }
 
-// memo returns the cached value for key, computing it with fn on a miss.
-// Concurrent callers with the same key compute once (single-flight).
-// Errors are cached too: the computations routed through the engine are
-// deterministic in their key, so an infeasible design point stays
-// infeasible. The disk tier (MemoizeDurable) shares the same lookup with
-// a load/store pair plugged in.
-func (e *Engine) memo(key Key, fn func() (any, error)) (any, error) {
-	return e.memoTiered(key, nil, nil, fn)
-}
-
 // Memoize is the typed front of the engine's cache: it returns the value
 // for key, computing it with fn on a miss. All callers of one key must
 // store the same concrete type.
 func Memoize[T any](e *Engine, key Key, fn func() (T, error)) (T, error) {
-	v, err := e.memo(key, func() (any, error) { return fn() })
+	return MemoizeCtx(context.Background(), e, key, func(context.Context) (T, error) { return fn() })
+}
+
+// MemoizeCtx is Memoize with cancellation: a caller whose context expires
+// while waiting on an in-flight computation of the same key unblocks with
+// the context's error, and a computation whose own context is cancelled is
+// evicted instead of cached (cancellation is a property of the request,
+// not of the key — the next caller recomputes).
+func MemoizeCtx[T any](ctx context.Context, e *Engine, key Key, fn func(context.Context) (T, error)) (T, error) {
+	v, err := e.memoTiered(ctx, key, nil, nil, func() (any, error) { return fn(ctx) })
 	if err != nil {
 		var zero T
 		return zero, err
@@ -128,15 +128,33 @@ func Memoize[T any](e *Engine, key Key, fn func() (T, error)) (T, error) {
 // caller then reduces in index order, which is what keeps the overall
 // computation independent of the parallelism level.
 func (e *Engine) ForEach(n int, fn func(int)) {
+	// Background never cancels, so the error is always nil.
+	_ = e.ForEachCtx(context.Background(), n, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: once ctx is done, no further
+// indices are dispatched and ctx.Err() is returned after the in-flight
+// fn calls drain. Indices already dispatched always complete, so slots the
+// caller reduces over are either fully written or untouched. A nil-Done
+// context (context.Background/TODO) takes the uninstrumented fast path.
+func (e *Engine) ForEachCtx(ctx context.Context, n int, fn func(int)) error {
 	p := e.parallelism
 	if p > n {
 		p = n
 	}
+	done := ctx.Done()
 	if p <= 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -149,11 +167,24 @@ func (e *Engine) ForEach(n int, fn func(int)) {
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
+	cancelled := false
+	for i := 0; i < n && !cancelled; i++ {
+		if done == nil {
+			next <- i
+			continue
+		}
+		select {
+		case next <- i:
+		case <-done:
+			cancelled = true
+		}
 	}
 	close(next)
 	wg.Wait()
+	if cancelled {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Map evaluates fn over [0, n) on the worker pool and returns the results
@@ -163,4 +194,14 @@ func Map[T any](e *Engine, n int, fn func(int) T) []T {
 	out := make([]T, n)
 	e.ForEach(n, func(i int) { out[i] = fn(i) })
 	return out
+}
+
+// MapCtx is Map with cancellation: it returns ctx.Err() (and no results)
+// if ctx expires before every index is dispatched and drained.
+func MapCtx[T any](ctx context.Context, e *Engine, n int, fn func(int) T) ([]T, error) {
+	out := make([]T, n)
+	if err := e.ForEachCtx(ctx, n, func(i int) { out[i] = fn(i) }); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

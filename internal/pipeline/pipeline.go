@@ -16,6 +16,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -162,29 +163,40 @@ type Reference struct {
 // BuildReference fetches the named benchmark from the corpus and performs
 // the reference homogeneous run.
 func BuildReference(name string, opts Options) (*Reference, error) {
+	return BuildReferenceCtx(context.Background(), name, opts)
+}
+
+// BuildReferenceCtx is BuildReference with cancellation: loop scheduling
+// stops dispatching once ctx is done and the context's error is returned.
+func BuildReferenceCtx(ctx context.Context, name string, opts Options) (*Reference, error) {
 	opts = opts.withDefaults()
 	bench, err := opts.Corpus.Benchmark(name)
 	if err != nil {
 		return nil, err
 	}
-	return BuildReferenceBench(bench, opts)
+	return BuildReferenceBenchCtx(ctx, bench, opts)
 }
 
 // BuildReferenceBench performs the reference homogeneous run for an
 // already-materialized benchmark (generated, or imported from a corpus
 // artifact — content-identical benchmarks produce identical references).
 func BuildReferenceBench(bench loopgen.Benchmark, opts Options) (*Reference, error) {
+	return BuildReferenceBenchCtx(context.Background(), bench, opts)
+}
+
+// BuildReferenceBenchCtx is BuildReferenceBench with cancellation.
+func BuildReferenceBenchCtx(ctx context.Context, bench loopgen.Benchmark, opts Options) (*Reference, error) {
 	opts = opts.withDefaults()
 	cfg := machine.ReferenceConfig(opts.Buses)
 
 	outs := make([]refLoopOut, len(bench.Loops))
 	errs := make([]error, len(bench.Loops))
-	opts.Engine.ForEach(len(bench.Loops), func(i int) {
+	ferr := opts.Engine.ForEachCtx(ctx, len(bench.Loops), func(i int) {
 		l := bench.Loops[i]
 		cost := partition.DefaultCost(cfg.Arch.NumClusters())
 		cost.Iterations = float64(l.Iterations)
 		key := loopRunKey("ref-loop", opts.Engine, cfg, l.Graph, cost, opts.EnergyAware, l.Iterations, l.Weight)
-		outs[i], errs[i] = explore.MemoizeDurable(opts.Engine, key, refLoopCodec, func() (refLoopOut, error) {
+		outs[i], errs[i] = explore.MemoizeDurableCtx(ctx, opts.Engine, key, refLoopCodec, func(context.Context) (refLoopOut, error) {
 			sc := scratchPool.Get()
 			defer scratchPool.Put(sc)
 			res, err := core.ScheduleLoop(l.Graph, cfg, cost, core.Options{
@@ -232,6 +244,9 @@ func BuildReferenceBench(bench loopgen.Benchmark, opts Options) (*Reference, err
 		// caller's own graph is always the right one to expose.
 		outs[i].prof.Graph = l.Graph
 	})
+	if ferr != nil {
+		return nil, ferr
+	}
 	ref := &Reference{Bench: bench, Arch: cfg.Arch}
 	agg := power.RunCounts{InsUnits: make([]float64, cfg.Arch.NumClusters())}
 	var loops []confsel.LoopProfile
@@ -281,6 +296,12 @@ type SuiteResult struct {
 // whole suite, and evaluates every benchmark's heterogeneous selection
 // against it.
 func EvaluateSuite(refs []*Reference, opts Options) (*SuiteResult, error) {
+	return EvaluateSuiteCtx(context.Background(), refs, opts)
+}
+
+// EvaluateSuiteCtx is EvaluateSuite with cancellation: selection sweeps
+// and heterogeneous loop scheduling stop dispatching once ctx is done.
+func EvaluateSuiteCtx(ctx context.Context, refs []*Reference, opts Options) (*SuiteResult, error) {
 	opts = opts.withDefaults()
 	if len(refs) == 0 {
 		return nil, fmt.Errorf("pipeline: no references")
@@ -307,13 +328,13 @@ func EvaluateSuite(refs []*Reference, opts Options) (*SuiteResult, error) {
 		return nil, err
 	}
 	suiteProf := confsel.ProfileFromLoops("suite", nil, agg)
-	homSel, err := confsel.OptimumHomogeneousEx(opts.Engine, arch, suiteProf, cal, model, space)
+	homSel, err := confsel.OptimumHomogeneousCtx(ctx, opts.Engine, arch, suiteProf, cal, model, space)
 	if err != nil {
 		return nil, err
 	}
 	out := &SuiteResult{HomPeriod: homSel.FastPeriod}
 	for _, ref := range refs {
-		br, err := evaluateOne(ref, opts, cal, homSel)
+		br, err := evaluateOne(ctx, ref, opts, cal, homSel)
 		if err != nil {
 			return nil, err
 		}
@@ -327,7 +348,12 @@ func EvaluateSuite(refs []*Reference, opts Options) (*SuiteResult, error) {
 // benchmark alone (useful for unit tests; the experiments use
 // EvaluateSuite so all benchmarks share one homogeneous design).
 func Evaluate(ref *Reference, opts Options) (*BenchmarkResult, error) {
-	sr, err := EvaluateSuite([]*Reference{ref}, opts)
+	return EvaluateCtx(context.Background(), ref, opts)
+}
+
+// EvaluateCtx is Evaluate with cancellation.
+func EvaluateCtx(ctx context.Context, ref *Reference, opts Options) (*BenchmarkResult, error) {
+	sr, err := EvaluateSuiteCtx(ctx, []*Reference{ref}, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -336,7 +362,7 @@ func Evaluate(ref *Reference, opts Options) (*BenchmarkResult, error) {
 
 // evaluateOne measures one benchmark against a fixed calibration and
 // homogeneous baseline.
-func evaluateOne(ref *Reference, opts Options, cal *power.Calibration,
+func evaluateOne(ctx context.Context, ref *Reference, opts Options, cal *power.Calibration,
 	homSel *confsel.Selection) (*BenchmarkResult, error) {
 	arch := ref.Arch
 	model := power.DefaultAlphaModel()
@@ -373,7 +399,7 @@ func evaluateOne(ref *Reference, opts Options, cal *power.Calibration,
 	res.HomOpt.ED2 = power.ED2(res.HomOpt.Energy, res.HomOpt.Seconds)
 
 	// Heterogeneous selection + measured run.
-	hetSel, err := confsel.SelectHeterogeneousEx(opts.Engine, arch, ref.Profile, cal, model, space)
+	hetSel, err := confsel.SelectHeterogeneousCtx(ctx, opts.Engine, arch, ref.Profile, cal, model, space)
 	if err != nil {
 		return nil, err
 	}
@@ -406,7 +432,7 @@ func evaluateOne(ref *Reference, opts Options, cal *power.Calibration,
 	loops := ref.Bench.Loops
 	outs := make([]hetLoopOut, len(loops))
 	errs := make([]error, len(loops))
-	opts.Engine.ForEach(len(loops), func(i int) {
+	ferr := opts.Engine.ForEachCtx(ctx, len(loops), func(i int) {
 		l := loops[i]
 		cost := partition.CostParams{
 			DeltaCluster: hetSel.Scales.Delta[:arch.NumClusters()],
@@ -422,7 +448,7 @@ func evaluateOne(ref *Reference, opts Options, cal *power.Calibration,
 		// simulation, so it stays out of the key: content-identical loops
 		// with different weights share one cache entry.
 		key := loopRunKey("het-loop", opts.Engine, hetCfg, l.Graph, cost, opts.EnergyAware, l.Iterations, 0)
-		outs[i], errs[i] = explore.MemoizeDurable(opts.Engine, key, hetLoopCodec, func() (hetLoopOut, error) {
+		outs[i], errs[i] = explore.MemoizeDurableCtx(ctx, opts.Engine, key, hetLoopCodec, func(context.Context) (hetLoopOut, error) {
 			sc := scratchPool.Get()
 			defer scratchPool.Put(sc)
 			sres, err := core.ScheduleLoop(l.Graph, hetCfg, cost, core.Options{
@@ -439,6 +465,9 @@ func evaluateOne(ref *Reference, opts Options, cal *power.Calibration,
 			return hetLoopOut{counts: r.Counts, texecS: r.Texec.Seconds(), syncInc: sres.SyncIncreases}, nil
 		})
 	})
+	if ferr != nil {
+		return nil, ferr
+	}
 	agg := power.RunCounts{InsUnits: make([]float64, arch.NumClusters())}
 	for i := range outs {
 		if errs[i] != nil {
@@ -470,15 +499,26 @@ func evaluateOne(ref *Reference, opts Options, cal *power.Calibration,
 
 // RunBenchmark is BuildReference + Evaluate.
 func RunBenchmark(name string, opts Options) (*BenchmarkResult, error) {
-	ref, err := BuildReference(name, opts)
+	return RunBenchmarkCtx(context.Background(), name, opts)
+}
+
+// RunBenchmarkCtx is RunBenchmark with cancellation.
+func RunBenchmarkCtx(ctx context.Context, name string, opts Options) (*BenchmarkResult, error) {
+	ref, err := BuildReferenceCtx(ctx, name, opts)
 	if err != nil {
 		return nil, err
 	}
-	return Evaluate(ref, opts)
+	return EvaluateCtx(ctx, ref, opts)
 }
 
 // RunSuite evaluates every benchmark of the configured corpus.
 func RunSuite(opts Options) ([]*BenchmarkResult, error) {
+	return RunSuiteCtx(context.Background(), opts)
+}
+
+// RunSuiteCtx is RunSuite with cancellation, checked between benchmarks
+// and threaded into every layer below.
+func RunSuiteCtx(ctx context.Context, opts Options) ([]*BenchmarkResult, error) {
 	opts = opts.withDefaults()
 	names, err := opts.Corpus.BenchmarkNames()
 	if err != nil {
@@ -486,7 +526,7 @@ func RunSuite(opts Options) ([]*BenchmarkResult, error) {
 	}
 	var out []*BenchmarkResult
 	for _, name := range names {
-		r, err := RunBenchmark(name, opts)
+		r, err := RunBenchmarkCtx(ctx, name, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,177 @@
+// Typed client for the hetvliwd daemon. The client speaks exactly the
+// wire types of types.go, so anything computed remotely decodes into the
+// same values a local run produces — cmd/experiments renders both through
+// one code path and the bytes match.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Client talks to a hetvliwd daemon.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:8080"). Request lifetimes are governed by the
+// caller's context, not a client-wide timeout.
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// do issues one request and decodes the JSON response into out.
+func (c *Client) do(ctx context.Context, method, path string, q url.Values, body []byte, out any) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return fmt.Errorf("service client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("service client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("service client: read response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("service client: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("service client: HTTP %d", resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("service client: decode response: %w", err)
+	}
+	return nil
+}
+
+// Healthz checks daemon liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	var h Health
+	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil, &h); err != nil {
+		return err
+	}
+	if !h.OK {
+		return fmt.Errorf("service client: daemon reports not ok")
+	}
+	return nil
+}
+
+// Stats fetches the daemon's cache and request counters.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var st Stats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Schedule uploads a corpus artifact and returns every loop's schedule
+// summary and simulated time on the requested machine.
+func (c *Client) Schedule(ctx context.Context, corpus []byte, o ScheduleOptions) (*ScheduleResponse, error) {
+	q := url.Values{}
+	setInt(q, "buses", o.Buses)
+	setInt64(q, "fast", o.FastPs)
+	setInt64(q, "slow", o.SlowPs)
+	setInt(q, "numfast", o.NumFast)
+	var out ScheduleResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/schedule", q, corpus, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Evaluate uploads a corpus artifact and runs the full pipeline.
+func (c *Client) Evaluate(ctx context.Context, corpus []byte, o EvaluateOptions) (*EvaluateResponse, error) {
+	q := url.Values{}
+	if o.Bench != "" {
+		q.Set("bench", o.Bench)
+	}
+	setInt(q, "buses", o.Buses)
+	setInt(q, "freqs", o.FreqCount)
+	var out EvaluateResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/evaluate", q, corpus, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Suite computes the experiments report remotely.
+func (c *Client) Suite(ctx context.Context, req SuiteRequest) (*SuiteResponse, error) {
+	q := url.Values{}
+	if req.Family != "" {
+		q.Set("family", req.Family)
+	}
+	setInt(q, "loops", req.Loops)
+	if len(req.Only) > 0 {
+		q.Set("only", strings.Join(req.Only, ","))
+	}
+	if req.Dense {
+		q.Set("dense", "1")
+	}
+	var out SuiteResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/suite", q, req.Corpus, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Select uploads a corpus artifact and returns the Section 3 selections
+// for one benchmark.
+func (c *Client) Select(ctx context.Context, corpus []byte, o SelectOptions) (*SelectResponse, error) {
+	q := url.Values{}
+	if o.Bench != "" {
+		q.Set("bench", o.Bench)
+	}
+	setInt(q, "buses", o.Buses)
+	if o.Dense {
+		q.Set("dense", "1")
+	}
+	var out SelectResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/select", q, corpus, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// setInt sets a positive integer parameter (zero = server default).
+func setInt(q url.Values, name string, v int) {
+	if v > 0 {
+		q.Set(name, strconv.Itoa(v))
+	}
+}
+
+// setInt64 sets a positive integer parameter (zero = server default).
+func setInt64(q url.Values, name string, v int64) {
+	if v > 0 {
+		q.Set(name, strconv.FormatInt(v, 10))
+	}
+}

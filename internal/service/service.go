@@ -1,0 +1,694 @@
+// Package service turns the evaluation pipeline into a long-running
+// HTTP/JSON daemon — evaluation as a service. One shared exploration
+// engine (with its disk-persistent cache tier) backs every request, so
+// concurrent and repeated requests share scheduling, simulation and MIT
+// analysis work at the design-point level; identical in-flight requests
+// additionally collapse onto one computation (singleflight.go).
+//
+// Endpoints (all under /v1):
+//
+//	POST /v1/schedule  schedule+simulate every loop of an uploaded corpus
+//	POST /v1/evaluate  full per-benchmark pipeline over an uploaded corpus
+//	POST /v1/suite     the experiments report (tables/figures) over an
+//	                   uploaded corpus or a synthetic family
+//	POST /v1/select    Section 3 configuration selection for one benchmark
+//	GET  /v1/healthz   liveness
+//	GET  /v1/stats     engine cache counters + request accounting
+//
+// Concurrency model: requests are admitted into a bounded job queue
+// (Workers executing, QueueDepth waiting, 503 beyond that). Every job
+// runs under a context cancelled by client disconnect, the optional
+// `timeout_ms` query parameter, or server shutdown; cancellation
+// propagates through the pipeline into the exploration engine, which
+// stops dispatching loops and design points.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/clock"
+	"repro/internal/confsel"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/explore"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+	"repro/internal/partition"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// maxBodyBytes bounds uploaded artifact bodies (64 MiB).
+const maxBodyBytes = 64 << 20
+
+// errShutdown cancels request contexts when the server closes.
+var errShutdown = errors.New("service: shutting down")
+
+// Config sizes a Server.
+type Config struct {
+	// Parallelism bounds the shared engine's worker pool (0 = NumCPU).
+	Parallelism int
+	// CacheDir enables the engine's disk-persistent cache tier ("" =
+	// memory-only); requests warm it for future processes and daemons.
+	CacheDir string
+	// Workers bounds concurrently executing jobs (default 2). A job is
+	// one deduplicated request computation; each job still fans out over
+	// the engine's worker pool internally.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker (default 4×Workers);
+	// beyond it requests are rejected with 503.
+	QueueDepth int
+	// Engine overrides Parallelism/CacheDir with a pre-built engine
+	// (shared with other in-process users, e.g. tests).
+	Engine *explore.Engine
+}
+
+// Server is the evaluation daemon: an http.Handler plus the shared state
+// behind it. Construct with New; shut down with Close.
+type Server struct {
+	cfg   Config
+	eng   *explore.Engine
+	mux   *http.ServeMux
+	start time.Time
+
+	root context.Context
+	stop context.CancelCauseFunc
+
+	flights *flightGroup
+	slots   chan struct{}
+	queued  atomic.Int64
+
+	requests  atomic.Uint64
+	deduped   atomic.Uint64
+	computed  atomic.Uint64
+	rejected  atomic.Uint64
+	cancelled atomic.Uint64
+	inflight  atomic.Int64
+
+	scratch *explore.Pool[*schedScratch]
+}
+
+// schedScratch bundles the reusable arenas of one /v1/schedule loop.
+type schedScratch struct {
+	sched modsched.Scratch
+	sim   sim.Scratch
+}
+
+// New builds a Server. The returned server is ready to serve; callers
+// own the http.Server (or httptest.Server) wrapping it.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	eng := cfg.Engine
+	if eng == nil {
+		var err error
+		if eng, err = explore.NewDisk(cfg.Parallelism, cfg.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+	root, stop := context.WithCancelCause(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		eng:     eng,
+		start:   time.Now(),
+		root:    root,
+		stop:    stop,
+		flights: newFlightGroup(),
+		slots:   make(chan struct{}, cfg.Workers),
+		scratch: explore.NewPool(func() *schedScratch { return new(schedScratch) }),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/schedule", s.jobHandler("schedule", s.runSchedule))
+	s.mux.HandleFunc("POST /v1/evaluate", s.jobHandler("evaluate", s.runEvaluate))
+	s.mux.HandleFunc("POST /v1/suite", s.jobHandler("suite", s.runSuite))
+	s.mux.HandleFunc("POST /v1/select", s.jobHandler("select", s.runSelect))
+	return s, nil
+}
+
+// Engine exposes the shared exploration engine (tests compare its
+// counters against request mixes).
+func (s *Server) Engine() *explore.Engine { return s.eng }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close cancels every in-flight request (they return promptly with 503)
+// and waits — up to ctx — for executing jobs to drain.
+func (s *Server) Close(ctx context.Context) error {
+	s.stop(errShutdown)
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- plumbing
+
+// httpError is an error with a protocol status. Handlers return it to
+// choose the code; anything else maps to 500 (or 503/504 for context
+// errors).
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// badRequest builds a 400 with a one-line message.
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// errToStatus maps an error to its HTTP status and one-line message.
+func errToStatus(err error) (int, string) {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he.code, he.msg
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline exceeded"
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, "request cancelled"
+	default:
+		return http.StatusInternalServerError, firstLine(err.Error())
+	}
+}
+
+// firstLine truncates an error message to its first line.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// errorBody renders an error as (status, JSON body).
+func errorBody(err error) (int, []byte) {
+	code, msg := errToStatus(err)
+	b, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	return code, append(b, '\n')
+}
+
+// okBody renders a value as (200, JSON body); a marshal failure (which
+// deterministic plain-data responses never produce) reports as 500.
+func okBody(v any) (int, []byte) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return errorBody(fmt.Errorf("encode response: %w", err))
+	}
+	return http.StatusOK, append(b, '\n')
+}
+
+// requestKey content-addresses one request: endpoint, canonical query
+// parameters (sorted, with the wait-only timeout_ms stripped — waiters
+// with different patience still share one computation) and the uploaded
+// body bytes.
+func requestKey(kind string, q url.Values, body []byte) artifact.Key {
+	cq := url.Values{}
+	for k, vs := range q {
+		if k == "timeout_ms" {
+			continue
+		}
+		cq[k] = vs
+	}
+	d := artifact.NewDigest("service:" + kind)
+	d.Str(cq.Encode()) // Encode sorts keys: canonical across clients
+	d.Int(int64(len(body)))
+	return artifact.HashBytes(string(d.Key()), body)
+}
+
+// requestCtx derives a job context from the request: cancelled by client
+// disconnect, by `timeout_ms`, and by server shutdown.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	ctx, cancel := context.WithCancelCause(r.Context())
+	unlink := context.AfterFunc(s.root, func() { cancel(errShutdown) })
+	cleanup := func() { unlink(); cancel(nil) }
+	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+		ms, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || ms <= 0 {
+			cleanup()
+			return nil, nil, badRequest("invalid timeout_ms %q", raw)
+		}
+		tctx, tcancel := context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		return tctx, func() { tcancel(); cleanup() }, nil
+	}
+	return ctx, cleanup, nil
+}
+
+// jobHandler wraps one compute endpoint with the shared request plumbing:
+// body read, content-keyed singleflight, bounded job queue, context
+// wiring and error mapping.
+func (s *Server) jobHandler(kind string, run func(ctx context.Context, body []byte, q url.Values) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			st, b := errorBody(badRequest("read body: %s", firstLine(err.Error())))
+			writeJSON(w, st, b)
+			return
+		}
+		ctx, cancel, err := s.requestCtx(r)
+		if err != nil {
+			st, b := errorBody(err)
+			writeJSON(w, st, b)
+			return
+		}
+		defer cancel()
+		q := r.URL.Query()
+		status, respBody, joined, err := s.flights.do(ctx, s.root, requestKey(kind, q, body),
+			func(fctx context.Context) (int, []byte) {
+				s.computed.Add(1)
+				return s.withSlot(fctx, body, q, run)
+			})
+		if joined {
+			s.deduped.Add(1)
+		}
+		if err != nil {
+			s.cancelled.Add(1)
+			st, b := errorBody(err)
+			writeJSON(w, st, b)
+			return
+		}
+		writeJSON(w, status, respBody)
+	}
+}
+
+// withSlot admits one job into the bounded queue and runs it on a worker
+// slot: Workers executing, at most QueueDepth waiting, 503 beyond that —
+// the daemon sheds load instead of stacking unbounded work.
+func (s *Server) withSlot(ctx context.Context, body []byte, q url.Values,
+	run func(ctx context.Context, body []byte, q url.Values) (any, error)) (int, []byte) {
+	select {
+	case s.slots <- struct{}{}:
+		// A worker is free: execute immediately, no queueing.
+	default:
+		// All workers busy: wait, bounded by QueueDepth.
+		if n := s.queued.Add(1); n > int64(s.cfg.QueueDepth) {
+			s.queued.Add(-1)
+			s.rejected.Add(1)
+			return errorBody(&httpError{code: http.StatusServiceUnavailable, msg: "job queue full"})
+		}
+		select {
+		case s.slots <- struct{}{}:
+			s.queued.Add(-1)
+		case <-ctx.Done():
+			s.queued.Add(-1)
+			return errorBody(ctx.Err())
+		}
+	}
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		<-s.slots
+	}()
+	v, err := run(ctx, body, q)
+	if err != nil {
+		return errorBody(err)
+	}
+	return okBody(v)
+}
+
+// writeJSON writes a JSON response body with its status.
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body) // a failed write means the client is gone
+}
+
+// ------------------------------------------------------------- read-onlys
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st, b := okBody(Health{OK: true, UptimeMs: time.Since(s.start).Milliseconds()})
+	writeJSON(w, st, b)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st, b := okBody(s.StatsSnapshot())
+	writeJSON(w, st, b)
+}
+
+// StatsSnapshot assembles the /v1/stats payload.
+func (s *Server) StatsSnapshot() Stats {
+	return Stats{
+		UptimeMs:   time.Since(s.start).Milliseconds(),
+		CacheDir:   s.eng.CacheDir(),
+		Engine:     s.eng.Stats(),
+		Requests:   s.requests.Load(),
+		Deduped:    s.deduped.Load(),
+		Computed:   s.computed.Load(),
+		Rejected:   s.rejected.Load(),
+		Cancelled:  s.cancelled.Load(),
+		InFlight:   s.inflight.Load(),
+		Queued:     s.queued.Load(),
+		Workers:    s.cfg.Workers,
+		QueueDepth: s.cfg.QueueDepth,
+	}
+}
+
+// ------------------------------------------------------------------- jobs
+
+// decodeCorpusBody decodes an uploaded corpus artifact with a clean 400
+// on malformed input.
+func decodeCorpusBody(body []byte) (*artifact.Corpus, error) {
+	if len(body) == 0 {
+		return nil, badRequest("empty body: upload a corpus artifact (.hvc binary or JSON)")
+	}
+	c, err := artifact.DecodeCorpus(body)
+	if err != nil {
+		return nil, badRequest("bad corpus artifact: %s", firstLine(err.Error()))
+	}
+	return c, nil
+}
+
+// intParam parses an integer query parameter with a default.
+func intParam(q url.Values, name string, def int) (int, error) {
+	raw := q.Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, badRequest("invalid %s %q", name, raw)
+	}
+	return v, nil
+}
+
+// scheduleConfig builds the machine for /v1/schedule from query params.
+func scheduleConfig(q url.Values) (*machine.Config, error) {
+	buses, err := intParam(q, "buses", 1)
+	if err != nil {
+		return nil, err
+	}
+	fast, err := intParam(q, "fast", 0)
+	if err != nil {
+		return nil, err
+	}
+	slow, err := intParam(q, "slow", 0)
+	if err != nil {
+		return nil, err
+	}
+	numFast, err := intParam(q, "numfast", 1)
+	if err != nil {
+		return nil, err
+	}
+	if (fast == 0) != (slow == 0) {
+		return nil, badRequest("fast and slow must be given together (picoseconds)")
+	}
+	if fast == 0 {
+		return machine.ReferenceConfig(buses), nil
+	}
+	arch := machine.Reference4Cluster(buses)
+	clk := machine.NewClocking(arch, clock.Picos(slow), machine.ReferenceVdd)
+	for c := 0; c < numFast && c < arch.NumClusters(); c++ {
+		clk.MinPeriod[c] = clock.Picos(fast)
+	}
+	clk.MinPeriod[arch.ICN()] = clock.Picos(fast)
+	clk.MinPeriod[arch.Cache()] = clock.Picos(fast)
+	cfg := &machine.Config{Arch: arch, Clock: clk}
+	if err := cfg.Validate(); err != nil {
+		return nil, badRequest("invalid machine: %s", firstLine(err.Error()))
+	}
+	return cfg, nil
+}
+
+// runSchedule schedules and simulates every loop of the uploaded corpus
+// on the requested machine, fanning out over the shared engine's workers.
+func (s *Server) runSchedule(ctx context.Context, body []byte, q url.Values) (any, error) {
+	c, err := decodeCorpusBody(body)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := scheduleConfig(q)
+	if err != nil {
+		return nil, err
+	}
+
+	type flatLoop struct {
+		bench string
+		index int
+		loop  loopgen.Loop
+	}
+	var flat []flatLoop
+	for _, b := range c.Benchmarks {
+		for i, l := range b.Loops {
+			flat = append(flat, flatLoop{bench: b.Name, index: i, loop: l})
+		}
+	}
+
+	// Price slow clusters below fast ones (quadratic in the frequency
+	// ratio), matching the library facade's standalone scheduling entry.
+	fastest := cfg.Clock.MinPeriod[cfg.Clock.FastestCluster(cfg.Arch)]
+	out := make([]LoopSchedule, len(flat))
+	errs := make([]error, len(flat))
+	ferr := s.eng.ForEachCtx(ctx, len(flat), func(i int) {
+		l := flat[i].loop
+		cost := partition.DefaultCost(cfg.Arch.NumClusters())
+		cost.Iterations = float64(l.Iterations)
+		for cl := 0; cl < cfg.Arch.NumClusters(); cl++ {
+			r := float64(fastest) / float64(cfg.Clock.MinPeriod[cl])
+			cost.DeltaCluster[cl] = r * r
+		}
+		sc := s.scratch.Get()
+		defer s.scratch.Put(sc)
+		res, err := core.ScheduleLoop(l.Graph, cfg, cost, core.Options{
+			Partition: partition.Options{EnergyAware: true},
+			Scratch:   &sc.sched,
+		})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		r, err := sim.RunScratch(res.Schedule, l.Iterations, sim.DefaultGenPeriod, &sc.sim)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out[i] = LoopSchedule{
+			Benchmark:     flat[i].bench,
+			Index:         flat[i].index,
+			Summary:       artifact.Summarize(res.Schedule),
+			Assign:        append([]int(nil), res.Schedule.Assign...),
+			Iterations:    l.Iterations,
+			TexecPs:       int64(r.Texec),
+			SyncIncreases: res.SyncIncreases,
+		}
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, &httpError{
+				code: http.StatusUnprocessableEntity,
+				msg: fmt.Sprintf("schedule %s loop %d: %s",
+					flat[i].bench, flat[i].index, firstLine(err.Error())),
+			}
+		}
+	}
+	return &ScheduleResponse{
+		Corpus:    c.Name,
+		CorpusSHA: c.Hash().Hex(),
+		ConfigSHA: artifact.HashConfig(cfg).Hex(),
+		Loops:     out,
+	}, nil
+}
+
+// runEvaluate runs the full pipeline over the uploaded corpus.
+func (s *Server) runEvaluate(ctx context.Context, body []byte, q url.Values) (any, error) {
+	c, err := decodeCorpusBody(body)
+	if err != nil {
+		return nil, err
+	}
+	buses, err := intParam(q, "buses", 1)
+	if err != nil {
+		return nil, err
+	}
+	freqs, err := intParam(q, "freqs", 0)
+	if err != nil {
+		return nil, err
+	}
+	opts := pipeline.Options{
+		Buses:       buses,
+		FreqCount:   freqs,
+		EnergyAware: true,
+		Corpus:      artifact.NewCorpusSource(c),
+		Parallelism: s.cfg.Parallelism,
+		Engine:      s.eng,
+	}
+	var results []*pipeline.BenchmarkResult
+	if bench := q.Get("bench"); bench != "" {
+		r, err := pipeline.RunBenchmarkCtx(ctx, bench, opts)
+		if err != nil {
+			return nil, evalError(err)
+		}
+		results = []*pipeline.BenchmarkResult{r}
+	} else {
+		if results, err = pipeline.RunSuiteCtx(ctx, opts); err != nil {
+			return nil, evalError(err)
+		}
+	}
+	return &EvaluateResponse{
+		Corpus:     c.Name,
+		CorpusSHA:  c.Hash().Hex(),
+		Benchmarks: results,
+		Mean:       pipeline.MeanRatio(results),
+	}, nil
+}
+
+// evalError maps pipeline failures on well-formed inputs to 422 (the
+// corpus decoded, but could not be evaluated), keeping context errors
+// intact for the 503/504 mapping.
+func evalError(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return &httpError{code: http.StatusUnprocessableEntity, msg: firstLine(err.Error())}
+}
+
+// suiteSource builds the corpus source of a /v1/suite request: uploaded
+// artifact bytes, or the named synthetic family.
+func suiteSource(body []byte, q url.Values) (loopgen.Source, string, error) {
+	if len(body) > 0 {
+		c, err := decodeCorpusBody(body)
+		if err != nil {
+			return nil, "", err
+		}
+		return artifact.NewCorpusSource(c), c.Name, nil
+	}
+	family := q.Get("family")
+	if family == "" {
+		family = "specfp"
+	}
+	loops, err := intParam(q, "loops", 40)
+	if err != nil {
+		return nil, "", err
+	}
+	src, err := loopgen.NewSyntheticSource(family, loops)
+	if err != nil {
+		return nil, "", badRequest("%s", firstLine(err.Error()))
+	}
+	return src, src.Name(), nil
+}
+
+// runSuite computes the experiments report.
+func (s *Server) runSuite(ctx context.Context, body []byte, q url.Values) (any, error) {
+	src, name, err := suiteSource(body, q)
+	if err != nil {
+		return nil, err
+	}
+	enabled := func(string) bool { return true }
+	if only := q.Get("only"); only != "" {
+		want := map[string]bool{}
+		for _, k := range strings.Split(only, ",") {
+			k = strings.TrimSpace(k)
+			if !experiments.KnownArtifact(k) {
+				return nil, badRequest("unknown artifact %q", k)
+			}
+			want[k] = true
+		}
+		enabled = func(k string) bool { return want[k] }
+	}
+	opts := pipeline.Options{
+		Corpus:      src,
+		Parallelism: s.cfg.Parallelism,
+		Engine:      s.eng,
+	}
+	if q.Get("dense") == "1" || q.Get("dense") == "true" {
+		sp := confsel.DenseSpace()
+		opts.Space = &sp
+	}
+	report, err := experiments.New(opts).Run(ctx, enabled)
+	if err != nil {
+		return nil, evalError(err)
+	}
+	return &SuiteResponse{Corpus: name, Report: report}, nil
+}
+
+// runSelect performs the Section 3 configuration selection for one
+// benchmark of the uploaded corpus.
+func (s *Server) runSelect(ctx context.Context, body []byte, q url.Values) (any, error) {
+	c, err := decodeCorpusBody(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.Benchmarks) == 0 {
+		return nil, badRequest("corpus %q has no benchmarks", c.Name)
+	}
+	bench := q.Get("bench")
+	if bench == "" {
+		bench = c.Benchmarks[0].Name
+	}
+	buses, err := intParam(q, "buses", 1)
+	if err != nil {
+		return nil, err
+	}
+	opts := pipeline.Options{
+		Buses:       buses,
+		EnergyAware: true,
+		Corpus:      artifact.NewCorpusSource(c),
+		Parallelism: s.cfg.Parallelism,
+		Engine:      s.eng,
+	}
+	ref, err := pipeline.BuildReferenceCtx(ctx, bench, opts)
+	if err != nil {
+		return nil, evalError(err)
+	}
+	cal, err := power.Calibrate(ref.Arch, ref.Profile.RefCounts, power.DefaultFractions())
+	if err != nil {
+		return nil, evalError(err)
+	}
+	model := power.DefaultAlphaModel()
+	space := confsel.DefaultSpace()
+	if q.Get("dense") == "1" || q.Get("dense") == "true" {
+		space = confsel.DenseSpace()
+	}
+	hom, err := confsel.OptimumHomogeneousCtx(ctx, s.eng, ref.Arch, ref.Profile, cal, model, space)
+	if err != nil {
+		return nil, evalError(err)
+	}
+	het, err := confsel.SelectHeterogeneousCtx(ctx, s.eng, ref.Arch, ref.Profile, cal, model, space)
+	if err != nil {
+		return nil, evalError(err)
+	}
+	return &SelectResponse{
+		Corpus: c.Name,
+		Bench:  bench,
+		Hom:    selectionJSON(hom),
+		Het:    selectionJSON(het),
+	}, nil
+}
+
+// selectionJSON extracts the serializable core of a selection.
+func selectionJSON(sel *confsel.Selection) SelectionJSON {
+	return SelectionJSON{
+		FastPeriodPs: int64(sel.FastPeriod),
+		SlowPeriodPs: int64(sel.SlowPeriod),
+		VddByDomain:  append([]float64(nil), sel.Clock.Vdd...),
+		Estimate:     sel.Estimate,
+	}
+}

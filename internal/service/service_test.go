@@ -1,0 +1,311 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/clock"
+	"repro/internal/experiments"
+	"repro/internal/explore"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+	"repro/internal/oracle"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+)
+
+// newTestEnv stands up a daemon on an httptest server.
+func newTestEnv(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Close(ctx); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+		ts.Close()
+	})
+	return srv, NewClient(ts.URL)
+}
+
+// mixedCorpus builds one benchmark per generator family (specfp, media,
+// embedded), loopsPer loops each — the mixed-family workload of the
+// oracle and soak tests.
+func mixedCorpus(t *testing.T, loopsPer int) *artifact.Corpus {
+	t.Helper()
+	c := &artifact.Corpus{Name: "mixed-test"}
+	for _, fam := range loopgen.Families() {
+		names, err := loopgen.FamilyNames(fam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loopgen.GenerateFamily(fam, names[0], loopsPer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Benchmarks = append(c.Benchmarks, b)
+	}
+	return c
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	_, client := newTestEnv(t, Config{Parallelism: 2})
+	ctx := context.Background()
+	if err := client.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers <= 0 || st.QueueDepth <= 0 {
+		t.Errorf("stats did not echo bounds: %+v", st)
+	}
+	if st.Requests != 0 {
+		t.Errorf("read-only endpoints counted as compute requests: %+v", st)
+	}
+}
+
+// TestMalformedUploads: garbage and empty bodies surface as one-line 400s
+// on every upload endpoint, never as 500s or panics.
+func TestMalformedUploads(t *testing.T) {
+	_, client := newTestEnv(t, Config{Parallelism: 2})
+	ctx := context.Background()
+	garbage := []byte("this is not an artifact")
+
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"schedule-garbage", func() error { _, err := client.Schedule(ctx, garbage, ScheduleOptions{}); return err }},
+		{"evaluate-garbage", func() error { _, err := client.Evaluate(ctx, garbage, EvaluateOptions{}); return err }},
+		{"select-garbage", func() error { _, err := client.Select(ctx, garbage, SelectOptions{}); return err }},
+		{"suite-garbage", func() error { _, err := client.Suite(ctx, SuiteRequest{Corpus: garbage}); return err }},
+		{"schedule-empty", func() error { _, err := client.Schedule(ctx, nil, ScheduleOptions{}); return err }},
+		{"truncated-hvc", func() error {
+			enc := artifact.EncodeCorpus(mixedCorpus(t, 1))
+			_, err := client.Schedule(ctx, enc[:len(enc)/2], ScheduleOptions{})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		err := tc.call()
+		if err == nil {
+			t.Fatalf("%s: want error", tc.name)
+		}
+		if !strings.Contains(err.Error(), "HTTP 400") {
+			t.Errorf("%s: want HTTP 400, got %v", tc.name, err)
+		}
+		if strings.Contains(err.Error(), "\n") {
+			t.Errorf("%s: error is not one line: %q", tc.name, err)
+		}
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	_, client := newTestEnv(t, Config{Parallelism: 2})
+	ctx := context.Background()
+	corpus := artifact.EncodeCorpus(mixedCorpus(t, 1))
+
+	if _, err := client.Suite(ctx, SuiteRequest{Corpus: corpus, Only: []string{"bogus"}}); err == nil ||
+		!strings.Contains(err.Error(), "unknown artifact") {
+		t.Errorf("bogus artifact: got %v", err)
+	}
+	// fast without slow.
+	if _, err := client.Schedule(ctx, corpus, ScheduleOptions{FastPs: 900}); err == nil ||
+		!strings.Contains(err.Error(), "HTTP 400") {
+		t.Errorf("fast without slow: got %v", err)
+	}
+	// Invalid timeout_ms via a raw request.
+	resp, err := http.Post(client.base+"/v1/schedule?timeout_ms=nope", "application/octet-stream",
+		bytes.NewReader(corpus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid timeout_ms: HTTP %d", resp.StatusCode)
+	}
+	// Unknown benchmark decodes but cannot evaluate: 422.
+	if _, err := client.Evaluate(ctx, corpus, EvaluateOptions{Bench: "no-such-bench"}); err == nil ||
+		!strings.Contains(err.Error(), "HTTP 422") {
+		t.Errorf("unknown bench: got %v", err)
+	}
+}
+
+// TestScheduleOracle: /v1/schedule responses replayed through the
+// reference scheduler and simulator agree exactly — summaries, cluster
+// assignments and simulated times — and satisfy the IMS invariants, on a
+// 30-loop mixed-family corpus, for both a homogeneous and a
+// heterogeneous machine.
+func TestScheduleOracle(t *testing.T) {
+	_, client := newTestEnv(t, Config{Parallelism: 4})
+	ctx := context.Background()
+	corpus := mixedCorpus(t, 10)
+	body := artifact.EncodeCorpus(corpus)
+
+	loops := 0
+	for _, b := range corpus.Benchmarks {
+		loops += len(b.Loops)
+	}
+	if loops != 30 {
+		t.Fatalf("mixed corpus has %d loops, want 30", loops)
+	}
+
+	configs := []struct {
+		name string
+		opts ScheduleOptions
+		arch *machine.Arch
+	}{
+		{"reference", ScheduleOptions{Buses: 1}, machine.ReferenceConfig(1).Arch},
+		{"het-900-1350", ScheduleOptions{Buses: 1, FastPs: 900, SlowPs: 1350, NumFast: 1},
+			machine.Reference4Cluster(1)},
+	}
+	for _, tc := range configs {
+		resp, err := client.Schedule(ctx, body, tc.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(resp.Loops) != loops {
+			t.Fatalf("%s: response has %d loops, want %d", tc.name, len(resp.Loops), loops)
+		}
+		byName := map[string]loopgen.Benchmark{}
+		for _, b := range corpus.Benchmarks {
+			byName[b.Name] = b
+		}
+		for _, ls := range resp.Loops {
+			b, ok := byName[ls.Benchmark]
+			if !ok || ls.Index >= len(b.Loops) {
+				t.Fatalf("%s: response loop %s/%d not in corpus", tc.name, ls.Benchmark, ls.Index)
+			}
+			g := b.Loops[ls.Index].Graph
+			if want := artifact.HashGraph(g).Hex(); ls.Summary.GraphHex != want {
+				t.Fatalf("%s %s/%d: graph hash %s, want %s", tc.name, ls.Benchmark, ls.Index,
+					ls.Summary.GraphHex, want)
+			}
+			// Replay the accepted design point through the reference path.
+			ref, err := modsched.RefRun(modsched.Input{
+				Graph:  g,
+				Arch:   tc.arch,
+				Pairs:  machine.Pairs{IT: clock.Picos(ls.Summary.ITPs), II: ls.Summary.II},
+				Assign: ls.Assign,
+			})
+			if err != nil {
+				t.Fatalf("%s %s/%d: RefRun: %v", tc.name, ls.Benchmark, ls.Index, err)
+			}
+			if err := oracle.CheckSchedule(ref); err != nil {
+				t.Fatalf("%s %s/%d: %v", tc.name, ls.Benchmark, ls.Index, err)
+			}
+			if got := artifact.Summarize(ref); !reflect.DeepEqual(got, ls.Summary) {
+				t.Fatalf("%s %s/%d: summary disagrees with reference scheduler:\n got %+v\nwant %+v",
+					tc.name, ls.Benchmark, ls.Index, ls.Summary, got)
+			}
+			res, err := sim.RefRun(ref, ls.Iterations, sim.DefaultGenPeriod)
+			if err != nil {
+				t.Fatalf("%s %s/%d: RefRun sim: %v", tc.name, ls.Benchmark, ls.Index, err)
+			}
+			if int64(res.Texec) != ls.TexecPs {
+				t.Fatalf("%s %s/%d: Texec %d ps, reference %d ps",
+					tc.name, ls.Benchmark, ls.Index, ls.TexecPs, int64(res.Texec))
+			}
+		}
+	}
+}
+
+// TestSuiteMatchesLocal: a report computed through the daemon renders
+// byte-identically to one computed locally from the same corpus.
+func TestSuiteMatchesLocal(t *testing.T) {
+	_, client := newTestEnv(t, Config{Parallelism: 4})
+	ctx := context.Background()
+	corpus := mixedCorpus(t, 2)
+	body := artifact.EncodeCorpus(corpus)
+	only := []string{"table2", "fig6"}
+	enabled := func(k string) bool { return k == "table2" || k == "fig6" }
+
+	remote, err := client.Suite(ctx, SuiteRequest{Corpus: body, Only: only})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := experiments.New(pipeline.Options{
+		Corpus: artifact.NewCorpusSource(corpus),
+		Engine: explore.New(4),
+	}).Run(ctx, enabled)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rb, lb bytes.Buffer
+	experiments.WriteReport(&rb, remote.Report, enabled)
+	experiments.WriteReport(&lb, local, enabled)
+	if !bytes.Equal(rb.Bytes(), lb.Bytes()) {
+		t.Fatalf("remote and local reports differ:\nremote:\n%s\nlocal:\n%s", rb.String(), lb.String())
+	}
+}
+
+// TestSelectEndpoint exercises /v1/select end to end.
+func TestSelectEndpoint(t *testing.T) {
+	_, client := newTestEnv(t, Config{Parallelism: 4})
+	ctx := context.Background()
+	corpus := mixedCorpus(t, 2)
+	body := artifact.EncodeCorpus(corpus)
+
+	resp, err := client.Select(ctx, body, SelectOptions{Bench: corpus.Benchmarks[0].Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Bench != corpus.Benchmarks[0].Name {
+		t.Errorf("bench = %q", resp.Bench)
+	}
+	if resp.Hom.FastPeriodPs <= 0 || resp.Het.FastPeriodPs <= 0 {
+		t.Errorf("selections missing periods: %+v", resp)
+	}
+	if resp.Het.SlowPeriodPs < resp.Het.FastPeriodPs {
+		t.Errorf("het slow period %d < fast %d", resp.Het.SlowPeriodPs, resp.Het.FastPeriodPs)
+	}
+	if resp.Hom.Estimate.ED2 <= 0 || resp.Het.Estimate.ED2 <= 0 {
+		t.Errorf("selections missing estimates: %+v", resp)
+	}
+}
+
+// TestEvaluateMatchesPipeline: /v1/evaluate returns exactly what the
+// local pipeline computes for the same corpus.
+func TestEvaluateMatchesPipeline(t *testing.T) {
+	_, client := newTestEnv(t, Config{Parallelism: 4})
+	ctx := context.Background()
+	corpus := mixedCorpus(t, 2)
+	bench := corpus.Benchmarks[0].Name
+
+	remote, err := client.Evaluate(ctx, artifact.EncodeCorpus(corpus), EvaluateOptions{Bench: bench})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := pipeline.RunBenchmark(bench, pipeline.Options{
+		Buses:       1,
+		EnergyAware: true,
+		Corpus:      artifact.NewCorpusSource(corpus),
+		Engine:      explore.New(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote.Benchmarks) != 1 {
+		t.Fatalf("remote returned %d benchmarks", len(remote.Benchmarks))
+	}
+	if !reflect.DeepEqual(remote.Benchmarks[0], local) {
+		t.Fatalf("remote evaluate differs from local pipeline:\nremote %+v\nlocal  %+v",
+			remote.Benchmarks[0], local)
+	}
+}

@@ -1,0 +1,102 @@
+// In-flight request deduplication. Identical requests — same endpoint,
+// same canonical parameters, same uploaded artifact bytes, keyed by the
+// artifact content-hash machinery — share one computation and one
+// marshalled response while it is in flight. The flight's context is
+// independent of any single waiter: it dies when the last waiter leaves
+// (nobody wants the answer any more) or when the server shuts down, so a
+// slow client cannot be killed by a fast one cancelling, and an abandoned
+// computation does not burn workers.
+//
+// Dedup here is intentionally only in-flight: completed responses are not
+// cached at the HTTP layer. Durable reuse lives below, in the exploration
+// engine's content-addressed cache, where partial overlap between
+// different requests (shared design points, shared loops) is also
+// captured — something response-level caching could never see.
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/artifact"
+)
+
+// errAbandoned cancels a flight whose waiters have all gone.
+var errAbandoned = errors.New("service: all requesters gone")
+
+// flight is one in-flight computation of a request key.
+type flight struct {
+	done   chan struct{} // closed after status/body are final
+	status int
+	body   []byte
+
+	cancel context.CancelCauseFunc // cancels the flight's own context
+}
+
+// flightGroup tracks in-flight computations by request key, with waiter
+// refcounts so a flight is cancelled exactly when its last waiter leaves.
+type flightGroup struct {
+	mu      sync.Mutex
+	m       map[artifact.Key]*flight
+	waiters map[*flight]int
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[artifact.Key]*flight), waiters: make(map[*flight]int)}
+}
+
+// do returns the response for key, computing it with fn if no identical
+// request is in flight, and joining the existing flight otherwise.
+// joined reports whether this call deduplicated onto an existing flight.
+// The caller's ctx bounds only its wait; fn runs under a context owned by
+// the flight (derived from root) that is cancelled when every waiter has
+// left or root is done. fn must map its own failures into (status, body).
+func (g *flightGroup) do(ctx, root context.Context, key artifact.Key,
+	fn func(context.Context) (int, []byte)) (status int, body []byte, joined bool, err error) {
+
+	g.mu.Lock()
+	f, ok := g.m[key]
+	if ok {
+		g.waiters[f]++
+		g.mu.Unlock()
+	} else {
+		fctx, cancel := context.WithCancelCause(root)
+		f = &flight{done: make(chan struct{}), cancel: cancel}
+		g.m[key] = f
+		g.waiters[f] = 1
+		g.mu.Unlock()
+		go func() {
+			f.status, f.body = fn(fctx)
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+			cancel(nil)
+			close(f.done)
+		}()
+	}
+
+	defer func() {
+		g.mu.Lock()
+		g.waiters[f]--
+		last := g.waiters[f] == 0
+		if last {
+			delete(g.waiters, f)
+		}
+		g.mu.Unlock()
+		if last {
+			select {
+			case <-f.done: // completed normally
+			default:
+				f.cancel(errAbandoned)
+			}
+		}
+	}()
+
+	select {
+	case <-f.done:
+		return f.status, f.body, ok, nil
+	case <-ctx.Done():
+		return 0, nil, ok, ctx.Err()
+	}
+}

@@ -1,0 +1,306 @@
+// Race-enabled soak battery: N concurrent clients hammering one daemon
+// with overlapping requests. What must hold under fire:
+//
+//   - determinism: identical payloads always get byte-identical bodies,
+//     no matter which worker, flight or cache tier served them;
+//   - dedup: the engine's cache-miss counter stops growing once every
+//     unique payload has been seen once, and simultaneous identical
+//     requests collapse onto fewer flights than requesters;
+//   - cancellation: a request deadline or client cancel returns promptly
+//     and leaks no goroutines;
+//   - shutdown: Close cancels in-flight requests and drains cleanly.
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/loopgen"
+)
+
+// soakClients × soakIters is the hammer load (16 × 50 = 800 requests).
+const (
+	soakClients = 16
+	soakIters   = 50
+)
+
+// rawRequest is one pre-encoded request of the soak mix.
+type rawRequest struct {
+	name string
+	path string // path + canonical query
+	body []byte
+}
+
+// post issues the request and returns (status, body bytes).
+func (rr rawRequest) post(t *testing.T, base string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+rr.path, "application/octet-stream", bytes.NewReader(rr.body))
+	if err != nil {
+		t.Fatalf("%s: %v", rr.name, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("%s: read: %v", rr.name, err)
+	}
+	return resp.StatusCode, data
+}
+
+// soakMix builds the unique request payloads: overlapping suite, evaluate,
+// schedule and select requests over two distinct corpora.
+func soakMix(t *testing.T) []rawRequest {
+	t.Helper()
+	mixed := mixedCorpus(t, 2)
+	mixedBytes := artifact.EncodeCorpus(mixed)
+
+	names, err := loopgen.FamilyNames("embedded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb := &artifact.Corpus{Name: "embedded-soak"}
+	for _, n := range names[:2] {
+		b, err := loopgen.GenerateFamily("embedded", n, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emb.Benchmarks = append(emb.Benchmarks, b)
+	}
+	embBytes := artifact.EncodeCorpus(emb)
+
+	return []rawRequest{
+		{"suite-mixed-table2", "/v1/suite?only=table2", mixedBytes},
+		{"suite-emb-table2", "/v1/suite?only=table2", embBytes},
+		{"evaluate-mixed", "/v1/evaluate?bench=" + mixed.Benchmarks[0].Name, mixedBytes},
+		{"schedule-ref", "/v1/schedule", mixedBytes},
+		{"schedule-het", "/v1/schedule?fast=900&slow=1350", mixedBytes},
+		{"select-emb", "/v1/select?bench=" + emb.Benchmarks[0].Name, embBytes},
+	}
+}
+
+func TestSoakConcurrentClients(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+	srv, client := newTestEnv(t, Config{Parallelism: 4, Workers: 4})
+	base := client.base
+	ctx := context.Background()
+	mix := soakMix(t)
+
+	// Warmup: every unique payload once, recording the canonical body.
+	want := make([][]byte, len(mix))
+	for i, rr := range mix {
+		status, body := rr.post(t, base)
+		if status != http.StatusOK {
+			t.Fatalf("warmup %s: HTTP %d: %s", rr.name, status, body)
+		}
+		want[i] = body
+	}
+	warm := srv.StatsSnapshot()
+	if warm.Computed != uint64(len(mix)) {
+		t.Fatalf("warmup computed %d flights, want %d", warm.Computed, len(mix))
+	}
+
+	// Hammer: 16 clients × 50 requests over the same mix.
+	var wg sync.WaitGroup
+	errs := make(chan error, soakClients)
+	for w := 0; w < soakClients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < soakIters; i++ {
+				rr := mix[(w*soakIters+i)%len(mix)]
+				status, body := rr.post(t, base)
+				if status != http.StatusOK {
+					errs <- fmt.Errorf("%s: HTTP %d: %s", rr.name, status, body)
+					return
+				}
+				if !bytes.Equal(body, want[(w*soakIters+i)%len(mix)]) {
+					errs <- fmt.Errorf("%s: response bytes differ between requests", rr.name)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Dedup at the engine tier: 800 repeat requests added zero cache
+	// misses — every miss belongs to the warmup's unique payloads.
+	st := srv.StatsSnapshot()
+	if st.Engine.Misses != warm.Engine.Misses {
+		t.Errorf("engine misses grew under repeat load: %d -> %d (misses must be ≤ unique payloads)",
+			warm.Engine.Misses, st.Engine.Misses)
+	}
+	if got := st.Requests; got != uint64(len(mix)+soakClients*soakIters) {
+		t.Errorf("requests = %d, want %d", got, len(mix)+soakClients*soakIters)
+	}
+	if st.Computed+st.Deduped != st.Requests {
+		t.Errorf("computed %d + deduped %d != requests %d", st.Computed, st.Deduped, st.Requests)
+	}
+
+	// Singleflight: a barrage of simultaneous identical fresh requests
+	// collapses onto fewer flights than requesters.
+	fresh := rawRequest{"suite-mixed-fig6", "/v1/suite?only=fig6", mix[0].body}
+	pre := srv.StatsSnapshot()
+	var fwg sync.WaitGroup
+	start := make(chan struct{})
+	bodies := make([][]byte, soakClients)
+	for w := 0; w < soakClients; w++ {
+		fwg.Add(1)
+		go func(w int) {
+			defer fwg.Done()
+			<-start
+			status, body := fresh.post(t, base)
+			if status == http.StatusOK {
+				bodies[w] = body
+			}
+		}(w)
+	}
+	close(start)
+	fwg.Wait()
+	post := srv.StatsSnapshot()
+	flights := post.Computed - pre.Computed
+	if flights >= soakClients {
+		t.Errorf("16 simultaneous identical requests ran %d flights (no dedup)", flights)
+	}
+	if post.Deduped <= pre.Deduped {
+		t.Errorf("simultaneous identical requests recorded no dedup")
+	}
+	for w := 1; w < soakClients; w++ {
+		if bodies[w] == nil || !bytes.Equal(bodies[w], bodies[0]) {
+			t.Fatalf("client %d saw different bytes for the identical request", w)
+		}
+	}
+
+	// Mid-request cancellation: a tight server-side deadline on a fresh,
+	// heavy payload returns promptly with 504 — long before the suite
+	// itself could finish.
+	t0 := time.Now()
+	resp, err := http.Post(base+"/v1/suite?loops=6&timeout_ms=25", "application/octet-stream", nil)
+	if err != nil {
+		t.Fatalf("deadline request: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(t0); elapsed > 8*time.Second {
+		t.Errorf("cancelled request took %v", elapsed)
+	}
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("deadline request: HTTP %d: %s", resp.StatusCode, data)
+	}
+
+	// Client-side cancel mid-flight: returns with the context's error.
+	cctx2, cancel2 := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Suite(cctx2, SuiteRequest{Family: "media", Loops: 6})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel2()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("cancelled client request returned success")
+		}
+	case <-time.After(8 * time.Second):
+		t.Fatal("client cancel did not unblock the request")
+	}
+
+	// No goroutine leaks: abandoned flights and cancelled requests drain.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if srv.inflight.Load() == 0 && runtime.NumGoroutine() <= baseGoroutines+12 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not drain: %d now vs %d at start (inflight %d)",
+				runtime.NumGoroutine(), baseGoroutines, srv.inflight.Load())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestShutdownCancelsInflight: Close() cancels executing jobs (their
+// requests answer promptly with an error) and drains without hanging.
+func TestShutdownCancelsInflight(t *testing.T) {
+	srv, err := New(Config{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// A heavy request that would take far longer than this test.
+	done := make(chan struct {
+		status int
+		body   string
+	}, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/suite?loops=8", "application/octet-stream", nil)
+		if err != nil {
+			done <- struct {
+				status int
+				body   string
+			}{0, err.Error()}
+			return
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		done <- struct {
+			status int
+			body   string
+		}{resp.StatusCode, string(data)}
+	}()
+
+	// Wait until the job is executing, then shut down.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.inflight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started executing")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 8*time.Second {
+		t.Errorf("close took %v", elapsed)
+	}
+
+	select {
+	case r := <-done:
+		if r.status == http.StatusOK {
+			t.Errorf("in-flight request succeeded after shutdown: %s", r.body)
+		}
+		if r.status != 0 && !strings.Contains(r.body, "cancelled") && !strings.Contains(r.body, "shutting down") {
+			t.Logf("in-flight request answered HTTP %d: %s", r.status, r.body)
+		}
+	case <-time.After(8 * time.Second):
+		t.Fatal("in-flight request did not return after shutdown")
+	}
+
+	// New compute requests after shutdown fail promptly too.
+	resp, err := http.Post(ts.URL+"/v1/suite?loops=2", "application/octet-stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("request accepted after shutdown")
+	}
+}

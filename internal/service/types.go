@@ -1,0 +1,165 @@
+// Wire types of the hetvliwd HTTP/JSON API. Uploads are artifact bodies
+// (corpus `.hvc` binary or JSON, auto-detected by the artifact codec);
+// responses are JSON. Every response type here is plain data, so decoding
+// a response yields exactly what the server computed.
+package service
+
+import (
+	"repro/internal/artifact"
+	"repro/internal/confsel"
+	"repro/internal/experiments"
+	"repro/internal/explore"
+	"repro/internal/pipeline"
+)
+
+// LoopSchedule is one loop's scheduling outcome in a ScheduleResponse.
+// Summary plus Assign are sufficient to replay the accepted design point
+// through the reference scheduler (modsched.RefRun) against the uploaded
+// corpus — the oracle-backed service tests do exactly that.
+type LoopSchedule struct {
+	// Benchmark and Index locate the loop in the uploaded corpus.
+	Benchmark string `json:"benchmark"`
+	Index     int    `json:"index"`
+	// Summary is the schedule's serializable summary (IT, per-domain IIs,
+	// stage count, pressure, communications); its GraphHex ties it to the
+	// loop's DDG content hash.
+	Summary artifact.ScheduleSummary `json:"summary"`
+	// Assign is the per-op cluster assignment of the accepted schedule.
+	Assign []int `json:"assign"`
+	// Iterations is the trip count the loop was simulated for; TexecPs the
+	// simulated execution time in picoseconds.
+	Iterations int64 `json:"iterations"`
+	TexecPs    int64 `json:"texec_ps"`
+	// SyncIncreases counts IT growth forced by frequency-set
+	// synchronization during scheduling.
+	SyncIncreases int `json:"sync_increases,omitempty"`
+}
+
+// ScheduleResponse is the response of POST /v1/schedule.
+type ScheduleResponse struct {
+	// Corpus is the uploaded corpus's name; CorpusSHA its content hash.
+	Corpus    string `json:"corpus"`
+	CorpusSHA string `json:"corpus_sha256"`
+	// ConfigSHA is the content hash of the machine configuration the loops
+	// were scheduled on.
+	ConfigSHA string `json:"config_sha256"`
+	// Loops holds one entry per corpus loop, in corpus order.
+	Loops []LoopSchedule `json:"loops"`
+}
+
+// ScheduleOptions selects the machine for POST /v1/schedule.
+type ScheduleOptions struct {
+	// Buses is the number of register buses (default 1).
+	Buses int
+	// FastPs/SlowPs, when both nonzero, select a heterogeneous machine
+	// with NumFast fast clusters; both zero selects the reference
+	// homogeneous machine.
+	FastPs, SlowPs int64
+	// NumFast is the number of fast clusters (default 1).
+	NumFast int
+}
+
+// EvaluateOptions configures POST /v1/evaluate.
+type EvaluateOptions struct {
+	// Bench restricts the evaluation to one benchmark ("" = all).
+	Bench string
+	// Buses is the number of register buses (default 1).
+	Buses int
+	// FreqCount limits each domain's clock generator (0 = unconstrained).
+	FreqCount int
+}
+
+// EvaluateResponse is the response of POST /v1/evaluate: the full
+// per-benchmark pipeline outcome (reference, optimum homogeneous,
+// selected heterogeneous, ED² ratio) for every evaluated benchmark.
+type EvaluateResponse struct {
+	Corpus     string                      `json:"corpus"`
+	CorpusSHA  string                      `json:"corpus_sha256"`
+	Benchmarks []*pipeline.BenchmarkResult `json:"benchmarks"`
+	// Mean is the arithmetic mean ED² ratio over Benchmarks.
+	Mean float64 `json:"mean"`
+}
+
+// SuiteRequest configures POST /v1/suite. A non-empty Corpus uploads a
+// corpus artifact; otherwise the daemon generates the synthetic Family
+// with Loops loops per benchmark.
+type SuiteRequest struct {
+	Corpus []byte
+	Family string
+	Loops  int
+	// Only restricts the run to these artifacts (nil = all); names are
+	// experiments.ArtifactNames.
+	Only []string
+	// Dense sweeps the dense design-space grid.
+	Dense bool
+}
+
+// SuiteResponse is the response of POST /v1/suite: the corpus identity
+// and the computed report. A report decoded from this response renders
+// byte-identically (experiments.WriteReport) to one computed locally from
+// the same corpus.
+type SuiteResponse struct {
+	Corpus string              `json:"corpus"`
+	Report *experiments.Report `json:"report"`
+}
+
+// SelectionJSON is the serializable core of a confsel.Selection.
+type SelectionJSON struct {
+	FastPeriodPs int64            `json:"fast_period_ps"`
+	SlowPeriodPs int64            `json:"slow_period_ps"`
+	VddByDomain  []float64        `json:"vdd_by_domain"`
+	Estimate     confsel.Estimate `json:"estimate"`
+}
+
+// SelectOptions configures POST /v1/select.
+type SelectOptions struct {
+	// Bench names the benchmark to select for ("" = first in the corpus).
+	Bench string
+	// Buses is the number of register buses (default 1).
+	Buses int
+	// Dense sweeps the dense design-space grid.
+	Dense bool
+}
+
+// SelectResponse is the response of POST /v1/select: the Section 3
+// configuration selections for one benchmark of the uploaded corpus.
+type SelectResponse struct {
+	Corpus string        `json:"corpus"`
+	Bench  string        `json:"bench"`
+	Hom    SelectionJSON `json:"hom"`
+	Het    SelectionJSON `json:"het"`
+}
+
+// Health is the response of GET /v1/healthz.
+type Health struct {
+	OK       bool  `json:"ok"`
+	UptimeMs int64 `json:"uptime_ms"`
+}
+
+// Stats is the response of GET /v1/stats: the shared exploration engine's
+// cache counters plus the service-level request accounting. Deduped +
+// Computed ≤ Requests; Computed is the number of flights actually
+// executed, so Computed ≤ unique payloads over any window in which
+// identical requests overlap.
+type Stats struct {
+	UptimeMs int64  `json:"uptime_ms"`
+	CacheDir string `json:"cache_dir,omitempty"`
+	// Engine is the shared exploration engine's memoisation counters.
+	Engine explore.CacheStats `json:"engine"`
+	// Requests counts every compute request accepted by the API;
+	// Deduped those that joined an identical in-flight request; Computed
+	// the flights executed; Rejected those bounced by a full job queue;
+	// Cancelled waits ended by the requester's context.
+	Requests  uint64 `json:"requests"`
+	Deduped   uint64 `json:"deduped"`
+	Computed  uint64 `json:"computed"`
+	Rejected  uint64 `json:"rejected"`
+	Cancelled uint64 `json:"cancelled"`
+	// InFlight is the number of jobs currently executing; Queued the
+	// number waiting for a worker slot.
+	InFlight int64 `json:"in_flight"`
+	Queued   int64 `json:"queued"`
+	// Workers and QueueDepth echo the daemon's bounds.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+}
