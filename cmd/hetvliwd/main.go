@@ -7,10 +7,23 @@
 //	hetvliwd -addr :8080 -cache-dir .cache
 //	hetvliwd -addr 127.0.0.1:9000 -par 8 -workers 4 -queue 16
 //
-// Endpoints: POST /v1/schedule, /v1/evaluate, /v1/suite, /v1/select;
-// GET /v1/healthz, /v1/stats. See the README "Serving" section for an
-// example curl session. SIGINT/SIGTERM shut down gracefully: in-flight
-// requests are cancelled (they return 503) and the listener drains.
+// Sharded (peer) mode runs N daemons as one cluster: every daemon gets
+// the same peer set (the full list of shard base URLs, -peers and/or
+// -peers-file) plus its own URL (-self). /v1/batch requests are then
+// routed loop-by-loop to owning shards by rendezvous hashing on the
+// loop's content hash, and disk-cache entries are served between shards
+// (GET /v1/cache/{hash}), extending every shard's cache lookup chain to
+// memory → disk → peer → compute:
+//
+//	hetvliwd -addr :8081 -cache-dir .cache1 \
+//	  -peers http://h0:8081,http://h1:8081,http://h2:8081 \
+//	  -self  http://h0:8081
+//
+// Endpoints: POST /v1/schedule, /v1/evaluate, /v1/suite, /v1/select,
+// /v1/batch; GET /v1/healthz, /v1/stats, /v1/cache/{hash}. See
+// docs/OPERATIONS.md for the full endpoint reference and cluster
+// runbook. SIGINT/SIGTERM shut down gracefully: in-flight requests are
+// cancelled (they return 503) and the listener drains.
 package main
 
 import (
@@ -24,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -33,13 +47,26 @@ func main() {
 	par := flag.Int("par", 0, "engine worker parallelism (0 = NumCPU)")
 	workers := flag.Int("workers", 0, "max concurrently executing jobs (0 = default)")
 	queue := flag.Int("queue", 0, "max jobs waiting for a worker (0 = default)")
+	peers := flag.String("peers", "", "comma-separated shard base URLs (all shards, this one included)")
+	peersFile := flag.String("peers-file", "", "file of shard base URLs, one per line (# comments)")
+	self := flag.String("self", "", "this shard's own base URL (required with -peers/-peers-file)")
+	peerTimeout := flag.Duration("peer-timeout", 0, "bound on each peer call (0 = default 10s)")
 	flag.Parse()
+
+	peerList, err := cluster.ParsePeers(*peers, *peersFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetvliwd:", err)
+		os.Exit(1)
+	}
 
 	srv, err := service.New(service.Config{
 		Parallelism: *par,
 		CacheDir:    *cacheDir,
 		Workers:     *workers,
 		QueueDepth:  *queue,
+		Peers:       peerList,
+		Self:        *self,
+		PeerTimeout: *peerTimeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hetvliwd:", err)
@@ -52,7 +79,12 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "hetvliwd: listening on %s (cache %q)\n", *addr, *cacheDir)
+	if len(peerList) > 0 {
+		fmt.Fprintf(os.Stderr, "hetvliwd: listening on %s (cache %q, shard %s of %d peers)\n",
+			*addr, *cacheDir, *self, len(peerList))
+	} else {
+		fmt.Fprintf(os.Stderr, "hetvliwd: listening on %s (cache %q)\n", *addr, *cacheDir)
+	}
 
 	select {
 	case err := <-errc:

@@ -1,0 +1,349 @@
+// Command hetvliwload drives a hetvliwd daemon — or a sharded cluster of
+// them — with /v1/batch traffic at a configurable rate and concurrency,
+// and reports latency percentiles and throughput:
+//
+//	hetvliwload -targets http://127.0.0.1:8081,http://127.0.0.1:8082 \
+//	  -family media -loops 8 -batch 4 -requests 200 -concurrency 8 -qps 50
+//
+// The workload is deterministic: the corpus comes from the synthetic
+// generator families (seeded per benchmark), is chunked into batch
+// request frames of -batch loops each, and workers cycle through the
+// frames round-robin across the targets. Every response is decoded and
+// shape-checked, so a nonzero error count means the cluster really
+// misbehaved, not that the generator drifted.
+//
+// A second mode, -oneshot, sends the whole corpus as one batch request
+// to the first target and writes the raw response frame to -o. Because
+// batch frames are canonical binary artifacts, two runs against
+// different deployments (one process vs a 3-shard cluster, healthy vs
+// degraded) can be compared byte for byte — the CI shard smoke does
+// exactly this with cmp(1).
+//
+// Exit status: 0 on success, 2 when any request failed (so CI can assert
+// "zero errors" without parsing the report).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/clock"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		targets     = flag.String("targets", "http://127.0.0.1:8080", "comma-separated daemon base URLs (round-robin)")
+		family      = flag.String("family", "specfp", "synthetic corpus family (specfp, media, embedded)")
+		loops       = flag.Int("loops", 4, "loops per benchmark in the generated corpus")
+		batch       = flag.Int("batch", 8, "loops per batch request frame")
+		requests    = flag.Int("requests", 100, "total requests to send (ignored with -duration)")
+		duration    = flag.Duration("duration", 0, "send for this long instead of a fixed request count")
+		concurrency = flag.Int("concurrency", 4, "concurrent in-flight requests")
+		qps         = flag.Float64("qps", 0, "target request rate (0 = as fast as possible)")
+		timeout     = flag.Duration("timeout", 60*time.Second, "per-request timeout")
+		buses       = flag.Int("buses", 1, "register buses of the batch machine")
+		fast        = flag.Int64("fast", 0, "fast-cluster period in ps (0 = homogeneous reference machine)")
+		slow        = flag.Int64("slow", 0, "slow-cluster period in ps (with -fast)")
+		numFast     = flag.Int("numfast", 1, "number of fast clusters (with -fast/-slow)")
+		oneshot     = flag.Bool("oneshot", false, "send the whole corpus as one batch request and exit")
+		out         = flag.String("o", "", "with -oneshot: write the raw response frame here (default stdout)")
+	)
+	flag.Parse()
+
+	urls := splitTargets(*targets)
+	if len(urls) == 0 {
+		fatal("no targets")
+	}
+	cfg, err := buildMachine(*buses, *fast, *slow, *numFast)
+	if err != nil {
+		fatal(err)
+	}
+	frames, totalLoops, err := buildFrames(*family, *loops, *batch, cfg, *oneshot)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *oneshot {
+		if err := runOneshot(urls[0], frames[0], *timeout, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	rep := drive(urls, frames, driveOptions{
+		requests:    *requests,
+		duration:    *duration,
+		concurrency: *concurrency,
+		qps:         *qps,
+		timeout:     *timeout,
+	})
+	rep.print(urls, *family, totalLoops, len(frames))
+	if rep.errors > 0 {
+		os.Exit(2)
+	}
+}
+
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, "hetvliwload:", v)
+	os.Exit(1)
+}
+
+func splitTargets(s string) []string {
+	var urls []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			urls = append(urls, strings.TrimRight(t, "/"))
+		}
+	}
+	return urls
+}
+
+// buildMachine mirrors the /v1/schedule machine parameters: homogeneous
+// reference by default, a heterogeneous clocking when -fast/-slow are set.
+func buildMachine(buses int, fast, slow int64, numFast int) (*machine.Config, error) {
+	if (fast == 0) != (slow == 0) {
+		return nil, fmt.Errorf("-fast and -slow must be given together")
+	}
+	if fast == 0 {
+		return machine.ReferenceConfig(buses), nil
+	}
+	arch := machine.Reference4Cluster(buses)
+	clk := machine.NewClocking(arch, clock.Picos(slow), machine.ReferenceVdd)
+	for c := 0; c < numFast && c < arch.NumClusters(); c++ {
+		clk.MinPeriod[c] = clock.Picos(fast)
+	}
+	clk.MinPeriod[arch.ICN()] = clock.Picos(fast)
+	clk.MinPeriod[arch.Cache()] = clock.Picos(fast)
+	cfg := &machine.Config{Arch: arch, Clock: clk}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// buildFrames generates the deterministic corpus and chunks it into
+// encoded batch request frames. With oneshot the whole corpus becomes a
+// single frame.
+func buildFrames(family string, loopsPer, batch int, cfg *machine.Config, oneshot bool) ([][]byte, int, error) {
+	src, err := loopgen.NewSyntheticSource(family, loopsPer)
+	if err != nil {
+		return nil, 0, err
+	}
+	corpus, err := artifact.CorpusFromSource(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	var flat []artifact.BatchLoop
+	for _, b := range corpus.Benchmarks {
+		for i, l := range b.Loops {
+			flat = append(flat, artifact.BatchLoop{
+				Bench:      b.Name,
+				Index:      i,
+				Graph:      l.Graph,
+				Iterations: l.Iterations,
+			})
+		}
+	}
+	if len(flat) == 0 {
+		return nil, 0, fmt.Errorf("empty corpus")
+	}
+	if oneshot || batch <= 0 || batch > len(flat) {
+		batch = len(flat)
+	}
+	var frames [][]byte
+	for at := 0; at < len(flat); at += batch {
+		end := at + batch
+		if end > len(flat) {
+			end = len(flat)
+		}
+		frames = append(frames, artifact.EncodeBatchRequest(&artifact.BatchRequest{
+			Config: cfg,
+			Loops:  flat[at:end],
+		}))
+	}
+	return frames, len(flat), nil
+}
+
+// runOneshot sends one frame and writes the raw response bytes.
+func runOneshot(target string, frame []byte, timeout time.Duration, out string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	data, err := service.NewClient(target).BatchRaw(ctx, frame)
+	if err != nil {
+		return err
+	}
+	res, err := artifact.DecodeBatchResult(data)
+	if err != nil {
+		return fmt.Errorf("response is not a batch result frame: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "hetvliwload: oneshot ok: %d loops, config %s, %d response bytes\n",
+		len(res.Loops), res.ConfigSHA[:12], len(data))
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+type driveOptions struct {
+	requests    int
+	duration    time.Duration
+	concurrency int
+	qps         float64
+	timeout     time.Duration
+}
+
+type report struct {
+	sent      int
+	errors    int
+	loopsDone int64
+	elapsed   time.Duration
+	latencies []time.Duration
+	firstErr  string
+}
+
+// drive fires frames at the targets round-robin from -concurrency
+// workers, rate-limited to -qps when set, and collects per-request
+// latencies.
+func drive(urls []string, frames [][]byte, o driveOptions) *report {
+	clients := make([]*service.Client, len(urls))
+	for i, u := range urls {
+		clients[i] = service.NewClient(u)
+	}
+
+	var (
+		next     atomic.Int64 // request sequence number
+		errs     atomic.Int64
+		loopsOK  atomic.Int64
+		mu       sync.Mutex
+		lats     []time.Duration
+		firstErr atomic.Value
+	)
+
+	// Rate limiter: one token per 1/qps interval, shared by all workers.
+	var tokens <-chan time.Time
+	if o.qps > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / o.qps))
+		defer t.Stop()
+		tokens = t.C
+	}
+
+	deadline := time.Time{}
+	if o.duration > 0 {
+		deadline = time.Now().Add(o.duration)
+	}
+	admit := func(seq int64) bool {
+		if o.duration > 0 {
+			return time.Now().Before(deadline)
+		}
+		return seq < int64(o.requests)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < max(1, o.concurrency); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				seq := next.Add(1) - 1
+				if !admit(seq) {
+					return
+				}
+				if tokens != nil {
+					<-tokens
+				}
+				frame := frames[seq%int64(len(frames))]
+				client := clients[seq%int64(len(clients))]
+				t0 := time.Now()
+				ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
+				data, err := client.BatchRaw(ctx, frame)
+				cancel()
+				lat := time.Since(t0)
+				if err == nil {
+					var res *artifact.BatchResult
+					if res, err = artifact.DecodeBatchResult(data); err == nil {
+						loopsOK.Add(int64(len(res.Loops)))
+					}
+				}
+				if err != nil {
+					errs.Add(1)
+					firstErr.CompareAndSwap(nil, err.Error())
+					continue
+				}
+				mu.Lock()
+				lats = append(lats, lat)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := &report{
+		sent:      int(next.Load()),
+		errors:    int(errs.Load()),
+		loopsDone: loopsOK.Load(),
+		elapsed:   time.Since(start),
+		latencies: lats,
+	}
+	if o.duration > 0 {
+		// Sequence numbers past the deadline were never sent.
+		rep.sent = len(lats) + rep.errors
+	} else {
+		rep.sent = min(rep.sent, o.requests)
+	}
+	if fe, ok := firstErr.Load().(string); ok {
+		rep.firstErr = fe
+	}
+	return rep
+}
+
+// pct returns the q-quantile of sorted latencies (nearest-rank).
+func pct(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func (r *report) print(urls []string, family string, corpusLoops, frames int) {
+	sort.Slice(r.latencies, func(i, j int) bool { return r.latencies[i] < r.latencies[j] })
+	ok := len(r.latencies)
+	secs := r.elapsed.Seconds()
+	fmt.Printf("hetvliwload: %d targets, family %s (%d loops, %d frames)\n",
+		len(urls), family, corpusLoops, frames)
+	fmt.Printf("requests: %d ok, %d errors in %.2fs\n", ok, r.errors, secs)
+	if r.firstErr != "" {
+		fmt.Printf("first error: %s\n", r.firstErr)
+	}
+	if ok > 0 && secs > 0 {
+		fmt.Printf("throughput: %.1f req/s, %.1f loops/s\n",
+			float64(ok)/secs, float64(r.loopsDone)/secs)
+	}
+	if ok > 0 {
+		fmt.Printf("latency: p50 %s  p90 %s  p99 %s  max %s\n",
+			pct(r.latencies, 0.50).Round(time.Microsecond),
+			pct(r.latencies, 0.90).Round(time.Microsecond),
+			pct(r.latencies, 0.99).Round(time.Microsecond),
+			r.latencies[ok-1].Round(time.Microsecond))
+	}
+}

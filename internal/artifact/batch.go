@@ -1,0 +1,186 @@
+// Batch artifacts: the wire frames of the daemon's POST /v1/batch
+// endpoint. A BatchRequest carries one machine configuration plus many
+// loops in a single canonical binary body, and a BatchResult carries the
+// per-loop scheduling outcomes, so a cluster client pays one HTTP round
+// trip (and zero JSON overhead) for an arbitrary amount of work. Both
+// frames reuse the canonical payload encoders of the config, graph and
+// schedule-summary artifacts, so they inherit the same determinism
+// guarantee: encoding a decoded frame reproduces the original bytes,
+// which is what lets the shard smoke test compare a sharded run to a
+// single-process run byte for byte.
+
+package artifact
+
+import (
+	"fmt"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// KindBatchRequest and KindBatchResult are the envelope kinds of the
+// /v1/batch wire frames.
+const (
+	KindBatchRequest = "service.batch.request"
+	KindBatchResult  = "service.batch.result"
+)
+
+// BatchLoop is one loop of a batch request: a DDG plus the trip count to
+// simulate, tagged with the caller's benchmark/index labels so results
+// can be matched back in order.
+type BatchLoop struct {
+	Bench      string
+	Index      int
+	Graph      *ddg.Graph
+	Iterations int64
+}
+
+// BatchRequest is the body of POST /v1/batch: schedule and simulate every
+// loop on one machine configuration.
+type BatchRequest struct {
+	Config *machine.Config
+	Loops  []BatchLoop
+}
+
+// BatchLoopResult is one loop's outcome in a batch response. The fields
+// mirror the JSON /v1/schedule response (schedule summary, per-op cluster
+// assignment, simulated execution time), encoded in canonical binary.
+type BatchLoopResult struct {
+	Bench         string
+	Index         int
+	Summary       ScheduleSummary
+	Assign        []int
+	Iterations    int64
+	TexecPs       int64
+	SyncIncreases int
+}
+
+// BatchResult is the body of a /v1/batch response: one result per request
+// loop, in request order, plus the content hash of the machine they were
+// scheduled on.
+type BatchResult struct {
+	ConfigSHA string
+	Loops     []BatchLoopResult
+}
+
+// EncodeBatchRequest encodes a batch request frame (binary).
+func EncodeBatchRequest(req *BatchRequest) []byte {
+	w := NewEnvelope(KindBatchRequest)
+	appendConfig(w, req.Config)
+	w.Uint(uint64(len(req.Loops)))
+	for _, l := range req.Loops {
+		w.Str(l.Bench)
+		w.Int(int64(l.Index))
+		w.Int(l.Iterations)
+		appendGraph(w, l.Graph)
+	}
+	return w.Bytes()
+}
+
+// DecodeBatchRequest decodes and validates a batch request frame.
+func DecodeBatchRequest(data []byte) (*BatchRequest, error) {
+	r, _, err := OpenEnvelope(data, KindBatchRequest)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := readConfig(r)
+	if err != nil {
+		return nil, err
+	}
+	req := &BatchRequest{Config: cfg}
+	n := r.Len(4)
+	req.Loops = make([]BatchLoop, 0, n)
+	for i := 0; i < n; i++ {
+		l := BatchLoop{
+			Bench:      r.Str(),
+			Index:      int(r.Int()),
+			Iterations: r.Int(),
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if l.Graph, err = readGraph(r); err != nil {
+			return nil, fmt.Errorf("artifact: batch loop %d: %w", i, err)
+		}
+		if l.Iterations <= 0 {
+			return nil, fmt.Errorf("artifact: batch loop %d: iterations %d not positive", i, l.Iterations)
+		}
+		req.Loops = append(req.Loops, l)
+	}
+	return req, r.Err()
+}
+
+// appendBatchLoopResult writes one result's canonical payload (shared by
+// the response frame and the durable peer-cache entries of the service).
+func appendBatchLoopResult(w *Writer, l *BatchLoopResult) {
+	w.Str(l.Bench)
+	w.Int(int64(l.Index))
+	appendSummary(w, l.Summary)
+	w.Uint(uint64(len(l.Assign)))
+	for _, a := range l.Assign {
+		w.Int(int64(a))
+	}
+	w.Int(l.Iterations)
+	w.Int(l.TexecPs)
+	w.Int(int64(l.SyncIncreases))
+}
+
+// readBatchLoopResult reconstructs one result from its canonical payload.
+func readBatchLoopResult(r *Reader) (BatchLoopResult, error) {
+	var l BatchLoopResult
+	var err error
+	l.Bench = r.Str()
+	l.Index = int(r.Int())
+	if l.Summary, err = readSummary(r); err != nil {
+		return l, err
+	}
+	if n := r.Len(1); n > 0 {
+		l.Assign = make([]int, n)
+		for i := range l.Assign {
+			l.Assign[i] = int(r.Int())
+		}
+	}
+	l.Iterations = r.Int()
+	l.TexecPs = r.Int()
+	l.SyncIncreases = int(r.Int())
+	return l, r.Err()
+}
+
+// EncodeBatchResult encodes a batch response frame (binary).
+func EncodeBatchResult(res *BatchResult) []byte {
+	w := NewEnvelope(KindBatchResult)
+	w.Str(res.ConfigSHA)
+	w.Uint(uint64(len(res.Loops)))
+	for i := range res.Loops {
+		appendBatchLoopResult(w, &res.Loops[i])
+	}
+	return w.Bytes()
+}
+
+// DecodeBatchResult decodes a batch response frame.
+func DecodeBatchResult(data []byte) (*BatchResult, error) {
+	r, _, err := OpenEnvelope(data, KindBatchResult)
+	if err != nil {
+		return nil, err
+	}
+	res := &BatchResult{ConfigSHA: r.Str()}
+	n := r.Len(2)
+	res.Loops = make([]BatchLoopResult, 0, n)
+	for i := 0; i < n; i++ {
+		l, err := readBatchLoopResult(r)
+		if err != nil {
+			return nil, fmt.Errorf("artifact: batch result %d: %w", i, err)
+		}
+		res.Loops = append(res.Loops, l)
+	}
+	return res, r.Err()
+}
+
+// AppendBatchLoopResult writes one result's canonical payload into w —
+// the building block the service's durable peer-cache codec shares with
+// the response frame.
+func AppendBatchLoopResult(w *Writer, l *BatchLoopResult) { appendBatchLoopResult(w, l) }
+
+// ReadBatchLoopResult reconstructs one result written by
+// AppendBatchLoopResult.
+func ReadBatchLoopResult(r *Reader) (BatchLoopResult, error) { return readBatchLoopResult(r) }

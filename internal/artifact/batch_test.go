@@ -1,0 +1,123 @@
+package artifact
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+)
+
+// batchRequestFixture builds a small mixed batch request.
+func batchRequestFixture(t *testing.T) *BatchRequest {
+	t.Helper()
+	names, err := loopgen.FamilyNames("media")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loopgen.GenerateFamily("media", names[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &BatchRequest{Config: machine.ReferenceConfig(1)}
+	for i, l := range b.Loops {
+		req.Loops = append(req.Loops, BatchLoop{
+			Bench:      b.Name,
+			Index:      i,
+			Graph:      l.Graph,
+			Iterations: l.Iterations,
+		})
+	}
+	return req
+}
+
+// TestBatchRequestRoundTrip: the batch request frame is canonical —
+// encode(decode(encode(x))) is byte-identical — and the decoded loops
+// match the originals structurally.
+func TestBatchRequestRoundTrip(t *testing.T) {
+	req := batchRequestFixture(t)
+	enc := EncodeBatchRequest(req)
+	dec, err := DecodeBatchRequest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Loops) != len(req.Loops) {
+		t.Fatalf("decoded %d loops, want %d", len(dec.Loops), len(req.Loops))
+	}
+	for i, l := range dec.Loops {
+		orig := req.Loops[i]
+		if l.Bench != orig.Bench || l.Index != orig.Index || l.Iterations != orig.Iterations {
+			t.Errorf("loop %d labels: got %q/%d/%d, want %q/%d/%d",
+				i, l.Bench, l.Index, l.Iterations, orig.Bench, orig.Index, orig.Iterations)
+		}
+		if HashGraph(l.Graph) != HashGraph(orig.Graph) {
+			t.Errorf("loop %d graph fingerprint changed across the round trip", i)
+		}
+	}
+	if re := EncodeBatchRequest(dec); !bytes.Equal(re, enc) {
+		t.Error("re-encoding a decoded batch request is not byte-identical")
+	}
+}
+
+// TestBatchResultRoundTrip: the result frame is canonical too.
+func TestBatchResultRoundTrip(t *testing.T) {
+	res := &BatchResult{
+		ConfigSHA: HashConfig(machine.ReferenceConfig(1)).Hex(),
+		Loops: []BatchLoopResult{
+			{
+				Bench: "adpcm",
+				Index: 2,
+				Summary: ScheduleSummary{
+					Loop: "adpcm_L2", GraphHex: "ab12", ITPs: 5400, II: []int{3, 3, 4, 4, 3, 3},
+					SC: 2, ItLengthPs: 9000, MaxLive: []int{10, 8, 7, 9}, Comms: 4,
+					SumLifetimeCycles: 120,
+				},
+				Assign:        []int{0, 1, 2, 3, 0},
+				Iterations:    77,
+				TexecPs:       123456,
+				SyncIncreases: 1,
+			},
+			{Bench: "gsm", Index: 0, Iterations: 1, TexecPs: 9},
+		},
+	}
+	enc := EncodeBatchResult(res)
+	dec, err := DecodeBatchResult(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.ConfigSHA != res.ConfigSHA || len(dec.Loops) != len(res.Loops) {
+		t.Fatalf("decoded shape mismatch: %q/%d", dec.ConfigSHA, len(dec.Loops))
+	}
+	if re := EncodeBatchResult(dec); !bytes.Equal(re, enc) {
+		t.Error("re-encoding a decoded batch result is not byte-identical")
+	}
+	got := dec.Loops[0]
+	if got.Summary.ITPs != 5400 || got.Assign[4] != 0 || got.TexecPs != 123456 || got.SyncIncreases != 1 {
+		t.Errorf("decoded loop 0 lost fields: %+v", got)
+	}
+}
+
+// TestBatchDecodeRejects: truncated, foreign-kind and nonsensical frames
+// surface as errors, never as panics or silent zero values.
+func TestBatchDecodeRejects(t *testing.T) {
+	req := batchRequestFixture(t)
+	enc := EncodeBatchRequest(req)
+
+	if _, err := DecodeBatchRequest(enc[:len(enc)/2]); err == nil {
+		t.Error("truncated batch request decoded without error")
+	}
+	if _, err := DecodeBatchRequest([]byte("garbage")); err == nil {
+		t.Error("garbage decoded as a batch request")
+	}
+	if _, err := DecodeBatchResult(enc); err == nil {
+		t.Error("a request frame decoded as a result frame (kind not checked)")
+	}
+	// Zero iterations must be rejected (the simulator needs a positive
+	// trip count).
+	bad := &BatchRequest{Config: req.Config, Loops: []BatchLoop{{
+		Bench: "x", Graph: req.Loops[0].Graph, Iterations: 0,
+	}}}
+	if _, err := DecodeBatchRequest(EncodeBatchRequest(bad)); err == nil {
+		t.Error("nonpositive iterations decoded without error")
+	}
+}

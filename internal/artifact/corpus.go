@@ -2,6 +2,7 @@
 // software-pipelinable loops. Exported corpora make the evaluation
 // workload shareable and importable: a corpus file evaluates byte-
 // identically to the in-memory corpus it was exported from.
+
 package artifact
 
 import (

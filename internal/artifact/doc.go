@@ -1,0 +1,29 @@
+// Package artifact makes the repo's core value types — loop DDGs, loop
+// corpora, machine configurations, design spaces, schedule summaries and
+// batch request/result frames — first-class serializable artifacts.
+// Every artifact has two wire forms:
+//
+//   - a compact, deterministic binary encoding (varint/length-prefixed,
+//     float64s by bit pattern) used for files, the disk-persistent
+//     exploration cache, and content hashing;
+//   - a human-readable JSON encoding for inspection and interchange.
+//
+// Both forms are versioned: the binary form carries a 4-byte magic, a
+// kind string and a format version in its envelope, the JSON form carries
+// the same fields as properties. Decoders reject unknown kinds and future
+// versions, so cache entries and corpora written by a newer format are
+// recomputed/re-exported rather than misread.
+//
+// The binary encoding is canonical: encode(decode(encode(x))) is byte
+// identical to encode(x). That property is what lets the same primitives
+// back the file formats, the content-addressed cache keys used by the
+// exploration engine (package explore), and the sharded /v1/batch
+// protocol of package service — a hash of the canonical bytes is a
+// content address, and a response frame is comparable byte for byte
+// across deployments.
+//
+// The digest machinery (NewDigest, Key, HashGraph, HashConfig, ...) lives
+// here too: a fingerprint is the content address of a value's canonical
+// serialized form, so two values share a hash iff they are semantically
+// identical.
+package artifact

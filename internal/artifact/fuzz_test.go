@@ -19,6 +19,7 @@ import (
 	"repro/internal/ddg"
 	"repro/internal/isa"
 	"repro/internal/loopgen"
+	"repro/internal/machine"
 )
 
 // seedTestdata adds every committed golden artifact as a seed; the
@@ -138,5 +139,54 @@ func FuzzDecodeScheduleSummary(f *testing.F) {
 		}
 		// JSON form: decoder must be panic-free on arbitrary bytes.
 		_, _ = DecodeScheduleSummaryJSON(data)
+	})
+}
+
+func FuzzDecodeBatchRequest(f *testing.F) {
+	seedTestdata(f)
+	g := fuzzGraph()
+	f.Add(EncodeBatchRequest(&BatchRequest{
+		Config: machine.ReferenceConfig(1),
+		Loops:  []BatchLoop{{Bench: "b", Index: 1, Graph: g, Iterations: 7}},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeBatchRequest(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeBatchRequest(req)
+		req2, err := DecodeBatchRequest(enc)
+		if err != nil {
+			t.Fatalf("re-encoded batch request does not decode: %v", err)
+		}
+		if !bytes.Equal(EncodeBatchRequest(req2), enc) {
+			t.Fatalf("batch request encoding is not canonical")
+		}
+	})
+}
+
+func FuzzDecodeBatchResult(f *testing.F) {
+	seedTestdata(f)
+	f.Add(EncodeBatchResult(&BatchResult{
+		ConfigSHA: "ab",
+		Loops: []BatchLoopResult{{
+			Bench: "b", Index: 1, Iterations: 7, TexecPs: 9,
+			Summary: ScheduleSummary{Loop: "l", II: []int{2}, MaxLive: []int{3}},
+			Assign:  []int{0, 1},
+		}},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := DecodeBatchResult(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeBatchResult(res)
+		res2, err := DecodeBatchResult(enc)
+		if err != nil {
+			t.Fatalf("re-encoded batch result does not decode: %v", err)
+		}
+		if !bytes.Equal(EncodeBatchResult(res2), enc) {
+			t.Fatalf("batch result encoding is not canonical")
+		}
 	})
 }

@@ -1,4 +1,5 @@
 // Loop DDG artifact: binary and JSON forms of ddg.Graph.
+
 package artifact
 
 import (

@@ -4,6 +4,7 @@
 // on disk — is a proof of redundant work. This file is the single home of
 // the digest machinery; package explore re-exports it so every cache key
 // in the repo is built from the same primitives as the file formats.
+
 package artifact
 
 import (

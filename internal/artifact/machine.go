@@ -1,5 +1,6 @@
 // Machine configuration artifact: binary and JSON forms of machine.Config
 // (structural architecture + clock/voltage assignment).
+
 package artifact
 
 import (

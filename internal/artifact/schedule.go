@@ -3,6 +3,7 @@
 // without the per-op placement detail. Summaries are what sensitivity
 // studies and reports consume, and they tie back to their loop through the
 // DDG content hash.
+
 package artifact
 
 import (

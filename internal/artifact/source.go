@@ -3,6 +3,7 @@
 // generators. An imported corpus evaluates byte-identically to the
 // in-memory corpus it was exported from (the codec preserves every graph,
 // weight and trip count exactly).
+
 package artifact
 
 import (

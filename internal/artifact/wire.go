@@ -1,23 +1,7 @@
-// Package artifact makes the repo's core value types — loop DDGs, loop
-// corpora, machine configurations, design spaces and schedule summaries —
-// first-class serializable artifacts. Every artifact has two wire forms:
-//
-//   - a compact, deterministic binary encoding (varint/length-prefixed,
-//     float64s by bit pattern) used for files, the disk-persistent
-//     exploration cache, and content hashing;
-//   - a human-readable JSON encoding for inspection and interchange.
-//
-// Both forms are versioned: the binary form carries a 4-byte magic, a
-// kind string and a format version in its envelope, the JSON form carries
-// the same fields as properties. Decoders reject unknown kinds and future
-// versions, so cache entries and corpora written by a newer format are
-// recomputed/re-exported rather than misread.
-//
-// The binary encoding is canonical: encode(decode(encode(x))) is byte
-// identical to encode(x). That property is what lets the same primitives
-// back both the file formats and the content-addressed cache keys used by
-// the exploration engine (package explore) — a hash of the canonical
-// bytes is a content address.
+// Canonical wire primitives: the Writer/Reader pair behind every binary
+// artifact form (varint/length-prefixed, float64s by bit pattern) and the
+// versioned envelope (magic, kind, version) that frames them.
+
 package artifact
 
 import (

@@ -1,0 +1,189 @@
+// Package cluster is the routing substrate of sharded hetvliwd serving:
+// a deterministic assignment of content-addressed work to peers.
+//
+// Routing is rendezvous (highest-random-weight) hashing: every (peer,
+// key) pair is scored by hashing the peer's identity with the key, and
+// the key belongs to the highest-scoring peer. All shards configured with
+// the same peer set — regardless of list order — agree on every
+// assignment without any coordination, and removing one peer remaps only
+// the keys that peer owned (the score of every other pair is unchanged).
+// Because the keys are content hashes (artifact.Key), the same loop
+// always lands on — and is cached by — the same shard, which is what
+// makes the peer cache tier (explore.RemoteCache) effective: the owner
+// of a key is exactly the shard most likely to hold its entry.
+//
+// A Ring is immutable after construction and safe for concurrent use.
+package cluster
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/artifact"
+)
+
+// Ring is an immutable rendezvous-hash view of one peer set.
+type Ring struct {
+	peers []string // normalized base URLs, sorted (canonical order)
+	self  int      // index of this process's own URL, -1 if absent
+}
+
+// New builds a Ring from the peer base URLs (this process's own URL
+// included) and self, this process's URL. Peers are normalized (scheme
+// defaulted to http, trailing slashes stripped, host/scheme lowercased)
+// and deduplicated; self must normalize to one of them.
+func New(peers []string, self string) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer set")
+	}
+	seen := make(map[string]bool, len(peers))
+	norm := make([]string, 0, len(peers))
+	for _, p := range peers {
+		u, err := Normalize(p)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[u] {
+			seen[u] = true
+			norm = append(norm, u)
+		}
+	}
+	sort.Strings(norm)
+	r := &Ring{peers: norm, self: -1}
+	if self != "" {
+		su, err := Normalize(self)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: self: %w", err)
+		}
+		for i, p := range norm {
+			if p == su {
+				r.self = i
+				break
+			}
+		}
+		if r.self < 0 {
+			return nil, fmt.Errorf("cluster: self %q is not in the peer set %v", su, norm)
+		}
+	}
+	return r, nil
+}
+
+// Normalize canonicalizes one peer base URL: a bare host:port gets the
+// http scheme, the path must be empty, and trailing slashes are dropped,
+// so equal peers compare equal as strings.
+func Normalize(raw string) (string, error) {
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return "", fmt.Errorf("cluster: empty peer URL")
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return "", fmt.Errorf("cluster: peer %q: %w", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("cluster: peer %q: unsupported scheme %q", raw, u.Scheme)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("cluster: peer %q has no host", raw)
+	}
+	if strings.Trim(u.Path, "/") != "" || u.RawQuery != "" || u.Fragment != "" {
+		return "", fmt.Errorf("cluster: peer %q must be a base URL (scheme://host:port)", raw)
+	}
+	return strings.ToLower(u.Scheme) + "://" + strings.ToLower(u.Host), nil
+}
+
+// Peers returns the canonical (sorted, normalized) peer set.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Size returns the number of peers.
+func (r *Ring) Size() int { return len(r.peers) }
+
+// Self returns this process's normalized URL ("" if none was declared).
+func (r *Ring) Self() string {
+	if r.self < 0 {
+		return ""
+	}
+	return r.peers[r.self]
+}
+
+// Owner returns the peer that owns key: the rendezvous winner over the
+// peer set. Deterministic in (peer set, key) only.
+func (r *Ring) Owner(key artifact.Key) string {
+	return r.peers[r.ownerIndex(key)]
+}
+
+// OwnsSelf reports whether this process owns key (true as well when the
+// ring has no self, so a self-less ring computes everything locally).
+func (r *Ring) OwnsSelf(key artifact.Key) bool {
+	if r.self < 0 {
+		return true
+	}
+	return r.ownerIndex(key) == r.self
+}
+
+// ownerIndex scores every peer against the key and returns the argmax.
+// Ties (a 2^-64 event) break toward the lexicographically smaller peer,
+// which is the lower index in the sorted set.
+func (r *Ring) ownerIndex(key artifact.Key) int {
+	best, bestScore := 0, uint64(0)
+	for i, p := range r.peers {
+		if s := score(p, key); i == 0 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// score is the rendezvous weight of one (peer, key) pair: the first 8
+// bytes of SHA-256(peer || 0x00 || key). The hash — not the peer list
+// order — carries all the randomness, so every shard computes identical
+// scores from its own copy of the configuration.
+func score(peer string, key artifact.Key) uint64 {
+	h := sha256.New()
+	h.Write([]byte(peer))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0]))
+}
+
+// ParsePeers assembles a peer list from a comma-separated flag value and
+// an optional peers file (one URL per line, blank lines and #-comments
+// ignored). Either source may be empty; the union is returned in input
+// order (New sorts and dedups).
+func ParsePeers(flagList, file string) ([]string, error) {
+	var peers []string
+	for _, p := range strings.Split(flagList, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: peers file: %w", err)
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			peers = append(peers, line)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("cluster: peers file: %w", err)
+		}
+	}
+	return peers, nil
+}

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/artifact"
+)
+
+func testKeys(n int) []artifact.Key {
+	keys := make([]artifact.Key, n)
+	for i := range keys {
+		keys[i] = artifact.HashBytes("test", []byte(fmt.Sprintf("key-%d", i)))
+	}
+	return keys
+}
+
+// TestOwnerDeterministic: the same (peer set, key) pair always maps to
+// the same owner, regardless of the order the peers were listed in.
+func TestOwnerDeterministic(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	shuffled := []string{"http://c:1", "http://a:1", "http://b:1"}
+	r1, err := New(peers, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New(shuffled, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(200) {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("owner of %s depends on peer list order: %s vs %s",
+				k, r1.Owner(k), r2.Owner(k))
+		}
+	}
+}
+
+// TestOwnerSpread: rendezvous hashing spreads keys over all peers — no
+// peer owns everything, no peer owns nothing (with 600 keys over 3
+// peers, an empty bucket would be astronomically unlikely).
+func TestOwnerSpread(t *testing.T) {
+	r, err := New([]string{"http://a:1", "http://b:1", "http://c:1"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, k := range testKeys(600) {
+		counts[r.Owner(k)]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("keys landed on %d of 3 peers: %v", len(counts), counts)
+	}
+	for p, n := range counts {
+		if n < 60 {
+			t.Errorf("peer %s owns only %d/600 keys (badly skewed)", p, n)
+		}
+	}
+}
+
+// TestRemovalRemapsOnlyOwnedKeys: the rendezvous property — dropping one
+// peer moves only the keys that peer owned; every other key keeps its
+// owner. This is why a shard outage degrades, not reshuffles, the
+// cluster's cache locality.
+func TestRemovalRemapsOnlyOwnedKeys(t *testing.T) {
+	full := []string{"http://a:1", "http://b:1", "http://c:1"}
+	rFull, err := New(full, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLess, err := New(full[:2], "") // drop c
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, kept := 0, 0
+	for _, k := range testKeys(300) {
+		before, after := rFull.Owner(k), rLess.Owner(k)
+		if before == "http://c:1" {
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %s moved from %s to %s although its owner survived", k, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestSelf: self resolves through normalization, OwnsSelf partitions the
+// key space consistently with Owner, and a self-less ring owns all keys.
+func TestSelf(t *testing.T) {
+	peers := []string{"http://a:1", "b:1", "HTTP://C:1"}
+	r, err := New(peers, "http://b:1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Self() != "http://b:1" {
+		t.Fatalf("Self() = %q", r.Self())
+	}
+	if got := r.Peers(); !reflect.DeepEqual(got, []string{"http://a:1", "http://b:1", "http://c:1"}) {
+		t.Fatalf("canonical peer set = %v", got)
+	}
+	for _, k := range testKeys(100) {
+		if r.OwnsSelf(k) != (r.Owner(k) == "http://b:1") {
+			t.Fatalf("OwnsSelf and Owner disagree for %s", k)
+		}
+	}
+	noSelf, err := New(peers, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(10) {
+		if !noSelf.OwnsSelf(k) {
+			t.Fatal("a self-less ring must own every key (compute locally)")
+		}
+	}
+	if _, err := New(peers, "http://outsider:9"); err == nil {
+		t.Fatal("self outside the peer set must be rejected")
+	}
+	if _, err := New(nil, ""); err == nil {
+		t.Fatal("empty peer set must be rejected")
+	}
+}
+
+// TestNormalize covers the canonical form and the rejection cases.
+func TestNormalize(t *testing.T) {
+	good := map[string]string{
+		"host:8080":               "http://host:8080",
+		"http://Host:8080/":       "http://host:8080",
+		"HTTPS://example.com":     "https://example.com",
+		"  http://a:1  ":          "http://a:1",
+		"https://example.com:443": "https://example.com:443",
+	}
+	for in, want := range good {
+		got, err := Normalize(in)
+		if err != nil {
+			t.Errorf("Normalize(%q): %v", in, err)
+		} else if got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+	bad := []string{"", "ftp://x:1", "http://", "http://h:1/path", "http://h:1?q=1", "http://h:1#f"}
+	for _, in := range bad {
+		if got, err := Normalize(in); err == nil {
+			t.Errorf("Normalize(%q) = %q, want error", in, got)
+		}
+	}
+}
+
+// TestParsePeers merges the flag list with a peers file and ignores
+// blanks and comments.
+func TestParsePeers(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "peers.txt")
+	if err := os.WriteFile(file, []byte("# shard fleet\nhttp://c:1\n\n  http://d:1  \n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParsePeers(" http://a:1 , http://b:1 ,", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParsePeers = %v, want %v", got, want)
+	}
+	if _, err := ParsePeers("", filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("missing peers file must be an error")
+	}
+	if got, err := ParsePeers("", ""); err != nil || got != nil {
+		t.Fatalf("empty sources: %v, %v", got, err)
+	}
+}

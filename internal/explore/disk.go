@@ -10,6 +10,7 @@
 // only ever observe complete entries. Two processes computing the same
 // key race benignly: both write identical bytes (the cache stores only
 // deterministic functions of the key).
+
 package explore
 
 import (
@@ -120,24 +121,44 @@ func MemoizeDurable[T any](e *Engine, key Key, c Codec[T], fn func() (T, error))
 // MemoizeDurableCtx is MemoizeDurable with cancellation, with the same
 // semantics as MemoizeCtx: waiters unblock when their context expires, and
 // a computation aborted by its own context is evicted rather than cached.
+//
+// The full lookup chain is memory → disk → peer → compute: after an
+// in-memory miss the disk tier is consulted, then the peer tier (when a
+// RemoteCache is installed), and only then is fn run. Peer-served entries
+// are validated through the codec exactly like disk entries — anything
+// that fails to decode reads as a miss — and are re-persisted into the
+// local disk tier so the network round trip is paid once per shard.
 func MemoizeDurableCtx[T any](ctx context.Context, e *Engine, key Key, c Codec[T], fn func(context.Context) (T, error)) (T, error) {
-	if e.disk == nil {
+	if e.disk == nil && e.remote == nil {
 		return MemoizeCtx(ctx, e, key, fn)
 	}
 	v, err := e.memoTiered(ctx, key,
 		func() (any, bool) {
-			data, ok := e.disk.load(key)
-			if !ok {
-				return nil, false
+			if e.disk != nil {
+				if data, ok := e.disk.load(key); ok {
+					if val, derr := decodeEntry(c, data); derr == nil {
+						e.diskHits.Add(1)
+						return val, true
+					}
+					// stale/corrupt entry: fall through and recompute
+				}
 			}
-			val, derr := decodeEntry(c, data)
-			if derr != nil {
-				return nil, false // stale/corrupt entry: recompute
+			if e.remote != nil {
+				if data, ok := e.remote.Fetch(ctx, key); ok {
+					if val, derr := decodeEntry(c, data); derr == nil {
+						e.peerHits.Add(1)
+						if e.disk != nil && e.disk.store(key, data) {
+							e.diskWrites.Add(1)
+						}
+						return val, true
+					}
+					// corrupt peer response: treat as a miss
+				}
 			}
-			return val, true
+			return nil, false
 		},
 		func(v any) {
-			if e.disk.store(key, encodeEntry(c, v.(T))) {
+			if e.disk != nil && e.disk.store(key, encodeEntry(c, v.(T))) {
 				e.diskWrites.Add(1)
 			}
 		},
@@ -187,10 +208,10 @@ func (e *Engine) memoTiered(ctx context.Context, key Key, load func() (any, bool
 			if v, raced := e.cache.LoadOrStore(key, fresh); raced {
 				ent = v.(*entry)
 			} else {
-				// Claimant: compute (or load) and publish.
+				// Claimant: compute (or load) and publish. load counts its
+				// own tier hits (disk vs peer).
 				if load != nil {
 					if v, ok := load(); ok {
-						e.diskHits.Add(1)
 						fresh.val = v
 						close(fresh.done)
 						return fresh.val, nil

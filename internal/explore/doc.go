@@ -1,0 +1,30 @@
+// Package explore is the design-space exploration engine behind the
+// paper's Section 5 evaluation: every candidate clustered-VLIW
+// configuration must re-estimate (and, for the winner, re-schedule and
+// re-simulate) the whole loop corpus, and the interesting design spaces
+// are far larger than the paper's Table 2 grid. The engine makes that
+// sweep cheap in two orthogonal ways:
+//
+//   - Sharding: candidate evaluations fan out across a bounded worker
+//     pool (Engine.ForEach / Map), with results reduced in input order so
+//     Parallelism=1 and Parallelism=NumCPU produce byte-identical tables.
+//
+//   - Memoisation: scheduling, simulation and MIT analysis results are
+//     kept in a content-addressed cache keyed by (loop DDG fingerprint,
+//     machine config, clocking, demand/cost inputs). Candidates that
+//     share a homogeneous baseline, differ only in clock domains, or are
+//     revisited by a later sensitivity study never redo identical work.
+//
+// The cache is tiered. Every engine has the in-process memory tier;
+// NewDisk adds a disk-persistent tier of content-addressed artifact
+// files (MemoizeDurable), giving fresh processes the warm start of a
+// long-lived one; SetRemote adds a peer tier (RemoteCache) that lets a
+// sharded deployment serve entries between shards. A durable lookup
+// walks memory → disk → peer → compute, and every lower tier has strict
+// miss semantics — a corrupt file, foreign format or unreachable peer
+// reads as a miss, never as wrong data.
+//
+// The cache stores only deterministic functions of their key, so hits are
+// indistinguishable from recomputation; the hit/miss counters (Stats)
+// exist to make that claim testable and the speedup measurable.
+package explore

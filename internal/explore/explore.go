@@ -1,23 +1,7 @@
-// Package explore is the design-space exploration engine behind the
-// paper's Section 5 evaluation: every candidate clustered-VLIW
-// configuration must re-estimate (and, for the winner, re-schedule and
-// re-simulate) the whole loop corpus, and the interesting design spaces
-// are far larger than the paper's Table 2 grid. The engine makes that
-// sweep cheap in two orthogonal ways:
-//
-//   - Sharding: candidate evaluations fan out across a bounded worker
-//     pool (Engine.ForEach / Map), with results reduced in input order so
-//     Parallelism=1 and Parallelism=NumCPU produce byte-identical tables.
-//
-//   - Memoisation: scheduling, simulation and MIT analysis results are
-//     kept in a content-addressed cache keyed by (loop DDG fingerprint,
-//     machine config, clocking, demand/cost inputs). Candidates that
-//     share a homogeneous baseline, differ only in clock domains, or are
-//     revisited by a later sensitivity study never redo identical work.
-//
-// The cache stores only deterministic functions of their key, so hits are
-// indistinguishable from recomputation; the hit/miss counters (Stats)
-// exist to make that claim testable and the speedup measurable.
+// The engine core: the bounded worker pool (ForEach/Map) and the
+// in-memory content-addressed memoisation tier. The disk and peer tiers
+// live in disk.go and remote.go; the package story is in doc.go.
+
 package explore
 
 import (
@@ -42,6 +26,10 @@ type Engine struct {
 	disk       *diskCache
 	diskHits   atomic.Uint64
 	diskWrites atomic.Uint64
+	// remote is the optional peer tier (see SetRemote / RemoteCache):
+	// consulted after a disk miss, before computing.
+	remote   RemoteCache
+	peerHits atomic.Uint64
 }
 
 // New returns an Engine with the given worker-pool bound; parallelism <= 0
@@ -70,16 +58,20 @@ type CacheStats struct {
 	// engines.
 	DiskHits   uint64
 	DiskWrites uint64
+	// PeerHits counts lookups served from the peer (remote) tier; zero
+	// unless a RemoteCache is installed (sharded daemons).
+	PeerHits uint64
 }
 
 // HitRate returns the fraction of lookups served without recomputation
-// (memory and disk hits over all lookups); 0 when nothing was looked up.
+// (memory, disk and peer hits over all lookups); 0 when nothing was
+// looked up.
 func (s CacheStats) HitRate() float64 {
-	total := s.Hits + s.DiskHits + s.Misses
+	total := s.Hits + s.DiskHits + s.PeerHits + s.Misses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits+s.DiskHits) / float64(total)
+	return float64(s.Hits+s.DiskHits+s.PeerHits) / float64(total)
 }
 
 // Stats snapshots the cache counters.
@@ -89,6 +81,7 @@ func (e *Engine) Stats() CacheStats {
 		Misses:     e.misses.Load(),
 		DiskHits:   e.diskHits.Load(),
 		DiskWrites: e.diskWrites.Load(),
+		PeerHits:   e.peerHits.Load(),
 	}
 	e.cache.Range(func(any, any) bool { s.Entries++; return true })
 	return s

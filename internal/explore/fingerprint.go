@@ -4,6 +4,7 @@
 // content address of the value's serialized form. This file re-exports
 // the artifact types under their historical explore names and adds the
 // engine-scoped graph-fingerprint cache.
+
 package explore
 
 import (

@@ -1,0 +1,33 @@
+// Peer (remote) cache tier. A sharded deployment runs N engines over N
+// disjoint disk caches; the remote tier lets an engine consult its peers'
+// caches before computing, extending the lookup chain to
+//
+//	memory → disk → peer → compute
+//
+// The tier is a strict accelerator with the same miss semantics as the
+// disk tier: an unreachable peer, a slow peer (the fetcher bounds its own
+// time), or a corrupt/foreign-format response all read as a miss and fall
+// through to local compute, so a degraded cluster returns byte-identical
+// results to a healthy one — only slower. Peer-served entries are
+// re-persisted into the local disk tier, so each entry crosses the
+// network once per shard, not once per process.
+
+package explore
+
+import "context"
+
+// RemoteCache fetches cache entries from somewhere other than this
+// process — in the sharded daemon, from the peer that owns the key. Fetch
+// returns the raw artifact-envelope bytes of the entry and whether one
+// was found; implementations must treat every failure (network, HTTP
+// status, timeout) as "not found" and must bound their own latency.
+// Decoding/validation happens in the engine through the caller's Codec,
+// so a lying peer can cost a recompute but never corrupt a result.
+type RemoteCache interface {
+	Fetch(ctx context.Context, key Key) ([]byte, bool)
+}
+
+// SetRemote installs the peer tier. It must be called before the engine
+// is shared across goroutines (construction time); a nil RemoteCache
+// leaves the engine disk-only.
+func (e *Engine) SetRemote(rc RemoteCache) { e.remote = rc }

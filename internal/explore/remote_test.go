@@ -1,0 +1,176 @@
+package explore
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeRemote is an in-memory RemoteCache with a programmable failure
+// mode.
+type fakeRemote struct {
+	entries map[Key][]byte
+	fetches atomic.Int32
+}
+
+func (f *fakeRemote) Fetch(_ context.Context, key Key) ([]byte, bool) {
+	f.fetches.Add(1)
+	data, ok := f.entries[key]
+	return data, ok
+}
+
+// TestRemoteHitSkipsComputeAndPersists: a peer-served entry is decoded,
+// counted as a peer hit, returned without running fn, and re-persisted
+// into the local disk tier so the next process hits disk, not network.
+func TestRemoteHitSkipsComputeAndPersists(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey("remote-a")
+	rc := &fakeRemote{entries: map[Key][]byte{
+		key: encodeEntry(intCodec, 42),
+	}}
+
+	e1, err := NewDisk(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.SetRemote(rc)
+	v, err := MemoizeDurable(e1, key, intCodec, func() (int, error) {
+		t.Fatal("computed although the peer had the entry")
+		return 0, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("got %d, %v", v, err)
+	}
+	st := e1.Stats()
+	if st.PeerHits != 1 || st.DiskHits != 0 || st.Misses != 0 {
+		t.Fatalf("stats after peer hit: %+v", st)
+	}
+	if st.DiskWrites != 1 {
+		t.Fatalf("peer entry not re-persisted to disk: %+v", st)
+	}
+	if st.HitRate() != 1.0 {
+		t.Fatalf("hit rate %v, want 1 (peer hits must count)", st.HitRate())
+	}
+
+	// Fresh engine on the same dir, peer now empty: the re-persisted
+	// entry serves from disk with no network fetch.
+	e2, err := NewDisk(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &fakeRemote{}
+	e2.SetRemote(empty)
+	v, err = MemoizeDurable(e2, key, intCodec, func() (int, error) {
+		t.Fatal("recomputed a disk-persisted peer entry")
+		return 0, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("got %d, %v", v, err)
+	}
+	if st := e2.Stats(); st.DiskHits != 1 || st.PeerHits != 0 {
+		t.Fatalf("second engine stats: %+v", st)
+	}
+	if empty.fetches.Load() != 0 {
+		t.Fatal("disk hit still consulted the peer tier")
+	}
+}
+
+// TestRemoteCorruptEntryIsAMiss: peer bytes that fail codec validation
+// degrade to local compute — same semantics as a corrupt disk entry —
+// and the computed (correct) value is what gets persisted.
+func TestRemoteCorruptEntryIsAMiss(t *testing.T) {
+	key := testKey("remote-b")
+	rc := &fakeRemote{entries: map[Key][]byte{
+		key: []byte("garbage, not an artifact envelope"),
+	}}
+	e, err := NewDisk(1, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetRemote(rc)
+	var calls atomic.Int32
+	v, err := MemoizeDurable(e, key, intCodec, func() (int, error) {
+		calls.Add(1)
+		return 7, nil
+	})
+	if err != nil || v != 7 {
+		t.Fatalf("got %d, %v", v, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("computed %d times", calls.Load())
+	}
+	if st := e.Stats(); st.PeerHits != 0 || st.Misses != 1 || st.DiskWrites != 1 {
+		t.Fatalf("stats after corrupt peer entry: %+v", st)
+	}
+}
+
+// TestRemoteWrongKindIsAMiss: a peer entry of a foreign codec kind
+// (format evolution across shard versions) reads as a miss.
+func TestRemoteWrongKindIsAMiss(t *testing.T) {
+	key := testKey("remote-c")
+	other := Codec[int]{Kind: "test.int.v2", Encode: intCodec.Encode, Decode: intCodec.Decode}
+	rc := &fakeRemote{entries: map[Key][]byte{
+		key: encodeEntry(other, 99),
+	}}
+	e := New(1)
+	e.SetRemote(rc)
+	v, err := MemoizeDurable(e, key, intCodec, func() (int, error) { return 1, nil })
+	if err != nil || v != 1 {
+		t.Fatalf("got %d, %v", v, err)
+	}
+	if st := e.Stats(); st.PeerHits != 0 || st.Misses != 1 {
+		t.Fatalf("wrong-kind peer entry was accepted: %+v", st)
+	}
+}
+
+// TestRemoteMissComputes: a remote-only engine (no disk tier) with an
+// empty peer still computes and memoises in memory.
+func TestRemoteMissComputes(t *testing.T) {
+	key := testKey("remote-d")
+	rc := &fakeRemote{}
+	e := New(1)
+	e.SetRemote(rc)
+	var calls atomic.Int32
+	for i := 0; i < 2; i++ {
+		v, err := MemoizeDurable(e, key, intCodec, func() (int, error) {
+			calls.Add(1)
+			return 3, nil
+		})
+		if err != nil || v != 3 {
+			t.Fatalf("got %d, %v", v, err)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("computed %d times", calls.Load())
+	}
+	if rc.fetches.Load() != 1 {
+		t.Fatalf("fetched %d times (memory hit must not refetch)", rc.fetches.Load())
+	}
+	if st := e.Stats(); st.Hits != 1 || st.Misses != 1 || st.PeerHits != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestRemoteDiskWinsOverPeer: the disk tier is consulted before the peer
+// tier — a local entry never pays a network round trip.
+func TestRemoteDiskWinsOverPeer(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey("remote-e")
+	e1, _ := NewDisk(1, dir)
+	if _, err := MemoizeDurable(e1, key, intCodec, func() (int, error) { return 5, nil }); err != nil {
+		t.Fatal(err)
+	}
+	rc := &fakeRemote{entries: map[Key][]byte{key: encodeEntry(intCodec, 5)}}
+	e2, _ := NewDisk(1, dir)
+	e2.SetRemote(rc)
+	v, err := MemoizeDurable(e2, key, intCodec, func() (int, error) { return 0, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("got %d, %v", v, err)
+	}
+	if rc.fetches.Load() != 0 {
+		t.Fatal("disk hit still went to the peer")
+	}
+	if st := e2.Stats(); st.DiskHits != 1 || st.PeerHits != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

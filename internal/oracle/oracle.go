@@ -1,20 +1,6 @@
-// Package oracle guards the scheduler/simulator fast path with two
-// independent lines of defense:
-//
-//   - a differential oracle: every loop is scheduled and simulated twice,
-//     through the dense fast-path tables (modsched.Run / sim.Run) and
-//     through the preserved PR-2 map-based reference implementations
-//     (modsched.RefRun / sim.RefRun), and the results must be identical
-//     down to every schedule slot, (II, IT) pair, cycle count and energy
-//     event count;
-//
-//   - an invariant checker written against the paper's definitions, not
-//     the implementation: dependence latencies across clock domains,
-//     per-domain modulo resource bounds and the inter-cluster bus
-//     capacity are re-verified from the public Schedule data alone.
-//
-// The test files fuzz loops from all three generator families through
-// both; failures dump the offending loop as a replayable corpus artifact.
+// The differential oracle core: paired fast-path/reference runs and the
+// paper-definition invariant checks. The package story is in doc.go.
+
 package oracle
 
 import (

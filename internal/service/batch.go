@@ -1,0 +1,356 @@
+// Sharded serving: the /v1/batch endpoint, the /v1/cache/{hash} peer
+// cache backend, and the rendezvous routing between them.
+//
+// A batch request carries one machine configuration plus many loops in a
+// single canonical binary frame (artifact.BatchRequest). On a daemon with
+// peers, every loop is routed by the rendezvous hash of its memo key:
+// loops owned by this shard are computed locally, the rest are forwarded
+// to their owners as sub-batches (POST /v1/batch?route=local, which
+// disables re-forwarding), and the merged response preserves request
+// order — so the response bytes are identical to a single-process run no
+// matter how the work was split. Any peer failure (unreachable, HTTP
+// error, corrupt frame) degrades that owner's share to local compute:
+// the cluster loses speed, never answers.
+//
+// Per-loop results are memoised durably under the same key used for
+// routing, so a loop's owner accumulates its results on disk and serves
+// them to other shards through GET /v1/cache/{hash} — the peer tier of
+// the engine's memory → disk → peer → compute lookup chain.
+
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/artifact"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/explore"
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+// isCtxError reports whether err is a cancellation or deadline error —
+// failures that must propagate to the requester instead of triggering the
+// local-compute fallback.
+func isCtxError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// rawBody marks a handler result that is already encoded (a binary
+// artifact frame) and must be written verbatim instead of JSON-marshalled.
+type rawBody []byte
+
+// batchLoopKey is the content address of one batch loop's result: machine
+// configuration, DDG fingerprint, loop name (the summary carries it) and
+// trip count. It doubles as the rendezvous routing key, so a loop's owner
+// shard is exactly the shard whose disk cache holds its entry.
+func batchLoopKey(g *ddg.Graph, cfg *machine.Config, iterations int64) artifact.Key {
+	d := artifact.ConfigKey("service.batchloop", cfg)
+	d.Str(g.Name())
+	d.Str(string(artifact.HashGraph(g)))
+	d.Int(iterations)
+	return d.Key()
+}
+
+// batchLoopCodec persists one loop's batch result in the durable cache.
+// Bench/Index are request-side labels, not properties of the computation:
+// they are zeroed before encoding (so every shard writes identical bytes
+// for a key) and reattached by the caller after decoding.
+var batchLoopCodec = explore.Codec[artifact.BatchLoopResult]{
+	Kind: "service.batchloop",
+	Encode: func(w *artifact.Writer, l artifact.BatchLoopResult) {
+		l.Bench, l.Index = "", 0
+		artifact.AppendBatchLoopResult(w, &l)
+	},
+	Decode: func(r *artifact.Reader) (artifact.BatchLoopResult, error) {
+		return artifact.ReadBatchLoopResult(r)
+	},
+}
+
+// runBatch handles POST /v1/batch. With ?route=local (set on forwarded
+// sub-batches) or without a peer ring, everything is computed locally.
+func (s *Server) runBatch(ctx context.Context, body []byte, q url.Values) (any, error) {
+	req, err := artifact.DecodeBatchRequest(body)
+	if err != nil {
+		return nil, badRequest("bad batch request: %s", firstLine(err.Error()))
+	}
+	if len(req.Loops) == 0 {
+		return nil, badRequest("batch request has no loops")
+	}
+
+	n := len(req.Loops)
+	keys := make([]artifact.Key, n)
+	for i, l := range req.Loops {
+		keys[i] = batchLoopKey(l.Graph, req.Config, l.Iterations)
+	}
+	out := make([]artifact.BatchLoopResult, n)
+	errs := make([]error, n)
+
+	if s.ring == nil || s.ring.Size() < 2 || q.Get("route") == "local" {
+		s.computeBatch(ctx, req, keys, out, errs, nil)
+	} else {
+		s.routeBatch(ctx, req, keys, out, errs)
+	}
+
+	for i, err := range errs {
+		if err != nil {
+			if isCtxError(err) {
+				return nil, err
+			}
+			return nil, &httpError{
+				code: http.StatusUnprocessableEntity,
+				msg: fmt.Sprintf("batch %s loop %d: %s",
+					req.Loops[i].Bench, req.Loops[i].Index, firstLine(err.Error())),
+			}
+		}
+	}
+	res := &artifact.BatchResult{
+		ConfigSHA: artifact.HashConfig(req.Config).Hex(),
+		Loops:     out,
+	}
+	return rawBody(artifact.EncodeBatchResult(res)), nil
+}
+
+// routeBatch shards the request's loops across the peer ring: this
+// shard's share is computed locally, every other owner gets its share as
+// a forwarded sub-batch, and a failed forward falls back to computing
+// that share locally.
+func (s *Server) routeBatch(ctx context.Context, req *artifact.BatchRequest,
+	keys []artifact.Key, out []artifact.BatchLoopResult, errs []error) {
+
+	owners := make(map[string][]int)
+	for i, k := range keys {
+		owner := s.ring.Owner(k)
+		owners[owner] = append(owners[owner], i)
+	}
+	self := s.ring.Self()
+	var wg sync.WaitGroup
+	for owner, idxs := range owners {
+		if owner == self {
+			continue
+		}
+		wg.Add(1)
+		go func(owner string, idxs []int) {
+			defer wg.Done()
+			if err := s.forwardBatch(ctx, owner, req, idxs, out); err != nil {
+				s.peerErrors.Add(1)
+				if ctx.Err() != nil {
+					// The requester itself is gone or out of time; nothing
+					// to fall back to.
+					for _, i := range idxs {
+						errs[i] = ctx.Err()
+					}
+					return
+				}
+				// Degraded mode: the owner is unreachable, too slow, or
+				// answered garbage; compute its share here — the results
+				// are identical, only the latency differs.
+				s.computeBatch(ctx, req, keys, out, errs, idxs)
+				return
+			}
+			s.forwarded.Add(1)
+		}(owner, idxs)
+	}
+	if idxs := owners[self]; len(idxs) > 0 {
+		s.computeBatch(ctx, req, keys, out, errs, idxs)
+	}
+	wg.Wait()
+}
+
+// computeBatch schedules and simulates the loops at idxs (nil = all) on
+// the shared engine, memoised durably so the results land in — and can
+// later be served from — this shard's disk cache.
+func (s *Server) computeBatch(ctx context.Context, req *artifact.BatchRequest,
+	keys []artifact.Key, out []artifact.BatchLoopResult, errs []error, idxs []int) {
+
+	if idxs == nil {
+		idxs = make([]int, len(req.Loops))
+		for i := range idxs {
+			idxs[i] = i
+		}
+	}
+	cfg := req.Config
+	fastest := cfg.Clock.MinPeriod[cfg.Clock.FastestCluster(cfg.Arch)]
+	ferr := s.eng.ForEachCtx(ctx, len(idxs), func(j int) {
+		i := idxs[j]
+		l := req.Loops[i]
+		r, err := explore.MemoizeDurableCtx(ctx, s.eng, keys[i], batchLoopCodec,
+			func(ctx context.Context) (artifact.BatchLoopResult, error) {
+				return s.scheduleBatchLoop(l, cfg, fastest)
+			})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		r.Bench, r.Index = l.Bench, l.Index
+		out[i] = r
+	})
+	if ferr != nil {
+		for _, i := range idxs {
+			if errs[i] == nil && out[i].Summary.GraphHex == "" {
+				errs[i] = ferr
+			}
+		}
+	}
+}
+
+// scheduleBatchLoop is the per-loop computation: the same cost model and
+// schedule+simulate path as /v1/schedule, returning the serializable
+// result (labels unset — they belong to the request, not the key).
+func (s *Server) scheduleBatchLoop(l artifact.BatchLoop, cfg *machine.Config,
+	fastest clock.Picos) (artifact.BatchLoopResult, error) {
+
+	cost := partition.DefaultCost(cfg.Arch.NumClusters())
+	cost.Iterations = float64(l.Iterations)
+	for cl := 0; cl < cfg.Arch.NumClusters(); cl++ {
+		ratio := float64(fastest) / float64(cfg.Clock.MinPeriod[cl])
+		cost.DeltaCluster[cl] = ratio * ratio
+	}
+	sc := s.scratch.Get()
+	defer s.scratch.Put(sc)
+	res, err := core.ScheduleLoop(l.Graph, cfg, cost, core.Options{
+		Partition: partition.Options{EnergyAware: true},
+		Scratch:   &sc.sched,
+	})
+	if err != nil {
+		return artifact.BatchLoopResult{}, err
+	}
+	r, err := sim.RunScratch(res.Schedule, l.Iterations, sim.DefaultGenPeriod, &sc.sim)
+	if err != nil {
+		return artifact.BatchLoopResult{}, err
+	}
+	return artifact.BatchLoopResult{
+		Summary:       artifact.Summarize(res.Schedule),
+		Assign:        append([]int(nil), res.Schedule.Assign...),
+		Iterations:    l.Iterations,
+		TexecPs:       int64(r.Texec),
+		SyncIncreases: res.SyncIncreases,
+	}, nil
+}
+
+// forwardBatch sends the sub-batch of req at idxs to owner and scatters
+// the decoded results back into out (request order is preserved: sub-
+// request position j is original position idxs[j]). Every failure —
+// transport, HTTP status, frame decode, shape mismatch — is returned for
+// the caller to degrade to local compute.
+func (s *Server) forwardBatch(ctx context.Context, owner string,
+	req *artifact.BatchRequest, idxs []int, out []artifact.BatchLoopResult) error {
+
+	sub := &artifact.BatchRequest{Config: req.Config, Loops: make([]artifact.BatchLoop, len(idxs))}
+	for j, i := range idxs {
+		sub.Loops[j] = req.Loops[i]
+	}
+	pctx, cancel := context.WithTimeout(ctx, s.peerTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(pctx, http.MethodPost,
+		owner+"/v1/batch?route=local", bytes.NewReader(artifact.EncodeBatchRequest(sub)))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := s.peerHC.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("peer %s: HTTP %d", owner, resp.StatusCode)
+	}
+	res, err := artifact.DecodeBatchResult(data)
+	if err != nil {
+		return fmt.Errorf("peer %s: %w", owner, err)
+	}
+	if len(res.Loops) != len(idxs) {
+		return fmt.Errorf("peer %s: %d results for %d loops", owner, len(res.Loops), len(idxs))
+	}
+	for j, i := range idxs {
+		out[i] = res.Loops[j]
+	}
+	return nil
+}
+
+// ------------------------------------------------------ peer cache tier
+
+// handleCacheGet serves one disk-cache entry by content hash — the peer
+// cache backend. The body is the raw artifact envelope; the requesting
+// shard validates it through its codec, so this handler never decodes.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	dir := s.eng.CacheDir()
+	if dir == "" {
+		http.Error(w, "no cache tier", http.StatusNotFound)
+		return
+	}
+	hx := r.PathValue("hash")
+	if len(hx) != 2*32 {
+		http.Error(w, "bad cache key", http.StatusBadRequest)
+		return
+	}
+	if _, err := hex.DecodeString(hx); err != nil {
+		http.Error(w, "bad cache key", http.StatusBadRequest)
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(dir, hx[:2], hx[2:]+".art"))
+	if err != nil {
+		http.Error(w, "no such entry", http.StatusNotFound)
+		return
+	}
+	s.cacheServed.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(data)
+}
+
+// peerCache is the engine's RemoteCache: on a local disk miss, fetch the
+// entry from the shard that owns the key. Self-owned keys are never
+// fetched (this shard is the authority), and every failure reads as a
+// miss — the engine then computes locally.
+type peerCache struct{ s *Server }
+
+func (p peerCache) Fetch(ctx context.Context, key explore.Key) ([]byte, bool) {
+	s := p.s
+	if s.ring.OwnsSelf(key) {
+		return nil, false
+	}
+	pctx, cancel := context.WithTimeout(ctx, s.peerTimeout)
+	defer cancel()
+	u := s.ring.Owner(key) + "/v1/cache/" + key.Hex()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := s.peerHC.Do(req)
+	if err != nil {
+		s.peerErrors.Add(1)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// A 404 is an ordinary miss (the owner has not computed the key
+		// yet), not a peer failure.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		s.peerErrors.Add(1)
+		return nil, false
+	}
+	s.peerFetches.Add(1)
+	return data, true
+}

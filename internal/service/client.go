@@ -2,6 +2,7 @@
 // wire types of types.go, so anything computed remotely decodes into the
 // same values a local run produces — cmd/experiments renders both through
 // one code path and the bytes match.
+
 package service
 
 import (
@@ -14,6 +15,8 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+
+	"repro/internal/artifact"
 )
 
 // Client talks to a hetvliwd daemon.
@@ -160,6 +163,77 @@ func (c *Client) Select(ctx context.Context, corpus []byte, o SelectOptions) (*S
 		return nil, err
 	}
 	return &out, nil
+}
+
+// BatchRaw uploads an encoded batch request frame and returns the raw
+// encoded batch result frame. Because both frames are canonical binary
+// artifacts, the returned bytes are comparable across daemons: a sharded
+// cluster and a single process answer the same request with identical
+// bytes (the shard smoke test does exactly this).
+func (c *Client) BatchRaw(ctx context.Context, frame []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/batch", bytes.NewReader(frame))
+	if err != nil {
+		return nil, fmt.Errorf("service client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("service client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("service client: read response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("service client: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("service client: HTTP %d", resp.StatusCode)
+	}
+	return data, nil
+}
+
+// Batch schedules and simulates many loops in one round trip: the typed
+// front of BatchRaw.
+func (c *Client) Batch(ctx context.Context, req *artifact.BatchRequest) (*artifact.BatchResult, error) {
+	data, err := c.BatchRaw(ctx, artifact.EncodeBatchRequest(req))
+	if err != nil {
+		return nil, err
+	}
+	res, err := artifact.DecodeBatchResult(data)
+	if err != nil {
+		return nil, fmt.Errorf("service client: decode batch result: %w", err)
+	}
+	return res, nil
+}
+
+// FetchCache fetches one disk-cache entry by content hash from the
+// daemon's peer cache backend; found is false when the daemon has no
+// cache tier or no such entry.
+func (c *Client) FetchCache(ctx context.Context, hexKey string) (data []byte, found bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/cache/"+hexKey, nil)
+	if err != nil {
+		return nil, false, fmt.Errorf("service client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, false, fmt.Errorf("service client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("service client: HTTP %d", resp.StatusCode)
+	}
+	if data, err = io.ReadAll(resp.Body); err != nil {
+		return nil, false, fmt.Errorf("service client: read response: %w", err)
+	}
+	return data, true, nil
 }
 
 // setInt sets a positive integer parameter (zero = server default).

@@ -1,0 +1,342 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/cluster"
+	"repro/internal/machine"
+)
+
+// shard is one in-process member of a test cluster.
+type shard struct {
+	srv    *Server
+	hs     *http.Server
+	url    string
+	client *Client
+}
+
+// kill stops the shard's listener; peers then see connection refused.
+func (sh *shard) kill(t *testing.T) {
+	t.Helper()
+	if err := sh.hs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newShardCluster stands up n hetvliwd shards as one peer ring, each
+// with its own engine and disk cache — the 3-shard CI smoke, in-process.
+// Listeners are bound first so every shard can be configured with the
+// full peer set before any of them starts serving.
+func newShardCluster(t *testing.T, n int) []*shard {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	shards := make([]*shard, n)
+	for i := range shards {
+		srv, err := New(Config{
+			CacheDir:    t.TempDir(),
+			Workers:     4,
+			Peers:       urls,
+			Self:        urls[i],
+			PeerTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(listeners[i])
+		shards[i] = &shard{srv: srv, hs: hs, url: urls[i], client: NewClient(urls[i])}
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Close(ctx)
+			hs.Close()
+		})
+	}
+	return shards
+}
+
+// clusterFrame builds a batch request whose loops are guaranteed to
+// cover every shard of urls: from a 36-loop mixed corpus it selects up
+// to two loops owned by each shard (the shards hash by their ephemeral
+// ports, so which loops land where varies per run — the selection does
+// not). Routing, forwarding and the peer tier are therefore always
+// really exercised, and the frame stays small.
+func clusterFrame(t *testing.T, urls []string) ([]byte, *artifact.BatchRequest) {
+	t.Helper()
+	c := mixedCorpus(t, 12)
+	cfg := machine.ReferenceConfig(1)
+	ring, err := cluster.New(urls, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	picked := map[string][]artifact.BatchLoop{}
+	total := 0
+	for _, b := range c.Benchmarks {
+		for i, l := range b.Loops {
+			total++
+			bl := artifact.BatchLoop{Bench: b.Name, Index: i, Graph: l.Graph, Iterations: l.Iterations}
+			o := ring.Owner(batchLoopKey(l.Graph, cfg, l.Iterations))
+			if len(picked[o]) < 2 {
+				picked[o] = append(picked[o], bl)
+			}
+		}
+	}
+	req := &artifact.BatchRequest{Config: cfg}
+	for _, u := range ring.Peers() {
+		if len(picked[u]) == 0 {
+			t.Fatalf("no loops owned by %s among %d candidates", u, total)
+		}
+		req.Loops = append(req.Loops, picked[u]...)
+	}
+	return artifact.EncodeBatchRequest(req), req
+}
+
+// TestShardedBatchByteIdentity: a 3-shard cluster answers /v1/batch with
+// exactly the bytes a standalone daemon produces, no matter which shard
+// receives the request — the acceptance criterion of sharded serving.
+func TestShardedBatchByteIdentity(t *testing.T) {
+	shards := newShardCluster(t, 3)
+	urls := make([]string, len(shards))
+	for i, sh := range shards {
+		urls[i] = sh.url
+	}
+	frame, _ := clusterFrame(t, urls)
+
+	_, single := newTestEnv(t, Config{Workers: 4})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	want, err := single.BatchRaw(ctx, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := artifact.DecodeBatchResult(want); err != nil {
+		t.Fatalf("standalone response is not a batch result frame: %v", err)
+	}
+
+	for i, sh := range shards {
+		got, err := sh.client.BatchRaw(ctx, frame)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("shard %d response differs from the standalone bytes (%d vs %d bytes)",
+				i, len(got), len(want))
+		}
+	}
+
+	// The work was really distributed: the first shard forwarded foreign
+	// shares, and the stats surface the cluster identity.
+	st, err := shards[0].client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Forwarded == 0 {
+		t.Error("shard 0 forwarded nothing although peers own some loops")
+	}
+	if st.Self == "" || len(st.Peers) != 3 {
+		t.Errorf("cluster identity missing from stats: self=%q peers=%v", st.Self, st.Peers)
+	}
+	wantPeers, _ := cluster.New(urls, "")
+	if !reflect.DeepEqual(st.Peers, wantPeers.Peers()) {
+		t.Errorf("stats peers %v, want canonical %v", st.Peers, wantPeers.Peers())
+	}
+}
+
+// TestShardDeathDegrades: killing one shard degrades the cluster to
+// local compute for that shard's share — same bytes, no errors.
+func TestShardDeathDegrades(t *testing.T) {
+	shards := newShardCluster(t, 3)
+	urls := make([]string, len(shards))
+	for i, sh := range shards {
+		urls[i] = sh.url
+	}
+	frame, _ := clusterFrame(t, urls)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	want, err := shards[0].client.BatchRaw(ctx, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill a non-entry shard; clusterFrame guarantees it owns loops.
+	shards[1].kill(t)
+
+	got, err := shards[0].client.BatchRaw(ctx, frame)
+	if err != nil {
+		t.Fatalf("degraded cluster refused the request: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("degraded response differs from the healthy bytes")
+	}
+	if pe := shards[0].srv.StatsSnapshot().PeerErrors; pe == 0 {
+		t.Error("no peer error recorded although a peer is down")
+	}
+}
+
+// TestCorruptPeerDegrades: a peer that answers 200 with garbage (wrong
+// build, proxy damage) is treated exactly like an unreachable one — its
+// share is recomputed locally and the response bytes do not change.
+func TestCorruptPeerDegrades(t *testing.T) {
+	// A fake shard that answers every request with a non-artifact body.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "not an artifact frame")
+	})}
+	go garbage.Serve(ln)
+	t.Cleanup(func() { garbage.Close() })
+	fakeURL := "http://" + ln.Addr().String()
+
+	// Two real shards + the impostor form the ring.
+	realLn := make([]net.Listener, 2)
+	urls := []string{fakeURL}
+	for i := range realLn {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		realLn[i] = l
+		urls = append(urls, "http://"+l.Addr().String())
+	}
+	var entry *Client
+	var entrySrv *Server
+	for i, l := range realLn {
+		srv, err := New(Config{
+			CacheDir:    t.TempDir(),
+			Workers:     4,
+			Peers:       urls,
+			Self:        urls[1+i],
+			PeerTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(l)
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Close(ctx)
+			hs.Close()
+		})
+		if i == 0 {
+			entry = NewClient(urls[1])
+			entrySrv = srv
+		}
+	}
+
+	frame, _ := clusterFrame(t, urls)
+
+	_, single := newTestEnv(t, Config{Workers: 4})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	want, err := single.BatchRaw(ctx, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := entry.BatchRaw(ctx, frame)
+	if err != nil {
+		t.Fatalf("cluster with a corrupt peer refused the request: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("corrupt peer changed the response bytes")
+	}
+	if pe := entrySrv.StatsSnapshot().PeerErrors; pe == 0 {
+		t.Error("no peer error recorded although a peer answers garbage")
+	}
+}
+
+// TestPeerCacheTier: after a sharded batch has landed every loop in its
+// owner's disk cache, a shard forced to compute foreign loops locally
+// (?route=local) fills its misses from the owners' caches — peer hits on
+// the fetching side, cache serves on the owning side, identical bytes.
+func TestPeerCacheTier(t *testing.T) {
+	shards := newShardCluster(t, 3)
+	urls := make([]string, len(shards))
+	for i, sh := range shards {
+		urls[i] = sh.url
+	}
+	frame, _ := clusterFrame(t, urls)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	want, err := shards[0].client.BatchRaw(ctx, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard 1 now computes everything itself. Its own share hits memory,
+	// foreign loops miss memory and disk — and must be served by their
+	// owners' caches, not recomputed blind.
+	resp, err := http.Post(shards[1].url+"/v1/batch?route=local",
+		"application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("route=local: HTTP %d, %v", resp.StatusCode, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("route=local response differs from the sharded bytes")
+	}
+
+	if ph := shards[1].srv.Engine().Stats().PeerHits; ph == 0 {
+		t.Error("no peer-cache hits although the owners hold the entries")
+	}
+	var served uint64
+	for i, sh := range shards {
+		if i != 1 {
+			served += sh.srv.StatsSnapshot().CacheServed
+		}
+	}
+	if served == 0 {
+		t.Error("no shard served a cache entry to a peer")
+	}
+	if pf := shards[1].srv.StatsSnapshot().PeerFetches; pf == 0 {
+		t.Error("peer fetches not accounted")
+	}
+}
+
+// TestCacheEndpoint: the peer cache backend validates keys and reports
+// missing entries / missing tiers as 404, never 500.
+func TestCacheEndpoint(t *testing.T) {
+	_, withDisk := newTestEnv(t, Config{CacheDir: t.TempDir()})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	missing := fmt.Sprintf("%064x", 0xdead)
+	if _, found, err := withDisk.FetchCache(ctx, missing); err != nil || found {
+		t.Fatalf("missing entry: found=%v err=%v", found, err)
+	}
+	if _, _, err := withDisk.FetchCache(ctx, "zz"); err == nil {
+		t.Fatal("malformed key accepted")
+	}
+
+	_, noDisk := newTestEnv(t, Config{})
+	if _, found, err := noDisk.FetchCache(ctx, missing); err != nil || found {
+		t.Fatalf("no cache tier: found=%v err=%v", found, err)
+	}
+}

@@ -1,0 +1,39 @@
+// Package service turns the evaluation pipeline into a long-running
+// HTTP daemon — evaluation as a service. One shared exploration engine
+// (with its disk-persistent cache tier) backs every request, so
+// concurrent and repeated requests share scheduling, simulation and MIT
+// analysis work at the design-point level; identical in-flight requests
+// additionally collapse onto one computation (singleflight.go).
+//
+// Endpoints (all under /v1):
+//
+//	POST /v1/schedule      schedule+simulate every loop of an uploaded corpus
+//	POST /v1/evaluate      full per-benchmark pipeline over an uploaded corpus
+//	POST /v1/suite         the experiments report (tables/figures) over an
+//	                       uploaded corpus or a synthetic family
+//	POST /v1/select        Section 3 configuration selection for one benchmark
+//	POST /v1/batch         many loops in one canonical binary frame
+//	GET  /v1/healthz       liveness
+//	GET  /v1/stats         engine cache counters + request accounting
+//	GET  /v1/cache/{hash}  one disk-cache entry, served to peer shards
+//
+// Concurrency model: requests are admitted into a bounded job queue
+// (Workers executing, QueueDepth waiting, 503 beyond that). Every job
+// runs under a context cancelled by client disconnect, the optional
+// `timeout_ms` query parameter, or server shutdown; cancellation
+// propagates through the pipeline into the exploration engine, which
+// stops dispatching loops and design points.
+//
+// Sharded mode: a Config with Peers (all shard base URLs) and Self turns
+// N daemons into one cluster. /v1/batch loops are routed to their owner
+// shard by rendezvous hashing on the loop's content hash (package
+// cluster), and each shard's engine gains a peer cache tier that fills
+// local disk misses from the owning shard's cache (GET /v1/cache/{hash}).
+// Routing and caching use the same key, so the owner of a loop is exactly
+// the shard that holds its result. Every peer failure — unreachable, too
+// slow, corrupt response — degrades to local compute: a sharded cluster,
+// healthy or not, answers byte-identically to a single process.
+//
+// docs/ARCHITECTURE.md walks the request lifecycle; docs/OPERATIONS.md is
+// the endpoint reference and cluster runbook.
+package service

@@ -1,26 +1,8 @@
-// Package service turns the evaluation pipeline into a long-running
-// HTTP/JSON daemon — evaluation as a service. One shared exploration
-// engine (with its disk-persistent cache tier) backs every request, so
-// concurrent and repeated requests share scheduling, simulation and MIT
-// analysis work at the design-point level; identical in-flight requests
-// additionally collapse onto one computation (singleflight.go).
-//
-// Endpoints (all under /v1):
-//
-//	POST /v1/schedule  schedule+simulate every loop of an uploaded corpus
-//	POST /v1/evaluate  full per-benchmark pipeline over an uploaded corpus
-//	POST /v1/suite     the experiments report (tables/figures) over an
-//	                   uploaded corpus or a synthetic family
-//	POST /v1/select    Section 3 configuration selection for one benchmark
-//	GET  /v1/healthz   liveness
-//	GET  /v1/stats     engine cache counters + request accounting
-//
-// Concurrency model: requests are admitted into a bounded job queue
-// (Workers executing, QueueDepth waiting, 503 beyond that). Every job
-// runs under a context cancelled by client disconnect, the optional
-// `timeout_ms` query parameter, or server shutdown; cancellation
-// propagates through the pipeline into the exploration engine, which
-// stops dispatching loops and design points.
+// Server assembly and request plumbing: configuration, the bounded job
+// queue, context wiring, error mapping, and the /v1/schedule, /v1/evaluate,
+// /v1/suite and /v1/select jobs. Sharded /v1/batch serving lives in
+// batch.go; the package story is in doc.go.
+
 package service
 
 import (
@@ -38,6 +20,7 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/clock"
+	"repro/internal/cluster"
 	"repro/internal/confsel"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -74,6 +57,19 @@ type Config struct {
 	// Engine overrides Parallelism/CacheDir with a pre-built engine
 	// (shared with other in-process users, e.g. tests).
 	Engine *explore.Engine
+	// Peers is the full shard set of a clustered deployment — every
+	// daemon's base URL, this one's included. Non-empty Peers turn on
+	// content-hash request routing for /v1/batch and the peer cache
+	// tier (GET /v1/cache/{hash} between shards). All shards must be
+	// configured with the same set (order is irrelevant).
+	Peers []string
+	// Self is this daemon's own base URL; required when Peers is set,
+	// and must be one of them.
+	Self string
+	// PeerTimeout bounds every peer call — batch forwards and cache
+	// fetches (default 10s). An expired peer call degrades to local
+	// compute; it never fails the request.
+	PeerTimeout time.Duration
 }
 
 // Server is the evaluation daemon: an http.Handler plus the shared state
@@ -97,6 +93,16 @@ type Server struct {
 	rejected  atomic.Uint64
 	cancelled atomic.Uint64
 	inflight  atomic.Int64
+
+	// ring is the peer set of a sharded deployment (nil standalone);
+	// peerHC/peerTimeout govern all shard-to-shard calls.
+	ring        *cluster.Ring
+	peerHC      *http.Client
+	peerTimeout time.Duration
+	forwarded   atomic.Uint64
+	peerFetches atomic.Uint64
+	peerErrors  atomic.Uint64
+	cacheServed atomic.Uint64
 
 	scratch *explore.Pool[*schedScratch]
 }
@@ -134,13 +140,35 @@ func New(cfg Config) (*Server, error) {
 		slots:   make(chan struct{}, cfg.Workers),
 		scratch: explore.NewPool(func() *schedScratch { return new(schedScratch) }),
 	}
+	if len(cfg.Peers) > 0 {
+		if cfg.Self == "" {
+			return nil, fmt.Errorf("service: Peers set but Self is empty")
+		}
+		ring, err := cluster.New(cfg.Peers, cfg.Self)
+		if err != nil {
+			return nil, err
+		}
+		s.ring = ring
+		s.peerTimeout = cfg.PeerTimeout
+		if s.peerTimeout <= 0 {
+			s.peerTimeout = 10 * time.Second
+		}
+		s.peerHC = &http.Client{Timeout: s.peerTimeout}
+		if ring.Size() > 1 {
+			// Extend the engine's lookup chain with the peer tier:
+			// memory → disk → peer → compute.
+			eng.SetRemote(peerCache{s})
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/cache/{hash}", s.handleCacheGet)
 	s.mux.HandleFunc("POST /v1/schedule", s.jobHandler("schedule", s.runSchedule))
 	s.mux.HandleFunc("POST /v1/evaluate", s.jobHandler("evaluate", s.runEvaluate))
 	s.mux.HandleFunc("POST /v1/suite", s.jobHandler("suite", s.runSuite))
 	s.mux.HandleFunc("POST /v1/select", s.jobHandler("select", s.runSelect))
+	s.mux.HandleFunc("POST /v1/batch", s.jobHandler("batch", s.runBatch))
 	return s, nil
 }
 
@@ -216,7 +244,12 @@ func errorBody(err error) (int, []byte) {
 
 // okBody renders a value as (200, JSON body); a marshal failure (which
 // deterministic plain-data responses never produce) reports as 500.
+// A rawBody value (an already-encoded binary artifact frame, e.g. a
+// /v1/batch response) is passed through verbatim.
 func okBody(v any) (int, []byte) {
+	if b, ok := v.(rawBody); ok {
+		return http.StatusOK, b
+	}
 	b, err := json.Marshal(v)
 	if err != nil {
 		return errorBody(fmt.Errorf("encode response: %w", err))
@@ -333,9 +366,15 @@ func (s *Server) withSlot(ctx context.Context, body []byte, q url.Values,
 	return okBody(v)
 }
 
-// writeJSON writes a JSON response body with its status.
+// writeJSON writes a response body with its status. Binary artifact
+// frames (batch responses) self-identify by their magic and are served as
+// octet streams; everything else is JSON.
 func writeJSON(w http.ResponseWriter, status int, body []byte) {
-	w.Header().Set("Content-Type", "application/json")
+	ct := "application/json"
+	if artifact.IsBinary(body) {
+		ct = "application/octet-stream"
+	}
+	w.Header().Set("Content-Type", ct)
 	w.WriteHeader(status)
 	_, _ = w.Write(body) // a failed write means the client is gone
 }
@@ -354,7 +393,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 // StatsSnapshot assembles the /v1/stats payload.
 func (s *Server) StatsSnapshot() Stats {
-	return Stats{
+	st := Stats{
 		UptimeMs:   time.Since(s.start).Milliseconds(),
 		CacheDir:   s.eng.CacheDir(),
 		Engine:     s.eng.Stats(),
@@ -368,6 +407,15 @@ func (s *Server) StatsSnapshot() Stats {
 		Workers:    s.cfg.Workers,
 		QueueDepth: s.cfg.QueueDepth,
 	}
+	st.CacheServed = s.cacheServed.Load()
+	if s.ring != nil {
+		st.Peers = s.ring.Peers()
+		st.Self = s.ring.Self()
+		st.Forwarded = s.forwarded.Load()
+		st.PeerFetches = s.peerFetches.Load()
+		st.PeerErrors = s.peerErrors.Load()
+	}
+	return st
 }
 
 // ------------------------------------------------------------------- jobs

@@ -12,6 +12,7 @@
 // engine's content-addressed cache, where partial overlap between
 // different requests (shared design points, shared loops) is also
 // captured — something response-level caching could never see.
+
 package service
 
 import (

@@ -2,6 +2,7 @@
 // (corpus `.hvc` binary or JSON, auto-detected by the artifact codec);
 // responses are JSON. Every response type here is plain data, so decoding
 // a response yields exactly what the server computed.
+
 package service
 
 import (
@@ -162,4 +163,16 @@ type Stats struct {
 	// Workers and QueueDepth echo the daemon's bounds.
 	Workers    int `json:"workers"`
 	QueueDepth int `json:"queue_depth"`
+	// Peers is the canonical shard set of a clustered daemon (empty
+	// standalone); Self is this daemon's own URL within it.
+	Peers []string `json:"peers,omitempty"`
+	Self  string   `json:"self,omitempty"`
+	// Forwarded counts sub-batches shipped to owning peers; PeerFetches
+	// cache entries fetched from peers; PeerErrors failed peer calls
+	// (each one degraded to local compute); CacheServed entries this
+	// daemon served to peers via GET /v1/cache/{hash}.
+	Forwarded   uint64 `json:"forwarded,omitempty"`
+	PeerFetches uint64 `json:"peer_fetches,omitempty"`
+	PeerErrors  uint64 `json:"peer_errors,omitempty"`
+	CacheServed uint64 `json:"cache_served,omitempty"`
 }

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# linkcheck.sh — fail on dead relative links in the repo's markdown.
+#
+# Scans README.md and docs/*.md for [text](target) links, resolves each
+# relative target against the file that contains it, and reports targets
+# that do not exist. External links (scheme://) and pure #anchors are
+# skipped; a #fragment on a relative link is stripped before the check.
+#
+# Usage: scripts/linkcheck.sh [file.md ...]   (default: README.md docs/*.md)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+  files=(README.md)
+  for f in docs/*.md; do
+    [ -e "$f" ] && files+=("$f")
+  done
+fi
+
+bad=0
+for f in "${files[@]}"; do
+  dir=$(dirname "$f")
+  # One inline link target per line: [..](target)
+  while IFS= read -r target; do
+    case "$target" in
+      *://*|mailto:*|'#'*|'') continue ;;
+    esac
+    path=${target%%#*}
+    [ -n "$path" ] || continue
+    # Targets that escape the repo root (the GitHub ../../actions badge
+    # convention) are not checkable against the working tree.
+    case "$(realpath -m "$dir/$path")" in
+      "$PWD"/*) ;;
+      *) continue ;;
+    esac
+    if [ ! -e "$dir/$path" ]; then
+      echo "$f: dead link: $target"
+      bad=1
+    fi
+  done < <(grep -o '\][(][^)]*[)]' "$f" | sed 's/^](//; s/)$//')
+done
+
+if [ "$bad" -ne 0 ]; then
+  echo "linkcheck: dead relative links found" >&2
+  exit 1
+fi
+echo "linkcheck: ${#files[@]} files ok"
