@@ -16,7 +16,8 @@
 //	experiments corpus import -i c.json -o c.hvc   # validate / re-encode
 //	experiments corpus stats -i c.hvc        # per-benchmark summary
 //
-//	experiments cache stats -dir .cache      # entries / bytes on disk
+//	experiments cache stats -dir .cache      # entries / segments / bytes
+//	experiments cache compact -dir .cache    # reclaim dead segment bytes
 //	experiments cache clear -dir .cache      # drop every entry
 //
 // A bare `experiments [flags]` is shorthand for `experiments run [flags]`.
@@ -70,6 +71,7 @@ func usage(w *os.File) {
   experiments corpus import [flags]  validate / re-encode a corpus file
   experiments corpus stats  [flags]  summarize a corpus
   experiments cache stats -dir DIR   inspect a disk cache directory
+  experiments cache compact -dir DIR rewrite live entries, reclaim dead bytes
   experiments cache clear -dir DIR   remove every cache entry
 run 'experiments <cmd> -h' for flags`)
 }
@@ -164,6 +166,11 @@ func localReport(corpusFile, family string, loops, par int, dense bool, cacheDir
 	suite := experiments.New(popts)
 	report, err := suite.Run(context.Background(), enabled)
 	if err != nil {
+		return nil, explore.CacheStats{}, err
+	}
+	// Flush the group-commit batch before exiting: a later process must
+	// find everything this run memoised.
+	if err := eng.SyncDisk(); err != nil {
 		return nil, explore.CacheStats{}, err
 	}
 	return report, suite.CacheStats(), nil
@@ -301,8 +308,8 @@ func cacheCmd(args []string) {
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
 		sub, args = args[0], args[1:]
 	}
-	if sub != "stats" && sub != "clear" {
-		fmt.Fprintln(os.Stderr, "usage: experiments cache {stats|clear} -dir DIR")
+	if sub != "stats" && sub != "clear" && sub != "compact" {
+		fmt.Fprintln(os.Stderr, "usage: experiments cache {stats|compact|clear} -dir DIR")
 		os.Exit(2)
 	}
 	fs := flag.NewFlagSet("cache "+sub, flag.ExitOnError)
@@ -320,7 +327,8 @@ func cacheCmd(args []string) {
 // nonexistent directory is a clean "no cache" report, not an error: it
 // simply means nothing was ever cached there.
 func cacheMessage(sub, dir string) (string, error) {
-	if sub == "stats" {
+	switch sub {
+	case "stats":
 		st, err := explore.StatDiskCache(dir)
 		if errors.Is(err, explore.ErrNoCacheDir) {
 			return fmt.Sprintf("no cache at %s", dir), nil
@@ -328,16 +336,38 @@ func cacheMessage(sub, dir string) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		return fmt.Sprintf("%s: %d entries, %d bytes", dir, st.Entries, st.Bytes), nil
+		msg := fmt.Sprintf("%s: %d entries, %d bytes in %d segments (%d live / %d dead), index load %s",
+			dir, st.Entries, st.Bytes, st.Segments, st.LiveBytes, st.DeadBytes,
+			st.IndexLoad.Round(10*time.Microsecond))
+		if st.LegacyFiles > 0 {
+			msg += fmt.Sprintf(", %d legacy files pending import", st.LegacyFiles)
+		}
+		if st.TempFiles > 0 {
+			msg += fmt.Sprintf(", %d temp files pending sweep", st.TempFiles)
+		}
+		return msg, nil
+
+	case "compact":
+		cs, err := explore.CompactDiskCache(dir)
+		if errors.Is(err, explore.ErrNoCacheDir) {
+			return fmt.Sprintf("no cache at %s", dir), nil
+		}
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s: %d entries rewritten, %d -> %d segments, reclaimed %d bytes",
+			dir, cs.Entries, cs.SegmentsBefore, cs.SegmentsAfter, cs.ReclaimedBytes), nil
+
+	default: // clear
+		n, err := explore.ClearDiskCache(dir)
+		if errors.Is(err, explore.ErrNoCacheDir) {
+			return fmt.Sprintf("no cache at %s", dir), nil
+		}
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s: removed %d entries", dir, n), nil
 	}
-	n, err := explore.ClearDiskCache(dir)
-	if errors.Is(err, explore.ErrNoCacheDir) {
-		return fmt.Sprintf("no cache at %s", dir), nil
-	}
-	if err != nil {
-		return "", err
-	}
-	return fmt.Sprintf("%s: removed %d entries", dir, n), nil
 }
 
 func exitOn(err error) {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/artifact"
 	"repro/internal/explore"
 )
 
@@ -14,7 +15,7 @@ import (
 // filesystem error, and `cache clear` behaves the same.
 func TestCacheStatsMissingDir(t *testing.T) {
 	missing := filepath.Join(t.TempDir(), "never-created")
-	for _, sub := range []string{"stats", "clear"} {
+	for _, sub := range []string{"stats", "clear", "compact"} {
 		msg, err := cacheMessage(sub, missing)
 		if err != nil {
 			t.Fatalf("cache %s on missing dir errored: %v", sub, err)
@@ -36,6 +37,55 @@ func TestCacheStatsExistingDir(t *testing.T) {
 	}
 	if !strings.Contains(msg, "0 entries") {
 		t.Errorf("empty cache message = %q", msg)
+	}
+}
+
+// TestCachePopulatedStatsAndCompact drives the full command surface over
+// a real cache: stats reports segments and live bytes, compact reclaims
+// dead bytes after re-memoisation, clear empties the directory.
+func TestCachePopulatedStatsAndCompact(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := explore.NewDisk(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := explore.Codec[int]{
+		Kind:   "cmdtest.int",
+		Encode: func(w *artifact.Writer, v int) { w.Int(int64(v)) },
+		Decode: func(r *artifact.Reader) (int, error) { return int(r.Int()), r.Err() },
+	}
+	for i := 0; i < 8; i++ {
+		key := artifact.HashBytes("cmdtest", []byte{byte(i)})
+		if _, err := explore.MemoizeDurable(eng, key, codec, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msg, err := cacheMessage("stats", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg, "8 entries") || !strings.Contains(msg, "segments") ||
+		!strings.Contains(msg, "index load") {
+		t.Errorf("populated stats message = %q", msg)
+	}
+
+	msg, err = cacheMessage("compact", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg, "8 entries rewritten") {
+		t.Errorf("compact message = %q", msg)
+	}
+
+	msg, err = cacheMessage("clear", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg, "removed 8 entries") {
+		t.Errorf("clear message = %q", msg)
+	}
+	if msg, err = cacheMessage("stats", dir); err != nil || !strings.Contains(msg, "0 entries") {
+		t.Errorf("post-clear stats = %q, %v", msg, err)
 	}
 }
 

@@ -12,18 +12,20 @@
 // -peers-file) plus its own URL (-self). /v1/batch requests are then
 // routed loop-by-loop to owning shards by rendezvous hashing on the
 // loop's content hash, and disk-cache entries are served between shards
-// (GET /v1/cache/{hash}), extending every shard's cache lookup chain to
-// memory → disk → peer → compute:
+// (GET /v1/cache/{hash} singly, POST /v1/cache/batch in bulk — one
+// round trip warms a forwarded sub-request's whole share), extending
+// every shard's cache lookup chain to memory → disk → peer → compute:
 //
 //	hetvliwd -addr :8081 -cache-dir .cache1 \
 //	  -peers http://h0:8081,http://h1:8081,http://h2:8081 \
 //	  -self  http://h0:8081
 //
 // Endpoints: POST /v1/schedule, /v1/evaluate, /v1/suite, /v1/select,
-// /v1/batch; GET /v1/healthz, /v1/stats, /v1/cache/{hash}. See
-// docs/OPERATIONS.md for the full endpoint reference and cluster
-// runbook. SIGINT/SIGTERM shut down gracefully: in-flight requests are
-// cancelled (they return 503) and the listener drains.
+// /v1/batch, /v1/cache/batch; GET /v1/healthz, /v1/stats,
+// /v1/cache/{hash}. See docs/OPERATIONS.md for the full endpoint
+// reference and cluster runbook. SIGINT/SIGTERM shut down gracefully:
+// in-flight requests are cancelled (they return 503), the listener
+// drains, and the disk cache's pending writes are flushed.
 package main
 
 import (

@@ -1,0 +1,114 @@
+// Cache-batch artifacts: the wire frames of the daemon's POST
+// /v1/cache/batch endpoint. A request carries many cache keys; the
+// response carries, per key and in request order, either the raw
+// artifact-envelope bytes of the owner's cached entry or a miss marker.
+// The entry bytes are opaque here — the fetching engine validates them
+// through the same codec as disk entries, so a damaged response costs a
+// recompute but can never corrupt a result. One such round trip replaces
+// N GET /v1/cache/{hash} fetches when a forwarded batch degrades to
+// local compute.
+
+package artifact
+
+import "fmt"
+
+// KindCacheBatchRequest and KindCacheBatchResult are the envelope kinds
+// of the /v1/cache/batch wire frames.
+const (
+	KindCacheBatchRequest = "service.cachebatch.request"
+	KindCacheBatchResult  = "service.cachebatch.result"
+)
+
+// maxCacheBatchKeys bounds a single cache-batch frame; a request for
+// more keys than any legitimate batch carries is rejected at decode.
+const maxCacheBatchKeys = 1 << 16
+
+// EncodeCacheBatchRequest encodes a multi-key cache fetch: the raw
+// content-address keys, in the order the response must answer them.
+func EncodeCacheBatchRequest(keys []Key) []byte {
+	w := NewEnvelope(KindCacheBatchRequest)
+	w.Uint(uint64(len(keys)))
+	for _, k := range keys {
+		w.Str(string(k))
+	}
+	return w.Bytes()
+}
+
+// DecodeCacheBatchRequest decodes and validates a cache-batch request.
+func DecodeCacheBatchRequest(data []byte) ([]Key, error) {
+	r, _, err := OpenEnvelope(data, KindCacheBatchRequest)
+	if err != nil {
+		return nil, err
+	}
+	n := r.Len(1)
+	if n > maxCacheBatchKeys {
+		return nil, fmt.Errorf("artifact: cache batch of %d keys exceeds the %d bound", n, maxCacheBatchKeys)
+	}
+	keys := make([]Key, 0, n)
+	for i := 0; i < n; i++ {
+		k := r.Str()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if len(k) == 0 || len(k) > 255 {
+			return nil, fmt.Errorf("artifact: cache batch key %d has length %d", i, len(k))
+		}
+		keys = append(keys, Key(k))
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("artifact: cache batch request has %d trailing bytes", r.Remaining())
+	}
+	return keys, r.Err()
+}
+
+// EncodeCacheBatchResult encodes the response: one slot per requested
+// key, nil marking a miss. Slots beyond len(keys) must not exist —
+// callers build entries with exactly one slot per key.
+func EncodeCacheBatchResult(entries [][]byte) []byte {
+	w := NewEnvelope(KindCacheBatchResult)
+	w.Uint(uint64(len(entries)))
+	for _, e := range entries {
+		if e == nil {
+			w.Uint(0)
+			continue
+		}
+		w.Uint(1)
+		w.Uint(uint64(len(e)))
+		w.Raw(e)
+	}
+	return w.Bytes()
+}
+
+// DecodeCacheBatchResult decodes a cache-batch response into one slot
+// per key (nil = miss). The per-entry bytes are copied out of data.
+func DecodeCacheBatchResult(data []byte) ([][]byte, error) {
+	r, _, err := OpenEnvelope(data, KindCacheBatchResult)
+	if err != nil {
+		return nil, err
+	}
+	n := r.Len(1)
+	if n > maxCacheBatchKeys {
+		return nil, fmt.Errorf("artifact: cache batch of %d entries exceeds the %d bound", n, maxCacheBatchKeys)
+	}
+	entries := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		switch present := r.Uint(); present {
+		case 0:
+		case 1:
+			// Str copies, which is what makes the entry safe to retain.
+			entries[i] = []byte(r.Str())
+			if entries[i] == nil {
+				entries[i] = []byte{} // present-but-empty stays non-nil
+			}
+		default:
+			return nil, fmt.Errorf("artifact: cache batch entry %d: presence marker %d", i, present)
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("artifact: cache batch result has %d trailing bytes", r.Remaining())
+	}
+	return entries, nil
+}

@@ -1,0 +1,61 @@
+package artifact
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCacheBatchRoundTrip(t *testing.T) {
+	keys := []Key{
+		HashBytes("t", []byte("one")),
+		HashBytes("t", []byte("two")),
+		HashBytes("t", []byte("three")),
+	}
+	req := EncodeCacheBatchRequest(keys)
+	got, err := DecodeCacheBatchRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("decoded %d keys, want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("key %d mismatch", i)
+		}
+	}
+	if !bytes.Equal(EncodeCacheBatchRequest(got), req) {
+		t.Fatal("request encoding is not canonical")
+	}
+
+	entries := [][]byte{[]byte("entry-one"), nil, []byte("entry-three")}
+	res := EncodeCacheBatchResult(entries)
+	dec, err := DecodeCacheBatchResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 3 || dec[1] != nil ||
+		!bytes.Equal(dec[0], entries[0]) || !bytes.Equal(dec[2], entries[2]) {
+		t.Fatalf("decoded entries: %q", dec)
+	}
+	if !bytes.Equal(EncodeCacheBatchResult(dec), res) {
+		t.Fatal("result encoding is not canonical")
+	}
+}
+
+func TestCacheBatchRejects(t *testing.T) {
+	if _, err := DecodeCacheBatchRequest([]byte("not a frame")); err == nil {
+		t.Fatal("garbage request accepted")
+	}
+	if _, err := DecodeCacheBatchResult([]byte("not a frame")); err == nil {
+		t.Fatal("garbage result accepted")
+	}
+	// A request frame is not a result frame (kind separation).
+	if _, err := DecodeCacheBatchResult(EncodeCacheBatchRequest([]Key{"k"})); err == nil {
+		t.Fatal("kind confusion accepted")
+	}
+	// Trailing bytes are rejected, not ignored.
+	if _, err := DecodeCacheBatchRequest(append(EncodeCacheBatchRequest([]Key{"k"}), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

@@ -165,6 +165,46 @@ func FuzzDecodeBatchRequest(f *testing.F) {
 	})
 }
 
+func FuzzDecodeCacheBatchRequest(f *testing.F) {
+	seedTestdata(f)
+	f.Add(EncodeCacheBatchRequest(nil))
+	f.Add(EncodeCacheBatchRequest([]Key{HashBytes("fuzz", []byte("a")), Key("short")}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		keys, err := DecodeCacheBatchRequest(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeCacheBatchRequest(keys)
+		keys2, err := DecodeCacheBatchRequest(enc)
+		if err != nil {
+			t.Fatalf("re-encoded cache batch request does not decode: %v", err)
+		}
+		if !bytes.Equal(EncodeCacheBatchRequest(keys2), enc) {
+			t.Fatalf("cache batch request encoding is not canonical")
+		}
+	})
+}
+
+func FuzzDecodeCacheBatchResult(f *testing.F) {
+	seedTestdata(f)
+	f.Add(EncodeCacheBatchResult(nil))
+	f.Add(EncodeCacheBatchResult([][]byte{[]byte("entry bytes"), nil, {}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodeCacheBatchResult(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeCacheBatchResult(entries)
+		entries2, err := DecodeCacheBatchResult(enc)
+		if err != nil {
+			t.Fatalf("re-encoded cache batch result does not decode: %v", err)
+		}
+		if !bytes.Equal(EncodeCacheBatchResult(entries2), enc) {
+			t.Fatalf("cache batch result encoding is not canonical")
+		}
+	})
+}
+
 func FuzzDecodeBatchResult(f *testing.F) {
 	seedTestdata(f)
 	f.Add(EncodeBatchResult(&BatchResult{

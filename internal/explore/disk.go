@@ -1,14 +1,17 @@
 // Disk-persistent cache tier. The in-process cache dies with the process,
 // so every cmd/experiments invocation used to re-pay the full cold cost;
 // the disk tier gives a fresh process the same warm start a long-lived
-// engine enjoys. Entries are content-addressed files (the cache key's hex
-// under a two-level fan-out) holding a versioned artifact envelope, so a
-// format bump or a corrupted file reads as a miss, never as wrong data.
+// engine enjoys. Entries live in internal/store's append-only segment
+// log: content-addressed, CRC-framed records batched into a handful of
+// bounded files, so a warm read is a map lookup plus one pread instead of
+// a per-entry open/read/close, and a write rides a group commit instead
+// of paying its own temp-file + rename + sync. A format bump or a
+// corrupted record reads as a miss, never as wrong data.
 //
-// Concurrency: writes go to a unique temp file in the cache directory and
-// are renamed into place, so concurrent runs — even of different builds —
-// only ever observe complete entries. Two processes computing the same
-// key race benignly: both write identical bytes (the cache stores only
+// Concurrency: the store appends only to segments it created (unique per
+// open), so concurrent runs — even of different builds — only ever
+// observe complete records. Two processes computing the same key race
+// benignly: both write identical bytes (the cache stores only
 // deterministic functions of the key).
 
 package explore
@@ -19,29 +22,35 @@ import (
 	"fmt"
 	"io/fs"
 	"os"
-	"path/filepath"
+	"time"
 
 	"repro/internal/artifact"
+	"repro/internal/store"
 )
 
-// diskCache is the engine's second cache tier.
+// diskCache is the engine's second cache tier: a handle on the
+// process-shared segment store for its directory.
 type diskCache struct {
 	dir string
+	s   *store.Store
 }
 
-// NewDisk returns an Engine whose cache is backed by a directory of
-// content-addressed entries: values memoised through MemoizeDurable are
-// written to dir and served from it by later processes. dir is created if
-// missing; an empty dir returns a memory-only engine (same as New).
+// NewDisk returns an Engine whose cache is backed by a segment store in
+// dir: values memoised through MemoizeDurable are appended to it and
+// served from it by later processes. dir is created if missing — and a
+// legacy one-file-per-entry tree found there is imported in place; an
+// empty dir returns a memory-only engine (same as New). All engines of
+// one process share one store per directory.
 func NewDisk(parallelism int, dir string) (*Engine, error) {
 	e := New(parallelism)
 	if dir == "" {
 		return e, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	s, err := store.Shared(dir, store.Options{})
+	if err != nil {
 		return nil, fmt.Errorf("explore: cache dir: %w", err)
 	}
-	e.disk = &diskCache{dir: dir}
+	e.disk = &diskCache{dir: dir, s: s}
 	return e, nil
 }
 
@@ -53,45 +62,44 @@ func (e *Engine) CacheDir() string {
 	return e.disk.dir
 }
 
-// path maps a key to its entry file: two-level hex fan-out so directories
-// stay small at millions of entries.
-func (c *diskCache) path(key Key) string {
-	hx := key.Hex()
-	return filepath.Join(c.dir, hx[:2], hx[2:]+".art")
+// SyncDisk forces the disk tier's pending writes to disk now (they are
+// otherwise group-committed a few milliseconds after Put). Call it
+// before the process exits or before another process inspects the cache
+// directory. No-op on memory-only engines.
+func (e *Engine) SyncDisk() error {
+	if e.disk == nil {
+		return nil
+	}
+	return e.disk.s.Flush()
 }
 
-// load reads an entry; any error (missing, torn write survived by a crash,
-// foreign format) reads as a miss.
-func (c *diskCache) load(key Key) ([]byte, bool) {
-	data, err := os.ReadFile(c.path(key))
-	if err != nil {
+// DiskGet returns a copy of the raw envelope bytes stored for key —
+// the peer-serving read: no decode, no memory-tier interaction.
+func (e *Engine) DiskGet(key Key) ([]byte, bool) {
+	if e.disk == nil {
 		return nil, false
 	}
-	return data, true
+	return e.disk.s.Get(key)
 }
 
-// store writes an entry atomically (temp file + rename). Failures are
-// swallowed: the disk tier is an accelerator, and the computed value is
-// already in memory.
+// view decodes the stored entry for key in place (the raw bytes never
+// escape the store's read buffer). A decode failure reads as a miss.
+func diskView[T any](c *diskCache, key Key, cdc Codec[T]) (T, bool) {
+	var v T
+	var derr error
+	found := c.s.View(key, func(data []byte) { v, derr = decodeEntry(cdc, data) })
+	if !found || derr != nil {
+		var zero T
+		return zero, false
+	}
+	return v, true
+}
+
+// store enqueues an entry onto the segment log's group commit. Failures
+// surface later (and are swallowed): the disk tier is an accelerator,
+// and the computed value is already in memory.
 func (c *diskCache) store(key Key, data []byte) bool {
-	p := c.path(key)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		return false
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
-	if err != nil {
-		return false
-	}
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return false
-	}
-	if err := os.Rename(tmp.Name(), p); err != nil {
-		os.Remove(tmp.Name())
-		return false
-	}
+	c.s.Put(key, data)
 	return true
 }
 
@@ -100,7 +108,8 @@ func (c *diskCache) store(key Key, data []byte) bool {
 // payload (it cannot fail: the value was just computed in memory); Decode
 // validates and may reject, which reads as a cache miss. Kind names the
 // artifact envelope and must change when the payload layout does —
-// stale-format entries then miss instead of misdecoding.
+// stale-format entries then miss instead of misdecoding. Decode must not
+// retain the reader's backing bytes: they belong to a pooled buffer.
 type Codec[T any] struct {
 	Kind   string
 	Encode func(*artifact.Writer, T)
@@ -124,10 +133,11 @@ func MemoizeDurable[T any](e *Engine, key Key, c Codec[T], fn func() (T, error))
 //
 // The full lookup chain is memory → disk → peer → compute: after an
 // in-memory miss the disk tier is consulted, then the peer tier (when a
-// RemoteCache is installed), and only then is fn run. Peer-served entries
-// are validated through the codec exactly like disk entries — anything
-// that fails to decode reads as a miss — and are re-persisted into the
-// local disk tier so the network round trip is paid once per shard.
+// RemoteCache is installed and the context does not carry SkipRemote),
+// and only then is fn run. Peer-served entries are validated through the
+// codec exactly like disk entries — anything that fails to decode reads
+// as a miss — and are re-persisted into the local disk tier so the
+// network round trip is paid once per shard.
 func MemoizeDurableCtx[T any](ctx context.Context, e *Engine, key Key, c Codec[T], fn func(context.Context) (T, error)) (T, error) {
 	if e.disk == nil && e.remote == nil {
 		return MemoizeCtx(ctx, e, key, fn)
@@ -135,15 +145,13 @@ func MemoizeDurableCtx[T any](ctx context.Context, e *Engine, key Key, c Codec[T
 	v, err := e.memoTiered(ctx, key,
 		func() (any, bool) {
 			if e.disk != nil {
-				if data, ok := e.disk.load(key); ok {
-					if val, derr := decodeEntry(c, data); derr == nil {
-						e.diskHits.Add(1)
-						return val, true
-					}
-					// stale/corrupt entry: fall through and recompute
+				if val, ok := diskView(e.disk, key, c); ok {
+					e.diskHits.Add(1)
+					return val, true
 				}
+				// missing/stale/corrupt entry: fall through
 			}
-			if e.remote != nil {
+			if e.remote != nil && !remoteSkipped(ctx) {
 				if data, ok := e.remote.Fetch(ctx, key); ok {
 					if val, derr := decodeEntry(c, data); derr == nil {
 						e.peerHits.Add(1)
@@ -263,56 +271,89 @@ func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// DiskStats describes a cache directory: entry count and total bytes.
+// DiskStats describes a cache directory as found on disk.
 type DiskStats struct {
+	// Entries counts live cached values; Bytes the directory's total
+	// on-disk size (segments plus any un-imported legacy entries).
 	Entries int
 	Bytes   int64
+	// Segments is the number of segment files; LiveBytes the framed size
+	// of the live records in them; DeadBytes what `cache compact` would
+	// reclaim (superseded duplicates, torn tails).
+	Segments  int
+	LiveBytes int64
+	DeadBytes int64
+	// LegacyFiles counts one-file-per-entry `.art` entries not yet
+	// imported into the segment log; TempFiles the `.tmp-*` droppings of
+	// crashed legacy writers (swept by open/clear).
+	LegacyFiles int
+	TempFiles   int
+	// IndexLoad is how long the index-rebuilding scan took — the cost a
+	// fresh process pays to make the directory warm.
+	IndexLoad time.Duration
 }
 
-// ErrNoCacheDir marks a stat/clear of a cache directory that does not
-// exist — a normal condition (nothing was ever cached there), which
+// CompactStats reports one `cache compact` run.
+type CompactStats = store.CompactStats
+
+// ErrNoCacheDir marks a stat/clear/compact of a cache directory that does
+// not exist — a normal condition (nothing was ever cached there), which
 // callers should report as such instead of surfacing a filesystem error.
 var ErrNoCacheDir = errors.New("explore: no cache directory")
 
-// StatDiskCache walks a cache directory and counts its entries. A missing
-// directory returns an error wrapping ErrNoCacheDir.
-func StatDiskCache(dir string) (DiskStats, error) {
-	var st DiskStats
+// checkCacheDir maps a missing directory onto ErrNoCacheDir.
+func checkCacheDir(dir string) error {
 	if _, err := os.Stat(dir); errors.Is(err, fs.ErrNotExist) {
-		return st, fmt.Errorf("%w at %s", ErrNoCacheDir, dir)
+		return fmt.Errorf("%w at %s", ErrNoCacheDir, dir)
 	}
-	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || filepath.Ext(path) != ".art" {
-			return err
-		}
-		info, err := d.Info()
-		if err != nil {
-			return err
-		}
-		st.Entries++
-		st.Bytes += info.Size()
-		return nil
-	})
-	return st, err
+	return nil
+}
+
+// StatDiskCache scans a cache directory and reports on it. Pending
+// writes of this process's engines are flushed first, so the numbers
+// include everything memoised so far. A missing directory returns an
+// error wrapping ErrNoCacheDir.
+func StatDiskCache(dir string) (DiskStats, error) {
+	if err := checkCacheDir(dir); err != nil {
+		return DiskStats{}, err
+	}
+	if err := store.FlushDir(dir); err != nil {
+		return DiskStats{}, err
+	}
+	ds, err := store.ReadStats(dir)
+	if err != nil {
+		return DiskStats{}, err
+	}
+	return DiskStats{
+		Entries:     ds.Entries,
+		Bytes:       ds.TotalBytes,
+		Segments:    ds.Segments,
+		LiveBytes:   ds.LiveBytes,
+		DeadBytes:   ds.DeadBytes,
+		LegacyFiles: ds.LegacyFiles,
+		TempFiles:   ds.TempFiles,
+		IndexLoad:   ds.ScanTime,
+	}, nil
 }
 
 // ClearDiskCache removes every entry of a cache directory (the directory
-// itself is kept). Temp files from in-flight writers are left alone. A
+// itself is kept), including any legacy per-entry files and temp
+// droppings, and returns the number of live entries removed. Engines of
+// this process sharing the directory see the entries disappear. A
 // missing directory returns an error wrapping ErrNoCacheDir.
 func ClearDiskCache(dir string) (int, error) {
-	if _, err := os.Stat(dir); errors.Is(err, fs.ErrNotExist) {
-		return 0, fmt.Errorf("%w at %s", ErrNoCacheDir, dir)
+	if err := checkCacheDir(dir); err != nil {
+		return 0, err
 	}
-	removed := 0
-	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || filepath.Ext(path) != ".art" {
-			return err
-		}
-		if rerr := os.Remove(path); rerr != nil {
-			return rerr
-		}
-		removed++
-		return nil
-	})
-	return removed, err
+	return store.ClearDir(dir)
+}
+
+// CompactDiskCache rewrites the directory's live records into fresh
+// segments, reclaiming dead bytes. A missing directory returns an error
+// wrapping ErrNoCacheDir.
+func CompactDiskCache(dir string) (CompactStats, error) {
+	if err := checkCacheDir(dir); err != nil {
+		return CompactStats{}, err
+	}
+	return store.CompactDir(dir, store.Options{})
 }

@@ -79,19 +79,32 @@ func TestDiskCorruptEntryRecomputes(t *testing.T) {
 	if _, err := MemoizeDurable(e1, key, intCodec, func() (int, error) { return 7, nil }); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt every entry file.
+	if err := e1.SyncDisk(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip every byte of every segment file (bit rot / torn write): the
+	// per-record CRC re-validated on read must turn this into a miss.
 	var files []string
 	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
-		if err == nil && !d.IsDir() && filepath.Ext(path) == ".art" {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".seg" {
 			files = append(files, path)
 		}
 		return nil
 	})
-	if len(files) != 1 {
-		t.Fatalf("expected 1 entry file, found %d", len(files))
+	if len(files) == 0 {
+		t.Fatal("no segment files after SyncDisk")
 	}
-	if err := os.WriteFile(files[0], []byte("garbage"), 0o644); err != nil {
-		t.Fatal(err)
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			data[i] ^= 0xff
+		}
+		if err := os.WriteFile(f, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	e2, _ := NewDisk(1, dir)
@@ -204,6 +217,39 @@ func TestStatAndClearDiskCache(t *testing.T) {
 	st, err = StatDiskCache(dir)
 	if err != nil || st.Entries != 0 {
 		t.Fatalf("post-clear stats %+v, %v", st, err)
+	}
+}
+
+// TestCompactDiskCache: compaction preserves every entry and reports on
+// the segment layout; missing dirs surface ErrNoCacheDir.
+func TestCompactDiskCache(t *testing.T) {
+	if _, err := CompactDiskCache(filepath.Join(t.TempDir(), "nope")); !errors.Is(err, ErrNoCacheDir) {
+		t.Fatalf("missing dir: %v", err)
+	}
+
+	dir := t.TempDir()
+	e, _ := NewDisk(1, dir)
+	for i := 0; i < 5; i++ {
+		k := testKey(string(rune('p' + i)))
+		if _, err := MemoizeDurable(e, k, intCodec, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs, err := CompactDiskCache(dir)
+	if err != nil || cs.Entries != 5 {
+		t.Fatalf("compact %+v, %v", cs, err)
+	}
+	st, err := StatDiskCache(dir)
+	if err != nil || st.Entries != 5 || st.Segments == 0 || st.DeadBytes != 0 || st.LiveBytes == 0 {
+		t.Fatalf("post-compact stats %+v, %v", st, err)
+	}
+	// Entries still decode through the engine after compaction.
+	e2, _ := NewDisk(1, dir)
+	if _, err := MemoizeDurable(e2, testKey("p"), intCodec, func() (int, error) {
+		t.Fatal("recomputed a compacted entry")
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -11,6 +11,12 @@
 // results to a healthy one — only slower. Peer-served entries are
 // re-persisted into the local disk tier, so each entry crosses the
 // network once per shard, not once per process.
+//
+// Batching: a forwarded /v1/batch sub-request misses on N keys at once.
+// Fetching them through per-key Fetch pays N HTTP round trips to the
+// same owner; WarmDurable + RemoteBatchCache collapse that into one
+// multi-key fetch per owner, after which the per-key lookups run with
+// the peer tier suppressed (SkipRemote) — every hit is already local.
 
 package explore
 
@@ -27,7 +33,93 @@ type RemoteCache interface {
 	Fetch(ctx context.Context, key Key) ([]byte, bool)
 }
 
+// RemoteBatchCache is a RemoteCache that can fetch many keys in one
+// round trip per owning peer. FetchBatch returns one slot per key — the
+// raw envelope bytes, or nil for a miss — and, like Fetch, must treat
+// every failure as a miss and bound its own latency.
+type RemoteBatchCache interface {
+	RemoteCache
+	FetchBatch(ctx context.Context, keys []Key) [][]byte
+}
+
 // SetRemote installs the peer tier. It must be called before the engine
 // is shared across goroutines (construction time); a nil RemoteCache
 // leaves the engine disk-only.
 func (e *Engine) SetRemote(rc RemoteCache) { e.remote = rc }
+
+// skipRemoteCtxKey marks contexts whose lookups must not consult the
+// peer tier.
+type skipRemoteCtxKey struct{}
+
+// SkipRemote returns a context whose MemoizeDurableCtx lookups skip the
+// peer tier and go straight from disk miss to compute. Use it after
+// WarmDurable has already fetched everything the peers hold: each
+// remaining miss would otherwise pay a pointless round trip (per key,
+// per owner — the expensive case being a degraded cluster, where every
+// one of them times out).
+func SkipRemote(ctx context.Context) context.Context {
+	return context.WithValue(ctx, skipRemoteCtxKey{}, true)
+}
+
+// remoteSkipped reports whether ctx carries the SkipRemote marker.
+func remoteSkipped(ctx context.Context) bool {
+	v, _ := ctx.Value(skipRemoteCtxKey{}).(bool)
+	return v
+}
+
+// WarmDurable pre-fills the engine's local tiers for keys in bulk: the
+// keys not already in memory or on disk are fetched from the peer tier
+// in one multi-key round trip per owner, validated through the codec
+// (corrupt = miss, exactly as in MemoizeDurableCtx), persisted to the
+// disk tier, and seeded into the memory tier. It returns the number of
+// entries warmed. Engines without a RemoteBatchCache warm nothing —
+// per-key lookups then behave as before.
+//
+// All keys must be memoised under the same codec (one kind); mixed-kind
+// batches should warm per kind.
+func WarmDurable[T any](ctx context.Context, e *Engine, keys []Key, c Codec[T]) int {
+	rb, ok := e.remote.(RemoteBatchCache)
+	if !ok || len(keys) == 0 {
+		return 0
+	}
+	need := make([]Key, 0, len(keys))
+	for _, k := range keys {
+		if _, ok := e.cache.Load(k); ok {
+			continue
+		}
+		if e.disk != nil && e.disk.s.Has(k) {
+			continue
+		}
+		need = append(need, k)
+	}
+	if len(need) == 0 {
+		return 0
+	}
+	got := rb.FetchBatch(ctx, need)
+	warmed := 0
+	for i, data := range got {
+		if i >= len(need) {
+			break // defensive: a lying implementation cannot over-index
+		}
+		if data == nil {
+			continue
+		}
+		val, derr := decodeEntry(c, data)
+		if derr != nil {
+			continue // corrupt peer entry: recompute locally
+		}
+		key := need[i]
+		e.peerHits.Add(1)
+		if e.disk != nil && e.disk.store(key, data) {
+			e.diskWrites.Add(1)
+		}
+		// Seed the memory tier too: the imminent per-key lookup then hits
+		// memory without re-decoding. LoadOrStore — never displace a live
+		// single-flight entry.
+		ent := &entry{done: make(chan struct{}), val: val}
+		close(ent.done)
+		e.cache.LoadOrStore(key, ent)
+		warmed++
+	}
+	return warmed
+}

@@ -151,6 +151,122 @@ func TestRemoteMissComputes(t *testing.T) {
 	}
 }
 
+// fakeBatchRemote extends fakeRemote with the multi-key fetch.
+type fakeBatchRemote struct {
+	fakeRemote
+	batches atomic.Int32
+}
+
+func (f *fakeBatchRemote) FetchBatch(_ context.Context, keys []Key) [][]byte {
+	f.batches.Add(1)
+	out := make([][]byte, len(keys))
+	for i, k := range keys {
+		out[i] = f.entries[k] // nil on miss
+	}
+	return out
+}
+
+// TestWarmDurableBatches: WarmDurable fills memory and disk for every
+// key the peer holds in one multi-key fetch; the subsequent per-key
+// lookups (with the peer tier suppressed) hit locally, never refetch,
+// and never recompute.
+func TestWarmDurableBatches(t *testing.T) {
+	dir := t.TempDir()
+	keys := make([]Key, 8)
+	rc := &fakeBatchRemote{fakeRemote: fakeRemote{entries: map[Key][]byte{}}}
+	for i := range keys {
+		keys[i] = testKey("warm-" + string(rune('a'+i)))
+		if i%2 == 0 { // the peer holds only half the keys
+			rc.entries[keys[i]] = encodeEntry(intCodec, 100+i)
+		}
+	}
+	// One corrupt peer entry: must be skipped, not warmed.
+	rc.entries[keys[0]] = []byte("garbage")
+
+	e, err := NewDisk(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetRemote(rc)
+	warmed := WarmDurable(context.Background(), e, keys, intCodec)
+	if warmed != 3 { // keys 2, 4, 6 — key 0 is corrupt, odd keys missing
+		t.Fatalf("warmed %d, want 3", warmed)
+	}
+	if rc.batches.Load() != 1 || rc.fetches.Load() != 0 {
+		t.Fatalf("batches=%d fetches=%d, want one batch and no per-key fetch",
+			rc.batches.Load(), rc.fetches.Load())
+	}
+	if st := e.Stats(); st.PeerHits != 3 || st.DiskWrites != 3 {
+		t.Fatalf("stats after warm: %+v", st)
+	}
+
+	// Per-key lookups under SkipRemote: warmed keys hit locally, the rest
+	// compute — without a single per-key peer fetch.
+	ctx := SkipRemote(context.Background())
+	var computed atomic.Int32
+	for i, k := range keys {
+		v, err := MemoizeDurableCtx(ctx, e, k, intCodec, func(context.Context) (int, error) {
+			computed.Add(1)
+			return 100 + i, nil
+		})
+		if err != nil || v != 100+i {
+			t.Fatalf("key %d: got %d, %v", i, v, err)
+		}
+	}
+	if got := computed.Load(); got != 5 {
+		t.Fatalf("computed %d keys, want 5 (8 minus 3 warmed)", got)
+	}
+	if rc.fetches.Load() != 0 {
+		t.Fatal("SkipRemote lookups still consulted the peer tier")
+	}
+
+	// A second warm over the same keys is a no-op for the warmed ones and
+	// the now-computed ones are on disk too — nothing left to need.
+	if w := WarmDurable(context.Background(), e, keys, intCodec); w != 0 {
+		t.Fatalf("re-warm warmed %d, want 0", w)
+	}
+}
+
+// TestWarmDurableWithoutBatchRemote: engines whose remote cannot batch
+// (or have no remote) warm nothing and keep the per-key path intact.
+func TestWarmDurableWithoutBatchRemote(t *testing.T) {
+	e := New(1)
+	if w := WarmDurable(context.Background(), e, []Key{testKey("w")}, intCodec); w != 0 {
+		t.Fatalf("warmed %d on a remote-less engine", w)
+	}
+	rc := &fakeRemote{entries: map[Key][]byte{}}
+	e.SetRemote(rc)
+	if w := WarmDurable(context.Background(), e, []Key{testKey("w")}, intCodec); w != 0 {
+		t.Fatalf("warmed %d through a non-batch remote", w)
+	}
+	if rc.fetches.Load() != 0 {
+		t.Fatal("WarmDurable fell back to per-key fetches")
+	}
+}
+
+// TestWarmDurableSeedsMemoryWithoutDisk: on a diskless engine the warmed
+// values land in the memory tier, so sharded daemons running without a
+// cache dir still benefit from the one-round-trip warm.
+func TestWarmDurableSeedsMemoryWithoutDisk(t *testing.T) {
+	key := testKey("warm-nodisk")
+	rc := &fakeBatchRemote{fakeRemote: fakeRemote{entries: map[Key][]byte{
+		key: encodeEntry(intCodec, 55),
+	}}}
+	e := New(1)
+	e.SetRemote(rc)
+	if w := WarmDurable(context.Background(), e, []Key{key}, intCodec); w != 1 {
+		t.Fatalf("warmed %d, want 1", w)
+	}
+	v, err := MemoizeDurableCtx(SkipRemote(context.Background()), e, key, intCodec,
+		func(context.Context) (int, error) {
+			t.Fatal("recomputed a warmed entry")
+			return 0, nil
+		})
+	if err != nil || v != 55 {
+		t.Fatalf("got %d, %v", v, err)
+	}
+}
+
 // TestRemoteDiskWinsOverPeer: the disk tier is consulted before the peer
 // tier — a local entry never pays a network round trip.
 func TestRemoteDiskWinsOverPeer(t *testing.T) {

@@ -28,8 +28,6 @@ import (
 	"io"
 	"net/http"
 	"net/url"
-	"os"
-	"path/filepath"
 	"sync"
 
 	"repro/internal/artifact"
@@ -173,6 +171,12 @@ func (s *Server) routeBatch(ctx context.Context, req *artifact.BatchRequest,
 // computeBatch schedules and simulates the loops at idxs (nil = all) on
 // the shared engine, memoised durably so the results land in — and can
 // later be served from — this shard's disk cache.
+//
+// On a sharded daemon the share is first warmed in bulk: one multi-key
+// cache fetch per owning peer fills the local tiers for every key a peer
+// holds, and the per-loop lookups then run with the peer tier suppressed
+// — N round trips (or, degraded, N timeouts) collapse into one per
+// owner.
 func (s *Server) computeBatch(ctx context.Context, req *artifact.BatchRequest,
 	keys []artifact.Key, out []artifact.BatchLoopResult, errs []error, idxs []int) {
 
@@ -181,6 +185,14 @@ func (s *Server) computeBatch(ctx context.Context, req *artifact.BatchRequest,
 		for i := range idxs {
 			idxs[i] = i
 		}
+	}
+	if s.ring != nil && s.ring.Size() > 1 {
+		warm := make([]artifact.Key, len(idxs))
+		for j, i := range idxs {
+			warm[j] = keys[i]
+		}
+		explore.WarmDurable(ctx, s.eng, warm, batchLoopCodec)
+		ctx = explore.SkipRemote(ctx)
 	}
 	cfg := req.Config
 	fastest := cfg.Clock.MinPeriod[cfg.Clock.FastestCluster(cfg.Arch)]
@@ -291,9 +303,10 @@ func (s *Server) forwardBatch(ctx context.Context, owner string,
 // handleCacheGet serves one disk-cache entry by content hash — the peer
 // cache backend. The body is the raw artifact envelope; the requesting
 // shard validates it through its codec, so this handler never decodes.
+// Lookups go through the engine's segment store, so entries still
+// sitting in the group-commit batch are served too.
 func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
-	dir := s.eng.CacheDir()
-	if dir == "" {
+	if s.eng.CacheDir() == "" {
 		http.Error(w, "no cache tier", http.StatusNotFound)
 		return
 	}
@@ -302,18 +315,48 @@ func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad cache key", http.StatusBadRequest)
 		return
 	}
-	if _, err := hex.DecodeString(hx); err != nil {
+	raw, err := hex.DecodeString(hx)
+	if err != nil {
 		http.Error(w, "bad cache key", http.StatusBadRequest)
 		return
 	}
-	data, err := os.ReadFile(filepath.Join(dir, hx[:2], hx[2:]+".art"))
-	if err != nil {
+	data, ok := s.eng.DiskGet(artifact.Key(raw))
+	if !ok {
 		http.Error(w, "no such entry", http.StatusNotFound)
 		return
 	}
 	s.cacheServed.Add(1)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	_, _ = w.Write(data)
+}
+
+// handleCacheBatch serves many disk-cache entries in one round trip —
+// the bulk variant of handleCacheGet, answered from the same store. The
+// response frame carries one slot per requested key, in request order,
+// with misses marked; like the single-key endpoint it never decodes the
+// entries it serves.
+func (s *Server) handleCacheBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		http.Error(w, "read body: "+firstLine(err.Error()), http.StatusBadRequest)
+		return
+	}
+	keys, err := artifact.DecodeCacheBatchRequest(body)
+	if err != nil {
+		http.Error(w, "bad cache batch request: "+firstLine(err.Error()), http.StatusBadRequest)
+		return
+	}
+	entries := make([][]byte, len(keys))
+	if s.eng.CacheDir() != "" {
+		for i, k := range keys {
+			if data, ok := s.eng.DiskGet(k); ok {
+				entries[i] = data
+				s.cacheServed.Add(1)
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(artifact.EncodeCacheBatchResult(entries))
 }
 
 // peerCache is the engine's RemoteCache: on a local disk miss, fetch the
@@ -353,4 +396,75 @@ func (p peerCache) Fetch(ctx context.Context, key explore.Key) ([]byte, bool) {
 	}
 	s.peerFetches.Add(1)
 	return data, true
+}
+
+// FetchBatch fetches many keys in one POST /v1/cache/batch per owning
+// peer — the engine's RemoteBatchCache, behind explore.WarmDurable.
+// Self-owned keys are never fetched (this shard is the authority), and a
+// failed owner contributes misses for its whole share: one timed-out
+// round trip per dead peer instead of one per key.
+func (p peerCache) FetchBatch(ctx context.Context, keys []explore.Key) [][]byte {
+	s := p.s
+	out := make([][]byte, len(keys))
+	owners := make(map[string][]int)
+	for i, k := range keys {
+		if s.ring.OwnsSelf(k) {
+			continue
+		}
+		owner := s.ring.Owner(k)
+		owners[owner] = append(owners[owner], i)
+	}
+	for owner, idxs := range owners {
+		ks := make([]artifact.Key, len(idxs))
+		for j, i := range idxs {
+			ks[j] = keys[i]
+		}
+		entries, err := s.fetchCacheBatch(ctx, owner, ks)
+		if err != nil {
+			s.peerErrors.Add(1)
+			continue // every key of this owner reads as a miss
+		}
+		s.peerBatches.Add(1)
+		for j, e := range entries {
+			if e != nil {
+				out[idxs[j]] = e
+				s.peerFetches.Add(1)
+			}
+		}
+	}
+	return out
+}
+
+// fetchCacheBatch issues one multi-key fetch to owner and returns the
+// per-key slots (nil = miss). Any failure — transport, status, frame
+// decode, shape mismatch — is an error for the caller to degrade on.
+func (s *Server) fetchCacheBatch(ctx context.Context, owner string, keys []artifact.Key) ([][]byte, error) {
+	pctx, cancel := context.WithTimeout(ctx, s.peerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodPost,
+		owner+"/v1/cache/batch", bytes.NewReader(artifact.EncodeCacheBatchRequest(keys)))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := s.peerHC.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("peer %s: HTTP %d", owner, resp.StatusCode)
+	}
+	entries, err := artifact.DecodeCacheBatchResult(data)
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: %w", owner, err)
+	}
+	if len(entries) != len(keys) {
+		return nil, fmt.Errorf("peer %s: %d entries for %d keys", owner, len(entries), len(keys))
+	}
+	return entries, nil
 }

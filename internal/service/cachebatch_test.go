@@ -1,0 +1,202 @@
+// Tests and benchmark of the bulk peer-cache endpoint: POST
+// /v1/cache/batch and the typed client front, plus the engine-level warm
+// path (WarmDurable over a RemoteBatchCache backed by the endpoint).
+
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/explore"
+)
+
+// warmBenchCodec memoises plain strings — enough to exercise the raw
+// entry plumbing without scheduling anything.
+var warmBenchCodec = explore.Codec[string]{
+	Kind:   "service.warmbench",
+	Encode: func(w *artifact.Writer, v string) { w.Str(v) },
+	Decode: func(r *artifact.Reader) (string, error) { return r.Str(), r.Err() },
+}
+
+// clientBatchRemote adapts the typed Client to explore.RemoteBatchCache:
+// the shape a diskless consumer (or a test) uses to warm an engine from
+// one daemon's cache.
+type clientBatchRemote struct{ c *Client }
+
+func (r clientBatchRemote) Fetch(ctx context.Context, key explore.Key) ([]byte, bool) {
+	data, found, err := r.c.FetchCache(ctx, key.Hex())
+	if err != nil {
+		return nil, false
+	}
+	return data, found
+}
+
+func (r clientBatchRemote) FetchBatch(ctx context.Context, keys []explore.Key) [][]byte {
+	entries, err := r.c.CacheBatch(ctx, keys)
+	if err != nil {
+		return make([][]byte, len(keys))
+	}
+	return entries
+}
+
+// primeWarmEntries memoises n string entries into srv's disk cache and
+// returns their keys.
+func primeWarmEntries(tb testing.TB, srv *Server, n int) []artifact.Key {
+	tb.Helper()
+	keys := make([]artifact.Key, n)
+	for i := range keys {
+		v := fmt.Sprintf("entry-%04d-%s", i, strings.Repeat("x", 200))
+		keys[i] = artifact.HashBytes("service.warmbench", []byte(v))
+		if _, err := explore.MemoizeDurable(srv.Engine(), keys[i], warmBenchCodec,
+			func() (string, error) { return v, nil }); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := srv.Engine().SyncDisk(); err != nil {
+		tb.Fatal(err)
+	}
+	return keys
+}
+
+// TestCacheBatchEndpoint: the bulk endpoint answers one slot per key in
+// request order (nil = miss), counts served entries, degrades to
+// all-miss without a cache tier, and rejects malformed frames.
+func TestCacheBatchEndpoint(t *testing.T) {
+	srv, client := newTestEnv(t, Config{CacheDir: t.TempDir()})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	keys := primeWarmEntries(t, srv, 2)
+	miss := artifact.HashBytes("service.warmbench", []byte("never computed"))
+
+	entries, err := client.CacheBatch(ctx, []artifact.Key{keys[0], miss, keys[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 || entries[0] == nil || entries[1] != nil || entries[2] == nil {
+		t.Fatalf("slot shape wrong: %v", []bool{entries[0] != nil, entries[1] != nil, entries[2] != nil})
+	}
+	if served := srv.StatsSnapshot().CacheServed; served != 2 {
+		t.Fatalf("CacheServed = %d, want 2", served)
+	}
+	// The slots are the same bytes the single-key endpoint serves.
+	single, found, err := client.FetchCache(ctx, keys[0].Hex())
+	if err != nil || !found {
+		t.Fatalf("single-key fetch: found=%v err=%v", found, err)
+	}
+	if !bytes.Equal(single, entries[0]) {
+		t.Fatal("batch slot differs from the single-key bytes")
+	}
+
+	// No cache tier: every slot is a miss, not an error.
+	_, noDisk := newTestEnv(t, Config{})
+	entries, err = noDisk.CacheBatch(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range entries {
+		if e != nil {
+			t.Fatalf("diskless daemon served slot %d", i)
+		}
+	}
+
+	// A malformed frame is a 400, never a 500.
+	resp, err := http.Post(client.base+"/v1/cache/batch",
+		"application/octet-stream", strings.NewReader("not a frame"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed frame: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestWarmDurableOverHTTP: a fresh engine with a RemoteBatchCache backed
+// by the real endpoint warms every key in one round trip and then serves
+// them from its own tiers.
+func TestWarmDurableOverHTTP(t *testing.T) {
+	owner, client := newTestEnv(t, Config{CacheDir: t.TempDir()})
+	keys := primeWarmEntries(t, owner, 8)
+
+	eng, err := explore.NewDisk(0, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetRemote(clientBatchRemote{client})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if warmed := explore.WarmDurable(ctx, eng, keys, warmBenchCodec); warmed != len(keys) {
+		t.Fatalf("warmed %d of %d", warmed, len(keys))
+	}
+	// Everything is local now: the lookups compute nothing even with the
+	// peer tier suppressed.
+	for i, k := range keys {
+		v, err := explore.MemoizeDurableCtx(explore.SkipRemote(ctx), eng, k, warmBenchCodec,
+			func(context.Context) (string, error) { return "", fmt.Errorf("recompute") })
+		if err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+		if !strings.HasPrefix(v, fmt.Sprintf("entry-%04d-", i)) {
+			t.Fatalf("key %d: wrong value %q", i, v)
+		}
+	}
+	if st := eng.Stats(); st.Misses != 0 || st.PeerHits != uint64(len(keys)) {
+		t.Fatalf("warmed engine recomputed: %+v", st)
+	}
+}
+
+// BenchmarkPeerBatchWarm measures warming a fresh engine with 256
+// entries from a peer's cache through POST /v1/cache/batch — the
+// one-round-trip bulk path a forwarded /v1/batch sub-request takes. The
+// PR 3 equivalent was 256 sequential GET /v1/cache/{hash} fetches; the
+// per-key path is benchmarked alongside for the ratio.
+func BenchmarkPeerBatchWarm(b *testing.B) {
+	srv, err := New(Config{CacheDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Close(ctx)
+		ts.Close()
+	}()
+	keys := primeWarmEntries(b, srv, 256)
+	remote := clientBatchRemote{NewClient(ts.URL)}
+	ctx := context.Background()
+
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := explore.New(0)
+			eng.SetRemote(remote)
+			if warmed := explore.WarmDurable(ctx, eng, keys, warmBenchCodec); warmed != len(keys) {
+				b.Fatalf("warmed %d of %d", warmed, len(keys))
+			}
+		}
+	})
+	b.Run("per-key", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := explore.New(0)
+			eng.SetRemote(remote)
+			for _, k := range keys {
+				if _, err := explore.MemoizeDurable(eng, k, warmBenchCodec,
+					func() (string, error) { return "", fmt.Errorf("recompute") }); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if st := eng.Stats(); st.PeerHits != uint64(len(keys)) {
+				b.Fatalf("per-key warm missed: %+v", st)
+			}
+		}
+	})
+}

@@ -236,6 +236,40 @@ func (c *Client) FetchCache(ctx context.Context, hexKey string) (data []byte, fo
 	return data, true, nil
 }
 
+// CacheBatch fetches many disk-cache entries in one round trip via
+// POST /v1/cache/batch. The result has one slot per requested key, in
+// request order; a nil slot is a miss. Entries come back raw (encoded
+// cache frames) — callers validate them through their codec exactly as
+// the in-process peer tier does.
+func (c *Client) CacheBatch(ctx context.Context, keys []artifact.Key) ([][]byte, error) {
+	frame := artifact.EncodeCacheBatchRequest(keys)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/cache/batch", bytes.NewReader(frame))
+	if err != nil {
+		return nil, fmt.Errorf("service client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("service client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("service client: read response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("service client: HTTP %d", resp.StatusCode)
+	}
+	entries, err := artifact.DecodeCacheBatchResult(data)
+	if err != nil {
+		return nil, fmt.Errorf("service client: decode cache batch result: %w", err)
+	}
+	if len(entries) != len(keys) {
+		return nil, fmt.Errorf("service client: cache batch returned %d entries for %d keys", len(entries), len(keys))
+	}
+	return entries, nil
+}
+
 // setInt sets a positive integer parameter (zero = server default).
 func setInt(q url.Values, name string, v int) {
 	if v > 0 {

@@ -101,6 +101,7 @@ type Server struct {
 	peerTimeout time.Duration
 	forwarded   atomic.Uint64
 	peerFetches atomic.Uint64
+	peerBatches atomic.Uint64
 	peerErrors  atomic.Uint64
 	cacheServed atomic.Uint64
 
@@ -164,6 +165,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/cache/{hash}", s.handleCacheGet)
+	s.mux.HandleFunc("POST /v1/cache/batch", s.handleCacheBatch)
 	s.mux.HandleFunc("POST /v1/schedule", s.jobHandler("schedule", s.runSchedule))
 	s.mux.HandleFunc("POST /v1/evaluate", s.jobHandler("evaluate", s.runEvaluate))
 	s.mux.HandleFunc("POST /v1/suite", s.jobHandler("suite", s.runSuite))
@@ -179,8 +181,9 @@ func (s *Server) Engine() *explore.Engine { return s.eng }
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close cancels every in-flight request (they return promptly with 503)
-// and waits — up to ctx — for executing jobs to drain.
+// Close cancels every in-flight request (they return promptly with 503),
+// waits — up to ctx — for executing jobs to drain, and flushes the disk
+// cache's pending group commit so nothing memoised is lost to the exit.
 func (s *Server) Close(ctx context.Context) error {
 	s.stop(errShutdown)
 	for s.inflight.Load() > 0 {
@@ -190,7 +193,7 @@ func (s *Server) Close(ctx context.Context) error {
 		case <-time.After(time.Millisecond):
 		}
 	}
-	return nil
+	return s.eng.SyncDisk()
 }
 
 // ---------------------------------------------------------------- plumbing
@@ -413,6 +416,7 @@ func (s *Server) StatsSnapshot() Stats {
 		st.Self = s.ring.Self()
 		st.Forwarded = s.forwarded.Load()
 		st.PeerFetches = s.peerFetches.Load()
+		st.PeerBatches = s.peerBatches.Load()
 		st.PeerErrors = s.peerErrors.Load()
 	}
 	return st

@@ -168,11 +168,14 @@ type Stats struct {
 	Peers []string `json:"peers,omitempty"`
 	Self  string   `json:"self,omitempty"`
 	// Forwarded counts sub-batches shipped to owning peers; PeerFetches
-	// cache entries fetched from peers; PeerErrors failed peer calls
-	// (each one degraded to local compute); CacheServed entries this
-	// daemon served to peers via GET /v1/cache/{hash}.
+	// cache entries fetched from peers (single-key or batched);
+	// PeerBatches multi-key POST /v1/cache/batch round trips issued;
+	// PeerErrors failed peer calls (each one degraded to local compute);
+	// CacheServed entries this daemon served to peers via
+	// GET /v1/cache/{hash} and POST /v1/cache/batch.
 	Forwarded   uint64 `json:"forwarded,omitempty"`
 	PeerFetches uint64 `json:"peer_fetches,omitempty"`
+	PeerBatches uint64 `json:"peer_batches,omitempty"`
 	PeerErrors  uint64 `json:"peer_errors,omitempty"`
 	CacheServed uint64 `json:"cache_served,omitempty"`
 }

@@ -1,0 +1,119 @@
+// Legacy one-file-per-entry import. PR 2's disk tier stored each entry
+// as `<dir>/<hh>/<62 hex>.art`; existing cache directories upgrade in
+// place: the first open over such a tree reads every entry into the
+// segment log, flushes, and removes the per-entry files. The import is
+// idempotent — a crash between flush and removal just re-imports on the
+// next open, and a re-imported entry supersedes its duplicate (the old
+// record becomes dead bytes for the compactor).
+
+package store
+
+import (
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// legacyEntry is one `.art` file of a legacy tree.
+type legacyEntry struct {
+	key  Key
+	path string
+}
+
+// legacyEntries lists the legacy per-entry files under dir. Files whose
+// names do not decode to a key are ignored (foreign droppings).
+func legacyEntries(dir string) []legacyEntry {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []legacyEntry
+	for _, e := range ents {
+		if !e.IsDir() || len(e.Name()) != 2 || !isHex(e.Name()) {
+			continue
+		}
+		sub := filepath.Join(dir, e.Name())
+		files, err := os.ReadDir(sub)
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			name := f.Name()
+			if f.IsDir() || !strings.HasSuffix(name, ".art") {
+				continue
+			}
+			hx := e.Name() + strings.TrimSuffix(name, ".art")
+			kb, err := hex.DecodeString(hx)
+			if err != nil || len(kb) == 0 {
+				continue
+			}
+			out = append(out, legacyEntry{key: Key(kb), path: filepath.Join(sub, name)})
+		}
+	}
+	return out
+}
+
+// importLegacy migrates a legacy tree into the segment log and removes
+// it. Returns the number of entries imported.
+func (s *Store) importLegacy() (int, error) {
+	ents := legacyEntries(s.dir)
+	if len(ents) == 0 {
+		return 0, nil
+	}
+	imported := 0
+	for _, e := range ents {
+		data, err := os.ReadFile(e.path)
+		if err != nil {
+			continue
+		}
+		s.Put(e.key, data)
+		imported++
+	}
+	if err := s.Flush(); err != nil {
+		// Keep the legacy files: they are still the durable copy.
+		return imported, err
+	}
+	for _, e := range ents {
+		os.Remove(e.path)
+	}
+	removeEmptyFanout(s.dir)
+	return imported, nil
+}
+
+// clearLegacy removes every legacy `.art` entry under dir and returns
+// how many it removed.
+func clearLegacy(dir string) (int, error) {
+	ents := legacyEntries(dir)
+	for _, e := range ents {
+		if err := os.Remove(e.path); err != nil {
+			return 0, err
+		}
+	}
+	removeEmptyFanout(dir)
+	return len(ents), nil
+}
+
+// removeEmptyFanout drops now-empty two-level fan-out directories.
+func removeEmptyFanout(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if e.IsDir() && len(e.Name()) == 2 && isHex(e.Name()) {
+			os.Remove(filepath.Join(dir, e.Name())) // fails unless empty
+		}
+	}
+}
+
+// isHex reports whether s is lowercase hex.
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,105 @@
+// Per-process sharing. The exploration engine has no close/shutdown
+// hook, and benchmarks and tests routinely open many engines over one
+// cache directory; giving each its own Store would mean one index scan
+// and one active segment per open. Shared hands every opener of a
+// directory the same Store, so a process holds exactly one index, one
+// appender and one set of file descriptors per cache directory for its
+// lifetime — which is also what makes in-process "fresh engine" reads
+// genuinely warm.
+
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+var (
+	sharedMu sync.Mutex
+	sharedBy = map[string]*Store{}
+)
+
+// Shared returns the process-wide Store for dir, opening it on first
+// use. Later calls ignore opt and return the first-opened instance.
+func Shared(dir string, opt Options) (*Store, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		abs = filepath.Clean(dir)
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if s, ok := sharedBy[abs]; ok {
+		return s, nil
+	}
+	s, err := Open(abs, opt)
+	if err != nil {
+		return nil, err
+	}
+	sharedBy[abs] = s
+	return s, nil
+}
+
+// sharedFor returns the already-open shared Store for dir, if any.
+func sharedFor(dir string) *Store {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		abs = filepath.Clean(dir)
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	return sharedBy[abs]
+}
+
+// FlushDir flushes the shared Store for dir if this process holds one —
+// the sync point before an on-disk scan (ReadStats) is taken.
+func FlushDir(dir string) error {
+	if s := sharedFor(dir); s != nil {
+		return s.Flush()
+	}
+	return nil
+}
+
+// ClearDir drops every entry under dir: through the shared Store when
+// this process holds one (so its index empties too), otherwise by
+// scanning and removing the files directly. Returns the number of live
+// entries removed.
+func ClearDir(dir string) (int, error) {
+	if s := sharedFor(dir); s != nil {
+		return s.Clear()
+	}
+	ds, err := ReadStats(dir)
+	if err != nil {
+		return 0, err
+	}
+	names, err := segmentNames(dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, name := range names {
+		os.Remove(filepath.Join(dir, name))
+	}
+	if _, err := clearLegacy(dir); err != nil {
+		return ds.Entries, err
+	}
+	sweepTemps(dir, 0)
+	return ds.Entries, nil
+}
+
+// CompactDir compacts the store under dir: through the shared Store when
+// this process holds one, otherwise by opening the directory for the
+// duration (which also imports any legacy tree).
+func CompactDir(dir string, opt Options) (CompactStats, error) {
+	if s := sharedFor(dir); s != nil {
+		return s.Compact()
+	}
+	s, err := Open(dir, opt)
+	if err != nil {
+		return CompactStats{}, err
+	}
+	st, err := s.Compact()
+	if cerr := s.Close(); err == nil {
+		err = cerr
+	}
+	return st, err
+}

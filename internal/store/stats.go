@@ -1,0 +1,76 @@
+// Read-only directory inspection: `cache stats` and the peer daemons
+// report on a store without opening it for writing (and therefore
+// without creating segments or importing legacy trees).
+
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// DirStats describes a store directory as found on disk. Unlike Stats it
+// is computed by a read-only scan: nothing is created, imported or swept.
+type DirStats struct {
+	// Entries counts live keys: distinct keys in the segment log plus
+	// legacy `.art` files not yet imported.
+	Entries int
+	// Segments is the number of segment files; TotalBytes their on-disk
+	// size plus the legacy tree's.
+	Segments   int
+	TotalBytes int64
+	// LiveBytes is the framed size of live records; DeadBytes what
+	// compaction would reclaim (superseded duplicates, torn tails).
+	LiveBytes, DeadBytes int64
+	// ScanTime is how long the index-rebuilding scan took — the cost a
+	// fresh process pays at open.
+	ScanTime time.Duration
+	// LegacyFiles counts un-imported one-file-per-entry `.art` files;
+	// TempFiles the `.tmp-*` droppings of crashed writers.
+	LegacyFiles int
+	TempFiles   int
+}
+
+// ReadStats scans dir without modifying it.
+func ReadStats(dir string) (DirStats, error) {
+	var st DirStats
+	start := time.Now()
+	names, err := segmentNames(dir)
+	if err != nil {
+		return st, err
+	}
+	index := make(map[Key]loc)
+	var live, dead int64
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		valid := scanSegment(data, func(key Key, off int64, n int32) {
+			if old, ok := index[key]; ok {
+				live -= int64(old.n)
+				dead += int64(old.n)
+			}
+			index[key] = loc{n: n}
+			live += int64(n)
+		})
+		dead += int64(len(data)) - valid
+		st.Segments++
+		st.TotalBytes += int64(len(data))
+	}
+	st.Entries = len(index)
+	st.LiveBytes = live
+	st.DeadBytes = dead
+	st.ScanTime = time.Since(start)
+
+	for _, e := range legacyEntries(dir) {
+		st.LegacyFiles++
+		st.Entries++
+		if info, err := os.Stat(e.path); err == nil {
+			st.TotalBytes += info.Size()
+		}
+	}
+	st.TempFiles = CountTemps(dir)
+	return st, nil
+}

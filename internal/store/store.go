@@ -1,0 +1,846 @@
+// Package store implements the content-addressed, append-only segment
+// store behind the exploration engine's disk cache tier.
+//
+// The one-file-per-entry layout it replaces paid ~4 syscalls plus a path
+// allocation per entry — ruinous for the sweep workload, whose entries
+// average a few dozen bytes. Here entries are length-prefixed, CRC-framed
+// records appended to bounded segment files; an in-memory key →
+// (segment, offset, length) index is rebuilt by one sequential scan at
+// open, and reads are a map lookup plus a single pread into a pooled
+// buffer.
+//
+// Crash consistency is by construction, not by repair: records are
+// framed with a length prefix and a CRC over their payload, and a
+// scanner stops at the first frame that fails validation — a torn tail
+// (the writer died mid-append) therefore reads as end-of-log, never as
+// wrong data. Writers never append to a segment they did not create:
+// every open creates its own uniquely-named active segment, so two
+// processes sharing a cache directory cannot interleave writes, and no
+// truncation/repair pass is ever needed.
+//
+// Writes go through a batching appender with group commit: Put enqueues
+// and returns, and a short flush interval later the whole batch goes to
+// disk as one write plus one sync — not one per entry. Unflushed entries
+// are still readable (the pending batch is part of the lookup chain);
+// a crash can lose at most the last interval's entries, which for a
+// memoisation cache means recomputing them.
+//
+// A compactor rewrites live records into fresh segments and drops dead
+// ones (overwritten duplicates, torn tails, superseded segments), and
+// legacy one-file-per-entry trees (`<hh>/<62 hex>.art`) are imported and
+// removed on first open, so existing cache directories upgrade in place.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/artifact"
+)
+
+// Key aliases the artifact content-address type: the store is keyed by
+// the same fingerprints as every other cache tier.
+type Key = artifact.Key
+
+const (
+	// segMagic starts every segment file; segVersion is the format
+	// version byte that follows it.
+	segMagic   = "HVSG"
+	segVersion = 1
+	headerSize = len(segMagic) + 1
+
+	// recHeaderSize frames every record: u32le payload length, u32le
+	// CRC-32C of the payload. The payload is [keyLen byte][key][value].
+	recHeaderSize = 8
+
+	// maxRecordBytes bounds a single record (and therefore what a corrupt
+	// length prefix can make the scanner or a reader allocate).
+	maxRecordBytes = 64 << 20
+)
+
+// crcTable is the Castagnoli polynomial (hardware-accelerated on amd64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrNotFound reports a key absent from the store.
+var ErrNotFound = errors.New("store: key not found")
+
+// Options tunes a Store. The zero value selects the defaults.
+type Options struct {
+	// SegmentBytes bounds a segment file; the appender rotates to a fresh
+	// segment once the active one would exceed it (default 4 MiB). A
+	// single oversized batch still lands in one segment.
+	SegmentBytes int64
+	// FlushEvery is the group-commit interval: pending Puts are written
+	// and synced as one batch this often (default 5ms).
+	FlushEvery time.Duration
+	// TempMaxAge is the age beyond which stale temp files (crashed
+	// legacy writers, interrupted compactions) are swept at open
+	// (default 1h). Clear removes temps regardless of age.
+	TempMaxAge time.Duration
+}
+
+func (o *Options) defaults() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.FlushEvery <= 0 {
+		o.FlushEvery = 5 * time.Millisecond
+	}
+	if o.TempMaxAge <= 0 {
+		o.TempMaxAge = time.Hour
+	}
+}
+
+// loc addresses one live record: segment table index, record start
+// offset, and total record length including its frame header.
+type loc struct {
+	seg int32
+	n   int32
+	off int64
+}
+
+// segment is one on-disk segment file.
+type segment struct {
+	path string
+	f    *os.File
+	size int64
+}
+
+// Store is an open segment store. It is safe for concurrent use; one
+// Store should be shared per directory per process (see Shared).
+type Store struct {
+	dir string
+	opt Options
+
+	// mu guards index, segs, active, pending, flushing and the byte
+	// accounting. Reads hold it shared across the pread so compaction
+	// cannot close a file under them.
+	mu       sync.RWMutex
+	index    map[Key]loc
+	segs     []*segment
+	active   int // segs index of this process's appendable segment, -1 none
+	pending  map[Key][]byte
+	flushing map[Key][]byte
+	nextSeq  int
+
+	liveBytes int64
+	deadBytes int64
+
+	timerArmed bool
+
+	// wmu serializes flushes and compactions.
+	wmu sync.Mutex
+
+	loadTime    time.Duration
+	imported    int
+	tempsSwept  int
+	flushErrors int
+
+	closed bool
+}
+
+// recPool recycles read buffers: one Get/View costs zero allocations in
+// steady state.
+var recPool = sync.Pool{New: func() any {
+	b := make([]byte, 4096)
+	return &b
+}}
+
+// Open opens (creating if needed) the segment store in dir: scans every
+// segment sequentially to rebuild the index, imports a legacy
+// one-file-per-entry `.art` tree if one is present, and sweeps stale
+// temp files. Open never repairs files in place — a torn tail is simply
+// not indexed.
+func Open(dir string, opt Options) (*Store, error) {
+	opt.defaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		opt:     opt,
+		index:   make(map[Key]loc),
+		active:  -1,
+		pending: make(map[Key][]byte),
+	}
+	start := time.Now()
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	s.loadTime = time.Since(start)
+	s.tempsSwept = sweepTemps(dir, opt.TempMaxAge)
+	if n, err := s.importLegacy(); err == nil {
+		s.imported = n
+	}
+	return s, nil
+}
+
+// scan rebuilds the index from the segment files on disk.
+func (s *Store) scan() error {
+	names, err := segmentNames(s.dir)
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	for _, name := range names {
+		path := filepath.Join(s.dir, name)
+		f, err := os.OpenFile(path, os.O_RDONLY, 0)
+		if err != nil {
+			continue // raced with a concurrent clear/compact
+		}
+		info, err := f.Stat()
+		if err != nil {
+			f.Close()
+			continue
+		}
+		size := info.Size()
+		if cap(buf) < int(size) {
+			buf = make([]byte, size)
+		}
+		buf = buf[:size]
+		if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), buf); err != nil {
+			f.Close()
+			continue
+		}
+		segIdx := int32(len(s.segs))
+		valid := scanSegment(buf, func(key Key, off int64, n int32) {
+			s.indexRecord(key, loc{seg: segIdx, off: off, n: n})
+		})
+		s.deadBytes += size - valid // torn tail (or a foreign/corrupt file)
+		s.segs = append(s.segs, &segment{path: path, f: f, size: size})
+		if seq, ok := parseSeq(name); ok && seq >= s.nextSeq {
+			s.nextSeq = seq + 1
+		}
+	}
+	return nil
+}
+
+// indexRecord adds one record to the index, accounting a superseded
+// duplicate as dead bytes.
+func (s *Store) indexRecord(key Key, l loc) {
+	if old, ok := s.index[key]; ok {
+		s.liveBytes -= int64(old.n)
+		s.deadBytes += int64(old.n)
+	}
+	s.index[key] = l
+	s.liveBytes += int64(l.n)
+}
+
+// scanSegment walks one segment image, calling emit for every valid
+// record, and returns the number of bytes covered by the header plus
+// valid records — everything past that is a torn tail. A file that does
+// not even carry the segment header contributes zero valid bytes.
+func scanSegment(data []byte, emit func(key Key, off int64, n int32)) int64 {
+	if len(data) < headerSize || string(data[:len(segMagic)]) != segMagic ||
+		data[len(segMagic)] != segVersion {
+		return 0
+	}
+	off := int64(headerSize)
+	for {
+		key, _, n, ok := parseRecord(data[off:])
+		if !ok {
+			return off
+		}
+		emit(key, off, n)
+		off += int64(n)
+	}
+}
+
+// parseRecord validates the record frame at the start of data and
+// returns its key, value and total length. ok is false on a torn,
+// truncated or corrupt frame.
+func parseRecord(data []byte) (key Key, value []byte, n int32, ok bool) {
+	if len(data) < recHeaderSize {
+		return "", nil, 0, false
+	}
+	plen := binary.LittleEndian.Uint32(data)
+	if plen < 1 || plen > maxRecordBytes || int(plen) > len(data)-recHeaderSize {
+		return "", nil, 0, false
+	}
+	payload := data[recHeaderSize : recHeaderSize+int(plen)]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[4:]) {
+		return "", nil, 0, false
+	}
+	klen := int(payload[0])
+	if klen == 0 || klen+1 > len(payload) {
+		return "", nil, 0, false
+	}
+	return Key(payload[1 : 1+klen]), payload[1+klen:], int32(recHeaderSize + int(plen)), true
+}
+
+// appendRecord frames one record onto buf.
+func appendRecord(buf []byte, key Key, value []byte) []byte {
+	plen := 1 + len(key) + len(value)
+	var hdr [recHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(plen))
+	start := len(buf) + recHeaderSize
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, byte(len(key)))
+	buf = append(buf, key...)
+	buf = append(buf, value...)
+	crc := crc32.Checksum(buf[start:], crcTable)
+	binary.LittleEndian.PutUint32(buf[start-4:start], crc)
+	return buf
+}
+
+// recordLen is the framed size of one record.
+func recordLen(key Key, value []byte) int64 {
+	return int64(recHeaderSize + 1 + len(key) + len(value))
+}
+
+// ------------------------------------------------------------------ reads
+
+// View invokes fn with the value stored for key and reports whether one
+// was found. The value bytes are only valid for the duration of fn —
+// they come from a pooled buffer (or the pending batch) and must not be
+// retained; fn must not call back into the store.
+func (s *Store) View(key Key, fn func(value []byte)) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if v, ok := s.pending[key]; ok {
+		fn(v)
+		return true
+	}
+	if v, ok := s.flushing[key]; ok {
+		fn(v)
+		return true
+	}
+	l, ok := s.index[key]
+	if !ok {
+		return false
+	}
+	bp := recPool.Get().(*[]byte)
+	defer recPool.Put(bp)
+	if cap(*bp) < int(l.n) {
+		*bp = make([]byte, l.n)
+	}
+	buf := (*bp)[:l.n]
+	if _, err := s.segs[l.seg].f.ReadAt(buf, l.off); err != nil {
+		return false
+	}
+	k, v, _, ok := parseRecord(buf)
+	if !ok || k != key {
+		// The file changed under us (external clear / bit rot): a miss,
+		// never wrong data.
+		return false
+	}
+	fn(v)
+	return true
+}
+
+// Get returns a copy of the value stored for key.
+func (s *Store) Get(key Key) ([]byte, bool) {
+	var out []byte
+	ok := s.View(key, func(v []byte) { out = append([]byte(nil), v...) })
+	return out, ok
+}
+
+// Has reports whether key is present (pending, flushing or indexed)
+// without reading its value.
+func (s *Store) Has(key Key) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.pending[key]; ok {
+		return true
+	}
+	if _, ok := s.flushing[key]; ok {
+		return true
+	}
+	_, ok := s.index[key]
+	return ok
+}
+
+// Entries returns the number of live keys.
+func (s *Store) Entries() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := len(s.index)
+	for k := range s.pending {
+		if _, ok := s.index[k]; !ok {
+			n++
+		}
+	}
+	for k := range s.flushing {
+		if _, ok := s.index[k]; !ok {
+			if _, ok := s.pending[k]; !ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ----------------------------------------------------------------- writes
+
+// Put enqueues one entry. It returns immediately; the batching appender
+// writes and syncs the whole pending batch one flush interval later (or
+// on Flush/Close). The store takes ownership of value.
+func (s *Store) Put(key Key, value []byte) {
+	if len(key) == 0 || len(key) > 255 || recordLen(key, value) > maxRecordBytes {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.pending[key] = value
+	if !s.timerArmed {
+		s.timerArmed = true
+		time.AfterFunc(s.opt.FlushEvery, s.timedFlush)
+	}
+	s.mu.Unlock()
+}
+
+// timedFlush is the group-commit tick: disarm first, so Puts arriving
+// during the flush re-arm the timer and are never stranded.
+func (s *Store) timedFlush() {
+	s.mu.Lock()
+	s.timerArmed = false
+	s.mu.Unlock()
+	_ = s.Flush()
+}
+
+// Flush writes and syncs every pending entry now — one write, one sync.
+func (s *Store) Flush() error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return s.flushLocked()
+}
+
+// flushLocked is Flush with wmu held.
+func (s *Store) flushLocked() error {
+	s.mu.Lock()
+	if len(s.pending) == 0 || s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	batch := s.pending
+	s.pending = make(map[Key][]byte)
+	s.flushing = batch
+	s.mu.Unlock()
+
+	clearFlushing := func() {
+		s.mu.Lock()
+		s.flushing = nil
+		s.mu.Unlock()
+	}
+
+	// Frame the whole batch into one buffer.
+	var size int64
+	for k, v := range batch {
+		size += recordLen(k, v)
+	}
+	buf := make([]byte, 0, size)
+	type placed struct {
+		key Key
+		off int64
+		n   int32
+	}
+	recs := make([]placed, 0, len(batch))
+	for k, v := range batch {
+		off := int64(len(buf))
+		buf = appendRecord(buf, k, v)
+		recs = append(recs, placed{key: k, off: off, n: int32(int64(len(buf)) - off)})
+	}
+
+	seg, base, err := s.segmentFor(int64(len(buf)))
+	if err != nil {
+		clearFlushing()
+		s.noteFlushError()
+		return err
+	}
+	if _, err := seg.f.WriteAt(buf, base); err != nil {
+		clearFlushing()
+		s.noteFlushError()
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if err := seg.f.Sync(); err != nil {
+		clearFlushing()
+		s.noteFlushError()
+		return fmt.Errorf("store: sync: %w", err)
+	}
+
+	s.mu.Lock()
+	segIdx := int32(-1)
+	for i, sg := range s.segs {
+		if sg == seg {
+			segIdx = int32(i)
+			break
+		}
+	}
+	seg.size = base + int64(len(buf))
+	for _, r := range recs {
+		s.indexRecord(r.key, loc{seg: segIdx, off: base + r.off, n: r.n})
+	}
+	s.flushing = nil
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Store) noteFlushError() {
+	s.mu.Lock()
+	s.flushErrors++
+	s.mu.Unlock()
+}
+
+// segmentFor returns the segment (and its append offset) that can take a
+// batch of n bytes, rotating to a fresh segment when the active one
+// would exceed the bound. Only called with wmu held.
+func (s *Store) segmentFor(n int64) (*segment, int64, error) {
+	s.mu.Lock()
+	if s.active >= 0 {
+		seg := s.segs[s.active]
+		if seg.size+n <= s.opt.SegmentBytes {
+			s.mu.Unlock()
+			return seg, seg.size, nil
+		}
+	}
+	s.mu.Unlock()
+
+	seg, err := s.createSegment()
+	if err != nil {
+		return nil, 0, err
+	}
+	s.mu.Lock()
+	s.segs = append(s.segs, seg)
+	s.active = len(s.segs) - 1
+	s.mu.Unlock()
+	return seg, seg.size, nil
+}
+
+// createSegment creates a fresh, uniquely-named segment file with its
+// header written and synced. O_EXCL plus the pid suffix makes the name
+// race-free across processes sharing the directory.
+func (s *Store) createSegment() (*segment, error) {
+	for try := 0; try < 100; try++ {
+		s.mu.Lock()
+		seq := s.nextSeq
+		s.nextSeq++
+		s.mu.Unlock()
+		name := fmt.Sprintf("seg-%010d-%06d.seg", seq, os.Getpid()%1000000)
+		path := filepath.Join(s.dir, name)
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+		if errors.Is(err, fs.ErrExist) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: create segment: %w", err)
+		}
+		hdr := append([]byte(segMagic), segVersion)
+		if _, err := f.WriteAt(hdr, 0); err != nil {
+			f.Close()
+			os.Remove(path)
+			return nil, fmt.Errorf("store: segment header: %w", err)
+		}
+		return &segment{path: path, f: f, size: int64(headerSize)}, nil
+	}
+	return nil, errors.New("store: could not create a unique segment file")
+}
+
+// Close flushes pending entries and closes every segment file. A closed
+// store rejects further Puts; reads return misses.
+func (s *Store) Close() error {
+	err := s.Flush()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return err
+	}
+	s.closed = true
+	for _, seg := range s.segs {
+		seg.f.Close()
+	}
+	s.segs = nil
+	s.index = make(map[Key]loc)
+	s.active = -1
+	return err
+}
+
+// ------------------------------------------------------------- maintenance
+
+// CompactStats reports one compaction.
+type CompactStats struct {
+	SegmentsBefore, SegmentsAfter int
+	BytesBefore, BytesAfter       int64
+	Entries                       int
+	ReclaimedBytes                int64
+}
+
+// Compact rewrites every live record into fresh segments and removes the
+// old ones, reclaiming dead bytes (superseded duplicates, torn tails).
+// Reads stay available throughout; writes queue behind it. Compacting a
+// directory that another live process is appending to can drop that
+// process's unscanned records — run it from the owning daemon or with
+// the daemon stopped (see docs/OPERATIONS.md).
+func (s *Store) Compact() (CompactStats, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return CompactStats{}, err
+	}
+
+	s.mu.RLock()
+	st := CompactStats{
+		SegmentsBefore: len(s.segs),
+		BytesBefore:    s.liveBytes + s.deadBytes,
+		Entries:        len(s.index),
+	}
+	type kl struct {
+		key Key
+		l   loc
+	}
+	live := make([]kl, 0, len(s.index))
+	for k, l := range s.index {
+		live = append(live, kl{k, l})
+	}
+	oldSegs := append([]*segment(nil), s.segs...)
+	s.mu.RUnlock()
+
+	// Rewrite in (segment, offset) order: sequential reads, and a
+	// deterministic layout for a given index.
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].l.seg != live[j].l.seg {
+			return live[i].l.seg < live[j].l.seg
+		}
+		return live[i].l.off < live[j].l.off
+	})
+
+	var newSegs []*segment
+	var newLocs []loc
+	var buf []byte
+	fail := func(err error) (CompactStats, error) {
+		for _, seg := range newSegs {
+			seg.f.Close()
+			os.Remove(seg.path)
+		}
+		return CompactStats{}, err
+	}
+	for _, e := range live {
+		if cap(buf) < int(e.l.n) {
+			buf = make([]byte, e.l.n)
+		}
+		b := buf[:e.l.n]
+		if _, err := oldSegs[e.l.seg].f.ReadAt(b, e.l.off); err != nil {
+			return fail(fmt.Errorf("store: compact read: %w", err))
+		}
+		cur := currentCompactSegment(&newSegs, int64(len(b)), s)
+		if cur == nil {
+			return fail(errors.New("store: compact: cannot create segment"))
+		}
+		if _, err := cur.f.WriteAt(b, cur.size); err != nil {
+			return fail(fmt.Errorf("store: compact write: %w", err))
+		}
+		newLocs = append(newLocs, loc{seg: int32(len(newSegs) - 1), off: cur.size, n: e.l.n})
+		cur.size += int64(e.l.n)
+	}
+	for _, seg := range newSegs {
+		if err := seg.f.Sync(); err != nil {
+			return fail(fmt.Errorf("store: compact sync: %w", err))
+		}
+	}
+
+	// Swap: new index and segment table in, old files out.
+	s.mu.Lock()
+	newIndex := make(map[Key]loc, len(live))
+	var liveBytes int64
+	for i, e := range live {
+		newIndex[e.key] = newLocs[i]
+		liveBytes += int64(e.l.n)
+	}
+	s.index = newIndex
+	s.segs = newSegs
+	s.active = -1 // the next flush starts a fresh appendable segment
+	s.liveBytes = liveBytes
+	s.deadBytes = 0
+	s.mu.Unlock()
+
+	for _, seg := range oldSegs {
+		seg.f.Close()
+		os.Remove(seg.path)
+	}
+	var after int64
+	for _, seg := range newSegs {
+		after += seg.size
+	}
+	st.SegmentsAfter = len(newSegs)
+	st.BytesAfter = after
+	st.ReclaimedBytes = st.BytesBefore - after
+	if st.ReclaimedBytes < 0 {
+		st.ReclaimedBytes = 0
+	}
+	return st, nil
+}
+
+// currentCompactSegment returns the compaction output segment that can
+// take n more bytes, creating a fresh one on rotation. nil on failure.
+func currentCompactSegment(segs *[]*segment, n int64, s *Store) *segment {
+	if len(*segs) > 0 {
+		cur := (*segs)[len(*segs)-1]
+		if cur.size+n <= s.opt.SegmentBytes {
+			return cur
+		}
+	}
+	seg, err := s.createSegment()
+	if err != nil {
+		return nil
+	}
+	*segs = append(*segs, seg)
+	return seg
+}
+
+// Clear drops every entry: pending batches, the index, all segment
+// files, any remaining legacy `.art` tree, and every temp file. It
+// returns the number of live entries removed.
+func (s *Store) Clear() (int, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.mu.Lock()
+	removed := len(s.index)
+	for k := range s.pending {
+		if _, ok := s.index[k]; !ok {
+			removed++
+		}
+	}
+	s.pending = make(map[Key][]byte)
+	s.flushing = nil
+	s.index = make(map[Key]loc)
+	segs := s.segs
+	s.segs = nil
+	s.active = -1
+	s.liveBytes, s.deadBytes = 0, 0
+	s.mu.Unlock()
+
+	for _, seg := range segs {
+		seg.f.Close()
+		os.Remove(seg.path)
+	}
+	n, err := clearLegacy(s.dir)
+	removed += n
+	sweepTemps(s.dir, 0)
+	return removed, err
+}
+
+// Stats describes the store.
+type Stats struct {
+	// Entries counts live keys; Segments the segment files backing them.
+	Entries  int
+	Segments int
+	// LiveBytes is the framed size of every live record; DeadBytes what
+	// compaction would reclaim (superseded duplicates, torn tails).
+	// TotalBytes is bytes on disk including segment headers.
+	LiveBytes, DeadBytes, TotalBytes int64
+	// IndexLoad is the wall time the opening scan took.
+	IndexLoad time.Duration
+	// LegacyImported counts `.art` entries imported at open; TempsSwept
+	// the stale temp files removed at open.
+	LegacyImported int
+	TempsSwept     int
+	// FlushErrors counts failed group commits (entries dropped back to
+	// compute-on-next-miss).
+	FlushErrors int
+}
+
+// Stats snapshots the store.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for _, seg := range s.segs {
+		total += seg.size
+	}
+	st := Stats{
+		Entries:        len(s.index),
+		Segments:       len(s.segs),
+		LiveBytes:      s.liveBytes,
+		DeadBytes:      s.deadBytes,
+		TotalBytes:     total,
+		IndexLoad:      s.loadTime,
+		LegacyImported: s.imported,
+		TempsSwept:     s.tempsSwept,
+		FlushErrors:    s.flushErrors,
+	}
+	for k := range s.pending {
+		if _, ok := s.index[k]; !ok {
+			st.Entries++
+		}
+	}
+	return st
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// --------------------------------------------------------------- helpers
+
+// segmentNames lists dir's segment files in name order (zero-padded
+// sequence numbers, so creation order within a process).
+func segmentNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "seg-") && strings.HasSuffix(e.Name(), ".seg") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// parseSeq extracts the sequence number from a segment file name.
+func parseSeq(name string) (int, bool) {
+	var seq, pid int
+	if _, err := fmt.Sscanf(name, "seg-%010d-%06d.seg", &seq, &pid); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// sweepTemps removes temp files (legacy `.tmp-*` writers, interrupted
+// compactions) older than maxAge anywhere under dir and returns how many
+// it removed. maxAge <= 0 removes every temp regardless of age.
+func sweepTemps(dir string, maxAge time.Duration) int {
+	removed := 0
+	now := time.Now()
+	filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasPrefix(d.Name(), ".tmp-") {
+			return nil
+		}
+		if maxAge > 0 {
+			info, err := d.Info()
+			if err != nil || now.Sub(info.ModTime()) < maxAge {
+				return nil
+			}
+		}
+		if os.Remove(path) == nil {
+			removed++
+		}
+		return nil
+	})
+	return removed
+}
+
+// CountTemps counts temp files currently present under dir.
+func CountTemps(dir string) int {
+	n := 0
+	filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasPrefix(d.Name(), ".tmp-") {
+			n++
+		}
+		return nil
+	})
+	return n
+}

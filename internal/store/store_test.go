@@ -1,0 +1,563 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testOptions flush aggressively and rotate early so tests exercise the
+// batching and rotation paths without sleeping.
+func testOptions() Options {
+	return Options{SegmentBytes: 1 << 20, FlushEvery: time.Millisecond}
+}
+
+func testKey(i int) Key {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("store-test-%d", i)))
+	return Key(sum[:])
+}
+
+func testValue(i int) []byte {
+	return []byte(fmt.Sprintf("value-%d-%s", i, "payload"))
+}
+
+func mustOpen(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func get(t *testing.T, s *Store, key Key) ([]byte, bool) {
+	t.Helper()
+	return s.Get(key)
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), testOptions())
+	const n = 100
+	for i := 0; i < n; i++ {
+		s.Put(testKey(i), testValue(i))
+	}
+	// Unflushed entries are served from the pending batch.
+	for i := 0; i < n; i++ {
+		v, ok := get(t, s, testKey(i))
+		if !ok || !bytes.Equal(v, testValue(i)) {
+			t.Fatalf("entry %d before flush: ok=%v v=%q", i, ok, v)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := get(t, s, testKey(i))
+		if !ok || !bytes.Equal(v, testValue(i)) {
+			t.Fatalf("entry %d after flush: ok=%v v=%q", i, ok, v)
+		}
+	}
+	if _, ok := get(t, s, testKey(n+1)); ok {
+		t.Fatal("absent key found")
+	}
+	st := s.Stats()
+	if st.Entries != n || st.Segments == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestReopenRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		s.Put(testKey(i), testValue(i))
+	}
+	if err := s.Close(); err != nil { // Close flushes
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, testOptions())
+	for i := 0; i < n; i++ {
+		v, ok := get(t, r, testKey(i))
+		if !ok || !bytes.Equal(v, testValue(i)) {
+			t.Fatalf("entry %d after reopen: ok=%v v=%q", i, ok, v)
+		}
+	}
+	if st := r.Stats(); st.Entries != n {
+		t.Fatalf("reopened entries = %d, want %d", st.Entries, n)
+	}
+}
+
+func TestOverwriteLastWins(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(1)
+	s.Put(k, []byte("old"))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Put(k, []byte("new"))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := get(t, s, k); !ok || string(v) != "new" {
+		t.Fatalf("after overwrite: ok=%v v=%q", ok, v)
+	}
+	if st := s.Stats(); st.Entries != 1 || st.DeadBytes == 0 {
+		t.Fatalf("superseded record not accounted dead: %+v", st)
+	}
+	s.Close()
+
+	// The replay also resolves the duplicate to the later record.
+	r := mustOpen(t, dir, testOptions())
+	if v, ok := get(t, r, k); !ok || string(v) != "new" {
+		t.Fatalf("after reopen: ok=%v v=%q", ok, v)
+	}
+	if st := r.Stats(); st.Entries != 1 || st.DeadBytes == 0 {
+		t.Fatalf("reopen stats: %+v", st)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	opt := Options{SegmentBytes: 2048, FlushEvery: time.Millisecond}
+	s := mustOpen(t, t.TempDir(), opt)
+	const n = 64
+	big := bytes.Repeat([]byte("x"), 100)
+	for i := 0; i < n; i++ {
+		s.Put(testKey(i), big)
+		if err := s.Flush(); err != nil { // one batch per flush → rotation by size
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("no rotation at %d bytes/segment: %+v", opt.SegmentBytes, st)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := get(t, s, testKey(i)); !ok || !bytes.Equal(v, big) {
+			t.Fatalf("entry %d after rotation: ok=%v len=%d", i, ok, len(v))
+		}
+	}
+}
+
+func TestGroupCommitTimer(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{FlushEvery: 2 * time.Millisecond})
+	s.Put(testKey(1), testValue(1))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := s.Stats(); st.LiveBytes > 0 {
+			break // the timed flush landed the record
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timed flush never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v, ok := get(t, s, testKey(1)); !ok || !bytes.Equal(v, testValue(1)) {
+		t.Fatalf("after timed flush: ok=%v v=%q", ok, v)
+	}
+}
+
+// TestTruncateMidRecord: a crash mid-append leaves a torn record; the
+// reopening scan must treat it as end-of-log — a clean miss for that key,
+// every earlier record intact, and later appends must work.
+func TestTruncateMidRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(testKey(0), testValue(0))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Put(testKey(1), testValue(1))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the second record: drop its last 3 bytes.
+	segs, err := segmentNames(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	path := filepath.Join(dir, segs[len(segs)-1])
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, testOptions())
+	if v, ok := get(t, r, testKey(0)); !ok || !bytes.Equal(v, testValue(0)) {
+		t.Fatalf("record before the tear lost: ok=%v v=%q", ok, v)
+	}
+	if _, ok := get(t, r, testKey(1)); ok {
+		t.Fatal("torn record served instead of read as end-of-log")
+	}
+	if st := r.Stats(); st.DeadBytes == 0 {
+		t.Fatalf("torn tail not accounted dead: %+v", st)
+	}
+
+	// The store stays writable: the torn key can be re-put and survives
+	// another reopen.
+	r.Put(testKey(1), testValue(1))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := mustOpen(t, dir, testOptions())
+	if v, ok := get(t, r2, testKey(1)); !ok || !bytes.Equal(v, testValue(1)) {
+		t.Fatalf("re-put after tear: ok=%v v=%q", ok, v)
+	}
+}
+
+// TestTruncateAtRecordBoundary: truncation that removes a whole record
+// exactly (crash after write, before any later append) is
+// indistinguishable from that record never being written.
+func TestTruncateAtRecordBoundary(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(testKey(0), testValue(0))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Put(testKey(1), testValue(1))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := segmentNames(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	path := filepath.Join(dir, segs[len(segs)-1])
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := int64(recordLen(testKey(1), testValue(1)))
+	if err := os.Truncate(path, info.Size()-cut); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, testOptions())
+	if v, ok := get(t, r, testKey(0)); !ok || !bytes.Equal(v, testValue(0)) {
+		t.Fatalf("surviving record lost: ok=%v v=%q", ok, v)
+	}
+	if _, ok := get(t, r, testKey(1)); ok {
+		t.Fatal("truncated-away record still served")
+	}
+	if st := r.Stats(); st.DeadBytes != 0 {
+		t.Fatalf("boundary truncation should leave no dead bytes: %+v", st)
+	}
+	r.Put(testKey(2), testValue(2))
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := get(t, r, testKey(2)); !ok || !bytes.Equal(v, testValue(2)) {
+		t.Fatalf("append after boundary truncation: ok=%v v=%q", ok, v)
+	}
+}
+
+// TestCorruptRecordIsMiss: flipping payload bytes under a live store
+// makes the read re-validation fail — a miss, never wrong data.
+func TestCorruptRecordIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOptions())
+	s.Put(testKey(0), testValue(0))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := segmentNames(dir)
+	path := filepath.Join(dir, segs[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := headerSize + recHeaderSize; i < len(data); i++ {
+		data[i] ^= 0xff
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := get(t, s, testKey(0)); ok {
+		t.Fatal("corrupt record served")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentBytes: 4096, FlushEvery: time.Millisecond})
+	const n = 40
+	for round := 0; round < 3; round++ {
+		for i := 0; i < n; i++ {
+			s.Put(testKey(i), append(testValue(i), byte('0'+round)))
+			if i%8 == 0 {
+				s.Flush()
+			}
+		}
+		s.Flush()
+	}
+	before := s.Stats()
+	if before.DeadBytes == 0 {
+		t.Fatalf("overwrites produced no dead bytes: %+v", before)
+	}
+	cs, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Entries != n || cs.ReclaimedBytes == 0 || cs.BytesAfter >= cs.BytesBefore {
+		t.Fatalf("compact stats: %+v", cs)
+	}
+	after := s.Stats()
+	if after.Entries != n || after.DeadBytes != 0 {
+		t.Fatalf("post-compact stats: %+v", after)
+	}
+	want := func(i int) []byte { return append(testValue(i), '2') }
+	for i := 0; i < n; i++ {
+		if v, ok := get(t, s, testKey(i)); !ok || !bytes.Equal(v, want(i)) {
+			t.Fatalf("entry %d after compact: ok=%v v=%q", i, ok, v)
+		}
+	}
+	// Compaction result is durable and writable.
+	s.Put(testKey(n), testValue(n))
+	s.Close()
+	r := mustOpen(t, dir, testOptions())
+	for i := 0; i <= n; i++ {
+		if _, ok := get(t, r, testKey(i)); !ok {
+			t.Fatalf("entry %d lost across compact+reopen", i)
+		}
+	}
+	if st := r.Stats(); st.DeadBytes != 0 {
+		t.Fatalf("reopened compacted store has dead bytes: %+v", st)
+	}
+}
+
+func TestClear(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOptions())
+	for i := 0; i < 10; i++ {
+		s.Put(testKey(i), testValue(i))
+	}
+	s.Flush()
+	removed, err := s.Clear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 10 {
+		t.Fatalf("removed %d, want 10", removed)
+	}
+	if _, ok := get(t, s, testKey(0)); ok {
+		t.Fatal("entry survived clear")
+	}
+	if names, _ := segmentNames(dir); len(names) != 0 {
+		t.Fatalf("segment files survived clear: %v", names)
+	}
+	// The cleared store accepts new entries.
+	s.Put(testKey(0), testValue(0))
+	s.Flush()
+	if _, ok := get(t, s, testKey(0)); !ok {
+		t.Fatal("put after clear missed")
+	}
+}
+
+func TestLegacyImport(t *testing.T) {
+	dir := t.TempDir()
+	// A PR 2-layout tree: <hh>/<62 hex>.art holding raw entry bytes.
+	const n = 12
+	for i := 0; i < n; i++ {
+		hx := testKey(i).Hex()
+		sub := filepath.Join(dir, hx[:2])
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(sub, hx[2:]+".art"), testValue(i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := mustOpen(t, dir, testOptions())
+	st := s.Stats()
+	if st.LegacyImported != n || st.Entries != n {
+		t.Fatalf("import stats: %+v", st)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := get(t, s, testKey(i)); !ok || !bytes.Equal(v, testValue(i)) {
+			t.Fatalf("imported entry %d: ok=%v v=%q", i, ok, v)
+		}
+	}
+	// The legacy files are gone; the entries survive a reopen from the
+	// segment log alone.
+	ds, err := ReadStats(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.LegacyFiles != 0 {
+		t.Fatalf("legacy files survived import: %+v", ds)
+	}
+	s.Close()
+	r := mustOpen(t, dir, testOptions())
+	for i := 0; i < n; i++ {
+		if _, ok := get(t, r, testKey(i)); !ok {
+			t.Fatalf("imported entry %d lost after reopen", i)
+		}
+	}
+}
+
+func TestTempSweep(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, ".tmp-stale-123")
+	fresh := filepath.Join(dir, ".tmp-fresh-456")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, testOptions()) // default TempMaxAge = 1h
+	if st := s.Stats(); st.TempsSwept != 1 {
+		t.Fatalf("swept %d temps, want 1", st.TempsSwept)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale temp survived open")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal("fresh temp removed by age-based sweep")
+	}
+	if n := CountTemps(dir); n != 1 {
+		t.Fatalf("CountTemps = %d, want 1", n)
+	}
+	// Clear removes temps regardless of age.
+	if _, err := s.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if n := CountTemps(dir); n != 0 {
+		t.Fatalf("temps survived clear: %d", n)
+	}
+}
+
+func TestReadStats(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		s.Put(testKey(i), testValue(i))
+	}
+	s.Close()
+	ds, err := ReadStats(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Entries != 7 || ds.Segments == 0 || ds.LiveBytes == 0 || ds.TotalBytes <= ds.LiveBytes-1 {
+		t.Fatalf("dir stats: %+v", ds)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{FlushEvery: time.Millisecond})
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := w*perWriter + i
+				s.Put(testKey(id), testValue(id))
+				if v, ok := get(t, s, testKey(id)); !ok || !bytes.Equal(v, testValue(id)) {
+					t.Errorf("read-own-write %d: ok=%v", id, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Entries != writers*perWriter {
+		t.Fatalf("entries = %d, want %d", st.Entries, writers*perWriter)
+	}
+}
+
+// TestSharedReturnsSameStore: every opener of one directory shares one
+// Store (and with it one index and one appender).
+func TestSharedReturnsSameStore(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Shared(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Shared(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("two Shared opens of one dir returned distinct stores")
+	}
+	a.Put(testKey(0), testValue(0))
+	if err := FlushDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ReadStats(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Entries != 1 {
+		t.Fatalf("FlushDir did not land the pending entry: %+v", ds)
+	}
+	if n, err := ClearDir(dir); err != nil || n != 1 {
+		t.Fatalf("ClearDir: n=%d err=%v", n, err)
+	}
+	if _, ok := a.Get(testKey(0)); ok {
+		t.Fatal("shared store still serves a cleared entry")
+	}
+}
+
+// TestRecordFrameRejectsGarbage spot-checks the frame parser against
+// hand-broken frames (the fuzz target explores this space further).
+func TestRecordFrameRejectsGarbage(t *testing.T) {
+	valid := appendRecord(nil, testKey(0), testValue(0))
+	if _, _, _, ok := parseRecord(valid); !ok {
+		t.Fatal("valid frame rejected")
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     valid[:recHeaderSize-1],
+		"truncated": valid[:len(valid)-1],
+	}
+	badCRC := append([]byte(nil), valid...)
+	badCRC[len(badCRC)-1] ^= 1
+	cases["bad crc"] = badCRC
+	hugeLen := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(hugeLen, 1<<31)
+	cases["huge length"] = hugeLen
+	for name, data := range cases {
+		if _, _, _, ok := parseRecord(data); ok {
+			t.Errorf("%s frame accepted", name)
+		}
+	}
+}
