@@ -275,6 +275,28 @@ func BenchmarkScheduleLoop(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduleLoopEffort measures the same flow with the anytime
+// refinement tier engaged. Its name deliberately shares the
+// BenchmarkScheduleLoop prefix: the benchgate must anchor its gate
+// pattern to tell the two series apart.
+func BenchmarkScheduleLoopEffort(b *testing.B) {
+	cfg := HeterogeneousMachine(1, 900, 1350, 1)
+	g := ddg.Livermore("lv")
+	cost := partition.DefaultCost(4)
+	cost.DeltaCluster = []float64{1, 0.6, 0.6, 0.6}
+	cost.Iterations = 100
+	b.Run("effort=2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ScheduleLoop(g, cfg, cost, core.Options{
+				Partition: partition.Options{EnergyAware: true},
+				Effort:    2,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkSimulate measures schedule validation + MCD simulation.
 func BenchmarkSimulate(b *testing.B) {
 	cfg := HeterogeneousMachine(1, 900, 1350, 1)

@@ -154,7 +154,12 @@ func main() {
 	normalize := flag.String("normalize", "", "calibration benchmark: divide each side's ns/op by its own time for this benchmark, cancelling machine-speed differences between the baseline recorder and this runner")
 	flag.Parse()
 
-	gate, err := regexp.Compile(*gatePat)
+	// Anchor the whole pattern (the non-capturing group anchors every
+	// alternative, not just the outermost ones): an unanchored gate like
+	// `BenchmarkScheduleLoop` would also match the unrelated
+	// `BenchmarkScheduleLoopEffort/effort=2` series and gate the wrong
+	// numbers.
+	gate, err := regexp.Compile("^(?:" + *gatePat + ")$")
 	exitOn(err)
 	base := mustParse(*baseline)
 	cur := mustParse(*current)

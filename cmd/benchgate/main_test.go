@@ -87,6 +87,64 @@ func TestCompareGates(t *testing.T) {
 	}
 }
 
+// TestGateAnchoring pins the anchored compilation of -gate: a gate naming
+// one benchmark must not also capture a prefix-sharing sibling
+// (BenchmarkScheduleLoop vs BenchmarkScheduleLoopEffort/effort=2), and
+// the non-capturing group must anchor EVERY alternative of an
+// alternation, not just the outer ends.
+func TestGateAnchoring(t *testing.T) {
+	anchor := func(pat string) *regexp.Regexp {
+		return regexp.MustCompile("^(?:" + pat + ")$")
+	}
+	cases := []struct {
+		pat, name string
+		want      bool
+	}{
+		{"BenchmarkScheduleLoop", "BenchmarkScheduleLoop", true},
+		{"BenchmarkScheduleLoop", "BenchmarkScheduleLoopEffort/effort=2", false},
+		{"BenchmarkScheduleLoopEffort/effort=2", "BenchmarkScheduleLoopEffort/effort=2", true},
+		{"BenchmarkScheduleLoopEffort/effort=2", "BenchmarkScheduleLoop", false},
+		// Alternation: both alternatives anchored on both sides.
+		{"BenchmarkWarmDiskCache/(cold|disk-warm)|BenchmarkScheduleLoopEffort/effort=2",
+			"BenchmarkWarmDiskCache/cold", true},
+		{"BenchmarkWarmDiskCache/(cold|disk-warm)|BenchmarkScheduleLoopEffort/effort=2",
+			"BenchmarkScheduleLoopEffort/effort=2", true},
+		{"BenchmarkWarmDiskCache/(cold|disk-warm)|BenchmarkScheduleLoopEffort/effort=2",
+			"BenchmarkWarmDiskCacheXL/cold", false},
+		{"BenchmarkWarmDiskCache/(cold|disk-warm)|BenchmarkScheduleLoopEffort/effort=2",
+			"BenchmarkScheduleLoopEffort/effort=20", false},
+		// A bare alternation must not let either side match unanchored.
+		{"BenchmarkA|BenchmarkB", "BenchmarkAB", false},
+		{"BenchmarkA|BenchmarkB", "XBenchmarkB", false},
+		{"BenchmarkA|BenchmarkB", "BenchmarkB", true},
+	}
+	for _, tc := range cases {
+		if got := anchor(tc.pat).MatchString(tc.name); got != tc.want {
+			t.Errorf("gate %q vs %q: match=%v, want %v", tc.pat, tc.name, got, tc.want)
+		}
+	}
+
+	// End to end through compare: the prefix sibling regressed wildly but
+	// only the exact gated name may fail.
+	base := map[string]float64{
+		"BenchmarkScheduleLoop":                100,
+		"BenchmarkScheduleLoopEffort/effort=2": 100,
+	}
+	cur := map[string]float64{
+		"BenchmarkScheduleLoop":                110,
+		"BenchmarkScheduleLoopEffort/effort=2": 500,
+	}
+	regs, err := compare(base, cur, anchor("BenchmarkScheduleLoop"), 15, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range regs {
+		if r.Failed {
+			t.Errorf("unanchored spillover: %s failed although only BenchmarkScheduleLoop is gated", r.Name)
+		}
+	}
+}
+
 func TestCompareIgnoresMissing(t *testing.T) {
 	base := map[string]float64{"BenchmarkGone": 100}
 	cur := map[string]float64{"BenchmarkNew": 100}

@@ -89,6 +89,7 @@ func runCmd(args []string) {
 	corpusFile := fs.String("corpus", "", "evaluate this corpus artifact instead of generating one")
 	family := fs.String("family", "specfp", "synthetic generator family: "+strings.Join(loopgen.Families(), ", "))
 	server := fs.String("server", "", "run through the hetvliwd daemon at this base URL instead of locally")
+	effort := fs.Int("effort", 0, "anytime schedule-refinement budget, 0-9 (0 = baseline IMS)")
 	exitOn(fs.Parse(args))
 
 	want := map[string]bool{}
@@ -107,11 +108,11 @@ func runCmd(args []string) {
 	var report *experiments.Report
 	var stats explore.CacheStats
 	if *server != "" {
-		r, st, err := remoteReport(*server, *corpusFile, *family, *loops, *only, *dense, *cachestats)
+		r, st, err := remoteReport(*server, *corpusFile, *family, *loops, *only, *effort, *dense, *cachestats)
 		exitOn(err)
 		report, stats = r, st
 	} else {
-		r, st, err := localReport(*corpusFile, *family, *loops, *par, *dense, *cacheDir, enabled)
+		r, st, err := localReport(*corpusFile, *family, *loops, *par, *effort, *dense, *cacheDir, enabled)
 		exitOn(err)
 		report, stats = r, st
 	}
@@ -135,7 +136,7 @@ func openCorpus(path string) (loopgen.Source, error) {
 
 // localReport computes the report in-process, exactly as the daemon
 // would: same Suite entry point, same artifact set.
-func localReport(corpusFile, family string, loops, par int, dense bool, cacheDir string,
+func localReport(corpusFile, family string, loops, par, effort int, dense bool, cacheDir string,
 	enabled func(string) bool) (*experiments.Report, explore.CacheStats, error) {
 	eng, err := explore.NewDisk(par, cacheDir)
 	if err != nil {
@@ -143,6 +144,7 @@ func localReport(corpusFile, family string, loops, par int, dense bool, cacheDir
 	}
 	popts := pipeline.Options{
 		LoopsPerBenchmark: loops,
+		Effort:            effort,
 		Parallelism:       par,
 		Engine:            eng,
 	}
@@ -180,9 +182,9 @@ func localReport(corpusFile, family string, loops, par int, dense bool, cacheDir
 // decodes the same corpus bytes (or generates the same synthetic family)
 // and runs the same Suite code, so the decoded report renders
 // byte-identically to a local run.
-func remoteReport(server, corpusFile, family string, loops int, only string,
+func remoteReport(server, corpusFile, family string, loops int, only string, effort int,
 	dense, wantStats bool) (*experiments.Report, explore.CacheStats, error) {
-	req := service.SuiteRequest{Family: family, Loops: loops, Dense: dense}
+	req := service.SuiteRequest{Family: family, Loops: loops, Dense: dense, Effort: effort}
 	if corpusFile != "" {
 		data, err := os.ReadFile(corpusFile)
 		if err != nil {

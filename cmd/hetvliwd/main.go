@@ -53,6 +53,7 @@ func main() {
 	peersFile := flag.String("peers-file", "", "file of shard base URLs, one per line (# comments)")
 	self := flag.String("self", "", "this shard's own base URL (required with -peers/-peers-file)")
 	peerTimeout := flag.Duration("peer-timeout", 0, "bound on each peer call (0 = default 10s)")
+	maxEffort := flag.Int("max-effort", 0, "cap on per-request ?effort= refinement budgets (0 = library default)")
 	flag.Parse()
 
 	peerList, err := cluster.ParsePeers(*peers, *peersFile)
@@ -69,6 +70,7 @@ func main() {
 		Peers:       peerList,
 		Self:        *self,
 		PeerTimeout: *peerTimeout,
+		MaxEffort:   *maxEffort,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hetvliwd:", err)

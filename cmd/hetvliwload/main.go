@@ -310,19 +310,24 @@ func drive(urls []string, frames [][]byte, o driveOptions) *report {
 	return rep
 }
 
-// pct returns the q-quantile of sorted latencies (nearest-rank).
+// pct returns the q-quantile of sorted latencies by the nearest-rank
+// definition: the smallest value with at least ⌈q·n⌉ samples at or below
+// it. The epsilon absorbs float artifacts like 0.9×10 = 9.000000000000002,
+// whose ceil would otherwise skip a rank; the clamps make every q
+// well-defined on 0-, 1- and 2-sample windows.
 func pct(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	i := int(math.Ceil(q*float64(len(sorted)))) - 1
-	if i < 0 {
-		i = 0
+	rank := int(math.Ceil(q*float64(n) - 1e-9))
+	if rank < 1 {
+		rank = 1
 	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
+	if rank > n {
+		rank = n
 	}
-	return sorted[i]
+	return sorted[rank-1]
 }
 
 func (r *report) print(urls []string, family string, corpusLoops, frames int) {

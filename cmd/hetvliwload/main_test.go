@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// seq builds [1ms, 2ms, ..., n ms] — sorted, so pct can index directly.
+func seq(n int) []time.Duration {
+	s := make([]time.Duration, n)
+	for i := range s {
+		s[i] = time.Duration(i+1) * time.Millisecond
+	}
+	return s
+}
+
+// TestPctNearestRank pins the nearest-rank definition on the window sizes
+// the load reporter actually sees: empty and near-empty windows (early in
+// a run, or after an idle interval) and a full one. The float product
+// q·n must not push the rank past a sample boundary (0.9×10 is
+// 9.000000000000002 in float64), and no q may ever index out of range.
+func TestPctNearestRank(t *testing.T) {
+	cases := []struct {
+		n    int
+		q    float64
+		want int // 1-based rank; 0 means the zero Duration
+	}{
+		{0, 0.5, 0}, {0, 0.9, 0}, {0, 0.99, 0}, {0, 1.0, 0},
+		{1, 0.5, 1}, {1, 0.9, 1}, {1, 0.99, 1}, {1, 1.0, 1},
+		{2, 0.5, 1}, {2, 0.9, 2}, {2, 0.99, 2}, {2, 1.0, 2},
+		{100, 0.5, 50}, {100, 0.9, 90}, {100, 0.99, 99}, {100, 1.0, 100},
+	}
+	for _, tc := range cases {
+		got := pct(seq(tc.n), tc.q)
+		want := time.Duration(tc.want) * time.Millisecond
+		if got != want {
+			t.Errorf("pct(n=%d, q=%v) = %v, want rank %d (%v)", tc.n, tc.q, got, tc.want, want)
+		}
+	}
+}
+
+// TestPctFloatBoundary sweeps every q=k/n grid point at several window
+// sizes: nearest-rank at an exact grid point must return rank k, which is
+// exactly where naive ceil(q*n) breaks on accumulated float error.
+func TestPctFloatBoundary(t *testing.T) {
+	for _, n := range []int{3, 7, 10, 64, 100} {
+		s := seq(n)
+		for k := 1; k <= n; k++ {
+			q := float64(k) / float64(n)
+			if got, want := pct(s, q), s[k-1]; got != want {
+				t.Errorf("n=%d q=%d/%d: got %v, want %v", n, k, n, got, want)
+			}
+		}
+	}
+}

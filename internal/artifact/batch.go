@@ -36,10 +36,14 @@ type BatchLoop struct {
 }
 
 // BatchRequest is the body of POST /v1/batch: schedule and simulate every
-// loop on one machine configuration.
+// loop on one machine configuration. Effort is the anytime-refinement
+// budget applied to every loop; it rides the wire as a trailing field
+// written only when nonzero, so effort-0 frames are byte-identical to the
+// original format and old frames decode as Effort 0.
 type BatchRequest struct {
 	Config *machine.Config
 	Loops  []BatchLoop
+	Effort int
 }
 
 // BatchLoopResult is one loop's outcome in a batch response. The fields
@@ -74,6 +78,9 @@ func EncodeBatchRequest(req *BatchRequest) []byte {
 		w.Int(l.Iterations)
 		appendGraph(w, l.Graph)
 	}
+	if req.Effort != 0 {
+		w.Int(int64(req.Effort))
+	}
 	return w.Bytes()
 }
 
@@ -106,6 +113,9 @@ func DecodeBatchRequest(data []byte) (*BatchRequest, error) {
 			return nil, fmt.Errorf("artifact: batch loop %d: iterations %d not positive", i, l.Iterations)
 		}
 		req.Loops = append(req.Loops, l)
+	}
+	if r.Remaining() > 0 {
+		req.Effort = int(r.Int())
 	}
 	return req, r.Err()
 }

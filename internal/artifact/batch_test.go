@@ -59,6 +59,53 @@ func TestBatchRequestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBatchRequestEffortField: Effort rides as a trailing varint written
+// only when nonzero — so an effort-0 frame is byte-identical to one that
+// predates the field, and frames from old encoders (no trailing field)
+// decode as Effort 0.
+func TestBatchRequestEffortField(t *testing.T) {
+	req := batchRequestFixture(t)
+	plain := EncodeBatchRequest(req)
+
+	zero := *req
+	zero.Effort = 0
+	if !bytes.Equal(EncodeBatchRequest(&zero), plain) {
+		t.Error("effort-0 frame differs from the fieldless encoding")
+	}
+
+	// Old-encoder frames (this encoding at effort 0 IS the old format)
+	// decode with Effort defaulted to 0.
+	dec, err := DecodeBatchRequest(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Effort != 0 {
+		t.Errorf("fieldless frame decoded Effort=%d, want 0", dec.Effort)
+	}
+
+	for _, effort := range []int{1, 9} {
+		withEffort := *req
+		withEffort.Effort = effort
+		enc := EncodeBatchRequest(&withEffort)
+		if bytes.Equal(enc, plain) {
+			t.Fatalf("effort-%d frame is byte-identical to effort 0", effort)
+		}
+		dec, err := DecodeBatchRequest(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Effort != effort {
+			t.Errorf("round trip lost effort: got %d, want %d", dec.Effort, effort)
+		}
+		if len(dec.Loops) != len(req.Loops) {
+			t.Errorf("effort-%d frame decoded %d loops, want %d", effort, len(dec.Loops), len(req.Loops))
+		}
+		if re := EncodeBatchRequest(dec); !bytes.Equal(re, enc) {
+			t.Errorf("re-encoding an effort-%d frame is not byte-identical", effort)
+		}
+	}
+}
+
 // TestBatchResultRoundTrip: the result frame is canonical too.
 func TestBatchResultRoundTrip(t *testing.T) {
 	res := &BatchResult{

@@ -20,11 +20,24 @@ import (
 	"repro/internal/partition"
 )
 
+// MaxEffort is the largest accepted Options.Effort; higher values are
+// clamped. Nine levels is already ~40 extra scheduling attempts per
+// gapped loop — past that the budget buys nothing measurable.
+const MaxEffort = 9
+
 // Options tunes one scheduling run.
 type Options struct {
 	// Partition and Sched pass through to the respective phases.
 	Partition partition.Options
 	Sched     modsched.Options
+	// Effort buys anytime refinement above IMS: when the first accepted
+	// schedule lands with IT above MIT, up to 4×Effort extra scheduling
+	// attempts are spent on lower ITs using downstream-chain priorities
+	// and seeded annealing perturbations of the op order (PRNG keyed off
+	// the loop's content hash — fully deterministic). 0 (the default)
+	// disables refinement and is bit-for-bit the baseline behaviour;
+	// values above MaxEffort are clamped.
+	Effort int
 	// MaxAttempts bounds IT increases (default 48).
 	MaxAttempts int
 	// MaxIT bounds the initiation time (default 32× MIT plus slack).
@@ -37,6 +50,12 @@ type Options struct {
 }
 
 func (o Options) withDefaults(mit clock.Picos) Options {
+	if o.Effort < 0 {
+		o.Effort = 0
+	}
+	if o.Effort > MaxEffort {
+		o.Effort = MaxEffort
+	}
 	if o.MaxAttempts <= 0 {
 		o.MaxAttempts = 48
 	}
@@ -56,6 +75,11 @@ type Result struct {
 	// SyncIncreases counts IT growth forced by frequency-set
 	// synchronization (as opposed to partition/schedule failures).
 	SyncIncreases int
+	// RefineAttempts counts extra scheduling attempts spent by the
+	// refinement tier; Refined reports whether one of them produced the
+	// returned schedule.
+	RefineAttempts int
+	Refined        bool
 }
 
 // ScheduleLoop schedules graph g on configuration cfg with the given
@@ -102,6 +126,7 @@ func ScheduleLoop(g *ddg.Graph, cfg *machine.Config, cost partition.CostParams, 
 				}, opts.Scratch)
 				if serr == nil {
 					res.Schedule = sched
+					refine(g, cfg, cost, opts, res)
 					return res, nil
 				}
 				lastErr = serr

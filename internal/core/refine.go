@@ -1,0 +1,121 @@
+// The anytime refinement tier above IMS (ROADMAP "annealing scheduler",
+// SNIPPETS §3–4): when the Figure 5 flow accepts a schedule whose IT sits
+// above MIT, spend a bounded effort budget retrying the lower ITs that
+// greedy IMS gave up on, with downstream-critical-chain priorities and
+// seeded annealing perturbations of the op order. Everything is
+// deterministic — the PRNG is keyed off the loop's content hash, attempts
+// run sequentially in a fixed order, and the first success at the lowest
+// IT wins — so results are reproducible across runs and worker counts.
+
+package core
+
+import (
+	"encoding/binary"
+
+	"repro/internal/artifact"
+	"repro/internal/clock"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+	"repro/internal/partition"
+
+	"repro/internal/ddg"
+)
+
+// refine tries to close the gap between res.Schedule.IT and the MIT.
+// It mutates res in place: on success res.Schedule is replaced by a
+// schedule at a strictly lower IT (which, because SelectPairs packs the
+// maximum whole cycles into an IT per domain, can only lower or keep
+// every per-domain II). Candidates are gated on the same invariant
+// checker the differential oracle runs, so refinement can never trade a
+// latency win for a subtly invalid schedule.
+func refine(g *ddg.Graph, cfg *machine.Config, cost partition.CostParams, opts Options, res *Result) {
+	if opts.Effort <= 0 || res.Schedule == nil {
+		return
+	}
+	arch, clk := cfg.Arch, cfg.Clock
+	best := res.Schedule
+	if best.IT <= res.MIT.MIT {
+		return // already optimal: nothing to refine
+	}
+
+	seed := refineSeed(g)
+	budget := 6 * opts.Effort
+	perIT := 1 + 2*opts.Effort
+
+	it, ok := clock.NextFeasibleIT(res.MIT.MIT, opts.MaxIT, clk.MinPeriod, clk.FreqSet)
+	for ok && it < best.IT && budget > 0 {
+		pairs, err := machine.SelectPairs(arch, clk, it)
+		next := it + 1
+		if err == nil {
+			next = pairs.NextIT(clk)
+			assign, perr := partition.Partition(g, arch, clk, pairs, cost, opts.Partition)
+			if perr == nil {
+				for j := 0; j < perIT && budget > 0; j++ {
+					budget--
+					res.RefineAttempts++
+					sched, serr := modsched.RunScratch(modsched.Input{
+						Graph:  g,
+						Arch:   arch,
+						Pairs:  pairs,
+						Assign: assign,
+						Opts:   refineSchedOpts(opts.Sched, seed, it, j),
+					}, opts.Scratch)
+					if serr == nil && modsched.CheckSchedule(sched) == nil {
+						// ITs are visited in ascending order, so the first
+						// verified success is the best this budget will find.
+						res.Schedule = sched
+						res.Refined = true
+						return
+					}
+				}
+			}
+		}
+		it, ok = clock.NextFeasibleIT(next, opts.MaxIT, clk.MinPeriod, clk.FreqSet)
+	}
+}
+
+// refineSchedOpts derives the scheduler options for refinement attempt j
+// at initiation time it. Attempt 0 is the pure downstream-chain
+// reordering; later attempts sweep perturbation amplitudes across the
+// annealing range (0.15–0.85, cycling rather than monotonically cooling —
+// on these corpora amplitude diversity cracks more budget failures than a
+// temperature ladder does) over rotating priority bases. Backtracking
+// budget is quadrupled across the board — refinement attempts run only on
+// gapped loops, so trying much harder per attempt is affordable.
+func refineSchedOpts(base modsched.Options, seed uint64, it clock.Picos, j int) modsched.Options {
+	o := base
+	if o.BudgetFactor <= 0 {
+		o.BudgetFactor = 16
+	}
+	o.BudgetFactor *= 4
+	if j == 0 {
+		o.DownstreamWeight = 0.05
+		return o
+	}
+	s := seed ^ (uint64(it)*0x9e3779b97f4a7c15 + uint64(j))
+	o.PerturbSeed = mix64(s)
+	o.PerturbAmp = 0.15 + 0.1*float64((j*5)%8)
+	switch j % 3 {
+	case 0:
+		o.DownstreamWeight = 0.05
+	case 1:
+		o.DownstreamWeight = 0.5
+	}
+	return o
+}
+
+// refineSeed derives the deterministic PRNG seed from the loop's content
+// hash — the same hash the memoisation layer keys on — so the refinement
+// trajectory is a pure function of the loop.
+func refineSeed(g *ddg.Graph) uint64 {
+	k := artifact.HashGraph(g)
+	return binary.BigEndian.Uint64([]byte(k[:8]))
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective scrambler that
+// decorrelates the structured (it, j) seed inputs.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,137 @@
+// The IMS invariant checker. It lives here — not in the oracle, which
+// re-exports it — so the refinement tier can gate annealed candidate
+// schedules on the very same checker the differential suite trusts,
+// without an import cycle through core.
+
+package modsched
+
+import "fmt"
+
+// CheckSchedule verifies the IMS invariants of a kernel schedule from its
+// public data alone.
+//
+// Timing rule: an operation at local cycle k of a domain with initiation
+// interval II starts at time k·IT/II. A dependence edge (lat, dist)
+// requires, with sq sync-queue cycles of the consumer's (or ICN's) domain
+// on every domain crossing,
+//
+//	start(to) + dist·IT ≥ start(from) + lat·IT/II_from [+ sq·IT/II_cross].
+//
+// All comparisons are cross-multiplied integers, so IT cancels exactly.
+func CheckSchedule(s *Schedule) error {
+	g := s.Graph
+	arch := s.Arch
+	icn := int(arch.ICN())
+	nc := arch.NumClusters()
+
+	if len(s.Cycle) != g.NumOps() || len(s.Assign) != g.NumOps() {
+		return fmt.Errorf("modsched: schedule does not cover the graph")
+	}
+	if len(s.II) != arch.NumDomains() {
+		return fmt.Errorf("modsched: II does not cover the domains")
+	}
+	for d, ii := range s.II {
+		if ii < 1 && d < nc {
+			return fmt.Errorf("modsched: cluster %d has II=%d", d, ii)
+		}
+	}
+
+	// Copy lookup and bus invariants.
+	copyAt := make(map[[2]int]Copy, len(s.Copies))
+	busSlot := make(map[int]int)
+	for _, cp := range s.Copies {
+		if cp.Dst < 0 || cp.Dst >= nc {
+			return fmt.Errorf("modsched: copy of op %d to invalid cluster %d", cp.Val, cp.Dst)
+		}
+		if cp.Cycle < 0 {
+			return fmt.Errorf("modsched: copy of op %d unscheduled", cp.Val)
+		}
+		if cp.Bus < 0 || cp.Bus >= arch.Buses {
+			return fmt.Errorf("modsched: copy of op %d on invalid bus %d", cp.Val, cp.Bus)
+		}
+		copyAt[[2]int{cp.Val, cp.Dst}] = cp
+		busSlot[cp.Cycle%s.II[icn]]++
+	}
+	for slot, n := range busSlot {
+		if n > arch.Buses {
+			return fmt.Errorf("modsched: bus slot %d holds %d copies, capacity %d", slot, n, arch.Buses)
+		}
+	}
+
+	// Modulo resource bounds per (cluster, resource kind).
+	type slotKey struct{ cluster, res, slot int }
+	occ := make(map[slotKey]int)
+	for op := 0; op < g.NumOps(); op++ {
+		c := s.Assign[op]
+		if c < 0 || c >= nc {
+			return fmt.Errorf("modsched: op %d assigned to invalid cluster %d", op, c)
+		}
+		if s.Cycle[op] < 0 {
+			return fmt.Errorf("modsched: op %d unscheduled", op)
+		}
+		r := g.Op(op).Class.Resource()
+		k := slotKey{c, int(r), s.Cycle[op] % s.II[c]}
+		occ[k]++
+		if occ[k] > arch.Clusters[c].FUCount(r) {
+			return fmt.Errorf("modsched: cluster %d %s slot %d over capacity %d",
+				c, r, k.slot, arch.Clusters[c].FUCount(r))
+		}
+	}
+
+	// Dependence latencies. leq(aNum/aDen, bNum/bDen) ⇔ a ≤ b with cross
+	// multiplication; times are in units of IT.
+	leq := func(aNum, aDen, bNum, bDen int64) bool {
+		return aNum*bDen <= bNum*aDen
+	}
+	sq := int64(arch.SyncQueueCycles)
+	for _, e := range g.Edges() {
+		src, dst := s.Assign[e.From], s.Assign[e.To]
+		iiS, iiD := int64(s.II[src]), int64(s.II[dst])
+		iiB := int64(s.II[icn])
+		// Consumer start + dist, in units of IT: (cycle + dist·II)/II.
+		toNum, toDen := int64(s.Cycle[e.To])+int64(e.Dist)*iiD, iiD
+		fromNum, fromDen := int64(s.Cycle[e.From]), iiS
+		carriesValue := e.Latency > 0 && producesValue(g.Op(e.From).Class)
+		switch {
+		case src == dst:
+			// ready = from + lat/II_src.
+			if !leq(fromNum+int64(e.Latency), fromDen, toNum, toDen) {
+				return fmt.Errorf("modsched: edge %d→%d latency violated", e.From, e.To)
+			}
+		case !carriesValue:
+			// Direct cross-domain ordering: from + lat/II_src + sq/II_dst.
+			num := (fromNum+int64(e.Latency))*iiD + sq*fromDen
+			den := fromDen * iiD
+			if !leq(num, den, toNum, toDen) {
+				return fmt.Errorf("modsched: cross edge %d→%d latency violated", e.From, e.To)
+			}
+		default:
+			// Value through a copy: producer → (sq) → copy, copy + buslat
+			// → (sq) → consumer.
+			cp, ok := copyAt[[2]int{e.From, dst}]
+			if !ok {
+				return fmt.Errorf("modsched: edge %d→%d has no copy into cluster %d", e.From, e.To, dst)
+			}
+			cpNum, cpDen := int64(cp.Cycle), iiB
+			readyNum := (fromNum+int64(e.Latency))*iiB + sq*fromDen
+			readyDen := fromDen * iiB
+			if !leq(readyNum, readyDen, cpNum, cpDen) {
+				return fmt.Errorf("modsched: copy of op %d issues before its value is ready", e.From)
+			}
+			arriveNum := (cpNum+int64(arch.BusLatency))*iiD + sq*cpDen
+			arriveDen := cpDen * iiD
+			if !leq(arriveNum, arriveDen, toNum, toDen) {
+				return fmt.Errorf("modsched: edge %d→%d violated through copy", e.From, e.To)
+			}
+		}
+	}
+
+	// Register files must hold the reported pressure.
+	for c, ml := range s.MaxLive {
+		if ml > arch.Clusters[c].Regs {
+			return fmt.Errorf("modsched: cluster %d pressure %d exceeds %d registers",
+				c, ml, arch.Clusters[c].Regs)
+		}
+	}
+	return nil
+}

@@ -1,6 +1,9 @@
 package modsched
 
 import (
+	"fmt"
+	"strings"
+
 	"testing"
 
 	"repro/internal/clock"
@@ -159,5 +162,28 @@ func TestAsymmetricClusters(t *testing.T) {
 	// Wrong routing is rejected up front.
 	if _, err := Run(Input{Graph: g, Arch: arch, Pairs: p, Assign: []int{1, 0}}); err == nil {
 		t.Error("FP op on an FP-less cluster must be rejected")
+	}
+}
+
+// TestInvalidIIMessage: the II validation error reports the actual
+// offending value — including negative ones, which a hardcoded "II=0"
+// message used to mask.
+func TestInvalidIIMessage(t *testing.T) {
+	arch, clk := wideMachine(1)
+	g := ddg.New("bad-ii")
+	g.AddOp(isa.IntALU, "")
+	p := mustPairs(t, arch, clk, clock.PS(2000))
+	for _, ii := range []int{-3, 0} {
+		bad := p
+		bad.II = append([]int(nil), p.II...)
+		bad.II[0] = ii
+		_, err := Run(Input{Graph: g, Arch: arch, Pairs: bad, Assign: []int{0}})
+		if err == nil {
+			t.Fatalf("II=%d accepted", ii)
+		}
+		want := fmt.Sprintf("with II=%d", ii)
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("II=%d: error %q does not report the value (want substring %q)", ii, err, want)
+		}
 	}
 }

@@ -42,6 +42,22 @@ type Options struct {
 	// MaxStageFactor bounds an op's cycle to II·(MaxStageFactor + ops)
 	// (default 4).
 	MaxStageFactor int
+
+	// The refinement knobs below reshape scheduling priorities for the
+	// anytime tier above IMS. All zero values reproduce the baseline
+	// height-based priority order bit for bit.
+
+	// DownstreamWeight adds weight × |downstream subgraph| to each op's
+	// priority, favouring ops that unlock the most downstream work
+	// (critical-chain reordering).
+	DownstreamWeight float64
+	// PerturbAmp scales a deterministic multiplicative perturbation of
+	// each priority: prio += amp·(2u−1)·(prio+1) with u drawn from the
+	// splitmix64 stream seeded by PerturbSeed. Zero disables it.
+	PerturbAmp float64
+	// PerturbSeed seeds the perturbation stream. Only read when
+	// PerturbAmp > 0.
+	PerturbSeed uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -174,7 +190,7 @@ func checkInput(in *Input) error {
 			return fmt.Errorf("modsched: op %d assigned to invalid cluster %d", op, c)
 		}
 		if in.Pairs.II[c] < 1 {
-			return fmt.Errorf("modsched: op %d assigned to cluster %d with II=0", op, c)
+			return fmt.Errorf("modsched: op %d assigned to cluster %d with II=%d", op, c, in.Pairs.II[c])
 		}
 		cls := in.Graph.Op(op).Class
 		if in.Arch.Clusters[c].FUCount(cls.Resource()) == 0 {

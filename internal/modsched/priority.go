@@ -1,0 +1,77 @@
+// Priority shaping for the anytime refinement tier: downstream-chain
+// weighting and seeded annealing-style perturbation of the height-based
+// priorities. With all knobs at their zero values this file contributes
+// nothing — applyPriorityOptions returns before touching a node — so the
+// baseline scheduling order is reproduced bit for bit.
+
+package modsched
+
+// applyPriorityOptions reshapes the freshly computed height priorities
+// according to the refinement knobs in Options. Order matters and is
+// fixed: downstream weighting first (a deterministic structural signal),
+// then the seeded perturbation on top, so a given (seed, amp, weight)
+// triple always names the same candidate ordering.
+func (x *xgraph) applyPriorityOptions() {
+	o := &x.in.Opts
+	if o.DownstreamWeight == 0 && o.PerturbAmp <= 0 {
+		return
+	}
+	if o.DownstreamWeight != 0 {
+		counts := x.downstreamCounts()
+		for i := range x.nodes {
+			x.nodes[i].prio += o.DownstreamWeight * float64(counts[i])
+		}
+	}
+	if o.PerturbAmp > 0 {
+		st := o.PerturbSeed
+		for i := range x.nodes {
+			// u uniform in [0,1) from the top 53 bits; map to [-1,1).
+			u := float64(splitmix64(&st)>>11) / (1 << 53)
+			x.nodes[i].prio += o.PerturbAmp * (2*u - 1) * (x.nodes[i].prio + 1)
+		}
+	}
+}
+
+// downstreamCounts returns, for every node, the number of distinct nodes
+// reachable through outgoing arcs (the size of its downstream subgraph,
+// excluding itself). Ops whose completion unlocks the most downstream
+// work get the biggest boost. Refinement-only, so the per-call
+// allocations here never touch the baseline hot path.
+func (x *xgraph) downstreamCounts() []int {
+	n := len(x.nodes)
+	counts := make([]int, n)
+	mark := make([]int, n) // epoch marks: mark[v] == root+1 ⇔ visited
+	stack := make([]int32, 0, n)
+	for root := 0; root < n; root++ {
+		epoch := root + 1
+		stack = append(stack[:0], int32(root))
+		mark[root] = epoch
+		seen := 0
+		for len(stack) > 0 {
+			v := int(stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
+			for _, ai := range x.outOf(v) {
+				w := x.arcs[ai].to
+				if mark[w] != epoch {
+					mark[w] = epoch
+					seen++
+					stack = append(stack, int32(w))
+				}
+			}
+		}
+		counts[root] = seen
+	}
+	return counts
+}
+
+// splitmix64 advances *s and returns the next value of the splitmix64
+// sequence — a tiny, well-mixed, allocation-free PRNG whose stream is a
+// pure function of the seed, which is exactly what deterministic
+// annealing needs.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

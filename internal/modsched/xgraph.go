@@ -339,6 +339,7 @@ func (x *xgraph) computePriorities() error {
 			x.nodes[i].prio = hf[i]
 		}
 	}
+	x.applyPriorityOptions()
 	return nil
 }
 

@@ -1,0 +1,111 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/loopgen"
+	"repro/internal/modsched"
+	"repro/internal/partition"
+)
+
+// scheduleAt runs one loop at the given refinement effort.
+func scheduleAt(t *testing.T, name string, l loopgen.Loop, effort int, sc *modsched.Scratch) *core.Result {
+	t.Helper()
+	res, err := core.ScheduleLoop(l.Graph, hetConfig(), hetCost(l.Iterations), core.Options{
+		Partition: partition.Options{EnergyAware: true},
+		Effort:    effort,
+		Scratch:   sc,
+	})
+	if err != nil {
+		t.Fatalf("loop %s effort %d: %v", name, effort, err)
+	}
+	return res
+}
+
+// TestRefinementNeverWorsens is the differential property of the anytime
+// tier over the full fuzz corpus: at every effort > 0, each loop's
+// schedule still passes the invariant oracle, its IT never grows, and no
+// per-domain II grows, relative to effort 0. It also requires the tier to
+// be non-vacuous — across the corpus, at least one loop whose baseline
+// schedule sits above MIT must actually improve.
+func TestRefinementNeverWorsens(t *testing.T) {
+	cases := fuzzLoops(t, 10)
+	if len(cases) < 200 {
+		t.Fatalf("fuzz corpus has only %d loops, want ≥ 200", len(cases))
+	}
+	sc := new(modsched.Scratch)
+	for _, effort := range []int{1, 3, 9} {
+		gapped, refined := 0, 0
+		for _, tc := range cases {
+			base := scheduleAt(t, tc.name, tc.loop, 0, sc)
+			res := scheduleAt(t, tc.name, tc.loop, effort, sc)
+			if err := CheckSchedule(res.Schedule); err != nil {
+				t.Fatalf("loop %s effort %d: refined schedule invalid: %v", tc.name, effort, err)
+			}
+			if res.Schedule.IT > base.Schedule.IT {
+				t.Fatalf("loop %s effort %d: IT worsened %v -> %v",
+					tc.name, effort, base.Schedule.IT, res.Schedule.IT)
+			}
+			for d := range res.Schedule.II {
+				if res.Schedule.II[d] > base.Schedule.II[d] {
+					t.Fatalf("loop %s effort %d: II[%d] worsened %d -> %d",
+						tc.name, effort, d, base.Schedule.II[d], res.Schedule.II[d])
+				}
+			}
+			if base.Schedule.IT > base.MIT.MIT {
+				gapped++
+				if res.Schedule.IT < base.Schedule.IT {
+					refined++
+				}
+			}
+			if res.Refined != (res.Schedule.IT < base.Schedule.IT) {
+				t.Fatalf("loop %s effort %d: Refined=%v but IT %v vs baseline %v",
+					tc.name, effort, res.Refined, res.Schedule.IT, base.Schedule.IT)
+			}
+		}
+		t.Logf("effort %d: %d/%d gapped loops improved (%d loops total)",
+			effort, refined, gapped, len(cases))
+		if gapped > 0 && refined == 0 {
+			t.Errorf("effort %d: no gapped loop improved — refinement is vacuous", effort)
+		}
+	}
+}
+
+// TestRefinementDeterministic reruns a slice of the corpus at a fixed
+// effort and requires exactly equal schedules — the annealing PRNG is
+// keyed off loop content, never wall clock, so repeated invocations (and
+// any worker count: refinement is sequential per loop) must agree.
+func TestRefinementDeterministic(t *testing.T) {
+	cases := fuzzLoops(t, 2)
+	sc := new(modsched.Scratch)
+	for _, tc := range cases {
+		a := scheduleAt(t, tc.name, tc.loop, 3, sc)
+		b := scheduleAt(t, tc.name, tc.loop, 3, new(modsched.Scratch))
+		if err := EqualSchedules(a.Schedule, b.Schedule); err != nil {
+			t.Fatalf("loop %s: effort-3 schedules differ across invocations: %v", tc.name, err)
+		}
+		if a.RefineAttempts != b.RefineAttempts || a.Refined != b.Refined {
+			t.Fatalf("loop %s: refinement accounting differs: (%d,%v) vs (%d,%v)",
+				tc.name, a.RefineAttempts, a.Refined, b.RefineAttempts, b.Refined)
+		}
+	}
+}
+
+// TestEffortZeroUnchanged pins the bit-for-bit guarantee: Effort 0 must
+// produce exactly the schedule of an Options value that predates the
+// knob.
+func TestEffortZeroUnchanged(t *testing.T) {
+	cases := fuzzLoops(t, 2)
+	sc := new(modsched.Scratch)
+	for _, tc := range cases {
+		base := mustSchedule(t, tc, hetConfig(), hetCost(tc.loop.Iterations), sc)
+		res := scheduleAt(t, tc.name, tc.loop, 0, sc)
+		if err := EqualSchedules(base, res.Schedule); err != nil {
+			t.Fatalf("loop %s: effort 0 changed the schedule: %v", tc.name, err)
+		}
+		if res.RefineAttempts != 0 || res.Refined {
+			t.Fatalf("loop %s: effort 0 spent refinement attempts", tc.name)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package pipeline
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/partition"
+)
+
+// TestEffortDeterminismAcrossWorkers: at a fixed nonzero effort the suite
+// is still bit-for-bit reproducible, and Parallelism=1 ≡ NumCPU —
+// refinement runs sequentially inside each loop's evaluation, so worker
+// count cannot reorder the annealing stream.
+func TestEffortDeterminismAcrossWorkers(t *testing.T) {
+	run := func(par int) *SuiteResult {
+		opts := Options{
+			Buses: 1, LoopsPerBenchmark: 6, EnergyAware: true, Effort: 2,
+			Parallelism: par, Engine: explore.New(par),
+		}
+		var refs []*Reference
+		for _, n := range []string{"sixtrack", "swim"} {
+			ref, err := BuildReference(n, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs = append(refs, ref)
+		}
+		sr, err := EvaluateSuite(refs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+	serial := run(1)
+	parallel := run(runtime.NumCPU())
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("effort-2 suite differs between Parallelism=1 and NumCPU")
+	}
+}
+
+// TestEffortKeysCache: effort participates in the memoisation key exactly
+// when nonzero — effort 0 must reproduce the pre-effort key bytes, and
+// every other effort must get its own key so results never alias.
+func TestEffortKeysCache(t *testing.T) {
+	eng := explore.New(1)
+	cfg := machine.ReferenceConfig(1)
+	benches, err := loopgen.Load(DefaultCorpus(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := benches[0].Loops[0].Graph
+	cost := partition.DefaultCost(cfg.Arch.NumClusters())
+	key := func(effort int) explore.Key {
+		return loopRunKey("ref-loop", eng, cfg, g, cost, true, effort, 100, 1)
+	}
+	seen := map[explore.Key]int{key(0): 0}
+	for _, e := range []int{1, 2, 9} {
+		k := key(e)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("efforts %d and %d share a cache key", prev, e)
+		}
+		seen[k] = e
+	}
+}

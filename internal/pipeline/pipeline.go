@@ -62,6 +62,11 @@ type Options struct {
 	FreqCount int
 	// EnergyAware toggles the ED²-driven refinement (false = ablation).
 	EnergyAware bool
+	// Effort buys anytime schedule refinement above IMS (core.Options.
+	// Effort): 0 is the baseline, higher values spend more scheduling
+	// attempts closing II-above-MII gaps. Participates in the memoisation
+	// key, so runs at different efforts never alias.
+	Effort int
 	// Space overrides the explored design space (zero value = default).
 	Space *confsel.Space
 	// Parallelism bounds concurrent loop scheduling (default NumCPU).
@@ -195,12 +200,13 @@ func BuildReferenceBenchCtx(ctx context.Context, bench loopgen.Benchmark, opts O
 		l := bench.Loops[i]
 		cost := partition.DefaultCost(cfg.Arch.NumClusters())
 		cost.Iterations = float64(l.Iterations)
-		key := loopRunKey("ref-loop", opts.Engine, cfg, l.Graph, cost, opts.EnergyAware, l.Iterations, l.Weight)
+		key := loopRunKey("ref-loop", opts.Engine, cfg, l.Graph, cost, opts.EnergyAware, opts.Effort, l.Iterations, l.Weight)
 		outs[i], errs[i] = explore.MemoizeDurableCtx(ctx, opts.Engine, key, refLoopCodec, func(context.Context) (refLoopOut, error) {
 			sc := scratchPool.Get()
 			defer scratchPool.Put(sc)
 			res, err := core.ScheduleLoop(l.Graph, cfg, cost, core.Options{
 				Partition: partition.Options{EnergyAware: opts.EnergyAware},
+				Effort:    opts.Effort,
 				Scratch:   &sc.sched,
 			})
 			if err != nil {
@@ -447,12 +453,13 @@ func evaluateOne(ctx context.Context, ref *Reference, opts Options, cal *power.C
 		// Weight scales only the reduction below, never the schedule or the
 		// simulation, so it stays out of the key: content-identical loops
 		// with different weights share one cache entry.
-		key := loopRunKey("het-loop", opts.Engine, hetCfg, l.Graph, cost, opts.EnergyAware, l.Iterations, 0)
+		key := loopRunKey("het-loop", opts.Engine, hetCfg, l.Graph, cost, opts.EnergyAware, opts.Effort, l.Iterations, 0)
 		outs[i], errs[i] = explore.MemoizeDurableCtx(ctx, opts.Engine, key, hetLoopCodec, func(context.Context) (hetLoopOut, error) {
 			sc := scratchPool.Get()
 			defer scratchPool.Put(sc)
 			sres, err := core.ScheduleLoop(l.Graph, hetCfg, cost, core.Options{
 				Partition: partition.Options{EnergyAware: opts.EnergyAware},
+				Effort:    opts.Effort,
 				Scratch:   &sc.sched,
 			})
 			if err != nil {
@@ -563,7 +570,7 @@ func ones(n int) []float64 {
 // benchmarks, or repeated sensitivity studies — produce identical
 // schedules and counts, so the engine serves the second from cache.
 func loopRunKey(tag string, eng *explore.Engine, cfg *machine.Config, g *ddg.Graph,
-	cost partition.CostParams, energyAware bool, iterations int64, weight float64) explore.Key {
+	cost partition.CostParams, energyAware bool, effort int, iterations int64, weight float64) explore.Key {
 	d := explore.ConfigKey(tag, cfg)
 	d.Str(string(eng.GraphFingerprint(g)))
 	d.Int(int64(len(cost.DeltaCluster)))
@@ -576,5 +583,11 @@ func loopRunKey(tag string, eng *explore.Engine, cfg *machine.Config, g *ddg.Gra
 	}
 	d.Int(aware, iterations)
 	d.Float(weight)
+	// Effort reshapes schedules, so it must key the cache — but only when
+	// nonzero, so every effort-0 key (and its durable disk entry) stays
+	// byte-identical to the pre-effort format.
+	if effort != 0 {
+		d.Int(int64(effort))
+	}
 	return d.Key()
 }

@@ -52,14 +52,20 @@ func isCtxError(err error) bool {
 type rawBody []byte
 
 // batchLoopKey is the content address of one batch loop's result: machine
-// configuration, DDG fingerprint, loop name (the summary carries it) and
-// trip count. It doubles as the rendezvous routing key, so a loop's owner
-// shard is exactly the shard whose disk cache holds its entry.
-func batchLoopKey(g *ddg.Graph, cfg *machine.Config, iterations int64) artifact.Key {
+// configuration, DDG fingerprint, loop name (the summary carries it),
+// trip count and refinement effort. It doubles as the rendezvous routing
+// key, so a loop's owner shard is exactly the shard whose disk cache
+// holds its entry. Effort is appended only when nonzero so effort-0 keys
+// (and the disk entries under them) stay byte-identical to the
+// pre-effort format.
+func batchLoopKey(g *ddg.Graph, cfg *machine.Config, iterations int64, effort int) artifact.Key {
 	d := artifact.ConfigKey("service.batchloop", cfg)
 	d.Str(g.Name())
 	d.Str(string(artifact.HashGraph(g)))
 	d.Int(iterations)
+	if effort != 0 {
+		d.Int(int64(effort))
+	}
 	return d.Key()
 }
 
@@ -88,11 +94,14 @@ func (s *Server) runBatch(ctx context.Context, body []byte, q url.Values) (any, 
 	if len(req.Loops) == 0 {
 		return nil, badRequest("batch request has no loops")
 	}
+	if err := s.checkEffort(req.Effort); err != nil {
+		return nil, err
+	}
 
 	n := len(req.Loops)
 	keys := make([]artifact.Key, n)
 	for i, l := range req.Loops {
-		keys[i] = batchLoopKey(l.Graph, req.Config, l.Iterations)
+		keys[i] = batchLoopKey(l.Graph, req.Config, l.Iterations, req.Effort)
 	}
 	out := make([]artifact.BatchLoopResult, n)
 	errs := make([]error, n)
@@ -201,7 +210,7 @@ func (s *Server) computeBatch(ctx context.Context, req *artifact.BatchRequest,
 		l := req.Loops[i]
 		r, err := explore.MemoizeDurableCtx(ctx, s.eng, keys[i], batchLoopCodec,
 			func(ctx context.Context) (artifact.BatchLoopResult, error) {
-				return s.scheduleBatchLoop(l, cfg, fastest)
+				return s.scheduleBatchLoop(l, cfg, fastest, req.Effort)
 			})
 		if err != nil {
 			errs[i] = err
@@ -223,7 +232,7 @@ func (s *Server) computeBatch(ctx context.Context, req *artifact.BatchRequest,
 // schedule+simulate path as /v1/schedule, returning the serializable
 // result (labels unset — they belong to the request, not the key).
 func (s *Server) scheduleBatchLoop(l artifact.BatchLoop, cfg *machine.Config,
-	fastest clock.Picos) (artifact.BatchLoopResult, error) {
+	fastest clock.Picos, effort int) (artifact.BatchLoopResult, error) {
 
 	cost := partition.DefaultCost(cfg.Arch.NumClusters())
 	cost.Iterations = float64(l.Iterations)
@@ -235,6 +244,7 @@ func (s *Server) scheduleBatchLoop(l artifact.BatchLoop, cfg *machine.Config,
 	defer s.scratch.Put(sc)
 	res, err := core.ScheduleLoop(l.Graph, cfg, cost, core.Options{
 		Partition: partition.Options{EnergyAware: true},
+		Effort:    effort,
 		Scratch:   &sc.sched,
 	})
 	if err != nil {
@@ -261,7 +271,7 @@ func (s *Server) scheduleBatchLoop(l artifact.BatchLoop, cfg *machine.Config,
 func (s *Server) forwardBatch(ctx context.Context, owner string,
 	req *artifact.BatchRequest, idxs []int, out []artifact.BatchLoopResult) error {
 
-	sub := &artifact.BatchRequest{Config: req.Config, Loops: make([]artifact.BatchLoop, len(idxs))}
+	sub := &artifact.BatchRequest{Config: req.Config, Effort: req.Effort, Loops: make([]artifact.BatchLoop, len(idxs))}
 	for j, i := range idxs {
 		sub.Loops[j] = req.Loops[i]
 	}

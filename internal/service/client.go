@@ -105,6 +105,7 @@ func (c *Client) Schedule(ctx context.Context, corpus []byte, o ScheduleOptions)
 	setInt64(q, "fast", o.FastPs)
 	setInt64(q, "slow", o.SlowPs)
 	setInt(q, "numfast", o.NumFast)
+	setInt(q, "effort", o.Effort)
 	var out ScheduleResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/schedule", q, corpus, &out); err != nil {
 		return nil, err
@@ -120,6 +121,7 @@ func (c *Client) Evaluate(ctx context.Context, corpus []byte, o EvaluateOptions)
 	}
 	setInt(q, "buses", o.Buses)
 	setInt(q, "freqs", o.FreqCount)
+	setInt(q, "effort", o.Effort)
 	var out EvaluateResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/evaluate", q, corpus, &out); err != nil {
 		return nil, err
@@ -140,6 +142,7 @@ func (c *Client) Suite(ctx context.Context, req SuiteRequest) (*SuiteResponse, e
 	if req.Dense {
 		q.Set("dense", "1")
 	}
+	setInt(q, "effort", req.Effort)
 	var out SuiteResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/suite", q, req.Corpus, &out); err != nil {
 		return nil, err

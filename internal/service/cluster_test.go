@@ -93,7 +93,7 @@ func clusterFrame(t *testing.T, urls []string) ([]byte, *artifact.BatchRequest) 
 		for i, l := range b.Loops {
 			total++
 			bl := artifact.BatchLoop{Bench: b.Name, Index: i, Graph: l.Graph, Iterations: l.Iterations}
-			o := ring.Owner(batchLoopKey(l.Graph, cfg, l.Iterations))
+			o := ring.Owner(batchLoopKey(l.Graph, cfg, l.Iterations, 0))
 			if len(picked[o]) < 2 {
 				picked[o] = append(picked[o], bl)
 			}

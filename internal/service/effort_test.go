@@ -1,0 +1,159 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/machine"
+)
+
+// postRaw posts body to path+query and returns status and response bytes.
+func postRaw(t *testing.T, base, pathAndQuery string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+pathAndQuery, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestEffortParamValidation: malformed or out-of-range ?effort= values are
+// rejected with a one-line 400 before any scheduling work starts, on every
+// endpoint that accepts the parameter.
+func TestEffortParamValidation(t *testing.T) {
+	_, client := newTestEnv(t, Config{Parallelism: 2})
+	corpus := artifact.EncodeCorpus(mixedCorpus(t, 1))
+
+	for _, tc := range []struct {
+		name string
+		q    string
+	}{
+		{"negative", "?effort=-1"},
+		{"above-cap", "?effort=99"},
+		{"non-numeric", "?effort=abc"},
+	} {
+		for _, ep := range []string{"/v1/schedule", "/v1/evaluate", "/v1/suite"} {
+			code, body := postRaw(t, client.base, ep+tc.q, corpus)
+			if code != http.StatusBadRequest {
+				t.Errorf("%s %s: HTTP %d, want 400", ep, tc.name, code)
+			}
+			if strings.Count(strings.TrimRight(string(body), "\n"), "\n") != 0 {
+				t.Errorf("%s %s: error is not one line: %q", ep, tc.name, body)
+			}
+		}
+	}
+
+	// The full legal range is accepted.
+	for _, q := range []string{"?effort=0", "?effort=9"} {
+		if code, body := postRaw(t, client.base, "/v1/schedule"+q, corpus); code != http.StatusOK {
+			t.Errorf("schedule %s: HTTP %d (%s)", q, code, body)
+		}
+	}
+}
+
+// TestEffortZeroByteIdentical: ?effort=0 is not merely equivalent to
+// omitting the parameter — the response bytes are identical, the serving
+// face of the repo-wide effort-0 bit-for-bit guarantee.
+func TestEffortZeroByteIdentical(t *testing.T) {
+	_, client := newTestEnv(t, Config{Parallelism: 2})
+	corpus := artifact.EncodeCorpus(mixedCorpus(t, 2))
+
+	codeA, plain := postRaw(t, client.base, "/v1/schedule", corpus)
+	codeB, zero := postRaw(t, client.base, "/v1/schedule?effort=0", corpus)
+	if codeA != http.StatusOK || codeB != http.StatusOK {
+		t.Fatalf("HTTP %d / %d", codeA, codeB)
+	}
+	if !bytes.Equal(plain, zero) {
+		t.Fatal("?effort=0 response differs from the parameterless response")
+	}
+}
+
+// TestEffortCapConfig: a daemon started with a lower MaxEffort enforces
+// it: requests above the cap are 400s naming the legal range, never
+// silently clamped.
+func TestEffortCapConfig(t *testing.T) {
+	_, client := newTestEnv(t, Config{Parallelism: 2, MaxEffort: 2})
+	corpus := artifact.EncodeCorpus(mixedCorpus(t, 1))
+
+	if code, body := postRaw(t, client.base, "/v1/schedule?effort=2", corpus); code != http.StatusOK {
+		t.Fatalf("effort at cap: HTTP %d (%s)", code, body)
+	}
+	code, body := postRaw(t, client.base, "/v1/schedule?effort=3", corpus)
+	if code != http.StatusBadRequest {
+		t.Fatalf("effort above cap: HTTP %d, want 400", code)
+	}
+	if !strings.Contains(string(body), "[0, 2]") {
+		t.Errorf("cap error does not name the legal range: %q", body)
+	}
+}
+
+// TestBatchEffortValidation: the binary batch frame's Effort field is
+// held to the same bounds as the query parameter — an out-of-range value
+// is a 400, and an in-range one changes the response (refinement really
+// ran) while effort 0 stays byte-identical to a frame without the field.
+func TestBatchEffortValidation(t *testing.T) {
+	_, client := newTestEnv(t, Config{Parallelism: 2})
+	ctx := context.Background()
+
+	c := mixedCorpus(t, 2)
+	req := &artifact.BatchRequest{Config: machine.ReferenceConfig(1)}
+	for _, b := range c.Benchmarks {
+		for i, l := range b.Loops {
+			req.Loops = append(req.Loops, artifact.BatchLoop{
+				Bench: b.Name, Index: i, Graph: l.Graph, Iterations: l.Iterations,
+			})
+		}
+	}
+
+	want, err := client.BatchRaw(ctx, artifact.EncodeBatchRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, effort := range []int{-1, 99} {
+		bad := *req
+		bad.Effort = effort
+		if _, err := client.BatchRaw(ctx, artifact.EncodeBatchRequest(&bad)); err == nil ||
+			!strings.Contains(err.Error(), "HTTP 400") {
+			t.Errorf("batch effort %d: got %v, want HTTP 400", effort, err)
+		}
+	}
+
+	zero := *req
+	zero.Effort = 0
+	if !bytes.Equal(artifact.EncodeBatchRequest(&zero), artifact.EncodeBatchRequest(req)) {
+		t.Fatal("effort-0 batch frame is not byte-identical to the fieldless frame")
+	}
+	got, err := client.BatchRaw(ctx, artifact.EncodeBatchRequest(&zero))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("effort-0 batch response differs from the fieldless response")
+	}
+
+	// A legal nonzero effort is accepted and yields a decodable result.
+	ref := *req
+	ref.Effort = 3
+	raw, err := client.BatchRaw(ctx, artifact.EncodeBatchRequest(&ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := artifact.DecodeBatchResult(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Loops) != len(req.Loops) {
+		t.Fatalf("effort-3 batch returned %d loops, want %d", len(res.Loops), len(req.Loops))
+	}
+}

@@ -70,6 +70,11 @@ type Config struct {
 	// fetches (default 10s). An expired peer call degrades to local
 	// compute; it never fails the request.
 	PeerTimeout time.Duration
+	// MaxEffort caps the per-request anytime-refinement budget
+	// (`?effort=` and the batch-frame field). 0 means core.MaxEffort;
+	// requests above the cap are rejected with 400 rather than silently
+	// clamped, so clients learn the deployment's ceiling.
+	MaxEffort int
 }
 
 // Server is the evaluation daemon: an http.Handler plus the shared state
@@ -105,7 +110,8 @@ type Server struct {
 	peerErrors  atomic.Uint64
 	cacheServed atomic.Uint64
 
-	scratch *explore.Pool[*schedScratch]
+	maxEffort int
+	scratch   *explore.Pool[*schedScratch]
 }
 
 // schedScratch bundles the reusable arenas of one /v1/schedule loop.
@@ -130,16 +136,21 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	maxEffort := cfg.MaxEffort
+	if maxEffort <= 0 || maxEffort > core.MaxEffort {
+		maxEffort = core.MaxEffort
+	}
 	root, stop := context.WithCancelCause(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		eng:     eng,
-		start:   time.Now(),
-		root:    root,
-		stop:    stop,
-		flights: newFlightGroup(),
-		slots:   make(chan struct{}, cfg.Workers),
-		scratch: explore.NewPool(func() *schedScratch { return new(schedScratch) }),
+		cfg:       cfg,
+		eng:       eng,
+		start:     time.Now(),
+		root:      root,
+		stop:      stop,
+		flights:   newFlightGroup(),
+		slots:     make(chan struct{}, cfg.Workers),
+		maxEffort: maxEffort,
+		scratch:   explore.NewPool(func() *schedScratch { return new(schedScratch) }),
 	}
 	if len(cfg.Peers) > 0 {
 		if cfg.Self == "" {
@@ -450,6 +461,26 @@ func intParam(q url.Values, name string, def int) (int, error) {
 	return v, nil
 }
 
+// effortParam parses and validates the `effort` query parameter: the
+// anytime-refinement budget, 0 (the default) through the server's cap.
+// Out-of-range values are a one-line 400 — never silently clamped.
+func (s *Server) effortParam(q url.Values) (int, error) {
+	e, err := intParam(q, "effort", 0)
+	if err != nil {
+		return 0, err
+	}
+	return e, s.checkEffort(e)
+}
+
+// checkEffort validates an effort value from any boundary (query or
+// batch frame) against the server's cap.
+func (s *Server) checkEffort(e int) error {
+	if e < 0 || e > s.maxEffort {
+		return badRequest("effort %d out of range [0, %d]", e, s.maxEffort)
+	}
+	return nil
+}
+
 // scheduleConfig builds the machine for /v1/schedule from query params.
 func scheduleConfig(q url.Values) (*machine.Config, error) {
 	buses, err := intParam(q, "buses", 1)
@@ -499,6 +530,10 @@ func (s *Server) runSchedule(ctx context.Context, body []byte, q url.Values) (an
 	if err != nil {
 		return nil, err
 	}
+	effort, err := s.effortParam(q)
+	if err != nil {
+		return nil, err
+	}
 
 	type flatLoop struct {
 		bench string
@@ -529,6 +564,7 @@ func (s *Server) runSchedule(ctx context.Context, body []byte, q url.Values) (an
 		defer s.scratch.Put(sc)
 		res, err := core.ScheduleLoop(l.Graph, cfg, cost, core.Options{
 			Partition: partition.Options{EnergyAware: true},
+			Effort:    effort,
 			Scratch:   &sc.sched,
 		})
 		if err != nil {
@@ -584,10 +620,15 @@ func (s *Server) runEvaluate(ctx context.Context, body []byte, q url.Values) (an
 	if err != nil {
 		return nil, err
 	}
+	effort, err := s.effortParam(q)
+	if err != nil {
+		return nil, err
+	}
 	opts := pipeline.Options{
 		Buses:       buses,
 		FreqCount:   freqs,
 		EnergyAware: true,
+		Effort:      effort,
 		Corpus:      artifact.NewCorpusSource(c),
 		Parallelism: s.cfg.Parallelism,
 		Engine:      s.eng,
@@ -653,6 +694,10 @@ func (s *Server) runSuite(ctx context.Context, body []byte, q url.Values) (any, 
 	if err != nil {
 		return nil, err
 	}
+	effort, err := s.effortParam(q)
+	if err != nil {
+		return nil, err
+	}
 	enabled := func(string) bool { return true }
 	if only := q.Get("only"); only != "" {
 		want := map[string]bool{}
@@ -667,6 +712,7 @@ func (s *Server) runSuite(ctx context.Context, body []byte, q url.Values) (any, 
 	}
 	opts := pipeline.Options{
 		Corpus:      src,
+		Effort:      effort,
 		Parallelism: s.cfg.Parallelism,
 		Engine:      s.eng,
 	}

@@ -58,6 +58,9 @@ type ScheduleOptions struct {
 	FastPs, SlowPs int64
 	// NumFast is the number of fast clusters (default 1).
 	NumFast int
+	// Effort is the anytime-refinement budget (0 = baseline IMS; the
+	// server rejects values above its cap with 400).
+	Effort int
 }
 
 // EvaluateOptions configures POST /v1/evaluate.
@@ -68,6 +71,8 @@ type EvaluateOptions struct {
 	Buses int
 	// FreqCount limits each domain's clock generator (0 = unconstrained).
 	FreqCount int
+	// Effort is the anytime-refinement budget (0 = baseline IMS).
+	Effort int
 }
 
 // EvaluateResponse is the response of POST /v1/evaluate: the full
@@ -93,6 +98,8 @@ type SuiteRequest struct {
 	Only []string
 	// Dense sweeps the dense design-space grid.
 	Dense bool
+	// Effort is the anytime-refinement budget (0 = baseline IMS).
+	Effort int
 }
 
 // SuiteResponse is the response of POST /v1/suite: the corpus identity

@@ -415,13 +415,16 @@ func (s *Store) timedFlush() {
 func (s *Store) Flush() error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	return s.flushLocked()
+	return s.flushLocked(false)
 }
 
-// flushLocked is Flush with wmu held.
-func (s *Store) flushLocked() error {
+// flushLocked is Flush with wmu held. final is set only by Close's last
+// flush: it writes the batch even though closed is already true, so a Put
+// that won the race into pending is persisted rather than dropped, while
+// ordinary (timed) flushes arriving after close stay no-ops.
+func (s *Store) flushLocked(final bool) error {
 	s.mu.Lock()
-	if len(s.pending) == 0 || s.closed {
+	if len(s.pending) == 0 || (s.closed && !final) {
 		s.mu.Unlock()
 		return nil
 	}
@@ -550,14 +553,28 @@ func (s *Store) createSegment() (*segment, error) {
 
 // Close flushes pending entries and closes every segment file. A closed
 // store rejects further Puts; reads return misses.
+//
+// Ordering matters against the group-commit timer: closed is set (under
+// mu) before the final flush runs, so a Put racing Close either lands in
+// pending before the cut — and is persisted by the final flush — or is
+// rejected; and the whole sequence holds wmu, so a concurrent timed
+// flush or compaction can neither write to files this Close is about to
+// close nor create a fresh segment afterwards.
 func (s *Store) Close() error {
-	err := s.Flush()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
-		return err
+		s.mu.Unlock()
+		return nil
 	}
 	s.closed = true
+	s.mu.Unlock()
+
+	err := s.flushLocked(true)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, seg := range s.segs {
 		seg.f.Close()
 	}
@@ -586,7 +603,7 @@ type CompactStats struct {
 func (s *Store) Compact() (CompactStats, error) {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	if err := s.flushLocked(); err != nil {
+	if err := s.flushLocked(false); err != nil {
 		return CompactStats{}, err
 	}
 
