@@ -5,6 +5,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/confsel"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/partition"
 	"repro/internal/pipeline"
+	"repro/internal/power"
 	"repro/internal/sim"
 )
 
@@ -203,6 +205,51 @@ func BenchmarkWarmDiskCache(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := pipeline.EvaluateSuite(refs, opts); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkParetoSweep measures the full energy/performance frontier
+// sweep (the selection grid plus DVFS-ladder extras) for one benchmark:
+// cold on a fresh engine each iteration, and warm against the primed
+// shared engine — the steady state a daemon serves /v1/pareto from,
+// where a repeat sweep must take zero engine misses (enforced).
+func BenchmarkParetoSweep(b *testing.B) {
+	shared := explore.New(0)
+	opts := pipeline.Options{Buses: 1, LoopsPerBenchmark: 6, EnergyAware: true, Engine: shared}
+	ref, err := pipeline.BuildReference("swim", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cal, err := power.Calibrate(ref.Arch, ref.Profile.RefCounts, power.DefaultFractions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := power.DefaultAlphaModel()
+	space := confsel.DefaultSpace()
+	space.DVFSLadder = 4
+	ctx := context.Background()
+	if _, err := confsel.ParetoFrontier(ctx, shared, ref.Arch, ref.Profile, cal, model, space); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := explore.New(0)
+			if _, err := confsel.ParetoFrontier(ctx, eng, ref.Arch, ref.Profile, cal, model, space); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pre := shared.Stats().Misses
+			if _, err := confsel.ParetoFrontier(ctx, shared, ref.Arch, ref.Profile, cal, model, space); err != nil {
+				b.Fatal(err)
+			}
+			if post := shared.Stats().Misses; post != pre {
+				b.Fatalf("warm sweep recomputed %d results", post-pre)
 			}
 		}
 	})

@@ -16,6 +16,10 @@
 //	experiments corpus import -i c.json -o c.hvc   # validate / re-encode
 //	experiments corpus stats -i c.hvc        # per-benchmark summary
 //
+//	experiments pareto                       # energy/performance frontier
+//	experiments pareto -bench adpcm -ladder 8 -csv front.csv
+//	experiments pareto -server http://host:8080  # frontier via a daemon
+//
 //	experiments cache stats -dir .cache      # entries / segments / bytes
 //	experiments cache compact -dir .cache    # reclaim dead segment bytes
 //	experiments cache clear -dir .cache      # drop every entry
@@ -51,6 +55,8 @@ func main() {
 	switch cmd {
 	case "run":
 		runCmd(args)
+	case "pareto":
+		paretoCmd(args)
 	case "corpus":
 		corpusCmd(args)
 	case "cache":
@@ -67,6 +73,7 @@ func main() {
 func usage(w *os.File) {
 	fmt.Fprintln(w, `usage:
   experiments [run] [flags]          regenerate tables and figures
+  experiments pareto [flags]         energy/performance Pareto frontier
   experiments corpus export [flags]  export a synthetic corpus artifact
   experiments corpus import [flags]  validate / re-encode a corpus file
   experiments corpus stats  [flags]  summarize a corpus

@@ -1,0 +1,193 @@
+// The pareto subcommand: sweep one benchmark's design space and print
+// the non-dominated energy/performance set, as a human table or CSV.
+// Local runs and -server runs print identical frontiers (same sweep code
+// on both sides of the wire).
+
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/artifact"
+	"repro/internal/confsel"
+	"repro/internal/loopgen"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/service"
+
+	"repro/internal/explore"
+)
+
+func paretoCmd(args []string) {
+	fs := flag.NewFlagSet("pareto", flag.ExitOnError)
+	corpusFile := fs.String("corpus", "", "sweep this corpus artifact instead of generating one")
+	family := fs.String("family", "specfp", "synthetic generator family (when no -corpus): "+strings.Join(loopgen.Families(), ", "))
+	loops := fs.Int("loops", 40, "loops per benchmark in the synthetic corpus")
+	bench := fs.String("bench", "", "benchmark to sweep (default: first in the corpus)")
+	buses := fs.Int("buses", 1, "register buses")
+	dense := fs.Bool("dense", false, "sweep the dense design-space grid")
+	ladder := fs.Int("ladder", 0, "extra per-cluster DVFS rungs from the clock generator ladder (0 = selection grid only)")
+	par := fs.Int("par", 0, "worker parallelism (0 = NumCPU)")
+	cacheDir := fs.String("cache-dir", "", "disk-persistent cache directory (shared with run)")
+	server := fs.String("server", "", "sweep through the hetvliwd daemon at this base URL instead of locally")
+	csvOut := fs.String("csv", "", "write the frontier as CSV to this file (\"-\" = stdout) instead of the table")
+	exitOn(fs.Parse(args))
+
+	var c *artifact.Corpus
+	if *corpusFile != "" {
+		cc, err := artifact.ReadCorpusFile(*corpusFile)
+		exitOn(err)
+		c = cc
+	} else {
+		src, err := loopgen.NewSyntheticSource(*family, *loops)
+		exitOn(err)
+		cc, err := artifact.CorpusFromSource(src)
+		exitOn(err)
+		c = cc
+	}
+
+	var res *artifact.ParetoResult
+	if *server != "" {
+		resp, err := service.NewClient(*server).Pareto(context.Background(), artifact.EncodeCorpus(c),
+			service.ParetoOptions{Bench: *bench, Buses: *buses, Dense: *dense, DVFSLadder: *ladder})
+		exitOn(err)
+		res = &artifact.ParetoResult{
+			Corpus: resp.Corpus, CorpusSHA: resp.CorpusSHA, Bench: resp.Bench, Points: resp.Points,
+		}
+	} else {
+		r, err := localFrontier(c, *bench, *buses, *par, *ladder, *dense, *cacheDir)
+		exitOn(err)
+		res = r
+	}
+
+	if *csvOut != "" {
+		w := os.Stdout
+		if *csvOut != "-" {
+			f, err := os.Create(*csvOut)
+			exitOn(err)
+			defer f.Close()
+			w = f
+		}
+		exitOn(writeParetoCSV(w, res))
+		if *csvOut != "-" {
+			fmt.Printf("wrote %d frontier points to %s\n", len(res.Points), *csvOut)
+		}
+		return
+	}
+	writeParetoTable(os.Stdout, res)
+}
+
+// localFrontier computes the frontier in-process, exactly as the daemon
+// would (same pipeline options, same sweep).
+func localFrontier(c *artifact.Corpus, bench string, buses, par, ladder int, dense bool,
+	cacheDir string) (*artifact.ParetoResult, error) {
+	if len(c.Benchmarks) == 0 {
+		return nil, fmt.Errorf("corpus %q has no benchmarks", c.Name)
+	}
+	if bench == "" {
+		bench = c.Benchmarks[0].Name
+	}
+	eng, err := explore.NewDisk(par, cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	opts := pipeline.Options{
+		Buses:       buses,
+		EnergyAware: true,
+		Corpus:      artifact.NewCorpusSource(c),
+		Parallelism: par,
+		Engine:      eng,
+	}
+	ref, err := pipeline.BuildReferenceCtx(context.Background(), bench, opts)
+	if err != nil {
+		return nil, err
+	}
+	cal, err := power.Calibrate(ref.Arch, ref.Profile.RefCounts, power.DefaultFractions())
+	if err != nil {
+		return nil, err
+	}
+	space := confsel.DefaultSpace()
+	if dense {
+		space = confsel.DenseSpace()
+	}
+	space.DVFSLadder = ladder
+	front, err := confsel.ParetoFrontier(context.Background(), eng, ref.Arch, ref.Profile, cal,
+		power.DefaultAlphaModel(), space)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.SyncDisk(); err != nil {
+		return nil, err
+	}
+	points := make([]artifact.ParetoPoint, len(front))
+	for i, sel := range front {
+		points[i] = artifact.ParetoPoint{
+			FastPeriodPs: int64(sel.FastPeriod),
+			SlowPeriodPs: int64(sel.SlowPeriod),
+			VddByDomain:  append([]float64(nil), sel.Clock.Vdd...),
+			Seconds:      sel.Estimate.Seconds,
+			Energy:       sel.Estimate.Energy,
+			ED2:          sel.Estimate.ED2,
+		}
+	}
+	return &artifact.ParetoResult{
+		Corpus: c.Name, CorpusSHA: c.Hash().Hex(), Bench: bench, Points: points,
+	}, nil
+}
+
+// gfloat renders a float64 with the shortest exact representation — the
+// same digits a JSON response carries, so table, CSV and wire forms of a
+// frontier never disagree.
+func gfloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func writeParetoTable(w io.Writer, res *artifact.ParetoResult) {
+	fmt.Fprintf(w, "pareto frontier: corpus %s, bench %s — %d non-dominated points\n",
+		res.Corpus, res.Bench, len(res.Points))
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "#\tfast(ps)\tslow(ps)\tTexec(s)\tE(norm)\tED2\tVdd\t")
+	for i, p := range res.Points {
+		vdd := make([]string, len(p.VddByDomain))
+		for d, v := range p.VddByDomain {
+			vdd[d] = gfloat(v)
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%s\t%s\t%s\t%s\t\n",
+			i, p.FastPeriodPs, p.SlowPeriodPs,
+			gfloat(p.Seconds), gfloat(p.Energy), gfloat(p.ED2), strings.Join(vdd, "/"))
+	}
+	tw.Flush()
+}
+
+func writeParetoCSV(w io.Writer, res *artifact.ParetoResult) error {
+	nd := 0
+	if len(res.Points) > 0 {
+		nd = len(res.Points[0].VddByDomain)
+	}
+	cols := []string{"fast_ps", "slow_ps", "seconds", "energy", "ed2"}
+	for d := 0; d < nd; d++ {
+		cols = append(cols, fmt.Sprintf("vdd%d", d))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, p := range res.Points {
+		row := []string{
+			strconv.FormatInt(p.FastPeriodPs, 10),
+			strconv.FormatInt(p.SlowPeriodPs, 10),
+			gfloat(p.Seconds), gfloat(p.Energy), gfloat(p.ED2),
+		}
+		for _, v := range p.VddByDomain {
+			row = append(row, gfloat(v))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/loopgen"
+)
+
+func tinyCorpus(t *testing.T) *artifact.Corpus {
+	t.Helper()
+	src, err := loopgen.NewSyntheticSource("embedded", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := artifact.CorpusFromSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestLocalFrontierAndRendering(t *testing.T) {
+	c := tinyCorpus(t)
+	res, err := localFrontier(c, "", 1, 2, 0, false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bench != c.Benchmarks[0].Name || res.Corpus != c.Name {
+		t.Errorf("identity fields wrong: %+v", res)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for i := 1; i < len(res.Points); i++ {
+		p, prev := res.Points[i], res.Points[i-1]
+		if p.Seconds <= prev.Seconds || p.Energy >= prev.Energy {
+			t.Fatalf("points %d..%d not a sorted frontier", i-1, i)
+		}
+	}
+
+	var table strings.Builder
+	writeParetoTable(&table, res)
+	if !strings.Contains(table.String(), "pareto frontier: corpus "+c.Name) {
+		t.Errorf("table missing header:\n%s", table.String())
+	}
+	if got := strings.Count(table.String(), "\n"); got != len(res.Points)+2 {
+		t.Errorf("table has %d lines, want %d", got, len(res.Points)+2)
+	}
+
+	var csv strings.Builder
+	if err := writeParetoCSV(&csv, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != len(res.Points)+1 {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), len(res.Points)+1)
+	}
+	wantCols := 5 + len(res.Points[0].VddByDomain)
+	for i, line := range lines {
+		if got := len(strings.Split(line, ",")); got != wantCols {
+			t.Errorf("CSV line %d has %d columns, want %d", i, got, wantCols)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "fast_ps,slow_ps,seconds,energy,ed2,vdd0") {
+		t.Errorf("CSV header wrong: %s", lines[0])
+	}
+}

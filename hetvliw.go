@@ -118,7 +118,35 @@ type (
 	// Figures 6–9, studies); reports compute locally or remotely and
 	// render identically (see experiments.WriteReport).
 	SuiteReport = experiments.Report
+	// SelectionObjective names what a constrained configuration selection
+	// minimizes: ED² (the paper's objective), execution time under an
+	// energy cap, or energy under an execution-time cap.
+	SelectionObjective = confsel.Objective
+	// SelectionConstraint caps a constrained selection (zero = unset).
+	SelectionConstraint = confsel.Constraint
+	// ParetoPoint is one non-dominated design point of an
+	// energy/performance frontier (periods, per-domain voltages and the
+	// model estimates), as served by /v1/pareto and experiments pareto.
+	ParetoPoint = artifact.ParetoPoint
 )
+
+// Constrained-selection objectives.
+const (
+	// ObjectiveED2 minimizes the energy-delay² product (the default).
+	ObjectiveED2 = confsel.ObjectiveED2
+	// ObjectiveTimeUnderEnergyCap minimizes execution time among designs
+	// whose energy estimate stays within SelectionConstraint.MaxEnergy.
+	ObjectiveTimeUnderEnergyCap = confsel.ObjectiveTimeUnderEnergyCap
+	// ObjectiveEnergyUnderTimeCap minimizes energy among designs whose
+	// execution-time estimate stays within SelectionConstraint.MaxSeconds.
+	ObjectiveEnergyUnderTimeCap = confsel.ObjectiveEnergyUnderTimeCap
+)
+
+// ParseSelectionObjective parses a wire/CLI objective name ("ed2",
+// "time", "energy"; "" selects ED²).
+func ParseSelectionObjective(s string) (SelectionObjective, error) {
+	return confsel.ParseObjective(s)
+}
 
 // NewExploreEngine returns an exploration engine bounded to the given
 // worker-pool size (<= 0 selects NumCPU). Share one engine across every
@@ -352,9 +380,9 @@ func RunSuiteCtx(ctx context.Context, opts PipelineOptions) ([]*BenchmarkResult,
 
 // NewService builds an embeddable evaluation daemon (an http.Handler):
 // the full pipeline behind /v1/schedule, /v1/evaluate, /v1/suite,
-// /v1/select, /v1/healthz and /v1/stats, with one shared exploration
-// engine across every request. The hetvliwd command is a thin wrapper
-// around this.
+// /v1/select, /v1/pareto, /v1/healthz and /v1/stats, with one shared
+// exploration engine across every request. The hetvliwd command is a
+// thin wrapper around this.
 func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
 
 // NewClient returns a typed client for the hetvliwd daemon at baseURL

@@ -41,6 +41,29 @@ func sampleCorpus(t *testing.T) *Corpus {
 	return c
 }
 
+// sampleParetoRequest and sampleParetoResult exercise every field of the
+// /v1/pareto wire frames.
+func sampleParetoRequest(t *testing.T) *ParetoRequest {
+	t.Helper()
+	return &ParetoRequest{
+		Corpus: sampleCorpus(t), Bench: "adpcm", Buses: 2, Dense: true, DVFSLadder: 4,
+	}
+}
+
+func sampleParetoResult() *ParetoResult {
+	return &ParetoResult{
+		Corpus: "golden-sample", CorpusSHA: "0123456789abcdef", Bench: "adpcm",
+		Points: []ParetoPoint{
+			{FastPeriodPs: 950, SlowPeriodPs: 1250,
+				VddByDomain: []float64{1.1, 1, 1, 1, 0.9, 1.2},
+				Seconds:     1e-3, Energy: 2e6, ED2: 2},
+			{FastPeriodPs: 1100, SlowPeriodPs: 1375,
+				VddByDomain: []float64{0.9, 0.85, 0.85, 0.85, 0.8, 1},
+				Seconds:     2e-3, Energy: 1e6, ED2: 4},
+		},
+	}
+}
+
 // sampleConfig is a heterogeneous configuration with a constrained
 // frequency ladder on one domain, exercising every Clocking field.
 func sampleConfig(t *testing.T) *machine.Config {
@@ -259,6 +282,22 @@ func TestGolden(t *testing.T) {
 			return d
 		}},
 		{"schedule.golden.hvc", func() []byte { return EncodeScheduleSummary(sampleSummary()) }},
+		{"pareto_request.golden.hvc", func() []byte { return EncodeParetoRequest(sampleParetoRequest(t)) }},
+		{"pareto_request.golden.json", func() []byte {
+			d, err := EncodeParetoRequestJSON(sampleParetoRequest(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}},
+		{"pareto_result.golden.hvc", func() []byte { return EncodeParetoResult(sampleParetoResult()) }},
+		{"pareto_result.golden.json", func() []byte {
+			d, err := EncodeParetoResultJSON(sampleParetoResult())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}},
 		{"schedule.golden.json", func() []byte {
 			d, err := EncodeScheduleSummaryJSON(sampleSummary())
 			if err != nil {

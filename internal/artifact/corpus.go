@@ -162,8 +162,9 @@ type loopJSON struct {
 	Class      int       `json:"class"`
 }
 
-// EncodeCorpusJSON encodes a corpus as indented JSON.
-func EncodeCorpusJSON(c *Corpus) ([]byte, error) {
+// corpusToJSON builds the JSON envelope of a corpus — shared by the
+// standalone corpus form and the Pareto request frame that embeds one.
+func corpusToJSON(c *Corpus) (corpusJSON, error) {
 	j := corpusJSON{Artifact: KindCorpus, Version: Version, Name: c.Name}
 	for _, b := range c.Benchmarks {
 		bj := benchmarkJSON{Name: b.Name}
@@ -177,21 +178,12 @@ func EncodeCorpusJSON(c *Corpus) ([]byte, error) {
 		}
 		j.Benchmarks = append(j.Benchmarks, bj)
 	}
-	return json.MarshalIndent(j, "", "  ")
+	return j, nil
 }
 
-// DecodeCorpusJSON decodes the JSON form of a corpus.
-func DecodeCorpusJSON(data []byte) (*Corpus, error) {
-	var j corpusJSON
-	if err := json.Unmarshal(data, &j); err != nil {
-		return nil, fmt.Errorf("artifact: %w", err)
-	}
-	if j.Artifact != KindCorpus {
-		return nil, fmt.Errorf("artifact: kind mismatch: file holds %q, want %q", j.Artifact, KindCorpus)
-	}
-	if j.Version == 0 || j.Version > Version {
-		return nil, fmt.Errorf("artifact: %s version %d not supported (max %d)", KindCorpus, j.Version, Version)
-	}
+// corpusFromJSON reconstructs and validates a corpus from its JSON
+// envelope (kind/version already checked by the caller).
+func corpusFromJSON(j corpusJSON) (*Corpus, error) {
 	c := &Corpus{Name: j.Name}
 	for i, bj := range j.Benchmarks {
 		b := loopgen.Benchmark{Name: bj.Name}
@@ -213,6 +205,30 @@ func DecodeCorpusJSON(data []byte) (*Corpus, error) {
 		c.Benchmarks = append(c.Benchmarks, b)
 	}
 	return c, nil
+}
+
+// EncodeCorpusJSON encodes a corpus as indented JSON.
+func EncodeCorpusJSON(c *Corpus) ([]byte, error) {
+	j, err := corpusToJSON(c)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(j, "", "  ")
+}
+
+// DecodeCorpusJSON decodes the JSON form of a corpus.
+func DecodeCorpusJSON(data []byte) (*Corpus, error) {
+	var j corpusJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	if j.Artifact != KindCorpus {
+		return nil, fmt.Errorf("artifact: kind mismatch: file holds %q, want %q", j.Artifact, KindCorpus)
+	}
+	if j.Version == 0 || j.Version > Version {
+		return nil, fmt.Errorf("artifact: %s version %d not supported (max %d)", KindCorpus, j.Version, Version)
+	}
+	return corpusFromJSON(j)
 }
 
 // WriteCorpusFile writes a corpus to path, choosing the form from the

@@ -230,3 +230,65 @@ func FuzzDecodeBatchResult(f *testing.F) {
 		}
 	})
 }
+
+func FuzzDecodeParetoRequest(f *testing.F) {
+	seedTestdata(f)
+	c := &Corpus{Name: "fuzz", Benchmarks: []loopgen.Benchmark{{
+		Name:  "b",
+		Loops: []loopgen.Loop{{Graph: fuzzGraph(), Iterations: 10, Weight: 1, Class: loopgen.ResourceBound}},
+	}}}
+	req := &ParetoRequest{Corpus: c, Bench: "b", Buses: 2, Dense: true, DVFSLadder: 4}
+	f.Add(EncodeParetoRequest(req))
+	if j, err := EncodeParetoRequestJSON(req); err == nil {
+		f.Add(j)
+	}
+	f.Add([]byte(`{"artifact":"service.pareto.request","version":1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeParetoRequest(data)
+		if err != nil {
+			return
+		}
+		// Canonical contract: encode∘decode∘encode is idempotent (both
+		// wire forms funnel into the same binary encoder).
+		enc := EncodeParetoRequest(req)
+		req2, err := DecodeParetoRequest(enc)
+		if err != nil {
+			t.Fatalf("re-encoded pareto request does not decode: %v", err)
+		}
+		if !bytes.Equal(EncodeParetoRequest(req2), enc) {
+			t.Fatalf("pareto request encoding is not canonical")
+		}
+	})
+}
+
+func FuzzDecodeParetoResult(f *testing.F) {
+	seedTestdata(f)
+	res := &ParetoResult{
+		Corpus: "fuzz", CorpusSHA: "ab", Bench: "b",
+		Points: []ParetoPoint{
+			{FastPeriodPs: 950, SlowPeriodPs: 1250, VddByDomain: []float64{1.1, 1, 1, 1, 0.9, 1.2},
+				Seconds: 1e-3, Energy: 2e6, ED2: 2},
+			{FastPeriodPs: 1100, SlowPeriodPs: 1375, VddByDomain: []float64{0.9, 0.85, 0.85, 0.85, 0.8, 1},
+				Seconds: 2e-3, Energy: 1e6, ED2: 4},
+		},
+	}
+	f.Add(EncodeParetoResult(res))
+	if j, err := EncodeParetoResultJSON(res); err == nil {
+		f.Add(j)
+	}
+	f.Add([]byte(`{"artifact":"service.pareto.result","version":1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := DecodeParetoResult(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeParetoResult(res)
+		res2, err := DecodeParetoResult(enc)
+		if err != nil {
+			t.Fatalf("re-encoded pareto result does not decode: %v", err)
+		}
+		if !bytes.Equal(EncodeParetoResult(res2), enc) {
+			t.Fatalf("pareto result encoding is not canonical")
+		}
+	})
+}

@@ -1,0 +1,294 @@
+// Pareto artifacts: the wire frames of the daemon's POST /v1/pareto
+// endpoint. A ParetoRequest carries the corpus plus the sweep options in
+// one canonical body (binary or JSON, auto-detected like the corpus
+// artifact), and a ParetoResult carries the non-dominated
+// (time, energy) set — one point per frontier configuration, sorted by
+// execution time. Both reuse the canonical corpus payload encoder, so
+// they inherit the determinism guarantee of the other frames: encoding a
+// decoded frame reproduces the original bytes.
+
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// KindParetoRequest and KindParetoResult are the envelope kinds of the
+// /v1/pareto wire frames.
+const (
+	KindParetoRequest = "service.pareto.request"
+	KindParetoResult  = "service.pareto.result"
+)
+
+// ParetoRequest is the self-contained body of POST /v1/pareto: the corpus
+// to profile plus the sweep options that /v1/select takes as query
+// parameters. DVFSLadder > 0 extends the sweep with that many per-cluster
+// DVFS rungs from the generated-clock ladders.
+type ParetoRequest struct {
+	Corpus *Corpus
+	// Bench names the benchmark to sweep ("" = first in the corpus).
+	Bench string
+	// Buses is the number of register buses (0 = default 1).
+	Buses int
+	// Dense sweeps the dense design-space grid.
+	Dense bool
+	// DVFSLadder is the number of extra DVFS rungs per cluster (0 = the
+	// plain selection grid).
+	DVFSLadder int
+}
+
+// validate rejects option values no handler accepts, so a decoded
+// request is always servable.
+func (req *ParetoRequest) validate() error {
+	if req.Buses < 0 {
+		return fmt.Errorf("artifact: pareto request: buses %d negative", req.Buses)
+	}
+	if req.DVFSLadder < 0 {
+		return fmt.Errorf("artifact: pareto request: DVFS ladder %d negative", req.DVFSLadder)
+	}
+	return nil
+}
+
+// ParetoPoint is one frontier configuration: the design point (periods
+// and per-domain voltages) and its model estimates.
+type ParetoPoint struct {
+	FastPeriodPs int64     `json:"fast_period_ps"`
+	SlowPeriodPs int64     `json:"slow_period_ps"`
+	VddByDomain  []float64 `json:"vdd_by_domain"`
+	Seconds      float64   `json:"seconds"`
+	Energy       float64   `json:"energy"`
+	ED2          float64   `json:"ed2"`
+}
+
+// ParetoResult is the body of a /v1/pareto response: the frontier of one
+// benchmark, sorted by Seconds ascending (Energy strictly descending).
+type ParetoResult struct {
+	Corpus    string
+	CorpusSHA string
+	Bench     string
+	Points    []ParetoPoint
+}
+
+// EncodeParetoRequest encodes a Pareto request frame (binary).
+func EncodeParetoRequest(req *ParetoRequest) []byte {
+	w := NewEnvelope(KindParetoRequest)
+	appendCorpus(w, req.Corpus)
+	w.Str(req.Bench)
+	w.Int(int64(req.Buses))
+	if req.Dense {
+		w.Uint(1)
+	} else {
+		w.Uint(0)
+	}
+	w.Int(int64(req.DVFSLadder))
+	return w.Bytes()
+}
+
+// DecodeParetoRequest decodes and validates a Pareto request frame,
+// auto-detecting the binary and JSON forms.
+func DecodeParetoRequest(data []byte) (*ParetoRequest, error) {
+	if !IsBinary(data) {
+		return DecodeParetoRequestJSON(data)
+	}
+	r, _, err := OpenEnvelope(data, KindParetoRequest)
+	if err != nil {
+		return nil, err
+	}
+	c, err := readCorpus(r)
+	if err != nil {
+		return nil, err
+	}
+	req := &ParetoRequest{
+		Corpus: c,
+		Bench:  r.Str(),
+		Buses:  int(r.Int()),
+		Dense:  r.Uint() != 0,
+	}
+	req.DVFSLadder = int(r.Int())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return req, req.validate()
+}
+
+// paretoRequestJSON is the JSON envelope of a Pareto request.
+type paretoRequestJSON struct {
+	Artifact   string     `json:"artifact"`
+	Version    int        `json:"version"`
+	Corpus     corpusJSON `json:"corpus"`
+	Bench      string     `json:"bench,omitempty"`
+	Buses      int        `json:"buses,omitempty"`
+	Dense      bool       `json:"dense,omitempty"`
+	DVFSLadder int        `json:"dvfs_ladder,omitempty"`
+}
+
+// EncodeParetoRequestJSON encodes a Pareto request as indented JSON.
+func EncodeParetoRequestJSON(req *ParetoRequest) ([]byte, error) {
+	cj, err := corpusToJSON(req.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(paretoRequestJSON{
+		Artifact: KindParetoRequest, Version: Version,
+		Corpus: cj, Bench: req.Bench, Buses: req.Buses,
+		Dense: req.Dense, DVFSLadder: req.DVFSLadder,
+	}, "", "  ")
+}
+
+// DecodeParetoRequestJSON decodes the JSON form of a Pareto request.
+func DecodeParetoRequestJSON(data []byte) (*ParetoRequest, error) {
+	var j paretoRequestJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	if j.Artifact != KindParetoRequest {
+		return nil, fmt.Errorf("artifact: kind mismatch: file holds %q, want %q", j.Artifact, KindParetoRequest)
+	}
+	if j.Version == 0 || j.Version > Version {
+		return nil, fmt.Errorf("artifact: %s version %d not supported (max %d)", KindParetoRequest, j.Version, Version)
+	}
+	c, err := corpusFromJSON(j.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	req := &ParetoRequest{
+		Corpus: c, Bench: j.Bench, Buses: j.Buses,
+		Dense: j.Dense, DVFSLadder: j.DVFSLadder,
+	}
+	return req, req.validate()
+}
+
+// appendParetoPoint writes one frontier point's canonical payload.
+func appendParetoPoint(w *Writer, p *ParetoPoint) {
+	w.Int(p.FastPeriodPs)
+	w.Int(p.SlowPeriodPs)
+	w.Uint(uint64(len(p.VddByDomain)))
+	for _, v := range p.VddByDomain {
+		w.Float(v)
+	}
+	w.Float(p.Seconds)
+	w.Float(p.Energy)
+	w.Float(p.ED2)
+}
+
+// readParetoPoint reconstructs one frontier point.
+func readParetoPoint(r *Reader) (ParetoPoint, error) {
+	p := ParetoPoint{
+		FastPeriodPs: r.Int(),
+		SlowPeriodPs: r.Int(),
+	}
+	if n := r.Len(8); n > 0 {
+		p.VddByDomain = make([]float64, n)
+		for i := range p.VddByDomain {
+			p.VddByDomain[i] = r.Float()
+		}
+	}
+	p.Seconds = r.Float()
+	p.Energy = r.Float()
+	p.ED2 = r.Float()
+	return p, r.Err()
+}
+
+// validateParetoPoints rejects payloads that violate the frontier
+// contract — non-finite estimates, unsorted times, or a dominated point —
+// so a decoded result is always a well-formed frontier.
+func validateParetoPoints(points []ParetoPoint) error {
+	for i, p := range points {
+		for _, v := range [...]float64{p.Seconds, p.Energy, p.ED2} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("artifact: pareto point %d has non-finite estimate", i)
+			}
+		}
+		if i == 0 {
+			continue
+		}
+		prev := points[i-1]
+		if p.Seconds <= prev.Seconds || p.Energy >= prev.Energy {
+			return fmt.Errorf("artifact: pareto points %d..%d not a sorted frontier (D %g→%g, E %g→%g)",
+				i-1, i, prev.Seconds, p.Seconds, prev.Energy, p.Energy)
+		}
+	}
+	return nil
+}
+
+// EncodeParetoResult encodes a Pareto response frame (binary).
+func EncodeParetoResult(res *ParetoResult) []byte {
+	w := NewEnvelope(KindParetoResult)
+	w.Str(res.Corpus)
+	w.Str(res.CorpusSHA)
+	w.Str(res.Bench)
+	w.Uint(uint64(len(res.Points)))
+	for i := range res.Points {
+		appendParetoPoint(w, &res.Points[i])
+	}
+	return w.Bytes()
+}
+
+// DecodeParetoResult decodes and validates a Pareto response frame,
+// auto-detecting the binary and JSON forms.
+func DecodeParetoResult(data []byte) (*ParetoResult, error) {
+	if !IsBinary(data) {
+		return DecodeParetoResultJSON(data)
+	}
+	r, _, err := OpenEnvelope(data, KindParetoResult)
+	if err != nil {
+		return nil, err
+	}
+	res := &ParetoResult{
+		Corpus:    r.Str(),
+		CorpusSHA: r.Str(),
+		Bench:     r.Str(),
+	}
+	n := r.Len(4)
+	res.Points = make([]ParetoPoint, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := readParetoPoint(r)
+		if err != nil {
+			return nil, fmt.Errorf("artifact: pareto point %d: %w", i, err)
+		}
+		res.Points = append(res.Points, p)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return res, validateParetoPoints(res.Points)
+}
+
+// paretoResultJSON is the JSON envelope of a Pareto result.
+type paretoResultJSON struct {
+	Artifact  string        `json:"artifact"`
+	Version   int           `json:"version"`
+	Corpus    string        `json:"corpus"`
+	CorpusSHA string        `json:"corpus_sha256"`
+	Bench     string        `json:"bench"`
+	Points    []ParetoPoint `json:"points"`
+}
+
+// EncodeParetoResultJSON encodes a Pareto result as indented JSON.
+func EncodeParetoResultJSON(res *ParetoResult) ([]byte, error) {
+	return json.MarshalIndent(paretoResultJSON{
+		Artifact: KindParetoResult, Version: Version,
+		Corpus: res.Corpus, CorpusSHA: res.CorpusSHA, Bench: res.Bench,
+		Points: res.Points,
+	}, "", "  ")
+}
+
+// DecodeParetoResultJSON decodes the JSON form of a Pareto result.
+func DecodeParetoResultJSON(data []byte) (*ParetoResult, error) {
+	var j paretoResultJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	if j.Artifact != KindParetoResult {
+		return nil, fmt.Errorf("artifact: kind mismatch: file holds %q, want %q", j.Artifact, KindParetoResult)
+	}
+	if j.Version == 0 || j.Version > Version {
+		return nil, fmt.Errorf("artifact: %s version %d not supported (max %d)", KindParetoResult, j.Version, Version)
+	}
+	res := &ParetoResult{
+		Corpus: j.Corpus, CorpusSHA: j.CorpusSHA, Bench: j.Bench, Points: j.Points,
+	}
+	return res, validateParetoPoints(res.Points)
+}

@@ -1,0 +1,83 @@
+package artifact
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParetoRequestRoundTrip: both wire forms reconstruct every field.
+func TestParetoRequestRoundTrip(t *testing.T) {
+	req := sampleParetoRequest(t)
+	bin, err := DecodeParetoRequest(EncodeParetoRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := EncodeParetoRequestJSON(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsn, err := DecodeParetoRequest(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, got := range []*ParetoRequest{bin, jsn} {
+		if got.Bench != req.Bench || got.Buses != req.Buses ||
+			got.Dense != req.Dense || got.DVFSLadder != req.DVFSLadder {
+			t.Errorf("options did not round-trip: %+v", got)
+		}
+		if got.Corpus.Hash() != req.Corpus.Hash() {
+			t.Error("corpus did not round-trip")
+		}
+	}
+}
+
+// TestParetoResultRoundTrip: both wire forms reconstruct every point.
+func TestParetoResultRoundTrip(t *testing.T) {
+	res := sampleParetoResult()
+	bin, err := DecodeParetoResult(EncodeParetoResult(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := EncodeParetoResultJSON(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsn, err := DecodeParetoResult(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, got := range []*ParetoResult{bin, jsn} {
+		if !reflect.DeepEqual(got, res) {
+			t.Errorf("result did not round-trip:\n got %+v\nwant %+v", got, res)
+		}
+	}
+}
+
+// TestParetoDecodersValidate: a decoded frame is always servable — the
+// decoders reject negative options and frontiers that are unsorted or
+// contain dominated points.
+func TestParetoDecodersValidate(t *testing.T) {
+	req := sampleParetoRequest(t)
+	req.Buses = -1
+	if _, err := DecodeParetoRequest(EncodeParetoRequest(req)); err == nil ||
+		!strings.Contains(err.Error(), "buses") {
+		t.Errorf("negative buses accepted (err %v)", err)
+	}
+	req.Buses, req.DVFSLadder = 1, -3
+	if _, err := DecodeParetoRequest(EncodeParetoRequest(req)); err == nil ||
+		!strings.Contains(err.Error(), "ladder") {
+		t.Errorf("negative DVFS ladder accepted (err %v)", err)
+	}
+
+	res := sampleParetoResult()
+	res.Points[0], res.Points[1] = res.Points[1], res.Points[0] // unsorted
+	if _, err := DecodeParetoResult(EncodeParetoResult(res)); err == nil {
+		t.Error("unsorted frontier accepted")
+	}
+	res = sampleParetoResult()
+	res.Points[1].Energy = res.Points[0].Energy + 1 // dominated by point 0
+	if _, err := DecodeParetoResult(EncodeParetoResult(res)); err == nil {
+		t.Error("dominated point accepted")
+	}
+}

@@ -6,6 +6,7 @@ package artifact
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"math"
 )
@@ -183,4 +184,34 @@ func OpenEnvelope(data []byte, kind string) (*Reader, int, error) {
 // (used to auto-detect binary vs JSON artifact files).
 func IsBinary(data []byte) bool {
 	return len(data) >= len(magic) && string(data[:len(magic)]) == string(magic[:])
+}
+
+// JSONKind returns the "artifact" field of a JSON artifact envelope, or
+// "" when data is not a JSON object carrying one — the JSON counterpart
+// of BinaryKind for the same multi-kind dispatch.
+func JSONKind(data []byte) string {
+	var j struct {
+		Artifact string `json:"artifact"`
+	}
+	if json.Unmarshal(data, &j) != nil {
+		return ""
+	}
+	return j.Artifact
+}
+
+// BinaryKind returns the envelope kind of a binary artifact without
+// validating the payload — how the service dispatches endpoints that
+// accept more than one frame kind (e.g. /v1/pareto takes a corpus or a
+// self-contained request frame). ok is false when data is not a binary
+// artifact.
+func BinaryKind(data []byte) (string, bool) {
+	if !IsBinary(data) {
+		return "", false
+	}
+	r := &Reader{b: data, off: len(magic)}
+	k := r.Str()
+	if r.Err() != nil {
+		return "", false
+	}
+	return k, true
 }

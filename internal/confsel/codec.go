@@ -57,6 +57,12 @@ func appendSpace(w *artifact.Writer, s *Space) {
 	for _, f := range s.HomFactors {
 		w.Float(f)
 	}
+	// Trailing optional (same convention as the batch frames' effort
+	// field): written only when set, so DVFSLadder-free spaces stay
+	// byte-identical to the previous format and old frames still decode.
+	if s.DVFSLadder != 0 {
+		w.Int(int64(s.DVFSLadder))
+	}
 }
 
 // readSpace reconstructs a design space.
@@ -85,6 +91,9 @@ func readSpace(r *artifact.Reader) (Space, error) {
 		for i := range s.HomFactors {
 			s.HomFactors[i] = r.Float()
 		}
+	}
+	if r.Remaining() > 0 {
+		s.DVFSLadder = int(r.Int())
 	}
 	return s, r.Err()
 }
@@ -117,6 +126,7 @@ type spaceJSON struct {
 	CacheVdd    [2]float64 `json:"cache_vdd"`
 	VddStep     float64    `json:"vdd_step"`
 	HomFactors  []float64  `json:"hom_factors"`
+	DVFSLadder  int        `json:"dvfs_ladder,omitempty"`
 }
 
 // EncodeSpaceJSON encodes a design space as indented JSON.
@@ -125,7 +135,7 @@ func EncodeSpaceJSON(s *Space) ([]byte, error) {
 		Artifact: KindSpace, Version: artifact.Version,
 		FastFactors: s.FastFactors, SlowRatios: s.SlowRatios, NumFast: s.NumFast,
 		ClusterVdd: s.ClusterVdd, ICNVdd: s.ICNVdd, CacheVdd: s.CacheVdd,
-		VddStep: s.VddStep, HomFactors: s.HomFactors,
+		VddStep: s.VddStep, HomFactors: s.HomFactors, DVFSLadder: s.DVFSLadder,
 	}, "", "  ")
 }
 
@@ -144,6 +154,6 @@ func DecodeSpaceJSON(data []byte) (Space, error) {
 	return Space{
 		FastFactors: j.FastFactors, SlowRatios: j.SlowRatios, NumFast: j.NumFast,
 		ClusterVdd: j.ClusterVdd, ICNVdd: j.ICNVdd, CacheVdd: j.CacheVdd,
-		VddStep: j.VddStep, HomFactors: j.HomFactors,
+		VddStep: j.VddStep, HomFactors: j.HomFactors, DVFSLadder: j.DVFSLadder,
 	}, nil
 }

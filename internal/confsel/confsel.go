@@ -104,6 +104,67 @@ type Space struct {
 	// HomFactors scale the reference cycle time for the homogeneous
 	// baseline sweep.
 	HomFactors []float64
+	// DVFSLadder, when positive, extends the Pareto sweep with this many
+	// per-cluster DVFS rungs drawn from clock.LadderSet ladders spanning
+	// the same period ranges as the factor grid (generator-granularity
+	// multiples — states the Figure 2 clocking network can actually
+	// produce). Zero sweeps exactly the selection grid, so every frontier
+	// evaluation is shared with plain selection.
+	DVFSLadder int
+}
+
+// Validate rejects degenerate design spaces up front with a one-line
+// error: inverted or non-positive voltage bounds, a zero or negative
+// voltage step (an infinite sweep under the old accumulation loop), and
+// empty factor ladders would otherwise surface as a silent bestV = 0
+// "selection" that poisons every downstream energy estimate.
+func (s Space) Validate() error {
+	if len(s.FastFactors) == 0 || len(s.SlowRatios) == 0 {
+		return fmt.Errorf("confsel: design space has empty factor ladders (fast %d, slow %d)",
+			len(s.FastFactors), len(s.SlowRatios))
+	}
+	for _, f := range s.FastFactors {
+		if !(f > 0) { // catches NaN too
+			return fmt.Errorf("confsel: fast factor %g not positive", f)
+		}
+	}
+	for _, r := range s.SlowRatios {
+		if !(r >= 1) {
+			return fmt.Errorf("confsel: slow/fast ratio %g below 1", r)
+		}
+	}
+	if s.NumFast < 0 {
+		return fmt.Errorf("confsel: negative fast-cluster count %d", s.NumFast)
+	}
+	if s.DVFSLadder < 0 {
+		return fmt.Errorf("confsel: negative DVFS ladder size %d", s.DVFSLadder)
+	}
+	for _, rng := range [...]struct {
+		name string
+		r    [2]float64
+	}{{"cluster", s.ClusterVdd}, {"ICN", s.ICNVdd}, {"cache", s.CacheVdd}} {
+		if err := power.CheckVddRange(rng.r[0], rng.r[1], s.VddStep); err != nil {
+			return fmt.Errorf("confsel: %s voltage range: %w", rng.name, err)
+		}
+	}
+	return nil
+}
+
+// validateHom additionally requires the homogeneous factor ladder, which
+// only the homogeneous baseline sweep reads.
+func (s Space) validateHom() error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if len(s.HomFactors) == 0 {
+		return fmt.Errorf("confsel: design space has an empty homogeneous factor ladder")
+	}
+	for _, f := range s.HomFactors {
+		if !(f > 0) {
+			return fmt.Errorf("confsel: homogeneous factor %g not positive", f)
+		}
+	}
+	return nil
 }
 
 // DefaultSpace returns the paper's design space: fast cycle times
@@ -111,10 +172,6 @@ type Space struct {
 // {1, 1.25, 1.33, 1.5}, one fast cluster, cluster voltages 0.7–1.2 V,
 // ICN 0.8–1.1 V, cache 1.0–1.4 V.
 func DefaultSpace() Space {
-	homs := []float64{}
-	for f := 0.80; f <= 1.50001; f += 0.05 {
-		homs = append(homs, f)
-	}
 	return Space{
 		FastFactors: []float64{0.90, 0.95, 1.00, 1.05, 1.10},
 		SlowRatios:  []float64{1.00, 1.25, 1.33, 1.50},
@@ -123,7 +180,7 @@ func DefaultSpace() Space {
 		ICNVdd:      [2]float64{0.80, 1.10},
 		CacheVdd:    [2]float64{1.00, 1.40},
 		VddStep:     0.025,
-		HomFactors:  homs,
+		HomFactors:  gridSteps(0.80, 1.50, 0.05),
 	}
 }
 
@@ -399,9 +456,16 @@ func OptimizeVoltages(arch *machine.Arch, clk *machine.Clocking, model *power.Al
 		Sigma: make([]float64, arch.NumDomains()),
 	}
 	pick := func(d machine.DomainID, dyn, statRate float64, lo, hi float64) error {
+		if err := power.CheckVddRange(lo, hi, space.VddStep); err != nil {
+			return fmt.Errorf("confsel: domain %s: %w", arch.DomainName(d), err)
+		}
 		bestV, bestE := 0.0, math.Inf(1)
 		var bestDelta, bestSigma float64
-		for v := lo; v <= hi+1e-9; v += space.VddStep {
+		for i := 0; ; i++ {
+			v, ok := power.VddAt(lo, hi, space.VddStep, i)
+			if !ok {
+				break
+			}
 			vth, err := model.VthForPeriod(clk.MinPeriod[d], v)
 			if err != nil {
 				continue // frequency unreachable at this voltage
@@ -506,6 +570,9 @@ func SelectHeterogeneousEx(eng *explore.Engine, arch *machine.Arch, prof *Profil
 // interruptible service request.
 func SelectHeterogeneousCtx(ctx context.Context, eng *explore.Engine, arch *machine.Arch, prof *Profile,
 	cal *power.Calibration, model *power.AlphaModel, space Space) (*Selection, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
 	if eng == nil {
 		eng = explore.New(0)
 	}
@@ -590,6 +657,9 @@ func OptimumHomogeneousEx(eng *explore.Engine, arch *machine.Arch, prof *Profile
 // chip-wide frequency sweep stops dispatching once ctx is done.
 func OptimumHomogeneousCtx(ctx context.Context, eng *explore.Engine, arch *machine.Arch, prof *Profile,
 	cal *power.Calibration, model *power.AlphaModel, space Space) (*Selection, error) {
+	if err := space.validateHom(); err != nil {
+		return nil, err
+	}
 	if eng == nil {
 		eng = explore.New(0)
 	}
@@ -607,7 +677,11 @@ func OptimumHomogeneousCtx(ctx context.Context, eng *explore.Engine, arch *machi
 			Delta: make([]float64, arch.NumDomains()),
 			Sigma: make([]float64, arch.NumDomains()),
 		}
-		for v := space.ClusterVdd[0]; v <= space.ClusterVdd[1]+1e-9; v += space.VddStep {
+		for i := 0; ; i++ {
+			v, ok := power.VddAt(space.ClusterVdd[0], space.ClusterVdd[1], space.VddStep, i)
+			if !ok {
+				break
+			}
 			vth, err := model.VthForPeriod(tau, v)
 			if err != nil {
 				continue // frequency unreachable at this chip voltage

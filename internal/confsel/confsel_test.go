@@ -252,3 +252,120 @@ func TestSelectionCtxCancelledNeverPartial(t *testing.T) {
 		t.Fatalf("hom selection err = %v, want Canceled", err)
 	}
 }
+
+// TestSpaceValidate: degenerate design spaces must fail up front with a
+// one-line error from every selection entry point — never a bestV = 0
+// "selection" or an unbounded sweep.
+func TestSpaceValidate(t *testing.T) {
+	mut := func(f func(*Space)) Space {
+		s := DefaultSpace()
+		f(&s)
+		return s
+	}
+	bad := []struct {
+		name string
+		s    Space
+	}{
+		{"inverted-cluster-vdd", mut(func(s *Space) { s.ClusterVdd = [2]float64{1.2, 0.7} })},
+		{"inverted-icn-vdd", mut(func(s *Space) { s.ICNVdd = [2]float64{1.1, 0.8} })},
+		{"inverted-cache-vdd", mut(func(s *Space) { s.CacheVdd = [2]float64{1.4, 1.0} })},
+		{"zero-step", mut(func(s *Space) { s.VddStep = 0 })},
+		{"negative-step", mut(func(s *Space) { s.VddStep = -0.025 })},
+		{"nan-step", mut(func(s *Space) { s.VddStep = math.NaN() })},
+		{"zero-vdd-lo", mut(func(s *Space) { s.ClusterVdd = [2]float64{0, 1.2} })},
+		{"empty-fast-factors", mut(func(s *Space) { s.FastFactors = nil })},
+		{"empty-slow-ratios", mut(func(s *Space) { s.SlowRatios = nil })},
+		{"non-positive-fast-factor", mut(func(s *Space) { s.FastFactors = []float64{1.0, 0} })},
+		{"nan-fast-factor", mut(func(s *Space) { s.FastFactors = []float64{math.NaN()} })},
+		{"slow-ratio-below-one", mut(func(s *Space) { s.SlowRatios = []float64{0.9} })},
+		{"negative-numfast", mut(func(s *Space) { s.NumFast = -1 })},
+		{"negative-dvfs-ladder", mut(func(s *Space) { s.DVFSLadder = -2 })},
+	}
+	for _, c := range bad {
+		if err := c.s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a degenerate space", c.name)
+		}
+	}
+	if err := DefaultSpace().Validate(); err != nil {
+		t.Errorf("default space rejected: %v", err)
+	}
+	if err := DenseSpace().Validate(); err != nil {
+		t.Errorf("dense space rejected: %v", err)
+	}
+	// Single-point voltage range is legal: exactly one sweep point.
+	one := mut(func(s *Space) { s.ClusterVdd = [2]float64{1.0, 1.0} })
+	if err := one.Validate(); err != nil {
+		t.Errorf("single-point range rejected: %v", err)
+	}
+	// Empty HomFactors only fails the homogeneous sweep.
+	noHom := mut(func(s *Space) { s.HomFactors = nil })
+	if err := noHom.Validate(); err != nil {
+		t.Errorf("Validate must not require HomFactors: %v", err)
+	}
+	if err := noHom.validateHom(); err == nil {
+		t.Error("validateHom accepted empty HomFactors")
+	}
+}
+
+// TestSelectionRejectsDegenerateSpace: the entry points surface the
+// validation error instead of computing with a poisoned space.
+func TestSelectionRejectsDegenerateSpace(t *testing.T) {
+	arch := machine.Reference4Cluster(1)
+	prof := testProfile(arch)
+	cal := calFor(t, arch, prof)
+	model := power.DefaultAlphaModel()
+
+	bad := DefaultSpace()
+	bad.VddStep = 0
+	if _, err := SelectHeterogeneousCtx(context.Background(), nil, arch, prof, cal, model, bad); err == nil {
+		t.Error("SelectHeterogeneousCtx accepted zero voltage step")
+	}
+	if _, err := OptimumHomogeneousCtx(context.Background(), nil, arch, prof, cal, model, bad); err == nil {
+		t.Error("OptimumHomogeneousCtx accepted zero voltage step")
+	}
+	inv := DefaultSpace()
+	inv.ICNVdd = [2]float64{1.1, 0.8}
+	clk := BuildHetClocking(arch, clock.PS(1000), clock.PS(1500), 1)
+	if _, err := OptimizeVoltages(arch, clk, model, cal, inv,
+		[]float64{100, 400, 400, 400}, 50, 200, 1e-4); err == nil {
+		t.Error("OptimizeVoltages accepted inverted ICN range")
+	}
+}
+
+// TestOptimizeVoltagesGridCanonical: the chosen voltage must be a
+// bit-exact point of lo + i·step — the accumulated sweep used to pick
+// drifted values like 0.9750000000000002.
+func TestOptimizeVoltagesGridCanonical(t *testing.T) {
+	arch := machine.Reference4Cluster(1)
+	prof := testProfile(arch)
+	cal := calFor(t, arch, prof)
+	model := power.DefaultAlphaModel()
+	space := DefaultSpace()
+	clk := BuildHetClocking(arch, clock.PS(1000), clock.PS(1500), 1)
+	if _, err := OptimizeVoltages(arch, clk, model, cal, space,
+		[]float64{100, 400, 400, 400}, 50, 200, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	onGrid := func(v, lo, hi float64) bool {
+		for i := 0; ; i++ {
+			g, ok := power.VddAt(lo, hi, space.VddStep, i)
+			if !ok {
+				return false
+			}
+			if math.Float64bits(g) == math.Float64bits(v) {
+				return true
+			}
+		}
+	}
+	for c := 0; c < arch.NumClusters(); c++ {
+		if !onGrid(clk.Vdd[c], space.ClusterVdd[0], space.ClusterVdd[1]) {
+			t.Errorf("cluster %d Vdd %b off-grid", c, clk.Vdd[c])
+		}
+	}
+	if !onGrid(clk.Vdd[arch.ICN()], space.ICNVdd[0], space.ICNVdd[1]) {
+		t.Errorf("ICN Vdd %b off-grid", clk.Vdd[arch.ICN()])
+	}
+	if !onGrid(clk.Vdd[arch.Cache()], space.CacheVdd[0], space.CacheVdd[1]) {
+		t.Errorf("cache Vdd %b off-grid", clk.Vdd[arch.Cache()])
+	}
+}

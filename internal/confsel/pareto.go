@@ -1,0 +1,292 @@
+package confsel
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/explore"
+	"repro/internal/machine"
+	"repro/internal/power"
+)
+
+// Objective names the quantity a constrained selection minimizes. The
+// paper's Section 3 selection minimizes ED² unconditionally; the
+// constrained modes answer the two dual questions a designer actually
+// asks of the energy/performance trade-off: "fastest design within an
+// energy budget" and "cheapest design within a deadline".
+type Objective int
+
+const (
+	// ObjectiveED2 minimizes E·D² (the paper's metric). Constraints, if
+	// set, still filter the candidate set.
+	ObjectiveED2 Objective = iota
+	// ObjectiveTimeUnderEnergyCap minimizes execution time D subject to
+	// E ≤ MaxEnergy.
+	ObjectiveTimeUnderEnergyCap
+	// ObjectiveEnergyUnderTimeCap minimizes energy E subject to
+	// D ≤ MaxSeconds.
+	ObjectiveEnergyUnderTimeCap
+)
+
+// String returns the wire/CLI name of the objective.
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveED2:
+		return "ed2"
+	case ObjectiveTimeUnderEnergyCap:
+		return "time"
+	case ObjectiveEnergyUnderTimeCap:
+		return "energy"
+	}
+	return fmt.Sprintf("objective(%d)", int(o))
+}
+
+// ParseObjective inverts String.
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "ed2", "":
+		return ObjectiveED2, nil
+	case "time":
+		return ObjectiveTimeUnderEnergyCap, nil
+	case "energy":
+		return ObjectiveEnergyUnderTimeCap, nil
+	}
+	return 0, fmt.Errorf("confsel: unknown objective %q (want ed2, time or energy)", s)
+}
+
+// Constraint caps the selection. Zero values mean "unconstrained"; the
+// objective determines which cap is mandatory.
+type Constraint struct {
+	// MaxEnergy caps estimated energy E (model units). 0 = no cap.
+	MaxEnergy float64
+	// MaxSeconds caps estimated execution time D. 0 = no cap.
+	MaxSeconds float64
+}
+
+// Validate rejects malformed constraints with a one-line error: caps must
+// be absent or strictly positive finite numbers, and the cap an objective
+// minimizes against must be present.
+func (c Constraint) Validate(obj Objective) error {
+	check := func(name string, v float64) error {
+		if v != 0 && (math.IsNaN(v) || math.IsInf(v, 0) || v < 0) {
+			return fmt.Errorf("confsel: %s cap %g not a positive finite number", name, v)
+		}
+		return nil
+	}
+	if err := check("energy", c.MaxEnergy); err != nil {
+		return err
+	}
+	if err := check("time", c.MaxSeconds); err != nil {
+		return err
+	}
+	switch obj {
+	case ObjectiveTimeUnderEnergyCap:
+		if c.MaxEnergy == 0 {
+			return fmt.Errorf("confsel: objective %s requires an energy cap", obj)
+		}
+	case ObjectiveEnergyUnderTimeCap:
+		if c.MaxSeconds == 0 {
+			return fmt.Errorf("confsel: objective %s requires a time cap", obj)
+		}
+	case ObjectiveED2:
+	default:
+		return fmt.Errorf("confsel: unknown objective %d", int(obj))
+	}
+	return nil
+}
+
+// admits reports whether an estimate satisfies every set cap.
+func (c Constraint) admits(e Estimate) bool {
+	if c.MaxEnergy != 0 && e.Energy > c.MaxEnergy {
+		return false
+	}
+	if c.MaxSeconds != 0 && e.Seconds > c.MaxSeconds {
+		return false
+	}
+	return true
+}
+
+// paretoCandidates is the sweep grid of the frontier: the plain selection
+// grid (identical candidates, so every evaluation is shared with
+// SelectHeterogeneous through the engine cache), optionally extended with
+// DVFSLadder per-cluster DVFS rungs — generator-granularity clock states
+// from clock.LadderSet spanning the same fast-period range, paired with
+// every slow/fast ratio. Extras are appended after the grid in (rung,
+// ratio) order and deduplicated, so candidate order — the deterministic
+// tie-breaking order — is independent of worker count and extends the
+// plain grid order.
+func (s Space) paretoCandidates() ([]hetCandidate, error) {
+	cands := s.hetCandidates()
+	if s.DVFSLadder <= 0 {
+		return cands, nil
+	}
+	seen := make(map[hetCandidate]bool, len(cands))
+	for _, c := range cands {
+		seen[c] = true
+	}
+	minFF, maxFF := s.FastFactors[0], s.FastFactors[0]
+	for _, f := range s.FastFactors[1:] {
+		minFF = math.Min(minFF, f)
+		maxFF = math.Max(maxFF, f)
+	}
+	minFast := clock.Picos(math.Round(minFF * float64(machine.ReferencePeriod)))
+	span := maxFF/minFF - 1
+	if span <= 0 {
+		// Single-point factor grid: ladder one granularity step per rung.
+		span = float64(s.DVFSLadder) * float64(clock.DefaultGenGranularity) / float64(minFast)
+	}
+	gran := clock.DefaultGenGranularity
+	fs, err := clock.LadderSet(minFast, span, s.DVFSLadder, gran)
+	if err != nil {
+		return nil, fmt.Errorf("confsel: DVFS ladder: %w", err)
+	}
+	snapUp := func(p float64) clock.Picos {
+		k := (int64(p) + int64(gran) - 1) / int64(gran)
+		return clock.Picos(k * int64(gran))
+	}
+	for _, fast := range fs.Periods() {
+		for _, sr := range s.SlowRatios {
+			c := hetCandidate{fast: fast, slow: snapUp(float64(fast) * sr)}
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			cands = append(cands, c)
+		}
+	}
+	return cands, nil
+}
+
+// sweepCandidates evaluates every Pareto candidate on the engine's worker
+// pool. The returned slice is index-aligned with the candidate grid; nil
+// entries are infeasible points. The same late-cancellation guard as the
+// plain selections applies: a truncated sweep must never be reduced.
+func sweepCandidates(ctx context.Context, eng *explore.Engine, arch *machine.Arch, prof *Profile,
+	cal *power.Calibration, model *power.AlphaModel, space Space) ([]*Selection, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if eng == nil {
+		eng = explore.New(0)
+	}
+	cands, err := space.paretoCandidates()
+	if err != nil {
+		return nil, err
+	}
+	sels, err := explore.MapCtx(ctx, eng, len(cands), func(i int) *Selection {
+		return evalHetCandidate(ctx, eng, arch, prof, cal, model, space, cands[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return sels, nil
+}
+
+// SelectConstrainedCtx picks the heterogeneous configuration optimizing
+// the given objective subject to the constraint, sweeping the same
+// candidate grid as ParetoFrontier (so with a shared engine the two share
+// every candidate evaluation). Tie-breaks are dominance-aware — minimal
+// objective, then minimal secondary metric, then earliest grid order — so
+// the winner always lies on the frontier returned by ParetoFrontier.
+func SelectConstrainedCtx(ctx context.Context, eng *explore.Engine, arch *machine.Arch, prof *Profile,
+	cal *power.Calibration, model *power.AlphaModel, space Space,
+	obj Objective, cons Constraint) (*Selection, error) {
+
+	if err := cons.Validate(obj); err != nil {
+		return nil, err
+	}
+	sels, err := sweepCandidates(ctx, eng, arch, prof, cal, model, space)
+	if err != nil {
+		return nil, err
+	}
+	// better reports a strict improvement of s over best under the
+	// objective's lexicographic order; scanning in grid order makes the
+	// earliest candidate win all remaining ties.
+	var better func(s, best Estimate) bool
+	switch obj {
+	case ObjectiveED2:
+		better = func(s, best Estimate) bool { return s.ED2 < best.ED2 }
+	case ObjectiveTimeUnderEnergyCap:
+		better = func(s, best Estimate) bool {
+			return s.Seconds < best.Seconds ||
+				(s.Seconds == best.Seconds && s.Energy < best.Energy)
+		}
+	case ObjectiveEnergyUnderTimeCap:
+		better = func(s, best Estimate) bool {
+			return s.Energy < best.Energy ||
+				(s.Energy == best.Energy && s.Seconds < best.Seconds)
+		}
+	}
+	var best *Selection
+	for _, s := range sels {
+		if s == nil || !cons.admits(s.Estimate) {
+			continue
+		}
+		if best == nil || better(s.Estimate, best.Estimate) {
+			best = s
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("confsel: no feasible configuration for %s under %s constraint (energy ≤ %g, time ≤ %g)",
+			prof.Name, obj, cons.MaxEnergy, cons.MaxSeconds)
+	}
+	return best, nil
+}
+
+// ParetoFrontier returns the non-dominated (time, energy) set of the
+// design space for one profile: every returned selection has no swept
+// alternative that is at least as fast AND at least as cheap (with one
+// strict). The frontier is sorted by execution time ascending (energy
+// therefore strictly descending), deduplicated to one selection per
+// (time, energy) point — the earliest in grid order, matching the
+// constrained selections' tie-break — and deterministic at every worker
+// count.
+func ParetoFrontier(ctx context.Context, eng *explore.Engine, arch *machine.Arch, prof *Profile,
+	cal *power.Calibration, model *power.AlphaModel, space Space) ([]*Selection, error) {
+
+	sels, err := sweepCandidates(ctx, eng, arch, prof, cal, model, space)
+	if err != nil {
+		return nil, err
+	}
+	type pt struct {
+		s   *Selection
+		idx int // grid order, the deterministic tie-break
+	}
+	pts := make([]pt, 0, len(sels))
+	for i, s := range sels {
+		if s != nil {
+			pts = append(pts, pt{s: s, idx: i})
+		}
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("confsel: no feasible configuration for %s", prof.Name)
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		a, b := pts[i].s.Estimate, pts[j].s.Estimate
+		if a.Seconds != b.Seconds {
+			return a.Seconds < b.Seconds
+		}
+		if a.Energy != b.Energy {
+			return a.Energy < b.Energy
+		}
+		return pts[i].idx < pts[j].idx
+	})
+	// One sweep keeps a point iff its energy is strictly below every
+	// faster point's: equal-time points after the first are dominated (or
+	// duplicates), and equal-energy slower points are weakly dominated.
+	frontier := make([]*Selection, 0, len(pts))
+	minE := math.Inf(1)
+	for _, p := range pts {
+		if p.s.Estimate.Energy < minE {
+			frontier = append(frontier, p.s)
+			minE = p.s.Estimate.Energy
+		}
+	}
+	return frontier, nil
+}

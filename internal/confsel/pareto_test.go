@@ -1,0 +1,238 @@
+package confsel
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/machine"
+	"repro/internal/power"
+)
+
+// frontierFixture evaluates one frontier over the synthetic test profile.
+func frontierFixture(t *testing.T, eng *explore.Engine, space Space) []*Selection {
+	t.Helper()
+	arch := machine.Reference4Cluster(1)
+	prof := testProfile(arch)
+	cal := calFor(t, arch, prof)
+	front, err := ParetoFrontier(context.Background(), eng, arch, prof, cal,
+		power.DefaultAlphaModel(), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return front
+}
+
+// TestParetoFrontierShape: the frontier is non-empty, strictly sorted
+// (time up, energy down), and no swept candidate dominates a member.
+func TestParetoFrontierShape(t *testing.T) {
+	arch := machine.Reference4Cluster(1)
+	prof := testProfile(arch)
+	cal := calFor(t, arch, prof)
+	model := power.DefaultAlphaModel()
+	space := DefaultSpace()
+	front := frontierFixture(t, nil, space)
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for i, s := range front {
+		if i == 0 {
+			continue
+		}
+		prev := front[i-1]
+		if s.Estimate.Seconds <= prev.Estimate.Seconds || s.Estimate.Energy >= prev.Estimate.Energy {
+			t.Fatalf("frontier not strictly sorted at %d: (%g,%g) after (%g,%g)",
+				i, s.Estimate.Seconds, s.Estimate.Energy, prev.Estimate.Seconds, prev.Estimate.Energy)
+		}
+	}
+	// Exhaustively re-sweep the grid and check no evaluated point
+	// dominates any frontier member.
+	cands, err := space.paretoCandidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		s := evalHetCandidate(context.Background(), nil, arch, prof, cal, model, space, c)
+		if s == nil {
+			continue
+		}
+		for _, f := range front {
+			if s.Estimate.Seconds <= f.Estimate.Seconds && s.Estimate.Energy <= f.Estimate.Energy &&
+				(s.Estimate.Seconds < f.Estimate.Seconds || s.Estimate.Energy < f.Estimate.Energy) {
+				t.Fatalf("candidate (%g,%g) dominates frontier member (%g,%g)",
+					s.Estimate.Seconds, s.Estimate.Energy, f.Estimate.Seconds, f.Estimate.Energy)
+			}
+		}
+	}
+}
+
+// TestParetoFrontierDeterministicAcrossWorkers: identical frontiers at
+// every engine parallelism, including with DVFS-ladder extras.
+func TestParetoFrontierDeterministicAcrossWorkers(t *testing.T) {
+	for _, ladder := range []int{0, 4} {
+		space := DefaultSpace()
+		space.DVFSLadder = ladder
+		base := frontierFixture(t, explore.New(1), space)
+		for _, par := range []int{2, 8} {
+			got := frontierFixture(t, explore.New(par), space)
+			if !reflect.DeepEqual(got, base) {
+				t.Errorf("ladder=%d: frontier differs between parallelism 1 and %d", ladder, par)
+			}
+		}
+	}
+}
+
+// TestSelectConstrainedOnFrontier: every constrained winner respects its
+// cap and appears on the frontier; impossible caps report infeasibility.
+func TestSelectConstrainedOnFrontier(t *testing.T) {
+	arch := machine.Reference4Cluster(1)
+	prof := testProfile(arch)
+	cal := calFor(t, arch, prof)
+	model := power.DefaultAlphaModel()
+	space := DefaultSpace()
+	ctx := context.Background()
+	front := frontierFixture(t, nil, space)
+	onFrontier := func(s *Selection) bool {
+		for _, f := range front {
+			if f.Estimate.Seconds == s.Estimate.Seconds && f.Estimate.Energy == s.Estimate.Energy {
+				return true
+			}
+		}
+		return false
+	}
+	// Sweep caps across the frontier's own spread so each admits a
+	// different prefix/suffix of the set.
+	for _, f := range front {
+		fast, err := SelectConstrainedCtx(ctx, nil, arch, prof, cal, model, space,
+			ObjectiveTimeUnderEnergyCap, Constraint{MaxEnergy: f.Estimate.Energy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.Estimate.Energy > f.Estimate.Energy {
+			t.Errorf("energy cap %g violated: %g", f.Estimate.Energy, fast.Estimate.Energy)
+		}
+		if !onFrontier(fast) {
+			t.Errorf("time winner under cap %g not on frontier", f.Estimate.Energy)
+		}
+		// The cap admits exactly the frontier suffix from f on; the
+		// fastest admitted point is f itself.
+		if fast.Estimate.Seconds != f.Estimate.Seconds {
+			t.Errorf("time winner under cap %g is (%g s), want (%g s)",
+				f.Estimate.Energy, fast.Estimate.Seconds, f.Estimate.Seconds)
+		}
+
+		cheap, err := SelectConstrainedCtx(ctx, nil, arch, prof, cal, model, space,
+			ObjectiveEnergyUnderTimeCap, Constraint{MaxSeconds: f.Estimate.Seconds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cheap.Estimate.Seconds > f.Estimate.Seconds {
+			t.Errorf("time cap %g violated: %g", f.Estimate.Seconds, cheap.Estimate.Seconds)
+		}
+		if !onFrontier(cheap) {
+			t.Errorf("energy winner under cap %g s not on frontier", f.Estimate.Seconds)
+		}
+		if cheap.Estimate.Energy != f.Estimate.Energy {
+			t.Errorf("energy winner under cap %g s is %g, want %g",
+				f.Estimate.Seconds, cheap.Estimate.Energy, f.Estimate.Energy)
+		}
+	}
+	// ED² objective with no caps matches plain selection.
+	ed2, err := SelectConstrainedCtx(ctx, nil, arch, prof, cal, model, space, ObjectiveED2, Constraint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := SelectHeterogeneous(arch, prof, cal, model, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ed2, plain) {
+		t.Error("unconstrained ED² selection differs from SelectHeterogeneous")
+	}
+	if !onFrontier(ed2) {
+		t.Error("min-ED² selection not on frontier")
+	}
+	// Impossible caps: a clean infeasibility error, not a panic or a
+	// clamped answer.
+	if _, err := SelectConstrainedCtx(ctx, nil, arch, prof, cal, model, space,
+		ObjectiveTimeUnderEnergyCap, Constraint{MaxEnergy: math.SmallestNonzeroFloat64}); err == nil {
+		t.Error("impossible energy cap must fail")
+	}
+}
+
+// TestParetoDVFSLadderExtends: ladder rungs only add candidates — the
+// grid-only frontier members never get worse, and the extras keep the
+// frontier dominance-clean.
+func TestParetoDVFSLadderExtends(t *testing.T) {
+	space := DefaultSpace()
+	base := frontierFixture(t, nil, space)
+
+	ladder := DefaultSpace()
+	ladder.DVFSLadder = 6
+	cands, err := ladder.paretoCandidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := ladder.hetCandidates()
+	if len(cands) < len(grid) {
+		t.Fatalf("ladder candidates %d fewer than grid %d", len(cands), len(grid))
+	}
+	if !reflect.DeepEqual(cands[:len(grid)], grid) {
+		t.Fatal("ladder sweep must start with the exact selection grid (shared cache keys)")
+	}
+	seen := map[hetCandidate]bool{}
+	for _, c := range cands {
+		if seen[c] {
+			t.Fatalf("duplicate candidate %+v", c)
+		}
+		seen[c] = true
+	}
+
+	extended := frontierFixture(t, nil, ladder)
+	// Every base frontier point is still matched or dominated by the
+	// extended frontier — extras can only improve coverage.
+	for _, b := range base {
+		ok := false
+		for _, e := range extended {
+			if e.Estimate.Seconds <= b.Estimate.Seconds && e.Estimate.Energy <= b.Estimate.Energy {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("ladder frontier lost coverage of base point (%g,%g)",
+				b.Estimate.Seconds, b.Estimate.Energy)
+		}
+	}
+}
+
+// TestObjectiveParse: the wire names round-trip and junk is rejected.
+func TestObjectiveParse(t *testing.T) {
+	for _, o := range []Objective{ObjectiveED2, ObjectiveTimeUnderEnergyCap, ObjectiveEnergyUnderTimeCap} {
+		got, err := ParseObjective(o.String())
+		if err != nil || got != o {
+			t.Errorf("ParseObjective(%q) = %v, %v", o.String(), got, err)
+		}
+	}
+	if got, err := ParseObjective(""); err != nil || got != ObjectiveED2 {
+		t.Errorf("empty objective must default to ED², got %v, %v", got, err)
+	}
+	if _, err := ParseObjective("speed"); err == nil {
+		t.Error("junk objective accepted")
+	}
+	// Dual-objective constraints must carry their cap.
+	if err := (Constraint{}).Validate(ObjectiveTimeUnderEnergyCap); err == nil {
+		t.Error("time objective without an energy cap accepted")
+	}
+	if err := (Constraint{}).Validate(ObjectiveEnergyUnderTimeCap); err == nil {
+		t.Error("energy objective without a time cap accepted")
+	}
+	if err := (Constraint{MaxEnergy: math.NaN()}).Validate(ObjectiveED2); err == nil {
+		t.Error("NaN cap accepted")
+	}
+	if err := (Constraint{MaxSeconds: -1}).Validate(ObjectiveED2); err == nil {
+		t.Error("negative cap accepted")
+	}
+}

@@ -124,11 +124,66 @@ func (m *AlphaModel) ScaleFactors(period clock.Picos, vdd float64) (delta, sigma
 // step) at which the domain can run with period `period`, or an error when
 // even hi is insufficient.
 func (m *AlphaModel) MinVddFor(period clock.Picos, lo, hi, step float64) (float64, error) {
+	if err := CheckVddRange(lo, hi, step); err != nil {
+		return 0, err
+	}
 	f := period.GHz()
-	for v := lo; v <= hi+1e-9; v += step {
+	for i := 0; ; i++ {
+		v, ok := VddAt(lo, hi, step, i)
+		if !ok {
+			break
+		}
 		if _, err := m.VthFor(f, v); err == nil {
 			return v, nil
 		}
 	}
 	return 0, fmt.Errorf("power: period %v unreachable at Vdd ≤ %g V", period, hi)
+}
+
+// CheckVddRange validates a voltage sweep range: a degenerate range must
+// be a one-line error up front, not an infinite loop (step = 0), an empty
+// sweep (inverted bounds) or a silent zero-volt answer.
+func CheckVddRange(lo, hi, step float64) error {
+	switch {
+	case math.IsNaN(lo) || math.IsNaN(hi) || math.IsNaN(step):
+		return fmt.Errorf("power: voltage range [%g, %g] step %g contains NaN", lo, hi, step)
+	case step <= 0:
+		return fmt.Errorf("power: voltage step %g not positive", step)
+	case lo <= 0:
+		return fmt.Errorf("power: voltage range starts at %g V (must be positive)", lo)
+	case hi < lo:
+		return fmt.Errorf("power: voltage range [%g, %g] inverted", lo, hi)
+	}
+	return nil
+}
+
+// VddAt returns the i-th point of the voltage sweep grid over [lo, hi]
+// with the given step, and whether it is still inside the range (with the
+// historical 1e-9 slack on the upper bound). Grid point i is computed as
+// lo + i·step in one rounding — never by repeated accumulation, whose
+// drift made the chosen voltage (and everything cache-keyed off it)
+// depend on how many additions preceded it.
+func VddAt(lo, hi, step float64, i int) (float64, bool) {
+	v := lo + float64(i)*step
+	if v > hi+1e-9 {
+		return 0, false
+	}
+	return v, true
+}
+
+// VddGrid materializes the full voltage sweep grid over [lo, hi]; the
+// regression tests pin these points so the grid can never silently drift
+// again.
+func VddGrid(lo, hi, step float64) ([]float64, error) {
+	if err := CheckVddRange(lo, hi, step); err != nil {
+		return nil, err
+	}
+	var out []float64
+	for i := 0; ; i++ {
+		v, ok := VddAt(lo, hi, step, i)
+		if !ok {
+			return out, nil
+		}
+		out = append(out, v)
+	}
 }

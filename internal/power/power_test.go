@@ -2,6 +2,7 @@ package power
 
 import (
 	"math"
+	"strconv"
 	"testing"
 	"testing/quick"
 
@@ -275,5 +276,108 @@ func TestSigmaDeltaProperty(t *testing.T) {
 func TestED2(t *testing.T) {
 	if ED2(2, 3) != 18 {
 		t.Errorf("ED2(2,3) = %g", ED2(2, 3))
+	}
+}
+
+// TestVddGridPinned pins the default cluster voltage grid bit-for-bit.
+// These are the exact float64 values of lo + i·step; the old accumulated
+// sweep (v += step) drifted 16 of these 21 points by ULPs, which leaked
+// into chosen voltages, energies and cache keys. If this test ever fails,
+// the voltage grid changed — and with it every downstream estimate.
+func TestVddGridPinned(t *testing.T) {
+	grid, err := VddGrid(0.70, 1.20, 0.025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, 21)
+	for i := range want {
+		want[i] = 0.70 + float64(i)*0.025
+	}
+	if len(grid) != len(want) {
+		t.Fatalf("grid has %d points, want %d: %v", len(grid), len(want), grid)
+	}
+	for i, v := range grid {
+		if math.Float64bits(v) != math.Float64bits(want[i]) {
+			t.Errorf("grid[%d] = %b, want %b (exact bits)", i, v, want[i])
+		}
+	}
+	// The canonical representation must round-trip through %g without the
+	// trailing-digit noise the accumulated sweep produced (e.g.
+	// 0.9750000000000002): spot-check the points that used to drift.
+	for i, s := range map[int]string{11: "0.975", 16: "1.1"} {
+		if got := trimFloat(grid[i]); got != s {
+			t.Errorf("grid[%d] prints as %q, want %q", i, got, s)
+		}
+	}
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// TestVddGridUpperBoundSlack keeps the historical 1e-9 slack: a range
+// whose width is an exact multiple of the step must include the endpoint.
+func TestVddGridUpperBoundSlack(t *testing.T) {
+	grid, err := VddGrid(0.80, 1.10, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(grid); n != 7 {
+		t.Fatalf("grid has %d points, want 7: %v", n, grid)
+	}
+	if last := grid[len(grid)-1]; math.Abs(last-1.10) > 1e-9 {
+		t.Errorf("last grid point %v, want 1.10", last)
+	}
+}
+
+func TestCheckVddRange(t *testing.T) {
+	cases := []struct {
+		name         string
+		lo, hi, step float64
+		ok           bool
+	}{
+		{"valid", 0.7, 1.2, 0.025, true},
+		{"single-point", 1.0, 1.0, 0.025, true},
+		{"inverted", 1.2, 0.7, 0.025, false},
+		{"zero-step", 0.7, 1.2, 0, false},
+		{"negative-step", 0.7, 1.2, -0.01, false},
+		{"zero-lo", 0, 1.2, 0.025, false},
+		{"negative-lo", -0.5, 1.2, 0.025, false},
+		{"nan-lo", math.NaN(), 1.2, 0.025, false},
+		{"nan-hi", 0.7, math.NaN(), 0.025, false},
+		{"nan-step", 0.7, 1.2, math.NaN(), false},
+	}
+	for _, c := range cases {
+		err := CheckVddRange(c.lo, c.hi, c.step)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: error expected, got nil", c.name)
+		}
+	}
+	// A single-point range sweeps exactly one voltage.
+	grid, err := VddGrid(1.0, 1.0, 0.025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 1 || grid[0] != 1.0 {
+		t.Errorf("single-point grid = %v, want [1]", grid)
+	}
+}
+
+// TestMinVddForDegenerate: degenerate ranges must fail with a one-line
+// error, never loop forever or return 0 V.
+func TestMinVddForDegenerate(t *testing.T) {
+	m := DefaultAlphaModel()
+	if _, err := m.MinVddFor(clock.Picos(1000), 1.2, 0.7, 0.025); err == nil {
+		t.Error("inverted range: error expected")
+	}
+	if _, err := m.MinVddFor(clock.Picos(1000), 0.7, 1.2, 0); err == nil {
+		t.Error("zero step: error expected")
+	}
+	v, err := m.MinVddFor(clock.Picos(1000), 1.0, 1.0, 0.025)
+	if err != nil || v != 1.0 {
+		t.Errorf("single-point range: got (%v, %v), want (1, nil)", v, err)
 	}
 }

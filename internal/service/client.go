@@ -161,11 +161,57 @@ func (c *Client) Select(ctx context.Context, corpus []byte, o SelectOptions) (*S
 	if o.Dense {
 		q.Set("dense", "1")
 	}
+	if o.Objective != "" {
+		q.Set("objective", o.Objective)
+	}
+	setFloat(q, "max_energy", o.MaxEnergy)
+	setFloat(q, "max_seconds", o.MaxSeconds)
 	var out SelectResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/select", q, corpus, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Pareto uploads a corpus artifact and returns the non-dominated
+// energy/performance frontier of the design space for one benchmark.
+func (c *Client) Pareto(ctx context.Context, corpus []byte, o ParetoOptions) (*ParetoResponse, error) {
+	q := url.Values{}
+	if o.Bench != "" {
+		q.Set("bench", o.Bench)
+	}
+	setInt(q, "buses", o.Buses)
+	if o.Dense {
+		q.Set("dense", "1")
+	}
+	setInt(q, "ladder", o.DVFSLadder)
+	var out ParetoResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/pareto", q, corpus, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ParetoRaw uploads an encoded pareto request frame and returns the raw
+// encoded pareto result frame. Both are canonical binary artifacts, so —
+// like the batch frames — the returned bytes are comparable across
+// daemons and runs.
+func (c *Client) ParetoRaw(ctx context.Context, frame []byte) ([]byte, error) {
+	return c.rawPost(ctx, "/v1/pareto", frame)
+}
+
+// ParetoFrame computes a frontier from a self-contained request frame:
+// the typed front of ParetoRaw.
+func (c *Client) ParetoFrame(ctx context.Context, req *artifact.ParetoRequest) (*artifact.ParetoResult, error) {
+	data, err := c.ParetoRaw(ctx, artifact.EncodeParetoRequest(req))
+	if err != nil {
+		return nil, err
+	}
+	res, err := artifact.DecodeParetoResult(data)
+	if err != nil {
+		return nil, fmt.Errorf("service client: decode pareto result: %w", err)
+	}
+	return res, nil
 }
 
 // BatchRaw uploads an encoded batch request frame and returns the raw
@@ -174,7 +220,13 @@ func (c *Client) Select(ctx context.Context, corpus []byte, o SelectOptions) (*S
 // cluster and a single process answer the same request with identical
 // bytes (the shard smoke test does exactly this).
 func (c *Client) BatchRaw(ctx context.Context, frame []byte) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/batch", bytes.NewReader(frame))
+	return c.rawPost(ctx, "/v1/batch", frame)
+}
+
+// rawPost posts an encoded binary frame and returns the raw response
+// bytes (frame in, frame out — /v1/batch and /v1/pareto).
+func (c *Client) rawPost(ctx context.Context, path string, frame []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(frame))
 	if err != nil {
 		return nil, fmt.Errorf("service client: %w", err)
 	}
@@ -284,5 +336,14 @@ func setInt(q url.Values, name string, v int) {
 func setInt64(q url.Values, name string, v int64) {
 	if v > 0 {
 		q.Set(name, strconv.FormatInt(v, 10))
+	}
+}
+
+// setFloat sets a positive float parameter (zero = unset). The shortest
+// round-trip formatting keeps the query — and therefore the server's
+// request cache key — canonical for a given value.
+func setFloat(q url.Values, name string, v float64) {
+	if v > 0 {
+		q.Set(name, strconv.FormatFloat(v, 'g', -1, 64))
 	}
 }

@@ -1,0 +1,134 @@
+// The /v1/pareto job: the full non-dominated energy/performance set of
+// the design space for one benchmark, computed as one memoised sweep on
+// the shared exploration engine. The endpoint accepts either a corpus
+// artifact (options as query parameters, JSON response) or a
+// self-contained artifact.ParetoRequest frame (binary response), mirroring
+// the /v1/batch split between JSON endpoints and canonical binary frames.
+
+package service
+
+import (
+	"context"
+	"net/url"
+
+	"repro/internal/artifact"
+	"repro/internal/confsel"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+)
+
+// paretoRequest resolves the corpus and sweep options of a /v1/pareto
+// request from either accepted body form. binaryOut reports whether the
+// response must be the binary result frame (frame in, frame out).
+func paretoRequest(body []byte, q url.Values) (req *artifact.ParetoRequest, binaryOut bool, err error) {
+	frame := false
+	if kind, ok := artifact.BinaryKind(body); ok {
+		frame = kind == artifact.KindParetoRequest
+	} else {
+		frame = artifact.JSONKind(body) == artifact.KindParetoRequest
+	}
+	if frame {
+		// Self-contained frame: every option rides in the body. Query
+		// options would silently disagree with it, so they are rejected.
+		for _, name := range [...]string{"bench", "buses", "dense", "ladder"} {
+			if q.Get(name) != "" {
+				return nil, false, badRequest("option %s must be set in the pareto request frame, not the query", name)
+			}
+		}
+		req, err := artifact.DecodeParetoRequest(body)
+		if err != nil {
+			return nil, false, badRequest("bad pareto request frame: %s", firstLine(err.Error()))
+		}
+		return req, artifact.IsBinary(body), nil
+	}
+	c, err := decodeCorpusBody(body)
+	if err != nil {
+		return nil, false, err
+	}
+	req = &artifact.ParetoRequest{Corpus: c, Bench: q.Get("bench")}
+	if req.Buses, err = intParam(q, "buses", 1); err != nil {
+		return nil, false, err
+	}
+	req.Dense = q.Get("dense") == "1" || q.Get("dense") == "true"
+	if req.DVFSLadder, err = intParam(q, "ladder", 0); err != nil {
+		return nil, false, err
+	}
+	if req.Buses < 1 {
+		return nil, false, badRequest("buses %d out of range (want ≥ 1)", req.Buses)
+	}
+	if req.DVFSLadder < 0 {
+		return nil, false, badRequest("ladder %d out of range (want ≥ 0)", req.DVFSLadder)
+	}
+	return req, false, nil
+}
+
+// runPareto computes the frontier for one benchmark of the corpus.
+func (s *Server) runPareto(ctx context.Context, body []byte, q url.Values) (any, error) {
+	req, binaryOut, err := paretoRequest(body, q)
+	if err != nil {
+		return nil, err
+	}
+	c := req.Corpus
+	if len(c.Benchmarks) == 0 {
+		return nil, badRequest("corpus %q has no benchmarks", c.Name)
+	}
+	bench := req.Bench
+	if bench == "" {
+		bench = c.Benchmarks[0].Name
+	}
+	buses := req.Buses
+	if buses == 0 {
+		buses = 1
+	}
+	opts := pipeline.Options{
+		Buses:       buses,
+		EnergyAware: true,
+		Corpus:      artifact.NewCorpusSource(c),
+		Parallelism: s.cfg.Parallelism,
+		Engine:      s.eng,
+	}
+	ref, err := pipeline.BuildReferenceCtx(ctx, bench, opts)
+	if err != nil {
+		return nil, evalError(err)
+	}
+	cal, err := power.Calibrate(ref.Arch, ref.Profile.RefCounts, power.DefaultFractions())
+	if err != nil {
+		return nil, evalError(err)
+	}
+	space := confsel.DefaultSpace()
+	if req.Dense {
+		space = confsel.DenseSpace()
+	}
+	space.DVFSLadder = req.DVFSLadder
+	frontier, err := confsel.ParetoFrontier(ctx, s.eng, ref.Arch, ref.Profile, cal,
+		power.DefaultAlphaModel(), space)
+	if err != nil {
+		return nil, evalError(err)
+	}
+	points := make([]artifact.ParetoPoint, len(frontier))
+	for i, sel := range frontier {
+		points[i] = artifact.ParetoPoint{
+			FastPeriodPs: int64(sel.FastPeriod),
+			SlowPeriodPs: int64(sel.SlowPeriod),
+			VddByDomain:  append([]float64(nil), sel.Clock.Vdd...),
+			Seconds:      sel.Estimate.Seconds,
+			Energy:       sel.Estimate.Energy,
+			ED2:          sel.Estimate.ED2,
+		}
+	}
+	corpusSHA := c.Hash().Hex()
+	if binaryOut {
+		return rawBody(artifact.EncodeParetoResult(&artifact.ParetoResult{
+			Corpus:    c.Name,
+			CorpusSHA: corpusSHA,
+			Bench:     bench,
+			Points:    points,
+		})), nil
+	}
+	return &ParetoResponse{
+		Corpus:    c.Name,
+		CorpusSHA: corpusSHA,
+		Bench:     bench,
+		Points:    points,
+	}, nil
+}

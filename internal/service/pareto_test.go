@@ -1,0 +1,249 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/artifact"
+)
+
+// TestParetoEndpoint exercises /v1/pareto end to end: a mixed-family
+// corpus yields a dominance-clean, sorted frontier that contains the
+// plain min-ED² selection.
+func TestParetoEndpoint(t *testing.T) {
+	_, client := newTestEnv(t, Config{Parallelism: 4})
+	ctx := context.Background()
+	corpus := mixedCorpus(t, 2)
+	body := artifact.EncodeCorpus(corpus)
+	bench := corpus.Benchmarks[0].Name
+
+	resp, err := client.Pareto(ctx, body, ParetoOptions{Bench: bench})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Bench != bench || resp.Corpus != corpus.Name || resp.CorpusSHA != corpus.Hash().Hex() {
+		t.Errorf("identity fields wrong: %+v", resp)
+	}
+	if len(resp.Points) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for i, p := range resp.Points {
+		if p.Seconds <= 0 || p.Energy <= 0 || p.ED2 <= 0 {
+			t.Errorf("point %d has non-positive estimates: %+v", i, p)
+		}
+		if i > 0 {
+			prev := resp.Points[i-1]
+			if p.Seconds <= prev.Seconds || p.Energy >= prev.Energy {
+				t.Errorf("points %d..%d not a sorted frontier", i-1, i)
+			}
+		}
+	}
+	// The plain selection minimizes ED² over the same grid, so its
+	// (time, energy) point must be on the frontier.
+	sel, err := client.Select(ctx, body, SelectOptions{Bench: bench})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range resp.Points {
+		if p.Seconds == sel.Het.Estimate.Seconds && p.Energy == sel.Het.Estimate.Energy {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("min-ED² selection (%g s, %g) not on the frontier",
+			sel.Het.Estimate.Seconds, sel.Het.Estimate.Energy)
+	}
+}
+
+// TestParetoDeterministicAcrossWorkers: the frontier response is
+// byte-identical at every parallelism level, with and without DVFS-ladder
+// extras.
+func TestParetoDeterministicAcrossWorkers(t *testing.T) {
+	body := artifact.EncodeCorpus(mixedCorpus(t, 2))
+	post := func(client *Client, q string) []byte {
+		t.Helper()
+		resp, err := http.Post(client.base+"/v1/pareto"+q, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("HTTP %d: %s", resp.StatusCode, data)
+		}
+		return data
+	}
+	_, c1 := newTestEnv(t, Config{Parallelism: 1})
+	_, c8 := newTestEnv(t, Config{Parallelism: 8})
+	for _, q := range []string{"", "?ladder=4"} {
+		if a, b := post(c1, q), post(c8, q); !bytes.Equal(a, b) {
+			t.Errorf("frontier %q differs across worker counts:\n1: %s\n8: %s", q, a, b)
+		}
+	}
+}
+
+// TestParetoFrameEndpoint: a self-contained binary request frame gets a
+// canonical binary result frame with the same content as the JSON form.
+func TestParetoFrameEndpoint(t *testing.T) {
+	_, client := newTestEnv(t, Config{Parallelism: 4})
+	ctx := context.Background()
+	corpus := mixedCorpus(t, 2)
+	bench := corpus.Benchmarks[0].Name
+
+	res, err := client.ParetoFrame(ctx, &artifact.ParetoRequest{Corpus: corpus, Bench: bench})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonResp, err := client.Pareto(ctx, artifact.EncodeCorpus(corpus), ParetoOptions{Bench: bench})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bench != jsonResp.Bench || res.CorpusSHA != jsonResp.CorpusSHA ||
+		len(res.Points) != len(jsonResp.Points) {
+		t.Fatalf("frame and JSON responses disagree:\nframe %+v\njson  %+v", res, jsonResp)
+	}
+	for i := range res.Points {
+		a, b := res.Points[i], jsonResp.Points[i]
+		if a.Seconds != b.Seconds || a.Energy != b.Energy || a.FastPeriodPs != b.FastPeriodPs {
+			t.Errorf("point %d differs: frame %+v json %+v", i, a, b)
+		}
+	}
+	// Frame mode rejects conflicting query options with a one-line 400.
+	frame := artifact.EncodeParetoRequest(&artifact.ParetoRequest{Corpus: corpus})
+	resp, err := http.Post(client.base+"/v1/pareto?dense=1", "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("frame with query options: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestParetoWarmCacheHitOnly: the acceptance check — a repeated frontier
+// query is served entirely from the engine's memoisation (0 new misses).
+func TestParetoWarmCacheHitOnly(t *testing.T) {
+	srv, client := newTestEnv(t, Config{Parallelism: 4})
+	ctx := context.Background()
+	body := artifact.EncodeCorpus(mixedCorpus(t, 2))
+
+	if _, err := client.Pareto(ctx, body, ParetoOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	cold := srv.Engine().Stats()
+	if _, err := client.Pareto(ctx, body, ParetoOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	warm := srv.Engine().Stats()
+	if d := warm.Misses - cold.Misses; d != 0 {
+		t.Errorf("warm frontier query took %d engine misses, want 0", d)
+	}
+	if warm.Hits == cold.Hits {
+		t.Error("warm frontier query hit the engine cache 0 times")
+	}
+}
+
+// TestSelectConstrained: constrained /v1/select answers respect their
+// caps, lie on the /v1/pareto frontier, and malformed constraints are
+// one-line 400s.
+func TestSelectConstrained(t *testing.T) {
+	_, client := newTestEnv(t, Config{Parallelism: 4})
+	ctx := context.Background()
+	corpus := mixedCorpus(t, 2)
+	body := artifact.EncodeCorpus(corpus)
+	bench := corpus.Benchmarks[0].Name
+
+	frontier, err := client.Pareto(ctx, body, ParetoOptions{Bench: bench})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onFrontier := func(s SelectionJSON) bool {
+		for _, p := range frontier.Points {
+			if p.Seconds == s.Estimate.Seconds && p.Energy == s.Estimate.Energy {
+				return true
+			}
+		}
+		return false
+	}
+	// Pick caps that admit part of the frontier.
+	mid := frontier.Points[len(frontier.Points)/2]
+
+	fast, err := client.Select(ctx, body, SelectOptions{
+		Bench: bench, Objective: "time", MaxEnergy: mid.Energy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Objective != "time" || fast.MaxEnergy != mid.Energy {
+		t.Errorf("constrained response did not echo the constraint: %+v", fast)
+	}
+	if fast.Het.Estimate.Energy > mid.Energy {
+		t.Errorf("energy cap violated: %g > %g", fast.Het.Estimate.Energy, mid.Energy)
+	}
+	if !onFrontier(fast.Het) {
+		t.Errorf("time-objective answer (%g s, %g) not on the frontier",
+			fast.Het.Estimate.Seconds, fast.Het.Estimate.Energy)
+	}
+
+	cheap, err := client.Select(ctx, body, SelectOptions{
+		Bench: bench, Objective: "energy", MaxSeconds: mid.Seconds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheap.Het.Estimate.Seconds > mid.Seconds {
+		t.Errorf("time cap violated: %g > %g", cheap.Het.Estimate.Seconds, mid.Seconds)
+	}
+	if !onFrontier(cheap.Het) {
+		t.Errorf("energy-objective answer (%g s, %g) not on the frontier",
+			cheap.Het.Estimate.Seconds, cheap.Het.Estimate.Energy)
+	}
+
+	// An impossible cap decodes but admits nothing: 422, not 400/500.
+	if _, err := client.Select(ctx, body, SelectOptions{
+		Bench: bench, Objective: "time", MaxEnergy: 1e-12,
+	}); err == nil || !strings.Contains(err.Error(), "HTTP 422") {
+		t.Errorf("impossible cap: got %v, want HTTP 422", err)
+	}
+
+	// Malformed constraints: one-line 400s, never clamped or guessed.
+	for _, q := range []string{
+		"objective=bogus",
+		"objective=time",   // missing its energy cap
+		"objective=energy", // missing its time cap
+		"max_energy=NaN",
+		"max_energy=-5",
+		"max_seconds=+Inf",
+		"max_seconds=0",
+		"buses=-1",
+	} {
+		resp, err := http.Post(client.base+"/v1/select?"+q, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400 (%s)", q, resp.StatusCode, data)
+		}
+		if n := bytes.Count(bytes.TrimSpace(data), []byte("\n")); n != 0 {
+			t.Errorf("%s: error body is not one line: %q", q, data)
+		}
+	}
+
+	// Unconstrained responses carry no constraint fields — the JSON stays
+	// byte-compatible with pre-constraint servers.
+	plain, err := client.Select(ctx, body, SelectOptions{Bench: bench})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Objective != "" || plain.MaxEnergy != 0 || plain.MaxSeconds != 0 {
+		t.Errorf("unconstrained response carries constraint fields: %+v", plain)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -181,6 +182,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/evaluate", s.jobHandler("evaluate", s.runEvaluate))
 	s.mux.HandleFunc("POST /v1/suite", s.jobHandler("suite", s.runSuite))
 	s.mux.HandleFunc("POST /v1/select", s.jobHandler("select", s.runSelect))
+	s.mux.HandleFunc("POST /v1/pareto", s.jobHandler("pareto", s.runPareto))
 	s.mux.HandleFunc("POST /v1/batch", s.jobHandler("batch", s.runBatch))
 	return s, nil
 }
@@ -457,6 +459,22 @@ func intParam(q url.Values, name string, def int) (int, error) {
 	v, err := strconv.Atoi(raw)
 	if err != nil {
 		return 0, badRequest("invalid %s %q", name, raw)
+	}
+	return v, nil
+}
+
+// capParam parses an optional positive-finite float query parameter (a
+// constraint cap). Absent means 0 (no cap); NaN, infinities and
+// non-positive values are a one-line 400 — a cap that admits nothing (or
+// everything) is a client mistake, never silently normalized.
+func capParam(q url.Values, name string) (float64, error) {
+	raw := q.Get(name)
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		return 0, badRequest("invalid %s %q (want a positive finite number)", name, raw)
 	}
 	return v, nil
 }
@@ -745,6 +763,28 @@ func (s *Server) runSelect(ctx context.Context, body []byte, q url.Values) (any,
 	if err != nil {
 		return nil, err
 	}
+	if buses < 1 {
+		return nil, badRequest("buses %d out of range (want ≥ 1)", buses)
+	}
+	// Constrained mode: an objective or a cap switches the heterogeneous
+	// selection to SelectConstrainedCtx. Malformed constraints (unknown
+	// objective, NaN/negative caps, a dual objective missing its cap) are
+	// one-line 400s before any computation.
+	obj, err := confsel.ParseObjective(q.Get("objective"))
+	if err != nil {
+		return nil, badRequest("%s", firstLine(err.Error()))
+	}
+	cons := confsel.Constraint{}
+	if cons.MaxEnergy, err = capParam(q, "max_energy"); err != nil {
+		return nil, err
+	}
+	if cons.MaxSeconds, err = capParam(q, "max_seconds"); err != nil {
+		return nil, err
+	}
+	constrained := obj != confsel.ObjectiveED2 || cons != (confsel.Constraint{})
+	if err := cons.Validate(obj); err != nil {
+		return nil, badRequest("%s", firstLine(err.Error()))
+	}
 	opts := pipeline.Options{
 		Buses:       buses,
 		EnergyAware: true,
@@ -769,16 +809,27 @@ func (s *Server) runSelect(ctx context.Context, body []byte, q url.Values) (any,
 	if err != nil {
 		return nil, evalError(err)
 	}
-	het, err := confsel.SelectHeterogeneousCtx(ctx, s.eng, ref.Arch, ref.Profile, cal, model, space)
+	var het *confsel.Selection
+	if constrained {
+		het, err = confsel.SelectConstrainedCtx(ctx, s.eng, ref.Arch, ref.Profile, cal, model, space, obj, cons)
+	} else {
+		het, err = confsel.SelectHeterogeneousCtx(ctx, s.eng, ref.Arch, ref.Profile, cal, model, space)
+	}
 	if err != nil {
 		return nil, evalError(err)
 	}
-	return &SelectResponse{
+	resp := &SelectResponse{
 		Corpus: c.Name,
 		Bench:  bench,
 		Hom:    selectionJSON(hom),
 		Het:    selectionJSON(het),
-	}, nil
+	}
+	if constrained {
+		resp.Objective = obj.String()
+		resp.MaxEnergy = cons.MaxEnergy
+		resp.MaxSeconds = cons.MaxSeconds
+	}
+	return resp, nil
 }
 
 // selectionJSON extracts the serializable core of a selection.

@@ -127,15 +127,58 @@ type SelectOptions struct {
 	Buses int
 	// Dense sweeps the dense design-space grid.
 	Dense bool
+	// Objective picks the constrained selection mode ("" or "ed2" = the
+	// paper's min-ED² selection; "time" = fastest under the energy cap;
+	// "energy" = cheapest under the time cap).
+	Objective string
+	// MaxEnergy caps estimated energy (model units, 0 = no cap);
+	// MaxSeconds caps estimated execution time (seconds, 0 = no cap).
+	// Either cap constrains any objective; the dual objectives require
+	// their cap.
+	MaxEnergy  float64
+	MaxSeconds float64
 }
 
 // SelectResponse is the response of POST /v1/select: the Section 3
 // configuration selections for one benchmark of the uploaded corpus.
+// The constrained-mode fields echo the request and are omitted on plain
+// selections, so unconstrained responses are byte-identical to servers
+// without constrained modes.
 type SelectResponse struct {
 	Corpus string        `json:"corpus"`
 	Bench  string        `json:"bench"`
 	Hom    SelectionJSON `json:"hom"`
 	Het    SelectionJSON `json:"het"`
+
+	Objective  string  `json:"objective,omitempty"`
+	MaxEnergy  float64 `json:"max_energy,omitempty"`
+	MaxSeconds float64 `json:"max_seconds,omitempty"`
+}
+
+// ParetoOptions configures POST /v1/pareto (the query-parameter form; a
+// self-contained artifact.ParetoRequest frame carries the same options
+// in its body).
+type ParetoOptions struct {
+	// Bench names the benchmark to sweep ("" = first in the corpus).
+	Bench string
+	// Buses is the number of register buses (default 1).
+	Buses int
+	// Dense sweeps the dense design-space grid.
+	Dense bool
+	// DVFSLadder adds this many per-cluster DVFS rungs from the
+	// generated-clock ladders to the sweep (0 = the plain selection grid).
+	DVFSLadder int
+}
+
+// ParetoResponse is the JSON response of POST /v1/pareto: the
+// non-dominated (time, energy) set of the design space for one benchmark,
+// sorted by execution time ascending (energy strictly descending). The
+// binary form is the artifact.ParetoResult frame with identical content.
+type ParetoResponse struct {
+	Corpus    string                 `json:"corpus"`
+	CorpusSHA string                 `json:"corpus_sha256"`
+	Bench     string                 `json:"bench"`
+	Points    []artifact.ParetoPoint `json:"points"`
 }
 
 // Health is the response of GET /v1/healthz.
