@@ -255,6 +255,50 @@ func BenchmarkParetoSweep(b *testing.B) {
 	})
 }
 
+// BenchmarkSelectSweep measures plain min-ED² selection over the dense
+// design-space grid (169 candidates — the workload bound-guided pruning
+// targets: most of the grid is provably dominated and never evaluated).
+// Cold runs on a fresh engine each iteration; warm repeats against the
+// primed shared engine and must take zero engine misses (enforced).
+func BenchmarkSelectSweep(b *testing.B) {
+	shared := explore.New(0)
+	opts := pipeline.Options{Buses: 1, LoopsPerBenchmark: 6, EnergyAware: true, Engine: shared}
+	ref, err := pipeline.BuildReference("swim", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cal, err := power.Calibrate(ref.Arch, ref.Profile.RefCounts, power.DefaultFractions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := power.DefaultAlphaModel()
+	space := confsel.DenseSpace()
+	ctx := context.Background()
+	if _, err := confsel.SelectHeterogeneousCtx(ctx, shared, ref.Arch, ref.Profile, cal, model, space); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := explore.New(0)
+			if _, err := confsel.SelectHeterogeneousCtx(ctx, eng, ref.Arch, ref.Profile, cal, model, space); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pre := shared.Stats().Misses
+			if _, err := confsel.SelectHeterogeneousCtx(ctx, shared, ref.Arch, ref.Profile, cal, model, space); err != nil {
+				b.Fatal(err)
+			}
+			if post := shared.Stats().Misses; post != pre {
+				b.Fatalf("warm sweep recomputed %d results", post-pre)
+			}
+		}
+	})
+}
+
 // BenchmarkExploreDenseGrid sweeps the ~8× denser scenario grid on a
 // shared engine — the workload the engine exists for: candidates overlap
 // heavily in their per-loop analyses, so the denser grid costs far less

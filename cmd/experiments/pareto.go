@@ -35,6 +35,8 @@ func paretoCmd(args []string) {
 	dense := fs.Bool("dense", false, "sweep the dense design-space grid")
 	ladder := fs.Int("ladder", 0, "extra per-cluster DVFS rungs from the clock generator ladder (0 = selection grid only)")
 	par := fs.Int("par", 0, "worker parallelism (0 = NumCPU)")
+	effort := fs.Int("effort", 0, "anytime schedule-refinement budget, 0-9 (0 = baseline IMS)")
+	noPrune := fs.Bool("no-prune", false, "disable bound-guided sweep pruning (debugging; the frontier is identical either way)")
 	cacheDir := fs.String("cache-dir", "", "disk-persistent cache directory (shared with run)")
 	server := fs.String("server", "", "sweep through the hetvliwd daemon at this base URL instead of locally")
 	csvOut := fs.String("csv", "", "write the frontier as CSV to this file (\"-\" = stdout) instead of the table")
@@ -56,13 +58,14 @@ func paretoCmd(args []string) {
 	var res *artifact.ParetoResult
 	if *server != "" {
 		resp, err := service.NewClient(*server).Pareto(context.Background(), artifact.EncodeCorpus(c),
-			service.ParetoOptions{Bench: *bench, Buses: *buses, Dense: *dense, DVFSLadder: *ladder})
+			service.ParetoOptions{Bench: *bench, Buses: *buses, Dense: *dense, DVFSLadder: *ladder,
+				Effort: *effort, NoPrune: *noPrune})
 		exitOn(err)
 		res = &artifact.ParetoResult{
 			Corpus: resp.Corpus, CorpusSHA: resp.CorpusSHA, Bench: resp.Bench, Points: resp.Points,
 		}
 	} else {
-		r, err := localFrontier(c, *bench, *buses, *par, *ladder, *dense, *cacheDir)
+		r, err := localFrontier(c, *bench, *buses, *par, *ladder, *effort, *dense, *noPrune, *cacheDir)
 		exitOn(err)
 		res = r
 	}
@@ -86,7 +89,7 @@ func paretoCmd(args []string) {
 
 // localFrontier computes the frontier in-process, exactly as the daemon
 // would (same pipeline options, same sweep).
-func localFrontier(c *artifact.Corpus, bench string, buses, par, ladder int, dense bool,
+func localFrontier(c *artifact.Corpus, bench string, buses, par, ladder, effort int, dense, noPrune bool,
 	cacheDir string) (*artifact.ParetoResult, error) {
 	if len(c.Benchmarks) == 0 {
 		return nil, fmt.Errorf("corpus %q has no benchmarks", c.Name)
@@ -101,11 +104,16 @@ func localFrontier(c *artifact.Corpus, bench string, buses, par, ladder int, den
 	opts := pipeline.Options{
 		Buses:       buses,
 		EnergyAware: true,
+		Effort:      effort,
 		Corpus:      artifact.NewCorpusSource(c),
 		Parallelism: par,
 		Engine:      eng,
 	}
-	ref, err := pipeline.BuildReferenceCtx(context.Background(), bench, opts)
+	ctx := context.Background()
+	if noPrune {
+		ctx = confsel.WithoutPruning(ctx)
+	}
+	ref, err := pipeline.BuildReferenceCtx(ctx, bench, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +126,7 @@ func localFrontier(c *artifact.Corpus, bench string, buses, par, ladder int, den
 		space = confsel.DenseSpace()
 	}
 	space.DVFSLadder = ladder
-	front, err := confsel.ParetoFrontier(context.Background(), eng, ref.Arch, ref.Profile, cal,
+	front, err := confsel.ParetoFrontier(ctx, eng, ref.Arch, ref.Profile, cal,
 		power.DefaultAlphaModel(), space)
 	if err != nil {
 		return nil, err

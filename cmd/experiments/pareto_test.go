@@ -23,7 +23,7 @@ func tinyCorpus(t *testing.T) *artifact.Corpus {
 
 func TestLocalFrontierAndRendering(t *testing.T) {
 	c := tinyCorpus(t)
-	res, err := localFrontier(c, "", 1, 2, 0, false, "")
+	res, err := localFrontier(c, "", 1, 2, 0, 0, false, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -54,6 +54,7 @@ func main() {
 	self := flag.String("self", "", "this shard's own base URL (required with -peers/-peers-file)")
 	peerTimeout := flag.Duration("peer-timeout", 0, "bound on each peer call (0 = default 10s)")
 	maxEffort := flag.Int("max-effort", 0, "cap on per-request ?effort= refinement budgets (0 = library default)")
+	noPrune := flag.Bool("no-prune", false, "disable bound-guided sweep pruning on /v1/select and /v1/pareto (debugging; results are identical either way)")
 	flag.Parse()
 
 	peerList, err := cluster.ParsePeers(*peers, *peersFile)
@@ -71,6 +72,7 @@ func main() {
 		Self:        *self,
 		PeerTimeout: *peerTimeout,
 		MaxEffort:   *maxEffort,
+		NoPrune:     *noPrune,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hetvliwd:", err)

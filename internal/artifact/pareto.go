@@ -37,6 +37,11 @@ type ParetoRequest struct {
 	// DVFSLadder is the number of extra DVFS rungs per cluster (0 = the
 	// plain selection grid).
 	DVFSLadder int
+	// Effort is the anytime schedule-refinement budget applied to the
+	// reference build (0 = baseline IMS). Encoded as a trailing field only
+	// when nonzero, so effortless requests are byte-identical to frames
+	// from before the field existed.
+	Effort int
 }
 
 // validate rejects option values no handler accepts, so a decoded
@@ -47,6 +52,9 @@ func (req *ParetoRequest) validate() error {
 	}
 	if req.DVFSLadder < 0 {
 		return fmt.Errorf("artifact: pareto request: DVFS ladder %d negative", req.DVFSLadder)
+	}
+	if req.Effort < 0 {
+		return fmt.Errorf("artifact: pareto request: effort %d negative", req.Effort)
 	}
 	return nil
 }
@@ -83,6 +91,9 @@ func EncodeParetoRequest(req *ParetoRequest) []byte {
 		w.Uint(0)
 	}
 	w.Int(int64(req.DVFSLadder))
+	if req.Effort != 0 {
+		w.Int(int64(req.Effort))
+	}
 	return w.Bytes()
 }
 
@@ -107,6 +118,9 @@ func DecodeParetoRequest(data []byte) (*ParetoRequest, error) {
 		Dense:  r.Uint() != 0,
 	}
 	req.DVFSLadder = int(r.Int())
+	if r.Remaining() > 0 {
+		req.Effort = int(r.Int())
+	}
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
@@ -122,6 +136,7 @@ type paretoRequestJSON struct {
 	Buses      int        `json:"buses,omitempty"`
 	Dense      bool       `json:"dense,omitempty"`
 	DVFSLadder int        `json:"dvfs_ladder,omitempty"`
+	Effort     int        `json:"effort,omitempty"`
 }
 
 // EncodeParetoRequestJSON encodes a Pareto request as indented JSON.
@@ -133,7 +148,7 @@ func EncodeParetoRequestJSON(req *ParetoRequest) ([]byte, error) {
 	return json.MarshalIndent(paretoRequestJSON{
 		Artifact: KindParetoRequest, Version: Version,
 		Corpus: cj, Bench: req.Bench, Buses: req.Buses,
-		Dense: req.Dense, DVFSLadder: req.DVFSLadder,
+		Dense: req.Dense, DVFSLadder: req.DVFSLadder, Effort: req.Effort,
 	}, "", "  ")
 }
 
@@ -155,7 +170,7 @@ func DecodeParetoRequestJSON(data []byte) (*ParetoRequest, error) {
 	}
 	req := &ParetoRequest{
 		Corpus: c, Bench: j.Bench, Buses: j.Buses,
-		Dense: j.Dense, DVFSLadder: j.DVFSLadder,
+		Dense: j.Dense, DVFSLadder: j.DVFSLadder, Effort: j.Effort,
 	}
 	return req, req.validate()
 }

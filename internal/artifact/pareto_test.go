@@ -32,6 +32,64 @@ func TestParetoRequestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestParetoRequestEffortField: Effort rides as a trailing varint written
+// only when nonzero, so effort-0 frames are byte-identical to frames from
+// servers and clients that predate the field — and those old frames still
+// decode as Effort 0.
+func TestParetoRequestEffortField(t *testing.T) {
+	req := sampleParetoRequest(t)
+	req.Effort = 0
+	fieldless := EncodeParetoRequest(req)
+
+	withEffort := *req
+	withEffort.Effort = 5
+	enc := EncodeParetoRequest(&withEffort)
+	if len(enc) <= len(fieldless) {
+		t.Fatalf("effort-5 frame (%d bytes) not longer than fieldless (%d)", len(enc), len(fieldless))
+	}
+	dec, err := DecodeParetoRequest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Effort != 5 {
+		t.Errorf("Effort round-tripped as %d, want 5", dec.Effort)
+	}
+	old, err := DecodeParetoRequest(fieldless)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Effort != 0 {
+		t.Errorf("fieldless frame decoded Effort=%d, want 0", old.Effort)
+	}
+
+	withEffort.Effort = -1
+	if _, err := DecodeParetoRequest(EncodeParetoRequest(&withEffort)); err == nil ||
+		!strings.Contains(err.Error(), "effort") {
+		t.Errorf("negative effort accepted (err %v)", err)
+	}
+
+	// JSON: effort omits at zero, round-trips when set.
+	j, err := EncodeParetoRequestJSON(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(j), `"effort"`) {
+		t.Error("effort-0 JSON carries an effort key")
+	}
+	withEffort.Effort = 5
+	j, err = EncodeParetoRequestJSON(&withEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jd, err := DecodeParetoRequest(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jd.Effort != 5 {
+		t.Errorf("JSON Effort round-tripped as %d, want 5", jd.Effort)
+	}
+}
+
 // TestParetoResultRoundTrip: both wire forms reconstruct every point.
 func TestParetoResultRoundTrip(t *testing.T) {
 	res := sampleParetoResult()

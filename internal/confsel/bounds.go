@@ -1,0 +1,600 @@
+// Branch-and-bound layer over the selection sweeps. The exhaustive grid
+// sweep of SelectHeterogeneous/SelectConstrained/ParetoFrontier prices
+// every candidate with the full Section 3 models through the exploration
+// engine — per-loop plain and demand MITs (each a digest + cache lookup
+// + analysis), then a voltage-ladder optimization per domain — even when
+// the candidate provably cannot beat the incumbent or land on the
+// frontier. This file computes, per candidate, engine-free lower bounds
+// on D and E that are tight enough to prune with, and drives the sweep
+// best-bound-first in deterministic waves.
+//
+// The D bound is exact, not merely sound. The demand MIT's feasibility
+// conditions (resource slots, bus slots, register lifetimes) are each
+// monotone in the initiation time, so the binary-searched demand MIT
+// decomposes as max(plain MIT, bus bound, lifetime bound) with the two
+// demand terms in closed form: floor(it/τ_ICN)·buses ≥ comms ⟺ it ≥
+// τ_ICN·⌈comms/buses⌉ and it·regs ≥ lifetime ⟺ it ≥ ⌈lifetime/regs⌉.
+// boundFor computes the plain MITs directly (mii.Compute is cheap; the
+// engine's value is memoisation of the digesting, which a bound must
+// not pay) and then mirrors estimateD's float expressions term by term,
+// so the bound's d equals the model's D bit for bit.
+//
+// The E bound reuses the per-domain ladder minimization itself: for each
+// domain it takes the minimum of dyn·δ + stat·d·σ over the feasible
+// ladder entries — exactly the objective OptimizeVoltages minimizes, at
+// the exact d — and sums the domains. Only the summation grouping
+// differs from Calibration.Energy, so the bound carries a 1e-9 relative
+// safety margin, orders of magnitude above any regrouping drift.
+//
+// Exactness of the results is non-negotiable: pruning must never change
+// the selected configuration, the frontier set, or a tie-break. Three
+// properties guarantee it. First, every bound is ≤ the value the full
+// evaluation computes (above). Second, every prune comparison is
+// strict, so bound-equal candidates are still evaluated and tie-breaks
+// are untouched. Third, prune decisions read only an incumbent frozen
+// at wave barriers: candidates are dispatched in fixed doubling-size
+// waves and results fold into the frozen incumbent between waves, which
+// makes the evaluated candidate set — and therefore the engine's miss
+// pattern and the Pruned/BoundHits counters — a pure function of
+// (space, profile), independent of worker count. A repeat pruned sweep
+// is still 0-miss warm, and cache keys are untouched, so pruned and
+// exhaustive runs share durable entries for every candidate both
+// evaluate.
+package confsel
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/clock"
+	"repro/internal/explore"
+	"repro/internal/machine"
+	"repro/internal/mii"
+	"repro/internal/power"
+)
+
+// boundSafety is the relative margin applied to energy lower bounds,
+// whose float summation grouping differs from Calibration.Energy's. The
+// true grouping drift is ~1e-15 relative; 1e-9 leaves six orders of
+// magnitude of slack while costing essentially no pruning power.
+const boundSafety = 1 - 1e-9
+
+// pruneWaveInit is the first wave's candidate count; waves double so a
+// strong incumbent forms cheaply even on the 20-point default grid.
+const pruneWaveInit = 4
+
+// noPruneKey marks a context whose sweeps must evaluate exhaustively.
+type noPruneKey struct{}
+
+// WithoutPruning returns a context under which the selection sweeps
+// evaluate every candidate exhaustively, bypassing the branch-and-bound
+// layer — the `-no-prune` / `?prune=0` debugging escape hatch. Results
+// are identical either way (pruning is exact); only the work differs.
+func WithoutPruning(ctx context.Context) context.Context {
+	return context.WithValue(ctx, noPruneKey{}, true)
+}
+
+// PruningDisabled reports whether WithoutPruning applies to ctx.
+func PruningDisabled(ctx context.Context) bool {
+	v, _ := ctx.Value(noPruneKey{}).(bool)
+	return v
+}
+
+// PruneStats collects the bound-guided sweep counters of one request
+// when installed with WithPruneStats. Fields are updated atomically and
+// accumulate across every sweep run under the context.
+type PruneStats struct {
+	// Pruned counts candidates skipped by a bound; BoundHits counts
+	// bound evaluations performed. Both are deterministic for a given
+	// (space, profile), regardless of worker count.
+	Pruned, BoundHits uint64
+}
+
+func (s *PruneStats) add(pruned, hits uint64) {
+	atomic.AddUint64(&s.Pruned, pruned)
+	atomic.AddUint64(&s.BoundHits, hits)
+}
+
+type pruneStatsKey struct{}
+
+// WithPruneStats installs a per-request collector for the sweep's prune
+// counters (the engine-wide totals live in explore.CacheStats).
+func WithPruneStats(ctx context.Context, s *PruneStats) context.Context {
+	return context.WithValue(ctx, pruneStatsKey{}, s)
+}
+
+func pruneStatsFrom(ctx context.Context) *PruneStats {
+	s, _ := ctx.Value(pruneStatsKey{}).(*PruneStats)
+	return s
+}
+
+// ------------------------------------------------------- voltage tables
+
+// Domain kinds index the per-kind voltage ranges of a Space.
+const (
+	kindCluster = iota
+	kindICN
+	kindCache
+)
+
+// voltEntry is one feasible ladder point of a (range, period) domain:
+// the voltage and its δ/σ scale factors, in ascending ladder order —
+// exactly the points OptimizeVoltages' inner loop would visit.
+type voltEntry struct {
+	v, delta, sigma float64
+}
+
+// voltTable caches the feasible ladder of one (range, period) pair. An
+// empty entry list means the period is unreachable anywhere in the
+// range: the voltage optimization errors and the candidate is
+// infeasible.
+type voltTable struct {
+	entries []voltEntry
+}
+
+// voltTabKey identifies a ladder as a pure function of its inputs: the
+// α-power model parameters, the voltage range and step, and the domain
+// period. Equal keys give bit-identical tables, so the cache is shared
+// process-wide.
+type voltTabKey struct {
+	alpha, beta, cl, slope, guard, vddRef, vthRef float64
+	lo, hi, step                                  float64
+	period                                        clock.Picos
+}
+
+// voltTabCache is the process-global ladder cache. Ladders are tiny
+// (~30 entries) and keyed by model/space parameters that real callers
+// draw from a handful of fixed configurations, so the map stays small;
+// sharing it across sweeps removes the math.Pow-heavy ladder rebuild
+// from every cold sweep after the first.
+var voltTabCache sync.Map // voltTabKey -> *voltTable
+
+// voltTables resolves ladder tables for one sweep's model and space.
+type voltTables struct {
+	model *power.AlphaModel
+	space Space
+}
+
+func newVoltTables(model *power.AlphaModel, space Space) *voltTables {
+	return &voltTables{model: model, space: space}
+}
+
+func (t *voltTables) get(kind int, period clock.Picos) *voltTable {
+	var rng [2]float64
+	switch kind {
+	case kindICN:
+		rng = t.space.ICNVdd
+	case kindCache:
+		rng = t.space.CacheVdd
+	default:
+		rng = t.space.ClusterVdd
+	}
+	m := t.model
+	key := voltTabKey{
+		alpha: m.Alpha, beta: m.Beta, cl: m.CL, slope: m.SubthresholdSlope,
+		guard: m.GuardBand, vddRef: m.VddRef, vthRef: m.VthRef,
+		lo: rng[0], hi: rng[1], step: t.space.VddStep, period: period,
+	}
+	if tab, ok := voltTabCache.Load(key); ok {
+		return tab.(*voltTable)
+	}
+	tab := &voltTable{}
+	for i := 0; ; i++ {
+		v, ok := power.VddAt(rng[0], rng[1], t.space.VddStep, i)
+		if !ok {
+			break
+		}
+		vth, err := m.VthForPeriod(period, v)
+		if err != nil {
+			continue // frequency unreachable at this voltage
+		}
+		tab.entries = append(tab.entries, voltEntry{v: v, delta: m.Delta(v), sigma: m.Sigma(v, vth)})
+	}
+	actual, _ := voltTabCache.LoadOrStore(key, tab)
+	return actual.(*voltTable)
+}
+
+// --------------------------------------------------------- sweep bounds
+
+// loopBoundInfo is the per-loop profile data the bound reads, hoisted
+// out of the per-candidate loop.
+type loopBoundInfo struct {
+	slack    float64 // IIHom/MIIHom, exactly as estimateD computes it
+	hasSlack bool
+	itersM1  float64 // float64(Iterations-1)
+	itLenCyc float64 // float64(ItLenHomCycles)
+	weight   float64
+	comms    int64
+	life     int64
+}
+
+// sweepBounds is the per-sweep precomputation behind boundFor.
+type sweepBounds struct {
+	arch      *machine.Arch
+	prof      *Profile
+	cal       *power.Calibration
+	space     Space
+	tabs      *voltTables
+	loops     []loopBoundInfo
+	totalRegs int64
+}
+
+func newSweepBounds(arch *machine.Arch, prof *Profile, cal *power.Calibration,
+	space Space, tabs *voltTables) *sweepBounds {
+
+	sb := &sweepBounds{
+		arch:  arch,
+		prof:  prof,
+		cal:   cal,
+		space: space,
+		tabs:  tabs,
+		loops: make([]loopBoundInfo, 0, len(prof.Loops)),
+	}
+	for _, c := range arch.Clusters {
+		sb.totalRegs += int64(c.Regs)
+	}
+	for i := range prof.Loops {
+		lp := &prof.Loops[i]
+		info := loopBoundInfo{
+			itersM1:  float64(lp.Iterations - 1),
+			itLenCyc: float64(lp.ItLenHomCycles),
+			weight:   lp.Weight,
+			comms:    int64(lp.CommsHom),
+			life:     int64(lp.LifetimeCycles),
+		}
+		if lp.MIIHom > 0 && lp.IIHom > lp.MIIHom {
+			info.slack = float64(lp.IIHom) / float64(lp.MIIHom)
+			info.hasSlack = true
+		}
+		sb.loops = append(sb.loops, info)
+	}
+	return sb
+}
+
+// candBound is a candidate's lower bounds. feasible == false means the
+// bound already proves the full evaluation would return nil, so the
+// candidate prunes under every objective.
+type candBound struct {
+	d, e, ed2 float64
+	feasible  bool
+}
+
+// boundFor prices one candidate without touching the engine. d is
+// bit-identical to the D estimateD computes (see the package comment
+// for the demand-MIT decomposition); e is the per-domain ladder minimum
+// at that exact d — equal to the evaluation's E up to summation
+// grouping — scaled by the safety margin. feasible is false when a
+// per-loop analysis fails or some required domain has no reachable
+// voltage: exactly the conditions under which the full evaluation
+// returns nil.
+func (sb *sweepBounds) boundFor(c hetCandidate) candBound {
+	arch := sb.arch
+	clk := BuildHetClocking(arch, c.fast, c.slow, sb.space.NumFast)
+	meanTau := clk.MeanClusterPeriodNanos(arch) * 1000 // ps, as estimateD computes it
+	lifePeriod := int64(meanTau)
+	icnPeriod := int64(clk.MinPeriod[arch.ICN()])
+	buses := int64(arch.Buses)
+
+	plainMITs := make([]mii.Result, len(sb.prof.Loops))
+	for i := range sb.prof.Loops {
+		res, err := mii.Compute(sb.prof.Loops[i].Graph, arch, clk, nil)
+		if err != nil {
+			return candBound{} // loopMITs fails identically: candidate is nil
+		}
+		plainMITs[i] = res
+	}
+
+	total := 0.0
+	for i := range sb.loops {
+		lb := &sb.loops[i]
+		itEst := float64(plainMITs[i].MIT)
+		if lb.hasSlack {
+			itEst *= lb.slack
+		}
+		if lb.comms > 0 && buses > 0 {
+			if bus := float64(icnPeriod * ((lb.comms + buses - 1) / buses)); bus > itEst {
+				itEst = bus
+			}
+		}
+		if lb.life > 0 && lifePeriod > 0 && sb.totalRegs > 0 {
+			demand := lb.life * lifePeriod
+			if lv := float64((demand + sb.totalRegs - 1) / sb.totalRegs); lv > itEst {
+				itEst = lv
+			}
+		}
+		itLen := lb.itLenCyc * meanTau
+		t := itEst*lb.itersM1 + itLen
+		total += t * 1e-12 * lb.weight
+	}
+	d := total
+
+	clusterUnits, comms, mems := domainLoads(arch, clk, sb.prof, plainMITs)
+	e := 0.0
+	domainMin := func(kind int, dom machine.DomainID, dyn, statRate float64) bool {
+		best := math.Inf(1)
+		for _, en := range sb.tabs.get(kind, clk.MinPeriod[dom]).entries {
+			if v := dyn*en.delta + statRate*d*en.sigma; v < best {
+				best = v
+			}
+		}
+		if math.IsInf(best, 1) {
+			return false // no reachable voltage: candidate infeasible
+		}
+		e += best
+		return true
+	}
+	for cl := 0; cl < arch.NumClusters(); cl++ {
+		if !domainMin(kindCluster, machine.DomainID(cl), clusterUnits[cl]*sb.cal.EIns, sb.cal.StatCluster) {
+			return candBound{}
+		}
+	}
+	if !domainMin(kindICN, arch.ICN(), comms*sb.cal.EComm, sb.cal.StatICN) {
+		return candBound{}
+	}
+	if !domainMin(kindCache, arch.Cache(), mems*sb.cal.EAccess, sb.cal.StatCache) {
+		return candBound{}
+	}
+	e *= boundSafety
+	return candBound{d: d, e: e, ed2: power.ED2(e, d), feasible: true}
+}
+
+// -------------------------------------------------------------- pruners
+
+// pruner is the incumbent policy of one sweep. prune decisions read only
+// state frozen at the last commit (wave barrier); observe may be called
+// concurrently by workers; commit runs between waves with no workers in
+// flight.
+type pruner interface {
+	// orderKey is the best-bound-first sort key (lower is better).
+	orderKey(b candBound) float64
+	// prune reports that the bound proves the candidate cannot affect
+	// the result: dominated, constraint-infeasible, or off-frontier.
+	prune(b candBound) bool
+	observe(s *Selection)
+	commit()
+}
+
+// atomicMinFloat is a CAS-min cell for concurrent incumbent updates.
+type atomicMinFloat struct{ bits atomic.Uint64 }
+
+func (m *atomicMinFloat) store(v float64) { m.bits.Store(math.Float64bits(v)) }
+
+func (m *atomicMinFloat) min(v float64) {
+	for {
+		old := m.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if m.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (m *atomicMinFloat) load() float64 { return math.Float64frombits(m.bits.Load()) }
+
+// scalarPruner maintains the best admissible primary metric seen so far
+// for the single-winner selections. Every comparison is strict, so a
+// candidate whose bound ties the incumbent is still evaluated — the
+// secondary metric and grid-order tie-breaks stay exact.
+type scalarPruner struct {
+	obj     Objective
+	cons    Constraint
+	frozen  float64
+	pending atomicMinFloat
+}
+
+func newScalarPruner(obj Objective, cons Constraint) *scalarPruner {
+	p := &scalarPruner{obj: obj, cons: cons, frozen: math.Inf(1)}
+	p.pending.store(math.Inf(1))
+	return p
+}
+
+func (p *scalarPruner) primary(b candBound) float64 {
+	switch p.obj {
+	case ObjectiveTimeUnderEnergyCap:
+		return b.d
+	case ObjectiveEnergyUnderTimeCap:
+		return b.e
+	}
+	return b.ed2
+}
+
+func (p *scalarPruner) orderKey(b candBound) float64 {
+	if !b.feasible {
+		return math.Inf(1)
+	}
+	return p.primary(b)
+}
+
+func (p *scalarPruner) prune(b candBound) bool {
+	if !b.feasible {
+		return true
+	}
+	if p.cons.MaxEnergy != 0 && b.e > p.cons.MaxEnergy {
+		return true
+	}
+	if p.cons.MaxSeconds != 0 && b.d > p.cons.MaxSeconds {
+		return true
+	}
+	return p.primary(b) > p.frozen
+}
+
+func (p *scalarPruner) observe(s *Selection) {
+	if !p.cons.admits(s.Estimate) {
+		return
+	}
+	switch p.obj {
+	case ObjectiveTimeUnderEnergyCap:
+		p.pending.min(s.Estimate.Seconds)
+	case ObjectiveEnergyUnderTimeCap:
+		p.pending.min(s.Estimate.Energy)
+	default:
+		p.pending.min(s.Estimate.ED2)
+	}
+}
+
+func (p *scalarPruner) commit() {
+	if v := p.pending.load(); v < p.frozen {
+		p.frozen = v
+	}
+}
+
+// frontierPruner maintains the running non-dominated set. A candidate
+// prunes only when some evaluated point dominates its bound with the
+// appropriate strict inequality — which makes the real point strictly
+// dominated, so it can neither join the frontier nor displace the
+// earliest-grid-order duplicate of any frontier (time, energy) pair.
+type frontierPruner struct {
+	frozen  []Estimate
+	mu      sync.Mutex
+	pending []Estimate
+}
+
+func newFrontierPruner() *frontierPruner { return &frontierPruner{} }
+
+func (p *frontierPruner) orderKey(b candBound) float64 {
+	if !b.feasible {
+		return math.Inf(1)
+	}
+	return b.ed2
+}
+
+func (p *frontierPruner) prune(b candBound) bool {
+	if !b.feasible {
+		return true
+	}
+	for _, q := range p.frozen {
+		if (q.Seconds <= b.d && q.Energy < b.e) || (q.Seconds < b.d && q.Energy <= b.e) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *frontierPruner) observe(s *Selection) {
+	p.mu.Lock()
+	p.pending = append(p.pending, s.Estimate)
+	p.mu.Unlock()
+}
+
+func (p *frontierPruner) commit() {
+	all := append(p.frozen, p.pending...)
+	p.pending = nil
+	// Keep the non-dominated subset, deduplicating equal points. Which
+	// duplicate survives depends on arrival order, but prune queries
+	// only read the coordinate set, which is order-independent.
+	keep := make([]Estimate, 0, len(all))
+	for i, a := range all {
+		dominated := false
+		for j, b := range all {
+			if i == j {
+				continue
+			}
+			if b.Seconds <= a.Seconds && b.Energy <= a.Energy &&
+				(b.Seconds < a.Seconds || b.Energy < a.Energy || j < i) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			keep = append(keep, a)
+		}
+	}
+	p.frozen = keep
+}
+
+// ---------------------------------------------------------------- sweep
+
+// sweepSelections evaluates the candidate grid, pruning provably
+// irrelevant points under pr unless the context disables it. The
+// returned slice is index-aligned with cands; nil entries are
+// infeasible or pruned candidates — indistinguishable to the reducers,
+// which is exactly why pruning is exact: a pruned candidate is one
+// whose bound proves the reduction would skip it anyway.
+func sweepSelections(ctx context.Context, eng *explore.Engine, arch *machine.Arch, prof *Profile,
+	cal *power.Calibration, model *power.AlphaModel, space Space,
+	cands []hetCandidate, pr pruner) ([]*Selection, error) {
+
+	if PruningDisabled(ctx) {
+		// The escape hatch takes the pre-bounds code path wholesale:
+		// plain grid-order dispatch, inline voltage ladders, no tables.
+		sels, err := explore.MapCtx(ctx, eng, len(cands), func(i int) *Selection {
+			return evalHetCandidate(ctx, eng, arch, prof, cal, model, space, cands[i])
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return sels, nil
+	}
+
+	tabs := newVoltTables(model, space)
+	sb := newSweepBounds(arch, prof, cal, space, tabs)
+	bounds := make([]candBound, len(cands))
+	if err := eng.ForEachCtx(ctx, len(cands), func(i int) {
+		bounds[i] = sb.boundFor(cands[i])
+	}); err != nil {
+		return nil, err
+	}
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := pr.orderKey(bounds[order[a]]), pr.orderKey(bounds[order[b]])
+		if ka != kb {
+			return ka < kb
+		}
+		return order[a] < order[b]
+	})
+
+	sels := make([]*Selection, len(cands))
+	checks, pruned := uint64(len(cands)), uint64(0)
+	wave := pruneWaveInit
+	for pos := 0; pos < len(order); {
+		end := pos + wave
+		if end > len(order) {
+			end = len(order)
+		}
+		wave *= 2
+		run := make([]int, 0, end-pos)
+		for _, i := range order[pos:end] {
+			if pr.prune(bounds[i]) {
+				pruned++
+				continue
+			}
+			run = append(run, i)
+		}
+		pos = end
+		if len(run) == 0 {
+			continue
+		}
+		err := eng.ForEachCtx(ctx, len(run), func(k int) {
+			c := cands[run[k]]
+			if s := evalHetCandidateOn(ctx, eng, arch, prof, cal, model, space, c, tabs); s != nil {
+				sels[run[k]] = s
+				pr.observe(s)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		pr.commit()
+	}
+	// Same late-cancellation guard as the exhaustive path: a truncated
+	// sweep must never be reduced.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	eng.AddPruneStats(pruned, checks)
+	if ps := pruneStatsFrom(ctx); ps != nil {
+		ps.add(pruned, checks)
+	}
+	return sels, nil
+}

@@ -1,0 +1,201 @@
+package confsel
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/machine"
+	"repro/internal/power"
+)
+
+// TestBoundsNeverExceedMeasured is the soundness property behind every
+// prune: for each candidate of each sweep grid, the engine-free bound is
+// ≤ the fully evaluated estimate in every pruned dimension — and the
+// execution-time bound is exactly the model's D, bit for bit (the bound
+// mirrors estimateD's float expressions; see bounds.go).
+func TestBoundsNeverExceedMeasured(t *testing.T) {
+	arch := machine.Reference4Cluster(1)
+	prof := testProfile(arch)
+	cal := calFor(t, arch, prof)
+	model := power.DefaultAlphaModel()
+	ctx := context.Background()
+
+	ladder := DefaultSpace()
+	ladder.DVFSLadder = 3
+	for name, space := range map[string]Space{
+		"default": DefaultSpace(),
+		"dense":   DenseSpace(),
+		"ladder":  ladder,
+	} {
+		cands, err := space.paretoCandidates()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tabs := newVoltTables(model, space)
+		sb := newSweepBounds(arch, prof, cal, space, tabs)
+		eng := explore.New(0)
+		for _, c := range cands {
+			b := sb.boundFor(c)
+			s := evalHetCandidate(ctx, eng, arch, prof, cal, model, space, c)
+			if s == nil {
+				continue // infeasible candidates carry no obligation
+			}
+			if !b.feasible {
+				t.Fatalf("%s: candidate %v evaluated but bound says infeasible", name, c)
+			}
+			if b.d != s.Estimate.Seconds {
+				t.Errorf("%s %v: bound d = %g, measured D = %g (must be bit-identical)",
+					name, c, b.d, s.Estimate.Seconds)
+			}
+			if b.e > s.Estimate.Energy {
+				t.Errorf("%s %v: bound e = %g exceeds measured E = %g", name, c, b.e, s.Estimate.Energy)
+			}
+			if b.ed2 > s.Estimate.ED2 {
+				t.Errorf("%s %v: bound ed2 = %g exceeds measured ED² = %g", name, c, b.ed2, s.Estimate.ED2)
+			}
+			// The energy bound is the measured energy up to the safety
+			// margin — tight, not merely sound.
+			if b.e < s.Estimate.Energy*(1-1e-6) {
+				t.Errorf("%s %v: bound e = %g unexpectedly loose vs E = %g", name, c, b.e, s.Estimate.Energy)
+			}
+		}
+	}
+}
+
+// TestPruneCountersDeterministic pins the counter contract: Pruned and
+// BoundHits are pure functions of (space, profile) — identical at every
+// worker count — they surface both through the engine's CacheStats and a
+// request-scoped PruneStats, and WithoutPruning zeroes them while
+// changing nothing else.
+func TestPruneCountersDeterministic(t *testing.T) {
+	arch := machine.Reference4Cluster(1)
+	prof := testProfile(arch)
+	cal := calFor(t, arch, prof)
+	model := power.DefaultAlphaModel()
+	space := DenseSpace()
+	ctx := context.Background()
+
+	type run struct {
+		sel  *Selection
+		ps   PruneStats
+		eng  explore.CacheStats
+		miss uint64
+	}
+	runAt := func(workers int) run {
+		eng := explore.New(workers)
+		var ps PruneStats
+		sel, err := SelectHeterogeneousCtx(WithPruneStats(ctx, &ps), eng, arch, prof, cal, model, space)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := eng.Stats()
+		return run{sel: sel, ps: ps, eng: st, miss: st.Misses}
+	}
+	base := runAt(1)
+	if base.ps.Pruned == 0 || base.ps.BoundHits == 0 {
+		t.Fatalf("dense sweep pruned nothing: %+v", base.ps)
+	}
+	if base.eng.Pruned != base.ps.Pruned || base.eng.BoundHits != base.ps.BoundHits {
+		t.Fatalf("engine counters %d/%d disagree with request counters %+v",
+			base.eng.Pruned, base.eng.BoundHits, base.ps)
+	}
+	for _, workers := range []int{2, 8} {
+		r := runAt(workers)
+		if r.ps != base.ps {
+			t.Errorf("workers=%d: counters %+v, want %+v", workers, r.ps, base.ps)
+		}
+		if r.miss != base.miss {
+			t.Errorf("workers=%d: %d cache misses, want %d (evaluated set must not depend on workers)",
+				workers, r.miss, base.miss)
+		}
+		if !reflect.DeepEqual(r.sel, base.sel) {
+			t.Errorf("workers=%d: selection differs from workers=1", workers)
+		}
+	}
+
+	// The escape hatch takes the exhaustive path: same selection, no
+	// counters.
+	eng := explore.New(0)
+	var ps PruneStats
+	sel, err := SelectHeterogeneousCtx(WithPruneStats(WithoutPruning(ctx), &ps), eng, arch, prof, cal, model, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps != (PruneStats{}) || eng.Stats().Pruned != 0 || eng.Stats().BoundHits != 0 {
+		t.Errorf("WithoutPruning still counted: %+v", ps)
+	}
+	if !reflect.DeepEqual(sel, base.sel) {
+		t.Error("WithoutPruning changed the selection")
+	}
+	if eng.Stats().Misses <= base.miss {
+		t.Errorf("exhaustive sweep missed %d ≤ pruned %d: pruning evidently skipped nothing",
+			eng.Stats().Misses, base.miss)
+	}
+}
+
+// TestVoltTablesMatchInline pins the table-driven voltage optimization to
+// the inline ladder walk bit for bit: same chosen voltages, same scale
+// factors.
+func TestVoltTablesMatchInline(t *testing.T) {
+	arch := machine.Reference4Cluster(1)
+	prof := testProfile(arch)
+	cal := calFor(t, arch, prof)
+	model := power.DefaultAlphaModel()
+	space := DefaultSpace()
+	ctx := context.Background()
+	eng := explore.New(0)
+	tabs := newVoltTables(model, space)
+
+	for _, c := range space.hetCandidates() {
+		clk := BuildHetClocking(arch, c.fast, c.slow, space.NumFast)
+		plainMITs, err := loopMITs(ctx, eng, arch, clk, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusterUnits, comms, mems := domainLoads(arch, clk, prof, plainMITs)
+		d, err := estimateD(ctx, eng, arch, clk, prof, plainMITs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clkInline := BuildHetClocking(arch, c.fast, c.slow, space.NumFast)
+		dsInline, errInline := optimizeVoltagesOn(arch, clkInline, model, cal, space, clusterUnits, comms, mems, d, nil)
+		clkTab := BuildHetClocking(arch, c.fast, c.slow, space.NumFast)
+		dsTab, errTab := optimizeVoltagesOn(arch, clkTab, model, cal, space, clusterUnits, comms, mems, d, tabs)
+		if (errInline == nil) != (errTab == nil) {
+			t.Fatalf("%v: inline err %v, table err %v", c, errInline, errTab)
+		}
+		if errInline != nil {
+			continue
+		}
+		if !reflect.DeepEqual(dsInline, dsTab) || !reflect.DeepEqual(clkInline.Vdd, clkTab.Vdd) {
+			t.Errorf("%v: table-driven optimization diverged: %v vs %v", c, dsTab, dsInline)
+		}
+	}
+}
+
+// TestBoundInfeasibleCandidatePrunes covers the infeasibility channel: a
+// period no voltage in the range can reach yields an infeasible bound,
+// matching the nil the full evaluation returns.
+func TestBoundInfeasibleCandidatePrunes(t *testing.T) {
+	arch := machine.Reference4Cluster(1)
+	prof := testProfile(arch)
+	cal := calFor(t, arch, prof)
+	model := power.DefaultAlphaModel()
+	space := DefaultSpace()
+	space.CacheVdd = [2]float64{0.1, 0.12} // cache can never reach ~1 GHz here
+	tabs := newVoltTables(model, space)
+	sb := newSweepBounds(arch, prof, cal, space, tabs)
+	c := space.hetCandidates()[0]
+	if b := sb.boundFor(c); b.feasible {
+		t.Fatalf("bound feasible %+v for a voltage-starved cache domain", b)
+	}
+	if s := evalHetCandidate(context.Background(), explore.New(0), arch, prof, cal, model, space, c); s != nil {
+		t.Fatal("full evaluation unexpectedly feasible")
+	}
+	if math.IsInf(sb.boundFor(c).d, 0) {
+		t.Error("infeasible bound should carry zero d, not Inf")
+	}
+}

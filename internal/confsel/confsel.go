@@ -450,32 +450,55 @@ func loopMITs(ctx context.Context, eng *explore.Engine, arch *machine.Arch, clk 
 // It mutates clk.Vdd and returns the resulting per-domain scale factors.
 func OptimizeVoltages(arch *machine.Arch, clk *machine.Clocking, model *power.AlphaModel,
 	cal *power.Calibration, space Space, clusterDyn []float64, commDyn, memDyn, dSeconds float64) (*power.DomainScale, error) {
+	return optimizeVoltagesOn(arch, clk, model, cal, space, clusterDyn, commDyn, memDyn, dSeconds, nil)
+}
+
+// optimizeVoltagesOn is OptimizeVoltages with an optional per-sweep
+// voltage-table cache: tabs, when non-nil, replays the memoised feasible
+// ladder of each (kind, period) instead of re-walking the full range
+// through model.VthForPeriod. The table stores the same points in the
+// same order with the same δ/σ values, and the scan applies the same
+// strict-< minimization to the same float expression, so the chosen
+// voltage and scales are bit-identical on both paths.
+func optimizeVoltagesOn(arch *machine.Arch, clk *machine.Clocking, model *power.AlphaModel,
+	cal *power.Calibration, space Space, clusterDyn []float64, commDyn, memDyn, dSeconds float64,
+	tabs *voltTables) (*power.DomainScale, error) {
 
 	ds := &power.DomainScale{
 		Delta: make([]float64, arch.NumDomains()),
 		Sigma: make([]float64, arch.NumDomains()),
 	}
-	pick := func(d machine.DomainID, dyn, statRate float64, lo, hi float64) error {
+	pick := func(d machine.DomainID, kind int, dyn, statRate float64, lo, hi float64) error {
 		if err := power.CheckVddRange(lo, hi, space.VddStep); err != nil {
 			return fmt.Errorf("confsel: domain %s: %w", arch.DomainName(d), err)
 		}
 		bestV, bestE := 0.0, math.Inf(1)
 		var bestDelta, bestSigma float64
-		for i := 0; ; i++ {
-			v, ok := power.VddAt(lo, hi, space.VddStep, i)
-			if !ok {
-				break
+		if tabs != nil {
+			for _, en := range tabs.get(kind, clk.MinPeriod[d]).entries {
+				e := dyn*en.delta + statRate*dSeconds*en.sigma
+				if e < bestE {
+					bestV, bestE = en.v, e
+					bestDelta, bestSigma = en.delta, en.sigma
+				}
 			}
-			vth, err := model.VthForPeriod(clk.MinPeriod[d], v)
-			if err != nil {
-				continue // frequency unreachable at this voltage
-			}
-			delta := model.Delta(v)
-			sigma := model.Sigma(v, vth)
-			e := dyn*delta + statRate*dSeconds*sigma
-			if e < bestE {
-				bestV, bestE = v, e
-				bestDelta, bestSigma = delta, sigma
+		} else {
+			for i := 0; ; i++ {
+				v, ok := power.VddAt(lo, hi, space.VddStep, i)
+				if !ok {
+					break
+				}
+				vth, err := model.VthForPeriod(clk.MinPeriod[d], v)
+				if err != nil {
+					continue // frequency unreachable at this voltage
+				}
+				delta := model.Delta(v)
+				sigma := model.Sigma(v, vth)
+				e := dyn*delta + statRate*dSeconds*sigma
+				if e < bestE {
+					bestV, bestE = v, e
+					bestDelta, bestSigma = delta, sigma
+				}
 			}
 		}
 		if math.IsInf(bestE, 1) {
@@ -488,16 +511,16 @@ func OptimizeVoltages(arch *machine.Arch, clk *machine.Clocking, model *power.Al
 		return nil
 	}
 	for c := 0; c < arch.NumClusters(); c++ {
-		if err := pick(machine.DomainID(c), clusterDyn[c]*cal.EIns, cal.StatCluster,
+		if err := pick(machine.DomainID(c), kindCluster, clusterDyn[c]*cal.EIns, cal.StatCluster,
 			space.ClusterVdd[0], space.ClusterVdd[1]); err != nil {
 			return nil, err
 		}
 	}
-	if err := pick(arch.ICN(), commDyn*cal.EComm, cal.StatICN,
+	if err := pick(arch.ICN(), kindICN, commDyn*cal.EComm, cal.StatICN,
 		space.ICNVdd[0], space.ICNVdd[1]); err != nil {
 		return nil, err
 	}
-	if err := pick(arch.Cache(), memDyn*cal.EAccess, cal.StatCache,
+	if err := pick(arch.Cache(), kindCache, memDyn*cal.EAccess, cal.StatCache,
 		space.CacheVdd[0], space.CacheVdd[1]); err != nil {
 		return nil, err
 	}
@@ -576,17 +599,13 @@ func SelectHeterogeneousCtx(ctx context.Context, eng *explore.Engine, arch *mach
 	if eng == nil {
 		eng = explore.New(0)
 	}
-	cands := space.hetCandidates()
-	sels, err := explore.MapCtx(ctx, eng, len(cands), func(i int) *Selection {
-		return evalHetCandidate(ctx, eng, arch, prof, cal, model, space, cands[i])
-	})
+	// The bound-guided sweep (see bounds.go) prices candidates
+	// best-bound-first and skips those provably unable to win; a late
+	// cancellation is surfaced inside so a partial sweep never
+	// masquerades as a (possibly different) selection.
+	sels, err := sweepSelections(ctx, eng, arch, prof, cal, model, space,
+		space.hetCandidates(), newScalarPruner(ObjectiveED2, Constraint{}))
 	if err != nil {
-		return nil, err
-	}
-	// A cancellation that lands after dispatch makes interrupted
-	// candidates indistinguishable from infeasible ones; a partial sweep
-	// must never masquerade as a (possibly different) selection.
-	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	var best *Selection
@@ -608,17 +627,38 @@ func SelectHeterogeneousCtx(ctx context.Context, eng *explore.Engine, arch *mach
 // returning nil when the candidate is infeasible.
 func evalHetCandidate(ctx context.Context, eng *explore.Engine, arch *machine.Arch, prof *Profile,
 	cal *power.Calibration, model *power.AlphaModel, space Space, c hetCandidate) *Selection {
+	return evalHetCandidateOn(ctx, eng, arch, prof, cal, model, space, c, nil)
+}
+
+// evalHetCandidateOn is evalHetCandidate with an optional shared
+// voltage-table cache (see optimizeVoltagesOn; results are bit-identical
+// with or without it).
+func evalHetCandidateOn(ctx context.Context, eng *explore.Engine, arch *machine.Arch, prof *Profile,
+	cal *power.Calibration, model *power.AlphaModel, space Space, c hetCandidate, tabs *voltTables) *Selection {
 	clk := BuildHetClocking(arch, c.fast, c.slow, space.NumFast)
 	plainMITs, err := loopMITs(ctx, eng, arch, clk, prof)
 	if err != nil {
 		return nil
 	}
+	clusterUnits, comms, mems := domainLoads(arch, clk, prof, plainMITs)
+	return finishHetCandidate(ctx, eng, arch, prof, cal, model, space, c,
+		clk, plainMITs, clusterUnits, comms, mems, tabs)
+}
+
+// finishHetCandidate completes a candidate evaluation from its plain
+// MITs and domain loads. The split from evalHetCandidateOn does not
+// change any computed value: estimateD and domainLoads are independent
+// pure functions of the plain MITs.
+func finishHetCandidate(ctx context.Context, eng *explore.Engine, arch *machine.Arch, prof *Profile,
+	cal *power.Calibration, model *power.AlphaModel, space Space, c hetCandidate,
+	clk *machine.Clocking, plainMITs []mii.Result, clusterUnits []float64, comms, mems float64,
+	tabs *voltTables) *Selection {
+
 	d, err := estimateD(ctx, eng, arch, clk, prof, plainMITs)
 	if err != nil {
 		return nil
 	}
-	clusterUnits, comms, mems := domainLoads(arch, clk, prof, plainMITs)
-	ds, err := OptimizeVoltages(arch, clk, model, cal, space, clusterUnits, comms, mems, d)
+	ds, err := optimizeVoltagesOn(arch, clk, model, cal, space, clusterUnits, comms, mems, d, tabs)
 	if err != nil {
 		return nil
 	}

@@ -160,12 +160,14 @@ func (s Space) paretoCandidates() ([]hetCandidate, error) {
 	return cands, nil
 }
 
-// sweepCandidates evaluates every Pareto candidate on the engine's worker
-// pool. The returned slice is index-aligned with the candidate grid; nil
-// entries are infeasible points. The same late-cancellation guard as the
-// plain selections applies: a truncated sweep must never be reduced.
+// sweepCandidates evaluates the Pareto candidate grid through the
+// bound-guided sweep (bounds.go) under the given incumbent policy. The
+// returned slice is index-aligned with the candidate grid; nil entries
+// are infeasible or pruned points — both provably irrelevant to the
+// caller's reduction. The same late-cancellation guard as the plain
+// selections applies: a truncated sweep must never be reduced.
 func sweepCandidates(ctx context.Context, eng *explore.Engine, arch *machine.Arch, prof *Profile,
-	cal *power.Calibration, model *power.AlphaModel, space Space) ([]*Selection, error) {
+	cal *power.Calibration, model *power.AlphaModel, space Space, pr pruner) ([]*Selection, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
 	}
@@ -176,16 +178,7 @@ func sweepCandidates(ctx context.Context, eng *explore.Engine, arch *machine.Arc
 	if err != nil {
 		return nil, err
 	}
-	sels, err := explore.MapCtx(ctx, eng, len(cands), func(i int) *Selection {
-		return evalHetCandidate(ctx, eng, arch, prof, cal, model, space, cands[i])
-	})
-	if err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return sels, nil
+	return sweepSelections(ctx, eng, arch, prof, cal, model, space, cands, pr)
 }
 
 // SelectConstrainedCtx picks the heterogeneous configuration optimizing
@@ -201,7 +194,7 @@ func SelectConstrainedCtx(ctx context.Context, eng *explore.Engine, arch *machin
 	if err := cons.Validate(obj); err != nil {
 		return nil, err
 	}
-	sels, err := sweepCandidates(ctx, eng, arch, prof, cal, model, space)
+	sels, err := sweepCandidates(ctx, eng, arch, prof, cal, model, space, newScalarPruner(obj, cons))
 	if err != nil {
 		return nil, err
 	}
@@ -250,7 +243,7 @@ func SelectConstrainedCtx(ctx context.Context, eng *explore.Engine, arch *machin
 func ParetoFrontier(ctx context.Context, eng *explore.Engine, arch *machine.Arch, prof *Profile,
 	cal *power.Calibration, model *power.AlphaModel, space Space) ([]*Selection, error) {
 
-	sels, err := sweepCandidates(ctx, eng, arch, prof, cal, model, space)
+	sels, err := sweepCandidates(ctx, eng, arch, prof, cal, model, space, newFrontierPruner())
 	if err != nil {
 		return nil, err
 	}

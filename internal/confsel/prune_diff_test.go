@@ -1,0 +1,195 @@
+// Differential suite for bound-guided sweep pruning: replay the same
+// 210-loop fuzz corpus the scheduler oracle uses (every synthetic family
+// × every benchmark × 10 loops) through full pipeline-built profiles and
+// check that pruned sweeps return *exactly* — reflect.DeepEqual, every
+// float bit — what the exhaustive sweeps return, across every objective
+// × cap combination, heterogeneous and homogeneous spaces, and worker
+// counts. Pruning is a pure optimization; any divergence here is a bug
+// in the bounds, not a tolerance question.
+
+package confsel_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/confsel"
+	"repro/internal/explore"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+)
+
+type diffCase struct {
+	name string
+	arch *machine.Arch
+	prof *confsel.Profile
+	cal  *power.Calibration
+}
+
+// diffCorpus builds one profile per benchmark of the 210-loop fuzz
+// corpus: every loopgen family, 10 loops per benchmark, through the real
+// reference pipeline (schedule + simulate), so the profiles pruning is
+// tested against are the ones production sweeps actually see.
+func diffCorpus(t *testing.T) []diffCase {
+	t.Helper()
+	eng := explore.New(0)
+	ctx := context.Background()
+	var cases []diffCase
+	loops := 0
+	for _, fam := range loopgen.Families() {
+		src, err := loopgen.NewSyntheticSource(fam, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		benches, err := loopgen.Load(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range benches {
+			ref, err := pipeline.BuildReferenceBenchCtx(ctx, b, pipeline.Options{
+				Buses: 1, EnergyAware: true, Engine: eng,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", fam, b.Name, err)
+			}
+			cal, err := power.Calibrate(ref.Arch, ref.Profile.RefCounts, power.DefaultFractions())
+			if err != nil {
+				t.Fatalf("%s/%s: %v", fam, b.Name, err)
+			}
+			cases = append(cases, diffCase{name: fam + "/" + b.Name, arch: ref.Arch, prof: ref.Profile, cal: cal})
+			loops += len(b.Loops)
+		}
+	}
+	if loops < 210 {
+		t.Fatalf("fuzz corpus shrank to %d loops, want ≥ 210", loops)
+	}
+	return cases
+}
+
+// homSpace collapses the slow/fast ratio ladder to 1.0: every candidate
+// clocks all clusters identically, exercising the bounds on homogeneous
+// machines (no ICN slack, no mixed-period mean).
+func homSpace() confsel.Space {
+	s := confsel.DefaultSpace()
+	s.SlowRatios = []float64{1.0}
+	return s
+}
+
+// TestPruningNeverChangesSelection is the exact-result guarantee for the
+// scalar sweeps: SelectHeterogeneousCtx and every objective × cap
+// combination of SelectConstrainedCtx return bit-identical selections
+// with pruning on and off — including identical errors when a cap is
+// infeasible.
+func TestPruningNeverChangesSelection(t *testing.T) {
+	model := power.DefaultAlphaModel()
+	ctx := context.Background()
+	exh := confsel.WithoutPruning(ctx)
+	for _, tc := range diffCorpus(t) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			for spaceName, space := range map[string]confsel.Space{"het": confsel.DefaultSpace(), "hom": homSpace()} {
+				// One engine for both paths: the PR guarantees pruning
+				// leaves cache keys byte-identical, so sharing is safe —
+				// and doubles as a check that the pruned sweep's entries
+				// satisfy the exhaustive sweep (no wrong-key poisoning).
+				eng := explore.New(0)
+				want, wantErr := confsel.SelectHeterogeneousCtx(exh, eng, tc.arch, tc.prof, tc.cal, model, space)
+				got, gotErr := confsel.SelectHeterogeneousCtx(ctx, eng, tc.arch, tc.prof, tc.cal, model, space)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("%s: errors diverge: exhaustive %v, pruned %v", spaceName, wantErr, gotErr)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s: pruned selection differs:\n  exhaustive %+v\n  pruned     %+v",
+						spaceName, want, got)
+				}
+				if wantErr != nil {
+					continue
+				}
+				// Caps pinned to the unconstrained optimum's estimates so
+				// they actually bind (split the grid) rather than being
+				// vacuous.
+				capE, capD := want.Estimate.Energy, want.Estimate.Seconds
+				for _, cc := range []struct {
+					label string
+					obj   confsel.Objective
+					cons  confsel.Constraint
+				}{
+					{"ed2/uncapped", confsel.ObjectiveED2, confsel.Constraint{}},
+					{"ed2/ecap", confsel.ObjectiveED2, confsel.Constraint{MaxEnergy: capE}},
+					{"ed2/tcap", confsel.ObjectiveED2, confsel.Constraint{MaxSeconds: capD}},
+					{"ed2/both", confsel.ObjectiveED2, confsel.Constraint{MaxEnergy: capE, MaxSeconds: capD}},
+					{"time/ecap", confsel.ObjectiveTimeUnderEnergyCap, confsel.Constraint{MaxEnergy: capE}},
+					{"time/both", confsel.ObjectiveTimeUnderEnergyCap, confsel.Constraint{MaxEnergy: capE * 4, MaxSeconds: capD * 4}},
+					{"energy/tcap", confsel.ObjectiveEnergyUnderTimeCap, confsel.Constraint{MaxSeconds: capD}},
+					{"energy/both", confsel.ObjectiveEnergyUnderTimeCap, confsel.Constraint{MaxSeconds: capD * 4, MaxEnergy: capE * 4}},
+					// Infeasibly tight: both paths must fail identically.
+					{"time/starved", confsel.ObjectiveTimeUnderEnergyCap, confsel.Constraint{MaxEnergy: capE * 1e-9}},
+				} {
+					want, wantErr := confsel.SelectConstrainedCtx(exh, eng, tc.arch, tc.prof, tc.cal, model, space, cc.obj, cc.cons)
+					got, gotErr := confsel.SelectConstrainedCtx(ctx, eng, tc.arch, tc.prof, tc.cal, model, space, cc.obj, cc.cons)
+					if fmt.Sprint(wantErr) != fmt.Sprint(gotErr) {
+						t.Fatalf("%s %s: errors diverge: exhaustive %v, pruned %v",
+							spaceName, cc.label, wantErr, gotErr)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%s %s: pruned selection differs:\n  exhaustive %+v\n  pruned     %+v",
+							spaceName, cc.label, want, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPrunedFrontierExact is the exact-result guarantee for
+// ParetoFrontier: the pruned frontier is the same ordered point set as
+// the exhaustive one — same length, same order, same bits — on both
+// space shapes and with the DVFS ladder extension, independent of the
+// worker count.
+func TestPrunedFrontierExact(t *testing.T) {
+	model := power.DefaultAlphaModel()
+	ctx := context.Background()
+	exh := confsel.WithoutPruning(ctx)
+	ladder := confsel.DefaultSpace()
+	ladder.DVFSLadder = 2
+	cases := diffCorpus(t)
+	for i, tc := range cases {
+		tc, i := tc, i
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			for spaceName, space := range map[string]confsel.Space{"ladder": ladder, "hom": homSpace()} {
+				eng := explore.New(0)
+				want, err := confsel.ParetoFrontier(exh, eng, tc.arch, tc.prof, tc.cal, model, space)
+				if err != nil {
+					t.Fatal(err)
+				}
+				workers := []int{0}
+				if i%7 == 0 {
+					// Worker-count sweep on one benchmark per family: the
+					// frontier (and hence the wave schedule) must not
+					// depend on evaluation order.
+					workers = []int{1, 2, 8}
+				}
+				for _, w := range workers {
+					weng := eng
+					if w != 0 {
+						weng = explore.New(w)
+					}
+					got, err := confsel.ParetoFrontier(ctx, weng, tc.arch, tc.prof, tc.cal, model, space)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s workers=%d: pruned frontier differs (%d points vs %d)",
+							spaceName, w, len(got), len(want))
+					}
+				}
+			}
+		})
+	}
+}

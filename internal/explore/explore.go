@@ -30,6 +30,10 @@ type Engine struct {
 	// consulted after a disk miss, before computing.
 	remote   RemoteCache
 	peerHits atomic.Uint64
+	// pruned/boundHits aggregate the bound-guided sweep counters
+	// reported by AddPruneStats (confsel's branch-and-bound layer).
+	pruned    atomic.Uint64
+	boundHits atomic.Uint64
 }
 
 // New returns an Engine with the given worker-pool bound; parallelism <= 0
@@ -61,6 +65,13 @@ type CacheStats struct {
 	// PeerHits counts lookups served from the peer (remote) tier; zero
 	// unless a RemoteCache is installed (sharded daemons).
 	PeerHits uint64
+	// Pruned counts sweep candidates the bound-guided selection layer
+	// skipped as provably dominated, constraint-infeasible or
+	// off-frontier; BoundHits counts the bound evaluations performed to
+	// prove it. Both are zero when pruning is disabled and deterministic
+	// for a given workload regardless of worker count.
+	Pruned    uint64
+	BoundHits uint64
 }
 
 // HitRate returns the fraction of lookups served without recomputation
@@ -82,9 +93,20 @@ func (e *Engine) Stats() CacheStats {
 		DiskHits:   e.diskHits.Load(),
 		DiskWrites: e.diskWrites.Load(),
 		PeerHits:   e.peerHits.Load(),
+		Pruned:     e.pruned.Load(),
+		BoundHits:  e.boundHits.Load(),
 	}
 	e.cache.Range(func(any, any) bool { s.Entries++; return true })
 	return s
+}
+
+// AddPruneStats accumulates the bound-guided sweep counters: candidates
+// skipped by a bound, and bound evaluations performed. The sweep layer
+// (internal/confsel) reports them here so they surface in Stats and the
+// service's /v1/stats alongside the cache counters.
+func (e *Engine) AddPruneStats(pruned, boundHits uint64) {
+	e.pruned.Add(pruned)
+	e.boundHits.Add(boundHits)
 }
 
 // entry is a single-flight cache slot: the first goroutine to claim the

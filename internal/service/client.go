@@ -166,6 +166,9 @@ func (c *Client) Select(ctx context.Context, corpus []byte, o SelectOptions) (*S
 	}
 	setFloat(q, "max_energy", o.MaxEnergy)
 	setFloat(q, "max_seconds", o.MaxSeconds)
+	if o.NoPrune {
+		q.Set("prune", "0")
+	}
 	var out SelectResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/select", q, corpus, &out); err != nil {
 		return nil, err
@@ -185,6 +188,10 @@ func (c *Client) Pareto(ctx context.Context, corpus []byte, o ParetoOptions) (*P
 		q.Set("dense", "1")
 	}
 	setInt(q, "ladder", o.DVFSLadder)
+	setInt(q, "effort", o.Effort)
+	if o.NoPrune {
+		q.Set("prune", "0")
+	}
 	var out ParetoResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/pareto", q, corpus, &out); err != nil {
 		return nil, err

@@ -30,7 +30,7 @@ func paretoRequest(body []byte, q url.Values) (req *artifact.ParetoRequest, bina
 	if frame {
 		// Self-contained frame: every option rides in the body. Query
 		// options would silently disagree with it, so they are rejected.
-		for _, name := range [...]string{"bench", "buses", "dense", "ladder"} {
+		for _, name := range [...]string{"bench", "buses", "dense", "ladder", "effort"} {
 			if q.Get(name) != "" {
 				return nil, false, badRequest("option %s must be set in the pareto request frame, not the query", name)
 			}
@@ -53,6 +53,9 @@ func paretoRequest(body []byte, q url.Values) (req *artifact.ParetoRequest, bina
 	if req.DVFSLadder, err = intParam(q, "ladder", 0); err != nil {
 		return nil, false, err
 	}
+	if req.Effort, err = intParam(q, "effort", 0); err != nil {
+		return nil, false, err
+	}
 	if req.Buses < 1 {
 		return nil, false, badRequest("buses %d out of range (want ≥ 1)", req.Buses)
 	}
@@ -67,6 +70,22 @@ func (s *Server) runPareto(ctx context.Context, body []byte, q url.Values) (any,
 	req, binaryOut, err := paretoRequest(body, q)
 	if err != nil {
 		return nil, err
+	}
+	if err := s.checkEffort(req.Effort); err != nil {
+		return nil, err
+	}
+	ctx, explicitPrune, err := s.pruneParam(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	if explicitPrune && binaryOut {
+		// The binary result frame has no pruned field; a frame client
+		// asking for the echo would silently lose it.
+		return nil, badRequest("prune=1 applies to JSON responses only, not pareto request frames")
+	}
+	var prune confsel.PruneStats
+	if explicitPrune {
+		ctx = confsel.WithPruneStats(ctx, &prune)
 	}
 	c := req.Corpus
 	if len(c.Benchmarks) == 0 {
@@ -83,6 +102,7 @@ func (s *Server) runPareto(ctx context.Context, body []byte, q url.Values) (any,
 	opts := pipeline.Options{
 		Buses:       buses,
 		EnergyAware: true,
+		Effort:      req.Effort,
 		Corpus:      artifact.NewCorpusSource(c),
 		Parallelism: s.cfg.Parallelism,
 		Engine:      s.eng,
@@ -125,10 +145,14 @@ func (s *Server) runPareto(ctx context.Context, body []byte, q url.Values) (any,
 			Points:    points,
 		})), nil
 	}
-	return &ParetoResponse{
+	resp := &ParetoResponse{
 		Corpus:    c.Name,
 		CorpusSHA: corpusSHA,
 		Bench:     bench,
 		Points:    points,
-	}, nil
+	}
+	if explicitPrune {
+		resp.Pruned = &prune.Pruned
+	}
+	return resp, nil
 }

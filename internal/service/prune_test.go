@@ -1,0 +1,163 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/artifact"
+)
+
+// TestPruneParamValidation: ?prune= accepts exactly "0" and "1"; anything
+// else is a one-line 400 on both sweep endpoints, and prune=1 on a binary
+// pareto frame (which has no JSON body to echo counters into) is refused
+// rather than silently ignored.
+func TestPruneParamValidation(t *testing.T) {
+	_, client := newTestEnv(t, Config{Parallelism: 2})
+	corpus := mixedCorpus(t, 1)
+	body := artifact.EncodeCorpus(corpus)
+
+	for _, q := range []string{"?prune=2", "?prune=abc", "?prune=true", "?prune=-1"} {
+		for _, ep := range []string{"/v1/select", "/v1/pareto"} {
+			code, data := postRaw(t, client.base, ep+q, body)
+			if code != http.StatusBadRequest {
+				t.Errorf("%s%s: HTTP %d, want 400 (%s)", ep, q, code, data)
+			}
+			if n := bytes.Count(bytes.TrimSpace(data), []byte("\n")); n != 0 {
+				t.Errorf("%s%s: error body is not one line: %q", ep, q, data)
+			}
+		}
+	}
+
+	frame := artifact.EncodeParetoRequest(&artifact.ParetoRequest{Corpus: corpus})
+	code, data := postRaw(t, client.base, "/v1/pareto?prune=1", frame)
+	if code != http.StatusBadRequest || !strings.Contains(string(data), "JSON") {
+		t.Errorf("frame with prune=1: HTTP %d (%s), want a 400 naming the JSON restriction", code, data)
+	}
+	// prune=0 composes with frames fine — it changes only how the sweep
+	// runs, not the response shape.
+	if code, data := postRaw(t, client.base, "/v1/pareto?prune=0", frame); code != http.StatusOK {
+		t.Errorf("frame with prune=0: HTTP %d (%s), want 200", code, data)
+	}
+}
+
+// TestPruneResponseIdentity is the serving face of the exact-result
+// guarantee: a parameterless request (pruned by default), ?prune=0
+// (exhaustive) and ?prune=1 all describe the same selection/frontier —
+// the first two byte-identically, the last adding only the "pruned"
+// counter field.
+func TestPruneResponseIdentity(t *testing.T) {
+	_, client := newTestEnv(t, Config{Parallelism: 4})
+	body := artifact.EncodeCorpus(mixedCorpus(t, 2))
+
+	for _, ep := range []string{"/v1/select", "/v1/pareto"} {
+		codeA, plain := postRaw(t, client.base, ep, body)
+		codeB, exhaustive := postRaw(t, client.base, ep+"?prune=0", body)
+		if codeA != http.StatusOK || codeB != http.StatusOK {
+			t.Fatalf("%s: HTTP %d / %d", ep, codeA, codeB)
+		}
+		if !bytes.Equal(plain, exhaustive) {
+			t.Errorf("%s: pruned (default) and ?prune=0 responses differ:\n%s\n%s", ep, plain, exhaustive)
+		}
+		if bytes.Contains(plain, []byte(`"pruned"`)) {
+			t.Errorf("%s: default response leaks the pruned counter: %s", ep, plain)
+		}
+
+		code, counted := postRaw(t, client.base, ep+"?prune=1", body)
+		if code != http.StatusOK {
+			t.Fatalf("%s?prune=1: HTTP %d (%s)", ep, code, counted)
+		}
+		if !bytes.Contains(counted, []byte(`"pruned"`)) {
+			t.Errorf("%s?prune=1: response does not echo the pruned counter: %s", ep, counted)
+		}
+	}
+
+	// The counted select response differs from the plain one only by the
+	// counter: strip it and the decoded payloads match exactly.
+	_, plain := postRaw(t, client.base, "/v1/select", body)
+	_, counted := postRaw(t, client.base, "/v1/select?prune=1", body)
+	var a, b SelectResponse
+	if err := json.Unmarshal(plain, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(counted, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Pruned == nil {
+		t.Fatal("?prune=1 select response decoded without a pruned count")
+	}
+	b.Pruned = nil
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("?prune=1 changed more than the counter:\nplain   %+v\ncounted %+v", a, b)
+	}
+}
+
+// TestNoPruneDaemon: -no-prune turns the whole daemon exhaustive — plain
+// requests still succeed with byte-identical answers, ?prune=0 is a
+// no-op, and ?prune=1 is refused with a 400 that names the flag rather
+// than silently running unpruned under a pruned label.
+func TestNoPruneDaemon(t *testing.T) {
+	_, pruned := newTestEnv(t, Config{Parallelism: 2})
+	_, exhaustive := newTestEnv(t, Config{Parallelism: 2, NoPrune: true})
+	body := artifact.EncodeCorpus(mixedCorpus(t, 2))
+
+	for _, ep := range []string{"/v1/select", "/v1/pareto"} {
+		codeA, a := postRaw(t, pruned.base, ep, body)
+		codeB, b := postRaw(t, exhaustive.base, ep, body)
+		if codeA != http.StatusOK || codeB != http.StatusOK {
+			t.Fatalf("%s: HTTP %d / %d", ep, codeA, codeB)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: pruned and -no-prune daemons answer differently:\n%s\n%s", ep, a, b)
+		}
+		if code, _ := postRaw(t, exhaustive.base, ep+"?prune=0", body); code != http.StatusOK {
+			t.Errorf("%s?prune=0 on -no-prune daemon: HTTP %d, want 200", ep, code)
+		}
+		code, data := postRaw(t, exhaustive.base, ep+"?prune=1", body)
+		if code != http.StatusBadRequest || !strings.Contains(string(data), "no-prune") {
+			t.Errorf("%s?prune=1 on -no-prune daemon: HTTP %d (%s), want a 400 naming -no-prune", ep, code, data)
+		}
+	}
+}
+
+// TestStatsExposePruneCounters: after a pruned sweep, /v1/stats reports
+// nonzero Pruned and BoundHits under the engine block, and a -no-prune
+// daemon reports zeros forever.
+func TestStatsExposePruneCounters(t *testing.T) {
+	srv, client := newTestEnv(t, Config{Parallelism: 2})
+	body := artifact.EncodeCorpus(mixedCorpus(t, 1))
+	if code, data := postRaw(t, client.base, "/v1/pareto", body); code != http.StatusOK {
+		t.Fatalf("pareto: HTTP %d (%s)", code, data)
+	}
+	st := srv.Engine().Stats()
+	if st.BoundHits == 0 {
+		t.Error("no bound evaluations recorded after a pruned sweep")
+	}
+	if st.Pruned == 0 {
+		t.Error("no candidates pruned on the default grid sweep")
+	}
+	resp, err := http.Get(client.base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: HTTP %d (%v)", resp.StatusCode, err)
+	}
+	if !bytes.Contains(data, []byte(`"Pruned"`)) || !bytes.Contains(data, []byte(`"BoundHits"`)) {
+		t.Errorf("/v1/stats does not surface prune counters: %s", data)
+	}
+
+	srv2, client2 := newTestEnv(t, Config{Parallelism: 2, NoPrune: true})
+	if code, data := postRaw(t, client2.base, "/v1/pareto", body); code != http.StatusOK {
+		t.Fatalf("pareto on -no-prune daemon: HTTP %d (%s)", code, data)
+	}
+	if st := srv2.Engine().Stats(); st.Pruned != 0 || st.BoundHits != 0 {
+		t.Errorf("-no-prune daemon counted prunes: %+v", st)
+	}
+}

@@ -76,6 +76,12 @@ type Config struct {
 	// requests above the cap are rejected with 400 rather than silently
 	// clamped, so clients learn the deployment's ceiling.
 	MaxEffort int
+	// NoPrune disables the bound-guided sweep pruning of /v1/select and
+	// /v1/pareto daemon-wide (the `-no-prune` debugging escape hatch).
+	// Results are identical either way; requests explicitly asking for
+	// pruning (`?prune=1`) are rejected with 400 so the disagreement is
+	// visible.
+	NoPrune bool
 }
 
 // Server is the evaluation daemon: an http.Handler plus the shared state
@@ -499,6 +505,32 @@ func (s *Server) checkEffort(e int) error {
 	return nil
 }
 
+// pruneParam resolves the `prune` query parameter of /v1/select and
+// /v1/pareto against the daemon's NoPrune setting. Absent defers to the
+// daemon (pruning on unless -no-prune); "0" disables pruning for this
+// request; "1" demands it — a 400 on a -no-prune daemon rather than a
+// silent disagreement. Anything else is a one-line 400, never clamped.
+// The returned context carries the outcome; explicit reports a literal
+// "1", the only case in which responses echo the pruned count.
+func (s *Server) pruneParam(ctx context.Context, q url.Values) (_ context.Context, explicit bool, err error) {
+	switch raw := q.Get("prune"); raw {
+	case "":
+	case "0":
+		return confsel.WithoutPruning(ctx), false, nil
+	case "1":
+		if s.cfg.NoPrune {
+			return nil, false, badRequest("prune=1 rejected: daemon runs with -no-prune")
+		}
+		return ctx, true, nil
+	default:
+		return nil, false, badRequest("invalid prune %q (want 0 or 1)", raw)
+	}
+	if s.cfg.NoPrune {
+		return confsel.WithoutPruning(ctx), false, nil
+	}
+	return ctx, false, nil
+}
+
 // scheduleConfig builds the machine for /v1/schedule from query params.
 func scheduleConfig(q url.Values) (*machine.Config, error) {
 	buses, err := intParam(q, "buses", 1)
@@ -785,6 +817,14 @@ func (s *Server) runSelect(ctx context.Context, body []byte, q url.Values) (any,
 	if err := cons.Validate(obj); err != nil {
 		return nil, badRequest("%s", firstLine(err.Error()))
 	}
+	ctx, explicitPrune, err := s.pruneParam(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	var prune confsel.PruneStats
+	if explicitPrune {
+		ctx = confsel.WithPruneStats(ctx, &prune)
+	}
 	opts := pipeline.Options{
 		Buses:       buses,
 		EnergyAware: true,
@@ -828,6 +868,9 @@ func (s *Server) runSelect(ctx context.Context, body []byte, q url.Values) (any,
 		resp.Objective = obj.String()
 		resp.MaxEnergy = cons.MaxEnergy
 		resp.MaxSeconds = cons.MaxSeconds
+	}
+	if explicitPrune {
+		resp.Pruned = &prune.Pruned
 	}
 	return resp, nil
 }

@@ -137,6 +137,9 @@ type SelectOptions struct {
 	// their cap.
 	MaxEnergy  float64
 	MaxSeconds float64
+	// NoPrune disables the bound-guided sweep pruning for this request
+	// (`?prune=0`). Results are identical; only the work differs.
+	NoPrune bool
 }
 
 // SelectResponse is the response of POST /v1/select: the Section 3
@@ -153,6 +156,11 @@ type SelectResponse struct {
 	Objective  string  `json:"objective,omitempty"`
 	MaxEnergy  float64 `json:"max_energy,omitempty"`
 	MaxSeconds float64 `json:"max_seconds,omitempty"`
+
+	// Pruned is the number of sweep candidates the bound-guided layer
+	// skipped, echoed only on explicit `?prune=1` requests so default
+	// responses stay byte-identical across daemon versions.
+	Pruned *uint64 `json:"pruned,omitempty"`
 }
 
 // ParetoOptions configures POST /v1/pareto (the query-parameter form; a
@@ -168,6 +176,13 @@ type ParetoOptions struct {
 	// DVFSLadder adds this many per-cluster DVFS rungs from the
 	// generated-clock ladders to the sweep (0 = the plain selection grid).
 	DVFSLadder int
+	// Effort is the anytime schedule-refinement budget applied to the
+	// reference build (0 = baseline IMS; the server rejects values above
+	// its cap with 400).
+	Effort int
+	// NoPrune disables the bound-guided sweep pruning for this request
+	// (`?prune=0`). Results are identical; only the work differs.
+	NoPrune bool
 }
 
 // ParetoResponse is the JSON response of POST /v1/pareto: the
@@ -179,6 +194,11 @@ type ParetoResponse struct {
 	CorpusSHA string                 `json:"corpus_sha256"`
 	Bench     string                 `json:"bench"`
 	Points    []artifact.ParetoPoint `json:"points"`
+
+	// Pruned is the number of sweep candidates the bound-guided layer
+	// skipped, echoed only on explicit `?prune=1` requests so default
+	// responses stay byte-identical across daemon versions.
+	Pruned *uint64 `json:"pruned,omitempty"`
 }
 
 // Health is the response of GET /v1/healthz.
